@@ -1,0 +1,33 @@
+# Convenience targets for the BerkMin reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments report quick-report examples clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -x -q -p no:randomly -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.cli experiment all
+
+report:
+	$(PYTHON) -m repro.experiments.report --scale default -o EXPERIMENTS.md
+
+quick-report:
+	$(PYTHON) -m repro.experiments.report --scale quick
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script || exit 1; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,6 @@
+"""Benchmark harness: one module per table/figure of the paper.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""

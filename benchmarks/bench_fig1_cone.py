@@ -1,0 +1,20 @@
+"""Fig. 1 bench — cone variables switching from idle to active.
+
+Times the two Fig. 1 measurement runs (control pinned to 0 and to 1) and
+asserts the figure's point: the cone's share of conflict activity is
+(near) zero while gated off and jumps once the AND's control pin is 1.
+Full output: ``python -m repro.experiments.fig1``.
+"""
+
+from repro.experiments.fig1 import measure
+
+
+def test_fig1_cone_activity(benchmark):
+    gated, active = benchmark.pedantic(
+        lambda: measure(max_conflicts=20_000), rounds=1, iterations=1
+    )
+    benchmark.extra_info["gated_share"] = round(gated.cone_share, 4)
+    benchmark.extra_info["active_share"] = round(active.cone_share, 4)
+    assert gated.cone_share <= 0.05
+    assert active.cone_share >= 2 * gated.cone_share
+    assert active.cone_share > 0.05

@@ -1,0 +1,65 @@
+"""Extension bench — CNF preprocessing ahead of the solver.
+
+Measures subsumption + bounded variable elimination (the post-BerkMin
+NiVER/SatELite lineage) as a front-end: preprocessing time plus solve
+time on the reduced formula, versus solving the original directly.
+Also times the DPLL baseline on the same instance for the
+tree-like-resolution contrast the paper's introduction draws.
+"""
+
+import pytest
+
+from repro.baselines.dpll import DpllSolver
+from repro.cnf.elimination import preprocess
+from repro.experiments.suites import Instance, _hanoi, _hole, _pipe
+from repro.solver.config import berkmin_config
+from repro.solver.result import SolveStatus
+from repro.solver.solver import Solver
+
+INSTANCES = [
+    Instance("hole6", lambda: _hole(6), SolveStatus.UNSAT, 60_000),
+    Instance("pipe_w4s2", lambda: _pipe(4, 2), SolveStatus.UNSAT, 60_000),
+    Instance("hanoi3", lambda: _hanoi(3, None), SolveStatus.SAT, 60_000),
+]
+
+
+@pytest.mark.parametrize("use_preprocessing", [False, True], ids=["direct", "preprocessed"])
+@pytest.mark.parametrize("instance", INSTANCES, ids=lambda i: i.name)
+def test_preprocess_then_solve(benchmark, instance, use_preprocessing):
+    def run():
+        formula = instance.formula()
+        if use_preprocessing:
+            reduction = preprocess(formula, max_growth=0)
+            if reduction.unsat:
+                return SolveStatus.UNSAT
+            result = Solver(reduction.formula, config=berkmin_config()).solve(
+                max_conflicts=instance.max_conflicts
+            )
+            if result.is_sat:
+                full = reduction.extend_model(result.model)
+                for variable in range(1, formula.num_variables + 1):
+                    full.setdefault(variable, False)
+                assert formula.evaluate(full)
+            return result.status
+        return (
+            Solver(formula, config=berkmin_config())
+            .solve(max_conflicts=instance.max_conflicts)
+            .status
+        )
+
+    status = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert status is instance.expected
+
+
+@pytest.mark.parametrize("instance", INSTANCES[:1], ids=lambda i: i.name)
+def test_dpll_baseline_contrast(benchmark, instance):
+    """Tree-like resolution on the same instance (the paper's framing)."""
+
+    def run():
+        return DpllSolver(instance.formula()).solve(
+            max_decisions=500_000, max_seconds=60
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["dpll_decisions"] = result.decisions
+    benchmark.extra_info["finished"] = result.satisfiable is not None

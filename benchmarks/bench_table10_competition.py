@@ -1,0 +1,38 @@
+"""Table 10 bench — competition-style robustness.
+
+BerkMin, the Chaff baseline and plain DPLL on reshuffled hard instances
+(the SAT-2002 organisers reshuffled everything).  Full table:
+``python -m repro.experiments.table10``.
+"""
+
+import pytest
+
+from benchmarks.conftest import solve_case
+from repro.baselines.dpll import DpllSolver
+from repro.experiments.suites import Instance, _hole, _shuffled
+from repro.solver.result import SolveStatus
+
+INSTANCES = [
+    Instance("shuf_hole7", lambda: _shuffled("hole7", 13), SolveStatus.UNSAT, 60_000),
+    Instance("shuf_pipe_w5s3", lambda: _shuffled("pipe53", 11), SolveStatus.UNSAT, 60_000),
+    Instance("shuf_hanoi4", lambda: _shuffled("hanoi4", 12), SolveStatus.SAT, 120_000),
+]
+CONFIGS = ["berkmin", "chaff"]
+
+
+@pytest.mark.parametrize("config_name", CONFIGS)
+@pytest.mark.parametrize("instance", INSTANCES, ids=lambda i: i.name)
+def test_table10_cdcl(benchmark, instance, config_name):
+    solve_case(benchmark, instance, config_name)
+
+
+def test_table10_dpll_baseline(benchmark):
+    """The pre-CDCL baseline cannot finish the reshuffled hole7 in budget."""
+    instance = INSTANCES[0]
+
+    def run():
+        return DpllSolver(instance.formula()).solve(max_decisions=50_000)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["dpll_decisions"] = result.decisions
+    benchmark.extra_info["dpll_finished"] = result.satisfiable is not None

@@ -1,0 +1,26 @@
+"""Table 1 bench — sensitivity of decision-making (Section 4).
+
+Times BerkMin against the ``less_sensitivity`` ablation (Chaff-style
+variable-activity updates) on representatives of the classes where the
+paper saw the biggest gaps: Hanoi, Miters and the deep pipelines.
+Full table: ``python -m repro.experiments.table1``.
+"""
+
+import pytest
+
+from benchmarks.conftest import solve_case
+from repro.experiments.suites import Instance, _hanoi, _pipe, _rewrite_miter
+from repro.solver.result import SolveStatus
+
+INSTANCES = [
+    Instance("hanoi4_T14", lambda: _hanoi(4, 14), SolveStatus.UNSAT, 60_000),
+    Instance("miter_18x250", lambda: _rewrite_miter(18, 250, 4), SolveStatus.UNSAT, 60_000),
+    Instance("pipe_w5s3", lambda: _pipe(5, 3), SolveStatus.UNSAT, 60_000),
+]
+CONFIGS = ["berkmin", "less_sensitivity"]
+
+
+@pytest.mark.parametrize("config_name", CONFIGS)
+@pytest.mark.parametrize("instance", INSTANCES, ids=lambda i: i.name)
+def test_table1_sensitivity(benchmark, instance, config_name):
+    solve_case(benchmark, instance, config_name)

@@ -1,0 +1,26 @@
+"""Table 2 bench — mobility of decision-making (Section 5).
+
+BerkMin's top-clause branching versus the ``less_mobility`` ablation
+(globally most active variable) on the classes the paper highlights:
+the deep pipelines (Fvp-style) and Miters, where less_mobility blew up
+or aborted.  Full table: ``python -m repro.experiments.table2``.
+"""
+
+import pytest
+
+from benchmarks.conftest import solve_case
+from repro.experiments.suites import Instance, _adder_sum, _pipe, _rewrite_miter
+from repro.solver.result import SolveStatus
+
+INSTANCES = [
+    Instance("pipe_w4s3", lambda: _pipe(4, 3), SolveStatus.UNSAT, 60_000),
+    Instance("miter_18x250", lambda: _rewrite_miter(18, 250, 4), SolveStatus.UNSAT, 60_000),
+    Instance("2bitadd_12", lambda: _adder_sum(12, 5741), SolveStatus.SAT, 60_000),
+]
+CONFIGS = ["berkmin", "less_mobility"]
+
+
+@pytest.mark.parametrize("config_name", CONFIGS)
+@pytest.mark.parametrize("instance", INSTANCES, ids=lambda i: i.name)
+def test_table2_mobility(benchmark, instance, config_name):
+    solve_case(benchmark, instance, config_name)

@@ -1,0 +1,38 @@
+"""Table 3 bench — the skin effect (Section 6).
+
+Times the skin-effect profiling run and asserts the phenomenon itself:
+f(r) decays with distance from the top of the learned-clause stack, with
+a small f(0).  Full table: ``python -m repro.experiments.table3``.
+"""
+
+import pytest
+
+from repro.experiments.table3 import monotone_share
+from repro.experiments.suites import Instance, _hanoi, _pipe
+from repro.solver.config import berkmin_config
+from repro.solver.result import SolveStatus
+from repro.solver.solver import Solver
+
+INSTANCES = [
+    Instance("hanoi4", lambda: _hanoi(4, None), SolveStatus.SAT, 60_000),
+    Instance("pipe_w5s3", lambda: _pipe(5, 3), SolveStatus.UNSAT, 60_000),
+]
+
+
+@pytest.mark.parametrize("instance", INSTANCES, ids=lambda i: i.name)
+def test_table3_skin_effect(benchmark, instance):
+    def profile():
+        solver = Solver(instance.formula(), config=berkmin_config())
+        solver.solve(max_conflicts=instance.max_conflicts)
+        return solver.stats.skin_effect
+
+    skin = benchmark.pedantic(profile, rounds=1, iterations=1)
+    total = sum(skin.values())
+    assert total > 0
+    # The skin effect: the profile decays over small distances ...
+    assert monotone_share(skin, prefix=8) >= 0.6
+    # ... and f(0) is small relative to f(1): the topmost clause is
+    # satisfied by BCP the moment it is learned (Section 6).
+    if skin.get(1, 0) > 50:
+        assert skin.get(0, 0) < skin[1]
+    benchmark.extra_info["f(0..5)"] = [skin.get(r, 0) for r in range(6)]

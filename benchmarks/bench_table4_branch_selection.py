@@ -1,0 +1,24 @@
+"""Table 4 bench — branch-selection heuristics (Section 7).
+
+All six phase heuristics on the classes where the paper saw dramatic
+spreads (Hole blows up under unsat_top/take_1; Hanoi punishes sat_top
+and take_0).  Full table: ``python -m repro.experiments.table4``.
+"""
+
+import pytest
+
+from benchmarks.conftest import solve_case
+from repro.experiments.paper_data import TABLE4_CONFIGS
+from repro.experiments.suites import Instance, _hanoi, _hole
+from repro.solver.result import SolveStatus
+
+INSTANCES = [
+    Instance("hole7", lambda: _hole(7), SolveStatus.UNSAT, 60_000),
+    Instance("hanoi3", lambda: _hanoi(3, None), SolveStatus.SAT, 60_000),
+]
+
+
+@pytest.mark.parametrize("config_name", TABLE4_CONFIGS)
+@pytest.mark.parametrize("instance", INSTANCES, ids=lambda i: i.name)
+def test_table4_branch_selection(benchmark, instance, config_name):
+    solve_case(benchmark, instance, config_name)

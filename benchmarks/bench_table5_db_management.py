@@ -1,0 +1,26 @@
+"""Table 5 bench — clause-database management (Section 8).
+
+BerkMin's age/activity/length deletion against GRASP-style
+``limited_keeping`` on the classes where long-but-active clauses matter
+(Hanoi and the deep pipelines).  Full table:
+``python -m repro.experiments.table5``.
+"""
+
+import pytest
+
+from benchmarks.conftest import solve_case
+from repro.experiments.suites import Instance, _hanoi, _hole, _pipe
+from repro.solver.result import SolveStatus
+
+INSTANCES = [
+    Instance("hanoi4_T14", lambda: _hanoi(4, 14), SolveStatus.UNSAT, 60_000),
+    Instance("hole7", lambda: _hole(7), SolveStatus.UNSAT, 60_000),
+    Instance("pipe_w5s3", lambda: _pipe(5, 3), SolveStatus.UNSAT, 60_000),
+]
+CONFIGS = ["berkmin", "limited_keeping"]
+
+
+@pytest.mark.parametrize("config_name", CONFIGS)
+@pytest.mark.parametrize("instance", INSTANCES, ids=lambda i: i.name)
+def test_table5_db_management(benchmark, instance, config_name):
+    solve_case(benchmark, instance, config_name)

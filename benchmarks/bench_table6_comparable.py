@@ -1,0 +1,27 @@
+"""Table 6 bench — classes where Chaff and BerkMin are comparable.
+
+Representatives of the "comparable" classes (Hole, where Chaff wins, and
+the shallow pipelines, where neither dominates).  Full table:
+``python -m repro.experiments.table6``.
+"""
+
+import pytest
+
+from benchmarks.conftest import solve_case
+from repro.experiments.suites import Instance, _blocks, _hole, _pipe, _pipe_fault, _xor
+from repro.solver.result import SolveStatus
+
+INSTANCES = [
+    Instance("hole6", lambda: _hole(6), SolveStatus.UNSAT, 60_000),
+    Instance("par_sat_s1", lambda: _xor(40, 36, 5, 1, True), SolveStatus.SAT, 60_000),
+    Instance("pipe_w3s2", lambda: _pipe(3, 2), SolveStatus.UNSAT, 60_000),
+    Instance("pipe_w5s2_f9", lambda: _pipe_fault(5, 2, 9), SolveStatus.SAT, 60_000),
+    Instance("bw5_a", lambda: _blocks(5, 3, 9), SolveStatus.SAT, 60_000),
+]
+CONFIGS = ["chaff", "berkmin"]
+
+
+@pytest.mark.parametrize("config_name", CONFIGS)
+@pytest.mark.parametrize("instance", INSTANCES, ids=lambda i: i.name)
+def test_table6_comparable(benchmark, instance, config_name):
+    solve_case(benchmark, instance, config_name)

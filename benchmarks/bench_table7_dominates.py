@@ -1,0 +1,26 @@
+"""Table 7 bench — classes on which BerkMin dominates Chaff.
+
+The robustness comparison on the hard classes: Hanoi (where the paper
+saw a 36x gap), Miters and the deep pipelines.  Full table:
+``python -m repro.experiments.table7``.
+"""
+
+import pytest
+
+from benchmarks.conftest import solve_case
+from repro.experiments.suites import Instance, _adder_sum, _hanoi, _pipe, _rewrite_miter
+from repro.solver.result import SolveStatus
+
+INSTANCES = [
+    Instance("hanoi4", lambda: _hanoi(4, None), SolveStatus.SAT, 60_000),
+    Instance("miter_20x400", lambda: _rewrite_miter(20, 400, 5), SolveStatus.UNSAT, 60_000),
+    Instance("pipe_w6s3", lambda: _pipe(6, 3), SolveStatus.UNSAT, 60_000),
+    Instance("2bitadd_12", lambda: _adder_sum(12, 5741), SolveStatus.SAT, 60_000),
+]
+CONFIGS = ["chaff", "berkmin"]
+
+
+@pytest.mark.parametrize("config_name", CONFIGS)
+@pytest.mark.parametrize("instance", INSTANCES, ids=lambda i: i.name)
+def test_table7_dominates(benchmark, instance, config_name):
+    solve_case(benchmark, instance, config_name)

@@ -1,0 +1,22 @@
+"""Table 8 bench — search-tree sizes (decisions) on hard instances.
+
+The paper's claim: BerkMin wins by building smaller search trees.  The
+benchmark records the decision counts in ``extra_info`` so the JSON
+output carries the Table 8 comparison.  Full table:
+``python -m repro.experiments.table8``.
+"""
+
+import pytest
+
+from benchmarks.conftest import solve_case
+from repro.experiments.table8 import hard_instances
+
+INSTANCES = [i for i in hard_instances("default") if i.name != "hanoi5"]
+CONFIGS = ["chaff", "berkmin"]
+
+
+@pytest.mark.parametrize("config_name", CONFIGS)
+@pytest.mark.parametrize("instance", INSTANCES, ids=lambda i: i.name)
+def test_table8_decisions(benchmark, instance, config_name):
+    outcome = solve_case(benchmark, instance, config_name)
+    assert outcome.decisions > 0

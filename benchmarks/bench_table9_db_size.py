@@ -1,0 +1,39 @@
+"""Table 9 bench — database-size ratios.
+
+Measures the Table 9 quantities — total conflict clauses generated and
+peak clauses in memory, both relative to the initial CNF — and asserts
+the paper's shape: BerkMin's database stays much smaller than Chaff's
+and its peak memory stays within a few times the initial CNF.
+Full table: ``python -m repro.experiments.table9``.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_instance
+from repro.experiments.suites import Instance, _hanoi, _pipe
+from repro.solver.config import berkmin_config, chaff_config
+from repro.solver.result import SolveStatus
+
+INSTANCES = [
+    Instance("hanoi4", lambda: _hanoi(4, None), SolveStatus.SAT, 120_000),
+    Instance("pipe_w5s3", lambda: _pipe(5, 3), SolveStatus.UNSAT, 120_000),
+]
+
+
+@pytest.mark.parametrize("instance", INSTANCES, ids=lambda i: i.name)
+def test_table9_db_size(benchmark, instance):
+    def run_both():
+        return (
+            run_instance(instance, chaff_config()),
+            run_instance(instance, berkmin_config()),
+        )
+
+    chaff_run, berkmin_run = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    benchmark.extra_info["chaff_growth"] = round(chaff_run.stats.database_growth_ratio(), 2)
+    benchmark.extra_info["berkmin_growth"] = round(
+        berkmin_run.stats.database_growth_ratio(), 2
+    )
+    benchmark.extra_info["chaff_peak"] = round(chaff_run.stats.peak_memory_ratio(), 2)
+    benchmark.extra_info["berkmin_peak"] = round(berkmin_run.stats.peak_memory_ratio(), 2)
+    # Table 9's shape: BerkMin's peak stays within a few times the initial CNF.
+    assert berkmin_run.stats.peak_memory_ratio() < 6.0

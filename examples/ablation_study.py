@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""A miniature version of the paper's ablation methodology.
+
+Runs BerkMin and every ablation configuration from Tables 1, 2, 4 and 5
+on two contrasting instances (a pigeonhole refutation and a Hanoi plan),
+reporting conflicts and decisions — the machine-independent quantities
+the full experiment harness compares.  For the real tables, run
+``python -m repro experiment all``.
+
+Run:  python examples/ablation_study.py
+"""
+
+import time
+
+import repro
+from repro.generators import hanoi_formula, pigeonhole_formula
+from repro.solver import config_by_name
+
+CONFIGS = [
+    "berkmin",           # everything on
+    "less_sensitivity",  # Table 1: Chaff-style variable activities
+    "less_mobility",     # Table 2: global most-active decisions
+    "sat_top",           # Table 4: always satisfy the top clause
+    "unsat_top",         # Table 4: always falsify the chosen literal
+    "take_rand",         # Table 4: random phase
+    "limited_keeping",   # Table 5: GRASP-style clause deletion
+    "chaff",             # Tables 6-10: the full Chaff-style baseline
+]
+
+
+def run_instance(name, formula, budget=60_000):
+    print(f"\n=== {name} ===")
+    print(f"{'config':17s} {'status':8s} {'conflicts':>9s} {'decisions':>9s} {'seconds':>8s}")
+    for config_name in CONFIGS:
+        config = config_by_name(config_name)
+        started = time.perf_counter()
+        result = repro.solve(formula, config=config, max_conflicts=budget)
+        elapsed = time.perf_counter() - started
+        status = result.status.value if not result.is_unknown else "ABORT"
+        print(
+            f"{config_name:17s} {status:8s} {result.stats.conflicts:9d} "
+            f"{result.stats.decisions:9d} {elapsed:8.2f}"
+        )
+
+
+def main() -> None:
+    run_instance("hole7 (pigeonhole, UNSAT)", pigeonhole_formula(7))
+    run_instance("hanoi4 at T=14 (planning, UNSAT)", hanoi_formula(4, 14))
+
+
+if __name__ == "__main__":
+    main()

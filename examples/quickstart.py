@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: solve CNF formulas with the BerkMin reproduction.
+
+Covers the core public API in ~60 lines: building formulas, solving with
+different configurations, reading models and statistics, DIMACS I/O,
+incremental solving under assumptions, and proof-checked UNSAT answers.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+from repro.proof import check_rup_proof
+from repro.solver import Solver, berkmin_config, chaff_config
+
+
+def main() -> None:
+    # --- 1. Solve a formula given as plain clause lists -----------------
+    result = repro.solve([[1, 2], [-1, 2], [-2, 3]])
+    print("status:", result.status.value)
+    print("model: ", result.model)
+
+    # --- 2. An unsatisfiable formula, with a machine-checked proof ------
+    xor_like = repro.CnfFormula([[1, 2], [-1, 2], [1, -2], [-1, -2]])
+    solver = Solver(xor_like, config=berkmin_config(proof_logging=True))
+    result = solver.solve()
+    assert result.is_unsat
+    check_rup_proof(xor_like, result.proof)
+    print("UNSAT proven; DRUP proof of", len(result.proof), "steps verified")
+
+    # --- 3. DIMACS round-trip -------------------------------------------
+    text = repro.write_dimacs(xor_like)
+    reloaded = repro.parse_dimacs(text)
+    print("dimacs round-trip:", reloaded.num_variables, "vars,",
+          reloaded.num_clauses, "clauses")
+
+    # --- 4. Compare solver configurations on one instance ---------------
+    from repro.generators import pigeonhole_formula
+
+    hole = pigeonhole_formula(6)  # 7 pigeons, 6 holes: classic UNSAT
+    for config in (berkmin_config(), chaff_config()):
+        outcome = repro.solve(hole, config=config)
+        print(
+            f"hole6 under {config.name:8s}: {outcome.status.value}, "
+            f"{outcome.stats.conflicts} conflicts, "
+            f"{outcome.stats.decisions} decisions"
+        )
+
+    # --- 5. Incremental solving with assumptions -------------------------
+    incremental = Solver(repro.CnfFormula([[1, 2, 3]]))
+    print("assume -1, -2:", incremental.solve(assumptions=[-1, -2]).status.value)
+    print("assume -1, -2, -3:",
+          incremental.solve(assumptions=[-1, -2, -3]).status.value,
+          "(under assumptions only)")
+    incremental.add_clause([-3])  # clauses can be added between calls
+    print("after adding -3:", incremental.solve(assumptions=[-1]).model)
+
+    # --- 6. Failed-assumption cores ---------------------------------------
+    diagnoser = Solver(repro.CnfFormula([[-1, -2], [3, 4]]))
+    outcome = diagnoser.solve(assumptions=[3, 1, 2])
+    print("conflicting assumptions:", outcome.status.value,
+          "core:", sorted(outcome.core))  # only 1 and 2 clash; 3 is innocent
+
+    # --- 7. Model enumeration ---------------------------------------------
+    from repro.solver import count_models
+
+    print("models of (x1 or x2):", count_models(repro.CnfFormula([[1, 2]])))
+
+
+if __name__ == "__main__":
+    main()

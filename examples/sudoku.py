@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""A complete Sudoku solver built on the public API.
+
+Encodes a 9x9 puzzle to CNF, solves it with BerkMin, decodes the grid,
+and double-checks uniqueness by blocking the found solution and
+re-solving (UNSAT means the puzzle has exactly one solution).
+
+Run:  python examples/sudoku.py
+"""
+
+import repro
+from repro.generators import decode_sudoku, sudoku_formula, sudoku_puzzle
+
+
+def render(grid: list[list[int]]) -> str:
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index % 3 == 0 and row_index:
+            lines.append("------+-------+------")
+        cells = []
+        for column_index, digit in enumerate(row):
+            if column_index % 3 == 0 and column_index:
+                cells.append("|")
+            cells.append(str(digit) if digit else ".")
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    puzzle = sudoku_puzzle()
+    print("puzzle:")
+    print(render(puzzle))
+
+    formula = sudoku_formula(puzzle)
+    print(f"\nencoded: {formula.num_variables} variables, {formula.num_clauses} clauses")
+    result = repro.solve(formula)
+    assert result.is_sat
+    solution = decode_sudoku(result.model)
+    print(f"solved in {result.stats.decisions} decisions, "
+          f"{result.stats.conflicts} conflicts\n")
+    print(render(solution))
+
+    # Uniqueness check: forbid this exact solution and re-solve.
+    blocking_clause = [
+        -((row * 9 + column) * 9 + solution[row][column])
+        for row in range(9)
+        for column in range(9)
+    ]
+    formula.add_clause(blocking_clause)
+    second = repro.solve(formula)
+    print("\nsolution is unique:", second.is_unsat)
+
+
+if __name__ == "__main__":
+    main()

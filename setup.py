@@ -1,0 +1,10 @@
+"""Shim for legacy (non-PEP-517) editable installs.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so ``pip install -e .`` must fall back to ``setup.py develop``; all real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

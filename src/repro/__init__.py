@@ -1,0 +1,81 @@
+"""repro — a reproduction of "BerkMin: A Fast and Robust Sat-Solver".
+
+Goldberg & Novikov, DATE 2002 (journal version: Discrete Applied
+Mathematics 155, 2007).
+
+The package implements the complete BerkMin system: a CDCL SAT solver
+with BerkMin's decision-making (top-clause branching over a
+chronological conflict-clause stack, responsible-clause variable
+activities, database-symmetrizing branch selection, ``nb_two`` phase
+scoring) and clause-database management (young/old age-activity-length
+deletion), plus every ablation and baseline configuration the paper
+evaluates — including a Chaff-style VSIDS preset — and the substrates
+needed to regenerate the paper's benchmark families (circuit miters,
+planning encodings, pigeonhole/parity instances).
+
+Quickstart::
+
+    import repro
+
+    formula = repro.CnfFormula([[1, 2], [-1, 2], [1, -2], [-1, -2]])
+    result = repro.solve(formula)
+    print(result.status)  # SolveStatus.UNSAT
+"""
+
+from repro.cnf import (
+    Clause,
+    CnfFormula,
+    parse_dimacs,
+    parse_dimacs_file,
+    shuffle_formula,
+    simplify_formula,
+    write_dimacs,
+    write_dimacs_file,
+)
+from repro.solver import (
+    SolveResult,
+    SolveStatus,
+    Solver,
+    SolverConfig,
+    berkmin_config,
+    chaff_config,
+    config_by_name,
+    solve_formula,
+)
+
+__version__ = "1.0.0"
+
+
+def solve(formula, config=None, **limits):
+    """Solve ``formula`` (a :class:`CnfFormula` or iterable of clauses).
+
+    Convenience entry point: builds a fresh :class:`Solver` with the
+    given configuration (BerkMin by default) and returns its
+    :class:`SolveResult`.  Budget keywords (``max_conflicts``,
+    ``max_decisions``, ``max_seconds``) are forwarded to
+    :meth:`Solver.solve`.
+    """
+    if not isinstance(formula, CnfFormula):
+        formula = CnfFormula(formula)
+    return solve_formula(formula, config=config, **limits)
+
+
+__all__ = [
+    "Clause",
+    "CnfFormula",
+    "SolveResult",
+    "SolveStatus",
+    "Solver",
+    "SolverConfig",
+    "berkmin_config",
+    "chaff_config",
+    "config_by_name",
+    "parse_dimacs",
+    "parse_dimacs_file",
+    "shuffle_formula",
+    "simplify_formula",
+    "solve",
+    "solve_formula",
+    "write_dimacs",
+    "write_dimacs_file",
+]

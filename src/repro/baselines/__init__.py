@@ -1,0 +1,22 @@
+"""Reference and baseline solvers.
+
+* :func:`brute_force_satisfiable` — exhaustive enumeration; the oracle
+  the property-based tests compare every CDCL configuration against.
+* :class:`DpllSolver` — plain DPLL with unit propagation and pure
+  literals but *no learning*: the tree-like-resolution baseline the
+  paper's introduction contrasts CDCL solvers with.
+* :func:`walksat` — stochastic local search (incomplete, SAT-only), a
+  period-typical contrast included as an extension.
+"""
+
+from repro.baselines.brute import brute_force_model, brute_force_satisfiable
+from repro.baselines.dpll import DpllResult, DpllSolver
+from repro.baselines.walksat import walksat
+
+__all__ = [
+    "DpllResult",
+    "DpllSolver",
+    "brute_force_model",
+    "brute_force_satisfiable",
+    "walksat",
+]

@@ -1,0 +1,33 @@
+"""Exhaustive-enumeration oracle for small formulas.
+
+Used by the test suite as ground truth: every solver configuration must
+agree with :func:`brute_force_satisfiable` on randomly generated small
+CNFs.  Deliberately simple and obviously correct.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.cnf.formula import CnfFormula
+
+
+def brute_force_model(formula: CnfFormula, max_variables: int = 24) -> dict[int, bool] | None:
+    """Return some satisfying assignment, or None if there is none.
+
+    Enumerates all ``2**n`` assignments; refuses formulas with more than
+    ``max_variables`` variables to avoid accidental blowups in tests.
+    """
+    n = formula.num_variables
+    if n > max_variables:
+        raise ValueError(f"brute force limited to {max_variables} variables, got {n}")
+    for bits in itertools.product((False, True), repeat=n):
+        model = {variable: bits[variable - 1] for variable in range(1, n + 1)}
+        if formula.evaluate(model):
+            return model
+    return None
+
+
+def brute_force_satisfiable(formula: CnfFormula, max_variables: int = 24) -> bool:
+    """True iff the formula has a model (exhaustive check)."""
+    return brute_force_model(formula, max_variables) is not None

@@ -1,0 +1,166 @@
+"""Plain DPLL — the pre-CDCL baseline.
+
+The paper frames modern SAT solvers as escaping the limits of *tree-like
+resolution*, which is exactly what unadorned DPLL performs.  This
+implementation has unit propagation, optional pure-literal elimination,
+and a most-occurrences branching rule — but **no clause learning, no
+non-chronological backtracking, no restarts** — so benchmark deltas
+against it show what the CDCL machinery (and then BerkMin's heuristics)
+buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cnf.formula import CnfFormula
+
+
+@dataclass
+class DpllResult:
+    """Outcome of a DPLL run."""
+
+    satisfiable: bool | None  # None = budget exhausted
+    model: dict[int, bool] | None = None
+    decisions: int = 0
+    propagations: int = 0
+
+
+@dataclass
+class DpllSolver:
+    """Iterative DPLL over clause lists (no learning)."""
+
+    formula: CnfFormula
+    use_pure_literals: bool = True
+    _assignment: dict[int, bool] = field(default_factory=dict, init=False)
+
+    def solve(
+        self,
+        max_decisions: int | None = None,
+        max_seconds: float | None = None,
+    ) -> DpllResult:
+        """Run DPLL; ``max_decisions`` / ``max_seconds`` bound the search.
+
+        The explicit stack holds two kinds of frames: *fresh* nodes
+        (``alternatives is None``) that still need propagation and
+        expansion, and *expanded* nodes carrying the branch literals not
+        yet tried.  An expanded node whose alternatives are exhausted is
+        simply dropped — that is the backtrack.
+        """
+        import time
+
+        deadline = time.perf_counter() + max_seconds if max_seconds is not None else None
+        result = DpllResult(satisfiable=None)
+        root = [list(clause) for clause in self.formula.clauses]
+        if any(not clause for clause in root):
+            result.satisfiable = False
+            return result
+        Frame = tuple  # (clauses, assignment, alternatives-or-None)
+        stack: list[Frame] = [(root, {}, None)]
+        while stack:
+            clauses, assignment, alternatives = stack.pop()
+            if alternatives is None:
+                # Fresh node: propagate, then either close it or expand it.
+                simplified = self._propagate(clauses, assignment, result)
+                if simplified is None:
+                    continue  # conflict
+                if not simplified:
+                    self._complete(assignment)
+                    result.satisfiable = True
+                    result.model = assignment
+                    return result
+                literal = self._branch_literal(simplified)
+                stack.append((simplified, assignment, [literal, -literal]))
+                continue
+            if not alternatives:
+                continue  # both branches failed: backtrack
+            literal = alternatives.pop(0)
+            stack.append((clauses, assignment, alternatives))
+            result.decisions += 1
+            if max_decisions is not None and result.decisions > max_decisions:
+                return result
+            if (
+                deadline is not None
+                and result.decisions % 64 == 0
+                and time.perf_counter() > deadline
+            ):
+                return result
+            reduced = self._assign(clauses, literal)
+            if reduced is None:
+                continue
+            child_assignment = dict(assignment)
+            child_assignment[abs(literal)] = literal > 0
+            stack.append((reduced, child_assignment, None))
+        result.satisfiable = False
+        return result
+
+    # ------------------------------------------------------------------
+    def _propagate(
+        self,
+        clauses: list[list[int]],
+        assignment: dict[int, bool],
+        result: DpllResult,
+    ) -> list[list[int]] | None:
+        """Unit propagation (and pure literals) to fixpoint; None = conflict."""
+        while True:
+            unit = next((clause[0] for clause in clauses if len(clause) == 1), None)
+            if unit is not None:
+                result.propagations += 1
+                assignment[abs(unit)] = unit > 0
+                clauses = self._assign(clauses, unit)
+                if clauses is None:
+                    return None
+                continue
+            if self.use_pure_literals:
+                pure = self._find_pure_literal(clauses)
+                if pure is not None:
+                    assignment[abs(pure)] = pure > 0
+                    clauses = self._assign(clauses, pure)
+                    if clauses is None:  # pragma: no cover - pure cannot conflict
+                        return None
+                    continue
+            return clauses
+
+    @staticmethod
+    def _assign(clauses: list[list[int]], literal: int) -> list[list[int]] | None:
+        """Reduce clauses under ``literal = true``; None on an empty clause."""
+        reduced: list[list[int]] = []
+        for clause in clauses:
+            if literal in clause:
+                continue
+            if -literal in clause:
+                shrunk = [other for other in clause if other != -literal]
+                if not shrunk:
+                    return None
+                reduced.append(shrunk)
+            else:
+                reduced.append(clause)
+        return reduced
+
+    @staticmethod
+    def _find_pure_literal(clauses: list[list[int]]) -> int | None:
+        polarity: dict[int, int] = {}
+        for clause in clauses:
+            for literal in clause:
+                variable = abs(literal)
+                sign = 1 if literal > 0 else -1
+                previous = polarity.get(variable)
+                polarity[variable] = 0 if previous not in (None, sign) else sign
+        for variable, sign in polarity.items():
+            if sign:
+                return variable * sign
+        return None
+
+    @staticmethod
+    def _branch_literal(clauses: list[list[int]]) -> int:
+        """Most-occurrences branching (ties to the smallest literal)."""
+        counts: dict[int, int] = {}
+        for clause in clauses:
+            for literal in clause:
+                counts[literal] = counts.get(literal, 0) + 1
+        return max(sorted(counts), key=lambda literal: counts[literal])
+
+    def _complete(self, assignment: dict[int, bool]) -> None:
+        """Give unconstrained variables a default value."""
+        for variable in range(1, self.formula.num_variables + 1):
+            assignment.setdefault(variable, False)

@@ -1,0 +1,92 @@
+"""WalkSAT stochastic local search (extension baseline).
+
+Incomplete and SAT-only: it can find models but never prove UNSAT.
+Included as the period-typical contrast to systematic CDCL search —
+useful in examples and in the robustness discussion (local search is
+exactly the kind of solver the Beijing class tripped up).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cnf.formula import CnfFormula
+
+
+def walksat(
+    formula: CnfFormula,
+    seed: int = 0,
+    max_flips: int = 100_000,
+    noise: float = 0.5,
+    max_restarts: int = 10,
+) -> dict[int, bool] | None:
+    """Try to find a model by random walk; None if none found in budget.
+
+    Classic WalkSAT: pick an unsatisfied clause; with probability
+    ``noise`` flip a random variable of it, otherwise flip the variable
+    minimizing the number of newly broken clauses.
+    """
+    rng = random.Random(seed)
+    n = formula.num_variables
+    clauses = [list(clause) for clause in formula.clauses]
+    if any(not clause for clause in clauses):
+        return None
+    occurrences: dict[int, list[int]] = {}
+    for index, clause in enumerate(clauses):
+        for literal in clause:
+            occurrences.setdefault(literal, []).append(index)
+
+    for _restart in range(max_restarts):
+        assignment = {variable: rng.random() < 0.5 for variable in range(1, n + 1)}
+        true_counts = [
+            sum(1 for literal in clause if assignment[abs(literal)] == (literal > 0))
+            for clause in clauses
+        ]
+        unsatisfied = {index for index, count in enumerate(true_counts) if count == 0}
+        for _flip in range(max_flips):
+            if not unsatisfied:
+                return assignment
+            clause = clauses[rng.choice(tuple(unsatisfied))]
+            if rng.random() < noise:
+                variable = abs(rng.choice(clause))
+            else:
+                variable = min(
+                    (abs(literal) for literal in clause),
+                    key=lambda candidate: _break_count(
+                        candidate, assignment, clauses, occurrences, true_counts
+                    ),
+                )
+            _flip_variable(variable, assignment, occurrences, true_counts, unsatisfied)
+    return None
+
+
+def _break_count(
+    variable: int,
+    assignment: dict[int, bool],
+    clauses: list[list[int]],
+    occurrences: dict[int, list[int]],
+    true_counts: list[int],
+) -> int:
+    """Number of clauses that would become unsatisfied by flipping ``variable``."""
+    satisfied_literal = variable if assignment[variable] else -variable
+    return sum(1 for index in occurrences.get(satisfied_literal, ()) if true_counts[index] == 1)
+
+
+def _flip_variable(
+    variable: int,
+    assignment: dict[int, bool],
+    occurrences: dict[int, list[int]],
+    true_counts: list[int],
+    unsatisfied: set[int],
+) -> None:
+    """Flip ``variable`` and incrementally maintain clause truth counts."""
+    old_literal = variable if assignment[variable] else -variable
+    assignment[variable] = not assignment[variable]
+    for index in occurrences.get(old_literal, ()):
+        true_counts[index] -= 1
+        if true_counts[index] == 0:
+            unsatisfied.add(index)
+    for index in occurrences.get(-old_literal, ()):
+        true_counts[index] += 1
+        if true_counts[index] == 1:
+            unsatisfied.discard(index)

@@ -1,0 +1,78 @@
+"""Combinational-circuit substrate.
+
+The paper's hardest benchmark classes are circuit CNFs: the *Miters*
+class encodes equivalence checking of artificial combinational circuits,
+the *Beijing* class contains adder circuits, and the *Sss/Fvp/Vliw*
+classes encode microprocessor verification.  Fig. 1's motivating example
+(a cone of logic gated by an AND) is a circuit, too.
+
+This package provides everything needed to regenerate such CNFs from
+scratch: gate-level netlists with simulation, Tseitin encoding to CNF,
+miter construction, seeded random circuit generation with
+equivalence-preserving rewrites and fault injection, adder generators,
+and multi-stage pipelined datapaths.
+"""
+
+from repro.circuits.atpg import (
+    AtpgReport,
+    StuckAtFault,
+    enumerate_faults,
+    generate_test,
+    inject_stuck_at,
+    run_atpg,
+)
+from repro.circuits.adders import (
+    adder_equivalence_miter,
+    carry_select_adder,
+    constrained_adder_formula,
+    ripple_carry_adder,
+)
+from repro.circuits.miter import build_miter, check_equivalence, miter_formula
+from repro.circuits.netlist import Circuit, CircuitError, Gate
+from repro.circuits.pipeline import pipelined_alu, pipeline_equivalence_miter
+from repro.circuits.random_circuit import (
+    inject_fault,
+    random_circuit,
+    rewrite_circuit,
+)
+from repro.circuits.sequential import (
+    BmcEncoding,
+    SequentialCircuit,
+    bmc_formula,
+    counter_circuit,
+    lfsr_circuit,
+    unroll,
+)
+from repro.circuits.tseitin import TseitinEncoding, encode_circuit
+
+__all__ = [
+    "AtpgReport",
+    "BmcEncoding",
+    "Circuit",
+    "StuckAtFault",
+    "enumerate_faults",
+    "generate_test",
+    "inject_stuck_at",
+    "run_atpg",
+    "CircuitError",
+    "Gate",
+    "SequentialCircuit",
+    "TseitinEncoding",
+    "adder_equivalence_miter",
+    "bmc_formula",
+    "build_miter",
+    "carry_select_adder",
+    "check_equivalence",
+    "constrained_adder_formula",
+    "counter_circuit",
+    "encode_circuit",
+    "inject_fault",
+    "lfsr_circuit",
+    "miter_formula",
+    "pipelined_alu",
+    "pipeline_equivalence_miter",
+    "random_circuit",
+    "rewrite_circuit",
+    "ripple_carry_adder",
+    "unroll",
+]

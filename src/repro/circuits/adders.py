@@ -1,0 +1,170 @@
+"""Adder circuits and the Beijing-like instance family.
+
+The paper's *Beijing* class contains adder-circuit CNFs (``2bitadd_10``
+and friends); equivalence checking of differently architected adders is
+a classic miter workload.  This module provides:
+
+* :func:`ripple_carry_adder` — the textbook chain of full adders;
+* :func:`carry_select_adder` — blocks computed twice (carry-in 0 and 1)
+  with MUX selection, a structurally very different implementation of
+  the same function;
+* :func:`adder_equivalence_miter` — the UNSAT equivalence CNF;
+* :func:`constrained_adder_formula` — a SAT instance: find addends
+  producing a given sum (the Beijing-style "easy but structured" CNF).
+
+The gate-emission helpers (:func:`emit_ripple_sum`,
+:func:`emit_carry_select_sum`, :func:`emit_constants`) are shared with
+the pipelined-datapath generator.
+"""
+
+from __future__ import annotations
+
+from repro.cnf.formula import CnfFormula
+from repro.circuits.miter import miter_formula
+from repro.circuits.netlist import Circuit, CircuitError
+from repro.circuits.tseitin import encode_circuit
+
+
+def emit_constants(circuit: Circuit, any_net: str, prefix: str) -> tuple[str, str]:
+    """Emit constant-0 and constant-1 nets derived from an existing net."""
+    zero = circuit.add_gate("XOR", f"{prefix}const0", any_net, any_net)
+    one = circuit.add_gate("NOT", f"{prefix}const1", zero)
+    return zero, one
+
+
+def emit_full_adder(
+    circuit: Circuit,
+    a: str,
+    b: str,
+    carry_in: str,
+    prefix: str,
+) -> tuple[str, str]:
+    """Emit one full adder; returns ``(sum_net, carry_out_net)``."""
+    half = circuit.add_gate("XOR", f"{prefix}hs", a, b)
+    total = circuit.add_gate("XOR", f"{prefix}s", half, carry_in)
+    and_ab = circuit.add_gate("AND", f"{prefix}c1", a, b)
+    and_half = circuit.add_gate("AND", f"{prefix}c2", half, carry_in)
+    carry_out = circuit.add_gate("OR", f"{prefix}co", and_ab, and_half)
+    return total, carry_out
+
+
+def emit_ripple_sum(
+    circuit: Circuit,
+    a_nets: list[str],
+    b_nets: list[str],
+    carry_in: str,
+    prefix: str,
+) -> tuple[list[str], str]:
+    """Emit a ripple-carry adder over existing nets (LSB first).
+
+    Returns ``(sum_nets, carry_out)``.
+    """
+    if len(a_nets) != len(b_nets):
+        raise CircuitError("addend widths differ")
+    sums: list[str] = []
+    carry = carry_in
+    for index, (a, b) in enumerate(zip(a_nets, b_nets)):
+        total, carry = emit_full_adder(circuit, a, b, carry, f"{prefix}fa{index}_")
+        sums.append(total)
+    return sums, carry
+
+
+def emit_carry_select_sum(
+    circuit: Circuit,
+    a_nets: list[str],
+    b_nets: list[str],
+    carry_in: str,
+    prefix: str,
+    block_size: int = 2,
+) -> tuple[list[str], str]:
+    """Emit a carry-select adder: per-block speculation on the carry.
+
+    Each block is computed twice (for carry-in 0 and carry-in 1); MUXes
+    pick the real results once the block's actual carry-in is known.
+    Functionally identical to :func:`emit_ripple_sum`, structurally very
+    different — ideal miter material.
+    """
+    if len(a_nets) != len(b_nets):
+        raise CircuitError("addend widths differ")
+    if block_size < 1:
+        raise CircuitError("block size must be positive")
+    zero, one = emit_constants(circuit, a_nets[0], prefix)
+    sums: list[str] = []
+    carry = carry_in
+    width = len(a_nets)
+    for block_start in range(0, width, block_size):
+        block_a = a_nets[block_start : block_start + block_size]
+        block_b = b_nets[block_start : block_start + block_size]
+        tag = f"{prefix}b{block_start}_"
+        sums_zero, carry_zero = emit_ripple_sum(circuit, block_a, block_b, zero, tag + "z")
+        sums_one, carry_one = emit_ripple_sum(circuit, block_a, block_b, one, tag + "o")
+        for offset, (s_zero, s_one) in enumerate(zip(sums_zero, sums_one)):
+            sums.append(circuit.add_gate("MUX", f"{tag}s{offset}", carry, s_zero, s_one))
+        carry = circuit.add_gate("MUX", f"{tag}co", carry, carry_zero, carry_one)
+    return sums, carry
+
+
+def _adder_circuit(width: int, architecture: str, block_size: int = 2) -> Circuit:
+    """An adder as a standalone circuit with shared input/output names."""
+    if width < 1:
+        raise CircuitError("adder width must be positive")
+    circuit = Circuit(f"{architecture}_adder{width}")
+    a_nets = circuit.add_inputs([f"a{index}" for index in range(width)])
+    b_nets = circuit.add_inputs([f"b{index}" for index in range(width)])
+    carry_in = circuit.add_input("cin")
+    if architecture == "ripple":
+        sums, carry_out = emit_ripple_sum(circuit, a_nets, b_nets, carry_in, "r_")
+    elif architecture == "carry_select":
+        sums, carry_out = emit_carry_select_sum(
+            circuit, a_nets, b_nets, carry_in, "c_", block_size
+        )
+    else:
+        raise CircuitError(f"unknown adder architecture {architecture!r}")
+    renamed = [circuit.add_gate("BUF", f"s{index}", net) for index, net in enumerate(sums)]
+    cout = circuit.add_gate("BUF", "cout", carry_out)
+    circuit.set_outputs(renamed + [cout])
+    return circuit
+
+
+def ripple_carry_adder(width: int) -> Circuit:
+    """A ``width``-bit ripple-carry adder (inputs a*, b*, cin; outputs s*, cout)."""
+    return _adder_circuit(width, "ripple")
+
+
+def carry_select_adder(width: int, block_size: int = 2) -> Circuit:
+    """A ``width``-bit carry-select adder with the given block size."""
+    return _adder_circuit(width, "carry_select", block_size)
+
+
+def adder_equivalence_miter(width: int, block_size: int = 2) -> CnfFormula:
+    """UNSAT CNF: "do ripple-carry and carry-select adders ever disagree?"."""
+    formula = miter_formula(
+        ripple_carry_adder(width),
+        carry_select_adder(width, block_size),
+        name=f"adder_miter{width}",
+    )
+    formula.comment = f"ripple vs carry-select {width}-bit adder miter (UNSAT)"
+    return formula
+
+
+def constrained_adder_formula(width: int, target_sum: int) -> CnfFormula:
+    """SAT CNF: find addends with ``a + b + 0 == target_sum``.
+
+    ``target_sum`` must be at most ``2 * (2**width - 1)`` so a solution
+    exists; the encoding constrains the adder's sum and carry outputs to
+    the binary expansion of the target.
+    """
+    maximum = 2 * (2**width - 1)
+    if not 0 <= target_sum <= maximum:
+        raise ValueError(f"target_sum must be within [0, {maximum}]")
+    adder = ripple_carry_adder(width)
+    encoding = encode_circuit(adder)
+    encoding.assume_input("cin", False)
+    for index in range(width):
+        bit = bool((target_sum >> index) & 1)
+        encoding.assume_input(f"s{index}", bit)
+    encoding.assume_input("cout", bool((target_sum >> width) & 1))
+    encoding.formula.comment = (
+        f"{width}-bit adder constrained to sum {target_sum} (SAT)"
+    )
+    return encoding.formula

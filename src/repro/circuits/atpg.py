@@ -1,0 +1,165 @@
+"""SAT-based ATPG: automatic test-pattern generation for stuck-at faults.
+
+The paper's first sentence lists ATPG [Stephan/Brayton/
+Sangiovanni-Vincentelli] among the problems that reduce to SAT.  This
+module closes that loop using the library's own substrate: for each
+single stuck-at fault, build the faulty circuit, miter it against the
+good one, and ask the solver for a distinguishing input vector (a *test
+pattern*).  UNSAT means the fault is untestable (redundant logic).
+
+The resulting :class:`AtpgReport` gives fault coverage and a compact
+test set — a realistic EDA workload driving the solver's incremental
+machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.miter import build_miter
+from repro.circuits.netlist import Circuit
+from repro.circuits.tseitin import encode_circuit
+from repro.solver.config import SolverConfig
+from repro.solver.solver import Solver
+
+
+@dataclass(frozen=True)
+class StuckAtFault:
+    """A single stuck-at fault on a gate's output net."""
+
+    net: str
+    stuck_value: bool
+
+    def __str__(self) -> str:
+        return f"{self.net} stuck-at-{int(self.stuck_value)}"
+
+
+@dataclass
+class FaultResult:
+    """Outcome for one fault: a test pattern, or proven untestable."""
+
+    fault: StuckAtFault
+    testable: bool
+    pattern: dict[str, bool] | None = None
+
+
+@dataclass
+class AtpgReport:
+    """All fault results plus the deduplicated test set."""
+
+    circuit_name: str
+    results: list[FaultResult] = field(default_factory=list)
+
+    @property
+    def total_faults(self) -> int:
+        """Number of faults attempted."""
+        return len(self.results)
+
+    @property
+    def testable_faults(self) -> int:
+        """Number of faults with a generated test pattern."""
+        return sum(1 for result in self.results if result.testable)
+
+    @property
+    def untestable_faults(self) -> list[StuckAtFault]:
+        """Faults proven untestable (redundant logic)."""
+        return [result.fault for result in self.results if not result.testable]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of faults with a test pattern (1.0 = fully testable)."""
+        if not self.results:
+            return 1.0
+        return self.testable_faults / self.total_faults
+
+    def test_set(self) -> list[dict[str, bool]]:
+        """Distinct test patterns, in fault order."""
+        patterns: list[dict[str, bool]] = []
+        seen: set[tuple] = set()
+        for result in self.results:
+            if result.pattern is None:
+                continue
+            key = tuple(sorted(result.pattern.items()))
+            if key not in seen:
+                seen.add(key)
+                patterns.append(result.pattern)
+        return patterns
+
+
+def enumerate_faults(circuit: Circuit) -> list[StuckAtFault]:
+    """All single stuck-at faults on gate outputs (both polarities)."""
+    faults = []
+    for net in circuit.gates:
+        faults.append(StuckAtFault(net, False))
+        faults.append(StuckAtFault(net, True))
+    return faults
+
+
+def inject_stuck_at(circuit: Circuit, fault: StuckAtFault) -> Circuit:
+    """Copy ``circuit`` with ``fault.net`` tied to a constant.
+
+    The faulty net keeps its name (so outputs stay aligned); its original
+    driver is preserved under an alias, as real fault simulators do, and
+    the constant is derived from an arbitrary input so the circuit stays
+    closed.
+    """
+    faulty = Circuit(f"{circuit.name}@{fault}")
+    faulty.add_inputs(circuit.inputs)
+    anchor = circuit.inputs[0]
+    zero = faulty.add_gate("XOR", "_sa_zero", anchor, anchor)
+    one = faulty.add_gate("NOT", "_sa_one", zero)
+    constant = one if fault.stuck_value else zero
+    for gate in circuit.topological_order():
+        if gate.output == fault.net:
+            # Keep the (now disconnected) original cone via an alias so
+            # fanin gates remain driven, then tie the net to the constant.
+            faulty.add_gate(gate.operation, f"_sa_orig_{gate.output}", *gate.inputs)
+            faulty.add_gate("BUF", gate.output, constant)
+        else:
+            faulty.add_gate(gate.operation, gate.output, *gate.inputs)
+    faulty.set_outputs(circuit.outputs)
+    return faulty
+
+
+def generate_test(
+    circuit: Circuit,
+    fault: StuckAtFault,
+    config: SolverConfig | None = None,
+    max_conflicts: int | None = None,
+) -> FaultResult:
+    """Find a test pattern for one fault (or prove it untestable)."""
+    faulty = inject_stuck_at(circuit, fault)
+    miter = build_miter(circuit, faulty)
+    encoding = encode_circuit(miter)
+    encoding.assume_input("miter_out", True)
+    result = Solver(encoding.formula, config=config).solve(max_conflicts=max_conflicts)
+    if result.is_unsat:
+        return FaultResult(fault=fault, testable=False)
+    if result.is_sat:
+        assert result.model is not None
+        nets = encoding.decode_nets(result.model)
+        pattern = {net: nets[net] for net in circuit.inputs}
+        return FaultResult(fault=fault, testable=True, pattern=pattern)
+    raise RuntimeError(f"ATPG inconclusive for {fault}: {result.limit_reason}")
+
+
+def run_atpg(
+    circuit: Circuit,
+    config: SolverConfig | None = None,
+    max_conflicts: int | None = None,
+    faults: list[StuckAtFault] | None = None,
+) -> AtpgReport:
+    """Generate tests for every (given) fault of ``circuit``."""
+    circuit.validate()
+    report = AtpgReport(circuit_name=circuit.name)
+    for fault in faults if faults is not None else enumerate_faults(circuit):
+        report.results.append(
+            generate_test(circuit, fault, config=config, max_conflicts=max_conflicts)
+        )
+    return report
+
+
+def pattern_detects(circuit: Circuit, fault: StuckAtFault, pattern: dict[str, bool]) -> bool:
+    """Simulation cross-check: does the pattern distinguish good from faulty?"""
+    faulty = inject_stuck_at(circuit, fault)
+    return circuit.output_values(pattern) != faulty.output_values(pattern)

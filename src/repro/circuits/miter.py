@@ -1,0 +1,95 @@
+"""Miter construction for combinational equivalence checking.
+
+A *miter* of circuits A and B ties their primary inputs together, XORs
+each pair of corresponding outputs, ORs the XORs into a single net, and
+asks whether that net can be 1.  UNSAT means the circuits are
+equivalent; a model is a distinguishing input vector.  This is the
+construction behind the paper's *Miters* class and (composed with the
+datapath generators) the microprocessor-verification classes.
+"""
+
+from __future__ import annotations
+
+from repro.cnf.formula import CnfFormula
+from repro.circuits.netlist import Circuit, CircuitError
+from repro.circuits.tseitin import TseitinEncoding, encode_circuit
+
+
+def build_miter(left: Circuit, right: Circuit, name: str = "") -> Circuit:
+    """Return a miter circuit whose single output is 1 iff outputs differ.
+
+    Both circuits must have identical input and output name lists; the
+    miter reuses the shared input names and namespaces internal nets.
+    """
+    if left.inputs != right.inputs:
+        raise CircuitError("miter requires identical primary-input lists")
+    if len(left.outputs) != len(right.outputs):
+        raise CircuitError("miter requires the same number of outputs")
+    if not left.outputs:
+        raise CircuitError("miter requires at least one output")
+
+    miter = Circuit(name or f"miter({left.name},{right.name})")
+    miter.add_inputs(left.inputs)
+    mapping_left = _embed(miter, left, "L.")
+    mapping_right = _embed(miter, right, "R.")
+
+    difference_nets = []
+    for index, (out_left, out_right) in enumerate(zip(left.outputs, right.outputs)):
+        net = f"diff{index}"
+        miter.add_gate("XOR", net, mapping_left[out_left], mapping_right[out_right])
+        difference_nets.append(net)
+    if len(difference_nets) == 1:
+        miter.add_gate("BUF", "miter_out", difference_nets[0])
+    else:
+        miter.add_gate("OR", "miter_out", *difference_nets)
+    miter.set_outputs(["miter_out"])
+    return miter
+
+
+def _embed(miter: Circuit, circuit: Circuit, prefix: str) -> dict[str, str]:
+    """Copy ``circuit``'s gates into ``miter`` with prefixed internal nets.
+
+    Primary inputs keep their shared (unprefixed) names.
+    """
+    mapping = {net: net for net in circuit.inputs}
+    for gate in circuit.topological_order():
+        new_net = prefix + gate.output
+        mapping[gate.output] = new_net
+        miter.add_gate(gate.operation, new_net, *(mapping[net] for net in gate.inputs))
+    return mapping
+
+
+def miter_formula(left: Circuit, right: Circuit, name: str = "") -> CnfFormula:
+    """CNF asking "do the circuits differ on some input?" (UNSAT = equivalent)."""
+    miter = build_miter(left, right, name)
+    encoding = encode_circuit(miter)
+    encoding.assume_input("miter_out", True)
+    encoding.formula.comment = (
+        f"miter of {left.name or 'left'} vs {right.name or 'right'}; "
+        "UNSAT means the circuits are equivalent"
+    )
+    return encoding.formula
+
+
+def check_equivalence(left: Circuit, right: Circuit, solver_factory=None, **limits):
+    """Decide equivalence with a SAT solver.
+
+    Returns ``(equivalent, counterexample)`` where ``counterexample`` is
+    an input-vector dict when the circuits differ, else ``None``.  The
+    default solver is BerkMin; pass ``solver_factory`` (a callable
+    ``formula -> Solver``) to override.
+    """
+    from repro.solver.solver import Solver
+
+    miter = build_miter(left, right)
+    encoding = encode_circuit(miter)
+    encoding.assume_input("miter_out", True)
+    solver = solver_factory(encoding.formula) if solver_factory else Solver(encoding.formula)
+    result = solver.solve(**limits)
+    if result.is_unsat:
+        return True, None
+    if result.is_sat:
+        assert result.model is not None
+        nets = encoding.decode_nets(result.model)
+        return False, {net: nets[net] for net in miter.inputs}
+    raise RuntimeError(f"equivalence check inconclusive: {result.limit_reason}")

@@ -1,0 +1,215 @@
+"""Gate-level netlists with validation and simulation.
+
+A :class:`Circuit` is a DAG of named nets: primary inputs plus one
+:class:`Gate` per internal net, with designated output nets.  Supported
+operations cover what the generators need: AND/OR/NAND/NOR of any arity
+>= 1, two-input XOR/XNOR, NOT/BUF, and a two-way MUX.
+
+Simulation (:meth:`Circuit.simulate`) evaluates the DAG in topological
+order; the test-suite cross-checks the Tseitin encoding against it on
+random input vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+
+
+class CircuitError(ValueError):
+    """Raised for malformed circuits (cycles, undriven nets, bad arity)."""
+
+
+#: operation -> (minimum arity, maximum arity or None for unbounded)
+OPERATIONS: dict[str, tuple[int, int | None]] = {
+    "AND": (1, None),
+    "OR": (1, None),
+    "NAND": (1, None),
+    "NOR": (1, None),
+    "XOR": (2, 2),
+    "XNOR": (2, 2),
+    "NOT": (1, 1),
+    "BUF": (1, 1),
+    # MUX(select, if_zero, if_one)
+    "MUX": (3, 3),
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One logic gate: ``output = operation(inputs)``."""
+
+    operation: str
+    output: str
+    inputs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.operation not in OPERATIONS:
+            raise CircuitError(f"unknown operation {self.operation!r}")
+        minimum, maximum = OPERATIONS[self.operation]
+        arity = len(self.inputs)
+        if arity < minimum or (maximum is not None and arity > maximum):
+            raise CircuitError(
+                f"{self.operation} gate {self.output!r} has arity {arity}, "
+                f"expected between {minimum} and {maximum or 'inf'}"
+            )
+
+    def evaluate(self, values: Mapping[str, bool]) -> bool:
+        """Evaluate this gate given the values of its input nets."""
+        inputs = [values[net] for net in self.inputs]
+        operation = self.operation
+        if operation == "AND":
+            return all(inputs)
+        if operation == "OR":
+            return any(inputs)
+        if operation == "NAND":
+            return not all(inputs)
+        if operation == "NOR":
+            return not any(inputs)
+        if operation == "XOR":
+            return inputs[0] != inputs[1]
+        if operation == "XNOR":
+            return inputs[0] == inputs[1]
+        if operation == "NOT":
+            return not inputs[0]
+        if operation == "BUF":
+            return inputs[0]
+        if operation == "MUX":
+            select, if_zero, if_one = inputs
+            return if_one if select else if_zero
+        raise CircuitError(f"unknown operation {operation!r}")  # pragma: no cover
+
+
+class Circuit:
+    """A combinational circuit: primary inputs, gates, designated outputs."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.inputs: list[str] = []
+        self.outputs: list[str] = []
+        self.gates: dict[str, Gate] = {}  # keyed by output net
+        # Simulation runs in topological order; heavy users (fault
+        # injection, BMC) simulate thousands of times, so the order is
+        # cached and invalidated whenever the structure changes.
+        self._topological_cache: list[Gate] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, net: str) -> str:
+        """Declare a primary input net; returns the net name."""
+        if net in self.gates:
+            raise CircuitError(f"net {net!r} is already driven by a gate")
+        if net not in self.inputs:
+            self.inputs.append(net)
+        return net
+
+    def add_inputs(self, nets: Sequence[str]) -> list[str]:
+        """Declare several primary inputs; returns the net names."""
+        return [self.add_input(net) for net in nets]
+
+    def add_gate(self, operation: str, output: str, *inputs: str) -> str:
+        """Add a gate driving ``output``; returns the output net name."""
+        if output in self.gates:
+            raise CircuitError(f"net {output!r} is already driven by a gate")
+        if output in self.inputs:
+            raise CircuitError(f"net {output!r} is a primary input")
+        self.gates[output] = Gate(operation, output, tuple(inputs))
+        self._topological_cache = None
+        return output
+
+    def set_outputs(self, nets: Sequence[str]) -> None:
+        """Designate the circuit's output nets (must be driven)."""
+        for net in nets:
+            if net not in self.gates and net not in self.inputs:
+                raise CircuitError(f"output net {net!r} is not driven")
+        self.outputs = list(nets)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def nets(self) -> list[str]:
+        """All nets: inputs first, then gate outputs in insertion order."""
+        return list(self.inputs) + list(self.gates)
+
+    @property
+    def num_gates(self) -> int:
+        """Number of gates in the circuit."""
+        return len(self.gates)
+
+    def validate(self) -> None:
+        """Check that every net is driven and the gate graph is acyclic."""
+        for gate in self.gates.values():
+            for net in gate.inputs:
+                if net not in self.gates and net not in self.inputs:
+                    raise CircuitError(
+                        f"gate {gate.output!r} reads undriven net {net!r}"
+                    )
+        self.topological_order()  # raises on cycles
+
+    def topological_order(self) -> list[Gate]:
+        """Gates in dependency order; raises :class:`CircuitError` on cycles."""
+        if self._topological_cache is not None:
+            return self._topological_cache
+        order: list[Gate] = []
+        state: dict[str, int] = {}  # 0 = visiting, 1 = done
+        for net in self.inputs:
+            state[net] = 1
+
+        for start in self.gates:
+            if state.get(start) == 1:
+                continue
+            stack: list[tuple[str, int]] = [(start, 0)]
+            while stack:
+                net, child_index = stack.pop()
+                if state.get(net) == 1:
+                    continue
+                gate = self.gates.get(net)
+                if gate is None:
+                    raise CircuitError(f"net {net!r} is not driven")
+                if child_index == 0:
+                    if state.get(net) == 0:
+                        raise CircuitError(f"combinational cycle through {net!r}")
+                    state[net] = 0
+                advanced = False
+                for index in range(child_index, len(gate.inputs)):
+                    child = gate.inputs[index]
+                    child_state = state.get(child)
+                    if child_state == 1:
+                        continue
+                    if child_state == 0:
+                        raise CircuitError(f"combinational cycle through {child!r}")
+                    stack.append((net, index + 1))
+                    stack.append((child, 0))
+                    advanced = True
+                    break
+                if not advanced:
+                    state[net] = 1
+                    order.append(gate)
+        self._topological_cache = order
+        return order
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate(self, input_values: Mapping[str, bool]) -> dict[str, bool]:
+        """Evaluate every net; returns the complete net-value map."""
+        values: dict[str, bool] = {}
+        for net in self.inputs:
+            if net not in input_values:
+                raise CircuitError(f"missing value for primary input {net!r}")
+            values[net] = bool(input_values[net])
+        for gate in self.topological_order():
+            values[gate.output] = gate.evaluate(values)
+        return values
+
+    def output_values(self, input_values: Mapping[str, bool]) -> dict[str, bool]:
+        """Evaluate and project onto the designated outputs."""
+        values = self.simulate(input_values)
+        return {net: values[net] for net in self.outputs}
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}, inputs={len(self.inputs)}, "
+            f"gates={len(self.gates)}, outputs={len(self.outputs)})"
+        )

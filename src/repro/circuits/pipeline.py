@@ -1,0 +1,158 @@
+"""Multi-stage pipelined ALU datapaths.
+
+The paper's hardest classes (*Sss*, *Fvp-unsat*, *Vliw-sat*,
+``Npipe`` instances) encode microprocessor verification: a pipelined
+implementation checked against a reference.  We model the combinational
+core of that workload: a ``stages``-deep datapath in which every stage
+applies an opcode-selected ALU operation (add / xor / and-not / pass) to
+the running data word, with per-stage control inputs.
+
+Two architectural variants compute the same function:
+
+* ``reference`` — ripple-carry adders, direct gate forms;
+* ``optimized`` — carry-select adders and De Morgan'd logic.
+
+Mitering the variants gives structured UNSAT instances whose difficulty
+scales with width and depth (our ``Npipe`` analogue); injecting a fault
+into the optimized variant gives certifiably SAT instances (the
+``Vliw-sat`` analogue).  These circuits have exactly the cone-of-logic
+structure Fig. 1 of the paper appeals to: each stage's adder cone is
+only active when the stage's opcode selects it.
+"""
+
+from __future__ import annotations
+
+from repro.cnf.formula import CnfFormula
+from repro.circuits.adders import emit_carry_select_sum, emit_constants, emit_ripple_sum
+from repro.circuits.miter import miter_formula
+from repro.circuits.netlist import Circuit, CircuitError
+from repro.circuits.random_circuit import inject_fault
+
+
+def pipelined_alu(
+    width: int,
+    stages: int,
+    variant: str = "reference",
+    name: str = "",
+) -> Circuit:
+    """Build a ``stages``-deep, ``width``-bit pipelined ALU datapath.
+
+    Inputs: data word ``d0..d{width-1}`` plus two opcode bits per stage
+    (``c{stage}_0``, ``c{stage}_1``).  Outputs: the final data word
+    ``out0..out{width-1}``.
+
+    Opcodes (c1, c0): 00 pass, 01 xor-with-rotation, 10 and-not, 11 add-rotation.
+    """
+    if width < 2:
+        raise CircuitError("pipeline width must be at least 2")
+    if stages < 1:
+        raise CircuitError("pipeline needs at least one stage")
+    if variant not in ("reference", "optimized"):
+        raise CircuitError(f"unknown pipeline variant {variant!r}")
+
+    circuit = Circuit(name or f"pipe_w{width}_s{stages}_{variant}")
+    word = circuit.add_inputs([f"d{index}" for index in range(width)])
+    controls = []
+    for stage in range(stages):
+        controls.append(
+            (circuit.add_input(f"c{stage}_0"), circuit.add_input(f"c{stage}_1"))
+        )
+
+    zero, _one = emit_constants(circuit, word[0], "k_")
+    for stage, (c0, c1) in enumerate(controls):
+        word = _emit_stage(circuit, word, c0, c1, zero, stage, variant)
+
+    outputs = [
+        circuit.add_gate("BUF", f"out{index}", net) for index, net in enumerate(word)
+    ]
+    circuit.set_outputs(outputs)
+    return circuit
+
+
+def _rotated(word: list[str], amount: int) -> list[str]:
+    """The word's nets rotated left by ``amount`` (a free re-wiring)."""
+    amount %= len(word)
+    return word[amount:] + word[:amount]
+
+
+def _emit_stage(
+    circuit: Circuit,
+    word: list[str],
+    c0: str,
+    c1: str,
+    zero: str,
+    stage: int,
+    variant: str,
+) -> list[str]:
+    """Emit one ALU stage; returns the nets of the next data word."""
+    tag = f"st{stage}_"
+    operand = _rotated(word, stage + 1)
+
+    # Opcode 11: word + rotate(word, stage+1).
+    if variant == "reference":
+        add_word, _carry = emit_ripple_sum(circuit, word, operand, zero, tag + "add_")
+    else:
+        add_word, _carry = emit_carry_select_sum(
+            circuit, word, operand, zero, tag + "add_", block_size=2
+        )
+
+    # Opcode 01: word XOR rotate(word, 1).
+    xor_operand = _rotated(word, 1)
+    xor_word = [
+        circuit.add_gate("XOR", f"{tag}x{index}", a, b)
+        for index, (a, b) in enumerate(zip(word, xor_operand))
+    ]
+
+    # Opcode 10: word AND NOT rotate(word, 2).
+    and_operand = _rotated(word, 2)
+    and_word = []
+    for index, (a, b) in enumerate(zip(word, and_operand)):
+        if variant == "reference":
+            negated = circuit.add_gate("NOT", f"{tag}n{index}", b)
+            and_word.append(circuit.add_gate("AND", f"{tag}a{index}", a, negated))
+        else:
+            # De Morgan: a AND NOT b = NOR(NOT a, b).
+            negated_a = circuit.add_gate("NOT", f"{tag}na{index}", a)
+            and_word.append(circuit.add_gate("NOR", f"{tag}a{index}", negated_a, b))
+
+    # Two-level MUX per bit selects the stage result by opcode (c1, c0).
+    next_word = []
+    for index in range(len(word)):
+        low = circuit.add_gate(  # c1 = 0: pass (c0=0) or xor (c0=1)
+            "MUX", f"{tag}ml{index}", c0, word[index], xor_word[index]
+        )
+        high = circuit.add_gate(  # c1 = 1: and-not (c0=0) or add (c0=1)
+            "MUX", f"{tag}mh{index}", c0, and_word[index], add_word[index]
+        )
+        next_word.append(
+            circuit.add_gate("MUX", f"{tag}m{index}", c1, low, high)
+        )
+    return next_word
+
+
+def pipeline_equivalence_miter(
+    width: int,
+    stages: int,
+    fault_seed: int | None = None,
+) -> tuple[CnfFormula, bool]:
+    """CNF for reference-vs-optimized pipeline equivalence.
+
+    Returns ``(formula, satisfiable)``.  Without a fault the miter is
+    UNSAT (the variants are equivalent by construction); with
+    ``fault_seed`` the optimized variant gets a simulation-certified
+    detectable fault, making the miter SAT.
+    """
+    reference = pipelined_alu(width, stages, "reference")
+    optimized = pipelined_alu(width, stages, "optimized")
+    if fault_seed is None:
+        formula = miter_formula(reference, optimized, f"pipe{stages}_w{width}")
+        formula.comment = (
+            f"{stages}-stage {width}-bit pipeline: reference vs optimized (UNSAT)"
+        )
+        return formula, False
+    faulty, _witness = inject_fault(optimized, fault_seed)
+    formula = miter_formula(reference, faulty, f"pipe{stages}_w{width}_fault")
+    formula.comment = (
+        f"{stages}-stage {width}-bit pipeline with injected fault (SAT)"
+    )
+    return formula, True

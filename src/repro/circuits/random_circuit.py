@@ -1,0 +1,269 @@
+"""Seeded random circuits, equivalence-preserving rewrites, fault injection.
+
+The paper built its *Miters* class from "artificial combinational
+circuits ... because their complexity was easy to control".  We do the
+same:
+
+* :func:`random_circuit` — a seeded random DAG of gates;
+* :func:`rewrite_circuit` — a structurally different but functionally
+  equivalent copy, produced by local identities (De Morgan, double
+  negation, XOR expansion, MUX expansion).  Mitering the original
+  against the rewrite yields a nontrivial **UNSAT** instance;
+* :func:`inject_fault` — a single-gate mutation together with a
+  simulation-found witness vector, so mitering original against mutant
+  yields an instance that is **provably SAT** (the witness certifies it
+  at generation time).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from repro.circuits.netlist import Circuit, CircuitError, Gate
+
+#: Gate operations eligible for random generation, with weights chosen to
+#: resemble synthesized logic (mostly AND/OR/NAND/NOR, some XOR, a few
+#: inverters and muxes).
+_RANDOM_OPERATIONS = (
+    ("AND", 4),
+    ("OR", 4),
+    ("NAND", 3),
+    ("NOR", 2),
+    ("XOR", 2),
+    ("XNOR", 1),
+    ("NOT", 2),
+    ("MUX", 1),
+)
+
+
+def random_circuit(
+    num_inputs: int,
+    num_gates: int,
+    seed: int,
+    num_outputs: int | None = None,
+    name: str = "",
+) -> Circuit:
+    """Generate a seeded random combinational circuit.
+
+    Gate inputs are drawn with a bias toward recently created nets, which
+    produces deep cone-shaped logic rather than a shallow soup — the
+    structure Fig. 1 of the paper appeals to.
+    """
+    if num_inputs < 2:
+        raise CircuitError("random circuits need at least two inputs")
+    if num_gates < 1:
+        raise CircuitError("random circuits need at least one gate")
+    rng = random.Random(seed)
+    circuit = Circuit(name or f"rand_{num_inputs}x{num_gates}_s{seed}")
+    nets = [circuit.add_input(f"i{index}") for index in range(num_inputs)]
+
+    operations = [op for op, weight in _RANDOM_OPERATIONS for _ in range(weight)]
+    for index in range(num_gates):
+        operation = rng.choice(operations)
+        arity = {"NOT": 1, "MUX": 3}.get(operation, 2)
+        chosen: list[str] = []
+        for _ in range(arity):
+            # Triangular bias toward the most recent nets builds depth.
+            position = max(rng.randrange(len(nets)), rng.randrange(len(nets)))
+            candidate = nets[position]
+            if candidate in chosen and len(set(nets)) > len(chosen):
+                remaining = [net for net in nets if net not in chosen]
+                candidate = rng.choice(remaining)
+            chosen.append(candidate)
+        nets.append(circuit.add_gate(operation, f"g{index}", *chosen))
+
+    if num_outputs is None:
+        num_outputs = max(1, num_gates // 8)
+    num_outputs = min(num_outputs, num_gates)
+    # The youngest nets are the deepest; make them the outputs.
+    circuit.set_outputs(nets[-num_outputs:])
+    return circuit
+
+
+# ---------------------------------------------------------------------------
+# Equivalence-preserving rewriting
+# ---------------------------------------------------------------------------
+def rewrite_circuit(circuit: Circuit, seed: int, probability: float = 0.6) -> Circuit:
+    """Return a functionally equivalent, structurally different circuit.
+
+    Each gate is independently rewritten (with the given probability)
+    using one of several Boolean identities.  Output and input net names
+    are preserved, so the result can be mitered against the original.
+    """
+    rng = random.Random(seed)
+    rewritten = Circuit(f"{circuit.name}_rw{seed}")
+    rewritten.add_inputs(circuit.inputs)
+    fresh = itertools.count()
+
+    def aux() -> str:
+        return f"rw{next(fresh)}"
+
+    for gate in circuit.topological_order():
+        if rng.random() >= probability:
+            rewritten.add_gate(gate.operation, gate.output, *gate.inputs)
+            continue
+        _rewrite_gate(rewritten, gate, rng, aux)
+    rewritten.set_outputs(circuit.outputs)
+    return rewritten
+
+
+def _rewrite_gate(target: Circuit, gate: Gate, rng: random.Random, aux) -> None:
+    """Emit an equivalent implementation of ``gate`` into ``target``."""
+    operation, output, inputs = gate.operation, gate.output, list(gate.inputs)
+    choices = ["double_negation"]
+    if operation in ("AND", "OR", "NAND", "NOR"):
+        choices += ["dual", "de_morgan", "commute"]
+    elif operation in ("XOR", "XNOR"):
+        choices += ["expand_xor", "commute"]
+    elif operation == "MUX":
+        choices += ["expand_mux"]
+    elif operation in ("NOT", "BUF"):
+        choices += ["triple_negation"]
+    rewrite = rng.choice(choices)
+
+    if rewrite == "double_negation":
+        # y = op(x) becomes t = op(x); y = NOT(NOT(t)).
+        inner, negated = aux(), aux()
+        target.add_gate(operation, inner, *inputs)
+        target.add_gate("NOT", negated, inner)
+        target.add_gate("NOT", output, negated)
+    elif rewrite == "dual":
+        # AND = NOT(NAND) and the three analogous pairs.
+        partner = {"AND": "NAND", "NAND": "AND", "OR": "NOR", "NOR": "OR"}[operation]
+        inner = aux()
+        target.add_gate(partner, inner, *inputs)
+        target.add_gate("NOT", output, inner)
+    elif rewrite == "de_morgan":
+        # AND(x...) = NOR(NOT x...); OR(x...) = NAND(NOT x...), etc.
+        negated_inputs = []
+        for net in inputs:
+            negated = aux()
+            target.add_gate("NOT", negated, net)
+            negated_inputs.append(negated)
+        partner = {"AND": "NOR", "NAND": "OR", "OR": "NAND", "NOR": "AND"}[operation]
+        target.add_gate(partner, output, *negated_inputs)
+    elif rewrite == "commute":
+        permuted = inputs[:]
+        rng.shuffle(permuted)
+        target.add_gate(operation, output, *permuted)
+    elif rewrite == "expand_xor":
+        # XOR(a, b) = OR(AND(a, !b), AND(!a, b)); XNOR negates the result.
+        a, b = inputs
+        not_a, not_b, left, right = aux(), aux(), aux(), aux()
+        target.add_gate("NOT", not_a, a)
+        target.add_gate("NOT", not_b, b)
+        target.add_gate("AND", left, a, not_b)
+        target.add_gate("AND", right, not_a, b)
+        if operation == "XOR":
+            target.add_gate("OR", output, left, right)
+        else:
+            inner = aux()
+            target.add_gate("OR", inner, left, right)
+            target.add_gate("NOT", output, inner)
+    elif rewrite == "expand_mux":
+        # MUX(s, a, b) = OR(AND(!s, a), AND(s, b)).
+        select, if_zero, if_one = inputs
+        not_select, left, right = aux(), aux(), aux()
+        target.add_gate("NOT", not_select, select)
+        target.add_gate("AND", left, not_select, if_zero)
+        target.add_gate("AND", right, select, if_one)
+        target.add_gate("OR", output, left, right)
+    elif rewrite == "triple_negation":
+        # NOT(x) = NOT(NOT(NOT(x))); BUF(x) = NOT(NOT(x)).
+        if operation == "NOT":
+            first, second = aux(), aux()
+            target.add_gate("NOT", first, inputs[0])
+            target.add_gate("NOT", second, first)
+            target.add_gate("NOT", output, second)
+        else:
+            first = aux()
+            target.add_gate("NOT", first, inputs[0])
+            target.add_gate("NOT", output, first)
+    else:  # pragma: no cover
+        raise AssertionError(f"unknown rewrite {rewrite!r}")
+
+
+# ---------------------------------------------------------------------------
+# Fault injection (guaranteed-SAT miters)
+# ---------------------------------------------------------------------------
+_FAULT_SUBSTITUTIONS = {
+    "AND": ("OR", "NAND", "XOR"),
+    "OR": ("AND", "NOR", "XOR"),
+    "NAND": ("NOR", "AND", "XNOR"),
+    "NOR": ("NAND", "OR", "XNOR"),
+    "XOR": ("XNOR", "OR", "AND"),
+    "XNOR": ("XOR", "NAND", "NOR"),
+    "NOT": ("BUF",),
+    "BUF": ("NOT",),
+    "MUX": ("MUX",),  # handled by swapping the data inputs instead
+}
+
+
+def inject_fault(
+    circuit: Circuit,
+    seed: int,
+    max_attempts: int = 64,
+    witness_samples: int = 512,
+) -> tuple[Circuit, dict[str, bool]]:
+    """Mutate one gate and return ``(mutant, witness)``.
+
+    The witness is an input vector on which the mutant's outputs differ
+    from the original's, found by seeded random simulation — so a miter
+    of the two circuits is certifiably satisfiable.  Raises
+    :class:`CircuitError` if no detectable fault is found (only possible
+    for circuits whose outputs are constant on almost all inputs).
+    """
+    rng = random.Random(seed)
+    gate_nets = list(circuit.gates)
+    for _ in range(max_attempts):
+        net = rng.choice(gate_nets)
+        mutant = _mutate_gate(circuit, net, rng)
+        witness = _find_witness(circuit, mutant, rng, witness_samples)
+        if witness is not None:
+            mutant.name = f"{circuit.name}_fault@{net}"
+            return mutant, witness
+    raise CircuitError(
+        f"no detectable single-gate fault found in {circuit.name!r} "
+        f"after {max_attempts} attempts"
+    )
+
+
+def _mutate_gate(circuit: Circuit, net: str, rng: random.Random) -> Circuit:
+    """Copy ``circuit`` with the gate driving ``net`` replaced."""
+    mutant = Circuit(circuit.name + "_mutant")
+    mutant.add_inputs(circuit.inputs)
+    for gate in circuit.topological_order():
+        if gate.output != net:
+            mutant.add_gate(gate.operation, gate.output, *gate.inputs)
+            continue
+        if gate.operation == "MUX":
+            select, if_zero, if_one = gate.inputs
+            mutant.add_gate("MUX", gate.output, select, if_one, if_zero)
+        elif gate.operation == "XOR" and len(gate.inputs) == 2:
+            mutant.add_gate("XNOR", gate.output, *gate.inputs)
+        else:
+            substitute = rng.choice(_FAULT_SUBSTITUTIONS[gate.operation])
+            arity_ok = substitute not in ("XOR", "XNOR") or len(gate.inputs) == 2
+            if not arity_ok:
+                substitute = {"AND": "OR", "OR": "AND", "NAND": "NOR", "NOR": "NAND"}[
+                    gate.operation
+                ]
+            mutant.add_gate(substitute, gate.output, *gate.inputs)
+    mutant.set_outputs(circuit.outputs)
+    return mutant
+
+
+def _find_witness(
+    original: Circuit,
+    mutant: Circuit,
+    rng: random.Random,
+    samples: int,
+) -> dict[str, bool] | None:
+    """Random-simulation search for an input vector distinguishing the two."""
+    inputs = original.inputs
+    for _ in range(samples):
+        vector = {net: rng.random() < 0.5 for net in inputs}
+        if original.output_values(vector) != mutant.output_values(vector):
+            return vector
+    return None

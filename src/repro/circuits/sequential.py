@@ -1,0 +1,263 @@
+"""Sequential circuits and bounded model checking (BMC).
+
+Several of the SAT-2002 instances in the paper's Table 10 (``bmc2``,
+``f2clk``, ``w08``) come from bounded model checking: a sequential
+circuit is unrolled ``k`` time frames and the CNF asks whether a bad
+state is reachable within the bound (SAT = counterexample trace).  This
+module provides that substrate from scratch:
+
+* :class:`SequentialCircuit` — registers with reset values on top of a
+  combinational :class:`~repro.circuits.netlist.Circuit` that computes
+  next-state functions and a single ``bad`` output;
+* :meth:`SequentialCircuit.simulate` — cycle-accurate simulation, used
+  both for tests and for ground truth on deterministic designs;
+* :func:`unroll` — the k-frame Tseitin unrolling with initial-state
+  constraints and a "bad somewhere within the bound" target;
+* generators for counter and LFSR designs whose exact bad-state depth
+  is known, so SAT/UNSAT ground truth follows from the bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+
+from repro.cnf.formula import CnfFormula
+from repro.circuits.netlist import Circuit, CircuitError
+from repro.circuits.tseitin import encode_circuit
+
+
+@dataclass
+class SequentialCircuit:
+    """A Mealy-style sequential design.
+
+    ``logic`` is a combinational circuit whose primary inputs are the
+    design's free inputs plus one net per register (the *current* state);
+    ``next_state`` maps each register net to the logic net holding its
+    next value, and ``bad`` names the safety-property output (1 = bad).
+    """
+
+    name: str
+    logic: Circuit
+    registers: list[str]
+    next_state: dict[str, str]
+    initial: dict[str, bool]
+    bad: str
+    free_inputs: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.logic.validate()
+        for register in self.registers:
+            if register not in self.logic.inputs:
+                raise CircuitError(f"register {register!r} is not a logic input")
+            if register not in self.next_state:
+                raise CircuitError(f"register {register!r} has no next-state net")
+            if register not in self.initial:
+                raise CircuitError(f"register {register!r} has no reset value")
+        known_nets = set(self.logic.nets())
+        for net in list(self.next_state.values()) + [self.bad]:
+            if net not in known_nets:
+                raise CircuitError(f"net {net!r} does not exist in the logic")
+        declared = set(self.registers) | set(self.free_inputs)
+        if declared != set(self.logic.inputs):
+            raise CircuitError("registers + free inputs must equal the logic inputs")
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        steps: int,
+        input_trace: Sequence[Mapping[str, bool]] | None = None,
+    ) -> list[dict[str, bool]]:
+        """Run ``steps`` cycles; returns per-cycle {register values + 'bad'}.
+
+        ``input_trace[i]`` supplies the free inputs at cycle ``i`` (all
+        False when omitted).  Entry ``i`` of the result reflects the state
+        *entering* cycle ``i`` and the ``bad`` value computed during it.
+        """
+        state = dict(self.initial)
+        trace: list[dict[str, bool]] = []
+        for step in range(steps):
+            inputs = dict(state)
+            provided = input_trace[step] if input_trace is not None else {}
+            for net in self.free_inputs:
+                inputs[net] = bool(provided.get(net, False))
+            values = self.logic.simulate(inputs)
+            snapshot = {register: state[register] for register in self.registers}
+            snapshot["bad"] = values[self.bad]
+            trace.append(snapshot)
+            state = {
+                register: values[self.next_state[register]]
+                for register in self.registers
+            }
+        return trace
+
+    def depth_to_bad(self, max_steps: int = 10_000) -> int | None:
+        """For input-free designs: first cycle whose ``bad`` output is 1.
+
+        Exact ground truth by simulation; None if unreachable within
+        ``max_steps``.  Raises for designs with free inputs (their
+        reachability needs search, not simulation).
+        """
+        if self.free_inputs:
+            raise CircuitError("depth_to_bad requires an input-free design")
+        for step, snapshot in enumerate(self.simulate(max_steps)):
+            if snapshot["bad"]:
+                return step
+        return None
+
+
+@dataclass
+class BmcEncoding:
+    """The unrolled CNF plus the maps needed to decode counterexamples."""
+
+    formula: CnfFormula
+    frames: list[dict[str, int]]  # per-frame net -> variable maps
+    bound: int
+
+    def decode_trace(self, model: dict[int, bool], circuit: SequentialCircuit):
+        """Project a SAT model onto per-frame register/bad values."""
+        trace = []
+        for variables in self.frames:
+            snapshot = {
+                register: model[variables[register]]
+                for register in circuit.registers
+            }
+            snapshot["bad"] = model[variables[circuit.bad]]
+            trace.append(snapshot)
+        return trace
+
+
+def unroll(circuit: SequentialCircuit, bound: int) -> BmcEncoding:
+    """Unroll ``bound + 1`` frames and assert "bad holds in some frame".
+
+    SAT iff a bad state is reachable within ``bound`` cycles (cycle 0 is
+    the reset state), matching the standard BMC formulation.
+    """
+    if bound < 0:
+        raise ValueError("bound must be nonnegative")
+    formula = CnfFormula(comment=f"BMC of {circuit.name} within {bound} cycles")
+    frames: list[dict[str, int]] = []
+    for frame in range(bound + 1):
+        encoding = encode_circuit(circuit.logic, formula, prefix=f"t{frame}.")
+        variables = {
+            net: encoding.variables[f"t{frame}.{net}"]
+            for net in circuit.logic.nets()
+        }
+        frames.append(variables)
+
+    # Frame 0 starts from reset.
+    for register in circuit.registers:
+        literal = frames[0][register]
+        formula.add_clause([literal if circuit.initial[register] else -literal])
+
+    # Chain: state entering frame i+1 equals next-state computed in frame i.
+    for frame in range(bound):
+        for register in circuit.registers:
+            source = frames[frame][circuit.next_state[register]]
+            target = frames[frame + 1][register]
+            formula.add_clause([-source, target])
+            formula.add_clause([source, -target])
+
+    # Bad somewhere within the bound.
+    formula.add_clause([frames[frame][circuit.bad] for frame in range(bound + 1)])
+    return BmcEncoding(formula=formula, frames=frames, bound=bound)
+
+
+# ---------------------------------------------------------------------------
+# Designs with known bad-state depth
+# ---------------------------------------------------------------------------
+def counter_circuit(bits: int, target: int, with_enable: bool = False) -> SequentialCircuit:
+    """A ``bits``-wide wrap-around counter; bad = (count == target).
+
+    Input-free by default (increments every cycle), so the bad state is
+    first reached exactly at cycle ``target``.  With ``with_enable`` an
+    adversarial enable input gates the increment — the *earliest* bad
+    cycle is still ``target`` (hold enable high), but the solver must
+    find that input sequence.
+    """
+    if bits < 1:
+        raise CircuitError("counter needs at least one bit")
+    if not 0 <= target < 2**bits:
+        raise ValueError("target must fit in the counter width")
+    logic = Circuit(f"counter{bits}_logic")
+    state = [logic.add_input(f"q{i}") for i in range(bits)]
+    if with_enable:
+        enable = logic.add_input("en")
+    # Increment: next_q[i] = q[i] XOR carry[i], carry[0] = 1 (or enable).
+    if with_enable:
+        carry = enable
+    else:
+        zero = logic.add_gate("XOR", "const0", state[0], state[0])
+        carry = logic.add_gate("NOT", "const1", zero)
+    for index in range(bits):
+        logic.add_gate("XOR", f"n{index}", state[index], carry)
+        if index + 1 < bits:
+            carry = logic.add_gate("AND", f"c{index}", state[index], carry)
+    # bad = AND over bits matching the target pattern.
+    pattern = []
+    for index in range(bits):
+        if (target >> index) & 1:
+            pattern.append(state[index])
+        else:
+            pattern.append(logic.add_gate("NOT", f"p{index}", state[index]))
+    if len(pattern) == 1:
+        logic.add_gate("BUF", "bad", pattern[0])
+    else:
+        logic.add_gate("AND", "bad", *pattern)
+    logic.set_outputs(["bad"] + [f"n{i}" for i in range(bits)])
+
+    return SequentialCircuit(
+        name=f"counter{bits}_to_{target}" + ("_en" if with_enable else ""),
+        logic=logic,
+        registers=state,
+        next_state={f"q{i}": f"n{i}" for i in range(bits)},
+        initial={f"q{i}": False for i in range(bits)},
+        bad="bad",
+        free_inputs=["en"] if with_enable else [],
+    )
+
+
+def lfsr_circuit(taps: Sequence[int], width: int, target: int) -> SequentialCircuit:
+    """A Fibonacci LFSR seeded with 1; bad = (state == target pattern).
+
+    Input-free, so :meth:`SequentialCircuit.depth_to_bad` gives the exact
+    ground-truth depth (None when the target is off the LFSR's orbit).
+    """
+    if width < 2:
+        raise CircuitError("LFSR width must be at least 2")
+    if not 0 <= target < 2**width:
+        raise ValueError("target must fit in the LFSR width")
+    if not taps or any(not 0 <= tap < width for tap in taps):
+        raise ValueError("taps must be bit positions within the width")
+    logic = Circuit(f"lfsr{width}_logic")
+    state = [logic.add_input(f"q{i}") for i in range(width)]
+    feedback = state[taps[0]]
+    for position, tap in enumerate(taps[1:]):
+        feedback = logic.add_gate("XOR", f"fb{position}", feedback, state[tap])
+    if len(taps) == 1:
+        feedback = logic.add_gate("BUF", "fb", feedback)
+    # Shift left: bit 0 receives the feedback.
+    logic.add_gate("BUF", "n0", feedback)
+    for index in range(1, width):
+        logic.add_gate("BUF", f"n{index}", state[index - 1])
+    pattern = []
+    for index in range(width):
+        if (target >> index) & 1:
+            pattern.append(state[index])
+        else:
+            pattern.append(logic.add_gate("NOT", f"p{index}", state[index]))
+    logic.add_gate("AND", "bad", *pattern)
+    logic.set_outputs(["bad"] + [f"n{i}" for i in range(width)])
+    return SequentialCircuit(
+        name=f"lfsr{width}_to_{target}",
+        logic=logic,
+        registers=state,
+        next_state={f"q{i}": f"n{i}" for i in range(width)},
+        initial={"q0": True, **{f"q{i}": False for i in range(1, width)}},
+        bad="bad",
+    )
+
+
+def bmc_formula(circuit: SequentialCircuit, bound: int) -> CnfFormula:
+    """Convenience: just the CNF of :func:`unroll`."""
+    return unroll(circuit, bound).formula

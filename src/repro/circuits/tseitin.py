@@ -1,0 +1,108 @@
+"""Tseitin encoding of circuits to CNF.
+
+Each net gets a CNF variable; each gate contributes the clauses that
+force its output variable to equal the gate function of its input
+variables.  The encoding is linear in circuit size and equisatisfiable
+with any constraint later placed on the output variables — exactly how
+the paper's Miters / Beijing / microprocessor-verification CNFs were
+produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cnf.formula import CnfFormula
+from repro.circuits.netlist import Circuit, CircuitError, Gate
+
+
+@dataclass
+class TseitinEncoding:
+    """A circuit's CNF together with the net -> variable map."""
+
+    formula: CnfFormula
+    variables: dict[str, int] = field(default_factory=dict)
+
+    def variable(self, net: str) -> int:
+        """The CNF variable carrying net ``net``."""
+        return self.variables[net]
+
+    def literal(self, net: str, value: bool = True) -> int:
+        """The DIMACS literal asserting ``net == value``."""
+        variable = self.variables[net]
+        return variable if value else -variable
+
+    def assume_input(self, net: str, value: bool) -> None:
+        """Constrain a net to a constant by adding a unit clause."""
+        self.formula.add_clause([self.literal(net, value)])
+
+    def decode_nets(self, model: dict[int, bool]) -> dict[str, bool]:
+        """Project a SAT model back onto circuit nets."""
+        return {net: model[variable] for net, variable in self.variables.items()}
+
+
+def encode_circuit(
+    circuit: Circuit,
+    formula: CnfFormula | None = None,
+    prefix: str = "",
+) -> TseitinEncoding:
+    """Encode ``circuit`` into CNF (appending to ``formula`` if given).
+
+    ``prefix`` namespaces the net names in the returned variable map, so
+    two circuits can share one formula (as the miter builder does when it
+    ties their inputs together).
+    """
+    circuit.validate()
+    if formula is None:
+        formula = CnfFormula(comment=f"tseitin({circuit.name})")
+    variables: dict[str, int] = {}
+    for net in circuit.inputs:
+        variables[prefix + net] = formula.new_variable()
+    for gate in circuit.topological_order():
+        variables[prefix + gate.output] = formula.new_variable()
+        _encode_gate(formula, gate, variables, prefix)
+    return TseitinEncoding(formula=formula, variables=variables)
+
+
+def _encode_gate(
+    formula: CnfFormula,
+    gate: Gate,
+    variables: dict[str, int],
+    prefix: str,
+) -> None:
+    """Append the defining clauses of one gate."""
+    output = variables[prefix + gate.output]
+    inputs = [variables[prefix + net] for net in gate.inputs]
+    operation = gate.operation
+
+    if operation in ("AND", "NAND"):
+        # AND: output -> each input; all inputs -> output.
+        out_literal = output if operation == "AND" else -output
+        for literal in inputs:
+            formula.add_clause([-out_literal, literal])
+        formula.add_clause([out_literal] + [-literal for literal in inputs])
+    elif operation in ("OR", "NOR"):
+        out_literal = output if operation == "OR" else -output
+        for literal in inputs:
+            formula.add_clause([out_literal, -literal])
+        formula.add_clause([-out_literal] + list(inputs))
+    elif operation in ("XOR", "XNOR"):
+        a, b = inputs
+        out_literal = output if operation == "XOR" else -output
+        formula.add_clause([-out_literal, a, b])
+        formula.add_clause([-out_literal, -a, -b])
+        formula.add_clause([out_literal, -a, b])
+        formula.add_clause([out_literal, a, -b])
+    elif operation in ("NOT", "BUF"):
+        (a,) = inputs
+        source = -a if operation == "NOT" else a
+        formula.add_clause([-output, source])
+        formula.add_clause([output, -source])
+    elif operation == "MUX":
+        select, if_zero, if_one = inputs
+        formula.add_clause([select, -output, if_zero])
+        formula.add_clause([select, output, -if_zero])
+        formula.add_clause([-select, -output, if_one])
+        formula.add_clause([-select, output, -if_one])
+    else:  # pragma: no cover - Gate.__post_init__ rejects unknown operations
+        raise CircuitError(f"cannot encode operation {operation!r}")

@@ -1,0 +1,262 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-sat solve FILE.cnf [--config NAME] [--max-conflicts N] [--proof]
+    repro-sat generate FAMILY [options] -o FILE.cnf
+    repro-sat experiment {table1..table10,fig1,all} [--scale quick|default]
+
+``solve`` prints a SAT-competition-style result line (``s SATISFIABLE``
+plus a ``v`` model line, or ``s UNSATISFIABLE``) and the solver
+statistics.  ``generate`` writes instances from any generator family.
+``experiment`` regenerates the paper's tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from repro.cnf.dimacs import parse_dimacs_file, write_dimacs_file
+from repro.proof import check_rup_proof
+from repro.solver.config import CONFIG_FACTORIES, config_by_name
+from repro.solver.result import SolveStatus
+from repro.solver.solver import Solver
+
+EXPERIMENTS = [
+    "table1", "table2", "table3", "table4", "table5",
+    "table6", "table7", "table8", "table9", "table10", "fig1",
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sat",
+        description="BerkMin reproduction: CDCL SAT solver, generators, experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="solve a DIMACS CNF file")
+    solve.add_argument("file", help="path to a .cnf file")
+    solve.add_argument(
+        "--config",
+        default="berkmin",
+        choices=sorted(CONFIG_FACTORIES),
+        help="solver configuration (default: berkmin)",
+    )
+    solve.add_argument("--max-conflicts", type=int, default=None)
+    solve.add_argument("--max-seconds", type=float, default=None)
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument(
+        "--proof",
+        action="store_true",
+        help="log a DRUP proof and verify it on UNSAT answers",
+    )
+    solve.add_argument("--stats", action="store_true", help="print solver statistics")
+    solve.add_argument(
+        "--preprocess",
+        action="store_true",
+        help="run subsumption + bounded variable elimination first "
+        "(models are reconstructed; disables --proof)",
+    )
+
+    generate = sub.add_parser("generate", help="write a benchmark instance")
+    generate.add_argument(
+        "family",
+        choices=["hole", "hanoi", "queens", "xor", "ksat", "adder", "pipe", "sudoku"],
+    )
+    generate.add_argument("-o", "--output", required=True)
+    generate.add_argument("--size", type=int, default=6, help="family size parameter")
+    generate.add_argument("--extra", type=int, default=None, help="second parameter")
+    generate.add_argument("--seed", type=int, default=0)
+
+    experiment = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    experiment.add_argument("name", choices=EXPERIMENTS + ["all"])
+    experiment.add_argument("--scale", default="default", choices=["default", "quick"])
+
+    atpg = sub.add_parser(
+        "atpg", help="stuck-at test-pattern generation for a random circuit"
+    )
+    atpg.add_argument("--inputs", type=int, default=6)
+    atpg.add_argument("--gates", type=int, default=30)
+    atpg.add_argument("--seed", type=int, default=0)
+
+    bmc = sub.add_parser("bmc", help="bounded model checking of a counter design")
+    bmc.add_argument("--bits", type=int, default=5)
+    bmc.add_argument("--target", type=int, default=19)
+    bmc.add_argument("--bound", type=int, default=20)
+    bmc.add_argument("--enable", action="store_true", help="add an enable input")
+    return parser
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    formula = parse_dimacs_file(args.file)
+    reconstruction = None
+    solve_target = formula
+    if args.preprocess:
+        from repro.cnf.elimination import preprocess
+
+        reconstruction = preprocess(formula)
+        if reconstruction.unsat:
+            print("c preprocessing refuted the formula")
+            print("s UNSATISFIABLE")
+            return 20
+        solve_target = reconstruction.formula
+        print(
+            f"c preprocessing: {formula.num_clauses} -> "
+            f"{solve_target.num_clauses} clauses, "
+            f"{len(reconstruction.eliminated)} variables eliminated"
+        )
+        args = argparse.Namespace(**{**vars(args), "proof": False})
+    config = config_by_name(args.config, seed=args.seed, proof_logging=args.proof)
+    solver = Solver(solve_target, config=config)
+    result = solver.solve(
+        max_conflicts=args.max_conflicts, max_seconds=args.max_seconds
+    )
+    if result.status is SolveStatus.SAT:
+        print("s SATISFIABLE")
+        assert result.model is not None
+        model = result.model
+        if reconstruction is not None:
+            model = reconstruction.extend_model(model)
+            for variable in range(1, formula.num_variables + 1):
+                model.setdefault(variable, False)
+            if not formula.evaluate(model):  # pragma: no cover - safety net
+                raise RuntimeError("model reconstruction failed")
+        literals = [
+            variable if value else -variable
+            for variable, value in sorted(model.items())
+        ]
+        print("v " + " ".join(str(literal) for literal in literals) + " 0")
+        exit_code = 10
+    elif result.status is SolveStatus.UNSAT:
+        print("s UNSATISFIABLE")
+        if args.proof and result.proof is not None:
+            check_rup_proof(formula, result.proof)
+            print("c proof verified (RUP)")
+        exit_code = 20
+    else:
+        print(f"s UNKNOWN ({result.limit_reason})")
+        exit_code = 0
+    if args.stats:
+        for key, value in result.stats.as_dict().items():
+            print(f"c {key} = {value}")
+    return exit_code
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    size, extra, seed = args.size, args.extra, args.seed
+    if args.family == "hole":
+        from repro.generators import pigeonhole_formula
+
+        formula = pigeonhole_formula(size)
+    elif args.family == "hanoi":
+        from repro.generators import hanoi_formula
+
+        formula = hanoi_formula(size, extra)
+    elif args.family == "queens":
+        from repro.generators import queens_formula
+
+        formula = queens_formula(size)
+    elif args.family == "xor":
+        from repro.generators import random_xor_system, xor_system_formula
+
+        system = random_xor_system(size, extra or size, 3, seed, planted=True)
+        formula = xor_system_formula(system)
+    elif args.family == "ksat":
+        from repro.generators import planted_ksat
+
+        formula = planted_ksat(size, extra or int(4.1 * size), 3, seed)
+    elif args.family == "adder":
+        from repro.circuits import adder_equivalence_miter
+
+        formula = adder_equivalence_miter(size)
+    elif args.family == "pipe":
+        from repro.circuits import pipeline_equivalence_miter
+
+        formula, _ = pipeline_equivalence_miter(size, extra or 2)
+    elif args.family == "sudoku":
+        from repro.generators import sudoku_formula, sudoku_puzzle
+
+        formula = sudoku_formula(sudoku_puzzle())
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(args.family)
+    write_dimacs_file(formula, args.output)
+    print(
+        f"wrote {args.output}: {formula.num_variables} variables, "
+        f"{formula.num_clauses} clauses"
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names = EXPERIMENTS if args.name == "all" else [args.name]
+    for name in names:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        table = module.build(scale=args.scale, progress=lambda msg: print(f"c {msg}"))
+        print(table.render())
+        print()
+    return 0
+
+
+def _cmd_atpg(args: argparse.Namespace) -> int:
+    from repro.circuits import random_circuit, run_atpg
+
+    circuit = random_circuit(args.inputs, args.gates, seed=args.seed)
+    report = run_atpg(circuit)
+    print(f"circuit {circuit.name}: {circuit.num_gates} gates")
+    print(f"faults {report.total_faults}, testable {report.testable_faults}, "
+          f"coverage {100 * report.coverage:.1f}%")
+    print(f"test set: {len(report.test_set())} distinct patterns")
+    for result in report.results:
+        if result.testable:
+            vector = "".join(
+                "1" if result.pattern[net] else "0" for net in circuit.inputs
+            )
+            print(f"  {result.fault}: pattern {vector}")
+        else:
+            print(f"  {result.fault}: untestable (redundant)")
+    return 0
+
+
+def _cmd_bmc(args: argparse.Namespace) -> int:
+    from repro.circuits import counter_circuit, unroll
+    from repro.solver.solver import Solver
+
+    circuit = counter_circuit(args.bits, args.target, with_enable=args.enable)
+    encoding = unroll(circuit, args.bound)
+    result = Solver(encoding.formula).solve()
+    print(f"{circuit.name} within {args.bound} cycles: {result.status.value}")
+    if result.is_sat:
+        trace = encoding.decode_trace(result.model, circuit)
+        for step, snapshot in enumerate(trace):
+            bits = "".join(
+                "1" if snapshot[r] else "0" for r in reversed(circuit.registers)
+            )
+            print(f"  cycle {step:3d}: {bits}" + ("  <- BAD" if snapshot["bad"] else ""))
+            if snapshot["bad"]:
+                break
+        return 10
+    return 20 if result.is_unsat else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "atpg":
+        return _cmd_atpg(args)
+    if args.command == "bmc":
+        return _cmd_bmc(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

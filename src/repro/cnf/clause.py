@@ -1,0 +1,69 @@
+"""The clause object shared by the formula container and the CDCL solver.
+
+A :class:`Clause` stores *encoded* literals (see
+:mod:`repro.cnf.literals`).  The first two positions of
+:attr:`Clause.literals` are the watched literals once the clause is
+attached to a solver; BCP maintains that invariant.
+
+Besides its literals a clause carries the BerkMin bookkeeping described
+in Section 8 of the paper:
+
+* ``learned`` — whether this is a conflict clause (only learned clauses
+  are eligible for deletion);
+* ``activity`` — ``clause_activity(C)``: the number of conflicts this
+  clause has been *responsible* for, i.e. how many times it appeared in
+  the resolution chain of a conflict analysis;
+* ``birth`` — a monotonically increasing sequence number giving the
+  clause's chronological position in the learned-clause stack (its
+  "age": the larger, the younger);
+* ``protected`` — the anti-looping mark: a protected clause is never
+  deleted by database reduction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.cnf.literals import decode_literal, encode_literal
+
+
+class Clause:
+    """A disjunction of literals, stored in encoded form."""
+
+    __slots__ = ("literals", "learned", "activity", "birth", "protected")
+
+    def __init__(
+        self,
+        encoded_literals: Iterable[int],
+        *,
+        learned: bool = False,
+        birth: int = 0,
+    ) -> None:
+        self.literals: list[int] = list(encoded_literals)
+        self.learned = learned
+        self.activity = 0
+        self.birth = birth
+        self.protected = False
+
+    @classmethod
+    def from_dimacs(cls, dimacs_literals: Iterable[int], *, learned: bool = False) -> "Clause":
+        """Build a clause from signed DIMACS literals."""
+        return cls((encode_literal(lit) for lit in dimacs_literals), learned=learned)
+
+    def to_dimacs(self) -> list[int]:
+        """Return the clause as a list of signed DIMACS literals."""
+        return [decode_literal(lit) for lit in self.literals]
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.literals)
+
+    def __contains__(self, encoded_literal: int) -> bool:
+        return encoded_literal in self.literals
+
+    def __repr__(self) -> str:
+        kind = "learned" if self.learned else "original"
+        body = " ".join(str(lit) for lit in self.to_dimacs())
+        return f"Clause({body!r}, {kind}, activity={self.activity}, birth={self.birth})"

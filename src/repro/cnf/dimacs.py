@@ -1,0 +1,106 @@
+"""DIMACS CNF reader and writer.
+
+The parser is deliberately liberal, matching what SAT-competition tools
+accept in practice:
+
+* ``c`` comment lines anywhere (collected into the formula's comment);
+* a single ``p cnf <vars> <clauses>`` header (optional — headerless
+  files are accepted and the counts inferred);
+* clauses terminated by ``0``, possibly spanning several lines or
+  sharing a line;
+* ``%`` / trailing ``0`` end markers emitted by some generators.
+"""
+
+from __future__ import annotations
+
+import os
+from repro.cnf.formula import CnfFormula
+
+
+class DimacsError(ValueError):
+    """Raised when a DIMACS file is malformed."""
+
+
+def parse_dimacs(text: str) -> CnfFormula:
+    """Parse DIMACS CNF ``text`` into a :class:`CnfFormula`."""
+    declared_variables: int | None = None
+    declared_clauses: int | None = None
+    comments: list[str] = []
+    clauses: list[list[int]] = []
+    current: list[int] = []
+    ended = False
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("c"):
+            comments.append(line[1:].strip())
+            continue
+        if line.startswith("%"):
+            # SATLIB-style end marker; everything after it is ignored.
+            ended = True
+            continue
+        if ended:
+            continue
+        if line.startswith("p"):
+            if declared_variables is not None:
+                raise DimacsError(f"line {line_number}: duplicate problem header")
+            fields = line.split()
+            if len(fields) != 4 or fields[1] != "cnf":
+                raise DimacsError(f"line {line_number}: malformed header {line!r}")
+            try:
+                declared_variables = int(fields[2])
+                declared_clauses = int(fields[3])
+            except ValueError as exc:
+                raise DimacsError(f"line {line_number}: non-integer header field") from exc
+            if declared_variables < 0 or declared_clauses < 0:
+                raise DimacsError(f"line {line_number}: negative header field")
+            continue
+        for token in line.split():
+            try:
+                literal = int(token)
+            except ValueError as exc:
+                raise DimacsError(f"line {line_number}: bad token {token!r}") from exc
+            if literal == 0:
+                clauses.append(current)
+                current = []
+            else:
+                current.append(literal)
+
+    if current:
+        # Tolerate a missing final terminator.
+        clauses.append(current)
+
+    formula = CnfFormula(comment="\n".join(comments))
+    if declared_variables is not None:
+        formula.num_variables = declared_variables
+    for clause in clauses:
+        formula.add_clause(clause)
+    if declared_clauses is not None and declared_clauses != len(clauses):
+        # Header mismatches are common in the wild; record rather than fail.
+        formula.comment += f"\n(header declared {declared_clauses} clauses, file has {len(clauses)})"
+    return formula
+
+
+def parse_dimacs_file(path: str | os.PathLike) -> CnfFormula:
+    """Parse the DIMACS CNF file at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_dimacs(handle.read())
+
+
+def write_dimacs(formula: CnfFormula) -> str:
+    """Serialize ``formula`` to DIMACS CNF text."""
+    lines: list[str] = []
+    for comment_line in formula.comment.splitlines():
+        lines.append(f"c {comment_line}" if comment_line else "c")
+    lines.append(f"p cnf {formula.num_variables} {formula.num_clauses}")
+    for clause in formula.clauses:
+        lines.append(" ".join(str(literal) for literal in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def write_dimacs_file(formula: CnfFormula, path: str | os.PathLike) -> None:
+    """Write ``formula`` to ``path`` in DIMACS CNF format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_dimacs(formula))

@@ -1,0 +1,244 @@
+"""Resolution-based preprocessing: subsumption and variable elimination.
+
+Clause-database hygiene did not end with BerkMin: the techniques that
+followed it (NiVER, SatELite) preprocess the CNF itself.  This module
+implements the two classics — both satisfiability-preserving, both with
+full model reconstruction — as an optional front-end to the solver:
+
+* **Subsumption** — drop any clause that is a superset of another;
+  **self-subsuming resolution** strengthens ``(¬l ∨ A ∨ B)`` to
+  ``(A ∨ B)`` when ``(l ∨ A)`` is present.
+* **Bounded variable elimination** (NiVER rule) — replace a variable's
+  clauses by all their non-tautological resolvents whenever that does
+  not increase the clause count.
+
+The eliminated variables' original clauses are retained so a model of
+the reduced formula extends to a model of the original
+(:meth:`PreprocessResult.extend_model`) — the standard reconstruction
+argument: if every resolvent is satisfied, at most one polarity's
+clauses can still need the variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cnf.formula import CnfFormula
+from repro.cnf.simplify import clean_clause, simplify_formula
+
+
+@dataclass
+class PreprocessResult:
+    """Outcome of :func:`preprocess`.
+
+    Attributes:
+        formula: the reduced formula (fresh object).
+        forced: unit-propagation assignments made along the way.
+        eliminated: ``(variable, its original clauses)`` in elimination
+            order, for model reconstruction.
+        unsat: True when preprocessing refuted the formula.
+    """
+
+    formula: CnfFormula
+    forced: dict[int, bool] = field(default_factory=dict)
+    eliminated: list[tuple[int, list[list[int]]]] = field(default_factory=list)
+    unsat: bool = False
+
+    def extend_model(self, model: dict[int, bool]) -> dict[int, bool]:
+        """Lift a model of the reduced formula back to the original one."""
+        full = dict(model)
+        full.update(self.forced)
+        # Later-eliminated variables may appear in the stored clauses of
+        # earlier ones, so reconstruct in reverse elimination order.
+        for variable, clauses in reversed(self.eliminated):
+            value = None
+            for clause in clauses:
+                if self._satisfied_without(clause, variable, full):
+                    continue
+                needed = any(literal == variable for literal in clause)
+                if value is not None and value != needed:
+                    raise ValueError("inconsistent reconstruction (not a model?)")
+                value = needed
+            full[variable] = bool(value) if value is not None else False
+        return full
+
+    @staticmethod
+    def _satisfied_without(clause: list[int], variable: int, model: dict[int, bool]) -> bool:
+        for literal in clause:
+            if abs(literal) == variable:
+                continue
+            if model.get(abs(literal), False) == (literal > 0):
+                return True
+        return False
+
+
+def subsumption_reduce(clauses: list[list[int]]) -> list[list[int]]:
+    """One pass of subsumption + self-subsuming resolution.
+
+    Returns a new clause list; input clauses are not mutated.  Quadratic
+    in the worst case but pruned through occurrence lists on each
+    clause's rarest literal — ample for preprocessing-sized inputs.
+    """
+    working = [sorted(set(clause)) for clause in clauses]
+    # Deduplicate identical clauses outright.
+    unique: dict[tuple[int, ...], list[int]] = {}
+    for clause in working:
+        unique.setdefault(tuple(clause), clause)
+    working = list(unique.values())
+
+    changed = True
+    while changed:
+        if any(not clause for clause in working):
+            # An empty clause (possibly produced by self-subsumption)
+            # subsumes everything: the formula is refuted.
+            return [[]]
+        changed = False
+        occurrences: dict[int, set[int]] = {}
+        for index, clause in enumerate(working):
+            for literal in clause:
+                occurrences.setdefault(literal, set()).add(index)
+        alive = [True] * len(working)
+        for index, clause in enumerate(working):
+            if not alive[index]:
+                continue
+            clause_set = set(clause)
+            # Candidates share the clause's rarest literal (or its negation
+            # for self-subsumption).
+            rarest = min(clause, key=lambda lit: len(occurrences.get(lit, ())))
+            for other_index in list(occurrences.get(rarest, ())):
+                if other_index == index or not alive[other_index]:
+                    continue
+                other = working[other_index]
+                if clause_set <= set(other):
+                    alive[other_index] = False
+                    changed = True
+            # Self-subsuming resolution: (l | A) strengthens (~l | A | B).
+            for literal in clause:
+                strengthen_set = (clause_set - {literal}) | {-literal}
+                for other_index in list(occurrences.get(-literal, ())):
+                    if other_index == index or not alive[other_index]:
+                        continue
+                    other = working[other_index]
+                    other_set = set(other)
+                    if strengthen_set <= other_set:
+                        strengthened = sorted(other_set - {-literal})
+                        if not strengthened:
+                            return [[]]  # refuted outright
+                        working[other_index] = strengthened
+                        for gone in (-literal,):
+                            occurrences.get(gone, set()).discard(other_index)
+                        changed = True
+        working = [clause for index, clause in enumerate(working) if alive[index]]
+    return working
+
+
+def _resolvents(
+    positive: list[list[int]], negative: list[list[int]], variable: int
+) -> list[list[int]] | None:
+    """All non-tautological resolvents on ``variable``; None if one is empty."""
+    produced: list[list[int]] = []
+    seen: set[tuple[int, ...]] = set()
+    for pos_clause in positive:
+        pos_rest = [literal for literal in pos_clause if literal != variable]
+        for neg_clause in negative:
+            merged = clean_clause(
+                pos_rest + [literal for literal in neg_clause if literal != -variable]
+            )
+            if merged is None:
+                continue  # tautology
+            if not merged:
+                return None  # empty resolvent: formula refuted
+            key = tuple(sorted(merged))
+            if key not in seen:
+                seen.add(key)
+                produced.append(merged)
+    return produced
+
+
+def eliminate_variable(
+    clauses: list[list[int]], variable: int, max_growth: int = 0
+) -> tuple[list[list[int]], list[list[int]]] | None | str:
+    """Try to eliminate ``variable`` by resolution (NiVER criterion).
+
+    Returns ``(new_clauses, removed_clauses)`` on success, None when the
+    elimination would grow the clause count beyond ``max_growth``, and
+    the string ``"unsat"`` when an empty resolvent refutes the formula.
+    """
+    positive = [clause for clause in clauses if variable in clause]
+    negative = [clause for clause in clauses if -variable in clause]
+    if not positive and not negative:
+        return [clause for clause in clauses], []
+    resolvents = _resolvents(positive, negative, variable)
+    if resolvents is None:
+        return "unsat"
+    if len(resolvents) > len(positive) + len(negative) + max_growth:
+        return None
+    remaining = [
+        clause for clause in clauses if variable not in clause and -variable not in clause
+    ]
+    return remaining + resolvents, positive + negative
+
+
+def preprocess(
+    formula: CnfFormula,
+    *,
+    max_growth: int = 0,
+    use_subsumption: bool = True,
+    max_rounds: int = 10,
+) -> PreprocessResult:
+    """Unit propagation + subsumption + bounded variable elimination.
+
+    Iterates to (bounded) fixpoint.  The result's formula keeps the
+    original variable numbering (eliminated variables simply stop
+    occurring); :meth:`PreprocessResult.extend_model` reconstructs them.
+    """
+    base = simplify_formula(formula)
+    if base.unsat:
+        return PreprocessResult(formula=base.formula, forced=base.forced, unsat=True)
+    clauses = [list(clause) for clause in base.formula.clauses]
+    eliminated: list[tuple[int, list[list[int]]]] = []
+
+    for _round in range(max_rounds):
+        changed = False
+        if use_subsumption:
+            reduced = subsumption_reduce(clauses)
+            if any(not clause for clause in reduced):
+                refuted = CnfFormula(num_variables=formula.num_variables)
+                refuted.clauses = [[]]
+                return PreprocessResult(
+                    formula=refuted, forced=base.forced, eliminated=eliminated, unsat=True
+                )
+            if len(reduced) != len(clauses) or reduced != clauses:
+                clauses = reduced
+                changed = True
+        active = sorted({abs(literal) for clause in clauses for literal in clause})
+        for variable in active:
+            outcome = eliminate_variable(clauses, variable, max_growth=max_growth)
+            if outcome == "unsat":
+                refuted = CnfFormula(num_variables=formula.num_variables)
+                refuted.clauses = [[]]
+                return PreprocessResult(
+                    formula=refuted, forced=base.forced, eliminated=eliminated, unsat=True
+                )
+            if outcome is None:
+                continue
+            new_clauses, removed = outcome
+            if removed:
+                clauses = new_clauses
+                eliminated.append((variable, removed))
+                changed = True
+        if not changed:
+            break
+
+    reduced_formula = CnfFormula(
+        num_variables=formula.num_variables,
+        comment=(formula.comment + "\npreprocessed (subsumption + elimination)").strip(),
+    )
+    for clause in clauses:
+        reduced_formula.add_clause(clause)
+    reduced_formula.num_variables = max(
+        reduced_formula.num_variables, formula.num_variables
+    )
+    return PreprocessResult(
+        formula=reduced_formula, forced=base.forced, eliminated=eliminated
+    )

@@ -1,0 +1,115 @@
+"""The public CNF container.
+
+:class:`CnfFormula` stores clauses as lists of signed DIMACS integers —
+the representation users see, and the one generators and encoders
+produce.  The solver converts to its internal encoded representation
+when clauses are attached.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+
+class CnfFormula:
+    """A CNF formula over variables ``1..num_variables``.
+
+    Clauses are lists of nonzero signed integers.  The variable count
+    grows automatically as clauses mentioning new variables are added,
+    and can also be raised explicitly via :meth:`new_variable` (used by
+    the Tseitin encoder and the planning encoders to allocate fresh
+    auxiliary variables).
+    """
+
+    def __init__(
+        self,
+        clauses: Iterable[Iterable[int]] = (),
+        num_variables: int = 0,
+        comment: str = "",
+    ) -> None:
+        if num_variables < 0:
+            raise ValueError("num_variables must be nonnegative")
+        self.num_variables = num_variables
+        self.comment = comment
+        self.clauses: list[list[int]] = []
+        for clause in clauses:
+            self.add_clause(clause)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_clause(self, clause: Iterable[int]) -> None:
+        """Append one clause, widening the variable range as needed."""
+        literals = list(clause)
+        for literal in literals:
+            if not isinstance(literal, int) or literal == 0:
+                raise ValueError(f"invalid DIMACS literal: {literal!r}")
+            variable = abs(literal)
+            if variable > self.num_variables:
+                self.num_variables = variable
+        self.clauses.append(literals)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        """Append many clauses."""
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def new_variable(self) -> int:
+        """Allocate and return a fresh variable index."""
+        self.num_variables += 1
+        return self.num_variables
+
+    def copy(self) -> "CnfFormula":
+        """Return a deep copy (clause lists are copied)."""
+        duplicate = CnfFormula(num_variables=self.num_variables, comment=self.comment)
+        duplicate.clauses = [list(clause) for clause in self.clauses]
+        return duplicate
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_clauses(self) -> int:
+        """Number of clauses currently in the formula."""
+        return len(self.clauses)
+
+    def variables(self) -> set[int]:
+        """Return the set of variables actually mentioned by a clause."""
+        return {abs(literal) for clause in self.clauses for literal in clause}
+
+    def literal_count(self) -> int:
+        """Total number of literal occurrences across all clauses."""
+        return sum(len(clause) for clause in self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self) -> Iterator[list[int]]:
+        return iter(self.clauses)
+
+    def __repr__(self) -> str:
+        return f"CnfFormula(num_variables={self.num_variables}, num_clauses={self.num_clauses})"
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: Mapping[int, bool]) -> bool:
+        """Return True iff ``assignment`` satisfies every clause.
+
+        ``assignment`` maps variables to booleans; it must cover every
+        variable occurring in the formula (a :class:`KeyError` signals an
+        incomplete assignment).
+        """
+        for clause in self.clauses:
+            if not self.clause_satisfied(clause, assignment):
+                return False
+        return True
+
+    @staticmethod
+    def clause_satisfied(clause: Iterable[int], assignment: Mapping[int, bool]) -> bool:
+        """Return True iff some literal of ``clause`` is true under ``assignment``."""
+        return any(assignment[abs(literal)] == (literal > 0) for literal in clause)
+
+    def falsified_clauses(self, assignment: Mapping[int, bool]) -> list[list[int]]:
+        """Return the clauses not satisfied by a complete ``assignment``."""
+        return [clause for clause in self.clauses if not self.clause_satisfied(clause, assignment)]

@@ -1,0 +1,140 @@
+"""Formula-level preprocessing.
+
+These transformations run *before* the CDCL search and mirror the
+standard simplifications every 2002-era solver applied when loading a
+formula:
+
+* duplicate-literal removal within clauses;
+* tautology removal (clauses containing ``x`` and ``-x``);
+* unit propagation to fixpoint at the formula level;
+* optional pure-literal elimination.
+
+The result records the forced assignments so callers can extend a model
+of the simplified formula back to a model of the original one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cnf.formula import CnfFormula
+
+
+class InconsistentFormulaError(ValueError):
+    """Raised internally when simplification derives the empty clause."""
+
+
+@dataclass
+class SimplifyResult:
+    """Outcome of :func:`simplify_formula`.
+
+    Attributes:
+        formula: the simplified formula (new object; input is untouched).
+        forced: assignments implied at the formula level (unit clauses
+            and, if enabled, pure literals), mapping variable -> bool.
+        unsat: True when simplification alone refuted the formula, in
+            which case ``formula`` contains a single empty clause.
+    """
+
+    formula: CnfFormula
+    forced: dict[int, bool] = field(default_factory=dict)
+    unsat: bool = False
+
+    def extend_model(self, model: dict[int, bool]) -> dict[int, bool]:
+        """Merge a model of the simplified formula with the forced assignments."""
+        extended = dict(model)
+        extended.update(self.forced)
+        return extended
+
+
+def clean_clause(clause: list[int]) -> list[int] | None:
+    """Drop duplicate literals; return None when the clause is a tautology."""
+    seen: set[int] = set()
+    cleaned: list[int] = []
+    for literal in clause:
+        if -literal in seen:
+            return None
+        if literal not in seen:
+            seen.add(literal)
+            cleaned.append(literal)
+    return cleaned
+
+
+def simplify_formula(formula: CnfFormula, *, pure_literals: bool = False) -> SimplifyResult:
+    """Simplify ``formula``; see the module docstring for the transformations."""
+    forced: dict[int, bool] = {}
+    clauses: list[list[int]] = []
+    for clause in formula.clauses:
+        cleaned = clean_clause(list(clause))
+        if cleaned is not None:
+            clauses.append(cleaned)
+
+    try:
+        clauses = _propagate_units(clauses, forced)
+        if pure_literals:
+            # Pure-literal elimination can expose new units, so iterate.
+            changed = True
+            while changed:
+                before = len(clauses)
+                clauses = _eliminate_pure_literals(clauses, forced)
+                clauses = _propagate_units(clauses, forced)
+                changed = len(clauses) != before
+    except InconsistentFormulaError:
+        refuted = CnfFormula(num_variables=formula.num_variables, comment=formula.comment)
+        refuted.clauses = [[]]
+        return SimplifyResult(formula=refuted, forced=forced, unsat=True)
+
+    simplified = CnfFormula(num_variables=formula.num_variables, comment=formula.comment)
+    for clause in clauses:
+        simplified.add_clause(clause)
+    simplified.num_variables = max(simplified.num_variables, formula.num_variables)
+    return SimplifyResult(formula=simplified, forced=forced)
+
+
+def _propagate_units(clauses: list[list[int]], forced: dict[int, bool]) -> list[list[int]]:
+    """Apply unit propagation to fixpoint, recording assignments in ``forced``."""
+    while True:
+        unit = next((clause[0] for clause in clauses if len(clause) == 1), None)
+        if unit is None:
+            return clauses
+        variable, value = abs(unit), unit > 0
+        if forced.get(variable, value) != value:
+            raise InconsistentFormulaError
+        forced[variable] = value
+        clauses = _assign(clauses, unit)
+
+
+def _assign(clauses: list[list[int]], true_literal: int) -> list[list[int]]:
+    """Reduce ``clauses`` under the assignment making ``true_literal`` true."""
+    reduced: list[list[int]] = []
+    for clause in clauses:
+        if true_literal in clause:
+            continue
+        if -true_literal in clause:
+            remaining = [literal for literal in clause if literal != -true_literal]
+            if not remaining:
+                raise InconsistentFormulaError
+            reduced.append(remaining)
+        else:
+            reduced.append(clause)
+    return reduced
+
+
+def _eliminate_pure_literals(clauses: list[list[int]], forced: dict[int, bool]) -> list[list[int]]:
+    """Remove clauses containing literals whose complement never occurs."""
+    positive: set[int] = set()
+    negative: set[int] = set()
+    for clause in clauses:
+        for literal in clause:
+            (positive if literal > 0 else negative).add(abs(literal))
+    pure = {variable for variable in positive | negative if not (variable in positive and variable in negative)}
+    if not pure:
+        return clauses
+    for variable in pure:
+        if variable not in forced:
+            forced[variable] = variable in positive
+    return [
+        clause
+        for clause in clauses
+        if not any(abs(literal) in pure for literal in clause)
+    ]

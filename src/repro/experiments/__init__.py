@@ -1,0 +1,43 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Layout:
+
+* :mod:`repro.experiments.suites` — the benchmark classes (scaled
+  stand-ins for the paper's 12 classes, as justified in DESIGN.md);
+* :mod:`repro.experiments.runner` — run solver configurations over
+  suites under machine-independent conflict budgets;
+* :mod:`repro.experiments.tables` — plain-text table rendering with
+  paper-vs-measured columns;
+* :mod:`repro.experiments.paper_data` — the numbers the paper reports,
+  transcribed for side-by-side display;
+* ``table1`` .. ``table10``, ``fig1`` — one module per experiment, each
+  with ``build()`` returning the data and ``main()`` printing the table.
+
+Run any experiment from the command line::
+
+    python -m repro.experiments.table1
+    python -m repro.cli experiment table5
+"""
+
+from repro.experiments.runner import ClassResult, InstanceRun, run_class, run_suite
+from repro.experiments.suites import (
+    BenchmarkClass,
+    Instance,
+    benchmark_class,
+    competition_suite,
+    paper_suite,
+)
+from repro.experiments.tables import Table
+
+__all__ = [
+    "BenchmarkClass",
+    "ClassResult",
+    "Instance",
+    "InstanceRun",
+    "Table",
+    "benchmark_class",
+    "competition_suite",
+    "paper_suite",
+    "run_class",
+    "run_suite",
+]

@@ -1,0 +1,88 @@
+"""Shared plumbing for the ablation-table experiments (Tables 1, 2, 4, 5).
+
+Each of those paper tables has the same shape: the 12 benchmark classes
+as rows, one column per solver configuration, seconds in the cells (with
+``> t (n)`` marking n aborted instances).  The measured counterpart adds
+conflict counts, which are the machine-independent quantity our
+reproduction actually compares.
+"""
+
+from __future__ import annotations
+
+from repro.solver.config import SolverConfig, config_by_name
+from repro.experiments.runner import ClassResult, run_suite
+from repro.experiments.suites import paper_suite
+from repro.experiments.tables import Table
+
+
+def measured_cell(result: ClassResult) -> str:
+    """Render a class result as ``seconds s / conflicts c`` with aborts."""
+    cell = f"{result.seconds:.2f}s/{result.conflicts}c"
+    if result.aborted:
+        cell += f" ({result.aborted} abrt)"
+    return cell
+
+
+def run_ablation(
+    config_names: list[str],
+    scale: str = "default",
+    progress=None,
+) -> dict[str, dict[str, ClassResult]]:
+    """Run the 12-class paper suite under the named configurations."""
+    configs: list[SolverConfig] = [config_by_name(name) for name in config_names]
+    return run_suite(paper_suite(scale), configs, progress=progress)
+
+
+def ablation_table(
+    title: str,
+    config_names: list[str],
+    paper_rows: dict[str, tuple],
+    paper_total: tuple,
+    scale: str = "default",
+    progress=None,
+) -> Table:
+    """Build one paper-vs-measured ablation table.
+
+    ``paper_rows[class_name]`` holds the paper's cells in the same order
+    as ``config_names``; ``paper_total`` the paper's totals row.
+    """
+    results = run_ablation(config_names, scale=scale, progress=progress)
+
+    headers = ["Class"]
+    for name in config_names:
+        headers.append(f"paper {name} (s)")
+    for name in config_names:
+        headers.append(f"measured {name}")
+
+    table = Table(title=title, headers=headers)
+    totals = {name: [0.0, 0, 0] for name in config_names}  # seconds, conflicts, aborts
+    for class_name, per_config in results.items():
+        row: list[str] = [class_name]
+        paper = paper_rows.get(class_name)
+        for index in range(len(config_names)):
+            row.append(str(paper[index]) if paper else "-")
+        for name in config_names:
+            result = per_config[name]
+            row.append(measured_cell(result))
+            totals[name][0] += result.seconds
+            totals[name][1] += result.conflicts
+            totals[name][2] += result.aborted
+        table.add_row(*row)
+
+    total_row = ["Total"] + [str(value) for value in paper_total]
+    for name in config_names:
+        seconds, conflicts, aborts = totals[name]
+        cell = f"{seconds:.2f}s/{conflicts}c"
+        if aborts:
+            cell += f" ({aborts} abrt)"
+        total_row.append(cell)
+    table.add_row(*total_row)
+    table.add_note(
+        "paper seconds are from the authors' 2002 hardware; compare ratios and "
+        "abort patterns, not absolute values (see EXPERIMENTS.md)"
+    )
+    table.add_note(
+        "measured cells: seconds/conflicts over finished instances; "
+        "(n abrt) = instances that exhausted their conflict budget"
+    )
+    return table

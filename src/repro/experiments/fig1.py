@@ -1,0 +1,150 @@
+"""Fig. 1 — cone variables switching from "idle" to active.
+
+The paper's motivating picture: a cone of logic feeds one pin of an AND
+gate.  While the other pin is 0 the cone cannot affect the output, so
+its variables take no part in conflicts; the moment the pin switches to
+1 they become conflict-active — which is why decision heuristics must be
+*mobile* (Section 5).
+
+We reproduce this quantitatively.  Two circuits, each of the form
+``out = OR(AND(cone(X), control), other(X))``, with the second circuit a
+rewritten-but-equivalent copy, are mitered (UNSAT).  Solving with the
+control input pinned to 0 versus pinned to 1 shows the cone variables'
+share of conflict activity jumping from (near) zero to a substantial
+fraction — the experiment behind the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.miter import build_miter
+from repro.circuits.netlist import Circuit
+from repro.circuits.random_circuit import random_circuit, rewrite_circuit
+from repro.circuits.tseitin import encode_circuit
+from repro.solver.config import berkmin_config
+from repro.solver.solver import Solver
+from repro.experiments.tables import Table
+
+NUM_DATA_INPUTS = 8
+CONE_GATES = 150
+OTHER_GATES = 40
+
+
+def _embed(target: Circuit, source: Circuit, prefix: str) -> str:
+    """Copy ``source`` into ``target`` with prefixed nets; returns its output net."""
+    mapping = {net: net for net in source.inputs}
+    for gate in source.topological_order():
+        new_net = prefix + gate.output
+        mapping[gate.output] = new_net
+        target.add_gate(gate.operation, new_net, *(mapping[net] for net in gate.inputs))
+    return mapping[source.outputs[0]]
+
+
+def gated_cone_circuit(seed: int, rewritten: bool) -> Circuit:
+    """One side of the Fig. 1 miter: ``OR(AND(cone(X), control), other(X))``."""
+    inputs = [f"x{index}" for index in range(NUM_DATA_INPUTS)]
+    cone = random_circuit(NUM_DATA_INPUTS, CONE_GATES, seed=seed, num_outputs=1)
+    other = random_circuit(NUM_DATA_INPUTS, OTHER_GATES, seed=seed + 1, num_outputs=1)
+    if rewritten:
+        cone = rewrite_circuit(cone, seed=seed + 2, probability=0.9)
+        other = rewrite_circuit(other, seed=seed + 3, probability=0.9)
+
+    circuit = Circuit(f"fig1_{'rw' if rewritten else 'ref'}_{seed}")
+    circuit.add_inputs(inputs)
+    circuit.add_input("control")
+    # random_circuit names its inputs i0..iN-1; alias them to the shared x nets.
+    for index in range(NUM_DATA_INPUTS):
+        circuit.add_gate("BUF", f"i{index}", inputs[index])
+    cone_out = _embed(circuit, cone, "cone_")
+    other_out = _embed(circuit, other, "other_")
+    circuit.add_gate("AND", "gated", cone_out, "control")
+    circuit.add_gate("OR", "out", "gated", other_out)
+    circuit.set_outputs(["out"])
+    return circuit
+
+
+@dataclass
+class ConeActivity:
+    """Conflict-activity split between cone and non-cone variables."""
+
+    control_value: bool
+    conflicts: int
+    cone_share: float  # fraction of lit_activity mass on cone variables
+    cone_variables: int
+    total_variables: int
+
+
+def measure(seed: int = 0, max_conflicts: int = 20_000) -> list[ConeActivity]:
+    """Run the miter with control pinned to 0 and to 1; return both splits."""
+    reference = gated_cone_circuit(seed, rewritten=False)
+    rewritten = gated_cone_circuit(seed, rewritten=True)
+    outcomes = []
+    for control_value in (False, True):
+        miter = build_miter(reference, rewritten)
+        encoding = encode_circuit(miter)
+        encoding.assume_input("miter_out", True)
+        encoding.assume_input("control", control_value)
+        cone_variables = {
+            variable
+            for net, variable in encoding.variables.items()
+            if "cone_" in net
+        }
+        solver = Solver(encoding.formula, config=berkmin_config())
+        solver.solve(max_conflicts=max_conflicts)
+        total_mass = sum(solver.lit_activity)
+        cone_mass = sum(
+            solver.lit_activity[2 * variable] + solver.lit_activity[2 * variable + 1]
+            for variable in cone_variables
+        )
+        outcomes.append(
+            ConeActivity(
+                control_value=control_value,
+                conflicts=solver.stats.conflicts,
+                cone_share=cone_mass / total_mass if total_mass else 0.0,
+                cone_variables=len(cone_variables),
+                total_variables=encoding.formula.num_variables,
+            )
+        )
+    return outcomes
+
+
+def build(scale: str = "default", progress=None) -> Table:
+    """Run the Fig. 1 measurement and return the summary table."""
+    max_conflicts = 5_000 if scale == "quick" else 20_000
+    if progress is not None:
+        progress("fig 1: measuring cone activity with control = 0 and 1 ...")
+    outcomes = measure(max_conflicts=max_conflicts)
+    table = Table(
+        title="Fig. 1: cone variables switch from idle to active",
+        headers=[
+            "control pin",
+            "conflicts",
+            "cone vars",
+            "total vars",
+            "cone share of conflict activity",
+        ],
+    )
+    for outcome in outcomes:
+        table.add_row(
+            "1" if outcome.control_value else "0",
+            outcome.conflicts,
+            outcome.cone_variables,
+            outcome.total_variables,
+            f"{100 * outcome.cone_share:.1f}%",
+        )
+    table.add_note(
+        "with the AND's control pin at 0 the cone cannot influence the output, "
+        "so its variables stay out of conflicts; at 1 they dominate — the "
+        "motivation for BerkMin's mobile, top-clause decision-making"
+    )
+    return table
+
+
+def main() -> None:
+    """Print the table (CLI entry point)."""
+    print(build(progress=print).render())
+
+
+if __name__ == "__main__":
+    main()

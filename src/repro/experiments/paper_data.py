@@ -1,0 +1,168 @@
+"""The paper's reported numbers, transcribed for side-by-side display.
+
+All values are seconds on the authors' machines (PentiumIII-700 for the
+ablation tables, UltraSPARC-80/450MHz for the Chaff comparisons), so
+only *ratios and ordering* are comparable with our measurements — which
+is exactly how EXPERIMENTS.md uses them.  ``None`` marks aborted /
+unavailable entries; a string preserves the paper's ``> t (n)`` abort
+notation verbatim.
+"""
+
+from __future__ import annotations
+
+#: The canonical 12-class row order used by Tables 1, 2, 4 and 5.
+CLASS_ORDER = [
+    "Hole",
+    "Blocksworld",
+    "Par16",
+    "Sss1.0",
+    "Sss1.0a",
+    "Sss_sat1.0",
+    "Fvp_unsat1.0",
+    "Vliw_sat1.0",
+    "Beijing",
+    "Hanoi",
+    "Miters",
+    "Fvp_unsat2.0",
+]
+
+# Table 1: BerkMin vs less_sensitivity (seconds).
+TABLE1 = {
+    "Hole": (231.1, 74.65),
+    "Blocksworld": (10.26, 8.18),
+    "Par16": (8.83, 11.31),
+    "Sss1.0": (8.2, 10.5),
+    "Sss1.0a": (10.14, 20.29),
+    "Sss_sat1.0": (235.02, 256.5),
+    "Fvp_unsat1.0": (765.16, 887.59),
+    "Vliw_sat1.0": (6199.52, 7263.5),
+    "Beijing": (409.24, 274.92),
+    "Hanoi": (1409.82, 8814.16),
+    "Miters": (4584.72, 8070.17),
+    "Fvp_unsat2.0": (6539.84, 25806.79),
+}
+TABLE1_TOTAL = (20411.85, 51498.26)
+
+# Table 2: BerkMin vs less_mobility; strings keep the paper's aborts.
+TABLE2 = {
+    "Hole": (231.1, "121.89"),
+    "Blocksworld": (10.26, "14.93"),
+    "Par16": (8.83, "6.65"),
+    "Sss1.0": (8.2, "17.71"),
+    "Sss1.0a": (10.14, "16.93"),
+    "Sss_sat1.0": (235.02, "220.36"),
+    "Fvp_unsat1.0": (765.16, "4633.13"),
+    "Vliw_sat1.0": (6199.52, "9507.26"),
+    "Beijing": (409.24, ">120243 (2)"),
+    "Hanoi": (1409.82, "1072.12"),
+    "Miters": (4584.72, "28452.88"),
+    "Fvp_unsat2.0": (6539.84, ">94653 (1)"),
+}
+TABLE2_TOTAL = (20411.85, ">258959 (3)")
+
+# Table 3: the skin effect f(r) on five hard instances
+# (miter70_60_5, hanoi6, 2bitadd_10, 7pipe, 9vliw).
+TABLE3_INSTANCES = ["miter70_60_5", "hanoi6", "2bitadd_10", "7pipe", "9vliw"]
+TABLE3 = {
+    0: (2086, 2235, 585, 3678, 409),
+    1: (161770, 178791, 61615, 111221, 36849),
+    2: (91154, 93820, 26021, 53224, 17715),
+    3: (68638, 70192, 16226, 41745, 13790),
+    4: (52633, 55125, 12106, 32250, 10910),
+    5: (42698, 45668, 10151, 27813, 9485),
+    6: (35539, 39604, 8577, 23771, 8141),
+    7: (30567, 34585, 7292, 21166, 7213),
+    8: (26907, 30831, 6229, 18715, 6614),
+    9: (23564, 28119, 5635, 16878, 6062),
+    10: (21551, 25700, 5088, 15616, 5706),
+    50: (2954, 6074, 722, 4074, 1181),
+    100: (964, 3265, 253, 2155, 596),
+    500: (108, 550, 24, 803, 231),
+    1000: (39, 134, 7, 466, 138),
+    2000: (4, 21, 3, 252, 39),
+}
+
+# Table 4: branch-selection heuristics (seconds; paper column order).
+TABLE4_CONFIGS = ["berkmin", "sat_top", "unsat_top", "take_0", "take_1", "take_rand"]
+TABLE4 = {
+    "Hole": ("231.1", "148.03", ">60269 (1)", "202.52", ">60241 (1)", "1243.02"),
+    "Blocksworld": ("10.26", "12.03", "12.8", "10.75", "8.03", "5.99"),
+    "Par16": ("8.83", "8.54", "8.51", "7.83", "7.77", "10.27"),
+    "Sss1.0": ("8.2", "8.03", "26.75", "8.63", "17.22", "9.2"),
+    "Sss1.0a": ("10.14", "8.32", "17.03", "14.39", "13.27", "8.24"),
+    "Sss_sat1.0": ("235.02", "234.44", "291.25", "261.45", "321.71", "237.6"),
+    "Fvp_unsat1.0": ("765.16", "696.01", "1093.89", "827.81", "465.44", "824.58"),
+    "Vliw_sat1.0": ("6199.52", "5966.43", "5844.34", "9982.5", "4462.77", "6579.43"),
+    "Beijing": ("409.24", "1033.67", ">60111 (1)", "324.62", ">60120 (1)", "457.63"),
+    "Hanoi": ("1409.82", "8433.15", "451.45", "10504.88", "6437.17", "2193.33"),
+    "Miters": ("4584.72", "8264.48", "20343.63", "24222.15", ">71706 (1)", "6815.28"),
+    "Fvp_unsat2.0": ("6539.84", "10339.67", "6923.45", "7256.2", "10007.85", "6460.38"),
+}
+TABLE4_TOTAL = ("20411.85", "36152.8", ">155393 (2)", "53623.68", ">213808 (3)", "24844.75")
+
+# Table 5: BerkMin vs limited_keeping (GRASP-style deletion).
+TABLE5 = {
+    "Hole": (231.1, 696.79),
+    "Blocksworld": (10.26, 7.52),
+    "Par16": (8.83, 7.95),
+    "Sss1.0": (8.2, 8.87),
+    "Sss1.0a": (10.14, 9.4),
+    "Sss_sat1.0": (235.02, 235.42),
+    "Fvp_unsat1.0": (765.16, 1328.1),
+    "Vliw_sat1.0": (6199.52, 5858.0),
+    "Beijing": (409.24, 388.52),
+    "Hanoi": (1409.82, 17566.16),
+    "Miters": (4584.72, 9143.33),
+    "Fvp_unsat2.0": (6539.84, 22630.55),
+}
+TABLE5_TOTAL = (20411.85, 57880.71)
+
+# Table 6: classes where Chaff and BerkMin are comparable
+# (class -> (instances, zchaff seconds, berkmin seconds)).
+TABLE6 = {
+    "Blocksworld": (7, 33.2, 9.0),
+    "Hole": (5, 38.0, 339.0),
+    "Par16": (10, 27.7, 13.6),
+    "Sss1.0": (48, 85.3, 13.4),
+    "Sss1.0a": (8, 32.2, 17.9),
+    "Sss_sat1.0": (100, 593.9, 254.4),
+    "Fvp_unsat1.0": (4, 1140.8, 1637.4),
+    "Vliw_sat1.0": (100, 12334.2, 7305.0),
+}
+
+# Table 7: classes where BerkMin dominates
+# (class -> (instances, zchaff seconds, zchaff aborted, berkmin seconds, berkmin aborted)).
+TABLE7 = {
+    "Beijing": (16, 247.6, 2, 494.0, 0),
+    "Miters": (5, 1917.4, 2, 3477.6, 0),
+    "Hanoi": (3, 50832.1, 0, 1401.3, 0),
+    "Fvp_unsat2.0": (22, 26944.7, 2, 6869.7, 0),
+}
+
+# Table 8: per-instance decisions and seconds
+# (instance -> (sat?, zchaff decisions, zchaff s, berkmin decisions, berkmin s)).
+TABLE8 = {
+    "9vliw_bp_mc": (False, 2577451, 1116.2, 2384485, 1625.0),
+    "hanoi5": (True, 1290705, 9517.6, 194672, 71.2),
+    "hanoi6": (True, 4977866, 41313.1, 1948717, 1328.7),
+    "4pipe": (False, 466909, 396.7, 144036, 40.9),
+    "5pipe": (False, 1364866, 894.4, 213859, 71.8),
+    "6pipe": (False, 5271512, 11811.7, 1371445, 1015.6),
+    "7pipe": (False, 14748116, None, 3357821, 3673.2),  # zChaff aborted
+}
+
+# Table 9: database-size ratios
+# (instance -> (zchaff growth, berkmin growth, berkmin peak)).
+TABLE9 = {
+    "9vliw_bp_mc": (2.40, 1.88, 1.04),
+    "hanoi5": (68.90, 8.68, 2.38),
+    "hanoi6": (93.30, 19.58, 4.19),
+    "4pipe": (3.09, 1.49, 1.08),
+    "5pipe": (2.70, 1.09, 1.01),
+    "6pipe": (5.13, 1.71, 1.05),
+    "7pipe": (7.21, 1.95, 1.05),
+}
+
+# Table 10: SAT-2002 second-stage summary.
+TABLE10_SOLVED = {"berkmin": 15, "limmat": 4, "zchaff": 7}
+TABLE10_SOLVED_SAT = {"berkmin": 5, "limmat": 2, "zchaff": 1}

@@ -1,0 +1,167 @@
+"""Run solver configurations over benchmark suites.
+
+The runner enforces each instance's conflict budget (the
+machine-independent analogue of the paper's 60,000-second timeout),
+checks every definite answer against the instance's ground truth
+(raising on a mismatch — a wrong answer is a bug, not a data point),
+and aggregates per-class totals the way the paper's tables do: time
+over finished instances plus an explicit aborted count.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.solver.config import SolverConfig
+from repro.solver.result import SolveStatus
+from repro.solver.solver import Solver
+from repro.solver.stats import SolverStats
+from repro.experiments.suites import BenchmarkClass, Instance
+
+
+class GroundTruthViolation(RuntimeError):
+    """A solver returned a definite answer contradicting the ground truth."""
+
+
+@dataclass
+class InstanceRun:
+    """Outcome of one (configuration, instance) pair."""
+
+    instance: str
+    config: str
+    expected: SolveStatus
+    status: SolveStatus
+    seconds: float
+    conflicts: int
+    decisions: int
+    stats: SolverStats
+
+    @property
+    def solved(self) -> bool:
+        """True when a definite answer was returned within budget."""
+        return self.status is not SolveStatus.UNKNOWN
+
+    @property
+    def aborted(self) -> bool:
+        return not self.solved
+
+
+@dataclass
+class ClassResult:
+    """Aggregate over one benchmark class for one configuration."""
+
+    class_name: str
+    config: str
+    runs: list[InstanceRun] = field(default_factory=list)
+
+    @property
+    def seconds(self) -> float:
+        """Total time over *finished* instances (the paper's upper number)."""
+        return sum(run.seconds for run in self.runs if run.solved)
+
+    @property
+    def conflicts(self) -> int:
+        return sum(run.conflicts for run in self.runs if run.solved)
+
+    @property
+    def decisions(self) -> int:
+        return sum(run.decisions for run in self.runs if run.solved)
+
+    @property
+    def aborted(self) -> int:
+        return sum(1 for run in self.runs if run.aborted)
+
+    @property
+    def solved(self) -> int:
+        return sum(1 for run in self.runs if run.solved)
+
+    def time_cell(self) -> str:
+        """Render like the paper: time, with '(n)' appended when aborted."""
+        cell = f"{self.seconds:.2f}"
+        if self.aborted:
+            cell = f">{cell} ({self.aborted})"
+        return cell
+
+
+def run_instance(
+    instance: Instance,
+    config: SolverConfig,
+    *,
+    max_conflicts: int | None = None,
+    max_seconds: float | None = None,
+) -> InstanceRun:
+    """Solve one instance under one configuration, verifying ground truth."""
+    formula = instance.formula()
+    solver = Solver(formula, config=config)
+    started = time.perf_counter()
+    result = solver.solve(
+        max_conflicts=max_conflicts if max_conflicts is not None else instance.max_conflicts,
+        max_seconds=max_seconds,
+    )
+    elapsed = time.perf_counter() - started
+    if result.status is not SolveStatus.UNKNOWN and result.status is not instance.expected:
+        raise GroundTruthViolation(
+            f"{config.name} answered {result.status.value} on {instance.name}, "
+            f"expected {instance.expected.value}"
+        )
+    return InstanceRun(
+        instance=instance.name,
+        config=config.name,
+        expected=instance.expected,
+        status=result.status,
+        seconds=elapsed,
+        conflicts=result.stats.conflicts,
+        decisions=result.stats.decisions,
+        stats=result.stats,
+    )
+
+
+def run_class(
+    benchmark: BenchmarkClass,
+    config: SolverConfig,
+    *,
+    max_conflicts: int | None = None,
+    max_seconds: float | None = None,
+) -> ClassResult:
+    """Run every instance of a class under one configuration."""
+    result = ClassResult(class_name=benchmark.name, config=config.name)
+    for instance in benchmark.instances:
+        result.runs.append(
+            run_instance(
+                instance,
+                config,
+                max_conflicts=max_conflicts,
+                max_seconds=max_seconds,
+            )
+        )
+    return result
+
+
+def run_suite(
+    suite: list[BenchmarkClass],
+    configs: list[SolverConfig],
+    *,
+    max_conflicts: int | None = None,
+    max_seconds: float | None = None,
+    progress=None,
+) -> dict[str, dict[str, ClassResult]]:
+    """Run a full suite: ``results[class_name][config_name] -> ClassResult``.
+
+    ``progress`` may be a callable taking a status string (the CLI passes
+    ``print``); None keeps the run silent.
+    """
+    results: dict[str, dict[str, ClassResult]] = {}
+    for benchmark in suite:
+        per_config: dict[str, ClassResult] = {}
+        for config in configs:
+            if progress is not None:
+                progress(f"running {benchmark.name} under {config.name} ...")
+            per_config[config.name] = run_class(
+                benchmark,
+                config,
+                max_conflicts=max_conflicts,
+                max_seconds=max_seconds,
+            )
+        results[benchmark.name] = per_config
+    return results

@@ -1,0 +1,38 @@
+"""Table 2 — mobility of decision-making (Section 5).
+
+BerkMin branches on the most active free variable of the *current top
+clause*; the ``less_mobility`` ablation branches on the globally most
+active free variable (activities still computed BerkMin-style, exactly
+as the paper specifies).  The paper saw the top-clause rule win by an
+order of magnitude overall, with ``less_mobility`` aborting on Beijing
+and Fvp_unsat2.0.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paper_data
+from repro.experiments.common import ablation_table
+from repro.experiments.tables import Table
+
+CONFIGS = ["berkmin", "less_mobility"]
+
+
+def build(scale: str = "default", progress=None) -> Table:
+    """Run the experiment and return the paper-vs-measured table."""
+    return ablation_table(
+        "Table 2: changing mobility of decision-making",
+        CONFIGS,
+        paper_data.TABLE2,
+        paper_data.TABLE2_TOTAL,
+        scale=scale,
+        progress=progress,
+    )
+
+
+def main() -> None:
+    """Print the table (CLI entry point)."""
+    print(build(progress=print).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Table 4 — branch (phase) selection on top-clause decisions (Section 7).
+
+Compares BerkMin's database-symmetrizing polarity rule against five
+alternatives, varied *only* for decisions made on the current top clause
+(formula-level decisions keep ``nb_two`` throughout, as in the paper):
+``sat_top`` (satisfy the clause), ``unsat_top`` (falsify the chosen
+literal), ``take_0``, ``take_1``, and ``take_rand``.  The paper found
+symmetrize and take_rand clearly best — evidence that counterbalancing
+restart-induced database asymmetry is what matters.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import paper_data
+from repro.experiments.common import ablation_table
+from repro.experiments.tables import Table
+
+CONFIGS = list(paper_data.TABLE4_CONFIGS)
+
+
+def build(scale: str = "default", progress=None) -> Table:
+    """Run the experiment and return the paper-vs-measured table."""
+    return ablation_table(
+        "Table 4: branch selection heuristics",
+        CONFIGS,
+        paper_data.TABLE4,
+        paper_data.TABLE4_TOTAL,
+        scale=scale,
+        progress=progress,
+    )
+
+
+def main() -> None:
+    """Print the table (CLI entry point)."""
+    print(build(progress=print).render())
+
+
+if __name__ == "__main__":
+    main()

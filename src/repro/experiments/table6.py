@@ -1,0 +1,70 @@
+"""Table 6 — classes where Chaff's and BerkMin's performances are comparable.
+
+Runs the Chaff-style baseline and BerkMin over the eight "comparable"
+classes (the paper's Table 6 rows) and reports totals side by side with
+the paper's seconds.  The shape to reproduce: Chaff wins Hole, BerkMin
+wins most of the rest, and neither aborts.
+"""
+
+from __future__ import annotations
+
+from repro.solver.config import berkmin_config, chaff_config
+from repro.experiments import paper_data
+from repro.experiments.common import measured_cell
+from repro.experiments.runner import run_suite
+from repro.experiments.suites import paper_suite
+from repro.experiments.tables import Table
+
+#: Paper Table 6 row order.
+CLASSES = [
+    "Blocksworld",
+    "Hole",
+    "Par16",
+    "Sss1.0",
+    "Sss1.0a",
+    "Sss_sat1.0",
+    "Fvp_unsat1.0",
+    "Vliw_sat1.0",
+]
+
+
+def build(scale: str = "default", progress=None) -> Table:
+    """Run the experiment and return the paper-vs-measured table."""
+    suite = [cls for cls in paper_suite(scale) if cls.name in CLASSES]
+    results = run_suite(suite, [chaff_config(), berkmin_config()], progress=progress)
+
+    table = Table(
+        title="Table 6: benchmarks on which Chaff's and BerkMin's performances are comparable",
+        headers=[
+            "Class",
+            "N",
+            "paper zChaff (s)",
+            "paper BerkMin (s)",
+            "measured chaff",
+            "measured berkmin",
+        ],
+    )
+    for class_name in CLASSES:
+        per_config = results.get(class_name)
+        if per_config is None:
+            continue
+        paper = paper_data.TABLE6.get(class_name, ("-", "-", "-"))
+        table.add_row(
+            class_name,
+            len(per_config["chaff"].runs),
+            paper[1],
+            paper[2],
+            measured_cell(per_config["chaff"]),
+            measured_cell(per_config["berkmin"]),
+        )
+    table.add_note("N = instances in the reproduction class (the paper's counts differ)")
+    return table
+
+
+def main() -> None:
+    """Print the table (CLI entry point)."""
+    print(build(progress=print).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""Table 8 — search-tree sizes on hard instances (decisions and time).
+
+The paper's point: BerkMin wins because it builds *smaller search trees*
+(fewer decisions), not because of lower per-decision cost.  We run the
+Chaff baseline and BerkMin on the reproduction's hard instances and
+report decisions alongside the paper's per-instance counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.solver.config import berkmin_config, chaff_config
+from repro.solver.result import SolveStatus
+from repro.experiments import paper_data
+from repro.experiments.runner import run_instance
+from repro.experiments.suites import Instance, _hanoi, _pipe  # shared factories
+from repro.experiments.tables import Table
+
+
+def hard_instances(scale: str = "default") -> list[Instance]:
+    """The per-instance rows: hanoi + pipe, our analogues of the paper's."""
+    if scale == "quick":
+        return [
+            Instance("hanoi3", lambda: _hanoi(3, None), SolveStatus.SAT, 10_000),
+            Instance("pipe_w4s2", lambda: _pipe(4, 2), SolveStatus.UNSAT, 10_000),
+        ]
+    return [
+        Instance("hanoi4", lambda: _hanoi(4, None), SolveStatus.SAT, 120_000),
+        Instance("hanoi5", lambda: _hanoi(5, None), SolveStatus.SAT, 120_000),
+        Instance("pipe_w4s3", lambda: _pipe(4, 3), SolveStatus.UNSAT, 120_000),
+        Instance("pipe_w5s3", lambda: _pipe(5, 3), SolveStatus.UNSAT, 120_000),
+        Instance("pipe_w6s3", lambda: _pipe(6, 3), SolveStatus.UNSAT, 120_000),
+    ]
+
+
+@dataclass
+class Table8Row:
+    instance: str
+    satisfiable: bool
+    chaff_decisions: int
+    chaff_seconds: float
+    chaff_solved: bool
+    berkmin_decisions: int
+    berkmin_seconds: float
+    berkmin_solved: bool
+
+
+def collect(scale: str = "default", progress=None) -> list[Table8Row]:
+    """Run both configurations over the hard instances."""
+    rows: list[Table8Row] = []
+    for instance in hard_instances(scale):
+        if progress is not None:
+            progress(f"table 8: {instance.name} ...")
+        chaff_run = run_instance(instance, chaff_config())
+        berkmin_run = run_instance(instance, berkmin_config())
+        rows.append(
+            Table8Row(
+                instance=instance.name,
+                satisfiable=instance.expected is SolveStatus.SAT,
+                chaff_decisions=chaff_run.decisions,
+                chaff_seconds=chaff_run.seconds,
+                chaff_solved=chaff_run.solved,
+                berkmin_decisions=berkmin_run.decisions,
+                berkmin_seconds=berkmin_run.seconds,
+                berkmin_solved=berkmin_run.solved,
+            )
+        )
+    return rows
+
+
+def build(scale: str = "default", progress=None) -> Table:
+    """Run the experiment and return the paper-vs-measured table."""
+    table = Table(
+        title="Table 8: decisions and runtimes on hard instances",
+        headers=[
+            "Instance",
+            "SAT?",
+            "chaff decisions",
+            "chaff s",
+            "berkmin decisions",
+            "berkmin s",
+            "paper (zchaff dec / berkmin dec)",
+        ],
+    )
+    paper_pairs = {
+        "hanoi4": "hanoi5",  # closest paper row for context
+        "hanoi5": "hanoi5",
+        "pipe_w4s3": "4pipe",
+        "pipe_w5s3": "5pipe",
+        "pipe_w6s3": "6pipe",
+        "hanoi3": "hanoi5",
+        "pipe_w4s2": "4pipe",
+    }
+    for row in collect(scale, progress):
+        paper_name = paper_pairs.get(row.instance)
+        paper_cell = "-"
+        if paper_name and paper_name in paper_data.TABLE8:
+            entry = paper_data.TABLE8[paper_name]
+            paper_cell = f"{paper_name}: {entry[1]} / {entry[3]}"
+        chaff_decisions = str(row.chaff_decisions) + ("" if row.chaff_solved else " (abrt)")
+        berkmin_decisions = str(row.berkmin_decisions) + (
+            "" if row.berkmin_solved else " (abrt)"
+        )
+        table.add_row(
+            row.instance,
+            "yes" if row.satisfiable else "no",
+            chaff_decisions,
+            f"{row.chaff_seconds:.2f}",
+            berkmin_decisions,
+            f"{row.berkmin_seconds:.2f}",
+            paper_cell,
+        )
+    table.add_note("shape to reproduce: berkmin needs fewer decisions on most rows")
+    return table
+
+
+def main() -> None:
+    """Print the table (CLI entry point)."""
+    print(build(progress=print).render())
+
+
+if __name__ == "__main__":
+    main()

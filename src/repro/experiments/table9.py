@@ -1,0 +1,77 @@
+"""Table 9 — clause-database sizes (Section 8's payoff).
+
+Two ratios per instance:
+
+* ``(Database size)/(Initial CNF size)`` — total conflict clauses
+  generated plus initial clauses, over initial clauses (growth);
+* ``(Largest CNF size)/(Initial CNF size)`` — the peak number of clauses
+  simultaneously in memory over initial clauses (BerkMin only; the paper
+  notes Chaff does not report it — we *can* report it for both, and do).
+
+The paper's shape: BerkMin's database is several times smaller than
+Chaff's, and its peak memory stays within a few times the initial CNF.
+"""
+
+from __future__ import annotations
+
+from repro.solver.config import berkmin_config, chaff_config
+from repro.experiments import paper_data
+from repro.experiments.runner import run_instance
+from repro.experiments.table8 import hard_instances
+from repro.experiments.tables import Table
+
+
+def build(scale: str = "default", progress=None) -> Table:
+    """Run the experiment and return the paper-vs-measured table."""
+    table = Table(
+        title="Table 9: database size relative to the initial CNF",
+        headers=[
+            "Instance",
+            "chaff growth",
+            "berkmin growth",
+            "chaff peak",
+            "berkmin peak",
+            "paper (zchaff growth / berkmin growth / berkmin peak)",
+        ],
+    )
+    paper_pairs = {
+        "hanoi4": "hanoi5",
+        "hanoi5": "hanoi5",
+        "pipe_w4s3": "4pipe",
+        "pipe_w5s3": "5pipe",
+        "pipe_w6s3": "6pipe",
+        "hanoi3": "hanoi5",
+        "pipe_w4s2": "4pipe",
+    }
+    for instance in hard_instances(scale):
+        if progress is not None:
+            progress(f"table 9: {instance.name} ...")
+        chaff_run = run_instance(instance, chaff_config())
+        berkmin_run = run_instance(instance, berkmin_config())
+        paper_name = paper_pairs.get(instance.name)
+        paper_cell = "-"
+        if paper_name and paper_name in paper_data.TABLE9:
+            growth_chaff, growth_berkmin, peak_berkmin = paper_data.TABLE9[paper_name]
+            paper_cell = f"{paper_name}: {growth_chaff} / {growth_berkmin} / {peak_berkmin}"
+        table.add_row(
+            instance.name,
+            f"{chaff_run.stats.database_growth_ratio():.2f}",
+            f"{berkmin_run.stats.database_growth_ratio():.2f}",
+            f"{chaff_run.stats.peak_memory_ratio():.2f}",
+            f"{berkmin_run.stats.peak_memory_ratio():.2f}",
+            paper_cell,
+        )
+    table.add_note(
+        "growth counts every conflict clause ever generated; peak counts clauses "
+        "simultaneously in memory (the paper could not obtain Chaff's peak)"
+    )
+    return table
+
+
+def main() -> None:
+    """Print the table (CLI entry point)."""
+    print(build(progress=print).render())
+
+
+if __name__ == "__main__":
+    main()

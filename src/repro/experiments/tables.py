@@ -1,0 +1,66 @@
+"""Plain-text table rendering with paper-vs-measured columns.
+
+Every experiment module builds a :class:`Table`; the CLI and the bench
+harness print it.  Rendering is deliberately dependency-free ASCII so
+the tables read well in logs and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A titled grid of string cells with an optional trailing note."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        """Append one row (cells are stringified; arity must match headers)."""
+        row = [str(cell) for cell in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def add_note(self, note: str) -> None:
+        """Append a footnote rendered under the table."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells: list[str]) -> str:
+            return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+        separator = "  ".join("-" * width for width in widths)
+        parts = [self.title, "=" * len(self.title), line(self.headers), separator]
+        parts.extend(line(row) for row in self.rows)
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_seconds(seconds: float) -> str:
+    """Uniform two-decimal seconds formatting."""
+    return f"{seconds:.2f}"
+
+
+def format_ratio(numerator: float, denominator: float) -> str:
+    """Safe x/y formatting for speedup columns."""
+    if denominator <= 0:
+        return "inf" if numerator > 0 else "1.00"
+    return f"{numerator / denominator:.2f}"

@@ -1,0 +1,73 @@
+"""Benchmark-instance generators.
+
+Each generator builds a :class:`repro.cnf.CnfFormula` with a *known*
+satisfiability status (proved by construction, by an exact reference
+procedure such as GF(2) elimination or breadth-first search, or by a
+planted witness), so the experiment suites and tests can assert the
+solver's answers.
+
+The families map onto the paper's benchmark classes as documented in
+DESIGN.md: pigeonhole -> Hole, XOR systems -> Par16, Hanoi and
+blocks-world planning -> Hanoi/Blocksworld, and (together with
+:mod:`repro.circuits`) miters, adders and pipelines -> Miters, Beijing
+and the microprocessor-verification classes.
+"""
+
+from repro.generators.blocksworld import (
+    BlocksState,
+    blocksworld_formula,
+    decode_blocksworld_plan,
+    optimal_plan_length,
+    random_blocks_state,
+)
+from repro.generators.graph_coloring import (
+    coloring_formula,
+    odd_cycle_formula,
+    planted_coloring_formula,
+)
+from repro.generators.hanoi import decode_hanoi_plan, hanoi_formula
+from repro.generators.parity import (
+    random_xor_system,
+    xor_clauses,
+    xor_system_formula,
+)
+from repro.generators.pigeonhole import pigeonhole_formula
+from repro.generators.queens import decode_queens, queens_formula
+from repro.generators.random_ksat import planted_ksat, random_ksat
+from repro.generators.sudoku import (
+    decode_sudoku,
+    sudoku_formula,
+    sudoku_puzzle,
+)
+from repro.generators.tseitin_graph import (
+    tseitin_formula,
+    tseitin_satisfiable,
+    urquhart_like_formula,
+)
+
+__all__ = [
+    "BlocksState",
+    "blocksworld_formula",
+    "coloring_formula",
+    "decode_blocksworld_plan",
+    "decode_hanoi_plan",
+    "decode_queens",
+    "decode_sudoku",
+    "hanoi_formula",
+    "odd_cycle_formula",
+    "optimal_plan_length",
+    "pigeonhole_formula",
+    "planted_coloring_formula",
+    "planted_ksat",
+    "queens_formula",
+    "random_blocks_state",
+    "random_ksat",
+    "random_xor_system",
+    "sudoku_formula",
+    "sudoku_puzzle",
+    "tseitin_formula",
+    "tseitin_satisfiable",
+    "urquhart_like_formula",
+    "xor_clauses",
+    "xor_system_formula",
+]

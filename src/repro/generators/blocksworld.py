@@ -1,0 +1,334 @@
+"""Blocks-world SAT planning encodings — the paper's *Blocksworld* class.
+
+The DIMACS/SATPLAN ``blocksworld`` benchmarks encode STRIPS planning:
+stacks of blocks must be rearranged from an initial configuration to a
+goal configuration within a move horizon.  We provide:
+
+* :class:`BlocksState` — configurations as canonical stack tuples, with
+  legal-move generation;
+* :func:`optimal_plan_length` — exact ground truth by breadth-first
+  search over the (small) state space;
+* :func:`blocksworld_formula` — the CNF encoding with position, clear,
+  move and no-op variables (the no-op makes every horizon at or above
+  the optimum satisfiable, so ground truth is just a comparison);
+* :func:`decode_blocksworld_plan` / :func:`validate_blocksworld_plan` —
+  plan extraction and replay against the real game rules.
+
+Blocks are numbered ``0..n-1``; the pseudo-position ``n`` is the table.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+
+from repro.cnf.formula import CnfFormula
+
+
+@dataclass(frozen=True)
+class BlocksState:
+    """A blocks-world configuration: stacks listed bottom-to-top."""
+
+    stacks: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for stack in self.stacks:
+            if not stack:
+                raise ValueError("empty stacks are not represented")
+            for block in stack:
+                if block in seen:
+                    raise ValueError(f"block {block} appears twice")
+                seen.add(block)
+        if seen and seen != set(range(len(seen))):
+            raise ValueError("blocks must be numbered 0..n-1")
+
+    @classmethod
+    def from_stacks(cls, stacks) -> "BlocksState":
+        """Canonicalize (sort stacks by bottom block) and build a state."""
+        return cls(tuple(sorted(tuple(stack) for stack in stacks)))
+
+    @property
+    def num_blocks(self) -> int:
+        return sum(len(stack) for stack in self.stacks)
+
+    def supports(self) -> dict[int, int]:
+        """Map block -> what it rests on (block index, or n for the table)."""
+        table = self.num_blocks
+        mapping: dict[int, int] = {}
+        for stack in self.stacks:
+            below = table
+            for block in stack:
+                mapping[block] = below
+                below = block
+        return mapping
+
+    def clear_blocks(self) -> set[int]:
+        """Blocks with nothing on top of them."""
+        return {stack[-1] for stack in self.stacks}
+
+    def successors(self) -> list[tuple[tuple[int, int], "BlocksState"]]:
+        """All legal moves as ``((block, destination), next_state)`` pairs.
+
+        ``destination`` is a clear block, or ``n`` for the table.
+        """
+        table = self.num_blocks
+        moves: list[tuple[tuple[int, int], BlocksState]] = []
+        clear = self.clear_blocks()
+        for source_index, stack in enumerate(self.stacks):
+            block = stack[-1]
+            remaining = [
+                list(other)
+                for index, other in enumerate(self.stacks)
+                if index != source_index
+            ]
+            base = list(stack[:-1])
+            # Move to the table (only meaningful if not already on it).
+            if len(stack) > 1:
+                new_stacks = remaining + ([base] if base else []) + [[block]]
+                moves.append(((block, table), BlocksState.from_stacks(new_stacks)))
+            # Move onto another clear block.
+            for target in clear:
+                if target == block:
+                    continue
+                new_stacks = [list(s) for s in remaining]
+                if base:
+                    new_stacks.append(base)
+                for candidate in new_stacks:
+                    if candidate[-1] == target:
+                        candidate.append(block)
+                        break
+                else:  # pragma: no cover - target is clear, so it must exist
+                    raise AssertionError("clear target not found")
+                moves.append(((block, target), BlocksState.from_stacks(new_stacks)))
+        return moves
+
+
+def random_blocks_state(num_blocks: int, seed: int) -> BlocksState:
+    """A uniform-ish random configuration: shuffled blocks cut into stacks."""
+    rng = random.Random(seed)
+    order = list(range(num_blocks))
+    rng.shuffle(order)
+    stacks: list[list[int]] = [[]]
+    for block in order:
+        if stacks[-1] and rng.random() < 0.5:
+            stacks.append([])
+        stacks[-1].append(block)
+    return BlocksState.from_stacks(stack for stack in stacks if stack)
+
+
+def optimal_plan_length(initial: BlocksState, goal: BlocksState) -> int:
+    """Exact optimal plan length by breadth-first search.
+
+    Raises :class:`ValueError` when the states disagree on the block set
+    (the goal would be unreachable).
+    """
+    if initial.num_blocks != goal.num_blocks:
+        raise ValueError("initial and goal states have different block sets")
+    if initial == goal:
+        return 0
+    frontier = deque([(initial, 0)])
+    visited = {initial}
+    while frontier:
+        state, depth = frontier.popleft()
+        for _move, successor in state.successors():
+            if successor == goal:
+                return depth + 1
+            if successor not in visited:
+                visited.add(successor)
+                frontier.append((successor, depth + 1))
+    raise ValueError("goal unreachable (should not happen in blocks world)")
+
+
+# ---------------------------------------------------------------------------
+# CNF encoding
+# ---------------------------------------------------------------------------
+def _pos_variable(n: int, horizon: int, block: int, support: int, time: int) -> int:
+    return (block * (n + 1) + support) * (horizon + 1) + time + 1
+
+
+def _clear_variable(n: int, horizon: int, block: int, time: int) -> int:
+    base = n * (n + 1) * (horizon + 1)
+    return base + block * (horizon + 1) + time + 1
+
+
+def _move_variable(n: int, horizon: int, block: int, destination: int, time: int) -> int:
+    base = n * (n + 1) * (horizon + 1) + n * (horizon + 1)
+    return base + (block * (n + 1) + destination) * horizon + time + 1
+
+
+def _noop_variable(n: int, horizon: int, time: int) -> int:
+    base = n * (n + 1) * (horizon + 1) + n * (horizon + 1) + n * (n + 1) * horizon
+    return base + time + 1
+
+
+def blocksworld_formula(
+    initial: BlocksState,
+    goal: BlocksState,
+    horizon: int,
+) -> CnfFormula:
+    """CNF for "reach ``goal`` from ``initial`` within ``horizon`` steps".
+
+    A no-op action pads short plans, so the formula is satisfiable iff
+    ``horizon >= optimal_plan_length(initial, goal)``.
+    """
+    if initial.num_blocks != goal.num_blocks:
+        raise ValueError("initial and goal states have different block sets")
+    n = initial.num_blocks
+    if n < 1:
+        raise ValueError("need at least one block")
+    if horizon < 0:
+        raise ValueError("horizon must be nonnegative")
+    table = n
+
+    total_variables = _noop_variable(n, horizon, horizon - 1) if horizon else (
+        n * (n + 1) * (horizon + 1) + n * (horizon + 1)
+    )
+    formula = CnfFormula(
+        num_variables=total_variables,
+        comment=f"blocksworld n={n} horizon={horizon}",
+    )
+
+    def pos(block: int, support: int, time: int) -> int:
+        return _pos_variable(n, horizon, block, support, time)
+
+    def clear(block: int, time: int) -> int:
+        return _clear_variable(n, horizon, block, time)
+
+    def move(block: int, destination: int, time: int) -> int:
+        return _move_variable(n, horizon, block, destination, time)
+
+    def noop(time: int) -> int:
+        return _noop_variable(n, horizon, time)
+
+    # A block never rests on itself; it rests on exactly one support.
+    for block in range(n):
+        for time in range(horizon + 1):
+            formula.add_clause([-pos(block, block, time)])
+            supports = [
+                pos(block, support, time)
+                for support in range(n + 1)
+                if support != block
+            ]
+            formula.add_clause(supports)
+            for first in range(len(supports)):
+                for second in range(first + 1, len(supports)):
+                    formula.add_clause([-supports[first], -supports[second]])
+
+    # Two blocks never share a support (other than the table).
+    for support in range(n):
+        for time in range(horizon + 1):
+            for first in range(n):
+                for second in range(first + 1, n):
+                    if first == support or second == support:
+                        continue
+                    formula.add_clause(
+                        [-pos(first, support, time), -pos(second, support, time)]
+                    )
+
+    # clear(x, t) <-> no block rests on x.
+    for block in range(n):
+        for time in range(horizon + 1):
+            above = [pos(other, block, time) for other in range(n) if other != block]
+            for literal in above:
+                formula.add_clause([-clear(block, time), -literal])
+            formula.add_clause([clear(block, time)] + above)
+
+    # Exactly one action (a move or the no-op) per step.
+    for time in range(horizon):
+        actions = [noop(time)]
+        for block in range(n):
+            for destination in range(n + 1):
+                if destination == block:
+                    formula.add_clause([-move(block, destination, time)])
+                else:
+                    actions.append(move(block, destination, time))
+        formula.add_clause(actions)
+        for first in range(len(actions)):
+            for second in range(first + 1, len(actions)):
+                formula.add_clause([-actions[first], -actions[second]])
+
+    # Move semantics.
+    for time in range(horizon):
+        for block in range(n):
+            for destination in range(n + 1):
+                if destination == block:
+                    continue
+                action = move(block, destination, time)
+                formula.add_clause([-action, clear(block, time)])
+                if destination != table:
+                    formula.add_clause([-action, clear(destination, time)])
+                formula.add_clause([-action, -pos(block, destination, time)])
+                formula.add_clause([-action, pos(block, destination, time + 1)])
+                # Frame: every other block keeps its support.
+                for other in range(n):
+                    if other == block:
+                        continue
+                    for support in range(n + 1):
+                        if support == other:
+                            continue
+                        formula.add_clause(
+                            [
+                                -action,
+                                -pos(other, support, time),
+                                pos(other, support, time + 1),
+                            ]
+                        )
+        # No-op: everything keeps its support.
+        for block in range(n):
+            for support in range(n + 1):
+                if support == block:
+                    continue
+                formula.add_clause(
+                    [-noop(time), -pos(block, support, time), pos(block, support, time + 1)]
+                )
+
+    # Initial and goal states as unit clauses.
+    for block, support in initial.supports().items():
+        formula.add_clause([pos(block, support, 0)])
+    for block, support in goal.supports().items():
+        formula.add_clause([pos(block, support, horizon)])
+    return formula
+
+
+def decode_blocksworld_plan(
+    model: dict[int, bool],
+    num_blocks: int,
+    horizon: int,
+) -> list[tuple[int, int] | None]:
+    """Extract the plan: ``(block, destination)`` per step, ``None`` for no-ops."""
+    n = num_blocks
+    plan: list[tuple[int, int] | None] = []
+    for time in range(horizon):
+        chosen = [
+            (block, destination)
+            for block in range(n)
+            for destination in range(n + 1)
+            if destination != block and model[_move_variable(n, horizon, block, destination, time)]
+        ]
+        if model[_noop_variable(n, horizon, time)]:
+            chosen.append(None)  # type: ignore[arg-type]
+        if len(chosen) != 1:
+            raise ValueError(f"step {time} has {len(chosen)} actions in the model")
+        plan.append(chosen[0] if chosen[0] is not None else None)
+    return plan
+
+
+def validate_blocksworld_plan(
+    plan: list[tuple[int, int] | None],
+    initial: BlocksState,
+    goal: BlocksState,
+) -> bool:
+    """Replay a plan on the real dynamics; True iff it reaches the goal."""
+    state = initial
+    for step in plan:
+        if step is None:
+            continue
+        for move, successor in state.successors():
+            if move == step:
+                state = successor
+                break
+        else:
+            return False
+    return state == goal

@@ -1,0 +1,97 @@
+"""Graph-coloring CNFs.
+
+Proper ``k``-coloring is a natural structured benchmark with both SAT
+and UNSAT members of known status: odd cycles are not 2-colorable,
+``K_n`` is not ``(n-1)``-colorable, and a graph generated around a
+planted coloring is colorable by construction.  Graphs are
+:mod:`networkx` objects, so downstream users can feed their own.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from repro.cnf.formula import CnfFormula
+
+
+def coloring_formula(graph: nx.Graph, colors: int, comment: str = "") -> CnfFormula:
+    """CNF for "is ``graph`` properly ``colors``-colorable?".
+
+    Variable ``v(node_index, color)`` says the node takes that color.
+    Clauses: each node gets at least one color, at most one color, and
+    adjacent nodes differ.
+    """
+    if colors < 1:
+        raise ValueError("need at least one color")
+    nodes = list(graph.nodes())
+    index = {node: position for position, node in enumerate(nodes)}
+
+    def variable(node, color: int) -> int:
+        return index[node] * colors + color + 1
+
+    formula = CnfFormula(
+        num_variables=len(nodes) * colors,
+        comment=comment or f"{colors}-coloring of graph with {len(nodes)} nodes",
+    )
+    for node in nodes:
+        formula.add_clause([variable(node, color) for color in range(colors)])
+        for first in range(colors):
+            for second in range(first + 1, colors):
+                formula.add_clause([-variable(node, first), -variable(node, second)])
+    for left, right in graph.edges():
+        if left == right:
+            continue
+        for color in range(colors):
+            formula.add_clause([-variable(left, color), -variable(right, color)])
+    return formula
+
+
+def odd_cycle_formula(length: int) -> CnfFormula:
+    """2-coloring of an odd cycle: guaranteed UNSAT."""
+    if length < 3 or length % 2 == 0:
+        raise ValueError("length must be odd and at least 3")
+    formula = coloring_formula(
+        nx.cycle_graph(length), 2, comment=f"2-coloring of C_{length} (UNSAT)"
+    )
+    return formula
+
+
+def planted_coloring_formula(
+    num_nodes: int,
+    colors: int,
+    num_edges: int,
+    seed: int,
+) -> CnfFormula:
+    """A ``colors``-colorable graph built around a hidden coloring (SAT).
+
+    Nodes are pre-assigned colors uniformly; edges are drawn only between
+    differently colored nodes, so the hidden coloring stays proper.
+    """
+    if colors < 2:
+        raise ValueError("planted coloring needs at least two colors")
+    if num_nodes < colors:
+        raise ValueError("need at least as many nodes as colors")
+    rng = random.Random(seed)
+    hidden = {node: rng.randrange(colors) for node in range(num_nodes)}
+    # Guarantee every color class is nonempty so cross-color edges exist.
+    for color in range(colors):
+        hidden[color] = color
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_nodes))
+    attempts = 0
+    while graph.number_of_edges() < num_edges and attempts < 100 * num_edges:
+        attempts += 1
+        left, right = rng.sample(range(num_nodes), 2)
+        if hidden[left] != hidden[right]:
+            graph.add_edge(left, right)
+    return coloring_formula(
+        graph,
+        colors,
+        comment=(
+            f"planted {colors}-coloring: {num_nodes} nodes, "
+            f"{graph.number_of_edges()} edges, seed={seed} (SAT)"
+        ),
+    )

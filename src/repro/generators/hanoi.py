@@ -1,0 +1,155 @@
+"""Towers-of-Hanoi SAT planning encodings — the paper's *Hanoi* class.
+
+The DIMACS ``hanoi4``-``hanoi6`` benchmarks encode "is there a plan of
+length T moving n disks from peg 0 to peg 2?" as CNF.  We use the same
+state/action encoding style:
+
+* state variables ``on(d, p, t)`` — disk ``d`` sits on peg ``p`` at time
+  ``t`` (within-peg order is implied: legal states keep disks sorted);
+* action variables ``move(d, p, q, t)`` — disk ``d`` moves from ``p`` to
+  ``q`` at step ``t``; exactly one move per step;
+* preconditions (the disk is on ``p`` and is the top of both pegs),
+  effects, and frame axioms tie the two together.
+
+Ground truth: a plan of length exactly ``T`` exists iff ``T >= 2**n - 1``
+(the optimal plan has length ``2**n - 1``; one extra move can always be
+spent by detouring the smallest disk, so every longer horizon also
+works).  Thus ``horizon = 2**n - 1`` gives the paper-style SAT instance
+and any smaller horizon a guaranteed-UNSAT one.
+"""
+
+from __future__ import annotations
+
+from repro.cnf.formula import CnfFormula
+
+#: The six (source, destination) peg pairs, in a fixed decode order.
+PEG_PAIRS: tuple[tuple[int, int], ...] = ((0, 1), (0, 2), (1, 0), (1, 2), (2, 0), (2, 1))
+
+
+def optimal_hanoi_length(disks: int) -> int:
+    """Length of the optimal plan: ``2**disks - 1``."""
+    return 2**disks - 1
+
+
+def _on_variable(disks: int, horizon: int, disk: int, peg: int, time: int) -> int:
+    return (disk * 3 + peg) * (horizon + 1) + time + 1
+
+
+def _move_variable(disks: int, horizon: int, disk: int, pair: int, time: int) -> int:
+    base = disks * 3 * (horizon + 1)
+    return base + (disk * 6 + pair) * horizon + time + 1
+
+
+def hanoi_formula(disks: int, horizon: int | None = None) -> CnfFormula:
+    """CNF for "move ``disks`` disks from peg 0 to peg 2 in exactly ``horizon`` steps".
+
+    Defaults to the optimal horizon ``2**disks - 1`` (satisfiable).
+    Disk 0 is the smallest; larger-numbered disks may never sit above
+    smaller ones, which the encoding enforces through the top-of-peg
+    preconditions.
+    """
+    if disks < 1:
+        raise ValueError("need at least one disk")
+    if horizon is None:
+        horizon = optimal_hanoi_length(disks)
+    if horizon < 1:
+        raise ValueError("horizon must be at least 1")
+
+    status = "SAT" if horizon >= optimal_hanoi_length(disks) else "UNSAT"
+    formula = CnfFormula(
+        num_variables=disks * 3 * (horizon + 1) + disks * 6 * horizon,
+        comment=f"hanoi {disks} disks, horizon {horizon} ({status})",
+    )
+
+    def on(disk: int, peg: int, time: int) -> int:
+        return _on_variable(disks, horizon, disk, peg, time)
+
+    def move(disk: int, pair: int, time: int) -> int:
+        return _move_variable(disks, horizon, disk, pair, time)
+
+    # State consistency: each disk is on exactly one peg at every time.
+    for disk in range(disks):
+        for time in range(horizon + 1):
+            formula.add_clause([on(disk, peg, time) for peg in range(3)])
+            for first in range(3):
+                for second in range(first + 1, 3):
+                    formula.add_clause([-on(disk, first, time), -on(disk, second, time)])
+
+    # Exactly one move per step.
+    for time in range(horizon):
+        all_moves = [
+            move(disk, pair, time)
+            for disk in range(disks)
+            for pair in range(len(PEG_PAIRS))
+        ]
+        formula.add_clause(all_moves)
+        for first in range(len(all_moves)):
+            for second in range(first + 1, len(all_moves)):
+                formula.add_clause([-all_moves[first], -all_moves[second]])
+
+    for time in range(horizon):
+        for disk in range(disks):
+            for pair, (source, destination) in enumerate(PEG_PAIRS):
+                action = move(disk, pair, time)
+                # Precondition: the disk is on the source peg.
+                formula.add_clause([-action, on(disk, source, time)])
+                # Preconditions: no smaller disk sits on source or destination.
+                for smaller in range(disk):
+                    formula.add_clause([-action, -on(smaller, source, time)])
+                    formula.add_clause([-action, -on(smaller, destination, time)])
+                # Effects.
+                formula.add_clause([-action, on(disk, destination, time + 1)])
+                formula.add_clause([-action, -on(disk, source, time + 1)])
+                # Frame: every other disk stays put.
+                for other in range(disks):
+                    if other == disk:
+                        continue
+                    for peg in range(3):
+                        formula.add_clause(
+                            [-action, -on(other, peg, time), on(other, peg, time + 1)]
+                        )
+                        formula.add_clause(
+                            [-action, on(other, peg, time), -on(other, peg, time + 1)]
+                        )
+
+    # Initial and goal states.
+    for disk in range(disks):
+        formula.add_clause([on(disk, 0, 0)])
+        formula.add_clause([on(disk, 2, horizon)])
+    return formula
+
+
+def decode_hanoi_plan(
+    model: dict[int, bool], disks: int, horizon: int
+) -> list[tuple[int, int, int]]:
+    """Extract the plan as ``(disk, source, destination)`` triples.
+
+    Raises :class:`ValueError` if the model does not contain exactly one
+    move per step (which would indicate a broken encoding).
+    """
+    plan: list[tuple[int, int, int]] = []
+    for time in range(horizon):
+        chosen = [
+            (disk, pair)
+            for disk in range(disks)
+            for pair in range(len(PEG_PAIRS))
+            if model[_move_variable(disks, horizon, disk, pair, time)]
+        ]
+        if len(chosen) != 1:
+            raise ValueError(f"step {time} has {len(chosen)} moves in the model")
+        disk, pair = chosen[0]
+        source, destination = PEG_PAIRS[pair]
+        plan.append((disk, source, destination))
+    return plan
+
+
+def validate_hanoi_plan(plan: list[tuple[int, int, int]], disks: int) -> bool:
+    """Replay a plan against the real game rules; True iff it solves the puzzle."""
+    pegs: list[list[int]] = [list(range(disks - 1, -1, -1)), [], []]  # tops at the end
+    for disk, source, destination in plan:
+        if not pegs[source] or pegs[source][-1] != disk:
+            return False
+        if pegs[destination] and pegs[destination][-1] < disk:
+            return False
+        pegs[destination].append(pegs[source].pop())
+    return pegs[2] == list(range(disks - 1, -1, -1)) and not pegs[0] and not pegs[1]

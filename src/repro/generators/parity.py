@@ -1,0 +1,141 @@
+"""XOR / parity instances — the paper's *Par16* analogue.
+
+The DIMACS ``par16`` benchmarks encode a parity-learning problem: a
+system of GF(2) linear equations compiled to CNF.  We generate the same
+shape: ``m`` random ``k``-ary XOR equations over ``n`` variables,
+CNF-ized by chaining through auxiliary variables.  Ground truth comes
+from exact Gaussian elimination over GF(2), so both satisfiable
+(planted) and inconsistent systems can be produced with certainty.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.cnf.formula import CnfFormula
+
+
+def xor_clauses(formula: CnfFormula, literals: list[int], parity: bool) -> None:
+    """Append CNF clauses enforcing ``l1 xor ... xor lk == parity``.
+
+    Long XORs are chained through fresh auxiliary variables, keeping the
+    clause count linear (4 clauses per link) instead of exponential.
+    """
+    if not literals:
+        if parity:
+            formula.add_clause([])  # 0 == 1: immediately unsatisfiable
+        return
+    accumulator = literals[0]
+    for literal in literals[1:]:
+        fresh = formula.new_variable()
+        _xor3(formula, accumulator, literal, fresh)
+        accumulator = fresh
+    # accumulator must equal `parity`.
+    formula.add_clause([accumulator if parity else -accumulator])
+
+
+def _xor3(formula: CnfFormula, a: int, b: int, c: int) -> None:
+    """Clauses for ``c == a xor b`` (all arguments are literals)."""
+    formula.add_clause([-c, a, b])
+    formula.add_clause([-c, -a, -b])
+    formula.add_clause([c, -a, b])
+    formula.add_clause([c, a, -b])
+
+
+@dataclass
+class XorSystem:
+    """A GF(2) linear system: rows of variable sets with parities."""
+
+    num_variables: int
+    rows: list[tuple[list[int], bool]]
+
+    def is_consistent(self) -> bool:
+        """Exact consistency check by Gaussian elimination over GF(2)."""
+        matrix: list[int] = []  # bitmask rows; bit 0 = RHS, bit v = variable v
+        for variables, parity in self.rows:
+            row = int(parity)
+            for variable in variables:
+                row ^= 1 << variable
+            matrix.append(row)
+        pivots: dict[int, int] = {}  # pivot bit -> row
+        for row in matrix:
+            current = row
+            while True:
+                high = current.bit_length() - 1
+                if high <= 0:
+                    break
+                if high in pivots:
+                    current ^= pivots[high]
+                else:
+                    pivots[high] = current
+                    break
+            if current == 1:  # reduced to 0 == 1
+                return False
+        return True
+
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        """True iff ``assignment`` satisfies every equation."""
+        for variables, parity in self.rows:
+            value = False
+            for variable in variables:
+                value ^= assignment[variable]
+            if value != parity:
+                return False
+        return True
+
+
+def random_xor_system(
+    num_variables: int,
+    num_equations: int,
+    arity: int,
+    seed: int,
+    planted: bool = True,
+) -> XorSystem:
+    """Generate a random XOR system.
+
+    With ``planted=True`` parities are set from a hidden assignment, so
+    the system is consistent by construction.  With ``planted=False``
+    parities are random and the generator *reruns with fresh equations
+    until the system is inconsistent* (checked exactly), so the returned
+    system is guaranteed UNSAT.
+    """
+    if not 1 <= arity <= num_variables:
+        raise ValueError("arity must be between 1 and num_variables")
+    rng = random.Random(seed)
+    hidden = {variable: rng.random() < 0.5 for variable in range(1, num_variables + 1)}
+
+    for _attempt in range(1000):
+        rows: list[tuple[list[int], bool]] = []
+        for _ in range(num_equations):
+            variables = rng.sample(range(1, num_variables + 1), arity)
+            if planted:
+                parity = False
+                for variable in variables:
+                    parity ^= hidden[variable]
+            else:
+                parity = rng.random() < 0.5
+            rows.append((variables, parity))
+        system = XorSystem(num_variables, rows)
+        if planted or not system.is_consistent():
+            return system
+    raise RuntimeError(
+        "could not generate an inconsistent XOR system; "
+        "increase num_equations relative to num_variables"
+    )
+
+
+def xor_system_formula(system: XorSystem, comment: str = "") -> CnfFormula:
+    """Compile an :class:`XorSystem` to CNF via chained XOR encoding."""
+    formula = CnfFormula(
+        num_variables=system.num_variables,
+        comment=comment
+        or (
+            f"xor system: {len(system.rows)} equations over "
+            f"{system.num_variables} variables; "
+            f"{'SAT' if system.is_consistent() else 'UNSAT'}"
+        ),
+    )
+    for variables, parity in system.rows:
+        xor_clauses(formula, list(variables), parity)
+    return formula

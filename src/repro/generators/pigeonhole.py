@@ -1,0 +1,42 @@
+"""Pigeonhole-principle instances — the paper's *Hole* class.
+
+``PHP(p, h)`` asks whether ``p`` pigeons fit into ``h`` holes with at
+most one pigeon per hole.  With ``p = h + 1`` (the default) the formula
+is the classic resolution-hard UNSAT family used by the DIMACS ``hole*``
+benchmarks; with ``p <= h`` it is trivially satisfiable.
+"""
+
+from __future__ import annotations
+
+from repro.cnf.formula import CnfFormula
+
+
+def pigeonhole_formula(holes: int, pigeons: int | None = None) -> CnfFormula:
+    """Build ``PHP(pigeons, holes)``; default ``pigeons = holes + 1``.
+
+    Variable ``v(p, h)`` ("pigeon p sits in hole h") is numbered
+    ``p * holes + h + 1``.  Clauses: every pigeon sits somewhere; no two
+    pigeons share a hole.
+    """
+    if holes < 1:
+        raise ValueError("need at least one hole")
+    if pigeons is None:
+        pigeons = holes + 1
+    if pigeons < 1:
+        raise ValueError("need at least one pigeon")
+
+    def variable(pigeon: int, hole: int) -> int:
+        return pigeon * holes + hole + 1
+
+    formula = CnfFormula(
+        num_variables=pigeons * holes,
+        comment=f"pigeonhole PHP({pigeons},{holes}); "
+        f"{'UNSAT' if pigeons > holes else 'SAT'}",
+    )
+    for pigeon in range(pigeons):
+        formula.add_clause([variable(pigeon, hole) for hole in range(holes)])
+    for hole in range(holes):
+        for first in range(pigeons):
+            for second in range(first + 1, pigeons):
+                formula.add_clause([-variable(first, hole), -variable(second, hole)])
+    return formula

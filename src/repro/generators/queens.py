@@ -1,0 +1,64 @@
+"""N-queens CNFs.
+
+Satisfiable for every ``n`` except 2 and 3; used as a structured SAT
+family and as example-script material.
+"""
+
+from __future__ import annotations
+
+from repro.cnf.formula import CnfFormula
+
+
+def queens_formula(size: int) -> CnfFormula:
+    """CNF for placing ``size`` non-attacking queens on a size x size board.
+
+    Variable ``v(row, column) = row * size + column + 1`` means a queen
+    occupies that square.  One queen per row (at-least + at-most), at
+    most one per column and per diagonal.
+    """
+    if size < 1:
+        raise ValueError("board size must be positive")
+
+    def variable(row: int, column: int) -> int:
+        return row * size + column + 1
+
+    status = "UNSAT" if size in (2, 3) else "SAT"
+    formula = CnfFormula(
+        num_variables=size * size, comment=f"{size}-queens ({status})"
+    )
+    for row in range(size):
+        formula.add_clause([variable(row, column) for column in range(size)])
+        for first in range(size):
+            for second in range(first + 1, size):
+                formula.add_clause([-variable(row, first), -variable(row, second)])
+    for column in range(size):
+        for first in range(size):
+            for second in range(first + 1, size):
+                formula.add_clause(
+                    [-variable(first, column), -variable(second, column)]
+                )
+    for row_a in range(size):
+        for col_a in range(size):
+            for row_b in range(row_a + 1, size):
+                offset = row_b - row_a
+                for col_b in (col_a - offset, col_a + offset):
+                    if 0 <= col_b < size:
+                        formula.add_clause(
+                            [-variable(row_a, col_a), -variable(row_b, col_b)]
+                        )
+    return formula
+
+
+def decode_queens(model: dict[int, bool], size: int) -> list[int]:
+    """Extract the queen column for each row from a SAT model."""
+    placement = []
+    for row in range(size):
+        columns = [
+            column
+            for column in range(size)
+            if model[row * size + column + 1]
+        ]
+        if len(columns) != 1:
+            raise ValueError(f"row {row} has {len(columns)} queens in the model")
+        placement.append(columns[0])
+    return placement

@@ -1,0 +1,63 @@
+"""Uniform and planted random k-SAT.
+
+Random 3-SAT near the clause/variable threshold was the classic solver
+stress test of the era.  :func:`random_ksat` draws clauses uniformly
+(status unknown a priori — used for property tests against the DPLL
+oracle); :func:`planted_ksat` hides a solution so the instance is
+certifiably SAT (used by the suites, which need ground truth).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cnf.formula import CnfFormula
+
+
+def random_ksat(
+    num_variables: int,
+    num_clauses: int,
+    arity: int,
+    seed: int,
+) -> CnfFormula:
+    """Uniform random k-SAT: distinct variables per clause, random signs."""
+    if not 1 <= arity <= num_variables:
+        raise ValueError("arity must be between 1 and num_variables")
+    rng = random.Random(seed)
+    formula = CnfFormula(
+        num_variables=num_variables,
+        comment=f"uniform random {arity}-SAT n={num_variables} m={num_clauses} seed={seed}",
+    )
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_variables + 1), arity)
+        formula.add_clause(
+            [variable * rng.choice((1, -1)) for variable in variables]
+        )
+    return formula
+
+
+def planted_ksat(
+    num_variables: int,
+    num_clauses: int,
+    arity: int,
+    seed: int,
+) -> CnfFormula:
+    """Random k-SAT with a hidden satisfying assignment (certifiably SAT).
+
+    Clauses are drawn uniformly and rejected until they contain at least
+    one literal satisfied by the planted assignment.
+    """
+    if not 1 <= arity <= num_variables:
+        raise ValueError("arity must be between 1 and num_variables")
+    rng = random.Random(seed)
+    planted = {variable: rng.random() < 0.5 for variable in range(1, num_variables + 1)}
+    formula = CnfFormula(
+        num_variables=num_variables,
+        comment=f"planted random {arity}-SAT n={num_variables} m={num_clauses} seed={seed} (SAT)",
+    )
+    while formula.num_clauses < num_clauses:
+        variables = rng.sample(range(1, num_variables + 1), arity)
+        clause = [variable * rng.choice((1, -1)) for variable in variables]
+        if any(planted[abs(literal)] == (literal > 0) for literal in clause):
+            formula.add_clause(clause)
+    return formula

@@ -1,0 +1,110 @@
+"""Sudoku CNFs — example-application material.
+
+A 9x9 (or any ``box**2``-sized) Sudoku grid encodes naturally into CNF;
+solving it exercises the public API end-to-end, which is why one of the
+repository's example scripts is a Sudoku solver.
+"""
+
+from __future__ import annotations
+
+from repro.cnf.formula import CnfFormula
+
+#: A moderately hard, human-made 9x9 puzzle (0 = blank).  Unique solution.
+EXAMPLE_PUZZLE = (
+    "530070000"
+    "600195000"
+    "098000060"
+    "800060003"
+    "400803001"
+    "700020006"
+    "060000280"
+    "000419005"
+    "000080079"
+)
+
+
+def sudoku_puzzle(text: str = EXAMPLE_PUZZLE) -> list[list[int]]:
+    """Parse a puzzle string (row-major digits, 0 or '.' = blank)."""
+    digits = [int(ch) if ch.isdigit() else 0 for ch in text if ch.isdigit() or ch == "."]
+    size = int(len(digits) ** 0.5)
+    if size * size != len(digits):
+        raise ValueError("puzzle length must be a perfect square")
+    return [digits[row * size : (row + 1) * size] for row in range(size)]
+
+
+def _variable(size: int, row: int, column: int, digit: int) -> int:
+    """Variable for "cell (row, column) holds digit" (digit is 1-based)."""
+    return (row * size + column) * size + digit
+
+
+def sudoku_formula(grid: list[list[int]], box: int = 3) -> CnfFormula:
+    """CNF for completing ``grid`` into a valid Sudoku solution.
+
+    ``grid`` is ``size x size`` with 0 for blanks, where
+    ``size = box * box``.
+    """
+    size = box * box
+    if len(grid) != size or any(len(row) != size for row in grid):
+        raise ValueError(f"grid must be {size}x{size}")
+
+    formula = CnfFormula(
+        num_variables=size * size * size,
+        comment=f"sudoku {size}x{size}",
+    )
+
+    def var(row: int, column: int, digit: int) -> int:
+        return _variable(size, row, column, digit)
+
+    digits = range(1, size + 1)
+    # Each cell holds at least one digit, and at most one.
+    for row in range(size):
+        for column in range(size):
+            formula.add_clause([var(row, column, digit) for digit in digits])
+            for first in digits:
+                for second in range(first + 1, size + 1):
+                    formula.add_clause([-var(row, column, first), -var(row, column, second)])
+    # Each digit appears at most once per row, column, and box.
+    for digit in digits:
+        for row in range(size):
+            for first in range(size):
+                for second in range(first + 1, size):
+                    formula.add_clause([-var(row, first, digit), -var(row, second, digit)])
+        for column in range(size):
+            for first in range(size):
+                for second in range(first + 1, size):
+                    formula.add_clause([-var(first, column, digit), -var(second, column, digit)])
+        for box_row in range(box):
+            for box_column in range(box):
+                cells = [
+                    (box_row * box + dr, box_column * box + dc)
+                    for dr in range(box)
+                    for dc in range(box)
+                ]
+                for first in range(len(cells)):
+                    for second in range(first + 1, len(cells)):
+                        r1, c1 = cells[first]
+                        r2, c2 = cells[second]
+                        formula.add_clause([-var(r1, c1, digit), -var(r2, c2, digit)])
+    # Clues.
+    for row in range(size):
+        for column in range(size):
+            if grid[row][column]:
+                formula.add_clause([var(row, column, grid[row][column])])
+    return formula
+
+
+def decode_sudoku(model: dict[int, bool], box: int = 3) -> list[list[int]]:
+    """Extract the solved grid from a SAT model."""
+    size = box * box
+    grid = [[0] * size for _ in range(size)]
+    for row in range(size):
+        for column in range(size):
+            digits = [
+                digit
+                for digit in range(1, size + 1)
+                if model[_variable(size, row, column, digit)]
+            ]
+            if len(digits) != 1:
+                raise ValueError(f"cell ({row},{column}) holds {len(digits)} digits")
+            grid[row][column] = digits[0]
+    return grid

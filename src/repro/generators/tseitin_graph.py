@@ -1,0 +1,98 @@
+"""Tseitin graph formulas — hard instances for resolution.
+
+The paper's introduction frames modern SAT solvers as escaping the
+exponential gap between tree-like and general resolution (Ben-Sasson,
+Impagliazzo & Wigderson).  The canonical witnesses of resolution
+hardness are *Tseitin formulas*: assign a parity ("charge") to every
+vertex of a graph, one Boolean variable to every edge, and require each
+vertex's incident edges to XOR to its charge.
+
+Ground truth is a parity argument: summing all vertex constraints counts
+every edge twice, so a connected component is satisfiable iff its total
+charge is even.  Urquhart's classic hard family uses expander graphs
+with odd total charge; :func:`urquhart_like_formula` approximates it
+with random regular graphs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from repro.cnf.formula import CnfFormula
+from repro.generators.parity import xor_clauses
+
+
+def tseitin_formula(graph: nx.Graph, charges: dict | None = None, seed: int = 0) -> CnfFormula:
+    """The Tseitin formula of ``graph`` with the given vertex charges.
+
+    ``charges`` maps nodes to booleans; omitted nodes default to False.
+    When ``charges`` is None, random charges are drawn (seeded).
+    Isolated charged vertices make the formula trivially UNSAT (an empty
+    XOR must equal 1), matching the theory.
+    """
+    rng = random.Random(seed)
+    if charges is None:
+        charges = {node: rng.random() < 0.5 for node in graph.nodes()}
+
+    edge_variable: dict[tuple, int] = {}
+    formula = CnfFormula(comment="tseitin graph formula")
+    for index, edge in enumerate(sorted(map(tuple, map(sorted, graph.edges())))):
+        edge_variable[edge] = index + 1
+    formula.num_variables = len(edge_variable)
+
+    for node in sorted(graph.nodes()):
+        incident = [
+            edge_variable[tuple(sorted((node, neighbor)))]
+            for neighbor in graph.neighbors(node)
+            if neighbor != node
+        ]
+        xor_clauses(formula, incident, bool(charges.get(node, False)))
+    formula.comment = (
+        f"tseitin formula: {graph.number_of_nodes()} vertices, "
+        f"{len(edge_variable)} edges; "
+        f"{'SAT' if tseitin_satisfiable(graph, charges) else 'UNSAT'}"
+    )
+    return formula
+
+
+def tseitin_satisfiable(graph: nx.Graph, charges: dict) -> bool:
+    """Exact ground truth: every connected component has even total charge."""
+    for component in nx.connected_components(graph):
+        parity = False
+        for node in component:
+            parity ^= bool(charges.get(node, False))
+        if parity:
+            return False
+    # Nodes with self-loops only contribute nothing; isolated charged
+    # nodes are their own odd component and already returned False.
+    return True
+
+
+def urquhart_like_formula(
+    num_vertices: int,
+    degree: int = 4,
+    seed: int = 0,
+    satisfiable: bool = False,
+) -> CnfFormula:
+    """Tseitin formula over a random ``degree``-regular graph.
+
+    With ``satisfiable=False`` (the default, and the interesting case)
+    one vertex carries an odd charge, so the formula is UNSAT and — on
+    well-connected graphs — provably hard for resolution-based solvers.
+    """
+    if num_vertices * degree % 2 != 0:
+        raise ValueError("num_vertices * degree must be even for a regular graph")
+    if num_vertices <= degree:
+        raise ValueError("need more vertices than the degree")
+    graph = nx.random_regular_graph(degree, num_vertices, seed=seed)
+    # Keep only the largest component's charge bookkeeping simple: random
+    # regular graphs are connected with overwhelming probability, but the
+    # parity argument below handles the general case anyway.
+    charges = {node: False for node in graph.nodes()}
+    if not satisfiable:
+        first = next(iter(sorted(graph.nodes())))
+        charges[first] = True
+    formula = tseitin_formula(graph, charges)
+    return formula

@@ -1,0 +1,162 @@
+"""Clause-database management — Section 8 of the paper.
+
+:func:`reduce_database` runs at every restart ("before starting the next
+iteration"), with the solver backtracked to decision level 0.  It does,
+in order:
+
+1. **Policy-based deletion** of learned clauses:
+
+   * ``berkmin`` — the stack is split into *young* clauses (distance
+     from the top less than ``young_fraction`` — 15/16 — of the stack
+     size) and *old* ones.  A young clause survives if it is short
+     (``length <= 42``) or active (``clause_activity > 7``); an old
+     clause survives if ``length <= 8`` or its activity exceeds a
+     threshold that starts at 60 and grows with every reduction, so
+     long clauses that were once active but went passive eventually
+     disappear.  The topmost clause is never removed (the paper's
+     partial anti-looping fix), nor is any ``protected`` clause (the
+     complete fix, enabled by ``mark_every_n_restarts``).
+   * ``limited_keeping`` — GRASP's policy: drop every learned clause
+     longer than a fixed threshold, regardless of age or activity.
+   * ``keep_all`` — delete nothing (still performs step 2).
+
+2. **"Automatic" removal via retained assignments**: every clause
+   (original or learned) satisfied by a level-0 assignment is removed,
+   and level-0-false literals are stripped from the survivors — the
+   paper's memory-compaction step.
+
+3. **Data-structure recomputation**: watch lists and the binary-clause
+   occurrence maps are rebuilt from scratch, mirroring the paper's
+   "data structures are partially or completely recomputed to fit them
+   into smaller memory blocks".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cnf.clause import Clause
+from repro.cnf.literals import FALSE, TRUE, UNASSIGNED
+from repro.solver import config as cfg
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.solver.solver import Solver
+
+
+def reduce_database(solver: "Solver") -> None:
+    """Run one database reduction; see the module docstring."""
+    if solver.current_level() != 0:
+        raise AssertionError("database reduction requires decision level 0")
+    solver.stats.db_reductions += 1
+
+    kept_learned = _apply_deletion_policy(solver)
+    deleted = len(solver.learned) - len(kept_learned)
+    solver.stats.learned_deleted += deleted
+
+    # Level-0 assignments are permanent: their reason clauses are never
+    # consulted again (conflict analysis skips level-0 variables), and the
+    # clauses themselves are satisfied and about to be removed.
+    for literal in solver.trail:
+        solver.reasons[literal >> 1] = None
+
+    solver.clauses = _simplify_clauses(solver, solver.clauses)
+    solver.learned = _simplify_clauses(solver, kept_learned)
+    _rebuild_structures(solver)
+    solver.search_cursor = len(solver.learned) - 1
+
+
+def _apply_deletion_policy(solver: "Solver") -> list[Clause]:
+    """Select which learned clauses survive, per the configured policy."""
+    policy = solver.config.db_management
+    learned = solver.learned
+    if policy == cfg.DB_KEEP_ALL or not learned:
+        return list(learned)
+
+    if policy == cfg.DB_LIMITED_KEEPING:
+        length_limit = solver.config.limited_keeping_length
+        kept = []
+        for index, clause in enumerate(learned):
+            topmost = index == len(learned) - 1
+            if topmost or clause.protected or len(clause) <= length_limit:
+                kept.append(clause)
+            else:
+                solver.log_proof_delete(clause)
+        return kept
+
+    if policy == cfg.DB_BERKMIN:
+        config = solver.config
+        stack_size = len(learned)
+        young_span = config.young_fraction * stack_size
+        kept = []
+        for index, clause in enumerate(learned):
+            distance_from_top = stack_size - 1 - index
+            if distance_from_top < young_span:
+                survives = (
+                    len(clause) <= config.young_length_limit
+                    or clause.activity > config.young_activity_limit
+                )
+            else:
+                survives = (
+                    len(clause) <= config.old_length_limit
+                    or clause.activity > solver.old_threshold
+                )
+            topmost = index == stack_size - 1
+            if survives or topmost or clause.protected:
+                kept.append(clause)
+            else:
+                solver.log_proof_delete(clause)
+        # Raise the old-clause activity bar so clauses that stop
+        # participating in conflicts are eventually dropped.
+        solver.old_threshold += config.old_threshold_increment
+        return kept
+
+    raise ValueError(f"unknown database-management policy {policy!r}")
+
+
+def _simplify_clauses(solver: "Solver", clauses: list[Clause]) -> list[Clause]:
+    """Drop satisfied clauses and strip false literals (at level 0)."""
+    assigns = solver.assigns
+    survivors: list[Clause] = []
+    for clause in clauses:
+        literals = clause.literals
+        satisfied = False
+        has_false = False
+        for literal in literals:
+            value = assigns[literal >> 1]
+            if value == UNASSIGNED:
+                continue
+            if value ^ (literal & 1) == TRUE:
+                satisfied = True
+                break
+            has_false = True
+        if satisfied:
+            solver.log_proof_delete(clause)
+            continue
+        if has_false:
+            stripped = [
+                literal
+                for literal in literals
+                if assigns[literal >> 1] == UNASSIGNED
+            ]
+            if len(stripped) < 2:
+                # BCP at level 0 ran to fixpoint before the reduction, so a
+                # non-satisfied clause must retain >= 2 free literals.
+                raise AssertionError("level-0 simplification produced a short clause")
+            # Strengthening is add-then-delete in DRUP terms.
+            solver.log_proof_add(stripped)
+            solver.log_proof_delete(clause)
+            clause.literals = stripped
+        survivors.append(clause)
+    return survivors
+
+
+def _rebuild_structures(solver: "Solver") -> None:
+    """Recompute watch lists and binary-occurrence maps from scratch."""
+    size = 2 * (solver.num_variables + 1)
+    solver.watches = [[] for _ in range(size)]
+    solver.binary_count = [0] * size
+    solver.binary_occurrences = [[] for _ in range(size)]
+    for clause in solver.clauses:
+        solver.attach_clause(clause)
+    for clause in solver.learned:
+        solver.attach_clause(clause)

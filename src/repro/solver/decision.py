@@ -1,0 +1,213 @@
+"""Decision (branching-variable) strategies — Sections 5 and 6.
+
+Each strategy inspects the solver state and returns the encoded literal
+to decide next, or ``None`` when every variable is assigned (i.e. the
+formula is satisfied).
+
+* :func:`berkmin_decision` — the paper's contribution: branch on the most
+  active free variable of the *current top clause* (the unsatisfied
+  conflict clause closest to the top of the chronological stack),
+  falling back to the globally most active free variable when every
+  conflict clause is satisfied.  Records the skin-effect distance of
+  every top-clause decision (Table 3).
+* :func:`global_decision` — the Table 2 "less_mobility" ablation: always
+  the globally most active free variable (activities still BerkMin's).
+* :func:`vsids_decision` — the Chaff baseline: the free *literal* with
+  the highest literal counter is set to true.
+* :func:`random_decision` — uniform random variable and phase.
+
+The global scans are deliberately linear: the paper's Remark 1 notes the
+experiments used a "naive" implementation of most-active-variable
+selection, and we reproduce that (an indexed-heap variant would be the
+BerkMin561 "strategy 3" follow-up).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cnf.literals import UNASSIGNED
+from repro.solver import config as cfg
+from repro.solver import phase
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.cnf.clause import Clause
+    from repro.solver.solver import Solver
+
+
+def choose_decision(solver: "Solver") -> int | None:
+    """Dispatch to the configured decision strategy."""
+    strategy = solver.config.decision_strategy
+    if strategy == cfg.DECISION_BERKMIN:
+        return berkmin_decision(solver)
+    if strategy == cfg.DECISION_GLOBAL:
+        return global_decision(solver)
+    if strategy == cfg.DECISION_VSIDS:
+        return vsids_decision(solver)
+    if strategy == cfg.DECISION_RANDOM:
+        return random_decision(solver)
+    raise ValueError(f"unknown decision strategy {strategy!r}")
+
+
+def berkmin_decision(solver: "Solver") -> int | None:
+    """Branch on the current top clause; fall back to the global scan.
+
+    The search for the current top clause starts at ``solver.search_cursor``
+    rather than the true top of the stack: between two consecutive
+    decisions (no backtracking in between) clauses only *gain* satisfied
+    literals, so anything above the cursor is still satisfied.  The
+    cursor is reset to the top whenever assignments are undone or a new
+    clause is pushed.  The *recorded* skin-effect distance is always
+    measured from the true top of the stack, as in Section 6.
+    """
+    learned = solver.learned
+    assigns = solver.assigns
+    top = len(learned) - 1
+    index = min(solver.search_cursor, top)
+    window = solver.config.top_clause_window
+    collected: list = []  # unsatisfied clauses, topmost first
+    while index >= 0:
+        clause = learned[index]
+        satisfied = False
+        for literal in clause.literals:
+            if assigns[literal >> 1] == (literal & 1) ^ 1:
+                satisfied = True
+                break
+        if not satisfied:
+            if not collected:
+                solver.search_cursor = index
+                solver.stats.top_clause_decisions += 1
+                solver.stats.record_skin_distance(top - index)
+            collected.append(clause)
+            if len(collected) >= window:
+                break
+        index -= 1
+    if collected:
+        if len(collected) == 1:
+            clause = collected[0]
+            variable = _most_active_free_in_clause(solver, clause)
+            return phase.top_clause_literal(solver, variable, clause)
+        # Remark 2 extension: the most active free variable across the
+        # whole window; phase decided on the clause that contains it.
+        variable, clause = _most_active_free_in_window(solver, collected)
+        return phase.top_clause_literal(solver, variable, clause)
+
+    solver.search_cursor = -1
+    variable = _most_active_free_variable(solver)
+    if variable is None:
+        return None
+    solver.stats.formula_decisions += 1
+    return phase.formula_literal(solver, variable)
+
+
+def global_decision(solver: "Solver") -> int | None:
+    """The "less_mobility" ablation: globally most active free variable."""
+    variable = _most_active_free_variable(solver)
+    if variable is None:
+        return None
+    solver.stats.formula_decisions += 1
+    return phase.formula_literal(solver, variable)
+
+
+def vsids_decision(solver: "Solver") -> int | None:
+    """Chaff-style decision: free literal with the highest counter, set true."""
+    assigns = solver.assigns
+    counters = solver.vsids
+    best_literal = -1
+    best_score = -1
+    for variable in range(1, solver.num_variables + 1):
+        if assigns[variable] != UNASSIGNED:
+            continue
+        positive = 2 * variable
+        if counters[positive] > best_score:
+            best_score = counters[positive]
+            best_literal = positive
+        if counters[positive + 1] > best_score:
+            best_score = counters[positive + 1]
+            best_literal = positive + 1
+    if best_literal < 0:
+        return None
+    solver.stats.formula_decisions += 1
+    return best_literal
+
+
+def random_decision(solver: "Solver") -> int | None:
+    """Uniform random free variable, uniform random phase."""
+    assigns = solver.assigns
+    free = [variable for variable in range(1, solver.num_variables + 1) if assigns[variable] == UNASSIGNED]
+    if not free:
+        return None
+    solver.stats.formula_decisions += 1
+    variable = solver.rng.choice(free)
+    return 2 * variable + solver.rng.randint(0, 1)
+
+
+def _most_active_free_in_clause(solver: "Solver", clause: "Clause") -> int:
+    """Most active free variable among the clause's literals.
+
+    The clause is unsatisfied but not conflicting (BCP just completed),
+    so it must contain at least one free variable.
+    """
+    assigns = solver.assigns
+    activity = solver.var_activity
+    best_variable = -1
+    best_score = -1
+    for literal in clause.literals:
+        variable = literal >> 1
+        if assigns[variable] == UNASSIGNED and activity[variable] > best_score:
+            best_score = activity[variable]
+            best_variable = variable
+    if best_variable < 0:
+        raise AssertionError("unsatisfied, non-conflicting clause must have a free variable")
+    return best_variable
+
+
+def _most_active_free_in_window(solver: "Solver", clauses: list["Clause"]):
+    """Most active free variable across several top clauses (Remark 2).
+
+    Returns ``(variable, clause)`` where ``clause`` is the topmost
+    collected clause containing the variable, so phase selection still
+    operates on a clause that actually mentions it.
+    """
+    assigns = solver.assigns
+    activity = solver.var_activity
+    best_variable = -1
+    best_clause = None
+    best_score = -1
+    for clause in clauses:
+        for literal in clause.literals:
+            variable = literal >> 1
+            if assigns[variable] == UNASSIGNED and activity[variable] > best_score:
+                best_score = activity[variable]
+                best_variable = variable
+                best_clause = clause
+    if best_clause is None:
+        raise AssertionError("window of unsatisfied clauses must contain a free variable")
+    return best_variable, best_clause
+
+
+def _most_active_free_variable(solver: "Solver") -> int | None:
+    """Most active free variable: naive scan, or the BerkMin561 heap.
+
+    The paper's experiments used the naive linear scan (Remark 1); when
+    ``global_selection = "heap"`` the indexed heap pops assigned
+    variables lazily (they re-enter on backtracking) and returns the
+    same variable the scan would (ties break toward smaller indices).
+    """
+    heap = solver.order_heap
+    if heap is not None:
+        assigns = solver.assigns
+        while len(heap):
+            variable = heap.pop()
+            if assigns[variable] == UNASSIGNED:
+                return variable
+        return None
+    assigns = solver.assigns
+    activity = solver.var_activity
+    best_variable = None
+    best_score = -1
+    for variable in range(1, solver.num_variables + 1):
+        if assigns[variable] == UNASSIGNED and activity[variable] > best_score:
+            best_score = activity[variable]
+            best_variable = variable
+    return best_variable

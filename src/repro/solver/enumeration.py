@@ -1,0 +1,86 @@
+"""Model enumeration via blocking clauses.
+
+A standard application of an incremental CDCL solver: after each model,
+add the clause forbidding it and re-solve.  With ``project_onto`` the
+blocking clause only mentions the projection variables, so the generator
+yields each distinct *projection* exactly once — how equivalence-checking
+flows enumerate distinguishing input vectors, and how the Sudoku example
+checks uniqueness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.cnf.formula import CnfFormula
+from repro.solver.config import SolverConfig
+from repro.solver.solver import Solver
+
+
+def enumerate_models(
+    formula: CnfFormula,
+    config: SolverConfig | None = None,
+    *,
+    limit: int | None = None,
+    project_onto: Sequence[int] | None = None,
+    max_conflicts_per_call: int | None = None,
+) -> Iterator[dict[int, bool]]:
+    """Yield satisfying assignments of ``formula``.
+
+    Args:
+        limit: stop after this many models (None = all of them).
+        project_onto: variables whose value pattern must be unique per
+            yielded model; defaults to every variable.
+        max_conflicts_per_call: per-solve budget; exhausting it raises
+            :class:`RuntimeError` rather than silently truncating the
+            enumeration.
+    """
+    if project_onto is not None:
+        projection = sorted(set(project_onto))
+        if any(variable < 1 for variable in projection):
+            raise ValueError("projection variables must be >= 1")
+        if projection and projection[-1] > formula.num_variables:
+            raise ValueError(
+                "projection variables must occur in the formula "
+                f"(got {projection[-1]}, formula has {formula.num_variables})"
+            )
+    else:
+        projection = None
+
+    solver = Solver(formula, config=config)
+    produced = 0
+    while limit is None or produced < limit:
+        result = solver.solve(max_conflicts=max_conflicts_per_call)
+        if result.is_unknown:
+            raise RuntimeError("enumeration budget exhausted mid-way")
+        if result.is_unsat:
+            return
+        model = result.model
+        assert model is not None
+        yield dict(model)
+        produced += 1
+        variables = projection if projection is not None else sorted(model)
+        blocking = [
+            -variable if model.get(variable, False) else variable
+            for variable in variables
+        ]
+        if not blocking:
+            return  # projection is empty: one model is all there is
+        if not solver.add_clause(blocking):
+            return
+
+
+def count_models(
+    formula: CnfFormula,
+    config: SolverConfig | None = None,
+    *,
+    project_onto: Sequence[int] | None = None,
+    limit: int | None = None,
+) -> int:
+    """Count models (optionally projected); ``limit`` caps the work."""
+    count = 0
+    for _model in enumerate_models(
+        formula, config, project_onto=project_onto, limit=limit
+    ):
+        count += 1
+    return count

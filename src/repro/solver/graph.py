@@ -1,0 +1,108 @@
+"""Implication-graph inspection and export.
+
+GRASP-style conflict analysis (paper Section 2) is defined over the
+*implication graph*: nodes are assignments, edges run from the
+antecedent literals of a reason clause to the literal it implied.  This
+module materializes that graph from a live solver — for debugging,
+for teaching, and for the tests that validate trail consistency — and
+can render it as Graphviz DOT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.cnf.literals import decode_literal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.solver.solver import Solver
+
+
+@dataclass
+class ImplicationNode:
+    """One assignment in the implication graph."""
+
+    literal: int  # DIMACS form (the literal made true)
+    level: int
+    is_decision: bool
+    antecedents: list[int] = field(default_factory=list)  # DIMACS literals
+
+
+@dataclass
+class ImplicationGraph:
+    """A snapshot of the solver's current assignment structure."""
+
+    nodes: dict[int, ImplicationNode] = field(default_factory=dict)  # var -> node
+
+    @classmethod
+    def from_solver(cls, solver: "Solver") -> "ImplicationGraph":
+        """Snapshot the solver's current trail, levels and reasons."""
+        graph = cls()
+        for encoded in solver.trail:
+            variable = encoded >> 1
+            reason = solver.reasons[variable]
+            node = ImplicationNode(
+                literal=decode_literal(encoded),
+                level=solver.levels[variable],
+                is_decision=reason is None,
+            )
+            if reason is not None:
+                node.antecedents = [
+                    decode_literal(lit ^ 1)
+                    for lit in reason.literals
+                    if lit >> 1 != variable
+                ]
+            graph.nodes[variable] = node
+        return graph
+
+    # ------------------------------------------------------------------
+    def decisions(self) -> list[int]:
+        """Decision literals, in level order."""
+        chosen = [node for node in self.nodes.values() if node.is_decision and node.level > 0]
+        return [node.literal for node in sorted(chosen, key=lambda n: n.level)]
+
+    def implied_by(self, variable: int) -> list[int]:
+        """Variables whose assignments this variable's reason consumed."""
+        node = self.nodes.get(variable)
+        if node is None:
+            return []
+        return [abs(literal) for literal in node.antecedents]
+
+    def check_acyclic_and_ordered(self) -> None:
+        """Invariant: antecedents are assigned at the same level or earlier.
+
+        Raises :class:`AssertionError` on violation; used by tests as a
+        structural check on the solver's trail/reason bookkeeping.
+        """
+        positions = {variable: index for index, variable in enumerate(self.nodes)}
+        for variable, node in self.nodes.items():
+            for antecedent in node.antecedents:
+                other = abs(antecedent)
+                if other not in self.nodes:
+                    raise AssertionError(
+                        f"antecedent {other} of {variable} is not on the trail"
+                    )
+                if positions[other] >= positions[variable]:
+                    raise AssertionError(
+                        f"antecedent {other} assigned after {variable}"
+                    )
+                if self.nodes[other].level > node.level:
+                    raise AssertionError(
+                        f"antecedent {other} at deeper level than {variable}"
+                    )
+
+    def to_dot(self, highlight: set[int] | None = None) -> str:
+        """Render as Graphviz DOT (decision nodes are boxes)."""
+        highlight = highlight or set()
+        lines = ["digraph implications {", "  rankdir=LR;"]
+        for variable, node in self.nodes.items():
+            shape = "box" if node.is_decision else "ellipse"
+            color = ", style=filled, fillcolor=lightcoral" if variable in highlight else ""
+            label = f"{node.literal} @ {node.level}"
+            lines.append(f'  v{variable} [label="{label}", shape={shape}{color}];')
+        for variable, node in self.nodes.items():
+            for antecedent in node.antecedents:
+                lines.append(f"  v{abs(antecedent)} -> v{variable};")
+        lines.append("}")
+        return "\n".join(lines)

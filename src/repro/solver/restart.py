@@ -1,0 +1,81 @@
+"""Restart policies.
+
+The paper (Section 10) describes BerkMin's restart strategy as "very
+primitive (being close to random)"; the released solver restarted every
+fixed number of conflicts.  We default to that fixed policy and provide
+geometric and Luby schedules as extensions — the restart-ablation bench
+compares them.
+"""
+
+from __future__ import annotations
+
+from repro.solver.config import (
+    RESTART_FIXED,
+    RESTART_GEOMETRIC,
+    RESTART_LUBY,
+    RESTART_NONE,
+    SolverConfig,
+)
+
+
+def luby(index: int) -> int:
+    """Return the ``index``-th term (1-based) of the Luby sequence.
+
+    1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
+
+    >>> [luby(i) for i in range(1, 8)]
+    [1, 1, 2, 1, 1, 2, 4]
+    """
+    if index < 1:
+        raise ValueError("the Luby sequence is 1-based")
+    # Knuth/Een iterative formulation: find the smallest complete binary
+    # sequence (length 2**seq - 1) containing position ``index``, then
+    # descend into the repeated prefix until ``index`` lands on the final
+    # element of a subsequence.
+    x = index - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class RestartScheduler:
+    """Yields successive conflict budgets between restarts."""
+
+    def __init__(self, config: SolverConfig) -> None:
+        self.strategy = config.restart_strategy
+        self.base_interval = max(1, config.restart_interval)
+        self.geometric_factor = config.restart_geometric_factor
+        self.luby_unit = max(1, config.luby_unit)
+        self.restart_count = 0
+        self._current = self._interval_for(1)
+
+    def _interval_for(self, restart_number: int) -> float:
+        if self.strategy == RESTART_NONE:
+            return float("inf")
+        if self.strategy == RESTART_FIXED:
+            return self.base_interval
+        if self.strategy == RESTART_GEOMETRIC:
+            return self.base_interval * self.geometric_factor ** (restart_number - 1)
+        if self.strategy == RESTART_LUBY:
+            return self.luby_unit * luby(restart_number)
+        raise ValueError(f"unknown restart strategy {self.strategy!r}")
+
+    @property
+    def current_interval(self) -> float:
+        """Conflicts allowed in the current run before the next restart."""
+        return self._current
+
+    def should_restart(self, conflicts_since_restart: int) -> bool:
+        """True when the current run's conflict budget is spent."""
+        return conflicts_since_restart >= self._current
+
+    def on_restart(self) -> None:
+        """Advance to the next interval after a restart happened."""
+        self.restart_count += 1
+        self._current = self._interval_for(self.restart_count + 1)

@@ -1,0 +1,78 @@
+"""Solve outcomes.
+
+A solve call returns :class:`SolveResult`, which carries the status, a
+verified model for SAT answers, the statistics snapshot, and (when proof
+logging is enabled) a DRUP-style proof trace for UNSAT answers.
+
+``UNKNOWN`` is a first-class status: BerkMin's database management makes
+the solver incomplete in principle (Section 8 of the paper), and the
+reproduction harness replaces the paper's wall-clock timeouts with
+machine-independent conflict budgets — exhausting a budget yields
+``UNKNOWN``, never a wrong answer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.solver.stats import SolverStats
+
+
+class SolveStatus(enum.Enum):
+    """Tri-state answer of a solve call."""
+
+    SAT = "SAT"
+    UNSAT = "UNSAT"
+    UNKNOWN = "UNKNOWN"
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "SolveStatus has three values; compare against SolveStatus.SAT explicitly"
+        )
+
+
+@dataclass
+class SolveResult:
+    """Outcome of :meth:`repro.solver.Solver.solve`."""
+
+    status: SolveStatus
+    model: dict[int, bool] | None = None
+    stats: SolverStats = field(default_factory=SolverStats)
+    #: DRUP-style trace: ("a", clause) additions and ("d", clause) deletions
+    #: in DIMACS literals; populated when proof logging is enabled and the
+    #: answer is UNSAT.
+    proof: list[tuple[str, list[int]]] | None = None
+    #: Why the answer is UNKNOWN ("conflict budget", "time budget", ...).
+    limit_reason: str | None = None
+    #: True when an UNSAT answer only refutes the formula *under the
+    #: assumptions* passed to solve(), not the formula itself.
+    under_assumptions: bool = False
+    #: For UNSAT-under-assumptions answers: a subset of the assumption
+    #: literals that already contradicts the formula (a failed-assumption
+    #: core, MiniSat-style).  None otherwise.
+    core: list[int] | None = None
+
+    @property
+    def is_sat(self) -> bool:
+        """True iff the status is SAT."""
+        return self.status is SolveStatus.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        """True iff the status is UNSAT."""
+        return self.status is SolveStatus.UNSAT
+
+    @property
+    def is_unknown(self) -> bool:
+        """True iff a budget stopped the search."""
+        return self.status is SolveStatus.UNKNOWN
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.is_unknown and self.limit_reason:
+            extra = f", limit_reason={self.limit_reason!r}"
+        return (
+            f"SolveResult({self.status.value}, decisions={self.stats.decisions}, "
+            f"conflicts={self.stats.conflicts}{extra})"
+        )

@@ -1,0 +1,666 @@
+"""The CDCL engine.
+
+:class:`Solver` implements the search architecture shared by GRASP,
+SATO, Chaff and BerkMin (paper Section 2): DPLL-style splitting, Boolean
+constraint propagation over watched literals (the SATO/Chaff two-watch
+scheme), first-UIP conflict analysis with conflict-clause recording and
+non-chronological backtracking, restarts, and clause-database
+management.  Every BerkMin novelty and every ablation the paper
+evaluates is selected through :class:`repro.solver.config.SolverConfig`;
+the engine itself is heuristic-agnostic.
+
+Usage::
+
+    from repro import CnfFormula, Solver, berkmin_config
+
+    formula = CnfFormula([[1, 2], [-1, 2], [-2]])
+    solver = Solver(formula, config=berkmin_config())
+    result = solver.solve()
+    assert result.is_sat or result.is_unsat
+
+The solver is incremental: clauses may be added between ``solve`` calls
+and assumptions passed per call, MiniSat-style.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Iterable, Sequence
+
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CnfFormula
+from repro.cnf.literals import FALSE, TRUE, UNASSIGNED, decode_literal, encode_literal
+from repro.cnf.simplify import clean_clause
+from repro.solver.config import SolverConfig, berkmin_config
+from repro.solver.database import reduce_database
+from repro.solver.decision import choose_decision
+from repro.solver.heap import VariableOrderHeap
+from repro.solver.restart import RestartScheduler
+from repro.solver.result import SolveResult, SolveStatus
+from repro.solver.stats import SolverStats
+
+
+class SolverInternalError(RuntimeError):
+    """Raised when an internal invariant is violated (e.g. a bad model)."""
+
+
+class Solver:
+    """A configurable CDCL SAT solver reproducing BerkMin and its ablations."""
+
+    def __init__(
+        self,
+        formula: CnfFormula | None = None,
+        config: SolverConfig | None = None,
+    ) -> None:
+        self.config = config or berkmin_config()
+        self.rng = random.Random(self.config.seed)
+        self.stats = SolverStats()
+
+        self.num_variables = 0
+        # Per-variable state; index 0 is unused so variables index directly.
+        self.assigns: list[int] = [UNASSIGNED]
+        self.levels: list[int] = [0]
+        self.reasons: list[Clause | None] = [None]
+        self.var_activity: list[int] = [0]
+        # Per-literal state, indexed by encoded literal (size 2 * (vars + 1)).
+        self.watches: list[list[Clause]] = [[], []]
+        self.lit_activity: list[int] = [0, 0]
+        self.vsids: list[int] = [0, 0]
+        self.binary_count: list[int] = [0, 0]
+        self.binary_occurrences: list[list[int]] = [[], []]
+
+        self.trail: list[int] = []  # encoded literals in assignment order
+        self.trail_limits: list[int] = []  # trail index at each decision level
+        self.qhead = 0  # propagation frontier within the trail
+
+        self.clauses: list[Clause] = []  # original clauses
+        self.learned: list[Clause] = []  # conflict-clause stack, oldest first
+        self.search_cursor = -1  # where the top-clause scan resumes
+        self.birth_counter = 0
+        self.old_threshold = self.config.old_activity_threshold
+
+        # BerkMin561 "strategy 3": heap-based most-active-variable lookup.
+        self.order_heap: VariableOrderHeap | None = (
+            VariableOrderHeap(self.var_activity)
+            if self.config.global_selection == "heap"
+            else None
+        )
+
+        self.ok = True  # False once the formula is refuted outright
+        self.proof: list[tuple[str, list[int]]] | None = (
+            [] if self.config.proof_logging else None
+        )
+        # Pristine copies of every added clause, for model verification.
+        self._pristine: list[list[int]] = []
+        self._seen: list[bool] = [False]
+
+        if formula is not None:
+            self.add_formula(formula)
+
+    # ==================================================================
+    # Clause loading
+    # ==================================================================
+    def ensure_variables(self, count: int) -> None:
+        """Grow all per-variable and per-literal tables to hold ``count`` vars."""
+        while self.num_variables < count:
+            self.num_variables += 1
+            self.assigns.append(UNASSIGNED)
+            self.levels.append(0)
+            self.reasons.append(None)
+            self.var_activity.append(0)
+            self._seen.append(False)
+            if self.order_heap is not None:
+                self.order_heap.push(self.num_variables)
+            for _ in range(2):
+                self.watches.append([])
+                self.lit_activity.append(0)
+                self.vsids.append(0)
+                self.binary_count.append(0)
+                self.binary_occurrences.append([])
+
+    def add_formula(self, formula: CnfFormula) -> bool:
+        """Load every clause of ``formula``; returns False if refuted outright."""
+        self.ensure_variables(formula.num_variables)
+        for clause in formula.clauses:
+            self.add_clause(clause)
+        return self.ok
+
+    def add_clause(self, dimacs_literals: Iterable[int]) -> bool:
+        """Add one clause given as signed DIMACS literals.
+
+        Returns False when the clause (together with level-0 assignments)
+        refutes the formula.  Clauses may be added between solve calls;
+        the solver backtracks to level 0 first.
+        """
+        literals = list(dimacs_literals)
+        if self.current_level() > 0:
+            self._backtrack(0)
+        self.stats.initial_clauses += 1
+        self._pristine.append(literals)
+
+        cleaned = clean_clause(literals)
+        if cleaned is None:  # tautology
+            return self.ok
+        self.ensure_variables(max((abs(lit) for lit in cleaned), default=0))
+        encoded = [encode_literal(lit) for lit in cleaned]
+
+        # Reduce against permanent (level-0) assignments.
+        remaining: list[int] = []
+        for literal in encoded:
+            value = self._value(literal)
+            if value == TRUE:
+                return self.ok  # already satisfied forever
+            if value == UNASSIGNED:
+                remaining.append(literal)
+        if not remaining:
+            self.ok = False
+            return False
+        if len(remaining) == 1:
+            self._enqueue(remaining[0], None)
+            return self.ok
+        clause = Clause(remaining)
+        self.clauses.append(clause)
+        self.attach_clause(clause)
+        self.stats.peak_clauses = max(
+            self.stats.peak_clauses, len(self.clauses) + len(self.learned)
+        )
+        return self.ok
+
+    def attach_clause(self, clause: Clause) -> None:
+        """Register the first two literals as watches; index binary clauses."""
+        literals = clause.literals
+        self.watches[literals[0]].append(clause)
+        self.watches[literals[1]].append(clause)
+        if len(literals) == 2:
+            first, second = literals
+            self.binary_count[first] += 1
+            self.binary_occurrences[first].append(second)
+            self.binary_count[second] += 1
+            self.binary_occurrences[second].append(first)
+
+    # ==================================================================
+    # Assignment primitives
+    # ==================================================================
+    def current_level(self) -> int:
+        """The current decision level (0 = no decisions)."""
+        return len(self.trail_limits)
+
+    def _value(self, literal: int) -> int:
+        """TRUE / FALSE / UNASSIGNED value of an encoded literal."""
+        value = self.assigns[literal >> 1]
+        return value if value < 0 else value ^ (literal & 1)
+
+    def value_of(self, dimacs_literal: int) -> int:
+        """Public: current value of a DIMACS literal."""
+        return self._value(encode_literal(dimacs_literal))
+
+    def _enqueue(self, literal: int, reason: Clause | None) -> None:
+        """Assign ``literal`` true at the current level."""
+        variable = literal >> 1
+        self.assigns[variable] = (literal & 1) ^ 1
+        self.levels[variable] = self.current_level()
+        self.reasons[variable] = reason
+        self.trail.append(literal)
+        if reason is not None:
+            self.stats.propagations += 1
+
+    def _backtrack(self, target_level: int) -> None:
+        """Undo every assignment above ``target_level``."""
+        if self.current_level() <= target_level:
+            return
+        limit = self.trail_limits[target_level]
+        assigns = self.assigns
+        reasons = self.reasons
+        heap = self.order_heap
+        for index in range(len(self.trail) - 1, limit - 1, -1):
+            variable = self.trail[index] >> 1
+            assigns[variable] = UNASSIGNED
+            reasons[variable] = None
+            if heap is not None:
+                heap.push(variable)
+        del self.trail[limit:]
+        del self.trail_limits[target_level:]
+        self.qhead = limit
+        # Undoing assignments can unsatisfy clauses anywhere in the stack.
+        self.search_cursor = len(self.learned) - 1
+
+    # ==================================================================
+    # Boolean constraint propagation (two watched literals)
+    # ==================================================================
+    def _propagate(self) -> Clause | None:
+        """Propagate to fixpoint; return the conflicting clause, if any."""
+        trail = self.trail
+        assigns = self.assigns
+        watches = self.watches
+        while self.qhead < len(trail):
+            propagated = trail[self.qhead]
+            self.qhead += 1
+            false_literal = propagated ^ 1
+            watch_list = watches[false_literal]
+            keep = 0
+            index = 0
+            length = len(watch_list)
+            while index < length:
+                clause = watch_list[index]
+                index += 1
+                literals = clause.literals
+                # Normalize: the falsified watch sits at position 1.
+                if literals[0] == false_literal:
+                    literals[0], literals[1] = literals[1], literals[0]
+                first = literals[0]
+                first_value = assigns[first >> 1]
+                if first_value >= 0 and first_value ^ (first & 1) == TRUE:
+                    watch_list[keep] = clause
+                    keep += 1
+                    continue
+                for scan in range(2, len(literals)):
+                    candidate = literals[scan]
+                    value = assigns[candidate >> 1]
+                    if value < 0 or value ^ (candidate & 1) == TRUE:
+                        literals[1], literals[scan] = literals[scan], literals[1]
+                        watches[candidate].append(clause)
+                        break
+                else:
+                    # No replacement: the clause is unit or conflicting.
+                    watch_list[keep] = clause
+                    keep += 1
+                    if first_value >= 0:  # first is FALSE: conflict
+                        while index < length:
+                            watch_list[keep] = watch_list[index]
+                            keep += 1
+                            index += 1
+                        del watch_list[keep:]
+                        self.qhead = len(trail)
+                        return clause
+                    self._enqueue(first, clause)
+            del watch_list[keep:]
+        return None
+
+    # ==================================================================
+    # Conflict analysis (first UIP, Section 2)
+    # ==================================================================
+    def _analyze(self, conflict: Clause) -> tuple[list[int], int]:
+        """Derive the first-UIP conflict clause and the backjump level.
+
+        Also performs all activity bookkeeping: ``clause_activity`` on
+        every *responsible* clause, ``var_activity`` per the configured
+        sensitivity rule (Section 4), ``lit_activity`` on the literals of
+        the deduced conflict clause (Section 7), and the Chaff literal
+        counters.
+        """
+        config = self.config
+        seen = self._seen
+        levels = self.levels
+        trail = self.trail
+        current_level = self.current_level()
+        var_activity = self.var_activity
+
+        learnt: list[int] = [0]  # position 0 reserved for the asserting literal
+        to_clear: list[int] = []
+        responsible: list[Clause] = []
+        bump_responsible = config.bump_responsible_clauses
+        heap = self.order_heap
+
+        clause: Clause | None = conflict
+        unresolved = 0
+        index = len(trail) - 1
+        asserting = -1
+
+        while True:
+            if clause is None:
+                raise SolverInternalError("missing reason during conflict analysis")
+            responsible.append(clause)
+            if clause.learned:
+                clause.activity += 1
+            if bump_responsible:
+                for literal in clause.literals:
+                    bumped = literal >> 1
+                    var_activity[bumped] += 1
+                    if heap is not None:
+                        heap.update(bumped)
+            start = 0 if asserting == -1 else 1
+            clause_literals = clause.literals
+            for position in range(start, len(clause_literals)):
+                literal = clause_literals[position]
+                variable = literal >> 1
+                if not seen[variable] and levels[variable] > 0:
+                    seen[variable] = True
+                    to_clear.append(variable)
+                    if levels[variable] >= current_level:
+                        unresolved += 1
+                    else:
+                        learnt.append(literal)
+            while not seen[trail[index] >> 1]:
+                index -= 1
+            asserting = trail[index]
+            variable = asserting >> 1
+            clause = self.reasons[variable]
+            seen[variable] = False
+            unresolved -= 1
+            index -= 1
+            if unresolved == 0:
+                break
+        learnt[0] = asserting ^ 1
+
+        if config.clause_minimization and len(learnt) > 2:
+            learnt = self._minimize(learnt)
+
+        # Backjump level: the deepest level among the non-asserting literals.
+        if len(learnt) == 1:
+            backtrack_level = 0
+        else:
+            max_position = 1
+            for position in range(2, len(learnt)):
+                if levels[learnt[position] >> 1] > levels[learnt[max_position] >> 1]:
+                    max_position = position
+            learnt[1], learnt[max_position] = learnt[max_position], learnt[1]
+            backtrack_level = levels[learnt[1] >> 1]
+
+        if not bump_responsible:
+            for literal in learnt:
+                bumped = literal >> 1
+                var_activity[bumped] += 1
+                if heap is not None:
+                    heap.update(bumped)
+        lit_activity = self.lit_activity
+        vsids = self.vsids
+        for literal in learnt:
+            lit_activity[literal] += 1
+            vsids[literal] += 1
+
+        for variable in to_clear:
+            seen[variable] = False
+        return learnt, backtrack_level
+
+    def _minimize(self, learnt: list[int]) -> list[int]:
+        """Self-subsumption minimization (extension; off by default).
+
+        A non-asserting literal is redundant when every literal of its
+        reason clause is already in the learnt clause (or at level 0).
+        Requires the ``seen`` flags of the learnt literals, which
+        :meth:`_analyze` has not cleared yet at the call site.
+        """
+        seen = self._seen
+        levels = self.levels
+        minimized = [learnt[0]]
+        for literal in learnt[1:]:
+            reason = self.reasons[literal >> 1]
+            if reason is None:
+                minimized.append(literal)
+                continue
+            redundant = True
+            for other in reason.literals:
+                variable = other >> 1
+                if variable == literal >> 1:
+                    continue
+                if not seen[variable] and levels[variable] > 0:
+                    redundant = False
+                    break
+            if not redundant:
+                minimized.append(literal)
+        return minimized
+
+    # ==================================================================
+    # Learning, restarts, aging
+    # ==================================================================
+    def _record_learned(self, learnt: list[int]) -> None:
+        """Push the conflict clause and assert its first literal."""
+        self.stats.learned_total += 1
+        self.log_proof_add(learnt)
+        if len(learnt) == 1:
+            self.stats.learned_units += 1
+            self._enqueue(learnt[0], None)
+        else:
+            clause = Clause(learnt, learned=True, birth=self.birth_counter)
+            self.birth_counter += 1
+            self.learned.append(clause)
+            self.attach_clause(clause)
+            self._enqueue(learnt[0], clause)
+        self.search_cursor = len(self.learned) - 1
+        self.stats.peak_clauses = max(
+            self.stats.peak_clauses, len(self.clauses) + len(self.learned)
+        )
+
+    def _decay_activities(self) -> None:
+        """Age all activity counters (Chaff's aging, adopted by BerkMin).
+
+        Mutates in place: the order heap (and any other holder of the
+        lists) keeps its reference.  Integer division preserves relative
+        order but can create new ties, so the heap is reheapified.
+        """
+        divisor = self.config.activity_decay_divisor
+        if divisor <= 1:
+            return
+        var_activity = self.var_activity
+        for index in range(len(var_activity)):
+            var_activity[index] //= divisor
+        vsids = self.vsids
+        for index in range(len(vsids)):
+            vsids[index] //= divisor
+        if self.order_heap is not None:
+            self.order_heap.rebuild(list(self.order_heap.heap))
+
+    def _restart(self) -> bool:
+        """Abandon the search tree; reduce the database; return ``self.ok``."""
+        self.stats.restarts += 1
+        self._backtrack(0)
+        mark_every = self.config.mark_every_n_restarts
+        if mark_every and self.stats.restarts % mark_every == 0 and self.learned:
+            self.learned[-1].protected = True
+        # Bring level 0 to fixpoint before reducing: a unit conflict clause
+        # learned just before the restart may not have propagated yet.
+        conflict = self._propagate()
+        if conflict is not None:
+            self.ok = False
+            self.log_proof_add([])
+            return False
+        reduce_database(self)
+        return True
+
+    # ==================================================================
+    # Proof logging
+    # ==================================================================
+    def log_proof_add(self, encoded_literals: Sequence[int]) -> None:
+        """Record a clause addition in the DRUP trace (no-op when logging is off)."""
+        if self.proof is not None:
+            self.proof.append(("a", [decode_literal(lit) for lit in encoded_literals]))
+
+    def log_proof_delete(self, clause: Clause) -> None:
+        """Record a clause deletion in the DRUP trace (no-op when logging is off)."""
+        if self.proof is not None:
+            self.proof.append(("d", clause.to_dimacs()))
+
+    # ==================================================================
+    # Main loop
+    # ==================================================================
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        *,
+        max_conflicts: int | None = None,
+        max_decisions: int | None = None,
+        max_seconds: float | None = None,
+        verify: bool = True,
+    ) -> SolveResult:
+        """Run the CDCL search.
+
+        Args:
+            assumptions: DIMACS literals assumed true for this call only.
+            max_conflicts / max_decisions / max_seconds: budgets for this
+                call; exceeding one yields ``UNKNOWN`` with the reason.
+            verify: check SAT models against every added clause (cheap
+                insurance; raises :class:`SolverInternalError` on failure).
+        """
+        start_time = time.perf_counter()
+        stats = self.stats
+        base_conflicts = stats.conflicts
+        base_decisions = stats.decisions
+        try:
+            if not self.ok:
+                return self._result(SolveStatus.UNSAT)
+            assumption_literals = [encode_literal(lit) for lit in assumptions]
+            for literal in assumption_literals:
+                self.ensure_variables(literal >> 1)
+            self._backtrack(0)
+            scheduler = RestartScheduler(self.config)
+            conflicts_since_restart = 0
+
+            while True:
+                conflict = self._propagate()
+                if conflict is not None:
+                    stats.conflicts += 1
+                    conflicts_since_restart += 1
+                    if self.current_level() == 0:
+                        self.ok = False
+                        self.log_proof_add([])
+                        return self._result(SolveStatus.UNSAT)
+                    learnt, backtrack_level = self._analyze(conflict)
+                    self._backtrack(backtrack_level)
+                    self._record_learned(learnt)
+                    if (
+                        self.config.activity_decay_interval > 0
+                        and stats.conflicts % self.config.activity_decay_interval == 0
+                    ):
+                        self._decay_activities()
+                    if (
+                        max_conflicts is not None
+                        and stats.conflicts - base_conflicts >= max_conflicts
+                    ):
+                        return self._result(SolveStatus.UNKNOWN, limit="conflict budget")
+                    if (
+                        max_seconds is not None
+                        and stats.conflicts % 128 == 0
+                        and time.perf_counter() - start_time > max_seconds
+                    ):
+                        return self._result(SolveStatus.UNKNOWN, limit="time budget")
+                    if scheduler.should_restart(conflicts_since_restart):
+                        conflicts_since_restart = 0
+                        scheduler.on_restart()
+                        if not self._restart():
+                            return self._result(SolveStatus.UNSAT)
+                    continue
+
+                level = self.current_level()
+                if level < len(assumption_literals):
+                    literal = assumption_literals[level]
+                    value = self._value(literal)
+                    if value == FALSE:
+                        return self._result(
+                            SolveStatus.UNSAT,
+                            under_assumptions=True,
+                            core=self._failed_assumption_core(literal),
+                        )
+                    self.trail_limits.append(len(self.trail))
+                    if value == UNASSIGNED:
+                        self._enqueue(literal, None)
+                    continue
+
+                if (
+                    max_decisions is not None
+                    and stats.decisions - base_decisions >= max_decisions
+                ):
+                    return self._result(SolveStatus.UNKNOWN, limit="decision budget")
+                if (
+                    max_seconds is not None
+                    and stats.decisions % 512 == 0
+                    and time.perf_counter() - start_time > max_seconds
+                ):
+                    return self._result(SolveStatus.UNKNOWN, limit="time budget")
+
+                literal = choose_decision(self)
+                if literal is None:
+                    model = self._extract_model()
+                    if verify:
+                        self._verify_model(model)
+                    return self._result(SolveStatus.SAT, model=model)
+                stats.decisions += 1
+                self.trail_limits.append(len(self.trail))
+                self._enqueue(literal, None)
+                if self.current_level() > stats.max_decision_level:
+                    stats.max_decision_level = self.current_level()
+        finally:
+            stats.solve_time_seconds += time.perf_counter() - start_time
+
+    def _failed_assumption_core(self, failed_literal: int) -> list[int]:
+        """A subset of the assumptions that already contradicts the formula.
+
+        ``failed_literal`` is the assumption found FALSE during
+        re-application.  Walking the implication graph backwards from its
+        complement (MiniSat's ``analyzeFinal``) collects the decision
+        literals — which below the assumption levels are exactly the
+        earlier assumptions — that forced it.  Returned in DIMACS form;
+        ``formula AND core`` is unsatisfiable.
+        """
+        core = [decode_literal(failed_literal)]
+        variable = failed_literal >> 1
+        if self.levels[variable] == 0:
+            return core  # the formula alone implies the complement
+        seen = [False] * (self.num_variables + 1)
+        seen[variable] = True
+        levels = self.levels
+        for index in range(len(self.trail) - 1, -1, -1):
+            literal = self.trail[index]
+            trail_variable = literal >> 1
+            if not seen[trail_variable]:
+                continue
+            seen[trail_variable] = False
+            reason = self.reasons[trail_variable]
+            if reason is None:
+                if levels[trail_variable] > 0:
+                    core.append(decode_literal(literal))
+            else:
+                for antecedent in reason.literals[1:]:
+                    if levels[antecedent >> 1] > 0:
+                        seen[antecedent >> 1] = True
+        return core
+
+    # ==================================================================
+    # Results and models
+    # ==================================================================
+    def _result(
+        self,
+        status: SolveStatus,
+        *,
+        model: dict[int, bool] | None = None,
+        limit: str | None = None,
+        under_assumptions: bool = False,
+        core: list[int] | None = None,
+    ) -> SolveResult:
+        proof = None
+        if (
+            status is SolveStatus.UNSAT
+            and not under_assumptions
+            and self.proof is not None
+        ):
+            proof = list(self.proof)
+        return SolveResult(
+            status=status,
+            model=model,
+            stats=self.stats,
+            proof=proof,
+            limit_reason=limit,
+            under_assumptions=under_assumptions,
+            core=core,
+        )
+
+    def _extract_model(self) -> dict[int, bool]:
+        return {
+            variable: self.assigns[variable] == TRUE
+            for variable in range(1, self.num_variables + 1)
+        }
+
+    def _verify_model(self, model: dict[int, bool]) -> None:
+        """Check the model against every clause ever added (pristine copies)."""
+        for clause in self._pristine:
+            if not any(model.get(abs(lit), False) == (lit > 0) for lit in clause):
+                raise SolverInternalError(f"model does not satisfy clause {clause}")
+
+
+def solve_formula(
+    formula: CnfFormula,
+    config: SolverConfig | None = None,
+    **limits,
+) -> SolveResult:
+    """One-shot convenience wrapper: build a solver, solve, return the result."""
+    return Solver(formula, config=config).solve(**limits)

@@ -1,0 +1,95 @@
+"""Search statistics, including the paper's instrumentation.
+
+Beyond the usual CDCL counters, :class:`SolverStats` records everything
+the paper's tables report:
+
+* the **skin effect** histogram ``f(r)`` of Section 6 / Table 3 — how
+  far from the top of the learned-clause stack the current top clause
+  was at each top-clause decision;
+* the **database-size ratios** of Table 9: total conflict clauses ever
+  generated and the peak number of clauses simultaneously in memory,
+  both relative to the initial CNF;
+* the **decision count** of Table 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SolverStats:
+    """Counters accumulated over one or more :meth:`Solver.solve` calls."""
+
+    decisions: int = 0
+    conflicts: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    db_reductions: int = 0
+
+    # Learned-clause accounting (Table 9).
+    learned_total: int = 0  # conflict clauses ever generated
+    learned_units: int = 0  # of which unit clauses
+    learned_deleted: int = 0  # removed by database management
+    peak_clauses: int = 0  # max clauses simultaneously in memory
+    initial_clauses: int = 0  # clauses in the CNF as loaded
+
+    # Decision provenance (Sections 5-7).
+    top_clause_decisions: int = 0  # made on the current top clause
+    formula_decisions: int = 0  # made when all conflict clauses satisfied
+    max_decision_level: int = 0
+
+    # Skin effect (Section 6, Table 3): distance r -> number of times the
+    # current top clause sat at distance r from the top of the stack.
+    skin_effect: dict[int, int] = field(default_factory=dict)
+
+    solve_time_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Derived quantities used by the tables
+    # ------------------------------------------------------------------
+    def record_skin_distance(self, distance: int) -> None:
+        """Count one top-clause decision made at ``distance`` from the top."""
+        self.skin_effect[distance] = self.skin_effect.get(distance, 0) + 1
+
+    def database_growth_ratio(self) -> float:
+        """Table 9's ``(Database size)/(Initial CNF size)``.
+
+        The paper defines it as the ratio of the total number of generated
+        conflict clauses plus initial clauses to the number of initial
+        clauses.
+        """
+        if self.initial_clauses == 0:
+            return 0.0
+        return (self.learned_total + self.initial_clauses) / self.initial_clauses
+
+    def peak_memory_ratio(self) -> float:
+        """Table 9's ``(Largest CNF size)/(Initial CNF size)``."""
+        if self.initial_clauses == 0:
+            return 0.0
+        return self.peak_clauses / self.initial_clauses
+
+    def skin_profile(self, distances: tuple[int, ...] = (0, 1, 2, 3, 4, 5, 10, 50, 100)) -> dict[int, int]:
+        """Return ``f(r)`` sampled at the given distances (Table 3 rows)."""
+        return {distance: self.skin_effect.get(distance, 0) for distance in distances}
+
+    def as_dict(self) -> dict:
+        """Flat summary used by the CLI and the experiment harness."""
+        return {
+            "decisions": self.decisions,
+            "conflicts": self.conflicts,
+            "propagations": self.propagations,
+            "restarts": self.restarts,
+            "db_reductions": self.db_reductions,
+            "learned_total": self.learned_total,
+            "learned_units": self.learned_units,
+            "learned_deleted": self.learned_deleted,
+            "peak_clauses": self.peak_clauses,
+            "initial_clauses": self.initial_clauses,
+            "top_clause_decisions": self.top_clause_decisions,
+            "formula_decisions": self.formula_decisions,
+            "max_decision_level": self.max_decision_level,
+            "database_growth_ratio": round(self.database_growth_ratio(), 3),
+            "peak_memory_ratio": round(self.peak_memory_ratio(), 3),
+            "solve_time_seconds": round(self.solve_time_seconds, 6),
+        }

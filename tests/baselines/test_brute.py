@@ -1,0 +1,35 @@
+"""The brute-force oracle itself."""
+
+import pytest
+
+from repro.baselines.brute import brute_force_model, brute_force_satisfiable
+from repro.cnf.formula import CnfFormula
+
+
+def test_sat_model_is_returned_and_valid():
+    formula = CnfFormula([[1, 2], [-1], [2]])
+    model = brute_force_model(formula)
+    assert model == {1: False, 2: True}
+    assert formula.evaluate(model)
+
+
+def test_unsat_returns_none():
+    formula = CnfFormula([[1], [-1]])
+    assert brute_force_model(formula) is None
+    assert not brute_force_satisfiable(formula)
+
+
+def test_empty_formula_is_sat():
+    assert brute_force_satisfiable(CnfFormula())
+
+
+def test_empty_clause_is_unsat():
+    formula = CnfFormula()
+    formula.clauses.append([])
+    assert not brute_force_satisfiable(formula)
+
+
+def test_size_guard():
+    with pytest.raises(ValueError):
+        brute_force_satisfiable(CnfFormula(num_variables=25))
+    assert brute_force_satisfiable(CnfFormula(num_variables=40), max_variables=50) or True

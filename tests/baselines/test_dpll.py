@@ -1,0 +1,85 @@
+"""The learning-free DPLL baseline."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brute import brute_force_satisfiable
+from repro.baselines.dpll import DpllSolver
+from repro.cnf.formula import CnfFormula
+
+clauses_strategy = st.lists(
+    st.lists(
+        st.integers(min_value=1, max_value=7).flatmap(lambda v: st.sampled_from([v, -v])),
+        min_size=1,
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=18,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(clauses_strategy, st.booleans())
+def test_dpll_matches_brute_force(clauses, pure_literals):
+    formula = CnfFormula(clauses)
+    expected = brute_force_satisfiable(formula)
+    result = DpllSolver(formula, use_pure_literals=pure_literals).solve()
+    assert result.satisfiable == expected
+    if result.satisfiable:
+        assert formula.evaluate(result.model)
+
+
+def test_empty_formula():
+    result = DpllSolver(CnfFormula()).solve()
+    assert result.satisfiable is True
+    assert result.model == {}
+
+
+def test_empty_clause():
+    formula = CnfFormula()
+    formula.clauses.append([])
+    assert DpllSolver(formula).solve().satisfiable is False
+
+
+def test_decision_budget():
+    from repro.generators.pigeonhole import pigeonhole_formula
+
+    result = DpllSolver(pigeonhole_formula(7)).solve(max_decisions=3)
+    assert result.satisfiable is None
+
+
+def test_time_budget():
+    from repro.generators.pigeonhole import pigeonhole_formula
+    import time
+
+    started = time.perf_counter()
+    result = DpllSolver(pigeonhole_formula(9)).solve(max_seconds=0.2)
+    assert result.satisfiable is None
+    assert time.perf_counter() - started < 5.0
+
+
+def test_counters_track_work():
+    formula = CnfFormula([[1, 2], [-1, 2], [1, -2], [-1, -2]])
+    result = DpllSolver(formula).solve()
+    assert result.satisfiable is False
+    assert result.decisions >= 1
+
+
+def test_model_covers_unconstrained_variables():
+    formula = CnfFormula([[1]], num_variables=5)
+    result = DpllSolver(formula).solve()
+    assert set(result.model) == {1, 2, 3, 4, 5}
+
+
+def test_dpll_needs_more_decisions_than_cdcl_on_pigeonhole():
+    """The motivation for clause learning, in miniature."""
+    from repro.generators.pigeonhole import pigeonhole_formula
+    from repro.solver.solver import Solver
+
+    formula = pigeonhole_formula(5)
+    dpll = DpllSolver(formula).solve()
+    cdcl = Solver(formula).solve()
+    assert dpll.satisfiable is False and cdcl.is_unsat
+    assert dpll.decisions > 0 and cdcl.stats.decisions > 0

@@ -1,0 +1,35 @@
+"""WalkSAT local search."""
+
+from repro.baselines.walksat import walksat
+from repro.cnf.formula import CnfFormula
+from repro.generators.random_ksat import planted_ksat
+
+
+def test_finds_model_on_easy_formula():
+    formula = CnfFormula([[1, 2], [-1, 2], [3]])
+    model = walksat(formula, seed=1)
+    assert model is not None
+    assert formula.evaluate(model)
+
+
+def test_finds_model_on_planted_instance():
+    formula = planted_ksat(40, 150, 3, seed=2)
+    model = walksat(formula, seed=3)
+    assert model is not None
+    assert formula.evaluate(model)
+
+
+def test_gives_up_on_unsat():
+    formula = CnfFormula([[1, 2], [-1, 2], [1, -2], [-1, -2]])
+    assert walksat(formula, seed=0, max_flips=2_000, max_restarts=2) is None
+
+
+def test_empty_clause_returns_none():
+    formula = CnfFormula()
+    formula.clauses.append([])
+    assert walksat(formula) is None
+
+
+def test_deterministic_for_seed():
+    formula = planted_ksat(20, 70, 3, seed=4)
+    assert walksat(formula, seed=5) == walksat(formula, seed=5)

@@ -1,0 +1,94 @@
+"""SAT-based ATPG."""
+
+import pytest
+
+from repro.circuits.atpg import (
+    StuckAtFault,
+    enumerate_faults,
+    generate_test,
+    inject_stuck_at,
+    pattern_detects,
+    run_atpg,
+)
+from repro.circuits.netlist import Circuit
+from repro.circuits.random_circuit import random_circuit
+
+
+def _and_or_circuit():
+    circuit = Circuit("demo")
+    circuit.add_inputs(["a", "b", "c"])
+    circuit.add_gate("AND", "t", "a", "b")
+    circuit.add_gate("OR", "y", "t", "c")
+    circuit.set_outputs(["y"])
+    return circuit
+
+
+def test_enumerate_faults_covers_both_polarities():
+    faults = enumerate_faults(_and_or_circuit())
+    assert len(faults) == 4  # two gates x two polarities
+    assert StuckAtFault("t", True) in faults
+
+
+def test_inject_stuck_at_forces_constant():
+    circuit = _and_or_circuit()
+    faulty = inject_stuck_at(circuit, StuckAtFault("t", True))
+    # With t stuck at 1, the output is always 1.
+    for a in (False, True):
+        for b in (False, True):
+            assert faulty.output_values({"a": a, "b": b, "c": False})["y"] is True
+
+
+def test_generate_test_finds_detecting_pattern():
+    circuit = _and_or_circuit()
+    fault = StuckAtFault("t", True)
+    result = generate_test(circuit, fault)
+    assert result.testable
+    assert pattern_detects(circuit, fault, result.pattern)
+    # Detecting t stuck-at-1 requires c=0 and not (a and b).
+    assert result.pattern["c"] is False
+    assert not (result.pattern["a"] and result.pattern["b"])
+
+
+def test_untestable_fault_in_redundant_logic():
+    # y = OR(a, AND(a, b)) == a: the AND gate is redundant, so its
+    # stuck-at-0 fault can never be observed.
+    circuit = Circuit("redundant")
+    circuit.add_inputs(["a", "b"])
+    circuit.add_gate("AND", "t", "a", "b")
+    circuit.add_gate("OR", "y", "a", "t")
+    circuit.set_outputs(["y"])
+    result = generate_test(circuit, StuckAtFault("t", False))
+    assert not result.testable
+    assert result.pattern is None
+
+
+def test_full_atpg_report_on_random_circuit():
+    circuit = random_circuit(5, 20, seed=11)
+    report = run_atpg(circuit)
+    assert report.total_faults == 40
+    assert 0.0 <= report.coverage <= 1.0
+    for result in report.results:
+        if result.testable:
+            assert pattern_detects(circuit, result.fault, result.pattern)
+    # Untestable faults really are untestable (exhaustive simulation).
+    import itertools
+
+    for fault in report.untestable_faults:
+        faulty = inject_stuck_at(circuit, fault)
+        for values in itertools.product((False, True), repeat=5):
+            vector = dict(zip(circuit.inputs, values))
+            assert circuit.output_values(vector) == faulty.output_values(vector)
+
+
+def test_test_set_deduplicates():
+    circuit = _and_or_circuit()
+    report = run_atpg(circuit)
+    patterns = report.test_set()
+    assert len(patterns) <= report.testable_faults
+    assert len({tuple(sorted(p.items())) for p in patterns}) == len(patterns)
+
+
+def test_empty_report_coverage():
+    from repro.circuits.atpg import AtpgReport
+
+    assert AtpgReport("x").coverage == 1.0

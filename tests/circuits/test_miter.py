@@ -1,0 +1,97 @@
+"""Miter construction and equivalence checking."""
+
+import pytest
+
+from repro.circuits.miter import build_miter, check_equivalence, miter_formula
+from repro.circuits.netlist import Circuit, CircuitError
+from repro.solver.solver import Solver
+
+
+def _not_chain(name, length):
+    circuit = Circuit(name)
+    circuit.add_input("a")
+    previous = "a"
+    for index in range(length):
+        previous = circuit.add_gate("NOT", f"n{index}", previous)
+    circuit.set_outputs([previous])
+    return circuit
+
+
+def test_equivalent_circuits_give_unsat_miter():
+    left = _not_chain("two", 2)
+    right = _not_chain("four", 4)
+    right.outputs = [right.outputs[0]]
+    # Output names differ, which the miter pairs positionally.
+    formula = miter_formula(left, right)
+    assert Solver(formula).solve().is_unsat
+
+
+def test_different_circuits_give_sat_miter():
+    left = _not_chain("even", 2)
+    right = _not_chain("odd", 3)
+    formula = miter_formula(left, right)
+    result = Solver(formula).solve()
+    assert result.is_sat
+
+
+def test_check_equivalence_counterexample_is_real():
+    left = _not_chain("even", 2)
+    right = _not_chain("odd", 3)
+    equivalent, counterexample = check_equivalence(left, right)
+    assert not equivalent
+    assert counterexample is not None
+    assert left.output_values(counterexample) != {
+        out: value
+        for out, value in zip(
+            left.outputs, right.output_values(counterexample).values()
+        )
+    }
+
+
+def test_check_equivalence_true_case():
+    equivalent, counterexample = check_equivalence(_not_chain("a", 2), _not_chain("b", 4))
+    assert equivalent
+    assert counterexample is None
+
+
+def test_miter_requires_matching_inputs():
+    left = _not_chain("l", 1)
+    right = Circuit("r")
+    right.add_input("b")
+    right.add_gate("NOT", "y", "b")
+    right.set_outputs(["y"])
+    with pytest.raises(CircuitError):
+        build_miter(left, right)
+
+
+def test_miter_requires_matching_output_counts():
+    left = _not_chain("l", 2)
+    right = _not_chain("r", 2)
+    right.add_gate("NOT", "extra", "a")
+    right.set_outputs(right.outputs + ["extra"])
+    with pytest.raises(CircuitError):
+        build_miter(left, right)
+
+
+def test_multi_output_miter():
+    def two_outputs(swap):
+        circuit = Circuit()
+        circuit.add_inputs(["a", "b"])
+        circuit.add_gate("AND", "x", "a", "b")
+        circuit.add_gate("OR", "y", "a", "b")
+        circuit.set_outputs(["y", "x"] if swap else ["x", "y"])
+        return circuit
+
+    same = miter_formula(two_outputs(False), two_outputs(False))
+    assert Solver(same).solve().is_unsat
+    swapped = miter_formula(two_outputs(False), two_outputs(True))
+    assert Solver(swapped).solve().is_sat
+
+
+def test_miter_structure():
+    left = _not_chain("l", 2)
+    right = _not_chain("r", 2)
+    miter = build_miter(left, right, "m")
+    assert miter.name == "m"
+    assert miter.outputs == ["miter_out"]
+    assert miter.inputs == ["a"]

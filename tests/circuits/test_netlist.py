@@ -1,0 +1,127 @@
+"""Netlist construction, validation, and simulation."""
+
+import itertools
+
+import pytest
+
+from repro.circuits.netlist import Circuit, CircuitError, Gate
+
+
+def _xor_circuit():
+    circuit = Circuit("xor")
+    circuit.add_inputs(["a", "b"])
+    circuit.add_gate("XOR", "y", "a", "b")
+    circuit.set_outputs(["y"])
+    return circuit
+
+
+def test_gate_truth_tables():
+    cases = {
+        "AND": lambda a, b: a and b,
+        "OR": lambda a, b: a or b,
+        "NAND": lambda a, b: not (a and b),
+        "NOR": lambda a, b: not (a or b),
+        "XOR": lambda a, b: a != b,
+        "XNOR": lambda a, b: a == b,
+    }
+    for operation, reference in cases.items():
+        gate = Gate(operation, "y", ("a", "b"))
+        for a, b in itertools.product((False, True), repeat=2):
+            assert gate.evaluate({"a": a, "b": b}) == reference(a, b), operation
+
+
+def test_not_buf_mux():
+    assert Gate("NOT", "y", ("a",)).evaluate({"a": True}) is False
+    assert Gate("BUF", "y", ("a",)).evaluate({"a": True}) is True
+    mux = Gate("MUX", "y", ("s", "a", "b"))
+    assert mux.evaluate({"s": False, "a": True, "b": False}) is True
+    assert mux.evaluate({"s": True, "a": True, "b": False}) is False
+
+
+def test_multi_input_and():
+    gate = Gate("AND", "y", ("a", "b", "c"))
+    assert gate.evaluate({"a": True, "b": True, "c": True}) is True
+    assert gate.evaluate({"a": True, "b": False, "c": True}) is False
+
+
+def test_bad_operation_rejected():
+    with pytest.raises(CircuitError):
+        Gate("NANDY", "y", ("a",))
+
+
+def test_bad_arity_rejected():
+    with pytest.raises(CircuitError):
+        Gate("NOT", "y", ("a", "b"))
+    with pytest.raises(CircuitError):
+        Gate("XOR", "y", ("a", "b", "c"))
+    with pytest.raises(CircuitError):
+        Gate("MUX", "y", ("a", "b"))
+
+
+def test_simulate_xor():
+    circuit = _xor_circuit()
+    assert circuit.output_values({"a": True, "b": False}) == {"y": True}
+    assert circuit.output_values({"a": True, "b": True}) == {"y": False}
+
+
+def test_missing_input_value_rejected():
+    with pytest.raises(CircuitError):
+        _xor_circuit().simulate({"a": True})
+
+
+def test_duplicate_driver_rejected():
+    circuit = _xor_circuit()
+    with pytest.raises(CircuitError):
+        circuit.add_gate("AND", "y", "a", "b")
+    with pytest.raises(CircuitError):
+        circuit.add_input("y")
+    with pytest.raises(CircuitError):
+        circuit.add_gate("AND", "a", "a", "b")
+
+
+def test_undriven_net_detected():
+    circuit = Circuit()
+    circuit.add_input("a")
+    circuit.add_gate("AND", "y", "a", "ghost")
+    with pytest.raises(CircuitError):
+        circuit.validate()
+
+
+def test_cycle_detected():
+    circuit = Circuit()
+    circuit.add_input("a")
+    circuit.add_gate("AND", "x", "a", "y")
+    circuit.add_gate("OR", "y", "a", "x")
+    with pytest.raises(CircuitError, match="cycle"):
+        circuit.topological_order()
+
+
+def test_topological_order_respects_dependencies():
+    circuit = Circuit()
+    circuit.add_inputs(["a", "b"])
+    circuit.add_gate("AND", "t1", "a", "b")
+    circuit.add_gate("OR", "t2", "t1", "a")
+    circuit.add_gate("XOR", "t3", "t2", "t1")
+    positions = {gate.output: i for i, gate in enumerate(circuit.topological_order())}
+    assert positions["t1"] < positions["t2"] < positions["t3"]
+
+
+def test_output_must_be_driven():
+    circuit = Circuit()
+    circuit.add_input("a")
+    with pytest.raises(CircuitError):
+        circuit.set_outputs(["nope"])
+
+
+def test_input_can_be_output():
+    circuit = Circuit()
+    circuit.add_input("a")
+    circuit.set_outputs(["a"])
+    assert circuit.output_values({"a": True}) == {"a": True}
+
+
+def test_nets_and_repr():
+    circuit = _xor_circuit()
+    assert circuit.nets() == ["a", "b", "y"]
+    assert circuit.num_gates == 1
+    assert "inputs=2" in repr(circuit)

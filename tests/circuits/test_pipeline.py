@@ -1,0 +1,72 @@
+"""Pipelined-ALU datapaths: variant agreement and miter statuses."""
+
+import random
+
+import pytest
+
+from repro.circuits.netlist import CircuitError
+from repro.circuits.pipeline import pipelined_alu, pipeline_equivalence_miter
+from repro.solver.solver import Solver
+
+
+def _random_vector(circuit, rng):
+    return {net: rng.random() < 0.5 for net in circuit.inputs}
+
+
+@pytest.mark.parametrize("width,stages", [(2, 1), (3, 2), (4, 2), (4, 3)])
+def test_variants_agree_on_random_vectors(width, stages):
+    reference = pipelined_alu(width, stages, "reference")
+    optimized = pipelined_alu(width, stages, "optimized")
+    assert reference.inputs == optimized.inputs
+    assert reference.outputs == optimized.outputs
+    rng = random.Random(width * 100 + stages)
+    for _ in range(50):
+        vector = _random_vector(reference, rng)
+        assert reference.output_values(vector) == optimized.output_values(vector)
+
+
+def test_stage_opcodes_do_different_things():
+    """pass / xor / and-not / add must be distinguishable on some input."""
+    width = 3
+    circuit = pipelined_alu(width, 1, "reference")
+    rng = random.Random(1)
+    behaviours = set()
+    for c0 in (False, True):
+        for c1 in (False, True):
+            outputs = []
+            rng_local = random.Random(7)
+            for _ in range(12):
+                vector = {
+                    f"d{i}": rng_local.random() < 0.5 for i in range(width)
+                }
+                vector["c0_0"] = c0
+                vector["c0_1"] = c1
+                outputs.append(tuple(circuit.output_values(vector).values()))
+            behaviours.add(tuple(outputs))
+    assert len(behaviours) == 4
+
+
+def test_equivalence_miter_is_unsat():
+    formula, satisfiable = pipeline_equivalence_miter(3, 2)
+    assert not satisfiable
+    assert Solver(formula).solve().is_unsat
+
+
+def test_fault_miter_is_sat():
+    formula, satisfiable = pipeline_equivalence_miter(3, 2, fault_seed=5)
+    assert satisfiable
+    assert Solver(formula).solve().is_sat
+
+
+def test_inputs_are_word_plus_controls():
+    circuit = pipelined_alu(4, 3, "reference")
+    assert len(circuit.inputs) == 4 + 2 * 3
+
+
+def test_parameter_validation():
+    with pytest.raises(CircuitError):
+        pipelined_alu(1, 1)
+    with pytest.raises(CircuitError):
+        pipelined_alu(4, 0)
+    with pytest.raises(CircuitError):
+        pipelined_alu(4, 1, "turbo")

@@ -1,0 +1,92 @@
+"""Random circuits, equivalence-preserving rewrites, and fault injection."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.netlist import CircuitError
+from repro.circuits.random_circuit import inject_fault, random_circuit, rewrite_circuit
+
+
+def test_random_circuit_is_valid_and_deterministic():
+    first = random_circuit(6, 40, seed=3)
+    second = random_circuit(6, 40, seed=3)
+    first.validate()
+    assert [g.output for g in first.topological_order()] == [
+        g.output for g in second.topological_order()
+    ]
+    assert first.num_gates == 40
+    assert len(first.inputs) == 6
+    assert first.outputs
+
+
+def test_random_circuit_rejects_tiny_parameters():
+    with pytest.raises(CircuitError):
+        random_circuit(1, 5, seed=0)
+    with pytest.raises(CircuitError):
+        random_circuit(3, 0, seed=0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000), st.floats(0.1, 1.0))
+def test_rewrite_preserves_function(seed, probability):
+    """Exhaustive check over all input vectors of a small circuit."""
+    circuit = random_circuit(5, 25, seed=seed)
+    rewritten = rewrite_circuit(circuit, seed=seed + 1, probability=probability)
+    rewritten.validate()
+    for values in itertools.product((False, True), repeat=5):
+        vector = dict(zip(circuit.inputs, values))
+        assert circuit.output_values(vector) == rewritten.output_values(vector)
+
+
+def test_rewrite_changes_structure():
+    circuit = random_circuit(6, 50, seed=9)
+    rewritten = rewrite_circuit(circuit, seed=10, probability=1.0)
+    original_ops = sorted(g.operation for g in circuit.gates.values())
+    rewritten_ops = sorted(g.operation for g in rewritten.gates.values())
+    assert original_ops != rewritten_ops or circuit.num_gates != rewritten.num_gates
+
+
+def test_rewrite_keeps_interface():
+    circuit = random_circuit(6, 30, seed=2)
+    rewritten = rewrite_circuit(circuit, seed=3)
+    assert rewritten.inputs == circuit.inputs
+    assert rewritten.outputs == circuit.outputs
+
+
+def test_inject_fault_returns_real_witness():
+    circuit = random_circuit(7, 60, seed=4)
+    mutant, witness = inject_fault(circuit, seed=5)
+    mutant.validate()
+    assert circuit.output_values(witness) != mutant.output_values(witness)
+    assert mutant.inputs == circuit.inputs
+    assert mutant.outputs == circuit.outputs
+
+
+def test_inject_fault_is_single_gate_change():
+    circuit = random_circuit(6, 40, seed=8)
+    mutant, _ = inject_fault(circuit, seed=9)
+    differences = [
+        net
+        for net in circuit.gates
+        if circuit.gates[net].operation != mutant.gates[net].operation
+        or circuit.gates[net].inputs != mutant.gates[net].inputs
+    ]
+    assert len(differences) == 1
+
+
+def test_fault_miters_are_sat_and_rewrite_miters_unsat():
+    from repro.circuits.miter import miter_formula
+    from repro.solver.solver import Solver
+
+    rng = random.Random(0)
+    for _ in range(3):
+        seed = rng.randint(0, 10_000)
+        circuit = random_circuit(6, 40, seed=seed)
+        rewritten = rewrite_circuit(circuit, seed=seed + 1)
+        assert Solver(miter_formula(circuit, rewritten)).solve().is_unsat
+        mutant, _ = inject_fault(circuit, seed=seed + 2)
+        assert Solver(miter_formula(circuit, mutant)).solve().is_sat

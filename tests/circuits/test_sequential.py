@@ -1,0 +1,112 @@
+"""Sequential circuits and bounded model checking."""
+
+import pytest
+
+from repro.circuits.netlist import CircuitError
+from repro.circuits.sequential import (
+    bmc_formula,
+    counter_circuit,
+    lfsr_circuit,
+    unroll,
+)
+from repro.solver.solver import Solver
+
+
+def test_counter_simulation_counts():
+    counter = counter_circuit(3, target=5)
+    trace = counter.simulate(8)
+    values = [
+        sum(1 << i for i in range(3) if snapshot[f"q{i}"]) for snapshot in trace
+    ]
+    assert values == [0, 1, 2, 3, 4, 5, 6, 7]
+    assert [snapshot["bad"] for snapshot in trace] == [False] * 5 + [True, False, False]
+
+
+def test_counter_wraps():
+    counter = counter_circuit(2, target=0)
+    trace = counter.simulate(6)
+    values = [
+        sum(1 << i for i in range(2) if snapshot[f"q{i}"]) for snapshot in trace
+    ]
+    assert values == [0, 1, 2, 3, 0, 1]
+
+
+def test_depth_to_bad():
+    assert counter_circuit(3, target=5).depth_to_bad() == 5
+    assert counter_circuit(3, target=0).depth_to_bad() == 0
+
+
+def test_depth_to_bad_requires_input_free():
+    with pytest.raises(CircuitError):
+        counter_circuit(3, target=5, with_enable=True).depth_to_bad()
+
+
+@pytest.mark.parametrize("target", [0, 3, 6])
+def test_bmc_sat_exactly_at_depth(target):
+    counter = counter_circuit(3, target=target)
+    if target > 0:
+        below = Solver(bmc_formula(counter, target - 1)).solve()
+        assert below.is_unsat
+    at = Solver(bmc_formula(counter, target)).solve()
+    assert at.is_sat
+    above = Solver(bmc_formula(counter, target + 2)).solve()
+    assert above.is_sat
+
+
+def test_bmc_counterexample_trace_decodes():
+    counter = counter_circuit(3, target=4)
+    encoding = unroll(counter, 6)
+    result = Solver(encoding.formula).solve()
+    assert result.is_sat
+    trace = encoding.decode_trace(result.model, counter)
+    assert any(snapshot["bad"] for snapshot in trace)
+    # Frame 0 is the reset state.
+    assert all(not trace[0][f"q{i}"] for i in range(3))
+    # The trace must follow the real transition relation.
+    simulated = counter.simulate(7)
+    for frame, snapshot in enumerate(trace):
+        for register in ("q0", "q1", "q2"):
+            assert snapshot[register] == simulated[frame][register]
+
+
+def test_enabled_counter_needs_enables():
+    counter = counter_circuit(2, target=3, with_enable=True)
+    # Bad requires three increments: unreachable within 2 cycles.
+    assert Solver(bmc_formula(counter, 2)).solve().is_unsat
+    result = Solver(bmc_formula(counter, 3)).solve()
+    assert result.is_sat
+
+
+def test_enabled_counter_simulation_respects_inputs():
+    counter = counter_circuit(2, target=3, with_enable=True)
+    trace = counter.simulate(4, input_trace=[{"en": True}, {"en": False}, {"en": True}, {"en": True}])
+    values = [
+        sum(1 << i for i in range(2) if snapshot[f"q{i}"]) for snapshot in trace
+    ]
+    assert values == [0, 1, 1, 2]
+
+
+def test_lfsr_ground_truth_matches_bmc():
+    lfsr = lfsr_circuit(taps=[3, 2], width=4, target=0b1000)
+    depth = lfsr.depth_to_bad(max_steps=40)
+    assert depth is not None and depth > 0
+    assert Solver(bmc_formula(lfsr, depth - 1)).solve().is_unsat
+    assert Solver(bmc_formula(lfsr, depth)).solve().is_sat
+
+
+def test_lfsr_unreachable_state():
+    # The all-zero state is never reached by a nonzero-seeded LFSR.
+    lfsr = lfsr_circuit(taps=[3, 2], width=4, target=0)
+    assert lfsr.depth_to_bad(max_steps=100) is None
+    assert Solver(bmc_formula(lfsr, 20)).solve().is_unsat
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        counter_circuit(2, target=9)
+    with pytest.raises(CircuitError):
+        counter_circuit(0, target=0)
+    with pytest.raises(ValueError):
+        unroll(counter_circuit(2, 1), -1)
+    with pytest.raises(ValueError):
+        lfsr_circuit(taps=[9], width=4, target=1)

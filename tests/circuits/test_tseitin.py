@@ -1,0 +1,117 @@
+"""Tseitin encoding: each gate's clauses match its truth table, and whole
+circuits agree with simulation on random vectors."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brute import brute_force_model
+from repro.circuits.netlist import Circuit
+from repro.circuits.random_circuit import random_circuit
+from repro.circuits.tseitin import encode_circuit
+from repro.solver.solver import Solver
+
+TWO_INPUT_OPERATIONS = ["AND", "OR", "NAND", "NOR", "XOR", "XNOR"]
+
+
+@pytest.mark.parametrize("operation", TWO_INPUT_OPERATIONS)
+def test_two_input_gate_encoding_matches_truth_table(operation):
+    circuit = Circuit()
+    circuit.add_inputs(["a", "b"])
+    circuit.add_gate(operation, "y", "a", "b")
+    circuit.set_outputs(["y"])
+    encoding = encode_circuit(circuit)
+    for a, b in itertools.product((False, True), repeat=2):
+        formula = encoding.formula.copy()
+        formula.add_clause([encoding.literal("a", a)])
+        formula.add_clause([encoding.literal("b", b)])
+        model = brute_force_model(formula)
+        assert model is not None
+        expected = circuit.output_values({"a": a, "b": b})["y"]
+        assert model[encoding.variable("y")] == expected
+
+
+@pytest.mark.parametrize("operation", ["NOT", "BUF"])
+def test_unary_gate_encoding(operation):
+    circuit = Circuit()
+    circuit.add_input("a")
+    circuit.add_gate(operation, "y", "a")
+    circuit.set_outputs(["y"])
+    encoding = encode_circuit(circuit)
+    for a in (False, True):
+        formula = encoding.formula.copy()
+        formula.add_clause([encoding.literal("a", a)])
+        model = brute_force_model(formula)
+        expected = a if operation == "BUF" else not a
+        assert model[encoding.variable("y")] == expected
+
+
+def test_mux_encoding():
+    circuit = Circuit()
+    circuit.add_inputs(["s", "a", "b"])
+    circuit.add_gate("MUX", "y", "s", "a", "b")
+    circuit.set_outputs(["y"])
+    encoding = encode_circuit(circuit)
+    for s, a, b in itertools.product((False, True), repeat=3):
+        formula = encoding.formula.copy()
+        for net, value in (("s", s), ("a", a), ("b", b)):
+            formula.add_clause([encoding.literal(net, value)])
+        model = brute_force_model(formula)
+        assert model[encoding.variable("y")] == (b if s else a)
+
+
+def test_wide_and_encoding():
+    circuit = Circuit()
+    circuit.add_inputs(["a", "b", "c", "d"])
+    circuit.add_gate("AND", "y", "a", "b", "c", "d")
+    circuit.set_outputs(["y"])
+    encoding = encode_circuit(circuit)
+    for values in itertools.product((False, True), repeat=4):
+        formula = encoding.formula.copy()
+        for net, value in zip("abcd", values):
+            formula.add_clause([encoding.literal(net, value)])
+        model = brute_force_model(formula)
+        assert model[encoding.variable("y")] == all(values)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000), st.integers(3, 6), st.integers(5, 40))
+def test_random_circuit_encoding_agrees_with_simulation(seed, inputs, gates):
+    """Constrain the encoded inputs to a random vector; the SAT model of the
+    whole CNF must equal the simulator's net values."""
+    circuit = random_circuit(inputs, gates, seed=seed)
+    encoding = encode_circuit(circuit)
+    rng = random.Random(seed + 1)
+    vector = {net: rng.random() < 0.5 for net in circuit.inputs}
+    formula = encoding.formula.copy()
+    for net, value in vector.items():
+        formula.add_clause([encoding.literal(net, value)])
+    result = Solver(formula).solve()
+    assert result.is_sat
+    simulated = circuit.simulate(vector)
+    decoded = encoding.decode_nets(result.model)
+    assert decoded == simulated
+
+
+def test_prefix_namespacing_allows_shared_formula():
+    left = Circuit("l")
+    left.add_input("a")
+    left.add_gate("NOT", "y", "a")
+    left.set_outputs(["y"])
+    encoding_left = encode_circuit(left, prefix="L.")
+    encoding_right = encode_circuit(left, encoding_left.formula, prefix="R.")
+    assert encoding_left.formula is encoding_right.formula
+    assert encoding_left.variable("L.y") != encoding_right.variable("R.y")
+
+
+def test_assume_input_adds_unit():
+    circuit = Circuit()
+    circuit.add_input("a")
+    circuit.add_gate("BUF", "y", "a")
+    circuit.set_outputs(["y"])
+    encoding = encode_circuit(circuit)
+    encoding.assume_input("a", False)
+    assert [-encoding.variable("a")] in encoding.formula.clauses

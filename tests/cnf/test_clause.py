@@ -1,0 +1,37 @@
+"""Unit tests for the Clause object."""
+
+from repro.cnf.clause import Clause
+from repro.cnf.literals import encode_literal
+
+
+def test_from_dimacs_roundtrip():
+    clause = Clause.from_dimacs([1, -2, 3])
+    assert clause.to_dimacs() == [1, -2, 3]
+    assert len(clause) == 3
+
+
+def test_defaults():
+    clause = Clause.from_dimacs([1, 2])
+    assert not clause.learned
+    assert clause.activity == 0
+    assert clause.birth == 0
+    assert not clause.protected
+
+
+def test_learned_flag_and_birth():
+    clause = Clause.from_dimacs([1], learned=True)
+    clause.birth = 42
+    assert clause.learned
+    assert clause.birth == 42
+
+
+def test_iteration_and_containment():
+    clause = Clause.from_dimacs([1, -2])
+    assert list(clause) == [encode_literal(1), encode_literal(-2)]
+    assert encode_literal(-2) in clause
+    assert encode_literal(2) not in clause
+
+
+def test_repr_mentions_kind():
+    assert "original" in repr(Clause.from_dimacs([1]))
+    assert "learned" in repr(Clause.from_dimacs([1], learned=True))

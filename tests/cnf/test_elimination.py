@@ -1,0 +1,140 @@
+"""Subsumption and bounded variable elimination."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brute import brute_force_model, brute_force_satisfiable
+from repro.cnf.elimination import (
+    eliminate_variable,
+    preprocess,
+    subsumption_reduce,
+)
+from repro.cnf.formula import CnfFormula
+
+
+def test_subsumption_drops_supersets():
+    reduced = subsumption_reduce([[1, 2, 3], [1, 2], [2, 3, 4], [1, 2, 3, 4]])
+    assert sorted(map(sorted, reduced)) == [[1, 2], [2, 3, 4]]
+
+
+def test_subsumption_deduplicates():
+    reduced = subsumption_reduce([[2, 1], [1, 2], [1, 2]])
+    assert reduced == [[1, 2]]
+
+
+def test_self_subsuming_resolution_strengthens():
+    # (1 | 2) strengthens (-1 | 2 | 3) to (2 | 3).
+    reduced = subsumption_reduce([[1, 2], [-1, 2, 3]])
+    assert sorted(map(sorted, reduced)) == [[1, 2], [2, 3]]
+
+
+def test_eliminate_variable_basic():
+    clauses = [[1, 2], [-1, 3], [2, 3]]
+    outcome = eliminate_variable(clauses, 1)
+    assert outcome not in (None, "unsat")
+    new_clauses, removed = outcome
+    assert sorted(map(sorted, removed)) == [[-1, 3], [1, 2]]
+    assert sorted(map(sorted, new_clauses)) == [[2, 3], [2, 3]]
+
+
+def test_eliminate_variable_detects_refutation():
+    assert eliminate_variable([[1], [-1]], 1) == "unsat"
+
+
+def test_eliminate_variable_respects_growth_bound():
+    # 3 positive x 3 negative = up to 9 resolvents > 6 originals.
+    clauses = [[1, i] for i in (2, 3, 4)] + [[-1, i] for i in (5, 6, 7)]
+    assert eliminate_variable(clauses, 1, max_growth=0) is None
+    assert eliminate_variable(clauses, 1, max_growth=10) is not None
+
+
+def test_eliminate_absent_variable_is_noop():
+    clauses = [[2, 3]]
+    new_clauses, removed = eliminate_variable(clauses, 9)
+    assert new_clauses == [[2, 3]] and removed == []
+
+
+def test_preprocess_shrinks_and_preserves_status():
+    formula = CnfFormula([[1, 2], [-1, 3], [-2, 3], [-3, 4], [2, 4, 5]])
+    result = preprocess(formula)
+    assert not result.unsat
+    assert result.formula.num_clauses <= formula.num_clauses
+    assert brute_force_satisfiable(formula)
+
+
+def test_preprocess_detects_unsat():
+    result = preprocess(CnfFormula([[1, 2], [-1, 2], [1, -2], [-1, -2]]))
+    assert result.unsat
+
+
+clauses_strategy = st.lists(
+    st.lists(
+        st.integers(min_value=1, max_value=6).flatmap(lambda v: st.sampled_from([v, -v])),
+        min_size=1,
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=16,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(clauses_strategy, st.integers(0, 6), st.booleans())
+def test_preprocess_preserves_satisfiability(clauses, max_growth, use_subsumption):
+    formula = CnfFormula(clauses)
+    before = brute_force_satisfiable(formula)
+    result = preprocess(
+        formula, max_growth=max_growth, use_subsumption=use_subsumption
+    )
+    if result.unsat:
+        assert not before
+        return
+    after = (
+        brute_force_satisfiable(result.formula)
+        if result.formula.num_clauses
+        else True
+    )
+    assert after == before
+
+
+@settings(max_examples=60, deadline=None)
+@given(clauses_strategy, st.integers(0, 4))
+def test_model_reconstruction(clauses, max_growth):
+    """A model of the reduced formula must lift to a model of the original."""
+    formula = CnfFormula(clauses)
+    result = preprocess(formula, max_growth=max_growth)
+    if result.unsat:
+        return
+    if result.formula.num_clauses:
+        model = brute_force_model(result.formula)
+        if model is None:
+            return
+    else:
+        model = {}
+    full = result.extend_model(model)
+    for variable in range(1, formula.num_variables + 1):
+        full.setdefault(variable, False)
+    assert formula.evaluate(full)
+
+
+def test_preprocess_then_solve_pipeline():
+    """End-to-end: preprocess, solve the residue, reconstruct, verify."""
+    from repro.generators.random_ksat import planted_ksat
+    from repro.solver.solver import Solver
+
+    formula = planted_ksat(30, 100, 3, seed=7)
+    result = preprocess(formula, max_growth=4)
+    assert not result.unsat
+    solve_result = Solver(result.formula).solve()
+    assert solve_result.is_sat
+    full = result.extend_model(solve_result.model)
+    assert formula.evaluate(full)
+
+
+def test_preprocess_keeps_variable_numbering():
+    formula = CnfFormula([[1, 2], [-2, 3]], num_variables=5)
+    result = preprocess(formula)
+    assert result.formula.num_variables == 5

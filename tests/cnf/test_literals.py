@@ -1,0 +1,83 @@
+"""Unit tests for the literal encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cnf.literals import (
+    FALSE,
+    TRUE,
+    UNASSIGNED,
+    decode_literal,
+    encode_literal,
+    is_negative,
+    literal_for,
+    negate_literal,
+    variable_of,
+)
+
+dimacs_literals = st.integers(min_value=1, max_value=10_000).flatmap(
+    lambda v: st.sampled_from([v, -v])
+)
+
+
+def test_encode_examples():
+    assert encode_literal(1) == 2
+    assert encode_literal(-1) == 3
+    assert encode_literal(3) == 6
+    assert encode_literal(-3) == 7
+
+
+def test_decode_examples():
+    assert decode_literal(2) == 1
+    assert decode_literal(3) == -1
+    assert decode_literal(6) == 3
+    assert decode_literal(7) == -3
+
+
+def test_zero_is_rejected():
+    with pytest.raises(ValueError):
+        encode_literal(0)
+
+
+def test_decode_rejects_variable_zero():
+    with pytest.raises(ValueError):
+        decode_literal(0)
+    with pytest.raises(ValueError):
+        decode_literal(1)
+
+
+@given(dimacs_literals)
+def test_roundtrip(literal):
+    assert decode_literal(encode_literal(literal)) == literal
+
+
+@given(dimacs_literals)
+def test_negation_is_involution(literal):
+    encoded = encode_literal(literal)
+    assert negate_literal(negate_literal(encoded)) == encoded
+    assert decode_literal(negate_literal(encoded)) == -literal
+
+
+@given(dimacs_literals)
+def test_variable_and_sign(literal):
+    encoded = encode_literal(literal)
+    assert variable_of(encoded) == abs(literal)
+    assert is_negative(encoded) == (literal < 0)
+
+
+@given(st.integers(min_value=1, max_value=10_000), st.booleans())
+def test_literal_for(variable, value):
+    encoded = literal_for(variable, value)
+    assert variable_of(encoded) == variable
+    assert is_negative(encoded) == (not value)
+
+
+def test_literal_for_rejects_bad_variable():
+    with pytest.raises(ValueError):
+        literal_for(0, True)
+
+
+def test_truth_constants_are_distinct():
+    assert len({TRUE, FALSE, UNASSIGNED}) == 3
+    assert UNASSIGNED < 0 <= FALSE < TRUE

@@ -1,0 +1,59 @@
+"""Unit and property tests for instance reshuffling."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brute import brute_force_model, brute_force_satisfiable
+from repro.cnf.formula import CnfFormula
+from repro.cnf.shuffle import shuffle_formula, unshuffle_model
+
+
+def test_shapes_are_preserved():
+    formula = CnfFormula([[1, -2], [2, 3], [-3]])
+    shuffled = shuffle_formula(formula, seed=1)
+    assert shuffled.num_variables == formula.num_variables
+    assert sorted(len(c) for c in shuffled.clauses) == sorted(
+        len(c) for c in formula.clauses
+    )
+
+
+def test_deterministic_for_seed():
+    formula = CnfFormula([[1, -2], [2, 3], [-3]])
+    assert shuffle_formula(formula, seed=5).clauses == shuffle_formula(formula, seed=5).clauses
+
+
+def test_different_seeds_differ():
+    formula = CnfFormula([[1, -2, 3], [2, 3, 4], [-3, -4]])
+    variants = {tuple(map(tuple, shuffle_formula(formula, seed=s).clauses)) for s in range(6)}
+    assert len(variants) > 1
+
+
+clauses_strategy = st.lists(
+    st.lists(
+        st.integers(min_value=1, max_value=7).flatmap(lambda v: st.sampled_from([v, -v])),
+        min_size=1,
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=14,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(clauses_strategy, st.integers(0, 1000), st.booleans())
+def test_shuffle_preserves_satisfiability(clauses, seed, flip):
+    formula = CnfFormula(clauses)
+    shuffled = shuffle_formula(formula, seed, flip_polarities=flip)
+    assert brute_force_satisfiable(formula) == brute_force_satisfiable(shuffled)
+
+
+@settings(max_examples=40, deadline=None)
+@given(clauses_strategy, st.integers(0, 1000))
+def test_unshuffle_maps_models_back(clauses, seed):
+    formula = CnfFormula(clauses)
+    shuffled = shuffle_formula(formula, seed)
+    model = brute_force_model(shuffled)
+    if model is None:
+        return
+    original_model = unshuffle_model(model, formula, seed)
+    assert formula.evaluate(original_model)

@@ -1,0 +1,107 @@
+"""Unit and property tests for formula preprocessing."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brute import brute_force_satisfiable
+from repro.cnf.formula import CnfFormula
+from repro.cnf.simplify import clean_clause, simplify_formula
+
+
+def test_clean_clause_removes_duplicates():
+    assert clean_clause([1, 1, -2, 1]) == [1, -2]
+
+
+def test_clean_clause_detects_tautology():
+    assert clean_clause([1, -1]) is None
+    assert clean_clause([2, 1, -2]) is None
+
+
+def test_units_are_propagated():
+    formula = CnfFormula([[1], [-1, 2], [-2, 3], [3, 4]])
+    result = simplify_formula(formula)
+    assert not result.unsat
+    assert result.forced == {1: True, 2: True, 3: True}
+    assert result.formula.num_clauses == 0
+
+
+def test_conflicting_units_refute():
+    result = simplify_formula(CnfFormula([[1], [-1]]))
+    assert result.unsat
+    assert result.formula.clauses == [[]]
+
+
+def test_unit_chain_refutes():
+    result = simplify_formula(CnfFormula([[1], [-1, 2], [-2], [3]]))
+    assert result.unsat
+
+
+def test_pure_literal_elimination():
+    formula = CnfFormula([[1, 2], [1, 3], [-2, 3]])
+    result = simplify_formula(formula, pure_literals=True)
+    assert not result.unsat
+    # 1 is pure positive; eliminating it satisfies the first two clauses,
+    # then 3 becomes pure positive and clears the rest.
+    assert result.formula.num_clauses == 0
+    assert result.forced[1] is True
+
+
+def test_tautologies_are_dropped():
+    result = simplify_formula(CnfFormula([[1, -1], [2, 2]]))
+    assert result.formula.clauses == [[2]] or result.forced.get(2) is True
+
+
+def test_extend_model():
+    formula = CnfFormula([[1], [2, 3]])
+    result = simplify_formula(formula)
+    extended = result.extend_model({2: True, 3: False})
+    assert extended[1] is True and extended[2] is True
+
+
+clauses_strategy = st.lists(
+    st.lists(
+        st.integers(min_value=1, max_value=7).flatmap(lambda v: st.sampled_from([v, -v])),
+        min_size=1,
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=16,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(clauses_strategy, st.booleans())
+def test_simplification_preserves_satisfiability(clauses, pure):
+    formula = CnfFormula(clauses)
+    result = simplify_formula(formula, pure_literals=pure)
+    before = brute_force_satisfiable(formula)
+    if result.unsat:
+        assert not before
+        return
+    after = brute_force_satisfiable(result.formula) if result.formula.num_clauses else True
+    assert after == before
+
+
+@settings(max_examples=60, deadline=None)
+@given(clauses_strategy)
+def test_forced_assignments_are_consistent_with_some_model(clauses):
+    """Every forced assignment appears in some model of the original formula."""
+    formula = CnfFormula(clauses)
+    result = simplify_formula(formula)
+    if result.unsat or not brute_force_satisfiable(formula):
+        return
+    # Extend a brute-force model of the simplified formula and check it.
+    from repro.baselines.brute import brute_force_model
+
+    if result.formula.num_clauses:
+        model = brute_force_model(result.formula)
+        assert model is not None
+    else:
+        model = {}
+    full = result.extend_model(model or {})
+    rng = random.Random(0)
+    for variable in range(1, formula.num_variables + 1):
+        full.setdefault(variable, rng.random() < 0.5)
+    assert formula.evaluate(full)

@@ -1,0 +1,30 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cnf.formula import CnfFormula
+from repro.solver.config import CONFIG_FACTORIES, config_by_name
+
+
+def random_formula(rng: random.Random, max_variables: int = 8, max_clauses: int = 24) -> CnfFormula:
+    """A small random CNF for oracle comparisons (may be SAT or UNSAT)."""
+    num_variables = rng.randint(1, max_variables)
+    num_clauses = rng.randint(1, max_clauses)
+    clauses = []
+    for _ in range(num_clauses):
+        arity = min(rng.randint(1, 3), num_variables)
+        variables = rng.sample(range(1, num_variables + 1), arity)
+        clauses.append([variable * rng.choice((1, -1)) for variable in variables])
+    return CnfFormula(clauses, num_variables=num_variables)
+
+
+@pytest.fixture(params=sorted(CONFIG_FACTORIES))
+def any_config(request):
+    """Every named solver configuration, with fast test-sized constants."""
+    return config_by_name(
+        request.param, restart_interval=9, activity_decay_interval=16
+    )

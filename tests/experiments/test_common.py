@@ -1,0 +1,40 @@
+"""Shared ablation-table plumbing."""
+
+from repro.experiments.common import ablation_table, measured_cell
+from repro.experiments.runner import ClassResult, InstanceRun
+from repro.solver.result import SolveStatus
+from repro.solver.stats import SolverStats
+
+
+def _run(name, solved=True, seconds=1.0, conflicts=100):
+    return InstanceRun(
+        instance=name,
+        config="berkmin",
+        expected=SolveStatus.UNSAT,
+        status=SolveStatus.UNSAT if solved else SolveStatus.UNKNOWN,
+        seconds=seconds,
+        conflicts=conflicts,
+        decisions=conflicts,
+        stats=SolverStats(),
+    )
+
+
+def test_measured_cell_formats_solved():
+    result = ClassResult("C", "berkmin", runs=[_run("a"), _run("b")])
+    assert measured_cell(result) == "2.00s/200c"
+
+
+def test_measured_cell_marks_aborts():
+    result = ClassResult("C", "berkmin", runs=[_run("a"), _run("b", solved=False)])
+    cell = measured_cell(result)
+    assert cell.endswith("(1 abrt)")
+    assert cell.startswith("1.00s/100c")
+
+
+def test_ablation_table_quick_smoke():
+    table = ablation_table(
+        "T", ["berkmin"], paper_rows={}, paper_total=("x",), scale="quick"
+    )
+    assert table.rows[-1][0] == "Total"
+    assert len(table.headers) == 3  # Class, paper, measured
+    assert any("paper seconds" in note for note in table.notes)

@@ -1,0 +1,73 @@
+"""Every paper experiment builds at quick scale (integration smoke tests).
+
+These are the tests that guarantee ``python -m repro experiment all``
+works; the shape assertions (who wins, aborts) live in the benchmark
+harness and EXPERIMENTS.md, since quick-scale instances are too small to
+discriminate heuristics reliably.
+"""
+
+import importlib
+
+import pytest
+
+EXPERIMENTS = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "fig1",
+]
+
+
+@pytest.mark.parametrize("name", EXPERIMENTS)
+def test_experiment_builds_at_quick_scale(name):
+    module = importlib.import_module(f"repro.experiments.{name}")
+    table = module.build(scale="quick")
+    text = table.render()
+    assert table.rows
+    assert text.startswith(table.title)
+
+
+def test_table3_reports_skin_distances():
+    from repro.experiments import table3
+
+    profiles = table3.collect_profiles(scale="quick")
+    assert profiles
+    total = sum(sum(profile.values()) for profile in profiles.values())
+    assert total > 0
+
+
+def test_fig1_shows_activity_jump():
+    from repro.experiments.fig1 import measure
+
+    gated, active = measure(max_conflicts=3_000)
+    assert not gated.control_value and active.control_value
+    assert gated.cone_share <= 0.05
+    assert active.cone_share > gated.cone_share
+
+
+def test_table3_decay_chart_renders():
+    from repro.experiments.table3 import render_decay_chart
+
+    chart = render_decay_chart({0: 3, 1: 1000, 2: 500, 3: 100})
+    lines = chart.splitlines()
+    assert len(lines) == 12
+    assert lines[1].count("#") > lines[3].count("#")
+    assert "1000" in lines[1]
+
+
+def test_paper_data_is_complete():
+    from repro.experiments import paper_data
+
+    for table in (paper_data.TABLE1, paper_data.TABLE2, paper_data.TABLE5):
+        assert set(table) == set(paper_data.CLASS_ORDER)
+    assert set(paper_data.TABLE4) == set(paper_data.CLASS_ORDER)
+    for row in paper_data.TABLE4.values():
+        assert len(row) == len(paper_data.TABLE4_CONFIGS)
+    assert len(paper_data.TABLE3) == 16

@@ -1,0 +1,30 @@
+"""The EXPERIMENTS.md report generator."""
+
+from repro.experiments import report
+
+
+def test_experiment_list_matches_modules():
+    names = [name for name, _caption in report.EXPERIMENTS]
+    assert names == [
+        "table1", "table2", "table3", "table4", "table5",
+        "table6", "table7", "table8", "table9", "table10", "fig1",
+    ]
+
+
+def test_build_report_subset(monkeypatch):
+    monkeypatch.setattr(
+        report, "EXPERIMENTS", [("table3", "skin effect"), ("fig1", "cone")]
+    )
+    text = report.build_report(scale="quick", progress=None)
+    assert "# EXPERIMENTS — paper vs. measured" in text
+    assert "## table3: skin effect" in text
+    assert "## fig1: cone" in text
+    assert "Table 3: skin effect" in text
+
+
+def test_main_writes_file(tmp_path, monkeypatch, capsys):
+    monkeypatch.setattr(report, "EXPERIMENTS", [("table3", "skin effect")])
+    output = tmp_path / "report.md"
+    assert report.main(["--scale", "quick", "-o", str(output)]) == 0
+    assert "Table 3" in output.read_text()
+    assert "wrote" in capsys.readouterr().out

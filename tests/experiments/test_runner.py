@@ -1,0 +1,70 @@
+"""The experiment runner: budgets, aggregation, ground-truth enforcement."""
+
+import pytest
+
+from repro.cnf.formula import CnfFormula
+from repro.experiments.runner import (
+    GroundTruthViolation,
+    run_class,
+    run_instance,
+    run_suite,
+)
+from repro.experiments.suites import BenchmarkClass, Instance
+from repro.generators.pigeonhole import pigeonhole_formula
+from repro.solver.config import berkmin_config, chaff_config
+from repro.solver.result import SolveStatus
+
+
+def _hole_instance(name="hole5", budget=30_000):
+    return Instance(name, lambda: pigeonhole_formula(5), SolveStatus.UNSAT, budget)
+
+
+def test_run_instance_solves_and_records():
+    run = run_instance(_hole_instance(), berkmin_config())
+    assert run.solved
+    assert not run.aborted
+    assert run.status is SolveStatus.UNSAT
+    assert run.conflicts > 0
+    assert run.seconds > 0
+
+
+def test_budget_abort_is_recorded():
+    run = run_instance(_hole_instance(budget=3), berkmin_config())
+    assert run.aborted
+    assert run.status is SolveStatus.UNKNOWN
+
+
+def test_ground_truth_violation_raises():
+    lying = Instance("lie", lambda: pigeonhole_formula(4), SolveStatus.SAT, 10_000)
+    with pytest.raises(GroundTruthViolation):
+        run_instance(lying, berkmin_config())
+
+
+def test_run_class_aggregates():
+    benchmark = BenchmarkClass(
+        name="Test",
+        description="",
+        instances=(
+            _hole_instance("a"),
+            _hole_instance("b", budget=2),
+        ),
+    )
+    result = run_class(benchmark, berkmin_config())
+    assert result.solved == 1
+    assert result.aborted == 1
+    assert result.conflicts > 0
+    assert ">" in result.time_cell() and "(1)" in result.time_cell()
+
+
+def test_run_suite_shape_and_progress():
+    benchmark = BenchmarkClass("T", "", (_hole_instance(),))
+    messages = []
+    results = run_suite([benchmark], [berkmin_config(), chaff_config()], progress=messages.append)
+    assert set(results) == {"T"}
+    assert set(results["T"]) == {"berkmin", "chaff"}
+    assert len(messages) == 2
+
+
+def test_max_conflicts_override():
+    run = run_instance(_hole_instance(budget=100_000), berkmin_config(), max_conflicts=2)
+    assert run.aborted

@@ -1,0 +1,76 @@
+"""Benchmark suites: every instance must have its advertised ground truth."""
+
+import pytest
+
+from repro.experiments.suites import (
+    benchmark_class,
+    competition_suite,
+    paper_suite,
+    skin_effect_instances,
+)
+from repro.experiments.paper_data import CLASS_ORDER
+from repro.solver.solver import Solver
+
+
+def test_paper_suite_covers_all_twelve_classes():
+    names = [cls.name for cls in paper_suite("default")]
+    assert names == CLASS_ORDER
+
+
+def test_quick_suite_covers_all_twelve_classes():
+    names = [cls.name for cls in paper_suite("quick")]
+    assert names == CLASS_ORDER
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(ValueError):
+        paper_suite("huge")
+
+
+def test_benchmark_class_lookup():
+    assert benchmark_class("Hanoi", "quick").name == "Hanoi"
+    with pytest.raises(KeyError):
+        benchmark_class("Nope")
+
+
+@pytest.mark.parametrize(
+    "instance",
+    [
+        instance
+        for cls in paper_suite("quick")
+        for instance in cls.instances
+    ],
+    ids=lambda instance: instance.name,
+)
+def test_quick_instances_solve_to_expected_status(instance):
+    """Ground truth check for every quick-suite instance."""
+    result = Solver(instance.formula()).solve(max_conflicts=instance.max_conflicts)
+    assert result.status is instance.expected
+
+
+def test_quick_competition_instances_have_ground_truth():
+    for instance in competition_suite("quick").instances:
+        result = Solver(instance.formula()).solve(max_conflicts=instance.max_conflicts)
+        assert result.status is instance.expected, instance.name
+
+
+def test_instance_formulas_are_cached():
+    instance = benchmark_class("Hole", "quick").instances[0]
+    assert instance.formula() is instance.formula()
+
+
+def test_skin_effect_instances_exist():
+    instances = skin_effect_instances("quick")
+    assert len(instances) >= 2
+    assert len(skin_effect_instances("default")) == 5
+
+
+def test_default_suite_has_mixed_statuses():
+    from repro.solver.result import SolveStatus
+
+    statuses = {
+        instance.expected
+        for cls in paper_suite("default")
+        for instance in cls.instances
+    }
+    assert statuses == {SolveStatus.SAT, SolveStatus.UNSAT}

@@ -1,0 +1,37 @@
+"""Table rendering."""
+
+import pytest
+
+from repro.experiments.tables import Table, format_ratio, format_seconds
+
+
+def test_render_alignment_and_content():
+    table = Table("Demo", ["a", "column"], notes=["hello"])
+    table.add_row("x", 1)
+    table.add_row("longer", 2.5)
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    assert lines[1] == "===="
+    assert "column" in lines[2]
+    assert "longer" in text
+    assert "note: hello" in text
+
+
+def test_row_width_mismatch_rejected():
+    table = Table("T", ["one"])
+    with pytest.raises(ValueError):
+        table.add_row("a", "b")
+
+
+def test_str_is_render():
+    table = Table("T", ["h"])
+    table.add_row("v")
+    assert str(table) == table.render()
+
+
+def test_format_helpers():
+    assert format_seconds(1.2345) == "1.23"
+    assert format_ratio(3, 2) == "1.50"
+    assert format_ratio(3, 0) == "inf"
+    assert format_ratio(0, 0) == "1.00"

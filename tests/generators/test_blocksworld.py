@@ -1,0 +1,100 @@
+"""Blocks-world: state mechanics, BFS ground truth, and the CNF encoding."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators.blocksworld import (
+    BlocksState,
+    blocksworld_formula,
+    decode_blocksworld_plan,
+    optimal_plan_length,
+    random_blocks_state,
+    validate_blocksworld_plan,
+)
+from repro.solver.solver import Solver
+
+
+def test_state_canonicalization_and_validation():
+    state = BlocksState.from_stacks([(2, 0), (1,)])
+    assert state.stacks == ((1,), (2, 0))
+    with pytest.raises(ValueError):
+        BlocksState.from_stacks([(0, 0)])
+    with pytest.raises(ValueError):
+        BlocksState.from_stacks([(0, 3)])  # numbering gap
+    with pytest.raises(ValueError):
+        BlocksState(((),))
+
+
+def test_supports_and_clear():
+    state = BlocksState.from_stacks([(0, 1), (2,)])
+    assert state.supports() == {0: 3, 1: 0, 2: 3}  # 3 = table
+    assert state.clear_blocks() == {1, 2}
+
+
+def test_successors_are_legal_and_complete():
+    state = BlocksState.from_stacks([(0, 1), (2,)])
+    moves = dict(state.successors())
+    # Clear blocks: 1 and 2. Moves: 1->table, 1->2, 2->1 (2 is on table already).
+    assert (1, 3) in moves
+    assert (1, 2) in moves
+    assert (2, 1) in moves
+    assert (0, 3) not in moves  # 0 is not clear
+
+
+def test_random_state_is_deterministic():
+    assert random_blocks_state(6, 3) == random_blocks_state(6, 3)
+    assert random_blocks_state(6, 3).num_blocks == 6
+
+
+def test_optimal_plan_length_examples():
+    same = random_blocks_state(4, 1)
+    assert optimal_plan_length(same, same) == 0
+    a = BlocksState.from_stacks([(0, 1)])
+    b = BlocksState.from_stacks([(1, 0)])
+    assert optimal_plan_length(a, b) == 2  # unstack 1, then stack 0 onto 1
+
+
+def test_block_set_mismatch_rejected():
+    with pytest.raises(ValueError):
+        optimal_plan_length(random_blocks_state(3, 0), random_blocks_state(4, 0))
+    with pytest.raises(ValueError):
+        blocksworld_formula(random_blocks_state(3, 0), random_blocks_state(4, 0), 3)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 4), st.integers(0, 100), st.integers(0, 100))
+def test_sat_exactly_at_and_above_optimum(num_blocks, seed_a, seed_b):
+    """The central property: CNF horizon feasibility == BFS optimum."""
+    initial = random_blocks_state(num_blocks, seed_a)
+    goal = random_blocks_state(num_blocks, seed_b)
+    optimum = optimal_plan_length(initial, goal)
+    at = Solver(blocksworld_formula(initial, goal, optimum)).solve()
+    assert at.is_sat
+    above = Solver(blocksworld_formula(initial, goal, optimum + 1)).solve()
+    assert above.is_sat
+    if optimum > 0:
+        below = Solver(blocksworld_formula(initial, goal, optimum - 1)).solve()
+        assert below.is_unsat
+
+
+def test_decoded_plans_replay_on_real_dynamics():
+    rng = random.Random(5)
+    for _ in range(5):
+        initial = random_blocks_state(4, rng.randint(0, 999))
+        goal = random_blocks_state(4, rng.randint(0, 999))
+        horizon = optimal_plan_length(initial, goal) + 1
+        result = Solver(blocksworld_formula(initial, goal, horizon)).solve()
+        assert result.is_sat
+        plan = decode_blocksworld_plan(result.model, 4, horizon)
+        assert validate_blocksworld_plan(plan, initial, goal)
+
+
+def test_zero_horizon():
+    state = random_blocks_state(3, 7)
+    assert Solver(blocksworld_formula(state, state, 0)).solve().is_sat
+    other = random_blocks_state(3, 8)
+    if other != state:
+        assert Solver(blocksworld_formula(state, other, 0)).solve().is_unsat

@@ -1,0 +1,84 @@
+"""Graph-coloring CNFs."""
+
+import networkx as nx
+import pytest
+
+from repro.generators.graph_coloring import (
+    coloring_formula,
+    odd_cycle_formula,
+    planted_coloring_formula,
+)
+from repro.solver.solver import Solver
+
+
+def test_triangle_needs_three_colors():
+    triangle = nx.complete_graph(3)
+    assert Solver(coloring_formula(triangle, 2)).solve().is_unsat
+    assert Solver(coloring_formula(triangle, 3)).solve().is_sat
+
+
+def test_complete_graph_chromatic_number():
+    k5 = nx.complete_graph(5)
+    assert Solver(coloring_formula(k5, 4)).solve().is_unsat
+    assert Solver(coloring_formula(k5, 5)).solve().is_sat
+
+
+def test_odd_cycles_not_two_colorable():
+    for length in (3, 5, 9):
+        assert Solver(odd_cycle_formula(length)).solve().is_unsat
+
+
+def test_even_cycle_is_two_colorable():
+    assert Solver(coloring_formula(nx.cycle_graph(8), 2)).solve().is_sat
+
+
+def test_odd_cycle_validation():
+    with pytest.raises(ValueError):
+        odd_cycle_formula(4)
+    with pytest.raises(ValueError):
+        odd_cycle_formula(1)
+
+
+def test_model_is_a_proper_coloring():
+    graph = nx.petersen_graph()
+    colors = 3
+    result = Solver(coloring_formula(graph, colors)).solve()
+    assert result.is_sat
+    nodes = list(graph.nodes())
+    index = {node: position for position, node in enumerate(nodes)}
+    assignment = {}
+    for node in nodes:
+        chosen = [
+            color
+            for color in range(colors)
+            if result.model[index[node] * colors + color + 1]
+        ]
+        assert len(chosen) == 1
+        assignment[node] = chosen[0]
+    for left, right in graph.edges():
+        assert assignment[left] != assignment[right]
+
+
+def test_planted_coloring_is_sat():
+    for seed in range(3):
+        formula = planted_coloring_formula(12, 3, 24, seed)
+        assert Solver(formula).solve().is_sat
+
+
+def test_planted_coloring_validation():
+    with pytest.raises(ValueError):
+        planted_coloring_formula(5, 1, 4, 0)
+    with pytest.raises(ValueError):
+        planted_coloring_formula(2, 3, 1, 0)
+
+
+def test_color_count_validation():
+    with pytest.raises(ValueError):
+        coloring_formula(nx.path_graph(3), 0)
+
+
+def test_self_loops_are_ignored():
+    graph = nx.Graph()
+    graph.add_edge(0, 0)
+    graph.add_edge(0, 1)
+    assert Solver(coloring_formula(graph, 2)).solve().is_sat

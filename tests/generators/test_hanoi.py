@@ -1,0 +1,68 @@
+"""Towers-of-Hanoi planning encodings."""
+
+import pytest
+
+from repro.generators.hanoi import (
+    decode_hanoi_plan,
+    hanoi_formula,
+    optimal_hanoi_length,
+    validate_hanoi_plan,
+)
+from repro.solver.solver import Solver
+
+
+def test_optimal_lengths():
+    assert [optimal_hanoi_length(n) for n in (1, 2, 3, 4)] == [1, 3, 7, 15]
+
+
+@pytest.mark.parametrize("disks", [1, 2, 3])
+def test_optimal_horizon_is_sat_with_valid_plan(disks):
+    horizon = optimal_hanoi_length(disks)
+    result = Solver(hanoi_formula(disks)).solve()
+    assert result.is_sat
+    plan = decode_hanoi_plan(result.model, disks, horizon)
+    assert len(plan) == horizon
+    assert validate_hanoi_plan(plan, disks)
+
+
+@pytest.mark.parametrize("disks,horizon", [(2, 2), (3, 6), (3, 4)])
+def test_below_optimal_is_unsat(disks, horizon):
+    assert Solver(hanoi_formula(disks, horizon)).solve().is_unsat
+
+
+@pytest.mark.parametrize("extra", [1, 2])
+def test_padded_horizons_stay_sat(extra):
+    disks = 3
+    horizon = optimal_hanoi_length(disks) + extra
+    result = Solver(hanoi_formula(disks, horizon)).solve()
+    assert result.is_sat
+    plan = decode_hanoi_plan(result.model, disks, horizon)
+    assert validate_hanoi_plan(plan, disks)
+
+
+def test_validate_rejects_illegal_plans():
+    # Moving the large disk first is illegal (a smaller one sits on it).
+    assert not validate_hanoi_plan([(1, 0, 2)], 2)
+    # Moving a disk onto a smaller one is illegal.
+    assert not validate_hanoi_plan([(0, 0, 1), (1, 0, 1)], 2)
+    # The optimal 2-disk plan is legal.
+    assert validate_hanoi_plan([(0, 0, 1), (1, 0, 2), (0, 1, 2)], 2)
+
+
+def test_decoder_rejects_garbage_models():
+    formula = hanoi_formula(2)
+    fake_model = {v: False for v in range(1, formula.num_variables + 1)}
+    with pytest.raises(ValueError):
+        decode_hanoi_plan(fake_model, 2, 3)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        hanoi_formula(0)
+    with pytest.raises(ValueError):
+        hanoi_formula(2, 0)
+
+
+def test_comment_records_status():
+    assert "SAT" in hanoi_formula(2).comment
+    assert "UNSAT" in hanoi_formula(2, 2).comment

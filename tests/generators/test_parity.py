@@ -1,0 +1,112 @@
+"""XOR systems: GF(2) elimination ground truth and CNF compilation."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brute import brute_force_satisfiable
+from repro.cnf.formula import CnfFormula
+from repro.generators.parity import (
+    XorSystem,
+    random_xor_system,
+    xor_clauses,
+    xor_system_formula,
+)
+from repro.solver.solver import Solver
+
+
+def test_xor_clauses_two_literals():
+    from repro.baselines.brute import brute_force_model
+
+    formula = CnfFormula(num_variables=2)
+    xor_clauses(formula, [1, 2], True)
+    model = brute_force_model(formula)
+    assert model is not None
+    assert model[1] != model[2]
+    # Forcing equal values must refute the XOR.
+    forced = formula.copy()
+    forced.add_clause([1])
+    forced.add_clause([2])
+    assert not brute_force_satisfiable(forced)
+
+
+def test_xor_clauses_parity_false():
+    formula = CnfFormula(num_variables=2)
+    xor_clauses(formula, [1, 2], False)
+    formula_true = CnfFormula(num_variables=2)
+    xor_clauses(formula_true, [1, 2], True)
+    # Exactly the complementary assignments are allowed.
+    from repro.baselines.brute import brute_force_model
+
+    model = brute_force_model(formula)
+    assert model[1] == model[2]
+
+
+def test_empty_xor_with_odd_parity_is_unsat():
+    formula = CnfFormula()
+    xor_clauses(formula, [], True)
+    assert formula.clauses == [[]]
+
+
+def test_empty_xor_with_even_parity_is_noop():
+    formula = CnfFormula()
+    xor_clauses(formula, [], False)
+    assert formula.num_clauses == 0
+
+
+def test_gf2_consistency_matches_brute_force():
+    rng = random.Random(2)
+    for _ in range(40):
+        num_variables = rng.randint(1, 5)
+        rows = []
+        for _ in range(rng.randint(1, 5)):
+            arity = rng.randint(1, min(3, num_variables))
+            rows.append(
+                (rng.sample(range(1, num_variables + 1), arity), rng.random() < 0.5)
+            )
+        system = XorSystem(num_variables, rows)
+        formula = xor_system_formula(system)
+        assert system.is_consistent() == brute_force_satisfiable(formula)
+
+
+def test_planted_systems_are_consistent():
+    for seed in range(5):
+        system = random_xor_system(12, 10, 3, seed, planted=True)
+        assert system.is_consistent()
+        result = Solver(xor_system_formula(system)).solve()
+        assert result.is_sat
+
+
+def test_unplanted_systems_are_inconsistent():
+    for seed in range(5):
+        system = random_xor_system(8, 20, 3, seed, planted=False)
+        assert not system.is_consistent()
+        result = Solver(xor_system_formula(system)).solve()
+        assert result.is_unsat
+
+
+def test_models_satisfy_the_equations():
+    system = random_xor_system(10, 8, 3, seed=4, planted=True)
+    formula = xor_system_formula(system)
+    result = Solver(formula).solve()
+    assignment = {v: result.model[v] for v in range(1, system.num_variables + 1)}
+    assert system.evaluate(assignment)
+
+
+def test_arity_validation():
+    with pytest.raises(ValueError):
+        random_xor_system(3, 5, 4, seed=0)
+    with pytest.raises(ValueError):
+        random_xor_system(3, 5, 0, seed=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 8), st.integers(1, 10), st.integers(0, 500))
+def test_generator_is_deterministic(num_variables, num_equations, seed):
+    arity = min(3, num_variables)
+    first = random_xor_system(num_variables, num_equations, arity, seed)
+    second = random_xor_system(num_variables, num_equations, arity, seed)
+    assert first.rows == second.rows

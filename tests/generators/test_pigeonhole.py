@@ -1,0 +1,43 @@
+"""Pigeonhole instances."""
+
+import pytest
+
+from repro.baselines.brute import brute_force_satisfiable
+from repro.generators.pigeonhole import pigeonhole_formula
+from repro.solver.solver import Solver
+
+
+def test_unsat_when_more_pigeons():
+    for holes in (1, 2, 3, 4):
+        formula = pigeonhole_formula(holes)
+        assert not brute_force_satisfiable(formula)
+
+
+def test_sat_when_enough_holes():
+    for holes, pigeons in ((3, 3), (4, 2)):
+        formula = pigeonhole_formula(holes, pigeons)
+        assert brute_force_satisfiable(formula)
+
+
+def test_clause_and_variable_counts():
+    holes, pigeons = 4, 5
+    formula = pigeonhole_formula(holes)
+    assert formula.num_variables == pigeons * holes
+    expected_clauses = pigeons + holes * (pigeons * (pigeons - 1) // 2)
+    assert formula.num_clauses == expected_clauses
+
+
+def test_solver_refutes_hole6():
+    assert Solver(pigeonhole_formula(6)).solve().is_unsat
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        pigeonhole_formula(0)
+    with pytest.raises(ValueError):
+        pigeonhole_formula(3, 0)
+
+
+def test_comment_mentions_status():
+    assert "UNSAT" in pigeonhole_formula(3).comment
+    assert "SAT" in pigeonhole_formula(3, 2).comment

@@ -1,0 +1,41 @@
+"""N-queens CNFs."""
+
+import pytest
+
+from repro.generators.queens import decode_queens, queens_formula
+from repro.solver.solver import Solver
+
+
+def _attacks(row_a, col_a, row_b, col_b):
+    return (
+        row_a == row_b
+        or col_a == col_b
+        or abs(row_a - row_b) == abs(col_a - col_b)
+    )
+
+
+@pytest.mark.parametrize("size", [1, 4, 5, 6, 8])
+def test_solvable_sizes(size):
+    result = Solver(queens_formula(size)).solve()
+    assert result.is_sat
+    placement = decode_queens(result.model, size)
+    for row_a in range(size):
+        for row_b in range(row_a + 1, size):
+            assert not _attacks(row_a, placement[row_a], row_b, placement[row_b])
+
+
+@pytest.mark.parametrize("size", [2, 3])
+def test_unsolvable_sizes(size):
+    assert Solver(queens_formula(size)).solve().is_unsat
+
+
+def test_decode_rejects_bad_models():
+    formula = queens_formula(4)
+    fake = {v: False for v in range(1, formula.num_variables + 1)}
+    with pytest.raises(ValueError):
+        decode_queens(fake, 4)
+
+
+def test_size_validation():
+    with pytest.raises(ValueError):
+        queens_formula(0)

@@ -1,0 +1,40 @@
+"""Random and planted k-SAT."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators.random_ksat import planted_ksat, random_ksat
+from repro.solver.solver import Solver
+
+
+def test_shapes():
+    formula = random_ksat(20, 50, 3, seed=1)
+    assert formula.num_variables == 20
+    assert formula.num_clauses == 50
+    assert all(len(clause) == 3 for clause in formula.clauses)
+    assert all(len({abs(l) for l in clause}) == 3 for clause in formula.clauses)
+
+
+def test_determinism():
+    assert random_ksat(10, 20, 3, 5).clauses == random_ksat(10, 20, 3, 5).clauses
+    assert planted_ksat(10, 20, 3, 5).clauses == planted_ksat(10, 20, 3, 5).clauses
+
+
+def test_different_seeds_differ():
+    assert random_ksat(10, 20, 3, 1).clauses != random_ksat(10, 20, 3, 2).clauses
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(5, 30), st.integers(0, 1000))
+def test_planted_instances_are_sat(num_variables, seed):
+    formula = planted_ksat(num_variables, 4 * num_variables, 3, seed)
+    result = Solver(formula).solve(max_conflicts=50_000)
+    assert result.is_sat
+
+
+def test_arity_validation():
+    with pytest.raises(ValueError):
+        random_ksat(2, 5, 3, 0)
+    with pytest.raises(ValueError):
+        planted_ksat(2, 5, 0, 0)

@@ -1,0 +1,81 @@
+"""Sudoku encoder/decoder."""
+
+import pytest
+
+from repro.generators.sudoku import (
+    EXAMPLE_PUZZLE,
+    decode_sudoku,
+    sudoku_formula,
+    sudoku_puzzle,
+)
+from repro.solver.solver import Solver
+
+
+def _check_solution(grid, box=3):
+    size = box * box
+    expected = set(range(1, size + 1))
+    for row in grid:
+        assert set(row) == expected
+    for column in range(size):
+        assert {grid[row][column] for row in range(size)} == expected
+    for box_row in range(box):
+        for box_column in range(box):
+            cells = {
+                grid[box_row * box + r][box_column * box + c]
+                for r in range(box)
+                for c in range(box)
+            }
+            assert cells == expected
+
+
+def test_parse_puzzle():
+    grid = sudoku_puzzle()
+    assert len(grid) == 9
+    assert grid[0][0] == 5
+    assert grid[0][2] == 0
+
+
+def test_parse_with_dots():
+    grid = sudoku_puzzle("1." + "0" * 14)
+    assert grid[0] == [1, 0, 0, 0]
+
+
+def test_parse_rejects_non_square():
+    with pytest.raises(ValueError):
+        sudoku_puzzle("123")
+
+
+def test_solve_example_puzzle():
+    grid = sudoku_puzzle()
+    result = Solver(sudoku_formula(grid)).solve()
+    assert result.is_sat
+    solution = decode_sudoku(result.model)
+    _check_solution(solution)
+    # Clues preserved.
+    for row in range(9):
+        for column in range(9):
+            if grid[row][column]:
+                assert solution[row][column] == grid[row][column]
+
+
+def test_known_unique_solution_first_row():
+    result = Solver(sudoku_formula(sudoku_puzzle(EXAMPLE_PUZZLE))).solve()
+    assert decode_sudoku(result.model)[0] == [5, 3, 4, 6, 7, 8, 9, 1, 2]
+
+
+def test_4x4_sudoku():
+    grid = [[1, 0, 0, 0], [0, 0, 3, 0], [0, 4, 0, 0], [0, 0, 0, 2]]
+    result = Solver(sudoku_formula(grid, box=2)).solve()
+    assert result.is_sat
+    _check_solution(decode_sudoku(result.model, box=2), box=2)
+
+
+def test_contradictory_clues_unsat():
+    grid = sudoku_puzzle()
+    grid[0][2] = 5  # clashes with the 5 at (0, 0)
+    assert Solver(sudoku_formula(grid)).solve().is_unsat
+
+
+def test_grid_shape_validation():
+    with pytest.raises(ValueError):
+        sudoku_formula([[1, 2], [3, 4]])

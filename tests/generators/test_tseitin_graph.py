@@ -1,0 +1,87 @@
+"""Tseitin graph formulas."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.baselines.brute import brute_force_satisfiable
+from repro.generators.tseitin_graph import (
+    tseitin_formula,
+    tseitin_satisfiable,
+    urquhart_like_formula,
+)
+from repro.solver.solver import Solver
+
+
+def test_even_charge_cycle_is_sat():
+    graph = nx.cycle_graph(6)
+    charges = {0: True, 3: True}
+    assert tseitin_satisfiable(graph, charges)
+    assert Solver(tseitin_formula(graph, charges)).solve().is_sat
+
+
+def test_odd_charge_cycle_is_unsat():
+    graph = nx.cycle_graph(6)
+    charges = {0: True}
+    assert not tseitin_satisfiable(graph, charges)
+    assert Solver(tseitin_formula(graph, charges)).solve().is_unsat
+
+
+def test_per_component_parity():
+    graph = nx.Graph()
+    graph.add_edges_from([(0, 1), (1, 2), (2, 0), (10, 11), (11, 12), (12, 10)])
+    # Component {0,1,2} even, component {10,11,12} odd -> UNSAT overall.
+    charges = {0: True, 1: True, 10: True}
+    assert not tseitin_satisfiable(graph, charges)
+    assert Solver(tseitin_formula(graph, charges)).solve().is_unsat
+
+
+def test_ground_truth_matches_solver_on_random_graphs():
+    rng = random.Random(7)
+    for trial in range(10):
+        graph = nx.gnp_random_graph(7, 0.4, seed=trial)
+        charges = {node: rng.random() < 0.5 for node in graph.nodes()}
+        expected = tseitin_satisfiable(graph, charges)
+        formula = tseitin_formula(graph, charges)
+        if formula.num_variables == 0:
+            # No edges: satisfiable iff no vertex is charged.
+            assert expected == all(not value for value in charges.values())
+            continue
+        result = Solver(formula).solve()
+        assert result.is_sat == expected, (trial, charges)
+
+
+def test_ground_truth_matches_brute_force():
+    rng = random.Random(3)
+    for trial in range(8):
+        graph = nx.gnp_random_graph(6, 0.5, seed=100 + trial)
+        if graph.number_of_edges() == 0 or graph.number_of_edges() > 12:
+            continue
+        charges = {node: rng.random() < 0.5 for node in graph.nodes()}
+        formula = tseitin_formula(graph, charges)
+        assert brute_force_satisfiable(formula) == tseitin_satisfiable(graph, charges)
+
+
+def test_urquhart_like_is_unsat():
+    formula = urquhart_like_formula(8, degree=4, seed=1)
+    assert "UNSAT" in formula.comment
+    assert Solver(formula).solve().is_unsat
+
+
+def test_urquhart_like_satisfiable_variant():
+    formula = urquhart_like_formula(8, degree=4, seed=1, satisfiable=True)
+    assert Solver(formula).solve().is_sat
+
+
+def test_urquhart_validation():
+    with pytest.raises(ValueError):
+        urquhart_like_formula(7, degree=3)  # odd product
+    with pytest.raises(ValueError):
+        urquhart_like_formula(3, degree=4)
+
+
+def test_comment_records_status():
+    graph = nx.cycle_graph(4)
+    assert "SAT" in tseitin_formula(graph, {0: True, 1: True}).comment
+    assert "UNSAT" in tseitin_formula(graph, {0: True}).comment

@@ -1,0 +1,86 @@
+"""Failed-assumption cores (MiniSat-style analyzeFinal)."""
+
+import random
+
+from repro.baselines.brute import brute_force_satisfiable
+from repro.cnf.formula import CnfFormula
+from repro.solver.solver import Solver
+
+
+def _check_core(formula, assumptions, core):
+    assert core is not None
+    assert set(core) <= set(assumptions)
+    augmented = formula.copy()
+    for literal in core:
+        augmented.add_clause([literal])
+    assert not brute_force_satisfiable(augmented)
+
+
+def test_simple_core():
+    formula = CnfFormula([[-1, -2]])
+    result = Solver(formula).solve(assumptions=[1, 2])
+    assert result.is_unsat and result.under_assumptions
+    _check_core(formula, [1, 2], result.core)
+    assert set(result.core) == {1, 2}
+
+
+def test_core_excludes_irrelevant_assumptions():
+    formula = CnfFormula([[-1, -2]], num_variables=5)
+    result = Solver(formula).solve(assumptions=[3, 4, 1, 5, 2])
+    assert result.is_unsat
+    _check_core(formula, [3, 4, 1, 5, 2], result.core)
+    assert 3 not in result.core and 4 not in result.core and 5 not in result.core
+
+
+def test_contradictory_assumption_pair():
+    formula = CnfFormula([[1, 2]])
+    result = Solver(formula).solve(assumptions=[1, -1])
+    assert result.is_unsat
+    assert set(result.core) == {1, -1}
+
+
+def test_core_through_propagation_chain():
+    formula = CnfFormula([[-1, 2], [-2, 3], [-3, -4]])
+    result = Solver(formula).solve(assumptions=[1, 4])
+    assert result.is_unsat
+    _check_core(formula, [1, 4], result.core)
+
+
+def test_level_zero_failure_gives_singleton_core():
+    formula = CnfFormula([[1, 2], [-2], [1, 3]])  # forces nothing about 1? no:
+    # [-2] forces 2 = False, so [1, 2] forces 1 = True at level 0.
+    result = Solver(formula).solve(assumptions=[-1])
+    assert result.is_unsat
+    assert result.core == [-1]
+
+
+def test_no_core_for_plain_unsat():
+    formula = CnfFormula([[1], [-1]])
+    result = Solver(formula).solve()
+    assert result.is_unsat
+    assert result.core is None
+    assert not result.under_assumptions
+
+
+def test_random_cores_are_sound():
+    rng = random.Random(9)
+    produced = 0
+    while produced < 20:
+        n = rng.randint(2, 7)
+        clauses = [
+            [v * rng.choice((1, -1)) for v in rng.sample(range(1, n + 1), min(2, n))]
+            for _ in range(rng.randint(2, 14))
+        ]
+        formula = CnfFormula(clauses, num_variables=n)
+        if not brute_force_satisfiable(formula):
+            continue  # want UNSAT to come from the assumptions
+        assumptions = [
+            v * rng.choice((1, -1))
+            for v in rng.sample(range(1, n + 1), rng.randint(1, n))
+        ]
+        result = Solver(formula).solve(assumptions=assumptions)
+        if not result.is_unsat:
+            continue
+        assert result.under_assumptions
+        _check_core(formula, assumptions, result.core)
+        produced += 1

@@ -1,0 +1,94 @@
+"""Configuration presets and the registry."""
+
+import pytest
+
+from repro.solver.config import (
+    CONFIG_FACTORIES,
+    SolverConfig,
+    berkmin_config,
+    chaff_config,
+    config_by_name,
+    less_mobility_config,
+    less_sensitivity_config,
+    limited_keeping_config,
+)
+
+
+def test_default_is_berkmin_with_paper_constants():
+    config = berkmin_config()
+    assert config.name == "berkmin"
+    assert config.bump_responsible_clauses
+    assert config.decision_strategy == "berkmin"
+    assert config.top_clause_phase == "symmetrize"
+    assert config.formula_phase == "nb_two"
+    # Section 8's explicit constants.
+    assert config.young_length_limit == 42
+    assert config.young_activity_limit == 7
+    assert config.old_length_limit == 8
+    assert config.old_activity_threshold == 60
+    assert config.young_fraction == pytest.approx(15 / 16)
+    # Section 7's nb_two threshold.
+    assert config.nb_two_threshold == 100
+
+
+def test_less_sensitivity_only_changes_bumping():
+    base = berkmin_config()
+    variant = less_sensitivity_config()
+    assert not variant.bump_responsible_clauses
+    assert variant.decision_strategy == base.decision_strategy
+    assert variant.db_management == base.db_management
+
+
+def test_less_mobility_only_changes_decision():
+    variant = less_mobility_config()
+    assert variant.decision_strategy == "global"
+    assert variant.bump_responsible_clauses  # activities stay BerkMin-style
+
+
+def test_chaff_preset_shape():
+    config = chaff_config()
+    assert config.decision_strategy == "vsids"
+    assert not config.bump_responsible_clauses
+    assert config.db_management == "limited_keeping"
+    assert config.activity_decay_divisor == 2
+
+
+def test_limited_keeping_threshold_matches_paper():
+    assert limited_keeping_config().limited_keeping_length == 42
+
+
+def test_registry_contains_all_paper_configs():
+    for name in (
+        "berkmin",
+        "less_sensitivity",
+        "less_mobility",
+        "sat_top",
+        "unsat_top",
+        "take_0",
+        "take_1",
+        "take_rand",
+        "limited_keeping",
+        "chaff",
+    ):
+        assert name in CONFIG_FACTORIES
+        assert config_by_name(name).name == name
+
+
+def test_unknown_name_raises():
+    with pytest.raises(ValueError, match="unknown configuration"):
+        config_by_name("minisat")
+
+
+def test_with_overrides_returns_copy():
+    base = berkmin_config()
+    changed = base.with_overrides(restart_interval=99)
+    assert changed.restart_interval == 99
+    assert base.restart_interval == 550
+    assert isinstance(changed, SolverConfig)
+
+
+def test_factory_overrides():
+    config = config_by_name("chaff", seed=7, restart_interval=12)
+    assert config.seed == 7
+    assert config.restart_interval == 12
+    assert config.name == "chaff"

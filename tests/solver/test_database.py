@@ -1,0 +1,168 @@
+"""Clause-database management (Section 8): the young/old keep rules,
+anti-looping protection, GRASP-style limited keeping, and level-0
+compaction."""
+
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CnfFormula
+from repro.cnf.literals import encode_literal
+from repro.solver import Solver
+from repro.solver.config import (
+    berkmin_config,
+    chaff_config,
+    limited_keeping_config,
+)
+from repro.solver.database import reduce_database
+
+
+def _fresh_solver(config=None, num_variables=80):
+    formula = CnfFormula(num_variables=num_variables)
+    formula.add_clause([num_variables - 1, num_variables])
+    return Solver(formula, config=config or berkmin_config())
+
+
+def _push_learned(solver, dimacs, activity=0):
+    clause = Clause([encode_literal(lit) for lit in dimacs], learned=True)
+    clause.activity = activity
+    clause.birth = solver.birth_counter
+    solver.birth_counter += 1
+    solver.learned.append(clause)
+    solver.attach_clause(clause)
+    return clause
+
+
+def test_berkmin_young_clause_rules():
+    """Young clauses survive iff short (<= 42) or active (> 7)."""
+    solver = _fresh_solver(berkmin_config(young_length_limit=5, young_activity_limit=7))
+    short = _push_learned(solver, [1, 2, 3])
+    long_passive = _push_learned(solver, list(range(1, 10)), activity=3)
+    long_active = _push_learned(solver, list(range(1, 10)), activity=8)
+    topmost = _push_learned(solver, list(range(1, 10)), activity=0)
+    reduce_database(solver)
+    kept = set(map(id, solver.learned))
+    assert id(short) in kept
+    assert id(long_passive) not in kept
+    assert id(long_active) in kept
+    assert id(topmost) in kept  # anti-looping: topmost never removed
+
+
+def test_berkmin_old_clause_rules_and_growing_threshold():
+    config = berkmin_config(
+        young_fraction=0.5,
+        young_length_limit=42,
+        old_length_limit=2,
+        old_activity_threshold=10,
+        old_threshold_increment=5,
+    )
+    solver = _fresh_solver(config)
+    # With young_fraction = 0.5 and 4 clauses, distances 2, 3 are "old".
+    old_active = _push_learned(solver, [1, 2, 3], activity=11)
+    old_passive = _push_learned(solver, [4, 5, 6], activity=9)
+    _push_learned(solver, [7, 8, 9])
+    _push_learned(solver, [10, 11, 12])
+    initial_threshold = solver.old_threshold
+    reduce_database(solver)
+    kept = set(map(id, solver.learned))
+    assert id(old_active) in kept  # activity 11 > threshold 10
+    assert id(old_passive) not in kept  # length 3 > 2 and activity 9 <= 10
+    assert solver.old_threshold == initial_threshold + 5
+
+
+def test_protected_clauses_survive():
+    solver = _fresh_solver(berkmin_config(young_length_limit=1, young_activity_limit=99))
+    doomed = _push_learned(solver, [1, 2, 3])
+    saved = _push_learned(solver, [4, 5, 6])
+    saved.protected = True
+    _push_learned(solver, [7, 8, 9])  # topmost
+    reduce_database(solver)
+    kept = set(map(id, solver.learned))
+    assert id(doomed) not in kept
+    assert id(saved) in kept
+
+
+def test_limited_keeping_drops_by_length_only():
+    solver = _fresh_solver(limited_keeping_config(limited_keeping_length=4))
+    long_active = _push_learned(solver, [1, 2, 3, 4, 5], activity=1000)
+    short_passive = _push_learned(solver, [6, 7])
+    _push_learned(solver, [8, 9])  # topmost
+    reduce_database(solver)
+    kept = set(map(id, solver.learned))
+    assert id(long_active) not in kept  # GRASP ignores activity
+    assert id(short_passive) in kept
+
+
+def test_level0_satisfied_clauses_removed_and_literals_stripped():
+    solver = Solver(CnfFormula([[1], [1, 2], [-1, 2, 3], [2, 3, 4]]))
+    assert solver._propagate() is None  # 1 = True at level 0
+    reduce_database(solver)
+    remaining = [clause.to_dimacs() for clause in solver.clauses]
+    # [1, 2] satisfied -> gone; [-1, 2, 3] stripped to [2, 3].
+    assert sorted(map(sorted, remaining)) == [[2, 3], [2, 3, 4]]
+
+
+def test_reduction_rebuilds_watches_and_binaries():
+    solver = Solver(CnfFormula([[1], [-1, 2, 3], [3, 4, 5]]))
+    solver._propagate()
+    reduce_database(solver)
+    # [-1, 2, 3] became the binary [2, 3]: the maps must know.
+    assert solver.binary_count[encode_literal(2)] == 1
+    assert solver.binary_count[encode_literal(3)] == 1
+    for clause in solver.clauses:
+        assert clause in solver.watches[clause.literals[0]]
+        assert clause in solver.watches[clause.literals[1]]
+
+
+def test_deleted_count_in_stats():
+    solver = _fresh_solver(berkmin_config(young_length_limit=1, young_activity_limit=99))
+    for start in range(1, 9):
+        _push_learned(solver, [start, start + 1, start + 2])
+    reduce_database(solver)
+    assert solver.stats.learned_deleted == 7  # all but the topmost
+
+
+def test_mark_every_n_restarts_protects_clauses():
+    from repro.generators.pigeonhole import pigeonhole_formula
+
+    config = berkmin_config(
+        restart_interval=20, mark_every_n_restarts=1, young_length_limit=1,
+        young_activity_limit=0,
+    )
+    solver = Solver(pigeonhole_formula(6), config=config)
+    solver.solve(max_conflicts=2_000)
+    assert any(clause.protected for clause in solver.learned)
+
+
+def test_reduction_requires_level_zero():
+    import pytest
+
+    solver = _fresh_solver()
+    solver.trail_limits.append(len(solver.trail))
+    solver._enqueue(encode_literal(1), None)
+    with pytest.raises(AssertionError):
+        reduce_database(solver)
+
+
+def test_solving_continues_correctly_after_reductions():
+    """End-to-end: frequent restarts + aggressive deletion stay correct."""
+    from repro.baselines.brute import brute_force_satisfiable
+    import random
+
+    rng = random.Random(3)
+    config = berkmin_config(
+        restart_interval=4, young_length_limit=1, young_activity_limit=0,
+        old_length_limit=1, old_activity_threshold=0,
+    )
+    for _ in range(40):
+        n = rng.randint(2, 8)
+        clauses = []
+        for _ in range(rng.randint(3, 26)):
+            arity = min(rng.randint(1, 3), n)
+            variables = rng.sample(range(1, n + 1), arity)
+            clauses.append([v * rng.choice((1, -1)) for v in variables])
+        formula = CnfFormula(clauses, num_variables=n)
+        result = Solver(formula, config=config).solve(max_conflicts=50_000)
+        assert not result.is_unknown
+        assert result.is_sat == brute_force_satisfiable(formula)
+
+
+def test_chaff_config_uses_limited_keeping():
+    assert chaff_config().db_management == "limited_keeping"

@@ -1,0 +1,106 @@
+"""Model enumeration and counting."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnf.formula import CnfFormula
+from repro.solver.enumeration import count_models, enumerate_models
+
+
+def _brute_count(formula, projection=None):
+    n = formula.num_variables
+    seen = set()
+    for bits in itertools.product((False, True), repeat=n):
+        model = {v: bits[v - 1] for v in range(1, n + 1)}
+        if formula.evaluate(model):
+            if projection is None:
+                seen.add(bits)
+            else:
+                seen.add(tuple(model[v] for v in projection))
+    return len(seen)
+
+
+def test_enumerate_all_models_of_small_formula():
+    formula = CnfFormula([[1, 2]])
+    models = list(enumerate_models(formula))
+    assert len(models) == 3
+    for model in models:
+        assert formula.evaluate(model)
+    assert len({tuple(sorted(m.items())) for m in models}) == 3
+
+
+def test_unsat_formula_yields_nothing():
+    formula = CnfFormula([[1], [-1]])
+    assert list(enumerate_models(formula)) == []
+
+
+def test_limit_caps_output():
+    formula = CnfFormula([[1, 2, 3]])
+    assert len(list(enumerate_models(formula, limit=2))) == 2
+
+
+def test_projection_counts_patterns_once():
+    # Variable 3 is free, so full enumeration has twice the projected count.
+    formula = CnfFormula([[1, 2]], num_variables=3)
+    assert count_models(formula, project_onto=[1, 2]) == 3
+    assert count_models(formula) == 6
+
+
+def test_projection_validation():
+    formula = CnfFormula([[1, 2]])
+    with pytest.raises(ValueError):
+        list(enumerate_models(formula, project_onto=[0]))
+    with pytest.raises(ValueError):
+        list(enumerate_models(formula, project_onto=[9]))
+
+
+def test_budget_exhaustion_raises():
+    from repro.generators.pigeonhole import pigeonhole_formula
+
+    with pytest.raises(RuntimeError):
+        list(enumerate_models(pigeonhole_formula(7), max_conflicts_per_call=2))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.lists(
+            st.integers(min_value=1, max_value=5).flatmap(
+                lambda v: st.sampled_from([v, -v])
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_count_matches_brute_force(clauses):
+    formula = CnfFormula(clauses)
+    assert count_models(formula) == _brute_count(formula)
+
+
+def test_projected_count_matches_brute_force():
+    rng = random.Random(4)
+    for _ in range(15):
+        n = rng.randint(2, 5)
+        clauses = [
+            [v * rng.choice((1, -1)) for v in rng.sample(range(1, n + 1), min(2, n))]
+            for _ in range(rng.randint(1, 8))
+        ]
+        formula = CnfFormula(clauses, num_variables=n)
+        projection = sorted(rng.sample(range(1, n + 1), rng.randint(1, n)))
+        assert count_models(formula, project_onto=projection) == _brute_count(
+            formula, projection
+        )
+
+
+def test_known_counts():
+    from repro.generators.queens import queens_formula
+
+    # 8-queens has 92 solutions; a classic.
+    assert count_models(queens_formula(6)) == 4

@@ -1,0 +1,69 @@
+"""Implication-graph snapshots."""
+
+from repro.cnf.formula import CnfFormula
+from repro.cnf.literals import encode_literal
+from repro.solver.graph import ImplicationGraph
+from repro.solver.solver import Solver
+
+
+def _propagated_solver():
+    formula = CnfFormula([[-1, 2], [-2, -3, 4], [3]])
+    solver = Solver(formula)
+    assert solver._propagate() is None  # 3 = True at level 0
+    solver.trail_limits.append(len(solver.trail))
+    solver._enqueue(encode_literal(1), None)  # decide 1 = True
+    assert solver._propagate() is None
+    return solver
+
+
+def test_snapshot_structure():
+    solver = _propagated_solver()
+    graph = ImplicationGraph.from_solver(solver)
+    assert set(graph.nodes) == {1, 2, 3, 4}
+    assert graph.nodes[1].is_decision and graph.nodes[1].level == 1
+    assert graph.nodes[3].level == 0
+    # 2 was implied by 1 through (-1 | 2).
+    assert graph.implied_by(2) == [1]
+    # 4 was implied by 2 and 3 through (-2 | -3 | 4).
+    assert sorted(graph.implied_by(4)) == [2, 3]
+    assert graph.nodes[4].antecedents == [2, 3] or sorted(
+        graph.nodes[4].antecedents
+    ) == [2, 3]
+
+
+def test_decisions_listing():
+    solver = _propagated_solver()
+    graph = ImplicationGraph.from_solver(solver)
+    assert graph.decisions() == [1]
+
+
+def test_invariants_hold_during_search():
+    from repro.generators.pigeonhole import pigeonhole_formula
+
+    solver = Solver(pigeonhole_formula(5))
+    # Take the solver mid-flight by budgeting decisions, then snapshot.
+    solver.solve(max_decisions=10)
+    graph = ImplicationGraph.from_solver(solver)
+    graph.check_acyclic_and_ordered()
+
+
+def test_dot_rendering():
+    solver = _propagated_solver()
+    graph = ImplicationGraph.from_solver(solver)
+    dot = graph.to_dot(highlight={4})
+    assert dot.startswith("digraph implications {")
+    assert 'v1 [label="1 @ 1", shape=box];' in dot
+    assert "v2 -> v4;" in dot
+    assert "fillcolor=lightcoral" in dot
+    assert dot.rstrip().endswith("}")
+
+
+def test_antecedents_of_literal_truth():
+    """Antecedent literals are recorded as the assignments made (true form)."""
+    formula = CnfFormula([[1, 2]])  # deciding -1 implies 2
+    solver = Solver(formula)
+    solver.trail_limits.append(len(solver.trail))
+    solver._enqueue(encode_literal(-1), None)
+    solver._propagate()
+    graph = ImplicationGraph.from_solver(solver)
+    assert graph.nodes[2].antecedents == [-1]

@@ -1,0 +1,123 @@
+"""The BerkMin561 variable-order heap ("strategy 3", Remark 1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver.heap import VariableOrderHeap
+
+
+def test_push_pop_ordering():
+    activities = [0, 5, 9, 1, 9]
+    heap = VariableOrderHeap(activities)
+    for variable in (1, 2, 3, 4):
+        heap.push(variable)
+    # Activity 9 twice: variable 2 wins the tie (smaller index), then 4.
+    assert [heap.pop() for _ in range(4)] == [2, 4, 1, 3]
+
+
+def test_push_is_idempotent():
+    heap = VariableOrderHeap([0, 1, 2])
+    heap.push(1)
+    heap.push(1)
+    assert len(heap) == 1
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        VariableOrderHeap([0]).pop()
+
+
+def test_update_after_bump():
+    activities = [0, 1, 2, 3]
+    heap = VariableOrderHeap(activities)
+    for variable in (1, 2, 3):
+        heap.push(variable)
+    activities[1] = 10
+    heap.update(1)
+    assert heap.pop() == 1
+
+
+def test_update_absent_variable_is_noop():
+    heap = VariableOrderHeap([0, 1])
+    heap.update(1)  # not pushed
+    assert len(heap) == 0
+
+
+def test_rebuild_after_decay():
+    activities = [0, 8, 6, 4]
+    heap = VariableOrderHeap(activities)
+    for variable in (1, 2, 3):
+        heap.push(variable)
+    for index in range(len(activities)):
+        activities[index] //= 4
+    heap.rebuild(list(heap.heap))
+    heap.check_invariants()
+    assert heap.pop() == 1  # 2 > 1 == 1: ties to smaller index -> 1? no:
+    # after decay: activities [0, 2, 1, 1]; 1 has 2 -> first.
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=40), st.integers(0, 10_000))
+def test_heap_sorts_like_reference(initial_activities, seed):
+    activities = [0] + list(initial_activities)
+    heap = VariableOrderHeap(activities)
+    variables = list(range(1, len(activities)))
+    rng = random.Random(seed)
+    rng.shuffle(variables)
+    for variable in variables:
+        heap.push(variable)
+        heap.check_invariants()
+    # Random bumps with updates.
+    for _ in range(20):
+        variable = rng.randrange(1, len(activities))
+        activities[variable] += rng.randint(0, 5)
+        heap.update(variable)
+    heap.check_invariants()
+    popped = [heap.pop() for _ in range(len(variables))]
+    expected = sorted(variables, key=lambda v: (-activities[v], v))
+    assert popped == expected
+
+
+def test_berkmin561_matches_naive_berkmin_exactly():
+    """Heap and naive scan break ties identically, so the whole search is
+    bit-for-bit identical: same decisions, same conflicts."""
+    from repro.cnf.formula import CnfFormula
+    from repro.generators.pigeonhole import pigeonhole_formula
+    from repro.generators.hanoi import hanoi_formula
+    from repro.solver.config import berkmin561_config, berkmin_config
+    from repro.solver.solver import Solver
+
+    for formula in (pigeonhole_formula(6), hanoi_formula(3)):
+        naive = Solver(formula, config=berkmin_config())
+        optimized = Solver(formula, config=berkmin561_config())
+        result_naive = naive.solve()
+        result_optimized = optimized.solve()
+        assert result_naive.status is result_optimized.status
+        assert naive.stats.decisions == optimized.stats.decisions
+        assert naive.stats.conflicts == optimized.stats.conflicts
+
+
+def test_berkmin561_with_global_decisions():
+    """less_mobility + heap exercises the heap on every decision."""
+    from repro.baselines.brute import brute_force_satisfiable
+    from repro.cnf.formula import CnfFormula
+    from repro.solver.config import config_by_name
+    from repro.solver.solver import Solver
+
+    rng = random.Random(13)
+    config = config_by_name(
+        "less_mobility", global_selection="heap", restart_interval=6,
+        activity_decay_interval=8,
+    )
+    for _ in range(30):
+        n = rng.randint(2, 8)
+        clauses = [
+            [v * rng.choice((1, -1)) for v in rng.sample(range(1, n + 1), min(3, n))]
+            for _ in range(rng.randint(3, 24))
+        ]
+        formula = CnfFormula(clauses, num_variables=n)
+        result = Solver(formula, config=config).solve()
+        assert result.is_sat == brute_force_satisfiable(formula)

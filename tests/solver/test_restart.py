@@ -1,0 +1,95 @@
+"""Restart policies and the scheduler."""
+
+import pytest
+
+from repro.solver.config import berkmin_config
+from repro.solver.restart import RestartScheduler, luby
+
+
+def test_luby_prefix():
+    expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+    assert [luby(i) for i in range(1, 16)] == expected
+
+
+def test_luby_rejects_zero():
+    with pytest.raises(ValueError):
+        luby(0)
+
+
+def test_luby_values_are_powers_of_two():
+    for index in range(1, 200):
+        value = luby(index)
+        assert value & (value - 1) == 0
+
+
+def test_fixed_schedule():
+    scheduler = RestartScheduler(berkmin_config(restart_interval=550))
+    assert scheduler.current_interval == 550
+    assert not scheduler.should_restart(549)
+    assert scheduler.should_restart(550)
+    scheduler.on_restart()
+    assert scheduler.current_interval == 550  # fixed stays fixed
+
+
+def test_geometric_schedule_grows():
+    config = berkmin_config(
+        restart_strategy="geometric", restart_interval=100, restart_geometric_factor=2.0
+    )
+    scheduler = RestartScheduler(config)
+    intervals = []
+    for _ in range(4):
+        intervals.append(scheduler.current_interval)
+        scheduler.on_restart()
+    assert intervals == [100, 200, 400, 800]
+
+
+def test_luby_schedule_follows_sequence():
+    config = berkmin_config(restart_strategy="luby", luby_unit=10)
+    scheduler = RestartScheduler(config)
+    intervals = []
+    for _ in range(7):
+        intervals.append(scheduler.current_interval)
+        scheduler.on_restart()
+    assert intervals == [10, 10, 20, 10, 10, 20, 40]
+
+
+def test_none_schedule_never_restarts():
+    scheduler = RestartScheduler(berkmin_config(restart_strategy="none"))
+    assert not scheduler.should_restart(10**9)
+
+
+def test_unknown_strategy_raises():
+    with pytest.raises(ValueError):
+        RestartScheduler(berkmin_config(restart_strategy="bogus"))
+
+
+def test_restarts_happen_and_stay_correct():
+    from repro.generators.pigeonhole import pigeonhole_formula
+    from repro.solver.solver import Solver
+
+    solver = Solver(pigeonhole_formula(6), config=berkmin_config(restart_interval=50))
+    result = solver.solve()
+    assert result.is_unsat
+    assert solver.stats.restarts > 0
+    assert solver.stats.db_reductions == solver.stats.restarts
+
+
+def test_all_restart_strategies_agree_on_answers():
+    from repro.baselines.brute import brute_force_satisfiable
+    from repro.cnf.formula import CnfFormula
+    from repro.solver.solver import Solver
+    import random
+
+    rng = random.Random(11)
+    for _ in range(20):
+        n = rng.randint(2, 7)
+        clauses = [
+            [v * rng.choice((1, -1)) for v in rng.sample(range(1, n + 1), min(3, n))]
+            for _ in range(rng.randint(3, 20))
+        ]
+        formula = CnfFormula(clauses, num_variables=n)
+        expected = brute_force_satisfiable(formula)
+        for strategy in ("fixed", "geometric", "luby", "none"):
+            config = berkmin_config(restart_strategy=strategy, restart_interval=5, luby_unit=5)
+            result = Solver(formula, config=config).solve()
+            assert result.is_sat == expected, strategy

@@ -1,0 +1,165 @@
+"""Basic behaviour of the CDCL engine: trivial formulas, budgets,
+incrementality, assumptions, model verification."""
+
+import pytest
+
+from repro.cnf.formula import CnfFormula
+from repro.solver import (
+    SolveStatus,
+    Solver,
+    berkmin_config,
+    solve_formula,
+)
+
+
+def test_empty_formula_is_sat():
+    result = Solver(CnfFormula()).solve()
+    assert result.status is SolveStatus.SAT
+    assert result.model == {}
+
+
+def test_empty_clause_is_unsat():
+    formula = CnfFormula()
+    formula.clauses.append([])
+    result = Solver(formula).solve()
+    assert result.status is SolveStatus.UNSAT
+
+
+def test_single_unit():
+    result = Solver(CnfFormula([[3]])).solve()
+    assert result.status is SolveStatus.SAT
+    assert result.model[3] is True
+
+
+def test_contradictory_units():
+    result = Solver(CnfFormula([[1], [-1]])).solve()
+    assert result.status is SolveStatus.UNSAT
+
+
+def test_tiny_unsat():
+    formula = CnfFormula([[1, 2], [-1, 2], [1, -2], [-1, -2]])
+    result = Solver(formula).solve()
+    assert result.status is SolveStatus.UNSAT
+
+
+def test_tautology_only_formula_is_sat():
+    result = Solver(CnfFormula([[1, -1]])).solve()
+    assert result.status is SolveStatus.SAT
+
+
+def test_duplicate_literals_are_handled():
+    result = Solver(CnfFormula([[1, 1, 1], [-1, -1]])).solve()
+    assert result.status is SolveStatus.UNSAT
+
+
+def test_model_satisfies_formula():
+    formula = CnfFormula([[1, 2, 3], [-1, -2], [-2, -3], [-1, -3], [2, 3]])
+    result = Solver(formula).solve()
+    assert result.status is SolveStatus.SAT
+    assert formula.evaluate(result.model)
+
+
+def test_solve_formula_wrapper():
+    result = solve_formula(CnfFormula([[1]]))
+    assert result.is_sat
+
+
+def test_conflict_budget_yields_unknown():
+    from repro.generators.pigeonhole import pigeonhole_formula
+
+    result = Solver(pigeonhole_formula(6)).solve(max_conflicts=5)
+    assert result.status is SolveStatus.UNKNOWN
+    assert result.limit_reason == "conflict budget"
+
+
+def test_decision_budget_yields_unknown():
+    from repro.generators.pigeonhole import pigeonhole_formula
+
+    result = Solver(pigeonhole_formula(6)).solve(max_decisions=2)
+    assert result.status is SolveStatus.UNKNOWN
+    assert result.limit_reason == "decision budget"
+
+
+def test_status_is_not_boolean():
+    with pytest.raises(TypeError):
+        bool(SolveStatus.SAT)
+
+
+def test_incremental_clause_addition():
+    solver = Solver(CnfFormula([[1, 2]]))
+    assert solver.solve().is_sat
+    solver.add_clause([-1])
+    result = solver.solve()
+    assert result.is_sat
+    assert result.model[2] is True
+    solver.add_clause([-2])
+    assert solver.solve().is_unsat
+    # Once refuted, the solver stays refuted.
+    assert solver.solve().is_unsat
+
+
+def test_incremental_learned_clauses_persist():
+    from repro.generators.pigeonhole import pigeonhole_formula
+
+    solver = Solver(pigeonhole_formula(5))
+    first = solver.solve()
+    assert first.is_unsat
+    # Conflicts already counted; a second call returns immediately.
+    conflicts_before = solver.stats.conflicts
+    second = solver.solve()
+    assert second.is_unsat
+    assert solver.stats.conflicts == conflicts_before
+
+
+def test_assumptions_sat_and_unsat():
+    solver = Solver(CnfFormula([[1, 2], [-1, 2]]))
+    result = solver.solve(assumptions=[-2])
+    assert result.is_unsat
+    assert result.under_assumptions
+    # The formula itself is still satisfiable afterwards.
+    result = solver.solve()
+    assert result.is_sat
+    result = solver.solve(assumptions=[1])
+    assert result.is_sat
+    assert result.model[1] is True
+
+
+def test_assumptions_respected_in_model():
+    formula = CnfFormula([[1, 2, 3]])
+    result = Solver(formula).solve(assumptions=[-1, -2])
+    assert result.is_sat
+    assert result.model[1] is False
+    assert result.model[2] is False
+    assert result.model[3] is True
+
+
+def test_assumption_on_fresh_variable():
+    solver = Solver(CnfFormula([[1]]))
+    result = solver.solve(assumptions=[5])
+    assert result.is_sat
+    assert result.model[5] is True
+
+
+def test_conflicting_assumptions():
+    solver = Solver(CnfFormula([[1, 2]]))
+    result = solver.solve(assumptions=[1, -1])
+    assert result.is_unsat
+    assert result.under_assumptions
+
+
+def test_stats_accumulate():
+    formula = CnfFormula([[1, 2], [-1, 2], [1, -2], [-1, -2]])
+    solver = Solver(formula, config=berkmin_config())
+    result = solver.solve()
+    assert result.stats.conflicts >= 1
+    assert result.stats.initial_clauses == 4
+    assert result.stats.solve_time_seconds > 0
+
+
+def test_add_formula_after_construction():
+    solver = Solver()
+    formula = CnfFormula([[1, 2], [-2]])
+    assert solver.add_formula(formula)
+    result = solver.solve()
+    assert result.is_sat
+    assert result.model[1] is True

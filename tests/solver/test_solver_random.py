@@ -1,0 +1,93 @@
+"""Property-based correctness: every configuration agrees with brute force.
+
+This is the single most important test in the repository: the paper's
+experiments only make sense if every configuration (BerkMin, each
+ablation, the Chaff baseline) is a *correct* SAT solver.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brute import brute_force_satisfiable
+from repro.cnf.formula import CnfFormula
+from repro.solver import SolveStatus, Solver
+from repro.solver.config import CONFIG_FACTORIES, config_by_name
+
+clauses_strategy = st.lists(
+    st.lists(
+        st.integers(min_value=1, max_value=7).flatmap(lambda v: st.sampled_from([v, -v])),
+        min_size=1,
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(clauses_strategy, st.sampled_from(["berkmin", "chaff", "less_mobility", "unsat_top"]))
+def test_solver_matches_brute_force(clauses, config_name):
+    formula = CnfFormula(clauses)
+    expected = brute_force_satisfiable(formula)
+    config = config_by_name(config_name, restart_interval=7, activity_decay_interval=8)
+    result = Solver(formula, config=config).solve()
+    assert (result.status is SolveStatus.SAT) == expected
+    if result.is_sat:
+        assert formula.evaluate(result.model)
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIG_FACTORIES))
+def test_every_config_on_randomized_batch(config_name):
+    """Seeded batch across *all* configurations (cheaper than hypothesis x11)."""
+    rng = random.Random(hash(config_name) & 0xFFFF)
+    config = config_by_name(config_name, restart_interval=6, activity_decay_interval=8)
+    for _ in range(60):
+        num_variables = rng.randint(1, 8)
+        clauses = []
+        for _ in range(rng.randint(1, 24)):
+            arity = min(rng.randint(1, 3), num_variables)
+            variables = rng.sample(range(1, num_variables + 1), arity)
+            clauses.append([v * rng.choice((1, -1)) for v in variables])
+        formula = CnfFormula(clauses, num_variables=num_variables)
+        expected = brute_force_satisfiable(formula)
+        result = Solver(formula, config=config).solve()
+        assert (result.status is SolveStatus.SAT) == expected
+        if result.is_sat:
+            assert formula.evaluate(result.model)
+
+
+@settings(max_examples=40, deadline=None)
+@given(clauses_strategy, st.integers(0, 2**16))
+def test_seeds_do_not_change_answers(clauses, seed):
+    formula = CnfFormula(clauses)
+    base = Solver(formula, config=config_by_name("berkmin", seed=0)).solve()
+    other = Solver(formula, config=config_by_name("berkmin", seed=seed)).solve()
+    assert base.status is other.status
+
+
+@settings(max_examples=30, deadline=None)
+@given(clauses_strategy)
+def test_assumption_results_are_consistent(clauses):
+    """solve(assumptions=[l]) must agree with solving formula + unit l."""
+    formula = CnfFormula(clauses)
+    literal = 1
+    augmented = formula.copy()
+    augmented.add_clause([literal])
+    expected = brute_force_satisfiable(augmented)
+    result = Solver(formula).solve(assumptions=[literal])
+    assert (result.status is SolveStatus.SAT) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(clauses_strategy)
+def test_clause_minimization_preserves_answers(clauses):
+    formula = CnfFormula(clauses)
+    expected = brute_force_satisfiable(formula)
+    config = config_by_name(
+        "berkmin", clause_minimization=True, restart_interval=7, activity_decay_interval=8
+    )
+    result = Solver(formula, config=config).solve()
+    assert (result.status is SolveStatus.SAT) == expected

@@ -1,0 +1,52 @@
+"""SolverStats derived quantities (the Table 3 / Table 9 instrumentation)."""
+
+from repro.solver.stats import SolverStats
+
+
+def test_skin_distance_recording():
+    stats = SolverStats()
+    stats.record_skin_distance(0)
+    stats.record_skin_distance(1)
+    stats.record_skin_distance(1)
+    assert stats.skin_effect == {0: 1, 1: 2}
+    assert stats.skin_profile((0, 1, 2)) == {0: 1, 1: 2, 2: 0}
+
+
+def test_database_growth_ratio():
+    stats = SolverStats(initial_clauses=100, learned_total=250)
+    assert stats.database_growth_ratio() == 3.5
+
+
+def test_peak_memory_ratio():
+    stats = SolverStats(initial_clauses=200, peak_clauses=240)
+    assert stats.peak_memory_ratio() == 1.2
+
+
+def test_ratios_with_no_clauses():
+    stats = SolverStats()
+    assert stats.database_growth_ratio() == 0.0
+    assert stats.peak_memory_ratio() == 0.0
+
+
+def test_as_dict_roundtrips_fields():
+    stats = SolverStats(decisions=3, conflicts=2, initial_clauses=10, learned_total=5)
+    summary = stats.as_dict()
+    assert summary["decisions"] == 3
+    assert summary["conflicts"] == 2
+    assert summary["database_growth_ratio"] == 1.5
+
+
+def test_live_stats_track_reality():
+    from repro.generators.pigeonhole import pigeonhole_formula
+    from repro.solver.solver import Solver
+
+    formula = pigeonhole_formula(6)
+    solver = Solver(formula)
+    solver.solve()
+    stats = solver.stats
+    assert stats.initial_clauses == formula.num_clauses
+    assert stats.learned_total > 0
+    assert stats.peak_clauses >= formula.num_clauses
+    assert stats.database_growth_ratio() > 1.0
+    assert stats.decisions >= stats.max_decision_level
+    assert stats.top_clause_decisions + stats.formula_decisions == stats.decisions

@@ -1,0 +1,37 @@
+"""Public API surface."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_solve_accepts_clause_lists():
+    result = repro.solve([[1, 2], [-1]])
+    assert result.is_sat
+    assert result.model[2] is True
+
+
+def test_solve_accepts_formula_and_config():
+    formula = repro.CnfFormula([[1], [-1]])
+    result = repro.solve(formula, config=repro.chaff_config())
+    assert result.is_unsat
+
+
+def test_solve_forwards_limits():
+    from repro.generators.pigeonhole import pigeonhole_formula
+
+    result = repro.solve(pigeonhole_formula(7), max_conflicts=2)
+    assert result.is_unknown
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_docstring_quickstart_runs():
+    formula = repro.CnfFormula([[1, 2], [-1, 2], [1, -2], [-1, -2]])
+    result = repro.solve(formula)
+    assert result.status is repro.SolveStatus.UNSAT

@@ -1,0 +1,130 @@
+"""End-to-end CLI tests (invoking main() with argv)."""
+
+import pytest
+
+from repro.cli import main
+from repro.cnf.dimacs import parse_dimacs_file, write_dimacs_file
+from repro.cnf.formula import CnfFormula
+from repro.generators.pigeonhole import pigeonhole_formula
+
+
+def _write(tmp_path, formula, name="f.cnf"):
+    path = tmp_path / name
+    write_dimacs_file(formula, path)
+    return str(path)
+
+
+def test_solve_sat_prints_model(tmp_path, capsys):
+    path = _write(tmp_path, CnfFormula([[1, 2], [-1]]))
+    code = main(["solve", path])
+    captured = capsys.readouterr().out
+    assert code == 10
+    assert "s SATISFIABLE" in captured
+    assert "v " in captured
+    model_line = next(l for l in captured.splitlines() if l.startswith("v "))
+    literals = [int(tok) for tok in model_line[2:].split()]
+    assert literals[-1] == 0
+    assert -1 in literals and 2 in literals
+
+
+def test_solve_unsat_with_proof_and_stats(tmp_path, capsys):
+    path = _write(tmp_path, pigeonhole_formula(5))
+    code = main(["solve", path, "--proof", "--stats"])
+    captured = capsys.readouterr().out
+    assert code == 20
+    assert "s UNSATISFIABLE" in captured
+    assert "c proof verified (RUP)" in captured
+    assert "c conflicts =" in captured
+
+
+def test_solve_unknown_on_budget(tmp_path, capsys):
+    path = _write(tmp_path, pigeonhole_formula(7))
+    code = main(["solve", path, "--max-conflicts", "3"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "s UNKNOWN" in captured
+
+
+def test_solve_with_each_config(tmp_path, capsys):
+    path = _write(tmp_path, CnfFormula([[1, 2], [-1, 2]]))
+    for config in ("berkmin", "chaff", "less_mobility"):
+        assert main(["solve", path, "--config", config]) == 10
+
+
+@pytest.mark.parametrize(
+    "family,args",
+    [
+        ("hole", ["--size", "4"]),
+        ("hanoi", ["--size", "2"]),
+        ("queens", ["--size", "5"]),
+        ("xor", ["--size", "8", "--extra", "6"]),
+        ("ksat", ["--size", "10"]),
+        ("adder", ["--size", "3"]),
+        ("pipe", ["--size", "3", "--extra", "1"]),
+        ("sudoku", []),
+    ],
+)
+def test_generate_families(tmp_path, capsys, family, args):
+    out = str(tmp_path / f"{family}.cnf")
+    code = main(["generate", family, "-o", out] + args)
+    assert code == 0
+    formula = parse_dimacs_file(out)
+    assert formula.num_clauses > 0
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_generated_instance_solves(tmp_path, capsys):
+    out = str(tmp_path / "hole.cnf")
+    main(["generate", "hole", "--size", "4", "-o", out])
+    capsys.readouterr()
+    assert main(["solve", out]) == 20
+
+
+def test_experiment_quick(capsys):
+    code = main(["experiment", "table3", "--scale", "quick"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "Table 3" in captured
+
+
+def test_solve_with_preprocessing_sat(tmp_path, capsys):
+    from repro.generators.random_ksat import planted_ksat
+
+    formula = planted_ksat(20, 70, 3, seed=9)
+    path = _write(tmp_path, formula)
+    code = main(["solve", path, "--preprocess"])
+    captured = capsys.readouterr().out
+    assert code == 10
+    assert "c preprocessing:" in captured
+    model_line = next(l for l in captured.splitlines() if l.startswith("v "))
+    model = {abs(int(t)): int(t) > 0 for t in model_line[2:].split() if t != "0"}
+    assert formula.evaluate(model)
+
+
+def test_solve_with_preprocessing_unsat(tmp_path, capsys):
+    path = _write(tmp_path, pigeonhole_formula(4))
+    code = main(["solve", path, "--preprocess"])
+    assert code == 20
+    assert "s UNSATISFIABLE" in capsys.readouterr().out
+
+
+def test_atpg_command(capsys):
+    code = main(["atpg", "--inputs", "4", "--gates", "8", "--seed", "3"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "coverage" in captured
+    assert "faults 16" in captured
+
+
+def test_bmc_command_sat_and_unsat(capsys):
+    assert main(["bmc", "--bits", "3", "--target", "5", "--bound", "5"]) == 10
+    assert "BAD" in capsys.readouterr().out
+    assert main(["bmc", "--bits", "3", "--target", "5", "--bound", "4"]) == 20
+    assert "UNSAT" in capsys.readouterr().out
+
+
+def test_bad_arguments_exit():
+    with pytest.raises(SystemExit):
+        main(["solve"])
+    with pytest.raises(SystemExit):
+        main(["generate", "nonsense", "-o", "x"])

@@ -1,0 +1,44 @@
+"""Smoke-run the fast example scripts end to end.
+
+The slower examples (equivalence_checking, atpg, ablation_study) are
+exercised through the library tests that cover the same code paths; the
+Makefile ``examples`` target runs all of them.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "sudoku.py",
+    "planning.py",
+    "bounded_model_checking.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"
+
+
+def test_quickstart_output_content(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "UNSAT proven" in output
+    assert "hole6 under berkmin" in output
+    assert "core:" in output
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 6
+    for script in scripts:
+        text = script.read_text()
+        assert text.lstrip().startswith(("#!", '"""')), script.name
+        assert '"""' in text, f"{script.name} lacks a docstring"
