@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments report quick-report examples clean
+.PHONY: install test test-fast test-parallel bench bench-portfolio experiments report quick-report examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -13,8 +13,14 @@ test:
 test-fast:
 	$(PYTHON) -m pytest tests/ -x -q -p no:randomly -m "not slow"
 
+test-parallel:
+	$(PYTHON) -m pytest tests/parallel/ -x -q
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-portfolio:
+	$(PYTHON) -m pytest benchmarks/bench_portfolio.py --benchmark-only
 
 experiments:
 	$(PYTHON) -m repro.cli experiment all

@@ -1,0 +1,82 @@
+"""Portfolio bench — sequential vs parallel wall-clock on the quick suite.
+
+Records the perf baseline the acceptance criteria ask for: the full
+``paper_suite("quick")`` solved sequentially under ``berkmin``, against
+the same instances raced through ``PortfolioSolver(jobs=4)``.  Both
+paths verify every definite answer against the suite's ground truth, so
+a speedup bought with wrong answers would fail loudly.  On a single-core
+machine the portfolio carries process overhead instead of a speedup;
+``benchmark.extra_info`` captures the core count so future comparisons
+read the numbers in context.
+
+Run: ``make bench-portfolio`` (or ``pytest benchmarks/bench_portfolio.py
+--benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.suites import paper_suite
+from repro.parallel.portfolio import PortfolioSolver, default_portfolio
+from repro.solver.config import berkmin_config
+from repro.solver.result import SolveStatus
+from repro.solver.solver import Solver
+
+JOBS = 4
+
+
+def _quick_instances():
+    return [
+        instance
+        for benchmark_class in paper_suite("quick")
+        for instance in benchmark_class.instances
+    ]
+
+
+def _check(instance, status: SolveStatus) -> None:
+    if status is not SolveStatus.UNKNOWN and status is not instance.expected:
+        raise AssertionError(
+            f"{instance.name}: got {status.value}, expected {instance.expected.value}"
+        )
+
+
+def test_sequential_quick_suite(benchmark):
+    instances = _quick_instances()
+
+    def run():
+        statuses = []
+        for instance in instances:
+            result = Solver(instance.formula(), config=berkmin_config()).solve(
+                max_conflicts=instance.max_conflicts
+            )
+            _check(instance, result.status)
+            statuses.append(result.status)
+        return statuses
+
+    statuses = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["mode"] = "sequential/berkmin"
+    benchmark.extra_info["instances"] = len(instances)
+    benchmark.extra_info["unknown"] = sum(1 for s in statuses if s is SolveStatus.UNKNOWN)
+    benchmark.extra_info["cpus"] = os.cpu_count()
+
+
+def test_portfolio_quick_suite(benchmark):
+    instances = _quick_instances()
+    portfolio = PortfolioSolver(default_portfolio(JOBS), jobs=JOBS)
+
+    def run():
+        statuses = []
+        for instance in instances:
+            result = portfolio.solve(
+                instance.formula(), max_conflicts=instance.max_conflicts
+            )
+            _check(instance, result.status)
+            statuses.append(result.status)
+        return statuses
+
+    statuses = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["mode"] = f"portfolio/jobs={JOBS}"
+    benchmark.extra_info["instances"] = len(instances)
+    benchmark.extra_info["unknown"] = sum(1 for s in statuses if s is SolveStatus.UNKNOWN)
+    benchmark.extra_info["cpus"] = os.cpu_count()

@@ -11,7 +11,9 @@ scoring) and clause-database management (young/old age-activity-length
 deletion), plus every ablation and baseline configuration the paper
 evaluates — including a Chaff-style VSIDS preset — and the substrates
 needed to regenerate the paper's benchmark families (circuit miters,
-planning encodings, pigeonhole/parity instances).
+planning encodings, pigeonhole/parity instances).  A parallel engine
+(:class:`PortfolioSolver`, :func:`solve_batch`) races configurations
+and solves batches over multiprocessing workers.
 
 Quickstart::
 
@@ -32,11 +34,18 @@ from repro.cnf import (
     write_dimacs,
     write_dimacs_file,
 )
+from repro.parallel import (
+    BatchResult,
+    PortfolioSolver,
+    default_portfolio,
+    solve_batch,
+)
 from repro.solver import (
     SolveResult,
     SolveStatus,
     Solver,
     SolverConfig,
+    available_configs,
     berkmin_config,
     chaff_config,
     config_by_name,
@@ -61,20 +70,25 @@ def solve(formula, config=None, **limits):
 
 
 __all__ = [
+    "BatchResult",
     "Clause",
     "CnfFormula",
+    "PortfolioSolver",
     "SolveResult",
     "SolveStatus",
     "Solver",
     "SolverConfig",
+    "available_configs",
     "berkmin_config",
     "chaff_config",
     "config_by_name",
+    "default_portfolio",
     "parse_dimacs",
     "parse_dimacs_file",
     "shuffle_formula",
     "simplify_formula",
     "solve",
+    "solve_batch",
     "solve_formula",
     "write_dimacs",
     "write_dimacs_file",

@@ -3,13 +3,18 @@
 Subcommands::
 
     repro-sat solve FILE.cnf [--config NAME] [--max-conflicts N] [--proof]
+                             [--portfolio] [--jobs N]
+    repro-sat batch FILE.cnf... [--config NAME] [--jobs N] [--timeout S]
     repro-sat generate FAMILY [options] -o FILE.cnf
     repro-sat experiment {table1..table10,fig1,all} [--scale quick|default]
 
 ``solve`` prints a SAT-competition-style result line (``s SATISFIABLE``
 plus a ``v`` model line, or ``s UNSATISFIABLE``) and the solver
-statistics.  ``generate`` writes instances from any generator family.
-``experiment`` regenerates the paper's tables.
+statistics; ``--portfolio`` (or ``--jobs``) races diverse
+configurations in parallel and reports the winner.  ``batch`` solves
+many files concurrently with per-instance budgets.  ``generate`` writes
+instances from any generator family.  ``experiment`` regenerates the
+paper's tables.
 """
 
 from __future__ import annotations
@@ -61,6 +66,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="run subsumption + bounded variable elimination first "
         "(models are reconstructed; disables --proof)",
     )
+    solve.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="race diverse configurations in parallel; first answer wins "
+        "(--config picks the first portfolio member)",
+    )
+    solve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel workers for the portfolio (implies --portfolio)",
+    )
+
+    batch = sub.add_parser(
+        "batch", help="solve many DIMACS files concurrently"
+    )
+    batch.add_argument("files", nargs="+", help="paths to .cnf files")
+    batch.add_argument(
+        "--config",
+        default="berkmin",
+        choices=sorted(CONFIG_FACTORIES),
+        help="solver configuration for every file (default: berkmin)",
+    )
+    batch.add_argument("--jobs", type=int, default=None, help="concurrent workers")
+    batch.add_argument("--max-conflicts", type=int, default=None)
+    batch.add_argument("--max-seconds", type=float, default=None)
+    batch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="hard per-file wall-clock limit (crashed/overdue files "
+        "report UNKNOWN; the batch always completes)",
+    )
+    batch.add_argument("--seed", type=int, default=0)
+    batch.add_argument("--stats", action="store_true", help="print aggregated statistics")
 
     generate = sub.add_parser("generate", help="write a benchmark instance")
     generate.add_argument(
@@ -93,6 +133,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     formula = parse_dimacs_file(args.file)
+    if args.portfolio or args.jobs is not None:
+        return _solve_portfolio(args, formula)
     reconstruction = None
     solve_target = formula
     if args.preprocess:
@@ -144,6 +186,84 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         for key, value in result.stats.as_dict().items():
             print(f"c {key} = {value}")
     return exit_code
+
+
+def _print_result(result, *, stats: bool) -> int:
+    """Shared SAT-competition-style result printing; returns the exit code."""
+    if result.status is SolveStatus.SAT:
+        print("s SATISFIABLE")
+        assert result.model is not None
+        literals = [
+            variable if value else -variable
+            for variable, value in sorted(result.model.items())
+        ]
+        print("v " + " ".join(str(literal) for literal in literals) + " 0")
+        exit_code = 10
+    elif result.status is SolveStatus.UNSAT:
+        print("s UNSATISFIABLE")
+        exit_code = 20
+    else:
+        print(f"s UNKNOWN ({result.limit_reason})")
+        exit_code = 0
+    if stats:
+        for key, value in result.stats.as_dict().items():
+            print(f"c {key} = {value}")
+    return exit_code
+
+
+def _solve_portfolio(args: argparse.Namespace, formula) -> int:
+    from repro.parallel import PortfolioSolver, default_portfolio
+
+    if args.proof:
+        print("c --proof is not supported with --portfolio", file=sys.stderr)
+        return 2
+    if args.preprocess:
+        print("c --preprocess is not supported with --portfolio", file=sys.stderr)
+        return 2
+    jobs = args.jobs if args.jobs is not None else 4
+    if jobs < 1:
+        print("c --jobs must be >= 1", file=sys.stderr)
+        return 2
+    configs = default_portfolio(jobs, base_seed=args.seed)
+    # --config pins the first member so the named preset always races.
+    configs[0] = config_by_name(args.config, seed=args.seed)
+    portfolio = PortfolioSolver(configs, jobs=jobs)
+    result = portfolio.solve(
+        formula, max_conflicts=args.max_conflicts, max_seconds=args.max_seconds
+    )
+    print(f"c portfolio of {len(configs)} configs, {jobs} jobs, "
+          f"winner: {result.config_name} ({result.wall_seconds:.3f}s)")
+    return _print_result(result, stats=args.stats)
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.parallel import solve_batch
+
+    if args.jobs is not None and args.jobs < 1:
+        print("c --jobs must be >= 1", file=sys.stderr)
+        return 2
+    formulas = [parse_dimacs_file(path) for path in args.files]
+    config = config_by_name(args.config, seed=args.seed)
+    batch = solve_batch(
+        formulas,
+        jobs=args.jobs,
+        config=config,
+        max_conflicts=args.max_conflicts,
+        max_seconds=args.max_seconds,
+        timeout=args.timeout,
+    )
+    for path, result in zip(args.files, batch.results):
+        detail = f" ({result.limit_reason})" if result.is_unknown else ""
+        print(f"{path}: {result.status.value}{detail} [{result.wall_seconds:.3f}s]")
+    print(
+        f"c batch: {len(batch)} files, {batch.num_sat} sat, "
+        f"{batch.num_unsat} unsat, {batch.num_unknown} unknown, "
+        f"{batch.wall_seconds:.3f}s wall"
+    )
+    if args.stats:
+        for key, value in batch.stats.as_dict().items():
+            print(f"c {key} = {value}")
+    return 0 if batch.all_definite else 1
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -247,6 +367,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "solve":
         return _cmd_solve(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "experiment":

@@ -66,6 +66,17 @@ class CnfFormula:
         return duplicate
 
     # ------------------------------------------------------------------
+    # Pickling (formulas cross process boundaries in the parallel engine)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> tuple[int, str, list[list[int]]]:
+        # A fixed tuple rather than __dict__: skips per-clause revalidation
+        # on unpickling and keeps the wire format stable across versions.
+        return (self.num_variables, self.comment, self.clauses)
+
+    def __setstate__(self, state: tuple[int, str, list[list[int]]]) -> None:
+        self.num_variables, self.comment, self.clauses = state
+
+    # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,34 @@
+"""Parallel solving engines: configuration portfolios and bulk batches.
+
+Two entry points, both exposed at the top level of :mod:`repro`:
+
+* :class:`PortfolioSolver` — race diverse
+  :class:`~repro.solver.config.SolverConfig` presets on one formula in
+  separate processes; the first definite SAT/UNSAT answer wins and the
+  losers are cancelled through the :meth:`Solver.interrupt` progress
+  hook.
+* :func:`solve_batch` — solve many formulas concurrently under one
+  configuration with per-instance budgets; a crashed or timed-out worker
+  degrades to ``SolveStatus.UNKNOWN`` for its instance without losing
+  the batch, and statistics aggregate across the whole run.
+
+Both build on cooperative primitives of the sequential engine
+(:meth:`Solver.interrupt`, the ``on_progress`` callback) rather than a
+separate search implementation, so every configuration, budget, and
+result shape of the sequential API carries over unchanged.
+"""
+
+from repro.parallel.batch import BatchResult, solve_batch
+from repro.parallel.portfolio import (
+    PORTFOLIO_PRESETS,
+    PortfolioSolver,
+    default_portfolio,
+)
+
+__all__ = [
+    "BatchResult",
+    "PORTFOLIO_PRESETS",
+    "PortfolioSolver",
+    "default_portfolio",
+    "solve_batch",
+]

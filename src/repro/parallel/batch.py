@@ -1,0 +1,210 @@
+"""Bulk solving: a process pool over many formulas, never losing the batch.
+
+:func:`solve_batch` solves a sequence of formulas concurrently under one
+configuration, with per-instance budgets.  Failure is contained per
+instance: a worker that crashes, raises, or blows through its wall-clock
+timeout contributes a ``SolveStatus.UNKNOWN`` result for *its* formula
+and the rest of the batch proceeds.  The returned :class:`BatchResult`
+keeps input order and aggregates every member's
+:class:`~repro.solver.stats.SolverStats`.
+
+Usage::
+
+    from repro import solve_batch
+
+    batch = solve_batch(formulas, jobs=4, max_conflicts=30_000)
+    batch.statuses()     # [SolveStatus.SAT, SolveStatus.UNSAT, ...]
+    batch.stats.conflicts  # summed over the whole batch
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.cnf.formula import CnfFormula
+from repro.parallel.worker import drain_results, solve_in_worker
+from repro.solver.config import SolverConfig, berkmin_config, config_by_name
+from repro.solver.result import SolveResult, SolveStatus
+from repro.solver.stats import SolverStats, aggregate_stats
+
+_POLL_SECONDS = 0.02
+#: Extra wall-clock slack granted on top of a cooperative ``max_seconds``
+#: budget before the parent terminates a worker outright.
+DEFAULT_GRACE_SECONDS = 2.0
+
+
+@dataclass
+class BatchResult:
+    """Outcome of :func:`solve_batch`, aligned with the input order."""
+
+    results: list[SolveResult] = field(default_factory=list)
+    #: Aggregate of every member's stats (crashed members contribute none).
+    stats: SolverStats = field(default_factory=SolverStats)
+    #: Wall-clock seconds for the whole batch call.
+    wall_seconds: float = 0.0
+
+    def statuses(self) -> list[SolveStatus]:
+        """The per-formula statuses, in input order."""
+        return [result.status for result in self.results]
+
+    @property
+    def num_sat(self) -> int:
+        return sum(1 for result in self.results if result.is_sat)
+
+    @property
+    def num_unsat(self) -> int:
+        return sum(1 for result in self.results if result.is_unsat)
+
+    @property
+    def num_unknown(self) -> int:
+        return sum(1 for result in self.results if result.is_unknown)
+
+    @property
+    def all_definite(self) -> bool:
+        """True when every formula got a SAT/UNSAT answer."""
+        return self.num_unknown == 0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> SolveResult:
+        return self.results[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchResult({len(self.results)} formulas: {self.num_sat} SAT, "
+            f"{self.num_unsat} UNSAT, {self.num_unknown} UNKNOWN, "
+            f"wall={self.wall_seconds:.3f}s)"
+        )
+
+
+def _degraded(reason: str, config_name: str, seconds: float) -> SolveResult:
+    """The UNKNOWN stand-in recorded for a lost or timed-out instance."""
+    return SolveResult(
+        status=SolveStatus.UNKNOWN,
+        limit_reason=reason,
+        config_name=config_name,
+        wall_seconds=seconds,
+    )
+
+
+def solve_batch(
+    formulas: Iterable[CnfFormula | Iterable[Iterable[int]]],
+    *,
+    jobs: int | None = None,
+    config: SolverConfig | str | None = None,
+    max_conflicts: int | None = None,
+    max_decisions: int | None = None,
+    max_seconds: float | None = None,
+    timeout: float | None = None,
+    grace_seconds: float = DEFAULT_GRACE_SECONDS,
+) -> BatchResult:
+    """Solve many formulas concurrently; degrade per instance, never fail.
+
+    Args:
+        formulas: the instances (``CnfFormula`` or clause iterables).
+        jobs: workers running at once (default: CPU count, capped at the
+            batch size).
+        config: configuration for every instance — a
+            :class:`SolverConfig`, a registry name, or None for BerkMin.
+        max_conflicts / max_decisions / max_seconds: per-instance
+            budgets, forwarded to every :meth:`Solver.solve` call.
+        timeout: hard per-instance wall-clock limit enforced by the
+            parent (``terminate``).  Defaults to ``max_seconds +
+            grace_seconds`` when ``max_seconds`` is set, else unlimited.
+            This is the safety net for hung workers; the cooperative
+            ``max_seconds`` budget fires first on healthy ones.
+        grace_seconds: slack added when deriving ``timeout`` from
+            ``max_seconds``.
+
+    A worker that raises, is killed, or exceeds ``timeout`` yields
+    ``SolveStatus.UNKNOWN`` (``limit_reason`` of ``"worker crashed"`` or
+    ``"time budget"``) for its instance only.
+    """
+    if config is None:
+        config = berkmin_config()
+    elif isinstance(config, str):
+        config = config_by_name(config)
+    items: list[CnfFormula] = [
+        item if isinstance(item, CnfFormula) else CnfFormula(item) for item in formulas
+    ]
+    if jobs is not None and jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    jobs = max(1, min(jobs, len(items))) if items else 1
+    if timeout is None and max_seconds is not None:
+        timeout = max_seconds + grace_seconds
+
+    started = time.perf_counter()
+    if not items:
+        return BatchResult(wall_seconds=time.perf_counter() - started)
+
+    limits = {
+        "max_conflicts": max_conflicts,
+        "max_decisions": max_decisions,
+        "max_seconds": max_seconds,
+    }
+    context = multiprocessing.get_context()
+    results_queue = context.Queue()
+    pending = list(enumerate(items))
+    active: dict[int, tuple[multiprocessing.Process, float]] = {}  # index -> (proc, started)
+    collected: dict[int, SolveResult | None] = {}
+
+    try:
+        while active or pending:
+            while pending and len(active) < jobs:
+                index, formula = pending.pop(0)
+                process = context.Process(
+                    target=solve_in_worker,
+                    args=(index, formula, config, limits, None, results_queue),
+                    daemon=True,
+                )
+                process.start()
+                active[index] = (process, time.monotonic())
+            drain_results(results_queue, collected, timeout=_POLL_SECONDS)
+            now = time.monotonic()
+            for index, (process, launch) in list(active.items()):
+                if index in collected:
+                    process.join()
+                    del active[index]
+                elif not process.is_alive():
+                    # Dead without a visible result: the payload may still
+                    # be in the pipe; drain once before declaring a crash.
+                    process.join()
+                    drain_results(results_queue, collected, timeout=0.2)
+                    if index not in collected:
+                        collected[index] = None
+                    del active[index]
+                elif timeout is not None and now - launch > timeout:
+                    process.terminate()
+                    process.join(timeout=1.0)
+                    collected[index] = _degraded(
+                        "time budget", config.name, now - launch
+                    )
+                    del active[index]
+    finally:
+        for process, _launch in active.values():
+            process.terminate()
+            process.join(timeout=1.0)
+        results_queue.close()
+        results_queue.cancel_join_thread()
+
+    results: list[SolveResult] = []
+    for index in range(len(items)):
+        result = collected.get(index)
+        if result is None:
+            result = _degraded("worker crashed", config.name, 0.0)
+        results.append(result)
+    return BatchResult(
+        results=results,
+        stats=aggregate_stats(result.stats for result in results),
+        wall_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,212 @@
+"""Portfolio solving: race diverse configurations, first answer wins.
+
+The paper's whole evaluation is a competition between heuristic
+*configurations* — BerkMin against Chaff against the ablations of
+Tables 1-10 — and no single configuration dominates every benchmark
+family.  :class:`PortfolioSolver` turns that observation into an
+algorithm: run several :class:`~repro.solver.config.SolverConfig`
+presets (with varied seeds) on the same formula in separate processes
+and return the first definite SAT/UNSAT answer.  Losers are cancelled
+cooperatively through the :meth:`Solver.interrupt` progress hook, with
+``terminate`` as the backstop for unresponsive workers.
+
+Usage::
+
+    from repro import CnfFormula, PortfolioSolver
+
+    portfolio = PortfolioSolver(jobs=4)
+    result = portfolio.solve(formula, max_seconds=10.0)
+    result.config_name  # which configuration won the race
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections.abc import Iterable, Sequence
+
+from repro.cnf.formula import CnfFormula
+from repro.parallel.worker import drain_results, solve_in_worker
+from repro.solver.config import SolverConfig, config_by_name
+from repro.solver.result import SolveResult, SolveStatus
+from repro.solver.stats import aggregate_stats
+
+#: How long the parent waits between queue polls while workers run.
+_POLL_SECONDS = 0.02
+#: How long a cancelled loser gets to exit cooperatively before being
+#: terminated.
+DEFAULT_GRACE_SECONDS = 1.0
+
+#: Preset rotation used by :func:`default_portfolio`: orthogonal
+#: decision/database strategies first (the configurations the paper
+#: found to behave most differently), then phase-selection variants.
+PORTFOLIO_PRESETS = (
+    "berkmin",
+    "chaff",
+    "berkmin561",
+    "less_sensitivity",
+    "limited_keeping",
+    "less_mobility",
+    "take_rand",
+    "sat_top",
+)
+
+
+def default_portfolio(size: int = 4, base_seed: int = 0) -> list[SolverConfig]:
+    """Build ``size`` diverse configurations for a portfolio race.
+
+    Rotates through :data:`PORTFOLIO_PRESETS` and gives every member a
+    distinct seed, so portfolios larger than the rotation still differ
+    (same heuristics, different tie-breaking and restart phases).
+    """
+    if size < 1:
+        raise ValueError("portfolio size must be >= 1")
+    return [
+        config_by_name(PORTFOLIO_PRESETS[i % len(PORTFOLIO_PRESETS)], seed=base_seed + i)
+        for i in range(size)
+    ]
+
+
+class PortfolioSolver:
+    """Race N configurations on one formula; first SAT/UNSAT wins.
+
+    Args:
+        configs: the configurations to race — :class:`SolverConfig`
+            instances or registry names.  Defaults to
+            :func:`default_portfolio` sized to ``jobs`` (or the CPU
+            count).
+        jobs: maximum workers running at once.  With more configs than
+            jobs, the remainder start as earlier workers finish without
+            a definite answer.  Defaults to ``len(configs)``.
+        grace_seconds: cooperative-cancellation grace period before a
+            loser is forcibly terminated.
+    """
+
+    def __init__(
+        self,
+        configs: Iterable[SolverConfig | str] | None = None,
+        *,
+        jobs: int | None = None,
+        grace_seconds: float = DEFAULT_GRACE_SECONDS,
+    ) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if configs is None:
+            configs = default_portfolio(jobs if jobs is not None else (os.cpu_count() or 4))
+        self.configs: list[SolverConfig] = [
+            config if isinstance(config, SolverConfig) else config_by_name(config)
+            for config in configs
+        ]
+        if not self.configs:
+            raise ValueError("a portfolio needs at least one configuration")
+        self.jobs = jobs if jobs is not None else len(self.configs)
+        self.grace_seconds = grace_seconds
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        formula: CnfFormula | Iterable[Iterable[int]],
+        assumptions: Sequence[int] = (),
+        *,
+        max_conflicts: int | None = None,
+        max_decisions: int | None = None,
+        max_seconds: float | None = None,
+    ) -> SolveResult:
+        """Race the portfolio on ``formula``; return the winning result.
+
+        The returned :class:`SolveResult` is the winner's verbatim, so
+        ``result.config_name`` identifies the winning configuration and
+        ``result.model`` / ``result.stats`` are the winner's.  When every
+        member returns ``UNKNOWN`` (budgets exhausted) or dies, the
+        answer is a synthesized ``UNKNOWN`` carrying the merged stats of
+        every member that reported back — the race never raises because
+        one worker was lost.
+        """
+        if not isinstance(formula, CnfFormula):
+            formula = CnfFormula(formula)
+        limits = {
+            "assumptions": tuple(assumptions),
+            "max_conflicts": max_conflicts,
+            "max_decisions": max_decisions,
+            "max_seconds": max_seconds,
+        }
+        context = multiprocessing.get_context()
+        cancel = context.Event()
+        results_queue = context.Queue()
+        pending = list(enumerate(self.configs))
+        active: dict[int, multiprocessing.Process] = {}
+        collected: dict[int, SolveResult | None] = {}
+        deadline = (
+            None
+            if max_seconds is None
+            else time.monotonic() + max_seconds + self.grace_seconds
+        )
+        started = time.perf_counter()
+        timed_out = False
+
+        def winner() -> SolveResult | None:
+            for index in sorted(collected):
+                result = collected[index]
+                if result is not None and not result.is_unknown:
+                    return result
+            return None
+
+        try:
+            while winner() is None and (active or pending):
+                if deadline is not None and time.monotonic() > deadline:
+                    timed_out = True
+                    break
+                while pending and len(active) < self.jobs:
+                    index, config = pending.pop(0)
+                    process = context.Process(
+                        target=solve_in_worker,
+                        args=(index, formula, config, limits, cancel, results_queue),
+                        daemon=True,
+                    )
+                    process.start()
+                    active[index] = process
+                drain_results(results_queue, collected, timeout=_POLL_SECONDS)
+                for index, process in list(active.items()):
+                    if index in collected:
+                        process.join()
+                        del active[index]
+                    elif not process.is_alive():
+                        # Dead without a visible result: its payload may
+                        # still be in the pipe; give it one bounded drain
+                        # before declaring the worker crashed.
+                        process.join()
+                        drain_results(results_queue, collected, timeout=0.2)
+                        if index not in collected:
+                            collected[index] = None
+                        del active[index]
+        finally:
+            cancel.set()
+            for process in active.values():
+                process.join(timeout=self.grace_seconds)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=1.0)
+            results_queue.close()
+            results_queue.cancel_join_thread()
+
+        elapsed = time.perf_counter() - started
+        best = winner()
+        if best is not None:
+            best.wall_seconds = elapsed
+            return best
+        reported = [result for result in collected.values() if result is not None]
+        if timed_out:
+            reason = "time budget"
+        elif reported:
+            reasons = sorted({result.limit_reason or "unknown" for result in reported})
+            reason = "portfolio exhausted: " + ", ".join(reasons)
+        else:
+            reason = "worker crashed"
+        return SolveResult(
+            status=SolveStatus.UNKNOWN,
+            stats=aggregate_stats(result.stats for result in reported),
+            limit_reason=reason,
+            config_name="portfolio",
+            wall_seconds=elapsed,
+        )

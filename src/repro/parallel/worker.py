@@ -1,0 +1,63 @@
+"""Process entry points and queue plumbing for the parallel engine.
+
+Workers are plain top-level functions so they stay picklable under every
+``multiprocessing`` start method.  The contract with the parent is
+narrow: a worker posts **exactly one** ``(index, payload)`` tuple on the
+result queue — a :class:`~repro.solver.result.SolveResult` on success,
+``None`` when the solve raised — or dies without posting anything (a
+hard crash), which the parent detects by watching process liveness.
+That contract is what lets :class:`~repro.parallel.PortfolioSolver` and
+:func:`~repro.parallel.solve_batch` degrade gracefully instead of
+hanging on a lost worker.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+
+from repro.solver.solver import Solver
+
+
+def solve_in_worker(index, formula, config, limits, cancel_event, results) -> None:
+    """Solve ``formula`` under ``config`` and post ``(index, result)``.
+
+    ``limits`` is the keyword dictionary forwarded to
+    :meth:`Solver.solve`.  When ``cancel_event`` is given, an
+    ``on_progress`` hook polls it at the solver's progress cadence and
+    interrupts the search once it is set — the cooperative half of
+    portfolio cancellation (the parent's ``terminate`` is the backstop).
+    Any exception inside the solve is converted to a ``None`` payload so
+    the parent can count the worker as finished-without-answer.
+    """
+    try:
+        solver = Solver(formula, config=config)
+        on_progress = None
+        if cancel_event is not None:
+
+            def on_progress(stats, _solver=solver, _event=cancel_event):
+                if _event.is_set():
+                    _solver.interrupt()
+
+        result = solver.solve(on_progress=on_progress, **limits)
+        results.put((index, result))
+    except Exception:
+        results.put((index, None))
+
+
+def drain_results(results_queue, collected: dict, timeout: float = 0.0) -> None:
+    """Move every queued ``(index, payload)`` pair into ``collected``.
+
+    Blocks at most ``timeout`` seconds for the first item, then sweeps
+    whatever else is already queued without blocking.
+    """
+    block = timeout
+    while True:
+        try:
+            if block > 0:
+                index, payload = results_queue.get(timeout=block)
+            else:
+                index, payload = results_queue.get_nowait()
+        except queue_module.Empty:
+            return
+        collected[index] = payload
+        block = 0.0

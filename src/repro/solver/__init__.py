@@ -14,6 +14,7 @@ Public surface:
 from repro.solver.config import (
     CONFIG_FACTORIES,
     SolverConfig,
+    available_configs,
     berkmin561_config,
     berkmin_config,
     chaff_config,
@@ -34,7 +35,7 @@ from repro.solver.heap import VariableOrderHeap
 from repro.solver.restart import RestartScheduler, luby
 from repro.solver.result import SolveResult, SolveStatus
 from repro.solver.solver import Solver, SolverInternalError, solve_formula
-from repro.solver.stats import SolverStats
+from repro.solver.stats import SolverStats, aggregate_stats
 
 __all__ = [
     "CONFIG_FACTORIES",
@@ -48,6 +49,8 @@ __all__ = [
     "SolverInternalError",
     "SolverStats",
     "VariableOrderHeap",
+    "aggregate_stats",
+    "available_configs",
     "berkmin561_config",
     "berkmin_config",
     "chaff_config",

@@ -10,7 +10,8 @@ the exact named configurations of the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import difflib
+from dataclasses import dataclass, field, fields, replace
 
 # Decision strategies ---------------------------------------------------
 DECISION_BERKMIN = "berkmin"  # top unsatisfied conflict clause, then global
@@ -110,8 +111,37 @@ class SolverConfig:
     clause_minimization: bool = False
 
     def with_overrides(self, **overrides) -> "SolverConfig":
-        """Return a copy with the given fields replaced."""
+        """Return a copy with the given fields replaced.
+
+        Unknown field names raise :class:`TypeError` naming the nearest
+        valid field, so typos fail loudly instead of being swallowed.
+        """
+        validate_config_fields(overrides)
         return replace(self, **overrides)
+
+
+def _config_field_names() -> frozenset[str]:
+    return frozenset(spec.name for spec in fields(SolverConfig))
+
+
+def validate_config_fields(overrides: dict) -> None:
+    """Reject unknown :class:`SolverConfig` field names.
+
+    Raises :class:`TypeError` for the first unknown name, suggesting the
+    nearest valid field (``restart_intervall`` → ``restart_interval``).
+    Every factory and :func:`config_by_name` funnel their keyword
+    overrides through here.
+    """
+    valid = _config_field_names()
+    for name in overrides:
+        if name in valid:
+            continue
+        matches = difflib.get_close_matches(name, valid, n=1, cutoff=0.5)
+        hint = f"; did you mean {matches[0]!r}?" if matches else ""
+        raise TypeError(
+            f"SolverConfig has no field {name!r}{hint} "
+            f"(valid fields: {', '.join(sorted(valid))})"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -250,10 +280,30 @@ CONFIG_FACTORIES = {
 
 
 def config_by_name(name: str, **overrides) -> SolverConfig:
-    """Look up a named configuration from :data:`CONFIG_FACTORIES`."""
+    """Look up a named configuration from :data:`CONFIG_FACTORIES`.
+
+    Unknown names raise :class:`ValueError` listing the registry;
+    unknown override fields raise :class:`TypeError` naming the nearest
+    valid :class:`SolverConfig` field.
+    """
     try:
         factory = CONFIG_FACTORIES[name]
     except KeyError:
         known = ", ".join(sorted(CONFIG_FACTORIES))
         raise ValueError(f"unknown configuration {name!r}; known: {known}") from None
     return factory(**overrides)
+
+
+def available_configs() -> dict[str, str]:
+    """The public view of the config registry: name → one-line summary.
+
+    Returns every registered configuration (sorted by name) mapped to
+    the first line of its factory docstring, so callers — the CLI, the
+    portfolio engine, notebooks — can enumerate and describe the presets
+    without touching :data:`CONFIG_FACTORIES` internals.
+    """
+    catalog: dict[str, str] = {}
+    for name in sorted(CONFIG_FACTORIES):
+        doc = CONFIG_FACTORIES[name].__doc__ or ""
+        catalog[name] = doc.strip().splitlines()[0] if doc.strip() else ""
+    return catalog

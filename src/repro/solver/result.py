@@ -52,6 +52,11 @@ class SolveResult:
     #: literals that already contradicts the formula (a failed-assumption
     #: core, MiniSat-style).  None otherwise.
     core: list[int] | None = None
+    #: Name of the :class:`SolverConfig` that produced this answer.  For
+    #: portfolio solves this identifies the winning configuration.
+    config_name: str | None = None
+    #: Wall-clock seconds of the producing ``solve`` call.
+    wall_seconds: float = 0.0
 
     @property
     def is_sat(self) -> bool:
@@ -69,10 +74,13 @@ class SolveResult:
         return self.status is SolveStatus.UNKNOWN
 
     def __repr__(self) -> str:
-        extra = ""
+        parts = [self.status.value]
+        if self.config_name:
+            parts.append(f"config={self.config_name!r}")
+        parts.append(f"decisions={self.stats.decisions}")
+        parts.append(f"conflicts={self.stats.conflicts}")
+        if self.wall_seconds:
+            parts.append(f"wall={self.wall_seconds:.3f}s")
         if self.is_unknown and self.limit_reason:
-            extra = f", limit_reason={self.limit_reason!r}"
-        return (
-            f"SolveResult({self.status.value}, decisions={self.stats.decisions}, "
-            f"conflicts={self.stats.conflicts}{extra})"
-        )
+            parts.append(f"limit_reason={self.limit_reason!r}")
+        return f"SolveResult({', '.join(parts)})"

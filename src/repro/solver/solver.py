@@ -88,6 +88,8 @@ class Solver:
         )
 
         self.ok = True  # False once the formula is refuted outright
+        self._interrupted = False  # set by interrupt(), honoured in solve()
+        self._solve_started = time.perf_counter()
         self.proof: list[tuple[str, list[int]]] | None = (
             [] if self.config.proof_logging else None
         )
@@ -472,6 +474,24 @@ class Solver:
             self.proof.append(("d", clause.to_dimacs()))
 
     # ==================================================================
+    # Interruption (public API; the primitive the parallel engine uses)
+    # ==================================================================
+    def interrupt(self) -> None:
+        """Ask the running (or next) ``solve`` call to stop cooperatively.
+
+        Safe to call from another thread or from an ``on_progress``
+        callback.  The search stops at the next decision/conflict
+        boundary and returns ``UNKNOWN`` with ``limit_reason
+        == "interrupted"``; the flag is cleared once honoured, so a later
+        ``solve`` call runs normally.
+        """
+        self._interrupted = True
+
+    def clear_interrupt(self) -> None:
+        """Discard a pending :meth:`interrupt` request."""
+        self._interrupted = False
+
+    # ==================================================================
     # Main loop
     # ==================================================================
     def solve(
@@ -482,6 +502,7 @@ class Solver:
         max_decisions: int | None = None,
         max_seconds: float | None = None,
         verify: bool = True,
+        on_progress=None,
     ) -> SolveResult:
         """Run the CDCL search.
 
@@ -491,8 +512,14 @@ class Solver:
                 call; exceeding one yields ``UNKNOWN`` with the reason.
             verify: check SAT models against every added clause (cheap
                 insurance; raises :class:`SolverInternalError` on failure).
+            on_progress: optional callback invoked with the live
+                :class:`SolverStats` every 128 conflicts and every 512
+                decisions.  It may call :meth:`interrupt` to stop the
+                search cooperatively (the parallel engine's cancellation
+                hook); exceptions it raises propagate to the caller.
         """
         start_time = time.perf_counter()
+        self._solve_started = start_time
         stats = self.stats
         base_conflicts = stats.conflicts
         base_decisions = stats.decisions
@@ -507,6 +534,9 @@ class Solver:
             conflicts_since_restart = 0
 
             while True:
+                if self._interrupted:
+                    self._interrupted = False
+                    return self._result(SolveStatus.UNKNOWN, limit="interrupted")
                 conflict = self._propagate()
                 if conflict is not None:
                     stats.conflicts += 1
@@ -528,12 +558,16 @@ class Solver:
                         and stats.conflicts - base_conflicts >= max_conflicts
                     ):
                         return self._result(SolveStatus.UNKNOWN, limit="conflict budget")
-                    if (
-                        max_seconds is not None
-                        and stats.conflicts % 128 == 0
-                        and time.perf_counter() - start_time > max_seconds
-                    ):
-                        return self._result(SolveStatus.UNKNOWN, limit="time budget")
+                    if stats.conflicts % 128 == 0:
+                        if on_progress is not None:
+                            on_progress(stats)
+                        if (
+                            max_seconds is not None
+                            and time.perf_counter() - start_time > max_seconds
+                        ):
+                            return self._result(
+                                SolveStatus.UNKNOWN, limit="time budget"
+                            )
                     if scheduler.should_restart(conflicts_since_restart):
                         conflicts_since_restart = 0
                         scheduler.on_restart()
@@ -561,12 +595,14 @@ class Solver:
                     and stats.decisions - base_decisions >= max_decisions
                 ):
                     return self._result(SolveStatus.UNKNOWN, limit="decision budget")
-                if (
-                    max_seconds is not None
-                    and stats.decisions % 512 == 0
-                    and time.perf_counter() - start_time > max_seconds
-                ):
-                    return self._result(SolveStatus.UNKNOWN, limit="time budget")
+                if stats.decisions % 512 == 0:
+                    if on_progress is not None:
+                        on_progress(stats)
+                    if (
+                        max_seconds is not None
+                        and time.perf_counter() - start_time > max_seconds
+                    ):
+                        return self._result(SolveStatus.UNKNOWN, limit="time budget")
 
                 literal = choose_decision(self)
                 if literal is None:
@@ -642,6 +678,8 @@ class Solver:
             limit_reason=limit,
             under_assumptions=under_assumptions,
             core=core,
+            config_name=self.config.name,
+            wall_seconds=time.perf_counter() - self._solve_started,
         )
 
     def _extract_model(self) -> dict[int, bool]:

@@ -73,6 +73,32 @@ class SolverStats:
         """Return ``f(r)`` sampled at the given distances (Table 3 rows)."""
         return {distance: self.skin_effect.get(distance, 0) for distance in distances}
 
+    def merge(self, other: "SolverStats") -> "SolverStats":
+        """Fold ``other`` into this snapshot (in place); returns ``self``.
+
+        Counters add; ``peak_clauses`` and ``max_decision_level`` take
+        the maximum (they are per-solve peaks, not totals); the skin
+        histogram merges bucket-wise.  Used by the batch engine to
+        aggregate statistics across many independent solves.
+        """
+        self.decisions += other.decisions
+        self.conflicts += other.conflicts
+        self.propagations += other.propagations
+        self.restarts += other.restarts
+        self.db_reductions += other.db_reductions
+        self.learned_total += other.learned_total
+        self.learned_units += other.learned_units
+        self.learned_deleted += other.learned_deleted
+        self.peak_clauses = max(self.peak_clauses, other.peak_clauses)
+        self.initial_clauses += other.initial_clauses
+        self.top_clause_decisions += other.top_clause_decisions
+        self.formula_decisions += other.formula_decisions
+        self.max_decision_level = max(self.max_decision_level, other.max_decision_level)
+        for distance, count in other.skin_effect.items():
+            self.skin_effect[distance] = self.skin_effect.get(distance, 0) + count
+        self.solve_time_seconds += other.solve_time_seconds
+        return self
+
     def as_dict(self) -> dict:
         """Flat summary used by the CLI and the experiment harness."""
         return {
@@ -93,3 +119,11 @@ class SolverStats:
             "peak_memory_ratio": round(self.peak_memory_ratio(), 3),
             "solve_time_seconds": round(self.solve_time_seconds, 6),
         }
+
+
+def aggregate_stats(snapshots) -> SolverStats:
+    """Merge an iterable of :class:`SolverStats` into one fresh snapshot."""
+    total = SolverStats()
+    for snapshot in snapshots:
+        total.merge(snapshot)
+    return total

@@ -1,0 +1,134 @@
+"""solve_batch: ordering, aggregation, and per-instance degradation."""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+import repro
+from repro.generators import pigeonhole_formula, planted_ksat, queens_formula
+from repro.parallel import BatchResult, solve_batch
+from repro.parallel.worker import solve_in_worker
+from repro.solver.result import SolveStatus
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="fault injection monkeypatches the worker, which requires fork",
+)
+
+
+def _mixed_formulas():
+    return [
+        pigeonhole_formula(4),          # UNSAT
+        planted_ksat(18, 70, 3, seed=2),  # SAT
+        queens_formula(6),              # SAT
+        pigeonhole_formula(5),          # UNSAT
+    ]
+
+
+def test_batch_matches_sequential_statuses_in_order():
+    formulas = _mixed_formulas()
+    sequential = [repro.solve(formula).status for formula in formulas]
+    batch = solve_batch(formulas, jobs=2)
+    assert batch.statuses() == sequential
+    assert sequential == [
+        SolveStatus.UNSAT, SolveStatus.SAT, SolveStatus.SAT, SolveStatus.UNSAT,
+    ]
+    assert batch.num_sat == 2 and batch.num_unsat == 2 and batch.num_unknown == 0
+    assert batch.all_definite
+    for formula, result in zip(formulas, batch):
+        if result.is_sat:
+            assert formula.evaluate(result.model)
+
+
+def test_batch_aggregates_stats():
+    batch = solve_batch(_mixed_formulas(), jobs=2)
+    assert batch.stats.conflicts == sum(r.stats.conflicts for r in batch.results)
+    assert batch.stats.decisions == sum(r.stats.decisions for r in batch.results)
+    assert batch.stats.initial_clauses == sum(
+        r.stats.initial_clauses for r in batch.results
+    )
+    assert batch.wall_seconds > 0
+
+
+def test_batch_result_container_protocol():
+    batch = solve_batch([pigeonhole_formula(4)], jobs=1)
+    assert len(batch) == 1
+    assert batch[0].is_unsat
+    assert [r.status for r in batch] == [SolveStatus.UNSAT]
+    assert "1 UNSAT" in repr(batch)
+
+
+def test_empty_batch():
+    batch = solve_batch([])
+    assert isinstance(batch, BatchResult)
+    assert len(batch) == 0
+    assert batch.all_definite
+
+
+def test_batch_accepts_clause_lists_and_config_name():
+    batch = solve_batch([[[1, 2], [-1]], [[1], [-1]]], config="chaff", jobs=2)
+    assert batch.statuses() == [SolveStatus.SAT, SolveStatus.UNSAT]
+    assert all(result.config_name == "chaff" for result in batch)
+
+
+def test_per_instance_conflict_budget_degrades_to_unknown():
+    formulas = [pigeonhole_formula(4), pigeonhole_formula(9), pigeonhole_formula(4)]
+    batch = solve_batch(formulas, jobs=2, max_conflicts=300)
+    assert batch.statuses() == [
+        SolveStatus.UNSAT, SolveStatus.UNKNOWN, SolveStatus.UNSAT,
+    ]
+    assert batch[1].limit_reason == "conflict budget"
+    assert not batch.all_definite
+
+
+def test_invalid_jobs_rejected():
+    with pytest.raises(ValueError):
+        solve_batch([pigeonhole_formula(3)], jobs=0)
+
+
+@fork_only
+def test_hung_worker_hits_hard_timeout(monkeypatch):
+    import repro.parallel.batch as batch_module
+
+    def hanging_worker(index, formula, config, limits, cancel_event, results):
+        if index == 1:
+            time.sleep(600)  # simulates a wedged worker
+        solve_in_worker(index, formula, config, limits, cancel_event, results)
+
+    monkeypatch.setattr(batch_module, "solve_in_worker", hanging_worker)
+    formulas = [pigeonhole_formula(4), pigeonhole_formula(4), pigeonhole_formula(4)]
+    batch = solve_batch(formulas, jobs=3, timeout=1.0)
+    assert batch.statuses() == [
+        SolveStatus.UNSAT, SolveStatus.UNKNOWN, SolveStatus.UNSAT,
+    ]
+    assert batch[1].limit_reason == "time budget"
+
+
+@fork_only
+def test_crashed_worker_degrades_without_losing_batch(monkeypatch):
+    import repro.parallel.batch as batch_module
+
+    def crashing_worker(index, formula, config, limits, cancel_event, results):
+        if index == 1:
+            os._exit(3)  # hard crash: no payload ever posted
+        solve_in_worker(index, formula, config, limits, cancel_event, results)
+
+    monkeypatch.setattr(batch_module, "solve_in_worker", crashing_worker)
+    formulas = [pigeonhole_formula(4), pigeonhole_formula(5), pigeonhole_formula(4)]
+    batch = solve_batch(formulas, jobs=2)
+    assert batch.statuses() == [
+        SolveStatus.UNSAT, SolveStatus.UNKNOWN, SolveStatus.UNSAT,
+    ]
+    assert batch[1].limit_reason == "worker crashed"
+
+
+def test_worker_converts_exceptions_to_none_payload():
+    """A worker whose solve raises posts (index, None) instead of dying."""
+    import queue
+
+    results = queue.Queue()
+    solve_in_worker(7, object(), None, {}, None, results)  # not a formula
+    index, payload = results.get_nowait()
+    assert index == 7 and payload is None

@@ -1,0 +1,71 @@
+"""Solver.interrupt() and the on_progress hook — the parallel primitives."""
+
+import threading
+import time
+
+import pytest
+
+from repro.generators.pigeonhole import pigeonhole_formula
+from repro.solver.solver import Solver
+from repro.solver.stats import SolverStats
+
+
+def test_on_progress_receives_live_stats():
+    seen = []
+    solver = Solver(pigeonhole_formula(6))
+    result = solver.solve(on_progress=seen.append)
+    assert result.is_unsat
+    assert seen, "hole6 generates well over 128 conflicts"
+    assert all(isinstance(stats, SolverStats) for stats in seen)
+    assert seen[0] is solver.stats  # the live object, not a copy
+
+
+def test_interrupt_from_progress_callback():
+    solver = Solver(pigeonhole_formula(7))
+
+    def hook(stats):
+        solver.interrupt()
+
+    result = solver.solve(on_progress=hook)
+    assert result.is_unknown
+    assert result.limit_reason == "interrupted"
+    # The flag was cleared when honoured: the next call runs to completion.
+    assert solver.solve(max_conflicts=200_000).is_unsat
+
+
+def test_interrupt_from_another_thread():
+    solver = Solver(pigeonhole_formula(8))
+    timer = threading.Timer(0.05, solver.interrupt)
+    timer.start()
+    started = time.perf_counter()
+    # Budget is a safety net only; the interrupt should fire long first.
+    result = solver.solve(max_conflicts=2_000_000)
+    timer.cancel()
+    assert result.is_unknown
+    assert result.limit_reason == "interrupted"
+    assert time.perf_counter() - started < 60
+
+
+def test_pending_interrupt_stops_next_solve_immediately():
+    solver = Solver(pigeonhole_formula(7))
+    solver.interrupt()
+    result = solver.solve()
+    assert result.is_unknown and result.limit_reason == "interrupted"
+    assert solver.stats.conflicts == 0
+
+
+def test_clear_interrupt_discards_request():
+    solver = Solver(pigeonhole_formula(5))
+    solver.interrupt()
+    solver.clear_interrupt()
+    assert solver.solve().is_unsat
+
+
+def test_progress_callback_exception_propagates():
+    solver = Solver(pigeonhole_formula(6))
+
+    def hook(stats):
+        raise RuntimeError("boom")
+
+    with pytest.raises(RuntimeError, match="boom"):
+        solver.solve(on_progress=hook)

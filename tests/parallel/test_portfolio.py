@@ -1,0 +1,127 @@
+"""PortfolioSolver: race semantics, agreement with ground truth, degradation."""
+
+import multiprocessing
+import os
+
+import pytest
+
+import repro
+from repro.generators import (
+    odd_cycle_formula,
+    pigeonhole_formula,
+    planted_ksat,
+    queens_formula,
+    random_xor_system,
+    xor_system_formula,
+)
+from repro.parallel import PORTFOLIO_PRESETS, PortfolioSolver, default_portfolio
+from repro.parallel.worker import solve_in_worker
+from repro.solver.config import SolverConfig, chaff_config
+from repro.solver.result import SolveStatus
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="crash injection monkeypatches the worker, which requires fork",
+)
+
+#: Known-status instances across the generator families (small, fast).
+GROUND_TRUTH = [
+    ("hole5", lambda: pigeonhole_formula(5), SolveStatus.UNSAT),
+    ("queens6", lambda: queens_formula(6), SolveStatus.SAT),
+    ("ksat20", lambda: planted_ksat(20, 80, 3, seed=1), SolveStatus.SAT),
+    (
+        "xor_sat",
+        lambda: xor_system_formula(random_xor_system(14, 12, 3, seed=2, planted=True)),
+        SolveStatus.SAT,
+    ),
+    (
+        "xor_unsat",
+        lambda: xor_system_formula(random_xor_system(10, 20, 3, seed=3, planted=False)),
+        SolveStatus.UNSAT,
+    ),
+    ("odd_cycle7", lambda: odd_cycle_formula(7), SolveStatus.UNSAT),
+]
+
+
+def test_default_portfolio_is_diverse():
+    configs = default_portfolio(4)
+    assert len(configs) == 4
+    assert len({config.name for config in configs}) == 4
+    assert len({config.seed for config in configs}) == 4
+    # Larger than the rotation: presets repeat but seeds never do.
+    many = default_portfolio(len(PORTFOLIO_PRESETS) + 2)
+    assert len({config.seed for config in many}) == len(many)
+
+
+def test_default_portfolio_rejects_empty():
+    with pytest.raises(ValueError):
+        default_portfolio(0)
+    with pytest.raises(ValueError):
+        PortfolioSolver([], jobs=2)
+    with pytest.raises(ValueError):
+        PortfolioSolver(jobs=0)
+
+
+def test_accepts_config_names_and_instances():
+    portfolio = PortfolioSolver(["berkmin", chaff_config(seed=5)])
+    assert [config.name for config in portfolio.configs] == ["berkmin", "chaff"]
+    assert all(isinstance(config, SolverConfig) for config in portfolio.configs)
+    assert portfolio.jobs == 2
+
+
+@pytest.mark.parametrize("name,build,expected", GROUND_TRUTH, ids=[g[0] for g in GROUND_TRUTH])
+def test_portfolio_agrees_with_ground_truth(name, build, expected):
+    formula = build()
+    sequential = repro.solve(formula)
+    assert sequential.status is expected
+    result = PortfolioSolver(jobs=3).solve(formula)
+    assert result.status is expected
+    assert result.config_name in {c.name for c in default_portfolio(3)}
+    if result.is_sat:
+        assert formula.evaluate(result.model)
+
+
+def test_more_configs_than_jobs_still_finishes():
+    portfolio = PortfolioSolver(default_portfolio(5), jobs=2)
+    result = portfolio.solve(pigeonhole_formula(5))
+    assert result.is_unsat
+
+
+def test_all_members_exhaust_budget_yields_unknown():
+    result = PortfolioSolver(jobs=2).solve(pigeonhole_formula(8), max_conflicts=10)
+    assert result.is_unknown
+    assert "conflict budget" in result.limit_reason
+    assert result.stats.conflicts > 0  # merged stats from the members
+
+
+def test_solve_accepts_clause_lists_and_assumptions():
+    result = PortfolioSolver(jobs=2).solve([[1, 2], [-1, 2]], assumptions=[-2])
+    assert result.is_unsat
+    assert result.under_assumptions
+
+
+@fork_only
+def test_one_crashed_worker_does_not_lose_the_race(monkeypatch):
+    import repro.parallel.portfolio as portfolio_module
+
+    def crashing_worker(index, formula, config, limits, cancel_event, results):
+        if index == 0:
+            os._exit(3)  # hard crash: no payload ever posted
+        solve_in_worker(index, formula, config, limits, cancel_event, results)
+
+    monkeypatch.setattr(portfolio_module, "solve_in_worker", crashing_worker)
+    result = PortfolioSolver(jobs=2).solve(pigeonhole_formula(5))
+    assert result.is_unsat
+
+
+@fork_only
+def test_every_worker_crashing_yields_unknown(monkeypatch):
+    import repro.parallel.portfolio as portfolio_module
+
+    def crashing_worker(index, formula, config, limits, cancel_event, results):
+        os._exit(3)
+
+    monkeypatch.setattr(portfolio_module, "solve_in_worker", crashing_worker)
+    result = PortfolioSolver(jobs=2).solve(pigeonhole_formula(4))
+    assert result.is_unknown
+    assert result.limit_reason == "worker crashed"

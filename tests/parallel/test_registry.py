@@ -1,0 +1,65 @@
+"""The public config registry: available_configs and field validation."""
+
+import pytest
+
+import repro
+from repro.solver.config import (
+    CONFIG_FACTORIES,
+    SolverConfig,
+    available_configs,
+    berkmin_config,
+    config_by_name,
+)
+
+
+def test_available_configs_covers_registry():
+    catalog = available_configs()
+    assert set(catalog) == set(CONFIG_FACTORIES)
+    assert list(catalog) == sorted(catalog)
+
+
+def test_available_configs_descriptions_are_docstring_first_lines():
+    catalog = available_configs()
+    for name, summary in catalog.items():
+        assert summary, f"{name} has no description"
+        assert "\n" not in summary
+    assert "BerkMin" in catalog["berkmin"]
+    assert "Chaff" in catalog["chaff"]
+
+
+def test_available_configs_is_top_level_api():
+    assert repro.available_configs() == available_configs()
+    assert "available_configs" in repro.__all__
+
+
+def test_unknown_field_raises_typeerror_with_suggestion():
+    with pytest.raises(TypeError, match="restart_interval"):
+        config_by_name("berkmin", restart_intervall=9)
+    with pytest.raises(TypeError, match="did you mean 'seed'"):
+        berkmin_config(sede=3)
+    with pytest.raises(TypeError, match="top_clause_window"):
+        config_by_name("berkmin", window=3)
+
+
+def test_unknown_field_without_near_match_lists_fields():
+    with pytest.raises(TypeError, match="valid fields"):
+        berkmin_config(zzzzqqqq=1)
+
+
+def test_with_overrides_validates_directly():
+    config = SolverConfig()
+    with pytest.raises(TypeError, match="restart_interval"):
+        config.with_overrides(restart_intervals=10)
+    assert config.with_overrides(restart_interval=10).restart_interval == 10
+
+
+def test_every_factory_still_accepts_valid_overrides():
+    for name in CONFIG_FACTORIES:
+        config = config_by_name(name, seed=7, restart_interval=11)
+        assert config.seed == 7
+        assert config.restart_interval == 11
+
+
+def test_unknown_name_still_raises_valueerror():
+    with pytest.raises(ValueError, match="unknown configuration"):
+        config_by_name("berkmax")

@@ -1,0 +1,79 @@
+"""SolveResult enrichment and cross-process picklability."""
+
+import pickle
+
+import repro
+from repro.cnf.formula import CnfFormula
+from repro.generators.pigeonhole import pigeonhole_formula
+from repro.solver.config import berkmin_config, config_by_name
+from repro.solver.result import SolveResult, SolveStatus
+from repro.solver.stats import SolverStats, aggregate_stats
+
+
+def test_positional_construction_stays_backward_compatible():
+    # The pre-existing positional order: status, model, stats, proof,
+    # limit_reason, under_assumptions, core.  New fields trail behind.
+    stats = SolverStats(decisions=3)
+    result = SolveResult(SolveStatus.SAT, {1: True}, stats, None, None, False, None)
+    assert result.is_sat
+    assert result.config_name is None
+    assert result.wall_seconds == 0.0
+
+
+def test_solver_populates_config_name_and_wall_seconds():
+    result = repro.solve(pigeonhole_formula(4), config=config_by_name("chaff"))
+    assert result.config_name == "chaff"
+    assert result.wall_seconds > 0.0
+    assert result.wall_seconds < 60.0
+
+
+def test_repr_is_readable():
+    result = repro.solve(pigeonhole_formula(4))
+    text = repr(result)
+    assert "UNSAT" in text
+    assert "config='berkmin'" in text
+    assert "wall=" in text
+    unknown = repro.solve(pigeonhole_formula(7), max_conflicts=2)
+    assert "limit_reason='conflict budget'" in repr(unknown)
+
+
+def test_solve_result_pickles_across_processes():
+    result = repro.solve(pigeonhole_formula(4))
+    clone = pickle.loads(pickle.dumps(result))
+    assert clone.status is SolveStatus.UNSAT
+    assert clone.config_name == result.config_name
+    assert clone.stats.conflicts == result.stats.conflicts
+
+    sat = repro.solve([[1, 2], [-1]])
+    clone = pickle.loads(pickle.dumps(sat))
+    assert clone.model == sat.model
+
+
+def test_solver_config_pickles():
+    config = berkmin_config(seed=9, restart_interval=123)
+    clone = pickle.loads(pickle.dumps(config))
+    assert clone == config
+
+
+def test_cnf_formula_pickle_roundtrip():
+    formula = CnfFormula([[1, -2], [2, 3]], comment="pickled")
+    clone = pickle.loads(pickle.dumps(formula))
+    assert clone.clauses == formula.clauses
+    assert clone.num_variables == formula.num_variables
+    assert clone.comment == "pickled"
+
+
+def test_aggregate_stats_merges_counters_and_peaks():
+    a = SolverStats(conflicts=5, decisions=8, peak_clauses=40, max_decision_level=3)
+    a.record_skin_distance(0)
+    b = SolverStats(conflicts=2, decisions=1, peak_clauses=10, max_decision_level=9)
+    b.record_skin_distance(0)
+    b.record_skin_distance(4)
+    total = aggregate_stats([a, b])
+    assert total.conflicts == 7
+    assert total.decisions == 9
+    assert total.peak_clauses == 40  # peak, not sum
+    assert total.max_decision_level == 9
+    assert total.skin_effect == {0: 2, 4: 1}
+    # Inputs are untouched.
+    assert a.conflicts == 5 and b.skin_effect == {0: 1, 4: 1}

@@ -108,6 +108,49 @@ def test_solve_with_preprocessing_unsat(tmp_path, capsys):
     assert "s UNSATISFIABLE" in capsys.readouterr().out
 
 
+def test_solve_portfolio_unsat(tmp_path, capsys):
+    path = _write(tmp_path, pigeonhole_formula(5))
+    code = main(["solve", path, "--portfolio", "--jobs", "2"])
+    captured = capsys.readouterr().out
+    assert code == 20
+    assert "s UNSATISFIABLE" in captured
+    assert "winner:" in captured
+
+
+def test_solve_jobs_implies_portfolio(tmp_path, capsys):
+    path = _write(tmp_path, CnfFormula([[1, 2], [-1]]))
+    code = main(["solve", path, "--jobs", "2"])
+    captured = capsys.readouterr().out
+    assert code == 10
+    assert "c portfolio of 2 configs" in captured
+    assert "s SATISFIABLE" in captured
+
+
+def test_solve_portfolio_rejects_proof(tmp_path, capsys):
+    path = _write(tmp_path, pigeonhole_formula(4))
+    assert main(["solve", path, "--portfolio", "--proof"]) == 2
+
+
+def test_batch_command(tmp_path, capsys):
+    sat = _write(tmp_path, CnfFormula([[1, 2], [-1]]), "sat.cnf")
+    unsat = _write(tmp_path, pigeonhole_formula(4), "unsat.cnf")
+    code = main(["batch", sat, unsat, "--jobs", "2", "--stats"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert f"{sat}: SAT" in captured
+    assert f"{unsat}: UNSAT" in captured
+    assert "c batch: 2 files, 1 sat, 1 unsat, 0 unknown" in captured
+    assert "c conflicts =" in captured
+
+
+def test_batch_unknown_gives_nonzero_exit(tmp_path, capsys):
+    hard = _write(tmp_path, pigeonhole_formula(8), "hard.cnf")
+    code = main(["batch", hard, "--max-conflicts", "5"])
+    captured = capsys.readouterr().out
+    assert code == 1
+    assert "UNKNOWN (conflict budget)" in captured
+
+
 def test_atpg_command(capsys):
     code = main(["atpg", "--inputs", "4", "--gates", "8", "--seed", "3"])
     captured = capsys.readouterr().out

@@ -17,6 +17,7 @@ FAST_EXAMPLES = [
     "sudoku.py",
     "planning.py",
     "bounded_model_checking.py",
+    "parallel_solving.py",
 ]
 
 
