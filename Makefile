@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-parallel bench bench-portfolio experiments report quick-report examples clean
+.PHONY: install test test-fast test-parallel perf-smoke bench bench-bcp bench-portfolio profile experiments report quick-report examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -21,6 +21,20 @@ bench:
 
 bench-portfolio:
 	$(PYTHON) -m pytest benchmarks/bench_portfolio.py --benchmark-only
+
+# The BCP perf harness: times the split binary-implication engine against
+# the watched-literal reference on the pinned suite and writes the repo's
+# perf-trajectory data point (see docs/BENCHMARKS.md "Performance").
+bench-bcp:
+	$(PYTHON) -m repro.cli bench --out BENCH_2.json
+
+# cProfile one pinned pigeonhole solve; prints the top-20 cumulative entries.
+profile:
+	$(PYTHON) -m repro.cli bench --profile
+
+# Fast perf-harness smoke checks (also part of plain `make test`).
+perf-smoke:
+	$(PYTHON) -m pytest tests/ -m perf_smoke -q
 
 experiments:
 	$(PYTHON) -m repro.cli experiment all

@@ -1,0 +1,310 @@
+"""The BCP performance harness behind ``repro-sat bench``.
+
+Runs a pinned, seeded suite of generator instances (pigeonhole, random
+3-SAT at the phase-transition ratio, parity/XOR systems, n-queens) under
+both propagation engines — the split binary-implication layer
+(``propagation="split"``, the default) and the watched-literal reference
+path (``propagation="general"``, the pre-split implementation style) —
+and reports wall time plus propagations/conflicts/decisions per second
+for each.
+
+The harness doubles as a correctness gate: for every instance and for
+every paper configuration in the agreement stage it asserts that the two
+engines return the same status, valid models (``solve(verify=True)``
+raises on a bad model), and *identical* conflict/decision/propagation
+counts — the two engines are designed to propagate in the same order, so
+any drift is a bug, reported as :class:`BenchAgreementError`.
+
+``repro-sat bench --out BENCH_2.json`` writes the JSON report at the
+repo root; see docs/BENCHMARKS.md for the schema and how to compare
+reports across PRs.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pstats
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.cnf.formula import CnfFormula
+from repro.generators import (
+    pigeonhole_formula,
+    queens_formula,
+    random_ksat,
+    random_xor_system,
+    xor_system_formula,
+)
+from repro.solver.config import CONFIG_FACTORIES, config_by_name
+from repro.solver.solver import Solver
+
+#: The two propagation engines compared by every bench run.
+MODES = ("split", "general")
+
+#: Schema version of the BENCH_*.json reports.
+SCHEMA = "bcp-bench/1"
+
+
+class BenchAgreementError(AssertionError):
+    """The two propagation engines disagreed — a solver bug, not a perf issue."""
+
+
+@dataclass(frozen=True)
+class BenchInstance:
+    """One pinned suite entry: a named, seeded formula factory."""
+
+    name: str
+    family: str
+    build: Callable[[], CnfFormula]
+
+
+def _parity(num_variables: int, num_equations: int, seed: int, planted: bool) -> CnfFormula:
+    return xor_system_formula(
+        random_xor_system(num_variables, num_equations, 3, seed=seed, planted=planted)
+    )
+
+
+#: The pinned suite, by scale.  Every entry is deterministic: fixed
+#: construction or fixed seed, so counts are reproducible run to run.
+#: Pigeonhole and queens instances are binary-heavy (pairwise exclusion
+#: clauses); random 3-SAT instances sit at the m/n ~ 4.26 phase
+#: transition and exercise the long-clause path.
+_SUITES: dict[str, tuple[BenchInstance, ...]] = {
+    "quick": (
+        BenchInstance("hole5", "pigeonhole", lambda: pigeonhole_formula(5)),
+        BenchInstance("hole6", "pigeonhole", lambda: pigeonhole_formula(6)),
+        BenchInstance("queens8", "queens", lambda: queens_formula(8)),
+        BenchInstance("parity16_sat", "parity", lambda: _parity(16, 16, 7, True)),
+        BenchInstance("ksat60", "random3sat", lambda: random_ksat(60, 256, 3, seed=7)),
+    ),
+    "default": (
+        BenchInstance("hole6", "pigeonhole", lambda: pigeonhole_formula(6)),
+        BenchInstance("hole7", "pigeonhole", lambda: pigeonhole_formula(7)),
+        BenchInstance("hole8", "pigeonhole", lambda: pigeonhole_formula(8)),
+        BenchInstance("queens8", "queens", lambda: queens_formula(8)),
+        BenchInstance("queens12", "queens", lambda: queens_formula(12)),
+        BenchInstance("parity24_sat", "parity", lambda: _parity(24, 24, 11, True)),
+        BenchInstance("parity20_unsat", "parity", lambda: _parity(20, 40, 13, False)),
+        BenchInstance("ksat80", "random3sat", lambda: random_ksat(80, 341, 3, seed=3)),
+        BenchInstance("ksat100", "random3sat", lambda: random_ksat(100, 426, 3, seed=5)),
+    ),
+}
+_SUITES["full"] = _SUITES["default"] + (
+    BenchInstance("queens14", "queens", lambda: queens_formula(14)),
+    BenchInstance("parity28_sat", "parity", lambda: _parity(28, 28, 17, True)),
+    BenchInstance("ksat120", "random3sat", lambda: random_ksat(120, 511, 3, seed=9)),
+)
+
+#: Small instances every paper configuration is cross-checked on.
+_AGREEMENT_INSTANCES = (
+    BenchInstance("hole5", "pigeonhole", lambda: pigeonhole_formula(5)),
+    BenchInstance("ksat40", "random3sat", lambda: random_ksat(40, 170, 3, seed=11)),
+)
+
+
+def bench_suite(scale: str = "default") -> tuple[BenchInstance, ...]:
+    """The pinned instances for ``scale`` ('quick', 'default' or 'full')."""
+    try:
+        return _SUITES[scale]
+    except KeyError:
+        known = ", ".join(sorted(_SUITES))
+        raise ValueError(f"unknown bench scale {scale!r}; known: {known}") from None
+
+
+def _solve_timed(formula: CnfFormula, config_name: str, mode: str) -> tuple:
+    """Fresh solver, one timed solve with model verification on."""
+    solver = Solver(formula, config=config_by_name(config_name, propagation=mode))
+    started = time.perf_counter()
+    result = solver.solve()
+    return result, time.perf_counter() - started
+
+
+def _counts(result) -> tuple[int, int, int]:
+    return (result.stats.conflicts, result.stats.decisions, result.stats.propagations)
+
+
+def run_instance(
+    instance: BenchInstance,
+    config_name: str = "berkmin",
+    repeats: int = 2,
+) -> dict:
+    """Bench one instance under both engines; raise on any disagreement.
+
+    Each engine runs ``repeats`` times on a fresh solver; the minimum
+    wall time is reported (timing noise only ever inflates a
+    measurement).  Counts are deterministic across repeats, so the
+    last run's statistics stand for all of them.
+    """
+    formula = instance.build()
+    rows: dict[str, dict] = {}
+    statuses: dict[str, str] = {}
+    counts: dict[str, tuple[int, int, int]] = {}
+    for mode in MODES:
+        best_wall = None
+        result = None
+        for _ in range(max(1, repeats)):
+            result, wall = _solve_timed(formula, config_name, mode)
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+        statuses[mode] = result.status.value
+        counts[mode] = _counts(result)
+        conflicts, decisions, propagations = counts[mode]
+        rows[mode] = {
+            "wall_seconds": round(best_wall, 6),
+            "propagations_per_second": round(propagations / best_wall, 1),
+            "conflicts_per_second": round(conflicts / best_wall, 1),
+            "decisions_per_second": round(decisions / best_wall, 1),
+        }
+    if statuses["split"] != statuses["general"]:
+        raise BenchAgreementError(
+            f"{instance.name}: split says {statuses['split']}, "
+            f"general says {statuses['general']}"
+        )
+    if counts["split"] != counts["general"]:
+        raise BenchAgreementError(
+            f"{instance.name}: (conflicts, decisions, propagations) diverged: "
+            f"split {counts['split']} vs general {counts['general']}"
+        )
+    conflicts, decisions, propagations = counts["split"]
+    speedup = rows["general"]["wall_seconds"] / max(rows["split"]["wall_seconds"], 1e-9)
+    return {
+        "name": instance.name,
+        "family": instance.family,
+        "status": statuses["split"],
+        "conflicts": conflicts,
+        "decisions": decisions,
+        "propagations": propagations,
+        "split": rows["split"],
+        "general": rows["general"],
+        "speedup": round(speedup, 3),
+    }
+
+
+def check_config_agreement(config_names=None) -> dict:
+    """Solve small pinned instances under every paper configuration twice
+    — once per engine — and assert identical statuses and counts."""
+    names = sorted(config_names or CONFIG_FACTORIES)
+    checked = 0
+    for instance in _AGREEMENT_INSTANCES:
+        formula = instance.build()
+        for name in names:
+            outcomes = {}
+            for mode in MODES:
+                result, _ = _solve_timed(formula, name, mode)
+                outcomes[mode] = (result.status.value, *_counts(result))
+            if outcomes["split"] != outcomes["general"]:
+                raise BenchAgreementError(
+                    f"config {name!r} on {instance.name}: "
+                    f"split {outcomes['split']} vs general {outcomes['general']}"
+                )
+            checked += 1
+    return {
+        "configs_checked": names,
+        "instances": [instance.name for instance in _AGREEMENT_INSTANCES],
+        "pairs_checked": checked,
+        "identical_counts": True,
+        "statuses_match": True,
+        "models_verified": True,  # solve(verify=True) raises on a bad model
+    }
+
+
+def run_bcp_bench(
+    scale: str = "default",
+    config_name: str = "berkmin",
+    repeats: int = 2,
+    agreement: bool = True,
+) -> dict:
+    """Run the full harness; return the JSON-ready report dict."""
+    instances = [
+        run_instance(instance, config_name=config_name, repeats=repeats)
+        for instance in bench_suite(scale)
+    ]
+    totals = {}
+    for mode in MODES:
+        wall = sum(row[mode]["wall_seconds"] for row in instances)
+        props = sum(row["propagations"] for row in instances)
+        totals[mode] = {"wall_seconds": round(wall, 6), "propagations": props}
+    split_pps = totals["split"]["propagations"] / max(totals["split"]["wall_seconds"], 1e-9)
+    general_pps = totals["general"]["propagations"] / max(
+        totals["general"]["wall_seconds"], 1e-9
+    )
+    ratios = [row["speedup"] for row in instances]
+    geomean = 1.0
+    for ratio in ratios:
+        geomean *= ratio
+    geomean **= 1.0 / len(ratios)
+    report = {
+        "schema": SCHEMA,
+        "scale": scale,
+        "config": config_name,
+        "repeats": repeats,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "instances": instances,
+        "aggregate": {
+            "split_wall_seconds": totals["split"]["wall_seconds"],
+            "general_wall_seconds": totals["general"]["wall_seconds"],
+            "split_propagations_per_second": round(split_pps, 1),
+            "general_propagations_per_second": round(general_pps, 1),
+            "propagations_per_second_speedup": round(split_pps / max(general_pps, 1e-9), 3),
+            "geometric_mean_speedup": round(geomean, 3),
+        },
+    }
+    if agreement:
+        report["agreement"] = check_config_agreement()
+    return report
+
+
+def write_report(report: dict, path: str) -> None:
+    """Write the report as indented JSON (trailing newline included)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+
+def format_table(report: dict) -> str:
+    """Human-readable summary of a report (the CLI's stdout)."""
+    lines = [
+        f"BCP bench — scale={report['scale']} config={report['config']} "
+        f"repeats={report['repeats']}",
+        f"{'instance':<16} {'status':<7} {'props':>9} "
+        f"{'split s':>9} {'general s':>10} {'speedup':>8}",
+    ]
+    for row in report["instances"]:
+        lines.append(
+            f"{row['name']:<16} {row['status']:<7} {row['propagations']:>9} "
+            f"{row['split']['wall_seconds']:>9.3f} "
+            f"{row['general']['wall_seconds']:>10.3f} "
+            f"{row['speedup']:>7.2f}x"
+        )
+    aggregate = report["aggregate"]
+    lines.append(
+        f"aggregate: split {aggregate['split_propagations_per_second']:,.0f} props/s "
+        f"vs general {aggregate['general_propagations_per_second']:,.0f} props/s "
+        f"-> {aggregate['propagations_per_second_speedup']:.2f}x "
+        f"(geomean {aggregate['geometric_mean_speedup']:.2f}x)"
+    )
+    if "agreement" in report:
+        agreement = report["agreement"]
+        lines.append(
+            f"agreement: {agreement['pairs_checked']} config x instance pairs, "
+            "statuses and conflict/decision/propagation counts identical"
+        )
+    return "\n".join(lines)
+
+
+def profile_bcp(holes: int = 7, config_name: str = "berkmin", top: int = 20) -> str:
+    """cProfile one pinned pigeonhole solve; return the top-N cumulative report."""
+    formula = pigeonhole_formula(holes)
+    solver = Solver(formula, config=config_by_name(config_name))
+    profiler = cProfile.Profile()
+    profiler.enable()
+    solver.solve()
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    header = f"cProfile: pigeonhole({holes}) under config {config_name!r}\n"
+    return header + stream.getvalue()

@@ -7,6 +7,8 @@ Subcommands::
     repro-sat batch FILE.cnf... [--config NAME] [--jobs N] [--timeout S]
     repro-sat generate FAMILY [options] -o FILE.cnf
     repro-sat experiment {table1..table10,fig1,all} [--scale quick|default]
+    repro-sat bench [--out BENCH_2.json] [--scale quick|default|full]
+                    [--repeats N] [--profile]
 
 ``solve`` prints a SAT-competition-style result line (``s SATISFIABLE``
 plus a ``v`` model line, or ``s UNSATISFIABLE``) and the solver
@@ -14,7 +16,9 @@ statistics; ``--portfolio`` (or ``--jobs``) races diverse
 configurations in parallel and reports the winner.  ``batch`` solves
 many files concurrently with per-instance budgets.  ``generate`` writes
 instances from any generator family.  ``experiment`` regenerates the
-paper's tables.
+paper's tables.  ``bench`` times the split binary-implication BCP
+against the watched-literal reference path on a pinned suite and can
+write a ``BENCH_*.json`` perf report (see docs/BENCHMARKS.md).
 """
 
 from __future__ import annotations
@@ -128,6 +132,51 @@ def build_parser() -> argparse.ArgumentParser:
     bmc.add_argument("--target", type=int, default=19)
     bmc.add_argument("--bound", type=int, default=20)
     bmc.add_argument("--enable", action="store_true", help="add an enable input")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the pinned BCP perf suite (split vs general propagation)",
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        help="write the JSON report here (e.g. BENCH_2.json at the repo root)",
+    )
+    bench.add_argument(
+        "--scale",
+        default="default",
+        choices=["quick", "default", "full"],
+        help="suite size (default: default)",
+    )
+    bench.add_argument(
+        "--config",
+        default="berkmin",
+        choices=sorted(CONFIG_FACTORIES),
+        help="configuration timed on the suite (default: berkmin)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="timed runs per engine per instance; minimum wall time is kept",
+    )
+    bench.add_argument(
+        "--no-agreement",
+        action="store_true",
+        help="skip the all-configs cross-engine agreement stage",
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="instead of benching: cProfile a pinned pigeonhole solve "
+        "and print the top-20 cumulative entries",
+    )
+    bench.add_argument(
+        "--holes",
+        type=int,
+        default=7,
+        help="pigeonhole size for --profile (default: 7)",
+    )
     return parser
 
 
@@ -362,6 +411,29 @@ def _cmd_bmc(args: argparse.Namespace) -> int:
     return 20 if result.is_unsat else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import bench as bench_module
+
+    if args.profile:
+        print(bench_module.profile_bcp(holes=args.holes, config_name=args.config))
+        return 0
+    try:
+        report = bench_module.run_bcp_bench(
+            scale=args.scale,
+            config_name=args.config,
+            repeats=args.repeats,
+            agreement=not args.no_agreement,
+        )
+    except bench_module.BenchAgreementError as error:
+        print(f"ENGINE DISAGREEMENT: {error}", file=sys.stderr)
+        return 1
+    print(bench_module.format_table(report))
+    if args.out:
+        bench_module.write_report(report, args.out)
+        print(f"report written to {args.out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -377,6 +449,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_atpg(args)
     if args.command == "bmc":
         return _cmd_bmc(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

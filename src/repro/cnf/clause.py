@@ -1,9 +1,13 @@
 """The clause object shared by the formula container and the CDCL solver.
 
 A :class:`Clause` stores *encoded* literals (see
-:mod:`repro.cnf.literals`).  The first two positions of
-:attr:`Clause.literals` are the watched literals once the clause is
-attached to a solver; BCP maintains that invariant.
+:mod:`repro.cnf.literals`).  For clauses of three or more literals the
+first two positions of :attr:`Clause.literals` are the watched literals
+once the clause is attached to a solver; BCP maintains that invariant.
+Binary clauses are propagated through the solver's flat implication
+arrays instead and their literal order is never mutated (the solver's
+``"general"`` reference mode relies on that to match the split engine's
+propagation order).
 
 Besides its literals a clause carries the BerkMin bookkeeping described
 in Section 8 of the paper:
@@ -53,6 +57,11 @@ class Clause:
     def to_dimacs(self) -> list[int]:
         """Return the clause as a list of signed DIMACS literals."""
         return [decode_literal(lit) for lit in self.literals]
+
+    @property
+    def is_binary(self) -> bool:
+        """True for two-literal clauses (routed to the implication arrays)."""
+        return len(self.literals) == 2
 
     def __len__(self) -> int:
         return len(self.literals)

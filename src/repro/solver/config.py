@@ -44,6 +44,15 @@ DB_BERKMIN = "berkmin"  # age / activity / length (Section 8)
 DB_LIMITED_KEEPING = "limited_keeping"  # GRASP: length threshold only
 DB_KEEP_ALL = "keep_all"
 
+# Propagation engines ------------------------------------------------------
+# "split" drains binary clauses from flat per-literal implication arrays
+# before running the two-watch loop on longer clauses (the fast path);
+# "general" routes every clause through the watch lists, with binaries
+# pinned at the front so both engines propagate in the same order — the
+# reference the differential tests and `repro-sat bench` compare against.
+PROPAGATION_SPLIT = "split"
+PROPAGATION_GENERAL = "general"
+
 
 @dataclass
 class SolverConfig:
@@ -101,6 +110,13 @@ class SolverConfig:
     # fix); n > 0 additionally marks one clause permanently every n restarts
     # (the paper's complete fix).
     mark_every_n_restarts: int = 0
+
+    # -- propagation engine ------------------------------------------------
+    # Which BCP implementation drives the search.  Both produce identical
+    # decisions, conflicts and answers; "split" is the fast default and
+    # "general" the watched-literal reference kept for differential
+    # testing and benchmarking (see docs/BENCHMARKS.md).
+    propagation: str = PROPAGATION_SPLIT
 
     # -- misc --------------------------------------------------------------
     seed: int = 0

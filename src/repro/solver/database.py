@@ -25,10 +25,11 @@ in order:
    and level-0-false literals are stripped from the survivors — the
    paper's memory-compaction step.
 
-3. **Data-structure recomputation**: watch lists and the binary-clause
-   occurrence maps are rebuilt from scratch, mirroring the paper's
+3. **Data-structure recomputation**: watch lists and the binary
+   implication arrays are rebuilt from scratch, mirroring the paper's
    "data structures are partially or completely recomputed to fit them
-   into smaller memory blocks".
+   into smaller memory blocks".  Rebuilding is also what keeps the
+   binary indexes exact after deletions (see :func:`_rebuild_structures`).
 """
 
 from __future__ import annotations
@@ -151,11 +152,18 @@ def _simplify_clauses(solver: "Solver", clauses: list[Clause]) -> list[Clause]:
 
 
 def _rebuild_structures(solver: "Solver") -> None:
-    """Recompute watch lists and binary-occurrence maps from scratch."""
+    """Recompute watch lists and binary-implication arrays from scratch.
+
+    Rebuilding (rather than patching) is what keeps the binary indexes
+    consistent with any deletion policy: a learned binary clause dropped
+    above, or a longer clause strengthened to binary by level-0
+    stripping, ends up with exactly the entries ``attach_clause`` gives
+    it — there is no detach path to get out of sync with.
+    """
     size = 2 * (solver.num_variables + 1)
     solver.watches = [[] for _ in range(size)]
     solver.binary_count = [0] * size
-    solver.binary_occurrences = [[] for _ in range(size)]
+    solver.binary_implications = [[] for _ in range(size)]
     for clause in solver.clauses:
         solver.attach_clause(clause)
     for clause in solver.learned:

@@ -61,7 +61,7 @@ def berkmin_decision(solver: "Solver") -> int | None:
     measured from the true top of the stack, as in Section 6.
     """
     learned = solver.learned
-    assigns = solver.assigns
+    lit_value = solver.lit_value
     top = len(learned) - 1
     index = min(solver.search_cursor, top)
     window = solver.config.top_clause_window
@@ -70,7 +70,7 @@ def berkmin_decision(solver: "Solver") -> int | None:
         clause = learned[index]
         satisfied = False
         for literal in clause.literals:
-            if assigns[literal >> 1] == (literal & 1) ^ 1:
+            if lit_value[literal] == 1:  # TRUE
                 satisfied = True
                 break
         if not satisfied:

@@ -41,7 +41,9 @@ class ImplicationGraph:
         graph = cls()
         for encoded in solver.trail:
             variable = encoded >> 1
-            reason = solver.reasons[variable]
+            # reason_literals expands the solver's compact binary reasons
+            # (plain ints) into the two-literal clause view.
+            reason = solver.reason_literals(variable)
             node = ImplicationNode(
                 literal=decode_literal(encoded),
                 level=solver.levels[variable],
@@ -50,7 +52,7 @@ class ImplicationGraph:
             if reason is not None:
                 node.antecedents = [
                     decode_literal(lit ^ 1)
-                    for lit in reason.literals
+                    for lit in reason
                     if lit >> 1 != variable
                 ]
             graph.nodes[variable] = node

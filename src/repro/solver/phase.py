@@ -104,7 +104,7 @@ def nb_two(solver: "Solver", literal: int) -> int:
     total = binary_count[literal]
     if total > threshold:
         return total
-    for other in solver.binary_occurrences[literal]:
+    for other in solver.binary_implications[literal]:
         total += binary_count[other ^ 1]
         if total > threshold:
             return total

@@ -9,6 +9,13 @@ management.  Every BerkMin novelty and every ablation the paper
 evaluates is selected through :class:`repro.solver.config.SolverConfig`;
 the engine itself is heuristic-agnostic.
 
+Propagation is split by clause length: binary clauses live in flat
+per-literal implication arrays (:attr:`Solver.binary_implications`) and
+are drained by a tight loop with no clause-object traversal, while
+clauses of three or more literals go through the two-watch scheme.  See
+the "Boolean constraint propagation" section below and
+``docs/BENCHMARKS.md`` for the layer's design and measured effect.
+
 Usage::
 
     from repro import CnfFormula, Solver, berkmin_config
@@ -32,13 +39,24 @@ from repro.cnf.clause import Clause
 from repro.cnf.formula import CnfFormula
 from repro.cnf.literals import FALSE, TRUE, UNASSIGNED, decode_literal, encode_literal
 from repro.cnf.simplify import clean_clause
-from repro.solver.config import SolverConfig, berkmin_config
+from repro.solver.config import (
+    PROPAGATION_GENERAL,
+    PROPAGATION_SPLIT,
+    SolverConfig,
+    berkmin_config,
+)
 from repro.solver.database import reduce_database
 from repro.solver.decision import choose_decision
 from repro.solver.heap import VariableOrderHeap
 from repro.solver.restart import RestartScheduler
 from repro.solver.result import SolveResult, SolveStatus
 from repro.solver.stats import SolverStats
+
+#: Type of an entry in :attr:`Solver.reasons`.  ``None`` marks a decision
+#: or assumption; a :class:`Clause` is the implying clause of a long
+#: propagation; a plain ``int`` is the compact binary reason: the *other*
+#: (falsified) literal of the binary clause that implied the assignment.
+Reason = Clause | int | None
 
 
 class SolverInternalError(RuntimeError):
@@ -61,14 +79,24 @@ class Solver:
         # Per-variable state; index 0 is unused so variables index directly.
         self.assigns: list[int] = [UNASSIGNED]
         self.levels: list[int] = [0]
-        self.reasons: list[Clause | None] = [None]
+        self.reasons: list[Reason] = [None]
         self.var_activity: list[int] = [0]
         # Per-literal state, indexed by encoded literal (size 2 * (vars + 1)).
         self.watches: list[list[Clause]] = [[], []]
+        # lit_value[q] is the truth value of encoded literal q — the same
+        # TRUE/FALSE/UNASSIGNED encoding as ``assigns`` but resolved per
+        # literal, so the BCP hot loop tests truth with one index and no
+        # parity xor.  Kept in lockstep with ``assigns`` by the enqueue and
+        # backtrack primitives.
+        self.lit_value: list[int] = [UNASSIGNED, UNASSIGNED]
         self.lit_activity: list[int] = [0, 0]
         self.vsids: list[int] = [0, 0]
         self.binary_count: list[int] = [0, 0]
-        self.binary_occurrences: list[list[int]] = [[], []]
+        # binary_implications[q] lists the literals implied true the moment
+        # q becomes false — one flat int array per literal, the single
+        # source of truth for binary clauses (it doubles as the occurrence
+        # index behind the nb_two phase heuristic).
+        self.binary_implications: list[list[int]] = [[], []]
 
         self.trail: list[int] = []  # encoded literals in assignment order
         self.trail_limits: list[int] = []  # trail index at each decision level
@@ -87,6 +115,20 @@ class Solver:
             else None
         )
 
+        propagation = self.config.propagation
+        if propagation == PROPAGATION_SPLIT:
+            self._propagate = self._propagate_split
+        elif propagation == PROPAGATION_GENERAL:
+            self._propagate = self._propagate_general
+        else:
+            raise ValueError(
+                f"unknown propagation mode {propagation!r}; "
+                f"expected {PROPAGATION_SPLIT!r} or {PROPAGATION_GENERAL!r}"
+            )
+        # True when binary clauses must also sit in the watch lists
+        # (the "general" reference mode); attach_clause consults this.
+        self._binary_in_watches = propagation == PROPAGATION_GENERAL
+
         self.ok = True  # False once the formula is refuted outright
         self._interrupted = False  # set by interrupt(), honoured in solve()
         self._solve_started = time.perf_counter()
@@ -96,9 +138,25 @@ class Solver:
         # Pristine copies of every added clause, for model verification.
         self._pristine: list[list[int]] = []
         self._seen: list[bool] = [False]
+        # Scratch buffers reused by _analyze so the per-conflict hot path
+        # allocates nothing.  Their contents are only valid inside one
+        # _analyze call; _record_learned copies what it keeps.
+        self._learnt_buffer: list[int] = []
+        self._to_clear_buffer: list[int] = []
 
         if formula is not None:
             self.add_formula(formula)
+
+    @property
+    def binary_occurrences(self) -> list[list[int]]:
+        """Backwards-compatible alias for :attr:`binary_implications`.
+
+        The per-literal lists serve two readings: the literals *implied*
+        when the index literal becomes false (propagation), and the
+        partners the index literal *occurs with* in binary clauses
+        (the nb_two phase heuristic).  Same data either way.
+        """
+        return self.binary_implications
 
     # ==================================================================
     # Clause loading
@@ -116,10 +174,11 @@ class Solver:
                 self.order_heap.push(self.num_variables)
             for _ in range(2):
                 self.watches.append([])
+                self.lit_value.append(UNASSIGNED)
                 self.lit_activity.append(0)
                 self.vsids.append(0)
                 self.binary_count.append(0)
-                self.binary_occurrences.append([])
+                self.binary_implications.append([])
 
     def add_formula(self, formula: CnfFormula) -> bool:
         """Load every clause of ``formula``; returns False if refuted outright."""
@@ -170,16 +229,28 @@ class Solver:
         return self.ok
 
     def attach_clause(self, clause: Clause) -> None:
-        """Register the first two literals as watches; index binary clauses."""
+        """Index the clause for propagation.
+
+        Binary clauses go into the flat implication arrays; clauses of
+        three or more literals watch their first two positions.  Under
+        the ``"general"`` reference mode binary clauses are *additionally*
+        kept at the front of each watch list, so the watch walk meets
+        them in exactly the order the split path drains the implication
+        arrays (the insert is O(list) but runs only at attach time).
+        """
         literals = clause.literals
-        self.watches[literals[0]].append(clause)
-        self.watches[literals[1]].append(clause)
         if len(literals) == 2:
             first, second = literals
             self.binary_count[first] += 1
-            self.binary_occurrences[first].append(second)
+            self.binary_implications[first].append(second)
             self.binary_count[second] += 1
-            self.binary_occurrences[second].append(first)
+            self.binary_implications[second].append(first)
+            if self._binary_in_watches:
+                self.watches[first].insert(self.binary_count[first] - 1, clause)
+                self.watches[second].insert(self.binary_count[second] - 1, clause)
+        else:
+            self.watches[literals[0]].append(clause)
+            self.watches[literals[1]].append(clause)
 
     # ==================================================================
     # Assignment primitives
@@ -190,22 +261,44 @@ class Solver:
 
     def _value(self, literal: int) -> int:
         """TRUE / FALSE / UNASSIGNED value of an encoded literal."""
-        value = self.assigns[literal >> 1]
-        return value if value < 0 else value ^ (literal & 1)
+        return self.lit_value[literal]
 
     def value_of(self, dimacs_literal: int) -> int:
         """Public: current value of a DIMACS literal."""
         return self._value(encode_literal(dimacs_literal))
 
-    def _enqueue(self, literal: int, reason: Clause | None) -> None:
-        """Assign ``literal`` true at the current level."""
+    def _enqueue(self, literal: int, reason: Reason) -> None:
+        """Assign ``literal`` true at the current level.
+
+        ``reason`` is ``None`` for decisions and assumptions, the
+        implying :class:`Clause` for long propagations, or a compact int
+        — the falsified partner literal — for binary implications (the
+        conceptual reason clause is then ``(literal OR reason)``).
+        """
         variable = literal >> 1
         self.assigns[variable] = (literal & 1) ^ 1
-        self.levels[variable] = self.current_level()
+        self.lit_value[literal] = TRUE
+        self.lit_value[literal ^ 1] = FALSE
+        self.levels[variable] = len(self.trail_limits)
         self.reasons[variable] = reason
         self.trail.append(literal)
         if reason is not None:
             self.stats.propagations += 1
+
+    def reason_literals(self, variable: int) -> list[int] | None:
+        """The reason clause of ``variable`` as a literal list, implied first.
+
+        Reconstructs the two-literal view of compact binary reasons;
+        returns ``None`` for decisions and assumptions.  Only meaningful
+        while ``variable`` is assigned.
+        """
+        reason = self.reasons[variable]
+        if reason is None:
+            return None
+        if type(reason) is int:
+            implied = (variable << 1) | (self.assigns[variable] ^ 1)
+            return [implied, reason]
+        return list(reason.literals)
 
     def _backtrack(self, target_level: int) -> None:
         """Undo every assignment above ``target_level``."""
@@ -213,11 +306,15 @@ class Solver:
             return
         limit = self.trail_limits[target_level]
         assigns = self.assigns
+        lit_value = self.lit_value
         reasons = self.reasons
         heap = self.order_heap
         for index in range(len(self.trail) - 1, limit - 1, -1):
-            variable = self.trail[index] >> 1
+            literal = self.trail[index]
+            variable = literal >> 1
             assigns[variable] = UNASSIGNED
+            lit_value[literal] = UNASSIGNED
+            lit_value[literal ^ 1] = UNASSIGNED
             reasons[variable] = None
             if heap is not None:
                 heap.push(variable)
@@ -228,20 +325,147 @@ class Solver:
         self.search_cursor = len(self.learned) - 1
 
     # ==================================================================
-    # Boolean constraint propagation (two watched literals)
+    # Boolean constraint propagation
     # ==================================================================
-    def _propagate(self) -> Clause | None:
+    # Two implementations with identical observable behaviour — same
+    # enqueue order, same conflicts, same learnt clauses — selected by
+    # ``config.propagation`` in ``__init__``:
+    #
+    # * ``"split"`` (default): binary clauses are drained from the flat
+    #   implication arrays first — a tight loop over plain ints with no
+    #   clause objects, no watch compaction and no literal swaps — then
+    #   the two-watch walk handles clauses of length >= 3.
+    # * ``"general"``: every clause goes through the watch lists, with
+    #   binary clauses pinned (read-only) at the front of each list so
+    #   the propagation order matches the split path literal for
+    #   literal.  This is the reference the differential tests and the
+    #   bench harness compare against.
+    #
+    # Both paths report a binary conflict as a fresh two-literal Clause
+    # view rather than the attached object: conflict analysis only reads
+    # the literals, and the attached clause (if learned) stays eligible
+    # for the activity policies through the reasons it produces.
+    def _propagate_split(self) -> Clause | None:
         """Propagate to fixpoint; return the conflicting clause, if any."""
+        trail = self.trail
+        levels = self.levels
+        reasons = self.reasons
+        assigns = self.assigns
+        watches = self.watches
+        implications = self.binary_implications
+        lit_value = self.lit_value
+        level = len(self.trail_limits)  # constant: decisions happen outside
+        propagations = 0
+        qhead = self.qhead
+        trail_append = trail.append
+        while qhead < len(trail):
+            propagated = trail[qhead]
+            qhead += 1
+            false_literal = propagated ^ 1
+            # Phase 1: binary implications — flat ints, no clause objects.
+            for other in implications[false_literal]:
+                value = lit_value[other]
+                if value < 0:  # unassigned: imply it
+                    variable = other >> 1
+                    assigns[variable] = (other & 1) ^ 1
+                    lit_value[other] = TRUE
+                    lit_value[other ^ 1] = FALSE
+                    levels[variable] = level
+                    reasons[variable] = false_literal
+                    trail_append(other)
+                    propagations += 1
+                elif not value:  # FALSE: binary conflict
+                    self.qhead = len(trail)
+                    self.stats.propagations += propagations
+                    return Clause((other, false_literal))
+            # Phase 2: clauses of length >= 3 via the two-watch scheme.
+            watch_list = watches[false_literal]
+            keep = 0
+            index = 0
+            length = len(watch_list)
+            while index < length:
+                clause = watch_list[index]
+                index += 1
+                literals = clause.literals
+                # Normalize: the falsified watch sits at position 1.
+                if literals[0] == false_literal:
+                    literals[0], literals[1] = literals[1], literals[0]
+                first = literals[0]
+                first_value = lit_value[first]
+                if first_value == 1:  # TRUE: clause satisfied
+                    watch_list[keep] = clause
+                    keep += 1
+                    continue
+                for scan in range(2, len(literals)):
+                    candidate = literals[scan]
+                    if lit_value[candidate]:  # TRUE or UNASSIGNED: new watch
+                        literals[1], literals[scan] = literals[scan], literals[1]
+                        watches[candidate].append(clause)
+                        break
+                else:
+                    # No replacement: the clause is unit or conflicting.
+                    watch_list[keep] = clause
+                    keep += 1
+                    if not first_value:  # first is FALSE: conflict
+                        while index < length:
+                            watch_list[keep] = watch_list[index]
+                            keep += 1
+                            index += 1
+                        del watch_list[keep:]
+                        self.qhead = len(trail)
+                        self.stats.propagations += propagations
+                        return clause
+                    variable = first >> 1
+                    assigns[variable] = (first & 1) ^ 1
+                    lit_value[first] = TRUE
+                    lit_value[first ^ 1] = FALSE
+                    levels[variable] = level
+                    reasons[variable] = clause
+                    trail_append(first)
+                    propagations += 1
+            del watch_list[keep:]
+        self.qhead = qhead
+        self.stats.propagations += propagations
+        return None
+
+    def _propagate_general(self) -> Clause | None:
+        """Reference BCP: every clause via the watch lists, binaries first.
+
+        This keeps the pre-split implementation style — per-iteration
+        ``self.qhead`` bookkeeping, truth tests against ``assigns`` with
+        the parity xor, enqueues through :meth:`_enqueue` — so bench runs
+        against it measure what the split engine (and its hot-loop
+        tuning) buys.  The one departure from the historical loop is
+        required for order alignment: the binary prefix of each watch
+        list is walked read-only with compact int reasons, because
+        swapping binary literals or compacting them away would perturb
+        decision tie-breaking and learnt clauses relative to the split
+        path.
+        """
         trail = self.trail
         assigns = self.assigns
         watches = self.watches
+        binary_count = self.binary_count
         while self.qhead < len(trail):
             propagated = trail[self.qhead]
             self.qhead += 1
             false_literal = propagated ^ 1
             watch_list = watches[false_literal]
-            keep = 0
-            index = 0
+            # Binary prefix: no swaps, no compaction, compact int reasons.
+            boundary = binary_count[false_literal]
+            for index in range(boundary):
+                literals = watch_list[index].literals
+                other = literals[1] if literals[0] == false_literal else literals[0]
+                value = assigns[other >> 1]
+                if value < 0:
+                    self._enqueue(other, false_literal)
+                elif value ^ (other & 1) == FALSE:
+                    self.qhead = len(trail)
+                    return Clause((other, false_literal))
+            # Long suffix: the classic two-watch walk, compacting only
+            # past the binary prefix.
+            keep = boundary
+            index = boundary
             length = len(watch_list)
             while index < length:
                 clause = watch_list[index]
@@ -290,21 +514,30 @@ class Solver:
         sensitivity rule (Section 4), ``lit_activity`` on the literals of
         the deduced conflict clause (Section 7), and the Chaff literal
         counters.
+
+        Reasons come in two shapes (see :attr:`reasons`): a
+        :class:`Clause`, whose position 0 holds the implied literal, or a
+        compact int ``q`` standing for the binary clause ``(asserting OR
+        q)``.  The returned list is a reused scratch buffer — callers
+        must copy what they keep (``_record_learned`` does).
         """
         config = self.config
         seen = self._seen
         levels = self.levels
         trail = self.trail
-        current_level = self.current_level()
+        reasons = self.reasons
+        current_level = len(self.trail_limits)
         var_activity = self.var_activity
 
-        learnt: list[int] = [0]  # position 0 reserved for the asserting literal
-        to_clear: list[int] = []
-        responsible: list[Clause] = []
+        learnt = self._learnt_buffer
+        learnt.clear()
+        learnt.append(0)  # position 0 reserved for the asserting literal
+        to_clear = self._to_clear_buffer
+        to_clear.clear()
         bump_responsible = config.bump_responsible_clauses
         heap = self.order_heap
 
-        clause: Clause | None = conflict
+        clause: Reason = conflict
         unresolved = 0
         index = len(trail) - 1
         asserting = -1
@@ -312,32 +545,53 @@ class Solver:
         while True:
             if clause is None:
                 raise SolverInternalError("missing reason during conflict analysis")
-            responsible.append(clause)
-            if clause.learned:
-                clause.activity += 1
-            if bump_responsible:
-                for literal in clause.literals:
-                    bumped = literal >> 1
+            if type(clause) is int:
+                # Compact binary reason: the clause is (asserting OR other),
+                # and ``asserting`` (position 0) is skipped as usual.
+                other = clause
+                if bump_responsible:
+                    bumped = asserting >> 1
                     var_activity[bumped] += 1
                     if heap is not None:
                         heap.update(bumped)
-            start = 0 if asserting == -1 else 1
-            clause_literals = clause.literals
-            for position in range(start, len(clause_literals)):
-                literal = clause_literals[position]
-                variable = literal >> 1
+                    bumped = other >> 1
+                    var_activity[bumped] += 1
+                    if heap is not None:
+                        heap.update(bumped)
+                variable = other >> 1
                 if not seen[variable] and levels[variable] > 0:
                     seen[variable] = True
                     to_clear.append(variable)
                     if levels[variable] >= current_level:
                         unresolved += 1
                     else:
-                        learnt.append(literal)
+                        learnt.append(other)
+            else:
+                if clause.learned:
+                    clause.activity += 1
+                clause_literals = clause.literals
+                if bump_responsible:
+                    for literal in clause_literals:
+                        bumped = literal >> 1
+                        var_activity[bumped] += 1
+                        if heap is not None:
+                            heap.update(bumped)
+                start = 0 if asserting == -1 else 1
+                for position in range(start, len(clause_literals)):
+                    literal = clause_literals[position]
+                    variable = literal >> 1
+                    if not seen[variable] and levels[variable] > 0:
+                        seen[variable] = True
+                        to_clear.append(variable)
+                        if levels[variable] >= current_level:
+                            unresolved += 1
+                        else:
+                            learnt.append(literal)
             while not seen[trail[index] >> 1]:
                 index -= 1
             asserting = trail[index]
             variable = asserting >> 1
-            clause = self.reasons[variable]
+            clause = reasons[variable]
             seen[variable] = False
             unresolved -= 1
             index -= 1
@@ -381,7 +635,8 @@ class Solver:
         A non-asserting literal is redundant when every literal of its
         reason clause is already in the learnt clause (or at level 0).
         Requires the ``seen`` flags of the learnt literals, which
-        :meth:`_analyze` has not cleared yet at the call site.
+        :meth:`_analyze` has not cleared yet at the call site.  Compact
+        binary reasons contribute a single antecedent literal.
         """
         seen = self._seen
         levels = self.levels
@@ -390,6 +645,11 @@ class Solver:
             reason = self.reasons[literal >> 1]
             if reason is None:
                 minimized.append(literal)
+                continue
+            if type(reason) is int:
+                variable = reason >> 1
+                if not seen[variable] and levels[variable] > 0:
+                    minimized.append(literal)
                 continue
             redundant = True
             for other in reason.literals:
@@ -514,9 +774,10 @@ class Solver:
                 insurance; raises :class:`SolverInternalError` on failure).
             on_progress: optional callback invoked with the live
                 :class:`SolverStats` every 128 conflicts and every 512
-                decisions.  It may call :meth:`interrupt` to stop the
-                search cooperatively (the parallel engine's cancellation
-                hook); exceptions it raises propagate to the caller.
+                decisions *made during this call*.  It may call
+                :meth:`interrupt` to stop the search cooperatively (the
+                parallel engine's cancellation hook); exceptions it
+                raises propagate to the caller.
         """
         start_time = time.perf_counter()
         self._solve_started = start_time
@@ -558,7 +819,10 @@ class Solver:
                         and stats.conflicts - base_conflicts >= max_conflicts
                     ):
                         return self._result(SolveStatus.UNKNOWN, limit="conflict budget")
-                    if stats.conflicts % 128 == 0:
+                    # Counters elapsed *since this call*: a resumed solve
+                    # whose lifetime total happens to be a multiple of 128
+                    # must not fire the hook on its first conflict.
+                    if (stats.conflicts - base_conflicts) % 128 == 0:
                         if on_progress is not None:
                             on_progress(stats)
                         if (
@@ -595,7 +859,11 @@ class Solver:
                     and stats.decisions - base_decisions >= max_decisions
                 ):
                     return self._result(SolveStatus.UNKNOWN, limit="decision budget")
-                if stats.decisions % 512 == 0:
+                # Guard against the 0 % 512 == 0 trap: before the first
+                # decision of this call the hook (and the clock) must not
+                # run on every loop iteration.
+                decided = stats.decisions - base_decisions
+                if decided and decided % 512 == 0:
                     if on_progress is not None:
                         on_progress(stats)
                     if (
@@ -645,6 +913,10 @@ class Solver:
             if reason is None:
                 if levels[trail_variable] > 0:
                     core.append(decode_literal(literal))
+            elif type(reason) is int:
+                # Compact binary reason: the single antecedent literal.
+                if levels[reason >> 1] > 0:
+                    seen[reason >> 1] = True
             else:
                 for antecedent in reason.literals[1:]:
                     if levels[antecedent >> 1] > 0:

@@ -73,6 +73,34 @@ class SolverStats:
         """Return ``f(r)`` sampled at the given distances (Table 3 rows)."""
         return {distance: self.skin_effect.get(distance, 0) for distance in distances}
 
+    # ------------------------------------------------------------------
+    # Throughput rates (the perf harness's currency; see docs/BENCHMARKS.md)
+    # ------------------------------------------------------------------
+    def _rate(self, count: int) -> float:
+        if self.solve_time_seconds <= 0.0:
+            return 0.0
+        return count / self.solve_time_seconds
+
+    def propagations_per_second(self) -> float:
+        """BCP throughput over the recorded solve time (0 when untimed)."""
+        return self._rate(self.propagations)
+
+    def conflicts_per_second(self) -> float:
+        """Conflict throughput over the recorded solve time (0 when untimed)."""
+        return self._rate(self.conflicts)
+
+    def decisions_per_second(self) -> float:
+        """Decision throughput over the recorded solve time (0 when untimed)."""
+        return self._rate(self.decisions)
+
+    def rates(self) -> dict[str, float]:
+        """The three throughput rates as a flat dict (bench JSON rows)."""
+        return {
+            "propagations_per_second": self.propagations_per_second(),
+            "conflicts_per_second": self.conflicts_per_second(),
+            "decisions_per_second": self.decisions_per_second(),
+        }
+
     def merge(self, other: "SolverStats") -> "SolverStats":
         """Fold ``other`` into this snapshot (in place); returns ``self``.
 

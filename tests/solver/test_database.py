@@ -103,12 +103,21 @@ def test_reduction_rebuilds_watches_and_binaries():
     solver = Solver(CnfFormula([[1], [-1, 2, 3], [3, 4, 5]]))
     solver._propagate()
     reduce_database(solver)
-    # [-1, 2, 3] became the binary [2, 3]: the maps must know.
+    # [-1, 2, 3] became the binary [2, 3]: the implication arrays must know
+    # (binary clauses live there, not in the watch lists).
     assert solver.binary_count[encode_literal(2)] == 1
     assert solver.binary_count[encode_literal(3)] == 1
+    assert solver.binary_implications[encode_literal(2)] == [encode_literal(3)]
+    assert solver.binary_implications[encode_literal(3)] == [encode_literal(2)]
     for clause in solver.clauses:
-        assert clause in solver.watches[clause.literals[0]]
-        assert clause in solver.watches[clause.literals[1]]
+        if clause.is_binary:
+            first, second = clause.literals
+            assert second in solver.binary_implications[first]
+            assert first in solver.binary_implications[second]
+            assert not any(clause in lst for lst in solver.watches)
+        else:
+            assert clause in solver.watches[clause.literals[0]]
+            assert clause in solver.watches[clause.literals[1]]
 
 
 def test_deleted_count_in_stats():
@@ -166,3 +175,47 @@ def test_solving_continues_correctly_after_reductions():
 
 def test_chaff_config_uses_limited_keeping():
     assert chaff_config().db_management == "limited_keeping"
+
+
+def test_forced_binary_deletion_updates_implication_arrays():
+    """A policy-deleted learned binary clause must vanish from the binary
+    indexes (paper defaults always keep length-2 clauses, but
+    limited_keeping_length=1 forces the case)."""
+    solver = _fresh_solver(limited_keeping_config(limited_keeping_length=1))
+    binary = _push_learned(solver, [5, 6])
+    _push_learned(solver, [7, 8, 9])  # topmost (never removed) shields the binary
+    lit5, lit6 = encode_literal(5), encode_literal(6)
+    assert solver.binary_implications[lit5] == [lit6]
+    assert solver.binary_count[lit5] == 1
+
+    reduce_database(solver)
+
+    assert binary not in solver.learned
+    assert solver.binary_implications[lit5] == []
+    assert solver.binary_implications[lit6] == []
+    assert solver.binary_count[lit5] == 0
+    assert solver.binary_count[lit6] == 0
+    assert not any(binary is clause for lst in solver.watches for clause in lst)
+
+
+def test_solves_correctly_after_forced_binary_deletions(monkeypatch):
+    """End-to-end regression: dropping learned binaries mid-search must not
+    corrupt propagation, under either BCP engine."""
+    from repro.generators.pigeonhole import pigeonhole_formula
+
+    deleted_binaries = {"count": 0}
+    original = Solver.log_proof_delete
+
+    def spy(self, clause):
+        if clause.learned and len(clause) == 2:
+            deleted_binaries["count"] += 1
+        return original(self, clause)
+
+    monkeypatch.setattr(Solver, "log_proof_delete", spy)
+    for mode in ("split", "general"):
+        config = limited_keeping_config(
+            limited_keeping_length=1, restart_interval=20, propagation=mode
+        )
+        result = Solver(pigeonhole_formula(4), config=config).solve()
+        assert result.is_unsat
+    assert deleted_binaries["count"] > 0, "no binary clause was ever deleted"

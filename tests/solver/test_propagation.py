@@ -57,7 +57,8 @@ def test_propagation_respects_decision():
 
 
 def _check_watch_invariants(solver):
-    """Each clause of length >= 2 is watched exactly by its first two literals."""
+    """Long clauses are watched by their first two literals; binary clauses
+    appear exactly once in each of their literals' implication arrays."""
     from collections import Counter
 
     watched = Counter()
@@ -65,25 +66,45 @@ def _check_watch_invariants(solver):
         for clause in clauses:
             assert literal in clause.literals[:2], "watch not on first two literals"
             watched[id(clause)] += 1
+    binary_in_watches = solver.config.propagation == "general"
+    expected_entries = Counter()  # (falsified literal -> implied literal) edges
     for clause in solver.clauses + solver.learned:
-        assert watched[id(clause)] == 2, "clause must have exactly two watches"
+        if clause.is_binary:
+            first, second = clause.literals
+            expected_entries[(first, second)] += 1
+            expected_entries[(second, first)] += 1
+            expected_watches = 2 if binary_in_watches else 0
+            assert watched[id(clause)] == expected_watches
+        else:
+            assert watched[id(clause)] == 2, "clause must have exactly two watches"
+    actual_entries = Counter(
+        (literal, implied)
+        for literal, implied_list in enumerate(solver.binary_implications)
+        for implied in implied_list
+    )
+    assert actual_entries == expected_entries
+    # binary_count is the per-literal total of implication entries (and, in
+    # general mode, the length of the binary prefix of each watch list).
+    for literal in range(len(solver.binary_count)):
+        assert solver.binary_count[literal] == len(solver.binary_implications[literal])
 
 
 def test_watch_invariants_after_solving():
     rng = random.Random(7)
-    for _ in range(25):
-        n = rng.randint(2, 9)
-        clauses = []
-        for _ in range(rng.randint(2, 30)):
-            arity = min(rng.randint(2, 4), n)
-            variables = rng.sample(range(1, n + 1), arity)
-            clauses.append([v * rng.choice((1, -1)) for v in variables])
-        solver = Solver(
-            CnfFormula(clauses, num_variables=n),
-            config=berkmin_config(restart_interval=5),
-        )
-        solver.solve()
-        _check_watch_invariants(solver)
+    for mode in ("split", "general"):
+        for _ in range(25):
+            n = rng.randint(2, 9)
+            clauses = []
+            for _ in range(rng.randint(2, 30)):
+                arity = min(rng.randint(2, 4), n)
+                variables = rng.sample(range(1, n + 1), arity)
+                clauses.append([v * rng.choice((1, -1)) for v in variables])
+            solver = Solver(
+                CnfFormula(clauses, num_variables=n),
+                config=berkmin_config(restart_interval=5, propagation=mode),
+            )
+            solver.solve()
+            _check_watch_invariants(solver)
 
 
 def test_trail_is_consistent_after_backtrack():

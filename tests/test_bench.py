@@ -1,0 +1,82 @@
+"""Smoke coverage for the BCP perf harness (``repro.bench`` + the CLI verb).
+
+Marked ``perf_smoke``: fast checks that the harness runs, agrees across
+engines, and produces a well-formed ``BENCH_*.json`` report — kept in
+tier-1 (``make perf-smoke`` runs just these).  The real timed suite is
+``make bench-bcp`` / ``repro-sat bench``, which is too slow for tier-1.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import bench
+from repro.cli import main
+from repro.generators import pigeonhole_formula
+
+pytestmark = pytest.mark.perf_smoke
+
+#: Tiny pinned instance: fast enough for tier-1, binary-heavy enough to
+#: exercise the split engine's implication arrays.
+_TINY = bench.BenchInstance("hole4", "pigeonhole", lambda: pigeonhole_formula(4))
+
+
+def test_suite_is_pinned():
+    names = [instance.name for instance in bench.bench_suite("quick")]
+    assert names == ["hole5", "hole6", "queens8", "parity16_sat", "ksat60"]
+    assert len(bench.bench_suite("full")) > len(bench.bench_suite("default"))
+    with pytest.raises(ValueError, match="unknown bench scale"):
+        bench.bench_suite("nope")
+
+
+def test_run_instance_times_both_engines_and_agrees():
+    row = bench.run_instance(_TINY, repeats=1)
+    assert row["name"] == "hole4"
+    assert row["status"] == "UNSAT"
+    assert row["conflicts"] > 0 and row["propagations"] > 0
+    for mode in bench.MODES:
+        rates = row[mode]
+        assert rates["wall_seconds"] > 0
+        assert rates["propagations_per_second"] > 0
+    assert row["speedup"] > 0
+
+
+def test_report_round_trips_and_formats(tmp_path):
+    row = bench.run_instance(_TINY, repeats=1)
+    report = {
+        "schema": bench.SCHEMA,
+        "scale": "smoke",
+        "config": "berkmin",
+        "repeats": 1,
+        "generated_at": "1970-01-01T00:00:00+0000",
+        "instances": [row],
+        "aggregate": {
+            "split_wall_seconds": row["split"]["wall_seconds"],
+            "general_wall_seconds": row["general"]["wall_seconds"],
+            "split_propagations_per_second": row["split"]["propagations_per_second"],
+            "general_propagations_per_second": row["general"]["propagations_per_second"],
+            "propagations_per_second_speedup": row["speedup"],
+            "geometric_mean_speedup": row["speedup"],
+        },
+    }
+    path = tmp_path / "BENCH_smoke.json"
+    bench.write_report(report, str(path))
+    assert json.loads(path.read_text())["schema"] == bench.SCHEMA
+    table = bench.format_table(report)
+    assert "hole4" in table and "speedup" in table
+
+
+def test_config_agreement_stage_on_one_config():
+    summary = bench.check_config_agreement(["berkmin"])
+    assert summary["configs_checked"] == ["berkmin"]
+    assert summary["pairs_checked"] == 2  # one config x two pinned instances
+    assert summary["identical_counts"] and summary["statuses_match"]
+
+
+def test_cli_bench_profile(capsys):
+    assert main(["bench", "--profile", "--holes", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "cProfile: pigeonhole(3)" in out
+    assert "cumulative" in out
