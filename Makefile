@@ -2,19 +2,32 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-parallel perf-smoke bench bench-bcp bench-portfolio profile experiments report quick-report examples clean
+.PHONY: install test test-fast test-parallel test-robustness audit perf-smoke bench bench-bcp bench-portfolio profile experiments report quick-report examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
+# The default suite ends with a ~30-second randomized fault-injection
+# audit of the parallel engines (see docs/ROBUSTNESS.md).
 test:
 	$(PYTHON) -m pytest tests/
+	$(PYTHON) -m repro.cli audit --quick
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -x -q -p no:randomly -m "not slow"
 
 test-parallel:
 	$(PYTHON) -m pytest tests/parallel/ -x -q
+
+# The reliability layer: fault injection, supervised retries, resource
+# guards, and the trusted-results gate (docs/ROBUSTNESS.md).
+test-robustness:
+	$(PYTHON) -m pytest tests/reliability/ tests/parallel/ tests/solver/test_resolve.py -x -q
+	$(PYTHON) -m pytest tests/ -m fault_injection -q
+
+# The full 100-round randomized fault audit (the release gate).
+audit:
+	$(PYTHON) -m repro.cli audit --verbose
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

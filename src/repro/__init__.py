@@ -13,7 +13,10 @@ evaluates — including a Chaff-style VSIDS preset — and the substrates
 needed to regenerate the paper's benchmark families (circuit miters,
 planning encodings, pigeonhole/parity instances).  A parallel engine
 (:class:`PortfolioSolver`, :func:`solve_batch`) races configurations
-and solves batches over multiprocessing workers.
+and solves batches over multiprocessing workers, supervised by a
+reliability layer (:mod:`repro.reliability`) that retries failed
+workers, bounds their resources, and verifies every answer — the
+operational face of the paper's "fast *and robust*" claim.
 
 Quickstart::
 
@@ -39,6 +42,13 @@ from repro.parallel import (
     PortfolioSolver,
     default_portfolio,
     solve_batch,
+)
+from repro.reliability import (
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    VerificationError,
+    verify_result,
 )
 from repro.solver import (
     SolveResult,
@@ -73,11 +83,15 @@ __all__ = [
     "BatchResult",
     "Clause",
     "CnfFormula",
+    "FaultPlan",
+    "FaultSpec",
     "PortfolioSolver",
+    "RetryPolicy",
     "SolveResult",
     "SolveStatus",
     "Solver",
     "SolverConfig",
+    "VerificationError",
     "available_configs",
     "berkmin_config",
     "chaff_config",
@@ -90,6 +104,7 @@ __all__ = [
     "solve",
     "solve_batch",
     "solve_formula",
+    "verify_result",
     "write_dimacs",
     "write_dimacs_file",
 ]

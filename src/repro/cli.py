@@ -3,22 +3,32 @@
 Subcommands::
 
     repro-sat solve FILE.cnf [--config NAME] [--max-conflicts N] [--proof]
-                             [--portfolio] [--jobs N]
+                             [--verify LEVEL] [--portfolio] [--jobs N]
+                             [--retries N]
     repro-sat batch FILE.cnf... [--config NAME] [--jobs N] [--timeout S]
+                                [--proof] [--verify LEVEL] [--retries N]
     repro-sat generate FAMILY [options] -o FILE.cnf
     repro-sat experiment {table1..table10,fig1,all} [--scale quick|default]
     repro-sat bench [--out BENCH_2.json] [--scale quick|default|full]
                     [--repeats N] [--profile]
+    repro-sat audit [--rounds N | --quick] [--seed N] [--verbose]
 
 ``solve`` prints a SAT-competition-style result line (``s SATISFIABLE``
 plus a ``v`` model line, or ``s UNSATISFIABLE``) and the solver
 statistics; ``--portfolio`` (or ``--jobs``) races diverse
 configurations in parallel and reports the winner.  ``batch`` solves
-many files concurrently with per-instance budgets.  ``generate`` writes
+many files concurrently with per-instance budgets.  On both parallel
+paths ``--verify`` (or ``--proof``, implying ``--verify full``) gates
+every answer through the trusted-results check, and ``--retries``
+relaunches crashed/stalled workers under a
+:class:`~repro.reliability.RetryPolicy`.  ``generate`` writes
 instances from any generator family.  ``experiment`` regenerates the
 paper's tables.  ``bench`` times the split binary-implication BCP
 against the watched-literal reference path on a pinned suite and can
 write a ``BENCH_*.json`` perf report (see docs/BENCHMARKS.md).
+``audit`` fuzzes both parallel engines under random fault plans and
+fails unless every answer comes back definite, correct, and verified
+(see docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
@@ -29,7 +39,13 @@ import sys
 
 from repro.cnf.dimacs import parse_dimacs_file, write_dimacs_file
 from repro.proof import check_rup_proof
-from repro.solver.config import CONFIG_FACTORIES, config_by_name
+from repro.solver.config import (
+    CONFIG_FACTORIES,
+    VERIFICATION_LEVELS,
+    VERIFY_FULL,
+    VERIFY_OFF,
+    config_by_name,
+)
 from repro.solver.result import SolveStatus
 from repro.solver.solver import Solver
 
@@ -82,6 +98,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="parallel workers for the portfolio (implies --portfolio)",
     )
+    solve.add_argument(
+        "--verify",
+        default=None,
+        choices=VERIFICATION_LEVELS,
+        help="trusted-results gate: model-check SAT answers (sat) and "
+        "RUP-check UNSAT proofs (full); --proof implies full",
+    )
+    solve.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="portfolio only: total attempts per configuration before a "
+        "crashed/stalled lane degrades (default: 1, no retries)",
+    )
 
     batch = sub.add_parser(
         "batch", help="solve many DIMACS files concurrently"
@@ -105,6 +135,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--seed", type=int, default=0)
     batch.add_argument("--stats", action="store_true", help="print aggregated statistics")
+    batch.add_argument(
+        "--proof",
+        action="store_true",
+        help="log DRUP proofs in workers and verify every answer "
+        "(shorthand for --verify full)",
+    )
+    batch.add_argument(
+        "--verify",
+        default=None,
+        choices=VERIFICATION_LEVELS,
+        help="trusted-results gate for every file's answer",
+    )
+    batch.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="total attempts per file before a crashed/stalled worker "
+        "degrades to UNKNOWN (default: 1, no retries)",
+    )
+    batch.add_argument(
+        "--stall-seconds",
+        type=float,
+        default=None,
+        help="heartbeat watchdog: terminate (and retry) workers silent "
+        "for this many seconds",
+    )
 
     generate = sub.add_parser("generate", help="write a benchmark instance")
     generate.add_argument(
@@ -177,6 +233,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=7,
         help="pigeonhole size for --profile (default: 7)",
     )
+
+    audit = sub.add_parser(
+        "audit",
+        help="fuzz the parallel engines under random fault plans and "
+        "verify every answer against known ground truth",
+    )
+    audit.add_argument(
+        "--rounds", type=int, default=100, help="randomized rounds (default: 100)"
+    )
+    audit.add_argument(
+        "--quick",
+        action="store_true",
+        help="8-round smoke variant used by the default test suite",
+    )
+    audit.add_argument("--seed", type=int, default=0)
+    audit.add_argument("--jobs", type=int, default=2, help="workers per round")
+    audit.add_argument(
+        "--verbose", action="store_true", help="print one line per round"
+    )
     return parser
 
 
@@ -200,12 +275,25 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             f"{solve_target.num_clauses} clauses, "
             f"{len(reconstruction.eliminated)} variables eliminated"
         )
-        args = argparse.Namespace(**{**vars(args), "proof": False})
-    config = config_by_name(args.config, seed=args.seed, proof_logging=args.proof)
+        args = argparse.Namespace(**{**vars(args), "proof": False, "verify": None})
+    verification = args.verify
+    if args.proof and verification is None:
+        verification = VERIFY_FULL
+    config = config_by_name(
+        args.config,
+        seed=args.seed,
+        proof_logging=args.proof or verification == VERIFY_FULL,
+    )
     solver = Solver(solve_target, config=config)
     result = solver.solve(
         max_conflicts=args.max_conflicts, max_seconds=args.max_seconds
     )
+    if verification is not None and verification != VERIFY_OFF:
+        from repro.reliability import verify_result
+
+        verified = verify_result(solve_target, result, verification)
+        if verified is not None:
+            print(f"c answer verified ({verified})")
     if result.status is SolveStatus.SAT:
         print("s SATISFIABLE")
         assert result.model is not None
@@ -254,6 +342,8 @@ def _print_result(result, *, stats: bool) -> int:
     else:
         print(f"s UNKNOWN ({result.limit_reason})")
         exit_code = 0
+    if result.verified is not None:
+        print(f"c answer verified ({result.verified})")
     if stats:
         for key, value in result.stats.as_dict().items():
             print(f"c {key} = {value}")
@@ -263,9 +353,6 @@ def _print_result(result, *, stats: bool) -> int:
 def _solve_portfolio(args: argparse.Namespace, formula) -> int:
     from repro.parallel import PortfolioSolver, default_portfolio
 
-    if args.proof:
-        print("c --proof is not supported with --portfolio", file=sys.stderr)
-        return 2
     if args.preprocess:
         print("c --preprocess is not supported with --portfolio", file=sys.stderr)
         return 2
@@ -273,15 +360,27 @@ def _solve_portfolio(args: argparse.Namespace, formula) -> int:
     if jobs < 1:
         print("c --jobs must be >= 1", file=sys.stderr)
         return 2
+    verification = args.verify
+    if args.proof and verification is None:
+        # A portfolio winner's proof is checked in the parent, so
+        # --proof maps onto the full trusted-results gate.
+        verification = VERIFY_FULL
     configs = default_portfolio(jobs, base_seed=args.seed)
     # --config pins the first member so the named preset always races.
     configs[0] = config_by_name(args.config, seed=args.seed)
-    portfolio = PortfolioSolver(configs, jobs=jobs)
+    portfolio = PortfolioSolver(
+        configs,
+        jobs=jobs,
+        retry=args.retries,
+        verification=verification if verification is not None else VERIFY_OFF,
+    )
     result = portfolio.solve(
         formula, max_conflicts=args.max_conflicts, max_seconds=args.max_seconds
     )
+    retries = result.stats.worker_retries
     print(f"c portfolio of {len(configs)} configs, {jobs} jobs, "
-          f"winner: {result.config_name} ({result.wall_seconds:.3f}s)")
+          f"winner: {result.config_name} ({result.wall_seconds:.3f}s"
+          + (f", {retries} retries" if retries else "") + ")")
     return _print_result(result, stats=args.stats)
 
 
@@ -293,6 +392,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         return 2
     formulas = [parse_dimacs_file(path) for path in args.files]
     config = config_by_name(args.config, seed=args.seed)
+    verification = args.verify
+    if args.proof and verification is None:
+        verification = VERIFY_FULL
     batch = solve_batch(
         formulas,
         jobs=args.jobs,
@@ -300,13 +402,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         max_conflicts=args.max_conflicts,
         max_seconds=args.max_seconds,
         timeout=args.timeout,
+        retry=args.retries,
+        verification=verification if verification is not None else VERIFY_OFF,
+        stall_seconds=args.stall_seconds,
     )
     for path, result in zip(args.files, batch.results):
         detail = f" ({result.limit_reason})" if result.is_unknown else ""
+        if result.verified is not None:
+            detail += f" [verified: {result.verified}]"
         print(f"{path}: {result.status.value}{detail} [{result.wall_seconds:.3f}s]")
+    retries = f", {batch.retries} retries" if batch.retries else ""
     print(
         f"c batch: {len(batch)} files, {batch.num_sat} sat, "
-        f"{batch.num_unsat} unsat, {batch.num_unknown} unknown, "
+        f"{batch.num_unsat} unsat, {batch.num_unknown} unknown{retries}, "
         f"{batch.wall_seconds:.3f}s wall"
     )
     if args.stats:
@@ -434,6 +542,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.reliability import run_audit
+
+    rounds = 8 if args.quick else args.rounds
+    report = run_audit(
+        rounds,
+        seed=args.seed,
+        jobs=args.jobs,
+        log=print if args.verbose else None,
+    )
+    for failure in report.failures:
+        print(f"c {failure}")
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -451,6 +575,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_bmc(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "audit":
+        return _cmd_audit(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -16,6 +16,14 @@ Both build on cooperative primitives of the sequential engine
 (:meth:`Solver.interrupt`, the ``on_progress`` callback) rather than a
 separate search implementation, so every configuration, budget, and
 result shape of the sequential API carries over unchanged.
+
+Both engines are *supervised* through :mod:`repro.reliability`: a
+:class:`~repro.reliability.RetryPolicy` relaunches crashed, stalled, or
+corrupted workers with fresh seeds and exponential backoff; heartbeat
+watchdogs catch wedged workers; ``RLIMIT_AS`` ceilings keep memory
+bounded; and the trusted-results gate (``verification="sat"``/
+``"full"``) model-checks SAT answers and RUP-checks UNSAT proofs in the
+parent before any answer is returned.  See ``docs/ROBUSTNESS.md``.
 """
 
 from repro.parallel.batch import BatchResult, solve_batch

@@ -1,19 +1,32 @@
-"""Bulk solving: a process pool over many formulas, never losing the batch.
+"""Bulk solving: a supervised process pool over many formulas.
 
 :func:`solve_batch` solves a sequence of formulas concurrently under one
 configuration, with per-instance budgets.  Failure is contained per
-instance: a worker that crashes, raises, or blows through its wall-clock
-timeout contributes a ``SolveStatus.UNKNOWN`` result for *its* formula
-and the rest of the batch proceeds.  The returned :class:`BatchResult`
-keeps input order and aggregates every member's
-:class:`~repro.solver.stats.SolverStats`.
+instance — and, with a :class:`~repro.reliability.RetryPolicy`, is
+*survived* per instance: a worker that crashes, is killed by a signal,
+stalls its result pipe, or returns a corrupted answer is relaunched
+with a fresh seed (exponential backoff, shrinking remaining-time
+budget) up to the policy's attempt limit before its instance degrades
+to ``SolveStatus.UNKNOWN``.  Healthy siblings are never affected.  The
+returned :class:`BatchResult` keeps input order, aggregates every
+member's :class:`~repro.solver.stats.SolverStats`, and records the full
+attempt history on each result.
+
+Answers can be gated through the trusted-results check
+(``verification="sat"`` model-checks SAT answers against the original
+formula; ``"full"`` additionally RUP-checks UNSAT proofs) — a result
+that fails the gate is treated exactly like a crashed worker.
 
 Usage::
 
-    from repro import solve_batch
+    from repro import RetryPolicy, solve_batch
 
-    batch = solve_batch(formulas, jobs=4, max_conflicts=30_000)
-    batch.statuses()     # [SolveStatus.SAT, SolveStatus.UNSAT, ...]
+    batch = solve_batch(
+        formulas, jobs=4, max_conflicts=30_000,
+        retry=RetryPolicy(max_attempts=3), verification="full",
+    )
+    batch.statuses()       # [SolveStatus.SAT, SolveStatus.UNSAT, ...]
+    batch[0].attempts      # supervised attempt history
     batch.stats.conflicts  # summed over the whole batch
 """
 
@@ -27,14 +40,31 @@ from dataclasses import dataclass, field
 
 from repro.cnf.formula import CnfFormula
 from repro.parallel.worker import drain_results, solve_in_worker
-from repro.solver.config import SolverConfig, berkmin_config, config_by_name
-from repro.solver.result import SolveResult, SolveStatus
+from repro.reliability.faults import FaultPlan
+from repro.reliability.guards import StallClock, crash_reason
+from repro.reliability.retry import RetryPolicy, as_retry_policy
+from repro.reliability.verify import (
+    VerificationError,
+    check_result_shape,
+    verify_result,
+)
+from repro.solver.config import (
+    VERIFICATION_LEVELS,
+    VERIFY_FULL,
+    VERIFY_OFF,
+    SolverConfig,
+    berkmin_config,
+    config_by_name,
+)
+from repro.solver.result import AttemptRecord, SolveResult, SolveStatus
 from repro.solver.stats import SolverStats, aggregate_stats
 
 _POLL_SECONDS = 0.02
 #: Extra wall-clock slack granted on top of a cooperative ``max_seconds``
 #: budget before the parent terminates a worker outright.
 DEFAULT_GRACE_SECONDS = 2.0
+#: Minimum remaining budget (seconds) worth launching a retry into.
+_MIN_RETRY_BUDGET = 0.05
 
 
 @dataclass
@@ -46,6 +76,8 @@ class BatchResult:
     stats: SolverStats = field(default_factory=SolverStats)
     #: Wall-clock seconds for the whole batch call.
     wall_seconds: float = 0.0
+    #: Worker relaunches performed by the supervisor (0 without a policy).
+    retries: int = 0
 
     def statuses(self) -> list[SolveStatus]:
         """The per-formula statuses, in input order."""
@@ -68,6 +100,15 @@ class BatchResult:
         """True when every formula got a SAT/UNSAT answer."""
         return self.num_unknown == 0
 
+    @property
+    def all_verified(self) -> bool:
+        """True when every definite answer passed the trusted-results gate."""
+        return all(
+            result.verified is not None
+            for result in self.results
+            if not result.is_unknown
+        )
+
     def __len__(self) -> int:
         return len(self.results)
 
@@ -78,21 +119,35 @@ class BatchResult:
         return self.results[index]
 
     def __repr__(self) -> str:
+        retries = f", {self.retries} retries" if self.retries else ""
         return (
             f"BatchResult({len(self.results)} formulas: {self.num_sat} SAT, "
-            f"{self.num_unsat} UNSAT, {self.num_unknown} UNKNOWN, "
+            f"{self.num_unsat} UNSAT, {self.num_unknown} UNKNOWN{retries}, "
             f"wall={self.wall_seconds:.3f}s)"
         )
 
 
-def _degraded(reason: str, config_name: str, seconds: float) -> SolveResult:
-    """The UNKNOWN stand-in recorded for a lost or timed-out instance."""
-    return SolveResult(
-        status=SolveStatus.UNKNOWN,
-        limit_reason=reason,
-        config_name=config_name,
-        wall_seconds=seconds,
-    )
+@dataclass
+class _Supervised:
+    """Parent-side bookkeeping for one instance across its attempts."""
+
+    index: int
+    formula: CnfFormula
+    attempts: int = 0  # launches so far (== next 0-based attempt index)
+    history: list[AttemptRecord] = field(default_factory=list)
+    first_launch: float | None = None  # monotonic time of attempt 0
+    deadline: float | None = None  # hard wall-clock limit across attempts
+    not_before: float = 0.0  # backoff gate for the next launch
+
+
+@dataclass
+class _Active:
+    """One running worker process and its watchdog state."""
+
+    process: multiprocessing.Process
+    clock: StallClock
+    attempt: int
+    config: SolverConfig
 
 
 def solve_batch(
@@ -103,8 +158,14 @@ def solve_batch(
     max_conflicts: int | None = None,
     max_decisions: int | None = None,
     max_seconds: float | None = None,
+    max_clauses: int | None = None,
     timeout: float | None = None,
     grace_seconds: float = DEFAULT_GRACE_SECONDS,
+    retry: RetryPolicy | int | None = None,
+    verification: str | None = None,
+    stall_seconds: float | None = None,
+    max_memory_mb: int | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> BatchResult:
     """Solve many formulas concurrently; degrade per instance, never fail.
 
@@ -114,24 +175,60 @@ def solve_batch(
             batch size).
         config: configuration for every instance — a
             :class:`SolverConfig`, a registry name, or None for BerkMin.
-        max_conflicts / max_decisions / max_seconds: per-instance
-            budgets, forwarded to every :meth:`Solver.solve` call.
+        max_conflicts / max_decisions / max_seconds / max_clauses:
+            per-instance budgets, forwarded to every
+            :meth:`Solver.solve` call (``max_clauses`` is the in-solver
+            memory guard).
         timeout: hard per-instance wall-clock limit enforced by the
-            parent (``terminate``).  Defaults to ``max_seconds +
-            grace_seconds`` when ``max_seconds`` is set, else unlimited.
-            This is the safety net for hung workers; the cooperative
-            ``max_seconds`` budget fires first on healthy ones.
+            parent (``terminate``), spanning *all* attempts of that
+            instance.  Defaults to ``max_seconds + grace_seconds`` when
+            ``max_seconds`` is set, else unlimited.  This is the safety
+            net for hung workers; the cooperative ``max_seconds`` budget
+            fires first on healthy ones, and retries run inside the
+            shrinking remainder.
         grace_seconds: slack added when deriving ``timeout`` from
             ``max_seconds``.
+        retry: a :class:`~repro.reliability.RetryPolicy`, an int (total
+            attempts), or None (no retries).  Crashed, stalled, and
+            corrupted workers are relaunched with fresh seeds and
+            exponential backoff; budget-exhausted answers are honest and
+            never retried.
+        verification: trusted-results gate level (``"off"``/``"sat"``/
+            ``"full"``); defaults to the configuration's
+            ``verification`` field.  ``"full"`` forces proof logging in
+            workers so UNSAT proofs come back checkable.
+        stall_seconds: watchdog window — a worker making no
+            ``on_progress`` heartbeat for this long is treated as wedged
+            (terminated, then retried under the policy).  None disables
+            the watchdog.
+        max_memory_mb: per-worker ``RLIMIT_AS`` ceiling; an over-budget
+            solve degrades to ``UNKNOWN ("memory budget")``.
+        fault_plan: deterministic fault injection for tests/audits (see
+            :class:`~repro.reliability.FaultPlan`).
 
-    A worker that raises, is killed, or exceeds ``timeout`` yields
-    ``SolveStatus.UNKNOWN`` (``limit_reason`` of ``"worker crashed"`` or
-    ``"time budget"``) for its instance only.
+    A worker that raises, is killed, stalls, or returns a corrupted
+    result yields — after the retry policy is exhausted —
+    ``SolveStatus.UNKNOWN`` for its instance only, with a
+    ``limit_reason`` naming the failure (``"worker crashed (SIGKILL)"``,
+    ``"stalled (no heartbeat)"``, ``"corrupted result"``, ``"time
+    budget"``) and the full attempt history on ``result.attempts``.
     """
     if config is None:
         config = berkmin_config()
     elif isinstance(config, str):
         config = config_by_name(config)
+    policy = as_retry_policy(retry)
+    if verification is None:
+        verification = config.verification
+    if verification not in VERIFICATION_LEVELS:
+        raise ValueError(
+            f"unknown verification level {verification!r}; "
+            f"expected one of {', '.join(VERIFICATION_LEVELS)}"
+        )
+    worker_config = config
+    if verification == VERIFY_FULL and not config.proof_logging:
+        worker_config = config.with_overrides(proof_logging=True)
+
     items: list[CnfFormula] = [
         item if isinstance(item, CnfFormula) else CnfFormula(item) for item in formulas
     ]
@@ -147,64 +244,176 @@ def solve_batch(
     if not items:
         return BatchResult(wall_seconds=time.perf_counter() - started)
 
-    limits = {
+    base_limits = {
         "max_conflicts": max_conflicts,
         "max_decisions": max_decisions,
         "max_seconds": max_seconds,
+        "max_clauses": max_clauses,
     }
     context = multiprocessing.get_context()
     results_queue = context.Queue()
-    pending = list(enumerate(items))
-    active: dict[int, tuple[multiprocessing.Process, float]] = {}  # index -> (proc, started)
-    collected: dict[int, SolveResult | None] = {}
+    instances = [_Supervised(index, formula) for index, formula in enumerate(items)]
+    pending: list[_Supervised] = list(instances)
+    active: dict[int, _Active] = {}
+    collected: dict = {}
+    finals: dict[int, SolveResult] = {}
+    retries_total = 0
+
+    def launch(instance: _Supervised) -> None:
+        now = time.monotonic()
+        if instance.first_launch is None:
+            instance.first_launch = now
+            if timeout is not None:
+                instance.deadline = now + timeout
+        attempt = instance.attempts
+        attempt_config = policy.config_for_attempt(worker_config, attempt)
+        limits = dict(base_limits)
+        if instance.deadline is not None and limits["max_seconds"] is not None:
+            # Retries solve inside whatever wall-clock budget remains.
+            remaining = instance.deadline - now
+            limits["max_seconds"] = max(min(limits["max_seconds"], remaining), 0.01)
+        heartbeat = context.Value("d", now)
+        fault = fault_plan.lookup(instance.index, attempt) if fault_plan else None
+        process = context.Process(
+            target=solve_in_worker,
+            args=(
+                (instance.index, attempt),
+                instance.formula,
+                attempt_config,
+                limits,
+                None,
+                results_queue,
+                heartbeat,
+                attempt,
+                fault,
+                max_memory_mb,
+            ),
+            daemon=True,
+        )
+        process.start()
+        active[instance.index] = _Active(
+            process, StallClock(now, heartbeat), attempt, attempt_config
+        )
+        instance.attempts += 1
+
+    def record(instance, entry, outcome, now, detail=None) -> None:
+        instance.history.append(
+            AttemptRecord(
+                attempt=entry.attempt,
+                config_name=entry.config.name,
+                seed=entry.config.seed,
+                outcome=outcome,
+                wall_seconds=now - entry.clock.launch,
+                detail=detail,
+            )
+        )
+
+    def fail(instance, entry, reason, now, *, retryable, detail=None) -> None:
+        nonlocal retries_total
+        record(instance, entry, reason, now, detail)
+        time_left = (
+            instance.deadline is None
+            or instance.deadline - now > _MIN_RETRY_BUDGET
+        )
+        if retryable and time_left and policy.allows(instance.attempts):
+            retries_total += 1
+            instance.not_before = now + policy.delay(instance.attempts)
+            pending.append(instance)
+        else:
+            finals[instance.index] = SolveResult(
+                status=SolveStatus.UNKNOWN,
+                limit_reason=reason,
+                config_name=entry.config.name,
+                wall_seconds=now - (instance.first_launch or now),
+                attempts=list(instance.history),
+            )
+
+    def finish(instance, entry, payload, now) -> None:
+        if payload is None:
+            # The worker's solve raised and posted a None payload.
+            fail(
+                instance, entry, "worker crashed", now,
+                retryable=True, detail="worker raised an exception",
+            )
+            return
+        try:
+            shape = check_result_shape(payload)
+            if shape is not None:
+                raise VerificationError(shape)
+            verified = (
+                verify_result(instance.formula, payload, verification)
+                if verification != VERIFY_OFF
+                else None
+            )
+        except VerificationError as error:
+            fail(
+                instance, entry, "corrupted result", now,
+                retryable=True, detail=str(error),
+            )
+            return
+        payload.verified = verified
+        record(instance, entry, "ok", now)
+        payload.attempts = list(instance.history)
+        finals[instance.index] = payload
 
     try:
-        while active or pending:
-            while pending and len(active) < jobs:
-                index, formula = pending.pop(0)
-                process = context.Process(
-                    target=solve_in_worker,
-                    args=(index, formula, config, limits, None, results_queue),
-                    daemon=True,
-                )
-                process.start()
-                active[index] = (process, time.monotonic())
+        while pending or active:
+            now = time.monotonic()
+            for instance in list(pending):
+                if len(active) >= jobs:
+                    break
+                if instance.not_before <= now:
+                    pending.remove(instance)
+                    launch(instance)
             drain_results(results_queue, collected, timeout=_POLL_SECONDS)
             now = time.monotonic()
-            for index, (process, launch) in list(active.items()):
-                if index in collected:
-                    process.join()
+            for index, entry in list(active.items()):
+                instance = instances[index]
+                tag = (index, entry.attempt)
+                if tag in collected:
+                    entry.process.join()
                     del active[index]
-                elif not process.is_alive():
+                    finish(instance, entry, collected.pop(tag), now)
+                elif not entry.process.is_alive():
                     # Dead without a visible result: the payload may still
                     # be in the pipe; drain once before declaring a crash.
-                    process.join()
+                    entry.process.join()
                     drain_results(results_queue, collected, timeout=0.2)
-                    if index not in collected:
-                        collected[index] = None
                     del active[index]
-                elif timeout is not None and now - launch > timeout:
-                    process.terminate()
-                    process.join(timeout=1.0)
-                    collected[index] = _degraded(
-                        "time budget", config.name, now - launch
+                    if tag in collected:
+                        finish(instance, entry, collected.pop(tag), now)
+                    else:
+                        fail(
+                            instance, entry,
+                            crash_reason(entry.process.exitcode), now,
+                            retryable=True,
+                        )
+                elif instance.deadline is not None and now > instance.deadline:
+                    entry.process.terminate()
+                    entry.process.join(timeout=1.0)
+                    del active[index]
+                    fail(instance, entry, "time budget", now, retryable=False)
+                elif entry.clock.stalled_for(now, stall_seconds):
+                    entry.process.terminate()
+                    entry.process.join(timeout=1.0)
+                    del active[index]
+                    fail(
+                        instance, entry, "stalled (no heartbeat)", now,
+                        retryable=True,
                     )
-                    del active[index]
     finally:
-        for process, _launch in active.values():
-            process.terminate()
-            process.join(timeout=1.0)
+        for entry in active.values():
+            entry.process.terminate()
+            entry.process.join(timeout=1.0)
         results_queue.close()
         results_queue.cancel_join_thread()
 
-    results: list[SolveResult] = []
-    for index in range(len(items)):
-        result = collected.get(index)
-        if result is None:
-            result = _degraded("worker crashed", config.name, 0.0)
-        results.append(result)
+    results = [finals[index] for index in range(len(items))]
+    stats = aggregate_stats(result.stats for result in results)
+    stats.worker_retries += retries_total
     return BatchResult(
         results=results,
-        stats=aggregate_stats(result.stats for result in results),
+        stats=stats,
         wall_seconds=time.perf_counter() - started,
+        retries=retries_total,
     )

@@ -10,13 +10,21 @@ and return the first definite SAT/UNSAT answer.  Losers are cancelled
 cooperatively through the :meth:`Solver.interrupt` progress hook, with
 ``terminate`` as the backstop for unresponsive workers.
 
+The race is *supervised*: each lane (one configuration) is watched for
+crashes, signal deaths, heartbeat stalls, and — when verification is on
+— corrupted answers, and is relaunched with a fresh seed under the
+active :class:`~repro.reliability.RetryPolicy` while the other lanes
+keep racing.  A winner only leaves the race after it passes the
+trusted-results gate.
+
 Usage::
 
     from repro import CnfFormula, PortfolioSolver
 
-    portfolio = PortfolioSolver(jobs=4)
+    portfolio = PortfolioSolver(jobs=4, retry=2, verification="full")
     result = portfolio.solve(formula, max_seconds=10.0)
     result.config_name  # which configuration won the race
+    result.verified     # "model" / "proof" when the gate checked it
 """
 
 from __future__ import annotations
@@ -25,11 +33,26 @@ import multiprocessing
 import os
 import time
 from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
 
 from repro.cnf.formula import CnfFormula
 from repro.parallel.worker import drain_results, solve_in_worker
-from repro.solver.config import SolverConfig, config_by_name
-from repro.solver.result import SolveResult, SolveStatus
+from repro.reliability.faults import FaultPlan
+from repro.reliability.guards import StallClock, crash_reason
+from repro.reliability.retry import RetryPolicy, as_retry_policy
+from repro.reliability.verify import (
+    VerificationError,
+    check_result_shape,
+    verify_result,
+)
+from repro.solver.config import (
+    VERIFICATION_LEVELS,
+    VERIFY_FULL,
+    VERIFY_OFF,
+    SolverConfig,
+    config_by_name,
+)
+from repro.solver.result import AttemptRecord, SolveResult, SolveStatus
 from repro.solver.stats import aggregate_stats
 
 #: How long the parent waits between queue polls while workers run.
@@ -37,6 +60,8 @@ _POLL_SECONDS = 0.02
 #: How long a cancelled loser gets to exit cooperatively before being
 #: terminated.
 DEFAULT_GRACE_SECONDS = 1.0
+#: Minimum remaining budget (seconds) worth launching a retry into.
+_MIN_RETRY_BUDGET = 0.05
 
 #: Preset rotation used by :func:`default_portfolio`: orthogonal
 #: decision/database strategies first (the configurations the paper
@@ -68,6 +93,31 @@ def default_portfolio(size: int = 4, base_seed: int = 0) -> list[SolverConfig]:
     ]
 
 
+@dataclass
+class _Lane:
+    """One portfolio member (a configuration) across its attempts."""
+
+    index: int
+    config: SolverConfig
+    attempts: int = 0  # launches so far (== next 0-based attempt index)
+    history: list[AttemptRecord] = field(default_factory=list)
+    not_before: float = 0.0  # backoff gate for the next launch
+    #: An honest (budget-exhausted) UNKNOWN this lane reported.
+    result: SolveResult | None = None
+    #: Terminal failure reason once the lane is out of retries.
+    failure: str | None = None
+
+
+@dataclass
+class _Active:
+    """One running worker process and its watchdog state."""
+
+    process: multiprocessing.Process
+    clock: StallClock
+    attempt: int
+    config: SolverConfig
+
+
 class PortfolioSolver:
     """Race N configurations on one formula; first SAT/UNSAT wins.
 
@@ -81,6 +131,18 @@ class PortfolioSolver:
             a definite answer.  Defaults to ``len(configs)``.
         grace_seconds: cooperative-cancellation grace period before a
             loser is forcibly terminated.
+        retry: a :class:`~repro.reliability.RetryPolicy`, an int (total
+            attempts per lane), or None (no retries).  A lane whose
+            worker crashes, stalls, or returns a corrupted answer is
+            relaunched with a fresh seed while the rest keep racing.
+        verification: trusted-results gate level (``"off"``/``"sat"``/
+            ``"full"``); defaults to the first configuration's
+            ``verification`` field.  A would-be winner that fails the
+            gate is treated as a crashed attempt — the race continues.
+        stall_seconds: heartbeat watchdog window; None disables it.
+        max_memory_mb: per-worker ``RLIMIT_AS`` ceiling.
+        fault_plan: deterministic fault injection keyed by (lane,
+            attempt), for tests and audits.
     """
 
     def __init__(
@@ -89,6 +151,11 @@ class PortfolioSolver:
         *,
         jobs: int | None = None,
         grace_seconds: float = DEFAULT_GRACE_SECONDS,
+        retry: RetryPolicy | int | None = None,
+        verification: str | None = None,
+        stall_seconds: float | None = None,
+        max_memory_mb: int | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -102,6 +169,18 @@ class PortfolioSolver:
             raise ValueError("a portfolio needs at least one configuration")
         self.jobs = jobs if jobs is not None else len(self.configs)
         self.grace_seconds = grace_seconds
+        self.retry = as_retry_policy(retry)
+        if verification is None:
+            verification = self.configs[0].verification
+        if verification not in VERIFICATION_LEVELS:
+            raise ValueError(
+                f"unknown verification level {verification!r}; "
+                f"expected one of {', '.join(VERIFICATION_LEVELS)}"
+            )
+        self.verification = verification
+        self.stall_seconds = stall_seconds
+        self.max_memory_mb = max_memory_mb
+        self.fault_plan = fault_plan
 
     # ------------------------------------------------------------------
     def solve(
@@ -112,31 +191,44 @@ class PortfolioSolver:
         max_conflicts: int | None = None,
         max_decisions: int | None = None,
         max_seconds: float | None = None,
+        max_clauses: int | None = None,
     ) -> SolveResult:
         """Race the portfolio on ``formula``; return the winning result.
 
         The returned :class:`SolveResult` is the winner's verbatim, so
         ``result.config_name`` identifies the winning configuration and
-        ``result.model`` / ``result.stats`` are the winner's.  When every
-        member returns ``UNKNOWN`` (budgets exhausted) or dies, the
-        answer is a synthesized ``UNKNOWN`` carrying the merged stats of
-        every member that reported back — the race never raises because
-        one worker was lost.
+        ``result.model`` / ``result.stats`` are the winner's (plus the
+        winning lane's attempt history and the race's retry count).
+        When every member returns ``UNKNOWN`` (budgets exhausted) or
+        dies past its retries, the answer is a synthesized ``UNKNOWN``
+        carrying the merged stats of every member that reported back and
+        the concatenated attempt history of all lanes — the race never
+        raises because one worker was lost.
         """
         if not isinstance(formula, CnfFormula):
             formula = CnfFormula(formula)
-        limits = {
+        policy = self.retry
+        verification = self.verification
+        worker_configs = [
+            config.with_overrides(proof_logging=True)
+            if verification == VERIFY_FULL and not config.proof_logging
+            else config
+            for config in self.configs
+        ]
+        base_limits = {
             "assumptions": tuple(assumptions),
             "max_conflicts": max_conflicts,
             "max_decisions": max_decisions,
             "max_seconds": max_seconds,
+            "max_clauses": max_clauses,
         }
         context = multiprocessing.get_context()
         cancel = context.Event()
         results_queue = context.Queue()
-        pending = list(enumerate(self.configs))
-        active: dict[int, multiprocessing.Process] = {}
-        collected: dict[int, SolveResult | None] = {}
+        lanes = [_Lane(index, config) for index, config in enumerate(worker_configs)]
+        pending: list[_Lane] = list(lanes)
+        active: dict[int, _Active] = {}
+        collected: dict = {}
         deadline = (
             None
             if max_seconds is None
@@ -144,69 +236,172 @@ class PortfolioSolver:
         )
         started = time.perf_counter()
         timed_out = False
+        retries_total = 0
+        champion: SolveResult | None = None
+        champion_lane: _Lane | None = None
 
-        def winner() -> SolveResult | None:
-            for index in sorted(collected):
-                result = collected[index]
-                if result is not None and not result.is_unknown:
-                    return result
-            return None
+        def launch(lane: _Lane) -> None:
+            now = time.monotonic()
+            attempt = lane.attempts
+            attempt_config = policy.config_for_attempt(lane.config, attempt)
+            limits = dict(base_limits)
+            if deadline is not None and limits["max_seconds"] is not None:
+                # Retries solve inside whatever wall-clock budget remains.
+                remaining = deadline - now
+                limits["max_seconds"] = max(min(limits["max_seconds"], remaining), 0.01)
+            heartbeat = context.Value("d", now)
+            fault = self.fault_plan.lookup(lane.index, attempt) if self.fault_plan else None
+            process = context.Process(
+                target=solve_in_worker,
+                args=(
+                    (lane.index, attempt),
+                    formula,
+                    attempt_config,
+                    limits,
+                    cancel,
+                    results_queue,
+                    heartbeat,
+                    attempt,
+                    fault,
+                    self.max_memory_mb,
+                ),
+                daemon=True,
+            )
+            process.start()
+            active[lane.index] = _Active(
+                process, StallClock(now, heartbeat), attempt, attempt_config
+            )
+            lane.attempts += 1
+
+        def record(lane, entry, outcome, now, detail=None) -> None:
+            lane.history.append(
+                AttemptRecord(
+                    attempt=entry.attempt,
+                    config_name=entry.config.name,
+                    seed=entry.config.seed,
+                    outcome=outcome,
+                    wall_seconds=now - entry.clock.launch,
+                    detail=detail,
+                )
+            )
+
+        def fail(lane, entry, reason, now, *, retryable=True, detail=None) -> None:
+            nonlocal retries_total
+            record(lane, entry, reason, now, detail)
+            time_left = deadline is None or deadline - now > _MIN_RETRY_BUDGET
+            if retryable and time_left and policy.allows(lane.attempts):
+                retries_total += 1
+                lane.not_before = now + policy.delay(lane.attempts)
+                pending.append(lane)
+            else:
+                lane.failure = reason
+
+        def finish(lane, entry, payload, now) -> None:
+            nonlocal champion, champion_lane
+            if payload is None:
+                # The worker's solve raised and posted a None payload.
+                fail(
+                    lane, entry, "worker crashed", now,
+                    detail="worker raised an exception",
+                )
+                return
+            try:
+                shape = check_result_shape(payload)
+                if shape is not None:
+                    raise VerificationError(shape)
+                verified = (
+                    verify_result(formula, payload, verification)
+                    if verification != VERIFY_OFF
+                    else None
+                )
+            except VerificationError as error:
+                fail(lane, entry, "corrupted result", now, detail=str(error))
+                return
+            payload.verified = verified
+            record(lane, entry, "ok", now)
+            if payload.is_unknown:
+                # An honest budget-exhausted answer: the lane is done but
+                # contributes its stats to a synthesized UNKNOWN.
+                lane.result = payload
+            elif champion is None:
+                champion = payload
+                champion_lane = lane
 
         try:
-            while winner() is None and (active or pending):
-                if deadline is not None and time.monotonic() > deadline:
+            while champion is None and (active or pending):
+                now = time.monotonic()
+                if deadline is not None and now > deadline:
                     timed_out = True
                     break
-                while pending and len(active) < self.jobs:
-                    index, config = pending.pop(0)
-                    process = context.Process(
-                        target=solve_in_worker,
-                        args=(index, formula, config, limits, cancel, results_queue),
-                        daemon=True,
-                    )
-                    process.start()
-                    active[index] = process
+                for lane in list(pending):
+                    if len(active) >= self.jobs:
+                        break
+                    if lane.not_before <= now:
+                        pending.remove(lane)
+                        launch(lane)
                 drain_results(results_queue, collected, timeout=_POLL_SECONDS)
-                for index, process in list(active.items()):
-                    if index in collected:
-                        process.join()
+                now = time.monotonic()
+                for index, entry in list(active.items()):
+                    lane = lanes[index]
+                    tag = (index, entry.attempt)
+                    if tag in collected:
+                        entry.process.join()
                         del active[index]
-                    elif not process.is_alive():
+                        finish(lane, entry, collected.pop(tag), now)
+                    elif not entry.process.is_alive():
                         # Dead without a visible result: its payload may
                         # still be in the pipe; give it one bounded drain
                         # before declaring the worker crashed.
-                        process.join()
+                        entry.process.join()
                         drain_results(results_queue, collected, timeout=0.2)
-                        if index not in collected:
-                            collected[index] = None
                         del active[index]
+                        if tag in collected:
+                            finish(lane, entry, collected.pop(tag), now)
+                        else:
+                            fail(lane, entry, crash_reason(entry.process.exitcode), now)
+                    elif entry.clock.stalled_for(now, self.stall_seconds):
+                        entry.process.terminate()
+                        entry.process.join(timeout=1.0)
+                        del active[index]
+                        fail(lane, entry, "stalled (no heartbeat)", now)
         finally:
             cancel.set()
-            for process in active.values():
-                process.join(timeout=self.grace_seconds)
-                if process.is_alive():
-                    process.terminate()
-                    process.join(timeout=1.0)
+            for entry in active.values():
+                entry.process.join(timeout=self.grace_seconds)
+                if entry.process.is_alive():
+                    entry.process.terminate()
+                    entry.process.join(timeout=1.0)
             results_queue.close()
             results_queue.cancel_join_thread()
 
         elapsed = time.perf_counter() - started
-        best = winner()
-        if best is not None:
-            best.wall_seconds = elapsed
-            return best
-        reported = [result for result in collected.values() if result is not None]
+        if champion is not None:
+            champion.wall_seconds = elapsed
+            champion.attempts = list(champion_lane.history)
+            champion.stats.worker_retries += retries_total
+            return champion
+        reported = [lane.result for lane in lanes if lane.result is not None]
+        failures = sorted({lane.failure for lane in lanes if lane.failure})
         if timed_out:
             reason = "time budget"
         elif reported:
-            reasons = sorted({result.limit_reason or "unknown" for result in reported})
+            reasons = sorted(
+                {result.limit_reason or "unknown" for result in reported}
+                | set(failures)
+            )
             reason = "portfolio exhausted: " + ", ".join(reasons)
+        elif failures:
+            reason = ", ".join(failures)
         else:
             reason = "worker crashed"
+        stats = aggregate_stats(result.stats for result in reported)
+        stats.worker_retries += retries_total
+        history = [record for lane in lanes for record in lane.history]
         return SolveResult(
             status=SolveStatus.UNKNOWN,
-            stats=aggregate_stats(result.stats for result in reported),
+            stats=stats,
             limit_reason=reason,
             config_name="portfolio",
             wall_seconds=elapsed,
+            attempts=history or None,
         )

@@ -2,50 +2,113 @@
 
 Workers are plain top-level functions so they stay picklable under every
 ``multiprocessing`` start method.  The contract with the parent is
-narrow: a worker posts **exactly one** ``(index, payload)`` tuple on the
+narrow: a worker posts **exactly one** ``(tag, payload)`` tuple on the
 result queue — a :class:`~repro.solver.result.SolveResult` on success,
 ``None`` when the solve raised — or dies without posting anything (a
 hard crash), which the parent detects by watching process liveness.
 That contract is what lets :class:`~repro.parallel.PortfolioSolver` and
 :func:`~repro.parallel.solve_batch` degrade gracefully instead of
-hanging on a lost worker.
+hanging on a lost worker.  Supervising parents use ``(index, attempt)``
+tuples as tags so a late post from a terminated attempt can never be
+mistaken for its retry's answer.
+
+The reliability layer hooks in here, at process entry:
+
+* a :class:`~repro.reliability.FaultPlan` (passed explicitly or read
+  from the ``REPRO_SAT_FAULT_PLAN`` environment variable) can make this
+  worker crash, die by signal, hang, corrupt its result, or stall its
+  result pipe — deterministically, keyed by (worker, attempt);
+* an optional ``RLIMIT_AS`` memory ceiling is installed before the
+  solver is built, so runaway memory raises ``MemoryError`` (degraded
+  to an honest UNKNOWN by the solve loop) instead of OOM-killing the
+  machine;
+* an optional shared heartbeat value is stamped from the solver's
+  ``on_progress`` hook, feeding the parent's stall watchdog.
 """
 
 from __future__ import annotations
 
 import queue as queue_module
+import time
 
+from repro.reliability.faults import (
+    FAULT_CORRUPT,
+    FAULT_STALL,
+    FaultPlan,
+    corrupt_result,
+    execute_entry_fault,
+)
+from repro.reliability.guards import apply_memory_limit
 from repro.solver.solver import Solver
 
 
-def solve_in_worker(index, formula, config, limits, cancel_event, results) -> None:
+def solve_in_worker(
+    index,
+    formula,
+    config,
+    limits,
+    cancel_event,
+    results,
+    heartbeat=None,
+    attempt: int = 0,
+    fault=None,
+    max_memory_mb=None,
+) -> None:
     """Solve ``formula`` under ``config`` and post ``(index, result)``.
 
+    ``index`` is an opaque tag echoed back on the result queue (a plain
+    int, or an ``(instance, attempt)`` tuple under supervision).
     ``limits`` is the keyword dictionary forwarded to
     :meth:`Solver.solve`.  When ``cancel_event`` is given, an
     ``on_progress`` hook polls it at the solver's progress cadence and
     interrupts the search once it is set — the cooperative half of
     portfolio cancellation (the parent's ``terminate`` is the backstop).
-    Any exception inside the solve is converted to a ``None`` payload so
-    the parent can count the worker as finished-without-answer.
+    ``heartbeat`` (a shared ``multiprocessing.Value('d')``) is stamped
+    with ``time.monotonic()`` at the same cadence for the parent's stall
+    watchdog.  ``fault`` is the :class:`FaultSpec` scheduled for this
+    launch (already resolved by the parent); when ``None``, the
+    environment plan is consulted so faults can also be injected from
+    outside the API.  Any exception inside the solve is converted to a
+    ``None`` payload so the parent can count the worker as
+    finished-without-answer.
     """
     try:
+        if max_memory_mb is not None:
+            apply_memory_limit(max_memory_mb)
+        if fault is None:
+            plan = FaultPlan.from_env()
+            if plan is not None:
+                worker_index = index[0] if isinstance(index, tuple) else index
+                fault = plan.lookup(worker_index, attempt)
+        if fault is not None:
+            execute_entry_fault(fault)  # crash/signal never return; hang sleeps
+
         solver = Solver(formula, config=config)
         on_progress = None
-        if cancel_event is not None:
+        if cancel_event is not None or heartbeat is not None:
 
-            def on_progress(stats, _solver=solver, _event=cancel_event):
-                if _event.is_set():
+            def on_progress(stats, _solver=solver, _event=cancel_event, _beat=heartbeat):
+                if _beat is not None:
+                    _beat.value = time.monotonic()
+                if _event is not None and _event.is_set():
                     _solver.interrupt()
 
         result = solver.solve(on_progress=on_progress, **limits)
+        if fault is not None:
+            if fault.mode == FAULT_CORRUPT:
+                result = corrupt_result(result, formula)
+            elif fault.mode == FAULT_STALL:
+                # The answer exists but the pipe goes silent: post nothing
+                # and stop heartbeating, until the parent gives up on us.
+                time.sleep(fault.seconds)
+                return
         results.put((index, result))
     except Exception:
         results.put((index, None))
 
 
 def drain_results(results_queue, collected: dict, timeout: float = 0.0) -> None:
-    """Move every queued ``(index, payload)`` pair into ``collected``.
+    """Move every queued ``(tag, payload)`` pair into ``collected``.
 
     Blocks at most ``timeout`` seconds for the first item, then sweeps
     whatever else is already queued without blocking.

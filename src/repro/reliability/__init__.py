@@ -1,0 +1,68 @@
+"""Trusted results and fault tolerance for the parallel engine.
+
+The reliability layer makes the paper's "robust" promise operational at
+production scale: every worker failure is survivable and every answer
+is checkable.  Four cooperating pieces:
+
+* **Fault injection** (:mod:`repro.reliability.faults`) —
+  :class:`FaultPlan` deterministically crashes, hangs, signals,
+  corrupts, or stalls a chosen worker so every degradation branch of
+  the engine is directly testable (and auditable in CI).
+* **Supervised retries** (:mod:`repro.reliability.retry`) —
+  :class:`RetryPolicy` relaunches failed workers with fresh seeds,
+  exponential backoff, and a shrinking remaining-time budget before
+  anything degrades to UNKNOWN.
+* **Resource guards** (:mod:`repro.reliability.guards`) — worker
+  memory ceilings (``RLIMIT_AS``), readable crash decoding (signal
+  names), and the heartbeat stall watchdog.
+* **Trusted-results gate** (:mod:`repro.reliability.verify`) —
+  :func:`verify_result` model-checks SAT answers against the original
+  formula and RUP-checks UNSAT proofs, in the parent, treating workers
+  as untrusted.
+
+The randomized end-to-end audit (``repro-sat audit``) lives in
+:mod:`repro.reliability.audit`, imported lazily because it drives the
+parallel engines themselves.  See ``docs/ROBUSTNESS.md`` for the fault
+model and semantics.
+"""
+
+from repro.reliability.faults import (
+    FAULT_MODES,
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.reliability.guards import StallClock, apply_memory_limit, crash_reason
+from repro.reliability.retry import NO_RETRY, RetryPolicy, as_retry_policy
+from repro.reliability.verify import (
+    VerificationError,
+    check_result_shape,
+    verify_result,
+)
+
+__all__ = [
+    "FAULT_MODES",
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "NO_RETRY",
+    "RetryPolicy",
+    "StallClock",
+    "VerificationError",
+    "apply_memory_limit",
+    "as_retry_policy",
+    "check_result_shape",
+    "crash_reason",
+    "run_audit",
+    "verify_result",
+]
+
+
+def __getattr__(name):
+    # The audit harness imports repro.parallel, which imports this
+    # package — resolve it lazily to keep the import graph acyclic.
+    if name == "run_audit":
+        from repro.reliability.audit import run_audit
+
+        return run_audit
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

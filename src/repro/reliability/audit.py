@@ -1,0 +1,188 @@
+"""Randomized end-to-end audit of the supervised engines.
+
+``repro-sat audit`` fuzzes the whole reliability stack: each round
+draws a random engine (batch or portfolio), a random fault
+(crash/signal/hang/corrupt/stall — or none), and a random victim
+worker, then solves instances whose ground-truth status is known by
+construction (planted k-SAT and N-queens are SAT; pigeonhole and
+odd-cycle coloring are UNSAT by counting arguments).  The engine runs
+with retries and full verification, and the round passes only when
+every answer is **definite**, **correct**, and **verified** — a model
+check for SAT, a RUP proof check for UNSAT.
+
+A clean audit is the operational meaning of "trusted results": no
+single-worker fault, anywhere in the pipeline, can surface a wrong or
+unverified answer.  The quick variant (``--quick``, ~8 rounds) runs in
+the default test suite; the full 100-round audit is the release gate.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.generators.graph_coloring import odd_cycle_formula
+from repro.generators.pigeonhole import pigeonhole_formula
+from repro.generators.queens import queens_formula
+from repro.generators.random_ksat import planted_ksat
+from repro.parallel.batch import solve_batch
+from repro.parallel.portfolio import PortfolioSolver
+from repro.reliability.faults import (
+    FAULT_CORRUPT,
+    FAULT_CRASH,
+    FAULT_HANG,
+    FAULT_SIGNAL,
+    FAULT_STALL,
+    FaultPlan,
+)
+from repro.reliability.retry import RetryPolicy
+from repro.solver.config import VERIFY_FULL, config_by_name
+from repro.solver.result import SolveStatus
+
+#: Fault menu per round; ``None`` keeps a healthy-path control in the mix.
+_FAULT_MENU = (
+    None,
+    FAULT_CRASH,
+    FAULT_SIGNAL,
+    FAULT_HANG,
+    FAULT_CORRUPT,
+    FAULT_STALL,
+)
+#: Sleep given to hang/stall faults — far past the watchdog window, so
+#: only the supervisor (never patience) ends these workers.
+_FAULT_SLEEP = 30.0
+
+
+@dataclass
+class AuditReport:
+    """Outcome of :func:`run_audit`."""
+
+    rounds: int = 0
+    failures: list[str] = field(default_factory=list)
+    retries: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every round produced correct, verified answers."""
+        return not self.failures
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.ok else f"FAIL ({len(self.failures)} bad rounds)"
+        return (
+            f"audit {verdict}: {self.rounds} rounds, "
+            f"{self.retries} supervised retries, {self.wall_seconds:.1f}s"
+        )
+
+
+def _instance_pool() -> list[tuple[str, object, SolveStatus]]:
+    """Small instances whose status is known by construction."""
+    return [
+        ("planted-3sat", planted_ksat(20, 85, 3, seed=7), SolveStatus.SAT),
+        ("queens-5", queens_formula(5), SolveStatus.SAT),
+        ("hole-3", pigeonhole_formula(3), SolveStatus.UNSAT),
+        ("odd-cycle-7", odd_cycle_formula(7), SolveStatus.UNSAT),
+    ]
+
+
+def _check_answer(name, expected, result) -> str | None:
+    """Return a defect description, or None when the answer is trusted."""
+    if result.status is not expected:
+        return (
+            f"{name}: expected {expected.name}, got {result.status.name}"
+            f" (limit_reason={result.limit_reason!r})"
+        )
+    if result.verified is None:
+        return f"{name}: definite answer left unverified"
+    return None
+
+
+def run_audit(
+    rounds: int = 100,
+    *,
+    seed: int = 0,
+    jobs: int = 2,
+    stall_seconds: float = 1.0,
+    log=None,
+) -> AuditReport:
+    """Fuzz both engines under random fault plans; verify every answer.
+
+    Each round injects at most one fault (possibly none) into one
+    worker of one engine and demands definite, correct, verified
+    answers for instances of known status.  Deterministic for a given
+    ``seed``.  ``log`` (e.g. ``print``) receives one line per round.
+    """
+    rng = random.Random(seed)
+    pool = _instance_pool()
+    policy = RetryPolicy(max_attempts=3, backoff=0.02)
+    report = AuditReport()
+    started = time.perf_counter()
+
+    for round_index in range(rounds):
+        engine = rng.choice(("batch", "portfolio"))
+        mode = rng.choice(_FAULT_MENU)
+        defects: list[str] = []
+
+        if engine == "batch":
+            picks = rng.sample(pool, 2)
+            victim = rng.randrange(len(picks))
+            plan = (
+                FaultPlan.single(mode, worker=victim, seconds=_FAULT_SLEEP)
+                if mode is not None
+                else None
+            )
+            batch = solve_batch(
+                [formula for _, formula, _ in picks],
+                jobs=jobs,
+                retry=policy,
+                verification=VERIFY_FULL,
+                stall_seconds=stall_seconds,
+                fault_plan=plan,
+            )
+            report.retries += batch.retries
+            for (name, _, expected), result in zip(picks, batch.results):
+                defect = _check_answer(name, expected, result)
+                if defect is not None:
+                    defects.append(defect)
+        else:
+            name, formula, expected = rng.choice(pool)
+            victim = rng.randrange(2)
+            plan = (
+                FaultPlan.single(mode, worker=victim, seconds=_FAULT_SLEEP)
+                if mode is not None
+                else None
+            )
+            portfolio = PortfolioSolver(
+                [
+                    config_by_name("berkmin", seed=rng.randrange(1 << 16)),
+                    config_by_name("chaff", seed=rng.randrange(1 << 16)),
+                ],
+                jobs=jobs,
+                retry=policy,
+                verification=VERIFY_FULL,
+                stall_seconds=stall_seconds,
+                fault_plan=plan,
+            )
+            result = portfolio.solve(formula)
+            report.retries += result.stats.worker_retries
+            defect = _check_answer(name, expected, result)
+            if defect is not None:
+                defects.append(defect)
+
+        report.rounds += 1
+        label = mode or "healthy"
+        if defects:
+            for defect in defects:
+                report.failures.append(
+                    f"round {round_index} [{engine}/{label} -> worker {victim}]: {defect}"
+                )
+        if log is not None:
+            status = "ok" if not defects else "FAIL"
+            log(
+                f"round {round_index + 1}/{rounds}: {engine:9s} "
+                f"fault={label:8s} worker={victim} {status}"
+            )
+
+    report.wall_seconds = time.perf_counter() - started
+    return report

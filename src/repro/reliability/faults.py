@@ -1,0 +1,177 @@
+"""Deterministic fault injection for the parallel engine.
+
+A :class:`FaultPlan` names exactly which worker, on which attempt, fails
+in which way.  The hook compiled into
+:func:`repro.parallel.worker.solve_in_worker` consults the plan (passed
+explicitly by the supervising parent, or read from the
+``REPRO_SAT_FAULT_PLAN`` environment variable for config-driven
+injection without code changes) and executes the matching fault, so
+every degradation branch of :func:`~repro.parallel.solve_batch` and
+:class:`~repro.parallel.PortfolioSolver` becomes directly and
+repeatably testable:
+
+``crash``
+    ``os._exit`` without posting a result — the parent sees a dead
+    process and an empty pipe.
+``signal``
+    the worker kills itself with a signal (``SIGKILL`` by default), so
+    the parent sees a negative exitcode to decode.
+``hang``
+    the worker sleeps before ever building a solver — no heartbeat, no
+    result — until the stall watchdog or the hard timeout fires.
+``corrupt``
+    the solve runs, then the posted :class:`SolveResult` is replaced by
+    a guaranteed-wrong SAT answer (its model falsifies the formula's
+    first clause), which only the trusted-results gate can catch.
+``stall``
+    the solve runs to completion but the result is never posted and the
+    heartbeat goes silent — a wedged result pipe.
+
+Usage::
+
+    plan = FaultPlan.single("crash", worker=1)
+    batch = solve_batch(formulas, fault_plan=plan, retry=2)
+
+or, environment-driven (JSON list of spec dicts)::
+
+    REPRO_SAT_FAULT_PLAN='[{"mode": "hang", "worker": 0}]' repro-sat batch ...
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.solver.result import SolveResult, SolveStatus
+
+#: Environment variable holding a JSON-encoded fault plan.
+FAULT_PLAN_ENV = "REPRO_SAT_FAULT_PLAN"
+
+FAULT_CRASH = "crash"
+FAULT_SIGNAL = "signal"
+FAULT_HANG = "hang"
+FAULT_CORRUPT = "corrupt"
+FAULT_STALL = "stall"
+FAULT_MODES = (FAULT_CRASH, FAULT_SIGNAL, FAULT_HANG, FAULT_CORRUPT, FAULT_STALL)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: *which* worker fails, *when*, and *how*."""
+
+    mode: str
+    #: Worker index the fault targets (the instance index in a batch,
+    #: the configuration index in a portfolio).
+    worker: int = 0
+    #: 0-based attempt index the fault fires on — ``0`` breaks the first
+    #: launch, so a retried attempt (1, 2, ...) runs clean and recovers.
+    attempt: int = 0
+    #: Sleep duration for ``hang``/``stall`` (the parent's watchdog or
+    #: timeout is expected to fire long before this elapses).
+    seconds: float = 60.0
+    #: Signal delivered in ``signal`` mode.
+    signum: int = int(signal.SIGKILL)
+    #: Exit code used in ``crash`` mode.
+    exit_code: int = 3
+
+    def __post_init__(self) -> None:
+        if self.mode not in FAULT_MODES:
+            raise ValueError(
+                f"unknown fault mode {self.mode!r}; expected one of "
+                f"{', '.join(FAULT_MODES)}"
+            )
+
+    def matches(self, worker: int, attempt: int) -> bool:
+        """True when this fault fires for ``worker``'s ``attempt``-th launch."""
+        return self.worker == worker and self.attempt == attempt
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A set of :class:`FaultSpec` injected into one engine run."""
+
+    specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.specs, tuple):
+            object.__setattr__(self, "specs", tuple(self.specs))
+
+    @classmethod
+    def single(cls, mode: str, *, worker: int = 0, attempt: int = 0, **fields) -> "FaultPlan":
+        """The common one-fault plan: break ``worker`` on ``attempt``."""
+        return cls((FaultSpec(mode, worker=worker, attempt=attempt, **fields),))
+
+    def lookup(self, worker: int, attempt: int) -> FaultSpec | None:
+        """The fault scheduled for this launch, if any (first match wins)."""
+        for spec in self.specs:
+            if spec.matches(worker, attempt):
+                return spec
+        return None
+
+    # -- JSON / environment round-trip ---------------------------------
+    def to_json(self) -> str:
+        return json.dumps([asdict(spec) for spec in self.specs])
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        entries = json.loads(text)
+        if not isinstance(entries, list):
+            raise ValueError("a fault plan is a JSON list of spec objects")
+        return cls(tuple(FaultSpec(**entry) for entry in entries))
+
+    @classmethod
+    def from_env(cls, environ=None) -> "FaultPlan | None":
+        """The plan configured via ``REPRO_SAT_FAULT_PLAN``, or ``None``.
+
+        A malformed plan is treated as no plan: faults are a test
+        instrument, and a typo in the environment must not take down
+        every worker in a production run.
+        """
+        text = (environ if environ is not None else os.environ).get(FAULT_PLAN_ENV)
+        if not text:
+            return None
+        try:
+            return cls.from_json(text)
+        except (ValueError, TypeError):
+            return None
+
+
+def execute_entry_fault(spec: FaultSpec) -> None:
+    """Run a pre-solve fault inside the worker process.
+
+    ``crash`` and ``signal`` do not return; ``hang`` sleeps (ignoring
+    cooperative cancellation, like a genuinely wedged worker) and then
+    falls through to the normal solve.  ``corrupt``/``stall`` are
+    post-solve faults and are no-ops here.
+    """
+    if spec.mode == FAULT_CRASH:
+        os._exit(spec.exit_code)
+    elif spec.mode == FAULT_SIGNAL:
+        os.kill(os.getpid(), spec.signum)
+        time.sleep(spec.seconds)  # wait out delivery of catchable signals
+    elif spec.mode == FAULT_HANG:
+        time.sleep(spec.seconds)
+
+
+def corrupt_result(result: SolveResult, formula) -> SolveResult:
+    """A guaranteed-wrong SAT answer standing in for ``result``.
+
+    Every variable is assigned, but the literals of the formula's first
+    clause are all set false, so the model cannot satisfy the formula —
+    the kind of lie only the trusted-results gate
+    (:func:`repro.reliability.verify_result`) will catch.
+    """
+    model = {variable: True for variable in range(1, formula.num_variables + 1)}
+    if formula.clauses:
+        for literal in formula.clauses[0]:
+            model[abs(literal)] = literal < 0
+    return SolveResult(
+        status=SolveStatus.SAT,
+        model=model,
+        stats=result.stats,
+        config_name=result.config_name,
+        wall_seconds=result.wall_seconds,
+    )

@@ -1,0 +1,90 @@
+"""Resource guards: memory ceilings, crash decoding, stall detection.
+
+Three small pieces the supervised engines share:
+
+* :func:`apply_memory_limit` — a best-effort ``RLIMIT_AS`` soft ceiling
+  installed inside worker processes, so a runaway solve raises
+  ``MemoryError`` (which :meth:`Solver.solve` converts to an ``UNKNOWN``
+  with ``limit_reason="memory budget"``) instead of invoking the OOM
+  killer on the whole machine.
+* :func:`crash_reason` — turns a dead worker's exitcode into a readable
+  degradation reason, decoding negative exitcodes into signal names
+  (``"worker crashed (SIGKILL)"``).
+* :class:`StallClock` — the heartbeat bookkeeping behind the watchdog
+  that catches workers which are alive but making no progress.
+"""
+
+from __future__ import annotations
+
+import signal
+from dataclasses import dataclass
+
+
+def apply_memory_limit(max_memory_mb: int | float) -> bool:
+    """Install a soft address-space ceiling in the current process.
+
+    Returns True when the limit was applied; False on platforms without
+    ``resource``/``RLIMIT_AS`` support or when the request exceeds the
+    hard limit.  Never raises: the guard is insurance, not a dependency.
+    """
+    if max_memory_mb is None or max_memory_mb <= 0:
+        return False
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return False
+    limit = int(max_memory_mb * 1024 * 1024)
+    try:
+        soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+        if hard != resource.RLIM_INFINITY:
+            limit = min(limit, hard)
+        resource.setrlimit(resource.RLIMIT_AS, (limit, hard))
+        return True
+    except (ValueError, OSError):  # pragma: no cover - denied by the OS
+        return False
+
+
+def crash_reason(exitcode: int | None) -> str:
+    """A readable ``limit_reason`` for a worker that died without a result.
+
+    Negative exitcodes (the ``multiprocessing`` convention for
+    signal-terminated processes) decode to the signal name; positive
+    ones report the exit status; ``None``/0 — a worker that exited
+    "cleanly" yet posted nothing — stays a bare crash.
+    """
+    if exitcode is None or exitcode == 0:
+        return "worker crashed"
+    if exitcode < 0:
+        try:
+            name = signal.Signals(-exitcode).name
+        except ValueError:
+            name = f"signal {-exitcode}"
+        return f"worker crashed ({name})"
+    return f"worker crashed (exit {exitcode})"
+
+
+@dataclass
+class StallClock:
+    """Watchdog state for one running worker.
+
+    The worker stamps ``heartbeat`` (a shared ``multiprocessing.Value``)
+    from its ``on_progress`` hook; the parent calls :meth:`stalled_for`
+    each poll.  A worker that is alive but has neither finished nor
+    heartbeat within the stall window is treated as wedged — terminated
+    and (policy permitting) retried.
+    """
+
+    launch: float  # monotonic timestamp of the launch
+    heartbeat: object | None = None  # multiprocessing.Value('d') or None
+
+    def last_signal(self) -> float:
+        """Monotonic time of the most recent sign of life."""
+        if self.heartbeat is None:
+            return self.launch
+        return max(self.launch, self.heartbeat.value)
+
+    def stalled_for(self, now: float, window: float | None) -> bool:
+        """True when no heartbeat has arrived within ``window`` seconds."""
+        if window is None:
+            return False
+        return now - self.last_signal() > window

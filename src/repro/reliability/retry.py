@@ -1,0 +1,96 @@
+"""Supervised-retry policy for the parallel engines.
+
+A worker that crashes, hangs past its stall window, or returns a result
+the trusted-results gate rejects is *relaunched* — with a fresh seed and
+an exponentially growing backoff delay — up to
+:attr:`RetryPolicy.max_attempts` total attempts, inside whatever
+wall-clock budget remains for its instance.  Only after the policy is
+exhausted (or no time remains) does the engine degrade the instance to
+``UNKNOWN``.  Budget exhaustion inside a healthy worker (conflict/
+decision/time budgets) is an honest answer and is never retried.
+
+Every launch leaves an :class:`~repro.solver.result.AttemptRecord` on
+the final result's ``attempts`` list, so recoveries are auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.solver.config import SolverConfig
+
+#: Seed stride between retry attempts — a prime far larger than any
+#: portfolio size, so reseeded retries never collide with sibling seeds.
+RESEED_STRIDE = 7919
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and how often) a failed worker is relaunched.
+
+    Args:
+        max_attempts: total launches allowed per instance, including the
+            first (``1`` disables retries).
+        backoff: delay in seconds before the first relaunch; subsequent
+            relaunches wait ``backoff * backoff_factor**k``, capped at
+            ``max_backoff``.
+        backoff_factor: exponential growth factor of the delay.
+        max_backoff: upper bound on any single delay.
+        reseed: give every retry a fresh deterministic seed
+            (``seed + RESEED_STRIDE * attempt``) so a heuristic-path
+            crash or a degenerate search is not replayed verbatim.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.1
+    backoff_factor: float = 2.0
+    max_backoff: float = 5.0
+    reseed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def allows(self, attempts_made: int) -> bool:
+        """May another attempt be launched after ``attempts_made`` launches?"""
+        return attempts_made < self.max_attempts
+
+    def delay(self, failed_attempts: int) -> float:
+        """Backoff before the next launch, after ``failed_attempts`` failures."""
+        if failed_attempts <= 0:
+            return 0.0
+        return min(
+            self.backoff * self.backoff_factor ** (failed_attempts - 1),
+            self.max_backoff,
+        )
+
+    def config_for_attempt(self, config: SolverConfig, attempt: int) -> SolverConfig:
+        """The configuration used for the 0-based ``attempt``-th launch."""
+        if attempt == 0 or not self.reseed:
+            return config
+        return config.with_overrides(seed=config.seed + RESEED_STRIDE * attempt)
+
+
+#: Policy equivalent to the pre-reliability engine: one attempt, no retry.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+def as_retry_policy(retry) -> RetryPolicy:
+    """Normalize the engines' ``retry`` argument.
+
+    Accepts ``None`` (no retries), an ``int`` (total attempts with the
+    default backoff), or a :class:`RetryPolicy`.
+    """
+    if retry is None:
+        return NO_RETRY
+    if isinstance(retry, RetryPolicy):
+        return retry
+    if isinstance(retry, int):
+        return RetryPolicy(max_attempts=retry)
+    raise TypeError(
+        f"retry must be None, an int, or a RetryPolicy; got {type(retry).__name__}"
+    )

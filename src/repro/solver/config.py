@@ -44,6 +44,17 @@ DB_BERKMIN = "berkmin"  # age / activity / length (Section 8)
 DB_LIMITED_KEEPING = "limited_keeping"  # GRASP: length threshold only
 DB_KEEP_ALL = "keep_all"
 
+# Trusted-results verification levels --------------------------------------
+# "off": answers are taken at face value; "sat": SAT models are checked
+# against the original (pre-simplification) formula; "full": additionally
+# UNSAT answers are RUP-checked against their DRUP proof (proof logging is
+# enabled automatically).  Enforced by the reliability layer's
+# verify_result gate — see docs/ROBUSTNESS.md.
+VERIFY_OFF = "off"
+VERIFY_SAT = "sat"
+VERIFY_FULL = "full"
+VERIFICATION_LEVELS = (VERIFY_OFF, VERIFY_SAT, VERIFY_FULL)
+
 # Propagation engines ------------------------------------------------------
 # "split" drains binary clauses from flat per-literal implication arrays
 # before running the two-watch loop on longer clauses (the fast path);
@@ -117,6 +128,12 @@ class SolverConfig:
     # "general" the watched-literal reference kept for differential
     # testing and benchmarking (see docs/BENCHMARKS.md).
     propagation: str = PROPAGATION_SPLIT
+
+    # -- trusted results ---------------------------------------------------
+    # Post-solve answer verification level ("off" | "sat" | "full"); the
+    # parallel engines inherit it as their default gate and `solve_formula`
+    # applies it inline.  "full" implies proof logging.
+    verification: str = VERIFY_OFF
 
     # -- misc --------------------------------------------------------------
     seed: int = 0

@@ -33,6 +33,35 @@ class SolveStatus(enum.Enum):
 
 
 @dataclass
+class AttemptRecord:
+    """One supervised launch of a worker, as recorded by the parallel engine.
+
+    The reliability layer (``repro.reliability``) relaunches crashed,
+    hung, or corrupted workers under a
+    :class:`~repro.reliability.retry.RetryPolicy`; every launch —
+    including the final successful one — leaves one of these records on
+    :attr:`SolveResult.attempts` so the full failure/recovery history of
+    an answer is auditable.
+    """
+
+    #: 0-based attempt index (0 = the first launch).
+    attempt: int
+    #: Name of the configuration used for this attempt.
+    config_name: str
+    #: Seed used for this attempt (retries reseed by default).
+    seed: int
+    #: ``"ok"`` for a successful attempt, else the failure reason
+    #: (``"worker crashed (SIGKILL)"``, ``"stalled"``, ``"corrupted
+    #: result"``, ...) — the same string the degraded result's
+    #: ``limit_reason`` carries when no retry succeeds.
+    outcome: str
+    #: Wall-clock seconds between this attempt's launch and its end.
+    wall_seconds: float = 0.0
+    #: Optional elaboration (e.g. the verification failure message).
+    detail: str | None = None
+
+
+@dataclass
 class SolveResult:
     """Outcome of :meth:`repro.solver.Solver.solve`."""
 
@@ -57,6 +86,15 @@ class SolveResult:
     config_name: str | None = None
     #: Wall-clock seconds of the producing ``solve`` call.
     wall_seconds: float = 0.0
+    #: Supervised-attempt history recorded by the parallel engine when a
+    #: :class:`~repro.reliability.retry.RetryPolicy` is active.  ``None``
+    #: for plain sequential solves.
+    attempts: list[AttemptRecord] | None = None
+    #: How the trusted-results gate checked this answer: ``"model"``
+    #: (SAT answer model-checked against the original formula),
+    #: ``"proof"`` (UNSAT answer RUP-checked), or ``None`` when no check
+    #: ran.  Set by :func:`repro.reliability.verify_result` callers.
+    verified: str | None = None
 
     @property
     def is_sat(self) -> bool:
@@ -83,4 +121,8 @@ class SolveResult:
             parts.append(f"wall={self.wall_seconds:.3f}s")
         if self.is_unknown and self.limit_reason:
             parts.append(f"limit_reason={self.limit_reason!r}")
+        if self.verified:
+            parts.append(f"verified={self.verified!r}")
+        if self.attempts and len(self.attempts) > 1:
+            parts.append(f"attempts={len(self.attempts)}")
         return f"SolveResult({', '.join(parts)})"

@@ -42,6 +42,9 @@ from repro.cnf.simplify import clean_clause
 from repro.solver.config import (
     PROPAGATION_GENERAL,
     PROPAGATION_SPLIT,
+    VERIFICATION_LEVELS,
+    VERIFY_FULL,
+    VERIFY_OFF,
     SolverConfig,
     berkmin_config,
 )
@@ -129,11 +132,22 @@ class Solver:
         # (the "general" reference mode); attach_clause consults this.
         self._binary_in_watches = propagation == PROPAGATION_GENERAL
 
+        if self.config.verification not in VERIFICATION_LEVELS:
+            raise ValueError(
+                f"unknown verification level {self.config.verification!r}; "
+                f"expected one of {', '.join(VERIFICATION_LEVELS)}"
+            )
+
         self.ok = True  # False once the formula is refuted outright
         self._interrupted = False  # set by interrupt(), honoured in solve()
+        self._in_solve = False  # re-entrancy guard for solve()
         self._solve_started = time.perf_counter()
+        # "full" verification needs a DRUP trace to check, so it implies
+        # proof logging even when the config flag is off.
         self.proof: list[tuple[str, list[int]]] | None = (
-            [] if self.config.proof_logging else None
+            []
+            if self.config.proof_logging or self.config.verification == VERIFY_FULL
+            else None
         )
         # Pristine copies of every added clause, for model verification.
         self._pristine: list[list[int]] = []
@@ -761,6 +775,7 @@ class Solver:
         max_conflicts: int | None = None,
         max_decisions: int | None = None,
         max_seconds: float | None = None,
+        max_clauses: int | None = None,
         verify: bool = True,
         on_progress=None,
     ) -> SolveResult:
@@ -770,6 +785,12 @@ class Solver:
             assumptions: DIMACS literals assumed true for this call only.
             max_conflicts / max_decisions / max_seconds: budgets for this
                 call; exceeding one yields ``UNKNOWN`` with the reason.
+            max_clauses: memory guard — once the database (original plus
+                learned clauses) exceeds this many clauses the search
+                stops with ``UNKNOWN`` and ``limit_reason == "memory
+                budget"`` instead of growing without bound.  A raised
+                ``MemoryError`` inside the search loop degrades to the
+                same answer rather than killing the process.
             verify: check SAT models against every added clause (cheap
                 insurance; raises :class:`SolverInternalError` on failure).
             on_progress: optional callback invoked with the live
@@ -778,12 +799,24 @@ class Solver:
                 :meth:`interrupt` to stop the search cooperatively (the
                 parallel engine's cancellation hook); exceptions it
                 raises propagate to the caller.
+
+        The call is not re-entrant: invoking ``solve`` again on the same
+        instance from ``on_progress`` (or another thread) raises
+        :class:`RuntimeError`.  Sequential re-solves — after SAT, UNSAT,
+        a budget, or an interrupt — are supported and start from a clean
+        level-0 state.
         """
+        if self._in_solve:
+            raise RuntimeError(
+                "Solver.solve is not re-entrant; this instance is already "
+                "solving (use interrupt() from callbacks, or a second Solver)"
+            )
         start_time = time.perf_counter()
         self._solve_started = start_time
         stats = self.stats
         base_conflicts = stats.conflicts
         base_decisions = stats.decisions
+        self._in_solve = True
         try:
             if not self.ok:
                 return self._result(SolveStatus.UNSAT)
@@ -819,6 +852,11 @@ class Solver:
                         and stats.conflicts - base_conflicts >= max_conflicts
                     ):
                         return self._result(SolveStatus.UNKNOWN, limit="conflict budget")
+                    if (
+                        max_clauses is not None
+                        and len(self.clauses) + len(self.learned) > max_clauses
+                    ):
+                        return self._result(SolveStatus.UNKNOWN, limit="memory budget")
                     # Counters elapsed *since this call*: a resumed solve
                     # whose lifetime total happens to be a multiple of 128
                     # must not fire the hook on its first conflict.
@@ -883,7 +921,13 @@ class Solver:
                 self._enqueue(literal, None)
                 if self.current_level() > stats.max_decision_level:
                     stats.max_decision_level = self.current_level()
+        except MemoryError:
+            # Degrade instead of dying: the answer is honest (UNKNOWN) and
+            # the process survives.  The instance's internal state may be
+            # mid-operation, so discard it rather than re-solving.
+            return self._result(SolveStatus.UNKNOWN, limit="memory budget")
         finally:
+            self._in_solve = False
             stats.solve_time_seconds += time.perf_counter() - start_time
 
     def _failed_assumption_core(self, failed_literal: int) -> list[int]:
@@ -972,5 +1016,22 @@ def solve_formula(
     config: SolverConfig | None = None,
     **limits,
 ) -> SolveResult:
-    """One-shot convenience wrapper: build a solver, solve, return the result."""
-    return Solver(formula, config=config).solve(**limits)
+    """One-shot convenience wrapper: build a solver, solve, return the result.
+
+    When the configuration's ``verification`` level is not ``"off"``,
+    the answer passes through the trusted-results gate
+    (:func:`repro.reliability.verify_result`) before being returned:
+    SAT models are re-checked against the original formula and — at
+    level ``"full"`` — UNSAT answers are RUP-checked, with
+    ``result.verified`` recording which check ran.
+    """
+    solver = Solver(formula, config=config)
+    result = solver.solve(**limits)
+    if solver.config.verification != VERIFY_OFF:
+        # Imported lazily: the reliability layer sits above the solver.
+        from repro.reliability.verify import verify_result
+
+        result.verified = verify_result(
+            formula, result, level=solver.config.verification
+        )
+    return result

@@ -43,6 +43,11 @@ class SolverStats:
     # current top clause sat at distance r from the top of the stack.
     skin_effect: dict[int, int] = field(default_factory=dict)
 
+    # Reliability layer: worker relaunches performed by the supervised
+    # parallel engines (crash/hang/corruption recoveries, not budget
+    # exhaustion).  Zero for sequential solves.
+    worker_retries: int = 0
+
     solve_time_seconds: float = 0.0
 
     # ------------------------------------------------------------------
@@ -124,6 +129,7 @@ class SolverStats:
         self.max_decision_level = max(self.max_decision_level, other.max_decision_level)
         for distance, count in other.skin_effect.items():
             self.skin_effect[distance] = self.skin_effect.get(distance, 0) + count
+        self.worker_retries += other.worker_retries
         self.solve_time_seconds += other.solve_time_seconds
         return self
 
@@ -143,6 +149,7 @@ class SolverStats:
             "top_clause_decisions": self.top_clause_decisions,
             "formula_decisions": self.formula_decisions,
             "max_decision_level": self.max_decision_level,
+            "worker_retries": self.worker_retries,
             "database_growth_ratio": round(self.database_growth_ratio(), 3),
             "peak_memory_ratio": round(self.peak_memory_ratio(), 3),
             "solve_time_seconds": round(self.solve_time_seconds, 6),

@@ -1,21 +1,13 @@
 """solve_batch: ordering, aggregation, and per-instance degradation."""
 
-import multiprocessing
-import os
-import time
-
 import pytest
 
 import repro
 from repro.generators import pigeonhole_formula, planted_ksat, queens_formula
 from repro.parallel import BatchResult, solve_batch
 from repro.parallel.worker import solve_in_worker
+from repro.reliability import FaultPlan
 from repro.solver.result import SolveStatus
-
-fork_only = pytest.mark.skipif(
-    multiprocessing.get_start_method() != "fork",
-    reason="fault injection monkeypatches the worker, which requires fork",
-)
 
 
 def _mixed_formulas():
@@ -88,40 +80,33 @@ def test_invalid_jobs_rejected():
         solve_batch([pigeonhole_formula(3)], jobs=0)
 
 
-@fork_only
-def test_hung_worker_hits_hard_timeout(monkeypatch):
-    import repro.parallel.batch as batch_module
-
-    def hanging_worker(index, formula, config, limits, cancel_event, results):
-        if index == 1:
-            time.sleep(600)  # simulates a wedged worker
-        solve_in_worker(index, formula, config, limits, cancel_event, results)
-
-    monkeypatch.setattr(batch_module, "solve_in_worker", hanging_worker)
+@pytest.mark.fault_injection
+def test_hung_worker_hits_hard_timeout():
     formulas = [pigeonhole_formula(4), pigeonhole_formula(4), pigeonhole_formula(4)]
-    batch = solve_batch(formulas, jobs=3, timeout=1.0)
+    batch = solve_batch(
+        formulas,
+        jobs=3,
+        timeout=1.0,
+        fault_plan=FaultPlan.single("hang", worker=1, seconds=600),
+    )
     assert batch.statuses() == [
         SolveStatus.UNSAT, SolveStatus.UNKNOWN, SolveStatus.UNSAT,
     ]
     assert batch[1].limit_reason == "time budget"
 
 
-@fork_only
-def test_crashed_worker_degrades_without_losing_batch(monkeypatch):
-    import repro.parallel.batch as batch_module
-
-    def crashing_worker(index, formula, config, limits, cancel_event, results):
-        if index == 1:
-            os._exit(3)  # hard crash: no payload ever posted
-        solve_in_worker(index, formula, config, limits, cancel_event, results)
-
-    monkeypatch.setattr(batch_module, "solve_in_worker", crashing_worker)
+@pytest.mark.fault_injection
+def test_crashed_worker_degrades_without_losing_batch():
     formulas = [pigeonhole_formula(4), pigeonhole_formula(5), pigeonhole_formula(4)]
-    batch = solve_batch(formulas, jobs=2)
+    batch = solve_batch(
+        formulas, jobs=2, fault_plan=FaultPlan.single("crash", worker=1)
+    )
     assert batch.statuses() == [
         SolveStatus.UNSAT, SolveStatus.UNKNOWN, SolveStatus.UNSAT,
     ]
-    assert batch[1].limit_reason == "worker crashed"
+    assert batch[1].limit_reason.startswith("worker crashed")
+    # The degraded result reports the real elapsed time, not 0.0.
+    assert batch[1].wall_seconds > 0.0
 
 
 def test_worker_converts_exceptions_to_none_payload():

@@ -1,8 +1,5 @@
 """PortfolioSolver: race semantics, agreement with ground truth, degradation."""
 
-import multiprocessing
-import os
-
 import pytest
 
 import repro
@@ -15,14 +12,9 @@ from repro.generators import (
     xor_system_formula,
 )
 from repro.parallel import PORTFOLIO_PRESETS, PortfolioSolver, default_portfolio
-from repro.parallel.worker import solve_in_worker
+from repro.reliability import FaultPlan, FaultSpec
 from repro.solver.config import SolverConfig, chaff_config
 from repro.solver.result import SolveStatus
-
-fork_only = pytest.mark.skipif(
-    multiprocessing.get_start_method() != "fork",
-    reason="crash injection monkeypatches the worker, which requires fork",
-)
 
 #: Known-status instances across the generator families (small, fast).
 GROUND_TRUTH = [
@@ -100,28 +92,20 @@ def test_solve_accepts_clause_lists_and_assumptions():
     assert result.under_assumptions
 
 
-@fork_only
-def test_one_crashed_worker_does_not_lose_the_race(monkeypatch):
-    import repro.parallel.portfolio as portfolio_module
-
-    def crashing_worker(index, formula, config, limits, cancel_event, results):
-        if index == 0:
-            os._exit(3)  # hard crash: no payload ever posted
-        solve_in_worker(index, formula, config, limits, cancel_event, results)
-
-    monkeypatch.setattr(portfolio_module, "solve_in_worker", crashing_worker)
-    result = PortfolioSolver(jobs=2).solve(pigeonhole_formula(5))
+@pytest.mark.fault_injection
+def test_one_crashed_worker_does_not_lose_the_race():
+    portfolio = PortfolioSolver(
+        jobs=2, fault_plan=FaultPlan.single("crash", worker=0)
+    )
+    result = portfolio.solve(pigeonhole_formula(5))
     assert result.is_unsat
 
 
-@fork_only
-def test_every_worker_crashing_yields_unknown(monkeypatch):
-    import repro.parallel.portfolio as portfolio_module
-
-    def crashing_worker(index, formula, config, limits, cancel_event, results):
-        os._exit(3)
-
-    monkeypatch.setattr(portfolio_module, "solve_in_worker", crashing_worker)
-    result = PortfolioSolver(jobs=2).solve(pigeonhole_formula(4))
+@pytest.mark.fault_injection
+def test_every_worker_crashing_yields_unknown():
+    plan = FaultPlan(
+        specs=(FaultSpec(mode="crash", worker=0), FaultSpec(mode="crash", worker=1))
+    )
+    result = PortfolioSolver(jobs=2, fault_plan=plan).solve(pigeonhole_formula(4))
     assert result.is_unknown
-    assert result.limit_reason == "worker crashed"
+    assert result.limit_reason.startswith("worker crashed")

@@ -1,0 +1,72 @@
+"""FaultPlan/FaultSpec: validation, matching, serialization, corruption."""
+
+import signal
+
+import pytest
+
+from repro.cnf.formula import CnfFormula
+from repro.reliability.faults import (
+    FAULT_MODES,
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultSpec,
+    corrupt_result,
+)
+from repro.solver.result import SolveResult, SolveStatus
+
+
+def test_fault_modes_are_closed():
+    assert set(FAULT_MODES) == {"crash", "signal", "hang", "corrupt", "stall"}
+    with pytest.raises(ValueError):
+        FaultSpec(mode="explode")
+
+
+def test_spec_matches_worker_and_attempt():
+    spec = FaultSpec(mode="crash", worker=2, attempt=1)
+    assert spec.matches(2, 1)
+    assert not spec.matches(2, 0)
+    assert not spec.matches(0, 1)
+
+
+def test_single_plan_lookup():
+    plan = FaultPlan.single("hang", worker=1, seconds=5.0)
+    assert plan.lookup(1, 0) is not None
+    assert plan.lookup(1, 0).mode == "hang"
+    assert plan.lookup(1, 0).seconds == 5.0
+    assert plan.lookup(0, 0) is None
+    assert plan.lookup(1, 1) is None  # faults are per-attempt: retries run clean
+
+
+def test_json_roundtrip():
+    plan = FaultPlan(
+        specs=(
+            FaultSpec(mode="signal", worker=0, signum=int(signal.SIGTERM)),
+            FaultSpec(mode="corrupt", worker=3, attempt=2),
+        )
+    )
+    restored = FaultPlan.from_json(plan.to_json())
+    assert restored == plan
+
+
+def test_from_env(monkeypatch):
+    plan = FaultPlan.single("crash", worker=4)
+    monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+    assert FaultPlan.from_env() == plan
+    monkeypatch.delenv(FAULT_PLAN_ENV)
+    assert FaultPlan.from_env() is None
+
+
+def test_from_env_ignores_garbage(monkeypatch):
+    monkeypatch.setenv(FAULT_PLAN_ENV, "{not json")
+    assert FaultPlan.from_env() is None
+
+
+def test_corrupt_result_falsifies_the_formula():
+    formula = CnfFormula([[1, 2], [-1, 2], [-2, 3]])
+    honest = SolveResult(status=SolveStatus.UNSAT)
+    corrupted = corrupt_result(honest, formula)
+    assert corrupted.status is SolveStatus.SAT
+    assert isinstance(corrupted.model, dict)
+    # The forged model must NOT satisfy the formula, or the trusted-results
+    # gate would have nothing to catch.
+    assert not formula.evaluate(corrupted.model)

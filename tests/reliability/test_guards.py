@@ -1,0 +1,86 @@
+"""Resource guards: crash decoding, stall clock, memory ceiling."""
+
+import signal
+
+from repro.reliability.guards import StallClock, apply_memory_limit, crash_reason
+
+
+class _Beat:
+    """Stand-in for a multiprocessing.Value('d')."""
+
+    def __init__(self, value):
+        self.value = value
+
+
+def test_crash_reason_decodes_signals():
+    assert crash_reason(-int(signal.SIGKILL)) == "worker crashed (SIGKILL)"
+    assert crash_reason(-int(signal.SIGTERM)) == "worker crashed (SIGTERM)"
+    assert crash_reason(-int(signal.SIGSEGV)) == "worker crashed (SIGSEGV)"
+
+
+def test_crash_reason_plain_exit_codes():
+    assert crash_reason(3) == "worker crashed (exit 3)"
+    assert crash_reason(None) == "worker crashed"
+    assert crash_reason(0) == "worker crashed"
+    assert crash_reason(-990) == "worker crashed (signal 990)"  # not a real signal
+
+
+def test_stall_clock_without_heartbeat_counts_from_launch():
+    clock = StallClock(launch=100.0)
+    assert not clock.stalled_for(100.4, 0.5)
+    assert clock.stalled_for(100.6, 0.5)
+    assert not clock.stalled_for(1000.0, None)  # watchdog disabled
+
+
+def test_stall_clock_heartbeat_resets_the_window():
+    beat = _Beat(100.0)
+    clock = StallClock(launch=100.0, heartbeat=beat)
+    assert clock.stalled_for(100.6, 0.5)
+    beat.value = 100.55
+    assert not clock.stalled_for(100.6, 0.5)
+    assert clock.last_signal() == 100.55
+
+
+def test_apply_memory_limit_rejects_nonpositive():
+    assert apply_memory_limit(0) is False
+    assert apply_memory_limit(-5) is False
+    assert apply_memory_limit(None) is False
+
+
+def test_apply_memory_limit_is_effective_in_a_subprocess():
+    # Run in a child so the parent's address space is never limited.
+    import multiprocessing
+
+    context = multiprocessing.get_context()
+    queue = context.Queue()
+    process = context.Process(target=_allocate_under_limit, args=(queue,))
+    process.start()
+    process.join(timeout=30)
+    assert queue.get(timeout=5) == "MemoryError"
+
+
+def _current_vsz_mb():
+    try:
+        with open("/proc/self/statm") as handle:
+            pages = int(handle.read().split()[0])
+        import os
+
+        return pages * os.sysconf("SC_PAGE_SIZE") // (1024 * 1024)
+    except (OSError, ValueError, AttributeError):  # pragma: no cover
+        return None
+
+
+def _allocate_under_limit(queue):
+    # The ceiling must sit above whatever address space the child already
+    # inherited (a forked pytest process can be large), but far below the
+    # 1 GiB allocation we are about to attempt.
+    current = _current_vsz_mb()
+    applied = current is not None and apply_memory_limit(current + 128)
+    if not applied:  # pragma: no cover - platform without RLIMIT_AS or /proc
+        queue.put("MemoryError")
+        return
+    try:
+        block = bytearray(1024 * 1024 * 1024)  # 1 GiB >> the 128 MiB headroom
+        queue.put(f"allocated {len(block)}")
+    except MemoryError:
+        queue.put("MemoryError")

@@ -1,0 +1,64 @@
+"""RetryPolicy: attempt accounting, backoff schedule, reseeding."""
+
+import pytest
+
+from repro.reliability.retry import (
+    NO_RETRY,
+    RESEED_STRIDE,
+    RetryPolicy,
+    as_retry_policy,
+)
+from repro.solver.config import berkmin_config
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_factor=0.5)
+
+
+def test_allows_counts_total_attempts():
+    policy = RetryPolicy(max_attempts=3)
+    assert policy.allows(1) and policy.allows(2)
+    assert not policy.allows(3)
+    assert not NO_RETRY.allows(1)
+
+
+def test_backoff_is_exponential_and_capped():
+    policy = RetryPolicy(backoff=0.1, backoff_factor=2.0, max_backoff=0.35)
+    assert policy.delay(0) == 0.0
+    assert policy.delay(1) == pytest.approx(0.1)
+    assert policy.delay(2) == pytest.approx(0.2)
+    assert policy.delay(3) == pytest.approx(0.35)  # capped
+    assert policy.delay(10) == pytest.approx(0.35)
+
+
+def test_reseeding_is_deterministic_and_distinct():
+    policy = RetryPolicy(reseed=True)
+    config = berkmin_config(seed=5)
+    assert policy.config_for_attempt(config, 0) is config  # first launch untouched
+    second = policy.config_for_attempt(config, 1)
+    third = policy.config_for_attempt(config, 2)
+    assert second.seed == 5 + RESEED_STRIDE
+    assert third.seed == 5 + 2 * RESEED_STRIDE
+    assert second.name == config.name  # same heuristics, different dice
+    # Deterministic: the same attempt always gets the same seed.
+    assert policy.config_for_attempt(config, 1).seed == second.seed
+
+
+def test_reseed_can_be_disabled():
+    policy = RetryPolicy(reseed=False)
+    config = berkmin_config(seed=5)
+    assert policy.config_for_attempt(config, 3).seed == 5
+
+
+def test_as_retry_policy_conversions():
+    assert as_retry_policy(None) is NO_RETRY
+    assert as_retry_policy(4).max_attempts == 4
+    policy = RetryPolicy(max_attempts=2)
+    assert as_retry_policy(policy) is policy
+    with pytest.raises(TypeError):
+        as_retry_policy("twice")

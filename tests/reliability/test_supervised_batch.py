@@ -1,0 +1,141 @@
+"""Supervised solve_batch: every fault mode, retry recovery, degradation."""
+
+import pytest
+
+from repro.generators import pigeonhole_formula, planted_ksat
+from repro.parallel import solve_batch
+from repro.reliability import FaultPlan, RetryPolicy
+from repro.solver.result import SolveStatus
+
+pytestmark = pytest.mark.fault_injection
+
+#: A policy fast enough for tests: three attempts, near-zero backoff.
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff=0.01)
+
+
+def _instances():
+    return [pigeonhole_formula(3), planted_ksat(16, 64, 3, seed=4)]
+
+
+def test_crash_is_retried_to_a_verified_answer():
+    batch = solve_batch(
+        _instances(),
+        jobs=2,
+        retry=FAST_RETRY,
+        verification="full",
+        fault_plan=FaultPlan.single("crash", worker=0),
+    )
+    assert batch.statuses() == [SolveStatus.UNSAT, SolveStatus.SAT]
+    assert batch.all_verified
+    assert batch.retries == 1
+    assert batch.stats.worker_retries == 1
+    history = batch[0].attempts
+    assert [record.outcome for record in history] == [
+        "worker crashed (exit 3)", "ok",
+    ]
+    assert history[0].attempt == 0 and history[1].attempt == 1
+    assert history[0].seed != history[1].seed  # retries are reseeded
+    # The healthy sibling solved on its first attempt.
+    assert [record.outcome for record in batch[1].attempts] == ["ok"]
+
+
+def test_signal_death_is_decoded_and_retried():
+    batch = solve_batch(
+        _instances(),
+        jobs=2,
+        retry=FAST_RETRY,
+        fault_plan=FaultPlan.single("signal", worker=1),
+    )
+    assert batch.statuses() == [SolveStatus.UNSAT, SolveStatus.SAT]
+    assert batch[1].attempts[0].outcome == "worker crashed (SIGKILL)"
+
+
+def test_stalled_pipe_is_caught_by_the_watchdog():
+    batch = solve_batch(
+        _instances(),
+        jobs=2,
+        retry=FAST_RETRY,
+        stall_seconds=0.5,
+        fault_plan=FaultPlan.single("stall", worker=0, seconds=60),
+    )
+    assert batch.statuses() == [SolveStatus.UNSAT, SolveStatus.SAT]
+    assert batch[0].attempts[0].outcome == "stalled (no heartbeat)"
+
+
+def test_corrupted_result_is_rejected_and_retried():
+    batch = solve_batch(
+        _instances(),
+        jobs=2,
+        retry=FAST_RETRY,
+        verification="full",
+        fault_plan=FaultPlan.single("corrupt", worker=0),
+    )
+    assert batch.statuses() == [SolveStatus.UNSAT, SolveStatus.SAT]
+    assert batch.all_verified
+    first = batch[0].attempts[0]
+    assert first.outcome == "corrupted result"
+    assert "does not satisfy" in first.detail
+
+
+def test_corruption_survives_unseen_without_verification():
+    # The control experiment: with the gate off, the forged answer wins.
+    batch = solve_batch(
+        [pigeonhole_formula(3)],
+        jobs=1,
+        verification="off",
+        fault_plan=FaultPlan.single("corrupt", worker=0),
+    )
+    assert batch[0].status is SolveStatus.SAT  # a lie nothing checked
+
+
+def test_hang_past_timeout_degrades_without_retry():
+    batch = solve_batch(
+        [pigeonhole_formula(3)],
+        jobs=1,
+        timeout=0.5,
+        retry=FAST_RETRY,
+        fault_plan=FaultPlan.single("hang", worker=0, seconds=60),
+    )
+    assert batch[0].status is SolveStatus.UNKNOWN
+    assert batch[0].limit_reason == "time budget"
+    assert batch[0].wall_seconds >= 0.5  # real elapsed time, not 0.0
+    assert [record.outcome for record in batch[0].attempts] == ["time budget"]
+
+
+def test_exhausted_retries_degrade_with_full_history():
+    plan = FaultPlan(
+        specs=tuple(
+            FaultPlan.single("crash", worker=0, attempt=attempt).specs[0]
+            for attempt in range(3)
+        )
+    )
+    batch = solve_batch(
+        [pigeonhole_formula(3)],
+        jobs=1,
+        retry=FAST_RETRY,
+        fault_plan=plan,
+    )
+    assert batch[0].status is SolveStatus.UNKNOWN
+    assert batch[0].limit_reason == "worker crashed (exit 3)"
+    assert len(batch[0].attempts) == 3
+    assert batch.retries == 2  # two relaunches after the first attempt
+
+
+def test_env_driven_fault_plan_reaches_workers(monkeypatch):
+    from repro.reliability.faults import FAULT_PLAN_ENV
+
+    plan = FaultPlan.single("crash", worker=0)
+    monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+    batch = solve_batch([pigeonhole_formula(3)], jobs=1, retry=FAST_RETRY)
+    assert batch[0].status is SolveStatus.UNSAT
+    assert batch[0].attempts[0].outcome.startswith("worker crashed")
+
+
+def test_memory_budget_degrades_in_worker():
+    batch = solve_batch(
+        [pigeonhole_formula(7)],
+        jobs=1,
+        max_clauses=50,  # tiny database ceiling: trips immediately
+    )
+    assert batch[0].status is SolveStatus.UNKNOWN
+    assert batch[0].limit_reason == "memory budget"

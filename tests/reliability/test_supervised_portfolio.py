@@ -1,0 +1,88 @@
+"""Supervised PortfolioSolver: lane retries, verified winners, degradation."""
+
+import pytest
+
+from repro.generators import pigeonhole_formula, planted_ksat
+from repro.parallel import PortfolioSolver
+from repro.reliability import FaultPlan, FaultSpec, RetryPolicy
+from repro.solver.result import SolveStatus
+
+pytestmark = pytest.mark.fault_injection
+
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff=0.01)
+
+
+def test_single_lane_portfolio_recovers_from_crash():
+    portfolio = PortfolioSolver(
+        ["berkmin"],
+        retry=FAST_RETRY,
+        verification="full",
+        fault_plan=FaultPlan.single("crash", worker=0),
+    )
+    result = portfolio.solve(pigeonhole_formula(3))
+    assert result.status is SolveStatus.UNSAT
+    assert result.verified == "proof"
+    assert result.stats.worker_retries == 1
+    assert [record.outcome for record in result.attempts] == [
+        "worker crashed (exit 3)", "ok",
+    ]
+
+
+def test_corrupt_winner_is_rejected_and_race_continues():
+    # Lane 0 forges a SAT answer for an UNSAT formula on every attempt;
+    # the gate must reject it every time and let lane 1 win honestly.
+    plan = FaultPlan(
+        specs=tuple(
+            FaultSpec(mode="corrupt", worker=0, attempt=attempt)
+            for attempt in range(3)
+        )
+    )
+    portfolio = PortfolioSolver(
+        ["berkmin", "chaff"],
+        retry=FAST_RETRY,
+        verification="full",
+        fault_plan=plan,
+    )
+    result = portfolio.solve(pigeonhole_formula(3))
+    assert result.status is SolveStatus.UNSAT
+    assert result.verified == "proof"
+    assert result.config_name == "chaff"
+
+
+def test_stalled_lane_is_caught_and_retried():
+    portfolio = PortfolioSolver(
+        ["berkmin"],
+        retry=FAST_RETRY,
+        stall_seconds=0.5,
+        fault_plan=FaultPlan.single("stall", worker=0, seconds=60),
+    )
+    result = portfolio.solve(pigeonhole_formula(3))
+    assert result.status is SolveStatus.UNSAT
+    assert result.attempts[0].outcome == "stalled (no heartbeat)"
+
+
+def test_all_lanes_dead_past_retries_reports_history():
+    plan = FaultPlan(
+        specs=tuple(
+            FaultSpec(mode="crash", worker=worker, attempt=attempt)
+            for worker in range(2)
+            for attempt in range(2)
+        )
+    )
+    portfolio = PortfolioSolver(
+        ["berkmin", "chaff"],
+        retry=RetryPolicy(max_attempts=2, backoff=0.01),
+        fault_plan=plan,
+    )
+    result = portfolio.solve(pigeonhole_formula(3))
+    assert result.status is SolveStatus.UNKNOWN
+    assert result.limit_reason.startswith("worker crashed")
+    assert len(result.attempts) == 4  # 2 lanes x 2 attempts, all on record
+    assert result.stats.worker_retries == 2
+
+
+def test_winner_is_verified_when_gate_is_on():
+    formula = planted_ksat(16, 64, 3, seed=5)
+    result = PortfolioSolver(jobs=2, verification="sat").solve(formula)
+    assert result.status is SolveStatus.SAT
+    assert result.verified == "model"

@@ -1,0 +1,81 @@
+"""The trusted-results gate: model checks, proof checks, shape checks."""
+
+import pytest
+
+import repro
+from repro.cnf.formula import CnfFormula
+from repro.generators import pigeonhole_formula, planted_ksat
+from repro.reliability.verify import (
+    VerificationError,
+    check_result_shape,
+    verify_result,
+)
+from repro.solver.config import berkmin_config
+from repro.solver.result import SolveResult, SolveStatus
+from repro.solver.solver import Solver
+
+
+def test_honest_sat_model_verifies():
+    formula = planted_ksat(15, 60, 3, seed=3)
+    result = repro.solve(formula)
+    assert result.status is SolveStatus.SAT
+    assert verify_result(formula, result, "sat") == "model"
+    assert verify_result(formula, result, "full") == "model"
+
+
+def test_forged_sat_model_is_rejected():
+    formula = CnfFormula([[1, 2], [-1, 2]])
+    forged = SolveResult(status=SolveStatus.SAT, model={1: True, 2: False})
+    with pytest.raises(VerificationError, match="does not satisfy"):
+        verify_result(formula, forged, "sat")
+
+
+def test_unsat_proof_verifies_at_full():
+    formula = pigeonhole_formula(3)
+    solver = Solver(formula, config=berkmin_config(proof_logging=True))
+    result = solver.solve()
+    assert result.status is SolveStatus.UNSAT
+    assert verify_result(formula, result, "full") == "proof"
+    # Level "sat" does not check UNSAT answers.
+    assert verify_result(formula, result, "sat") is None
+
+
+def test_unsat_without_proof_is_rejected_at_full():
+    formula = pigeonhole_formula(3)
+    result = Solver(formula).solve()
+    assert result.status is SolveStatus.UNSAT and result.proof is None
+    with pytest.raises(VerificationError, match="no proof"):
+        verify_result(formula, result, "full")
+
+
+def test_unsat_under_assumptions_passes_unchecked():
+    formula = CnfFormula([[1, 2], [-1, 2]])
+    solver = Solver(formula, config=berkmin_config(proof_logging=True))
+    result = solver.solve(assumptions=[-2])
+    assert result.status is SolveStatus.UNSAT and result.under_assumptions
+    assert verify_result(formula, result, "full") is None
+
+
+def test_level_off_and_unknown_levels():
+    formula = CnfFormula([[1]])
+    result = repro.solve(formula)
+    assert verify_result(formula, result, "off") is None
+    with pytest.raises(ValueError, match="verification level"):
+        verify_result(formula, result, "paranoid")
+
+
+def test_shape_checks():
+    assert check_result_shape("not a result") is not None
+    assert check_result_shape(SolveResult(status=SolveStatus.SAT)) is not None
+    good = SolveResult(status=SolveStatus.SAT, model={1: True})
+    assert check_result_shape(good) is None
+    with pytest.raises(VerificationError):
+        verify_result(CnfFormula([[1]]), "garbage", "sat")
+
+
+def test_solve_formula_attaches_verified_tag():
+    formula = planted_ksat(12, 48, 3, seed=9)
+    config = berkmin_config(verification="full")
+    result = repro.solve_formula(formula, config=config)
+    assert result.status is SolveStatus.SAT
+    assert result.verified == "model"

@@ -1,0 +1,78 @@
+"""Repeated Solver.solve calls: clean re-solves, interrupts, re-entrancy."""
+
+import pytest
+
+from repro.generators import pigeonhole_formula, planted_ksat
+from repro.solver.result import SolveStatus
+from repro.solver.solver import Solver
+
+
+def test_resolve_after_sat_is_clean():
+    solver = Solver(planted_ksat(12, 40, 3, seed=6))
+    first = solver.solve()
+    second = solver.solve()
+    assert first.status is second.status is SolveStatus.SAT
+    assert first.model is not None and second.model is not None
+
+
+def test_resolve_after_unsat_stays_unsat():
+    solver = Solver(pigeonhole_formula(3))
+    assert solver.solve().status is SolveStatus.UNSAT
+    # The refutation is permanent; a second call must not resurrect it.
+    assert solver.solve().status is SolveStatus.UNSAT
+
+
+def test_interrupt_then_clear_then_resolve():
+    solver = Solver(pigeonhole_formula(4))
+    solver.interrupt()
+    result = solver.solve()
+    assert result.status is SolveStatus.UNKNOWN
+    assert result.limit_reason == "interrupted"
+    # The flag is consumed by the interrupted solve; a fresh call runs.
+    rerun = solver.solve()
+    assert rerun.status is SolveStatus.UNSAT
+
+
+def test_clear_interrupt_cancels_a_pending_interrupt():
+    solver = Solver(pigeonhole_formula(4))
+    solver.interrupt()
+    solver.clear_interrupt()
+    assert solver.solve().status is SolveStatus.UNSAT
+
+
+def test_repeated_interrupt_cycles():
+    solver = Solver(pigeonhole_formula(4))
+    for _ in range(3):
+        solver.interrupt()
+        assert solver.solve().limit_reason == "interrupted"
+    assert solver.solve().status is SolveStatus.UNSAT
+
+
+def test_budget_then_resolve_continues_to_an_answer():
+    solver = Solver(pigeonhole_formula(5))
+    partial = solver.solve(max_conflicts=5)
+    assert partial.status is SolveStatus.UNKNOWN
+    assert partial.limit_reason == "conflict budget"
+    finished = solver.solve()
+    assert finished.status is SolveStatus.UNSAT
+
+
+def test_reentrant_solve_raises_clear_error():
+    solver = Solver(pigeonhole_formula(5))
+
+    def reenter(stats):
+        solver.solve()
+
+    with pytest.raises(RuntimeError, match="not re-entrant"):
+        solver.solve(on_progress=reenter)
+    # The guard resets: the same instance solves fine afterwards.
+    assert solver.solve().status is SolveStatus.UNSAT
+
+
+def test_assumptions_do_not_leak_across_solves():
+    solver = Solver(planted_ksat(10, 30, 3, seed=8))
+    constrained = solver.solve(assumptions=[1])
+    unconstrained = solver.solve()
+    assert constrained.status in (SolveStatus.SAT, SolveStatus.UNSAT)
+    assert unconstrained.status is SolveStatus.SAT
+    assert not unconstrained.under_assumptions

@@ -126,9 +126,38 @@ def test_solve_jobs_implies_portfolio(tmp_path, capsys):
     assert "s SATISFIABLE" in captured
 
 
-def test_solve_portfolio_rejects_proof(tmp_path, capsys):
+def test_solve_portfolio_verifies_proof(tmp_path, capsys):
     path = _write(tmp_path, pigeonhole_formula(4))
-    assert main(["solve", path, "--portfolio", "--proof"]) == 2
+    code = main(["solve", path, "--portfolio", "--jobs", "2", "--proof"])
+    captured = capsys.readouterr().out
+    assert code == 20
+    assert "s UNSATISFIABLE" in captured
+    assert "c answer verified (proof)" in captured
+
+
+def test_solve_verify_sat_model(tmp_path, capsys):
+    path = _write(tmp_path, CnfFormula([[1, 2], [-1]]))
+    code = main(["solve", path, "--verify", "sat"])
+    captured = capsys.readouterr().out
+    assert code == 10
+    assert "c answer verified (model)" in captured
+
+
+def test_batch_with_verification_and_retries(tmp_path, capsys):
+    sat = _write(tmp_path, CnfFormula([[1, 2], [-1]]), "sat.cnf")
+    unsat = _write(tmp_path, pigeonhole_formula(4), "unsat.cnf")
+    code = main(["batch", sat, unsat, "--jobs", "2", "--proof", "--retries", "2"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "[verified: model]" in captured
+    assert "[verified: proof]" in captured
+
+
+def test_audit_quick(capsys):
+    code = main(["audit", "--rounds", "2", "--seed", "3"])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "audit PASS: 2 rounds" in captured
 
 
 def test_batch_command(tmp_path, capsys):
