@@ -22,7 +22,7 @@ test-parallel:
 # The reliability layer: fault injection, supervised retries, resource
 # guards, and the trusted-results gate (docs/ROBUSTNESS.md).
 test-robustness:
-	$(PYTHON) -m pytest tests/reliability/ tests/parallel/ tests/solver/test_resolve.py -x -q
+	$(PYTHON) -m pytest tests/reliability/ tests/parallel/ tests/checkpoint/ tests/solver/test_resolve.py -x -q
 	$(PYTHON) -m pytest tests/ -m fault_injection -q
 
 # The full 100-round randomized fault audit (the release gate).

@@ -258,10 +258,14 @@ def run_bcp_bench(
 
 
 def write_report(report: dict, path: str) -> None:
-    """Write the report as indented JSON (trailing newline included)."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    """Write the report as indented JSON (trailing newline included).
+
+    The write is atomic (tmp + fsync + ``os.replace``): a crash mid-write
+    leaves the previous report intact, never a truncated JSON file.
+    """
+    from repro.checkpoint.io import atomic_write_json
+
+    atomic_write_json(path, report)
 
 
 def format_table(report: dict) -> str:

@@ -1,0 +1,69 @@
+"""Crash-safe checkpointing and warm resume.
+
+The package has three layers:
+
+* :mod:`repro.checkpoint.io` — atomic file writes (tmp + fsync +
+  ``os.replace``), shared by every durable artifact in the tree;
+* :mod:`repro.checkpoint.envelope` — the versioned, CRC32-guarded
+  binary file format;
+* :mod:`repro.checkpoint.snapshot` / :mod:`repro.checkpoint.writer` —
+  capturing/restoring solver state and emitting periodic checkpoints
+  from the ``on_progress`` hook.
+
+See ``docs/ROBUSTNESS.md`` ("Checkpointing & warm resume") for the file
+format and the degradation matrix.
+"""
+
+from repro.checkpoint.envelope import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointVersionError,
+    decode_envelope,
+    encode_envelope,
+    read_checkpoint_file,
+    write_checkpoint_file,
+)
+from repro.checkpoint.io import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
+from repro.checkpoint.snapshot import (
+    CheckpointWarning,
+    SolverSnapshot,
+    capture_snapshot,
+    checkpoint_conflicts,
+    formula_fingerprint,
+    load_checkpoint,
+    restore_snapshot,
+    save_checkpoint,
+    try_load_checkpoint,
+)
+from repro.checkpoint.writer import CheckpointWriter
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "CheckpointCorruptError",
+    "CheckpointError",
+    "CheckpointVersionError",
+    "CheckpointWarning",
+    "CheckpointWriter",
+    "SolverSnapshot",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "capture_snapshot",
+    "checkpoint_conflicts",
+    "decode_envelope",
+    "encode_envelope",
+    "formula_fingerprint",
+    "load_checkpoint",
+    "read_checkpoint_file",
+    "restore_snapshot",
+    "save_checkpoint",
+    "try_load_checkpoint",
+    "write_checkpoint_file",
+]

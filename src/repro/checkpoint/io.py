@@ -1,0 +1,56 @@
+"""Atomic artifact writes.
+
+Every durable artifact the system emits — checkpoints, bench reports,
+proof files — goes through :func:`atomic_write_bytes`: the payload is
+written to a temporary sibling file, flushed and fsynced, then moved
+into place with ``os.replace``.  A crash (or ``kill -9``) at any point
+leaves either the previous complete file or no file — never a
+half-written one.  Readers therefore only ever have to defend against
+*stale* or *deliberately corrupted* data, which the checkpoint envelope
+(:mod:`repro.checkpoint.envelope`) handles with its CRC-guarded header.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmp + fsync + ``os.replace``).
+
+    The temporary file lives in the destination directory so the final
+    rename never crosses a filesystem boundary.  On any failure the
+    temporary file is removed and the original ``path`` (if it existed)
+    is left untouched.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    descriptor, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(
+    path: str | os.PathLike, text: str, encoding: str = "utf-8"
+) -> None:
+    """Atomically write ``text`` to ``path`` (see :func:`atomic_write_bytes`)."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(path: str | os.PathLike, obj, *, indent: int = 2) -> None:
+    """Atomically write ``obj`` as indented JSON with a trailing newline."""
+    atomic_write_text(path, json.dumps(obj, indent=indent) + "\n")

@@ -1,0 +1,102 @@
+"""Periodic checkpoint emission, driven by the solver's ``on_progress`` hook.
+
+A :class:`CheckpointWriter` is a callable suitable for
+``Solver.solve(on_progress=...)``.  Every time the hook fires it checks
+whether enough conflicts (or wall-clock seconds) have passed since the
+last write and, if so, snapshots the solver and writes the checkpoint
+file atomically.  Writers compose with the other progress consumers in
+the tree (heartbeats, cancellation, fault injection) through the same
+``chain`` convention the workers already use: the wrapped callable runs
+*after* the checkpoint logic, so a fault that kills the process on this
+very tick still leaves the tick's checkpoint on disk — exactly the
+crash window the subsystem exists for.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Optional
+
+from repro.checkpoint.snapshot import save_checkpoint
+from repro.solver.result import SolveStatus
+
+
+class CheckpointWriter:
+    """Write periodic checkpoints of one solver to one path.
+
+    Parameters
+    ----------
+    solver:
+        The live solver to snapshot.
+    path:
+        Destination checkpoint file (written atomically each time).
+    every_conflicts:
+        Write whenever at least this many conflicts accumulated since
+        the previous write (the primary cadence; the solver's hook fires
+        every 128 conflicts, so intervals below that quantize up).
+    every_seconds:
+        Optional wall-clock cadence; whichever trigger fires first wins.
+    chain:
+        Optional next ``on_progress`` consumer, invoked after the
+        checkpoint logic on every tick.
+    """
+
+    def __init__(
+        self,
+        solver,
+        path: str | os.PathLike,
+        *,
+        every_conflicts: int = 1000,
+        every_seconds: float | None = None,
+        chain: Optional[Callable] = None,
+    ) -> None:
+        if every_conflicts < 1:
+            raise ValueError("every_conflicts must be >= 1")
+        if every_seconds is not None and every_seconds <= 0:
+            raise ValueError("every_seconds must be positive")
+        self.solver = solver
+        self.path = os.fspath(path)
+        self.every_conflicts = every_conflicts
+        self.every_seconds = every_seconds
+        self.chain = chain
+        self._last_conflicts = solver.stats.conflicts
+        self._last_wall = time.monotonic()
+
+    def __call__(self, stats) -> None:
+        due = stats.conflicts - self._last_conflicts >= self.every_conflicts
+        if not due and self.every_seconds is not None:
+            due = time.monotonic() - self._last_wall >= self.every_seconds
+        if due:
+            self.write_now()
+        if self.chain is not None:
+            self.chain(stats)
+
+    def write_now(self) -> None:
+        """Snapshot and write unconditionally, resetting both cadences.
+
+        The ``checkpoints_written`` counter is bumped *before* capture so
+        the count rides inside the snapshot itself: a resumed solver
+        reports the full lineage's writes, and an equivalence test can
+        tell a warm resume from a cold rerun by stats alone.
+        """
+        self.solver.stats.checkpoints_written += 1
+        save_checkpoint(self.solver, self.path)
+        self._last_conflicts = self.solver.stats.conflicts
+        self._last_wall = time.monotonic()
+
+    def finalize(self, result) -> None:
+        """Reconcile the checkpoint file with a finished solve.
+
+        A definite answer (SAT/UNSAT) makes the checkpoint worthless —
+        remove it so nothing later resumes into a solved search.  An
+        UNKNOWN (budget, interrupt) is exactly when the state matters
+        most, so write one final up-to-date checkpoint for the next run.
+        """
+        if result is not None and result.status is not SolveStatus.UNKNOWN:
+            try:
+                os.remove(self.path)
+            except FileNotFoundError:
+                pass
+        else:
+            self.write_now()

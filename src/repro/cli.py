@@ -4,9 +4,11 @@ Subcommands::
 
     repro-sat solve FILE.cnf [--config NAME] [--max-conflicts N] [--proof]
                              [--verify LEVEL] [--portfolio] [--jobs N]
-                             [--retries N]
+                             [--retries N] [--checkpoint PATH]
+                             [--checkpoint-interval N] [--proof-out PATH]
     repro-sat batch FILE.cnf... [--config NAME] [--jobs N] [--timeout S]
                                 [--proof] [--verify LEVEL] [--retries N]
+                                [--checkpoint DIR] [--checkpoint-interval N]
     repro-sat generate FAMILY [options] -o FILE.cnf
     repro-sat experiment {table1..table10,fig1,all} [--scale quick|default]
     repro-sat bench [--out BENCH_2.json] [--scale quick|default|full]
@@ -35,15 +37,17 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import signal
 import sys
 
-from repro.cnf.dimacs import parse_dimacs_file, write_dimacs_file
+from repro.cnf.dimacs import DimacsError, parse_dimacs_file, write_dimacs_file
 from repro.proof import check_rup_proof
 from repro.solver.config import (
     CONFIG_FACTORIES,
     VERIFICATION_LEVELS,
     VERIFY_FULL,
     VERIFY_OFF,
+    VERIFY_SAT,
     config_by_name,
 )
 from repro.solver.result import SolveStatus
@@ -112,6 +116,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="portfolio only: total attempts per configuration before a "
         "crashed/stalled lane degrades (default: 1, no retries)",
     )
+    solve.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="crash-safe checkpointing: write periodic snapshots to this "
+        "file (a directory of per-lane files with --portfolio) and "
+        "warm-resume from it on start when it holds a usable snapshot; "
+        "an interrupted (Ctrl-C) or budget-stopped solve leaves a final "
+        "checkpoint behind",
+    )
+    solve.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="conflicts between periodic checkpoint writes (default: 1000)",
+    )
+    solve.add_argument(
+        "--proof-out",
+        default=None,
+        metavar="PATH",
+        help="write the DRUP proof of an UNSAT answer to this file "
+        "(atomic write; implies proof logging)",
+    )
 
     batch = sub.add_parser(
         "batch", help="solve many DIMACS files concurrently"
@@ -160,6 +188,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="heartbeat watchdog: terminate (and retry) workers silent "
         "for this many seconds",
+    )
+    batch.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="directory of per-file checkpoints: workers snapshot "
+        "periodically, retries warm-resume from the last good "
+        "checkpoint, and a re-run over the same directory resumes "
+        "every unfinished file",
+    )
+    batch.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="conflicts between periodic checkpoint writes (default: 1000)",
     )
 
     generate = sub.add_parser("generate", help="write a benchmark instance")
@@ -275,19 +319,60 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             f"{solve_target.num_clauses} clauses, "
             f"{len(reconstruction.eliminated)} variables eliminated"
         )
-        args = argparse.Namespace(**{**vars(args), "proof": False, "verify": None})
+        args = argparse.Namespace(
+            **{**vars(args), "proof": False, "verify": None, "proof_out": None}
+        )
     verification = args.verify
     if args.proof and verification is None:
         verification = VERIFY_FULL
     config = config_by_name(
         args.config,
         seed=args.seed,
-        proof_logging=args.proof or verification == VERIFY_FULL,
+        proof_logging=(
+            args.proof or args.proof_out is not None or verification == VERIFY_FULL
+        ),
     )
     solver = Solver(solve_target, config=config)
-    result = solver.solve(
-        max_conflicts=args.max_conflicts, max_seconds=args.max_seconds
-    )
+    writer = None
+    if args.checkpoint:
+        if solver.resume(args.checkpoint):
+            print(
+                f"c resumed from checkpoint {args.checkpoint} "
+                f"({solver.stats.conflicts} conflicts)"
+            )
+        if config.proof_logging and solver.proof is None:
+            # The checkpoint predates proof logging; its trace is gone, so
+            # a DRUP check of this run is impossible — degrade loudly.
+            print(
+                "c checkpoint carries no proof trace; proof logging "
+                "disabled for the resumed run",
+                file=sys.stderr,
+            )
+            if verification == VERIFY_FULL:
+                verification = VERIFY_SAT
+        from repro.checkpoint import CheckpointWriter
+
+        writer = CheckpointWriter(
+            solver, args.checkpoint, every_conflicts=args.checkpoint_interval
+        )
+        # Ctrl-C becomes a cooperative interrupt: the search stops at the
+        # next boundary and finalize() writes the resume point to disk.
+        previous_sigint = signal.signal(
+            signal.SIGINT, lambda signum, frame: solver.interrupt()
+        )
+    try:
+        result = solver.solve(
+            max_conflicts=args.max_conflicts,
+            max_seconds=args.max_seconds,
+            on_progress=writer,
+        )
+    finally:
+        if writer is not None:
+            signal.signal(signal.SIGINT, previous_sigint)
+    if writer is not None:
+        writer.finalize(result)
+        if result.is_unknown:
+            print(f"c checkpoint written to {args.checkpoint}")
     if verification is not None and verification != VERIFY_OFF:
         from repro.reliability import verify_result
 
@@ -315,6 +400,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         if args.proof and result.proof is not None:
             check_rup_proof(formula, result.proof)
             print("c proof verified (RUP)")
+        if args.proof_out and result.proof is not None:
+            _write_proof_file(args.proof_out, result.proof)
+            print(f"c proof written to {args.proof_out}")
         exit_code = 20
     else:
         print(f"s UNKNOWN ({result.limit_reason})")
@@ -323,6 +411,17 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         for key, value in result.stats.as_dict().items():
             print(f"c {key} = {value}")
     return exit_code
+
+
+def _write_proof_file(path: str, proof) -> None:
+    """Write a DRUP trace in DRAT text form, atomically."""
+    from repro.checkpoint.io import atomic_write_text
+
+    lines = []
+    for op, literals in proof:
+        body = " ".join([str(literal) for literal in literals] + ["0"])
+        lines.append(body if op == "a" else "d " + body)
+    atomic_write_text(path, "\n".join(lines) + "\n")
 
 
 def _print_result(result, *, stats: bool) -> int:
@@ -373,6 +472,8 @@ def _solve_portfolio(args: argparse.Namespace, formula) -> int:
         jobs=jobs,
         retry=args.retries,
         verification=verification if verification is not None else VERIFY_OFF,
+        checkpoint_dir=args.checkpoint,
+        checkpoint_interval=args.checkpoint_interval,
     )
     result = portfolio.solve(
         formula, max_conflicts=args.max_conflicts, max_seconds=args.max_seconds
@@ -405,6 +506,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         retry=args.retries,
         verification=verification if verification is not None else VERIFY_OFF,
         stall_seconds=args.stall_seconds,
+        checkpoint_dir=args.checkpoint,
+        checkpoint_interval=args.checkpoint_interval,
     )
     for path, result in zip(args.files, batch.results):
         detail = f" ({result.limit_reason})" if result.is_unknown else ""
@@ -558,9 +661,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "solve":
         return _cmd_solve(args)
     if args.command == "batch":
@@ -578,6 +679,21 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "audit":
         return _cmd_audit(args)
     raise AssertionError("unreachable")  # pragma: no cover
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Operational errors — an unreadable, missing, or malformed input
+    file — surface as a one-line ``repro-sat: error: ...`` message on
+    stderr with exit code 2, never a traceback.
+    """
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except (DimacsError, OSError) as error:
+        print(f"repro-sat: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

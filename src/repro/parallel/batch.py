@@ -38,6 +38,7 @@ import time
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from repro.checkpoint.snapshot import checkpoint_conflicts
 from repro.cnf.formula import CnfFormula
 from repro.parallel.worker import drain_results, solve_in_worker
 from repro.reliability.faults import FaultPlan
@@ -148,6 +149,8 @@ class _Active:
     clock: StallClock
     attempt: int
     config: SolverConfig
+    #: Conflict count inherited from a checkpoint at launch (None = cold).
+    resumed_from: int | None = None
 
 
 def solve_batch(
@@ -166,6 +169,8 @@ def solve_batch(
     stall_seconds: float | None = None,
     max_memory_mb: int | None = None,
     fault_plan: FaultPlan | None = None,
+    checkpoint_dir: str | os.PathLike | None = None,
+    checkpoint_interval: int = 1000,
 ) -> BatchResult:
     """Solve many formulas concurrently; degrade per instance, never fail.
 
@@ -205,6 +210,20 @@ def solve_batch(
             solve degrades to ``UNKNOWN ("memory budget")``.
         fault_plan: deterministic fault injection for tests/audits (see
             :class:`~repro.reliability.FaultPlan`).
+        checkpoint_dir: directory of per-instance checkpoint files
+            (``instance-0003.ckpt``), created if missing.  Every worker
+            writes an atomic checkpoint each ``checkpoint_interval``
+            conflicts, and — crucially — every *relaunch* (supervised
+            retry or a later ``solve_batch`` call over the same
+            directory) warm-resumes from the last good checkpoint
+            instead of the cold seed, inheriting the learned clauses and
+            activities the previous attempt paid for.  The inherited
+            progress is recorded as ``resumed_from_conflicts`` on the
+            attempt's :class:`AttemptRecord`.  Unusable checkpoints
+            (missing, truncated, bit-flipped, stale version, different
+            formula) degrade to a cold start with a warning.
+        checkpoint_interval: conflicts between periodic checkpoint
+            writes (only meaningful with ``checkpoint_dir``).
 
     A worker that raises, is killed, stalls, or returns a corrupted
     result yields — after the retry policy is exhausted —
@@ -240,6 +259,10 @@ def solve_batch(
     if timeout is None and max_seconds is not None:
         timeout = max_seconds + grace_seconds
 
+    if checkpoint_dir is not None:
+        checkpoint_dir = os.fspath(checkpoint_dir)
+        os.makedirs(checkpoint_dir, exist_ok=True)
+
     started = time.perf_counter()
     if not items:
         return BatchResult(wall_seconds=time.perf_counter() - started)
@@ -274,6 +297,15 @@ def solve_batch(
             limits["max_seconds"] = max(min(limits["max_seconds"], remaining), 0.01)
         heartbeat = context.Value("d", now)
         fault = fault_plan.lookup(instance.index, attempt) if fault_plan else None
+        checkpoint_path = None
+        resumed_from = None
+        if checkpoint_dir is not None:
+            checkpoint_path = os.path.join(
+                checkpoint_dir, f"instance-{instance.index:04d}.ckpt"
+            )
+            resumed_from = checkpoint_conflicts(
+                checkpoint_path, require_proof=worker_config.proof_logging
+            )
         process = context.Process(
             target=solve_in_worker,
             args=(
@@ -287,12 +319,18 @@ def solve_batch(
                 attempt,
                 fault,
                 max_memory_mb,
+                checkpoint_path,
+                checkpoint_interval,
             ),
             daemon=True,
         )
         process.start()
         active[instance.index] = _Active(
-            process, StallClock(now, heartbeat), attempt, attempt_config
+            process,
+            StallClock(now, heartbeat),
+            attempt,
+            attempt_config,
+            resumed_from=resumed_from,
         )
         instance.attempts += 1
 
@@ -305,6 +343,7 @@ def solve_batch(
                 outcome=outcome,
                 wall_seconds=now - entry.clock.launch,
                 detail=detail,
+                resumed_from_conflicts=entry.resumed_from,
             )
         )
 

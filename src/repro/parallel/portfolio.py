@@ -35,6 +35,7 @@ import time
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
+from repro.checkpoint.snapshot import checkpoint_conflicts
 from repro.cnf.formula import CnfFormula
 from repro.parallel.worker import drain_results, solve_in_worker
 from repro.reliability.faults import FaultPlan
@@ -116,6 +117,8 @@ class _Active:
     clock: StallClock
     attempt: int
     config: SolverConfig
+    #: Conflict count inherited from a checkpoint at launch (None = cold).
+    resumed_from: int | None = None
 
 
 class PortfolioSolver:
@@ -143,6 +146,17 @@ class PortfolioSolver:
         max_memory_mb: per-worker ``RLIMIT_AS`` ceiling.
         fault_plan: deterministic fault injection keyed by (lane,
             attempt), for tests and audits.
+        checkpoint_dir: directory of per-lane checkpoint files
+            (``lane-03.ckpt``), created if missing.  Lanes checkpoint
+            every ``checkpoint_interval`` conflicts, and a relaunched
+            lane (supervised retry, or a later race over the same
+            directory and formula) warm-resumes from its last good
+            checkpoint instead of a cold seed; the inherited progress is
+            recorded as ``resumed_from_conflicts`` on the attempt
+            record.  Unusable checkpoints degrade to a cold start with a
+            warning — see :mod:`repro.checkpoint`.
+        checkpoint_interval: conflicts between periodic checkpoint
+            writes (only meaningful with ``checkpoint_dir``).
     """
 
     def __init__(
@@ -156,6 +170,8 @@ class PortfolioSolver:
         stall_seconds: float | None = None,
         max_memory_mb: int | None = None,
         fault_plan: FaultPlan | None = None,
+        checkpoint_dir: str | os.PathLike | None = None,
+        checkpoint_interval: int = 1000,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -181,6 +197,10 @@ class PortfolioSolver:
         self.stall_seconds = stall_seconds
         self.max_memory_mb = max_memory_mb
         self.fault_plan = fault_plan
+        self.checkpoint_dir = (
+            os.fspath(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.checkpoint_interval = checkpoint_interval
 
     # ------------------------------------------------------------------
     def solve(
@@ -222,6 +242,8 @@ class PortfolioSolver:
             "max_seconds": max_seconds,
             "max_clauses": max_clauses,
         }
+        if self.checkpoint_dir is not None:
+            os.makedirs(self.checkpoint_dir, exist_ok=True)
         context = multiprocessing.get_context()
         cancel = context.Event()
         results_queue = context.Queue()
@@ -251,6 +273,15 @@ class PortfolioSolver:
                 limits["max_seconds"] = max(min(limits["max_seconds"], remaining), 0.01)
             heartbeat = context.Value("d", now)
             fault = self.fault_plan.lookup(lane.index, attempt) if self.fault_plan else None
+            checkpoint_path = None
+            resumed_from = None
+            if self.checkpoint_dir is not None:
+                checkpoint_path = os.path.join(
+                    self.checkpoint_dir, f"lane-{lane.index:02d}.ckpt"
+                )
+                resumed_from = checkpoint_conflicts(
+                    checkpoint_path, require_proof=attempt_config.proof_logging
+                )
             process = context.Process(
                 target=solve_in_worker,
                 args=(
@@ -264,12 +295,18 @@ class PortfolioSolver:
                     attempt,
                     fault,
                     self.max_memory_mb,
+                    checkpoint_path,
+                    self.checkpoint_interval,
                 ),
                 daemon=True,
             )
             process.start()
             active[lane.index] = _Active(
-                process, StallClock(now, heartbeat), attempt, attempt_config
+                process,
+                StallClock(now, heartbeat),
+                attempt,
+                attempt_config,
+                resumed_from=resumed_from,
             )
             lane.attempts += 1
 
@@ -282,6 +319,7 @@ class PortfolioSolver:
                     outcome=outcome,
                     wall_seconds=now - entry.clock.launch,
                     detail=detail,
+                    resumed_from_conflicts=entry.resumed_from,
                 )
             )
 

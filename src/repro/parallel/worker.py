@@ -31,6 +31,7 @@ from __future__ import annotations
 import queue as queue_module
 import time
 
+from repro.checkpoint.writer import CheckpointWriter
 from repro.reliability.faults import (
     FAULT_CORRUPT,
     FAULT_STALL,
@@ -53,6 +54,8 @@ def solve_in_worker(
     attempt: int = 0,
     fault=None,
     max_memory_mb=None,
+    checkpoint_path=None,
+    checkpoint_interval: int = 1000,
 ) -> None:
     """Solve ``formula`` under ``config`` and post ``(index, result)``.
 
@@ -71,6 +74,16 @@ def solve_in_worker(
     outside the API.  Any exception inside the solve is converted to a
     ``None`` payload so the parent can count the worker as
     finished-without-answer.
+
+    ``checkpoint_path`` makes the attempt crash-safe: the worker first
+    warm-resumes from that file if a usable checkpoint is there (a
+    missing, corrupted, or foreign file degrades to a cold start — see
+    :mod:`repro.checkpoint`), then writes a fresh checkpoint every
+    ``checkpoint_interval`` conflicts.  A definite answer removes the
+    file; an interrupted/budgeted solve leaves a final one behind.  A
+    fault with ``after_conflicts`` set fires from the same progress
+    hook, *after* the checkpoint logic — so the death the fault
+    simulates always has that tick's checkpoint on disk to recover from.
     """
     try:
         if max_memory_mb is not None:
@@ -80,20 +93,60 @@ def solve_in_worker(
             if plan is not None:
                 worker_index = index[0] if isinstance(index, tuple) else index
                 fault = plan.lookup(worker_index, attempt)
-        if fault is not None:
+        deferred = fault if fault is not None and fault.after_conflicts is not None else None
+        if fault is not None and deferred is None:
             execute_entry_fault(fault)  # crash/signal never return; hang sleeps
 
         solver = Solver(formula, config=config)
-        on_progress = None
-        if cancel_event is not None or heartbeat is not None:
+        if checkpoint_path is not None:
+            from repro.checkpoint.snapshot import CheckpointWarning, try_load_checkpoint
 
-            def on_progress(stats, _solver=solver, _event=cancel_event, _beat=heartbeat):
+            snapshot = try_load_checkpoint(checkpoint_path)
+            if snapshot is not None and config.proof_logging and snapshot.proof is None:
+                # Resuming would force proof logging off, and a verified
+                # parent would then reject the answer as unjustified —
+                # a cold start that keeps the proof is strictly better.
+                import warnings
+
+                warnings.warn(
+                    f"checkpoint {checkpoint_path!r} carries no proof trace "
+                    "but this launch must produce one; cold-starting",
+                    CheckpointWarning,
+                    stacklevel=2,
+                )
+            elif snapshot is not None:
+                solver.resume(snapshot)  # graceful: cold start on any defect
+        on_progress = None
+        if cancel_event is not None or heartbeat is not None or deferred is not None:
+
+            def on_progress(
+                stats,
+                _solver=solver,
+                _event=cancel_event,
+                _beat=heartbeat,
+                _deferred=deferred,
+            ):
                 if _beat is not None:
                     _beat.value = time.monotonic()
                 if _event is not None and _event.is_set():
                     _solver.interrupt()
+                if (
+                    _deferred is not None
+                    and stats.conflicts >= _deferred.after_conflicts
+                ):
+                    execute_entry_fault(_deferred)  # crash/signal: no return
 
-        result = solver.solve(on_progress=on_progress, **limits)
+        writer = None
+        if checkpoint_path is not None:
+            writer = CheckpointWriter(
+                solver,
+                checkpoint_path,
+                every_conflicts=checkpoint_interval,
+                chain=on_progress,
+            )
+        result = solver.solve(on_progress=writer or on_progress, **limits)
+        if writer is not None:
+            writer.finalize(result)
         if fault is not None:
             if fault.mode == FAULT_CORRUPT:
                 result = corrupt_result(result, formula)

@@ -1,14 +1,23 @@
 """Randomized end-to-end audit of the supervised engines.
 
 ``repro-sat audit`` fuzzes the whole reliability stack: each round
-draws a random engine (batch or portfolio), a random fault
-(crash/signal/hang/corrupt/stall — or none), and a random victim
-worker, then solves instances whose ground-truth status is known by
-construction (planted k-SAT and N-queens are SAT; pigeonhole and
-odd-cycle coloring are UNSAT by counting arguments).  The engine runs
-with retries and full verification, and the round passes only when
-every answer is **definite**, **correct**, and **verified** — a model
-check for SAT, a RUP proof check for UNSAT.
+draws a random engine (batch, portfolio, or the checkpoint subsystem),
+a random fault, and a random victim worker, then solves instances whose
+ground-truth status is known by construction (planted k-SAT and
+N-queens are SAT; pigeonhole and odd-cycle coloring are UNSAT by
+counting arguments).  The engine runs with retries and full
+verification, and the round passes only when every answer is
+**definite**, **correct**, and **verified** — a model check for SAT, a
+RUP proof check for UNSAT.
+
+Batch/portfolio rounds inject worker faults
+(crash/signal/hang/corrupt/stall — or none).  Checkpoint rounds attack
+the crash-safety layer itself: a ``truncate``/``bitflip``/
+``stale-version`` round plants a damaged checkpoint file and demands a
+clean (retry-free) cold start with a correct verified answer; a
+``kill-resume`` round SIGKILLs a worker mid-search and demands that the
+supervised retry warm-resumes from the last checkpoint and still
+produces the correct verified answer.
 
 A clean audit is the operational meaning of "trusted results": no
 single-worker fault, anywhere in the pipeline, can surface a wrong or
@@ -18,10 +27,16 @@ the default test suite; the full 100-round audit is the release gate.
 
 from __future__ import annotations
 
+import os
 import random
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 
+from repro.checkpoint.envelope import CHECKPOINT_VERSION, encode_envelope
+from repro.checkpoint.io import atomic_write_bytes
+from repro.checkpoint.snapshot import capture_snapshot
 from repro.generators.graph_coloring import odd_cycle_formula
 from repro.generators.pigeonhole import pigeonhole_formula
 from repro.generators.queens import queens_formula
@@ -35,10 +50,12 @@ from repro.reliability.faults import (
     FAULT_SIGNAL,
     FAULT_STALL,
     FaultPlan,
+    FaultSpec,
 )
 from repro.reliability.retry import RetryPolicy
 from repro.solver.config import VERIFY_FULL, config_by_name
 from repro.solver.result import SolveStatus
+from repro.solver.solver import Solver
 
 #: Fault menu per round; ``None`` keeps a healthy-path control in the mix.
 _FAULT_MENU = (
@@ -49,9 +66,16 @@ _FAULT_MENU = (
     FAULT_CORRUPT,
     FAULT_STALL,
 )
+#: Checkpoint-subsystem fault menu (see the module docstring).
+_CHECKPOINT_MENU = ("truncate", "bitflip", "stale-version", "kill-resume")
 #: Sleep given to hang/stall faults — far past the watchdog window, so
 #: only the supervisor (never patience) ends these workers.
 _FAULT_SLEEP = 30.0
+#: kill-resume rounds SIGKILL the worker once it has paid this many
+#: conflicts; the checkpoint cadence below guarantees a resume point
+#: exists well before the kill.
+_KILL_AFTER_CONFLICTS = 300
+_KILL_CHECKPOINT_INTERVAL = 100
 
 
 @dataclass
@@ -98,6 +122,101 @@ def _check_answer(name, expected, result) -> str | None:
     return None
 
 
+def _plant_damaged_checkpoint(path, formula, corruption, rng) -> None:
+    """Write a deliberately unusable checkpoint for ``formula`` at ``path``.
+
+    ``stale-version`` writes an intact envelope from a future format
+    version; ``truncate`` cuts a genuine checkpoint short; ``bitflip``
+    flips one random bit (always caught by a CRC — of the header or of
+    the payload, depending on where it lands).
+    """
+    snapshot = capture_snapshot(Solver(formula, config_by_name("berkmin")))
+    if corruption == "stale-version":
+        blob = encode_envelope(snapshot.to_payload(), version=CHECKPOINT_VERSION + 1)
+    else:
+        blob = encode_envelope(snapshot.to_payload())
+        if corruption == "truncate":
+            blob = blob[: rng.randrange(1, len(blob))]
+        else:  # bitflip
+            position = rng.randrange(len(blob))
+            flipped = blob[position] ^ (1 << rng.randrange(8))
+            blob = blob[:position] + bytes([flipped]) + blob[position + 1 :]
+    atomic_write_bytes(path, blob)
+
+
+def _checkpoint_round(pool, corruption, policy, stall_seconds, rng, report, defects):
+    """One audit round against the checkpoint subsystem; returns the name."""
+    workdir = tempfile.mkdtemp(prefix="repro-audit-ck-")
+    try:
+        if corruption == "kill-resume":
+            # A pinned hard instance (hole-6, ~700 conflicts) so the
+            # mid-search SIGKILL genuinely lands mid-search, past several
+            # checkpoint writes.
+            name, formula, expected = "hole-6", pigeonhole_formula(6), SolveStatus.UNSAT
+            plan = FaultPlan(
+                (
+                    FaultSpec(
+                        FAULT_SIGNAL,
+                        worker=0,
+                        attempt=0,
+                        after_conflicts=_KILL_AFTER_CONFLICTS,
+                    ),
+                )
+            )
+            batch = solve_batch(
+                [formula],
+                jobs=1,
+                retry=policy,
+                verification=VERIFY_FULL,
+                stall_seconds=stall_seconds,
+                fault_plan=plan,
+                checkpoint_dir=workdir,
+                checkpoint_interval=_KILL_CHECKPOINT_INTERVAL,
+            )
+            result = batch[0]
+            report.retries += batch.retries
+            defect = _check_answer(name, expected, result)
+            if defect is not None:
+                defects.append(defect)
+            elif batch.retries < 1:
+                defects.append(f"{name}: kill-resume round performed no retry")
+            elif not any(
+                record.resumed_from_conflicts
+                for record in (result.attempts or [])
+            ):
+                defects.append(
+                    f"{name}: relaunch did not warm-resume from a checkpoint"
+                )
+        else:
+            name, formula, expected = rng.choice(pool)
+            _plant_damaged_checkpoint(
+                os.path.join(workdir, "instance-0000.ckpt"), formula, corruption, rng
+            )
+            batch = solve_batch(
+                [formula],
+                jobs=1,
+                retry=policy,
+                verification=VERIFY_FULL,
+                stall_seconds=stall_seconds,
+                checkpoint_dir=workdir,
+            )
+            result = batch[0]
+            report.retries += batch.retries
+            defect = _check_answer(name, expected, result)
+            if defect is not None:
+                defects.append(defect)
+            elif batch.retries:
+                # A damaged file must degrade to a cold start inside the
+                # same attempt — never look like a crashed worker.
+                defects.append(
+                    f"{name}: damaged checkpoint burned {batch.retries} "
+                    "retries instead of degrading to a cold start"
+                )
+        return name
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
 def run_audit(
     rounds: int = 100,
     *,
@@ -120,11 +239,18 @@ def run_audit(
     started = time.perf_counter()
 
     for round_index in range(rounds):
-        engine = rng.choice(("batch", "portfolio"))
-        mode = rng.choice(_FAULT_MENU)
+        engine = rng.choice(("batch", "portfolio", "checkpoint"))
+        mode = rng.choice(
+            _CHECKPOINT_MENU if engine == "checkpoint" else _FAULT_MENU
+        )
         defects: list[str] = []
 
-        if engine == "batch":
+        if engine == "checkpoint":
+            victim = 0
+            _checkpoint_round(
+                pool, mode, policy, stall_seconds, rng, report, defects
+            )
+        elif engine == "batch":
             picks = rng.sample(pool, 2)
             victim = rng.randrange(len(picks))
             plan = (

@@ -76,12 +76,27 @@ class FaultSpec:
     signum: int = int(signal.SIGKILL)
     #: Exit code used in ``crash`` mode.
     exit_code: int = 3
+    #: Defer a ``crash``/``signal`` fault until the worker's solver has
+    #: reached this many lifetime conflicts — the fault then fires from
+    #: the ``on_progress`` hook *mid-search*, after any checkpoint due on
+    #: the same tick has been written.  ``None`` (the default) keeps the
+    #: historical behaviour: the fault executes at process entry, before
+    #: a solver is even built.
+    after_conflicts: int | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in FAULT_MODES:
             raise ValueError(
                 f"unknown fault mode {self.mode!r}; expected one of "
                 f"{', '.join(FAULT_MODES)}"
+            )
+        if self.after_conflicts is not None and self.mode not in (
+            FAULT_CRASH,
+            FAULT_SIGNAL,
+        ):
+            raise ValueError(
+                "after_conflicts only defers crash/signal faults "
+                f"(got mode {self.mode!r})"
             )
 
     def matches(self, worker: int, attempt: int) -> bool:
@@ -145,7 +160,9 @@ def execute_entry_fault(spec: FaultSpec) -> None:
     ``crash`` and ``signal`` do not return; ``hang`` sleeps (ignoring
     cooperative cancellation, like a genuinely wedged worker) and then
     falls through to the normal solve.  ``corrupt``/``stall`` are
-    post-solve faults and are no-ops here.
+    post-solve faults and are no-ops here.  Deferred faults
+    (``after_conflicts`` set) are the worker's ``on_progress`` hook's
+    business, which calls back into this function at the scheduled tick.
     """
     if spec.mode == FAULT_CRASH:
         os._exit(spec.exit_code)

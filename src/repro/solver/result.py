@@ -59,6 +59,10 @@ class AttemptRecord:
     wall_seconds: float = 0.0
     #: Optional elaboration (e.g. the verification failure message).
     detail: str | None = None
+    #: When this attempt warm-resumed from a checkpoint: the conflict
+    #: count the checkpoint carried (i.e. the progress inherited instead
+    #: of redone).  ``None`` for cold starts.
+    resumed_from_conflicts: int | None = None
 
 
 @dataclass

@@ -766,6 +766,45 @@ class Solver:
         self._interrupted = False
 
     # ==================================================================
+    # Checkpointing (see repro.checkpoint for the file format)
+    # ==================================================================
+    def snapshot(self):
+        """Capture the resumable search state as a :class:`SolverSnapshot`.
+
+        The snapshot holds the learned-clause stack, all activity
+        counters, the level-0 trail, the RNG state, the statistics, and
+        the proof trace (when logging) — everything a fresh solver on
+        the same formula needs to continue this search instead of
+        restarting it.  Safe to call mid-search from ``on_progress``.
+        """
+        from repro.checkpoint.snapshot import capture_snapshot
+
+        return capture_snapshot(self)
+
+    def resume(self, snapshot) -> bool:
+        """Restore a snapshot (or checkpoint file path) onto this solver.
+
+        Must be called on a *fresh* solver built for the same formula,
+        before any search.  Accepts a :class:`SolverSnapshot` or a path
+        to a checkpoint file.  Returns ``True`` on a warm resume and
+        ``False`` — after a :class:`CheckpointWarning` — whenever the
+        snapshot cannot be used (missing/corrupted/stale-version file,
+        different formula), leaving the solver ready for a cold start.
+        Corruption never raises.
+        """
+        from repro.checkpoint.snapshot import (
+            SolverSnapshot,
+            restore_snapshot,
+            try_load_checkpoint,
+        )
+
+        if not isinstance(snapshot, SolverSnapshot):
+            snapshot = try_load_checkpoint(snapshot)
+            if snapshot is None:
+                return False
+        return restore_snapshot(self, snapshot)
+
+    # ==================================================================
     # Main loop
     # ==================================================================
     def solve(

@@ -48,6 +48,11 @@ class SolverStats:
     # exhaustion).  Zero for sequential solves.
     worker_retries: int = 0
 
+    # Checkpointing (see repro.checkpoint): snapshots written by the
+    # periodic writer, and warm resumes applied from a prior snapshot.
+    checkpoints_written: int = 0
+    resumes: int = 0
+
     solve_time_seconds: float = 0.0
 
     # ------------------------------------------------------------------
@@ -130,6 +135,8 @@ class SolverStats:
         for distance, count in other.skin_effect.items():
             self.skin_effect[distance] = self.skin_effect.get(distance, 0) + count
         self.worker_retries += other.worker_retries
+        self.checkpoints_written += other.checkpoints_written
+        self.resumes += other.resumes
         self.solve_time_seconds += other.solve_time_seconds
         return self
 
@@ -150,6 +157,8 @@ class SolverStats:
             "formula_decisions": self.formula_decisions,
             "max_decision_level": self.max_decision_level,
             "worker_retries": self.worker_retries,
+            "checkpoints_written": self.checkpoints_written,
+            "resumes": self.resumes,
             "database_growth_ratio": round(self.database_growth_ratio(), 3),
             "peak_memory_ratio": round(self.peak_memory_ratio(), 3),
             "solve_time_seconds": round(self.solve_time_seconds, 6),

@@ -1,0 +1,113 @@
+"""The checkpoint envelope: framing, CRC guards, version gate, atomic IO."""
+
+import os
+
+import pytest
+
+from repro.checkpoint.envelope import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+    HEADER_SIZE,
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointVersionError,
+    decode_envelope,
+    encode_envelope,
+    read_checkpoint_file,
+    write_checkpoint_file,
+)
+from repro.checkpoint.io import atomic_write_bytes, atomic_write_json, atomic_write_text
+
+PAYLOAD = {
+    "name": "test",
+    "numbers": [1, 2, 3],
+    "nested": {"rng": (1, (2, 3), None)},
+    "flag": True,
+}
+
+
+def test_roundtrip():
+    assert decode_envelope(encode_envelope(PAYLOAD)) == PAYLOAD
+
+
+def test_roundtrip_uncompressed():
+    blob = encode_envelope(PAYLOAD, compress=False)
+    assert decode_envelope(blob) == PAYLOAD
+
+
+def test_envelope_starts_with_magic():
+    assert encode_envelope(PAYLOAD)[:4] == CHECKPOINT_MAGIC
+
+
+def test_every_truncation_is_detected():
+    blob = encode_envelope(PAYLOAD)
+    for length in range(len(blob)):
+        with pytest.raises(CheckpointCorruptError):
+            decode_envelope(blob[:length])
+
+
+def test_every_single_bitflip_is_detected():
+    blob = encode_envelope(PAYLOAD)
+    for position in range(len(blob)):
+        for bit in range(8):
+            damaged = (
+                blob[:position]
+                + bytes([blob[position] ^ (1 << bit)])
+                + blob[position + 1 :]
+            )
+            with pytest.raises(CheckpointError):
+                decode_envelope(damaged)
+
+
+def test_stale_version_is_its_own_error():
+    blob = encode_envelope(PAYLOAD, version=CHECKPOINT_VERSION + 1)
+    with pytest.raises(CheckpointVersionError):
+        decode_envelope(blob)
+    # ...and a version error is still a CheckpointError for blanket handlers.
+    assert issubclass(CheckpointVersionError, CheckpointError)
+
+
+def test_trailing_garbage_is_ignored():
+    # os.replace guarantees we never read a half-new file, but a longer
+    # stale tail after a rewrite-in-place must not confuse the reader.
+    blob = encode_envelope(PAYLOAD) + b"stale tail bytes"
+    assert decode_envelope(blob) == PAYLOAD
+
+
+def test_non_dict_payload_rejected():
+    blob = encode_envelope(["not", "a", "dict"])  # encoder doesn't validate
+    with pytest.raises(CheckpointCorruptError):
+        decode_envelope(blob)
+
+
+def test_header_size_constant_matches_layout():
+    assert HEADER_SIZE == 24
+    assert len(encode_envelope({})) >= HEADER_SIZE
+
+
+def test_file_roundtrip(tmp_path):
+    path = tmp_path / "state.ckpt"
+    write_checkpoint_file(path, PAYLOAD)
+    assert read_checkpoint_file(path) == PAYLOAD
+
+
+def test_missing_file_raises_oserror(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        read_checkpoint_file(tmp_path / "absent.ckpt")
+
+
+def test_atomic_write_replaces_and_leaves_no_temp_files(tmp_path):
+    path = tmp_path / "artifact.bin"
+    atomic_write_bytes(path, b"first")
+    atomic_write_bytes(path, b"second")
+    assert path.read_bytes() == b"second"
+    assert os.listdir(tmp_path) == ["artifact.bin"]
+
+
+def test_atomic_write_text_and_json(tmp_path):
+    text_path = tmp_path / "note.txt"
+    atomic_write_text(text_path, "hello\n")
+    assert text_path.read_text() == "hello\n"
+    json_path = tmp_path / "report.json"
+    atomic_write_json(json_path, {"ok": True})
+    assert json_path.read_text() == '{\n  "ok": true\n}\n'

@@ -1,0 +1,176 @@
+"""Kill/interrupt a solve mid-search, resume, and get the same answer.
+
+This file carries the PR's acceptance criteria:
+
+* **kill-resume equivalence** — on every pinned audit instance, a solve
+  killed mid-search and resumed from its last checkpoint returns the
+  same SAT/UNSAT answer as an uninterrupted run (process-level SIGKILL
+  through the supervised batch engine, and in-process interrupts for
+  the cheap matrix);
+* **learned state demonstrably retained** — on a pinned hard instance
+  the resumed run finishes with fewer post-resume conflicts than a cold
+  restart (see also ``test_snapshot.py``);
+* **interrupt + resume** — an interrupted solve writes a final
+  checkpoint, and ``clear_interrupt`` + ``resume`` continues to the
+  same answer.
+"""
+
+import pytest
+
+from repro.checkpoint.snapshot import checkpoint_conflicts
+from repro.checkpoint.writer import CheckpointWriter
+from repro.generators.pigeonhole import pigeonhole_formula
+from repro.parallel import solve_batch
+from repro.reliability import FaultPlan, RetryPolicy
+from repro.reliability.audit import _instance_pool
+from repro.reliability.faults import FaultSpec
+from repro.solver.config import config_by_name
+from repro.solver.solver import Solver
+
+
+def _resume_to_completion(formula, checkpoint_path):
+    """Fresh solver, warm resume, solve to the end."""
+    solver = Solver(formula, config_by_name("berkmin"))
+    assert solver.resume(str(checkpoint_path)) is True
+    return solver.solve(), solver
+
+
+@pytest.mark.parametrize(
+    "name,formula,expected",
+    [(name, formula, expected) for name, formula, expected in _instance_pool()],
+)
+def test_interrupted_resume_matches_cold_answer(tmp_path, name, formula, expected):
+    """Every pinned audit instance: interrupt mid-search, resume, same answer."""
+    cold = Solver(formula, config_by_name("berkmin")).solve()
+    assert cold.status is expected
+
+    solver = Solver(formula, config_by_name("berkmin"))
+    path = tmp_path / f"{name}.ckpt"
+    writer = CheckpointWriter(solver, path, every_conflicts=1)
+    budget = max(cold.stats.conflicts // 2, 1)
+    partial = solver.solve(max_conflicts=budget, on_progress=writer)
+    if not partial.is_unknown:
+        # Too easy to interrupt (solved before the first progress tick):
+        # the cold answer is already the equivalence statement.
+        assert partial.status is expected
+        return
+    writer.finalize(partial)
+    resumed, _ = _resume_to_completion(formula, path)
+    assert resumed.status is expected
+
+
+@pytest.mark.fault_injection
+def test_sigkill_mid_search_resumes_to_same_answer(tmp_path):
+    """Process-level kill: SIGKILL at 300 conflicts, warm-resumed retry."""
+    formula = pigeonhole_formula(6)
+    cold = Solver(formula, config_by_name("berkmin")).solve()
+    assert cold.is_unsat
+
+    checkpoint_dir = tmp_path / "ck"
+    plan = FaultPlan(
+        (FaultSpec("signal", worker=0, attempt=0, after_conflicts=300),)
+    )
+    batch = solve_batch(
+        [formula],
+        jobs=1,
+        retry=RetryPolicy(max_attempts=3, backoff=0.01),
+        verification="full",
+        fault_plan=plan,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_interval=100,
+    )
+    result = batch[0]
+    assert result.status is cold.status
+    assert result.verified == "proof"
+    assert batch.retries == 1
+    history = result.attempts
+    assert history[0].outcome == "worker crashed (SIGKILL)"
+    assert history[0].resumed_from_conflicts is None  # first launch was cold
+    assert history[1].outcome == "ok"
+    # The relaunch inherited at least one full checkpoint interval of work.
+    assert history[1].resumed_from_conflicts >= 100
+    assert result.stats.resumes == 1
+    # A definite answer reconciles the checkpoint file away.
+    assert not (checkpoint_dir / "instance-0000.ckpt").exists()
+
+
+@pytest.mark.fault_injection
+def test_cold_retry_without_checkpoint_dir_for_contrast(tmp_path):
+    """Same kill, no checkpointing: the retry starts from zero conflicts."""
+    formula = pigeonhole_formula(6)
+    plan = FaultPlan(
+        (FaultSpec("signal", worker=0, attempt=0, after_conflicts=300),)
+    )
+    batch = solve_batch(
+        [formula],
+        jobs=1,
+        retry=RetryPolicy(max_attempts=3, backoff=0.01),
+        verification="full",
+        fault_plan=plan,
+    )
+    result = batch[0]
+    assert result.is_unsat
+    assert all(record.resumed_from_conflicts is None for record in result.attempts)
+    assert result.stats.resumes == 0
+
+
+def test_proofless_checkpoint_cold_starts_under_full_verification(tmp_path):
+    """A snapshot without a proof trace must not be resumed by a launch
+    that has to justify its answer — resuming would disable proof
+    logging and the parent's gate would reject the (correct) answer as
+    unverifiable, burning a retry for nothing."""
+    formula = pigeonhole_formula(6)
+    checkpoint_dir = tmp_path / "ck"
+    # Write a proofless checkpoint (no verification -> no proof logging).
+    first = solve_batch(
+        [formula],
+        jobs=1,
+        max_conflicts=300,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_interval=50,
+    )
+    assert first[0].is_unknown
+    assert (checkpoint_dir / "instance-0000.ckpt").exists()
+
+    second = solve_batch(
+        [formula],
+        jobs=1,
+        retry=RetryPolicy(max_attempts=3, backoff=0.01),
+        verification="full",
+        checkpoint_dir=checkpoint_dir,
+    )
+    result = second[0]
+    assert result.is_unsat
+    assert result.verified == "proof"
+    assert second.retries == 0  # cold start in the same attempt, no churn
+    assert result.attempts[-1].resumed_from_conflicts is None
+
+
+def test_interrupt_writes_final_checkpoint_and_resumes(tmp_path):
+    """The interrupt+resume satellite, on the same solver object."""
+    formula = pigeonhole_formula(6)
+    cold = Solver(formula, config_by_name("berkmin")).solve()
+
+    solver = Solver(formula, config_by_name("berkmin"))
+    path = tmp_path / "interrupted.ckpt"
+    writer = CheckpointWriter(solver, path, every_conflicts=10_000)
+
+    def interrupt_at_200(stats):
+        if stats.conflicts >= 200:
+            solver.interrupt()
+
+    writer.chain = interrupt_at_200
+    partial = solver.solve(on_progress=writer)
+    assert partial.is_unknown and partial.limit_reason == "interrupted"
+    writer.finalize(partial)
+    assert checkpoint_conflicts(path) == partial.stats.conflicts
+
+    # Path A: the same solver continues in process after clear_interrupt.
+    solver.clear_interrupt()
+    continued = solver.solve()
+    assert continued.status is cold.status
+
+    # Path B: a fresh solver resumes from the final checkpoint on disk.
+    resumed, resumed_solver = _resume_to_completion(formula, path)
+    assert resumed.status is cold.status
+    assert resumed_solver.stats.resumes == 1

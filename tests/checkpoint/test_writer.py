@@ -1,0 +1,71 @@
+"""The on_progress-driven periodic checkpoint writer."""
+
+import pytest
+
+from repro.checkpoint.snapshot import load_checkpoint
+from repro.checkpoint.writer import CheckpointWriter
+from repro.generators.pigeonhole import pigeonhole_formula
+from repro.solver.config import config_by_name
+from repro.solver.solver import Solver
+
+
+def test_periodic_writes_during_solve(tmp_path):
+    path = tmp_path / "live.ckpt"
+    solver = Solver(pigeonhole_formula(6), config_by_name("berkmin"))
+    writer = CheckpointWriter(solver, path, every_conflicts=100)
+    result = solver.solve(max_conflicts=400, on_progress=writer)
+    assert result.is_unknown
+    assert path.exists()
+    assert solver.stats.checkpoints_written >= 2
+    snapshot = load_checkpoint(path)
+    # The counter is bumped before capture, so it rides in the snapshot.
+    assert snapshot.stats["checkpoints_written"] == solver.stats.checkpoints_written
+    assert 0 < snapshot.conflicts <= 400
+
+
+def test_finalize_removes_checkpoint_on_definite_answer(tmp_path):
+    path = tmp_path / "done.ckpt"
+    solver = Solver(pigeonhole_formula(5), config_by_name("berkmin"))
+    writer = CheckpointWriter(solver, path, every_conflicts=50)
+    result = solver.solve(on_progress=writer)
+    assert result.is_unsat
+    writer.finalize(result)
+    assert not path.exists()
+
+
+def test_finalize_writes_final_checkpoint_on_unknown(tmp_path):
+    path = tmp_path / "partial.ckpt"
+    solver = Solver(pigeonhole_formula(6), config_by_name("berkmin"))
+    writer = CheckpointWriter(solver, path, every_conflicts=10_000)  # never periodic
+    result = solver.solve(max_conflicts=90, on_progress=writer)
+    assert result.is_unknown
+    assert not path.exists()
+    writer.finalize(result)
+    assert load_checkpoint(path).conflicts == solver.stats.conflicts
+
+
+def test_finalize_with_missing_file_is_quiet(tmp_path):
+    solver = Solver(pigeonhole_formula(4), config_by_name("berkmin"))
+    writer = CheckpointWriter(solver, tmp_path / "never.ckpt", every_conflicts=10_000)
+    writer.finalize(solver.solve())  # UNSAT before any write; nothing to remove
+
+
+def test_chain_is_invoked_every_tick(tmp_path):
+    ticks = []
+    solver = Solver(pigeonhole_formula(5), config_by_name("berkmin"))
+    writer = CheckpointWriter(
+        solver,
+        tmp_path / "x.ckpt",
+        every_conflicts=10_000,
+        chain=lambda stats: ticks.append(stats.conflicts),
+    )
+    solver.solve(max_conflicts=300, on_progress=writer)
+    assert ticks  # the wrapped consumer saw every progress tick
+
+
+def test_writer_rejects_bad_cadence(tmp_path):
+    solver = Solver(pigeonhole_formula(3), config_by_name("berkmin"))
+    with pytest.raises(ValueError):
+        CheckpointWriter(solver, tmp_path / "x.ckpt", every_conflicts=0)
+    with pytest.raises(ValueError):
+        CheckpointWriter(solver, tmp_path / "x.ckpt", every_seconds=0.0)

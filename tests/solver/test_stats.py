@@ -1,6 +1,8 @@
 """SolverStats derived quantities (the Table 3 / Table 9 instrumentation)."""
 
-from repro.solver.stats import SolverStats
+import dataclasses
+
+from repro.solver.stats import SolverStats, aggregate_stats
 
 
 def test_skin_distance_recording():
@@ -34,6 +36,48 @@ def test_as_dict_roundtrips_fields():
     assert summary["decisions"] == 3
     assert summary["conflicts"] == 2
     assert summary["database_growth_ratio"] == 1.5
+
+
+def test_merge_never_drops_a_field():
+    """Aggregating N nonzero snapshots must account for EVERY dataclass field.
+
+    Built by introspection so that a future counter added to SolverStats
+    but forgotten in merge() fails here instead of silently reading zero
+    in batch reports.
+    """
+    peak_fields = {"peak_clauses", "max_decision_level"}
+    snapshots = []
+    for index in range(1, 4):
+        stats = SolverStats()
+        for position, spec in enumerate(dataclasses.fields(SolverStats)):
+            if spec.name == "skin_effect":
+                value = {index: index * 10 + position}
+            elif spec.type == "float":
+                value = float(index * 100 + position)
+            else:
+                value = index * 100 + position
+            setattr(stats, spec.name, value)
+        snapshots.append(stats)
+
+    total = aggregate_stats(snapshots)
+    for position, spec in enumerate(dataclasses.fields(SolverStats)):
+        merged = getattr(total, spec.name)
+        contributions = [getattr(snapshot, spec.name) for snapshot in snapshots]
+        if spec.name == "skin_effect":
+            assert merged == {index: index * 10 + position for index in range(1, 4)}
+        elif spec.name in peak_fields:
+            assert merged == max(contributions), spec.name
+        else:
+            assert merged == sum(contributions), spec.name
+
+
+def test_aggregate_matches_as_dict_keys():
+    """Every plain counter field surfaces in as_dict (no hidden state)."""
+    summary_keys = set(SolverStats().as_dict())
+    for spec in dataclasses.fields(SolverStats):
+        if spec.name == "skin_effect":  # reported via skin_profile instead
+            continue
+        assert spec.name in summary_keys, spec.name
 
 
 def test_live_stats_track_reality():

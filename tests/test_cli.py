@@ -200,3 +200,113 @@ def test_bad_arguments_exit():
         main(["solve"])
     with pytest.raises(SystemExit):
         main(["generate", "nonsense", "-o", "x"])
+
+
+# ----------------------------------------------------------------------
+# Error hygiene: operational failures are one-line diagnostics, exit 2
+# ----------------------------------------------------------------------
+
+
+def test_solve_missing_file_is_one_line_error(tmp_path, capsys):
+    code = main(["solve", str(tmp_path / "absent.cnf")])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert captured.err.startswith("repro-sat: error:")
+    assert len(captured.err.strip().splitlines()) == 1
+    assert "Traceback" not in captured.err
+
+
+def test_solve_malformed_dimacs_is_one_line_error(tmp_path, capsys):
+    path = tmp_path / "broken.cnf"
+    path.write_text("p cnf 2 1\n1 nonsense 0\n")
+    code = main(["solve", str(path)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert captured.err.startswith("repro-sat: error:")
+    assert len(captured.err.strip().splitlines()) == 1
+
+
+def test_batch_missing_file_is_one_line_error(tmp_path, capsys):
+    present = _write(tmp_path, CnfFormula([[1]]), "ok.cnf")
+    code = main(["batch", present, str(tmp_path / "absent.cnf")])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert captured.err.startswith("repro-sat: error:")
+
+
+def test_unwritable_artifact_path_is_one_line_error(tmp_path, capsys):
+    path = _write(tmp_path, pigeonhole_formula(4))
+    out = tmp_path / "no-such-dir" / "proof.drat"
+    code = main(["solve", path, "--proof-out", str(out)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert captured.err.startswith("repro-sat: error:")
+
+
+# ----------------------------------------------------------------------
+# Checkpoint flags
+# ----------------------------------------------------------------------
+
+
+def test_solve_checkpoint_then_resume(tmp_path, capsys):
+    path = _write(tmp_path, pigeonhole_formula(6))
+    ckpt = tmp_path / "run.ckpt"
+
+    code = main(
+        ["solve", path, "--checkpoint", str(ckpt), "--checkpoint-interval",
+         "50", "--max-conflicts", "200"]
+    )
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "s UNKNOWN" in captured
+    assert f"c checkpoint written to {ckpt}" in captured
+    assert ckpt.exists()
+
+    code = main(["solve", path, "--checkpoint", str(ckpt)])
+    captured = capsys.readouterr().out
+    assert code == 20
+    assert "c resumed from checkpoint" in captured
+    assert "s UNSATISFIABLE" in captured
+    assert not ckpt.exists()  # definite answer reconciles the file away
+
+
+def test_solve_corrupt_checkpoint_degrades_to_cold_start(tmp_path, capsys):
+    path = _write(tmp_path, pigeonhole_formula(4))
+    ckpt = tmp_path / "bad.ckpt"
+    ckpt.write_bytes(b"RSCK not a real checkpoint")
+    with pytest.warns(Warning):
+        code = main(["solve", path, "--checkpoint", str(ckpt)])
+    captured = capsys.readouterr().out
+    assert code == 20
+    assert "c resumed from checkpoint" not in captured
+    assert "s UNSATISFIABLE" in captured
+
+
+def test_solve_proof_out_writes_drat_file(tmp_path, capsys):
+    path = _write(tmp_path, pigeonhole_formula(4))
+    proof_path = tmp_path / "proof.drat"
+    code = main(["solve", path, "--proof-out", str(proof_path)])
+    captured = capsys.readouterr().out
+    assert code == 20
+    assert f"c proof written to {proof_path}" in captured
+    lines = proof_path.read_text().strip().splitlines()
+    assert lines[-1] == "0"  # final empty clause
+    assert all(line.split()[-1] == "0" for line in lines)
+
+
+def test_batch_checkpoint_dir(tmp_path, capsys):
+    hard = _write(tmp_path, pigeonhole_formula(7), "hard.cnf")
+    ckdir = tmp_path / "ck"
+    code = main(
+        ["batch", hard, "--checkpoint", str(ckdir), "--checkpoint-interval",
+         "50", "--max-conflicts", "300"]
+    )
+    assert code == 1  # UNKNOWN on budget
+    assert (ckdir / "instance-0000.ckpt").exists()
+    capsys.readouterr()
+
+    code = main(["batch", hard, "--checkpoint", str(ckdir)])
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert f"{hard}: UNSAT" in captured
+    assert not (ckdir / "instance-0000.ckpt").exists()
