@@ -16,7 +16,10 @@ planning encodings, pigeonhole/parity instances).  A parallel engine
 and solves batches over multiprocessing workers, supervised by a
 reliability layer (:mod:`repro.reliability`) that retries failed
 workers, bounds their resources, and verifies every answer — the
-operational face of the paper's "fast *and robust*" claim.
+operational face of the paper's "fast *and robust*" claim.  A unified
+telemetry layer (:mod:`repro.observability`) adds structured search
+tracing, metrics time-series, and a live fleet dashboard, all
+zero-cost when disabled (docs/OBSERVABILITY.md).
 
 Quickstart::
 
@@ -36,6 +39,17 @@ from repro.cnf import (
     simplify_formula,
     write_dimacs,
     write_dimacs_file,
+)
+from repro.observability import (
+    FleetDashboard,
+    FleetMonitor,
+    FleetRecorder,
+    JsonlTraceSink,
+    MetricsRegistry,
+    RingBufferSink,
+    TraceSink,
+    read_trace,
+    summarize_trace,
 )
 from repro.parallel import (
     BatchResult,
@@ -85,12 +99,19 @@ __all__ = [
     "CnfFormula",
     "FaultPlan",
     "FaultSpec",
+    "FleetDashboard",
+    "FleetMonitor",
+    "FleetRecorder",
+    "JsonlTraceSink",
+    "MetricsRegistry",
     "PortfolioSolver",
     "RetryPolicy",
+    "RingBufferSink",
     "SolveResult",
     "SolveStatus",
     "Solver",
     "SolverConfig",
+    "TraceSink",
     "VerificationError",
     "available_configs",
     "berkmin_config",
@@ -99,11 +120,13 @@ __all__ = [
     "default_portfolio",
     "parse_dimacs",
     "parse_dimacs_file",
+    "read_trace",
     "shuffle_formula",
     "simplify_formula",
     "solve",
     "solve_batch",
     "solve_formula",
+    "summarize_trace",
     "verify_result",
     "write_dimacs",
     "write_dimacs_file",

@@ -52,6 +52,30 @@ class BenchAgreementError(AssertionError):
     """The two propagation engines disagreed — a solver bug, not a perf issue."""
 
 
+def _git_sha() -> str | None:
+    """The repo's HEAD commit, or None outside a git checkout.
+
+    Recorded in every report header so a ``BENCH_*.json`` can always be
+    tied back to the exact code that produced its numbers.
+    """
+    import os
+    import subprocess
+
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
+
+
 @dataclass(frozen=True)
 class BenchInstance:
     """One pinned suite entry: a named, seeded formula factory."""
@@ -242,6 +266,10 @@ def run_bcp_bench(
         "config": config_name,
         "repeats": repeats,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_sha": _git_sha(),
+        # Timed runs must never pay telemetry costs; a non-zero value
+        # here means the numbers are not comparable to a clean report.
+        "metrics_interval": config_by_name(config_name).metrics_interval,
         "instances": instances,
         "aggregate": {
             "split_wall_seconds": totals["split"]["wall_seconds"],

@@ -346,6 +346,15 @@ def restore_snapshot(solver: "Solver", snapshot: SolverSnapshot) -> bool:
     solver.stats.peak_clauses = max(
         solver.stats.peak_clauses, len(solver.clauses) + len(solver.learned)
     )
+    if solver.trace is not None:
+        solver.trace.emit(
+            {
+                "type": "checkpoint",
+                "action": "resume",
+                "conflicts": solver.stats.conflicts,
+                "resumed_from": snapshot.conflicts,
+            }
+        )
     return True
 
 

@@ -82,6 +82,15 @@ class CheckpointWriter:
         """
         self.solver.stats.checkpoints_written += 1
         save_checkpoint(self.solver, self.path)
+        if self.solver.trace is not None:
+            self.solver.trace.emit(
+                {
+                    "type": "checkpoint",
+                    "action": "write",
+                    "conflicts": self.solver.stats.conflicts,
+                    "path": self.path,
+                }
+            )
         self._last_conflicts = self.solver.stats.conflicts
         self._last_wall = time.monotonic()
 

@@ -6,14 +6,20 @@ Subcommands::
                              [--verify LEVEL] [--portfolio] [--jobs N]
                              [--retries N] [--checkpoint PATH]
                              [--checkpoint-interval N] [--proof-out PATH]
+                             [--trace-out T.jsonl] [--metrics-out M.csv]
+                             [--dashboard]
     repro-sat batch FILE.cnf... [--config NAME] [--jobs N] [--timeout S]
                                 [--proof] [--verify LEVEL] [--retries N]
                                 [--checkpoint DIR] [--checkpoint-interval N]
+                                [--trace-out T.jsonl] [--metrics-out M.csv]
+                                [--dashboard]
     repro-sat generate FAMILY [options] -o FILE.cnf
     repro-sat experiment {table1..table10,fig1,all} [--scale quick|default]
     repro-sat bench [--out BENCH_2.json] [--scale quick|default|full]
                     [--repeats N] [--profile]
     repro-sat audit [--rounds N | --quick] [--seed N] [--verbose]
+                    [--trace-out T.jsonl] [--metrics-out M.csv] [--dashboard]
+    repro-sat trace-summary TRACE.jsonl [--json]
 
 ``solve`` prints a SAT-competition-style result line (``s SATISFIABLE``
 plus a ``v`` model line, or ``s UNSATISFIABLE``) and the solver
@@ -31,6 +37,15 @@ write a ``BENCH_*.json`` perf report (see docs/BENCHMARKS.md).
 ``audit`` fuzzes both parallel engines under random fault plans and
 fails unless every answer comes back definite, correct, and verified
 (see docs/ROBUSTNESS.md).
+
+Observability (docs/OBSERVABILITY.md): ``--trace-out`` streams the
+structured search/supervision events to a JSONL file, ``--metrics-out``
+writes the periodic metrics time-series (CSV or JSONL by extension),
+and ``--dashboard`` renders the live fleet view for the parallel
+engines.  ``trace-summary`` aggregates a recorded trace into the
+decision-source / skin-effect / LBD / restart report (the shape of the
+paper's Table 3 evidence).  Ctrl-C on a dashboarded run exits cleanly
+with code 130.
 """
 
 from __future__ import annotations
@@ -57,6 +72,31 @@ EXPERIMENTS = [
     "table1", "table2", "table3", "table4", "table5",
     "table6", "table7", "table8", "table9", "table10", "fig1",
 ]
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared telemetry flags (solve / batch / audit)."""
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="stream structured search/supervision events to this JSONL "
+        "file (schema: docs/OBSERVABILITY.md; summarize with "
+        "`repro-sat trace-summary`)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the periodic metrics time-series here "
+        "(.csv for CSV, anything else for JSONL)",
+    )
+    parser.add_argument(
+        "--dashboard",
+        action="store_true",
+        help="render the live fleet dashboard on stderr "
+        "(lane states, aggregate rates, ETA)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -140,6 +180,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the DRUP proof of an UNSAT answer to this file "
         "(atomic write; implies proof logging)",
     )
+    _add_observability_flags(solve)
+    solve.add_argument(
+        "--metrics-interval",
+        type=int,
+        default=512,
+        metavar="N",
+        help="conflicts between metrics time-series rows "
+        "(with --metrics-out; default: 512)",
+    )
 
     batch = sub.add_parser(
         "batch", help="solve many DIMACS files concurrently"
@@ -205,6 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="conflicts between periodic checkpoint writes (default: 1000)",
     )
+    _add_observability_flags(batch)
 
     generate = sub.add_parser("generate", help="write a benchmark instance")
     generate.add_argument(
@@ -296,13 +346,64 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument(
         "--verbose", action="store_true", help="print one line per round"
     )
+    _add_observability_flags(audit)
+
+    trace_summary = sub.add_parser(
+        "trace-summary",
+        help="aggregate a recorded JSONL trace into a search report "
+        "(decision-source mix, skin-effect percentiles, LBD, restarts)",
+    )
+    trace_summary.add_argument("file", help="trace file written by --trace-out")
+    trace_summary.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the summary as JSON instead of the text report",
+    )
     return parser
+
+
+def _open_trace(args: argparse.Namespace):
+    """A JSONL trace sink for ``--trace-out``, or None."""
+    if getattr(args, "trace_out", None) is None:
+        return None
+    from repro.observability import JsonlTraceSink
+
+    return JsonlTraceSink(args.trace_out)
+
+
+def _open_monitor(args: argparse.Namespace, *, telemetry: bool = True):
+    """(monitor, recorder) for the parallel engines per the CLI flags.
+
+    ``--dashboard`` adds the live :class:`FleetDashboard`; when
+    ``telemetry`` and ``--metrics-out`` are set, a
+    :class:`FleetRecorder` rides along to capture relayed worker
+    telemetry for export.  Either half may be absent.
+    """
+    from repro.observability import FleetDashboard, FleetRecorder, MultiMonitor
+
+    parts = []
+    recorder = None
+    if telemetry and getattr(args, "metrics_out", None):
+        recorder = FleetRecorder()
+        parts.append(recorder)
+    if getattr(args, "dashboard", False):
+        parts.append(FleetDashboard())
+    if not parts:
+        return None, None
+    monitor = parts[0] if len(parts) == 1 else MultiMonitor(*parts)
+    return monitor, recorder
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     formula = parse_dimacs_file(args.file)
     if args.portfolio or args.jobs is not None:
         return _solve_portfolio(args, formula)
+    if args.dashboard:
+        print(
+            "c --dashboard applies to the parallel engines "
+            "(--portfolio / batch); ignored",
+            file=sys.stderr,
+        )
     reconstruction = None
     solve_target = formula
     if args.preprocess:
@@ -325,12 +426,15 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     verification = args.verify
     if args.proof and verification is None:
         verification = VERIFY_FULL
+    trace = _open_trace(args)
     config = config_by_name(
         args.config,
         seed=args.seed,
         proof_logging=(
             args.proof or args.proof_out is not None or verification == VERIFY_FULL
         ),
+        trace=trace,
+        metrics_interval=args.metrics_interval if args.metrics_out else 0,
     )
     solver = Solver(solve_target, config=config)
     writer = None
@@ -366,13 +470,26 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             max_seconds=args.max_seconds,
             on_progress=writer,
         )
+        if writer is not None:
+            writer.finalize(result)
+            if result.is_unknown:
+                print(f"c checkpoint written to {args.checkpoint}")
     finally:
         if writer is not None:
             signal.signal(signal.SIGINT, previous_sigint)
-    if writer is not None:
-        writer.finalize(result)
-        if result.is_unknown:
-            print(f"c checkpoint written to {args.checkpoint}")
+        if trace is not None:
+            trace.close()
+    if trace is not None:
+        print(
+            f"c trace written to {args.trace_out} "
+            f"({trace.events_written} events)"
+        )
+    if args.metrics_out and solver.metrics is not None:
+        solver.metrics.export(args.metrics_out)
+        print(
+            f"c metrics written to {args.metrics_out} "
+            f"({len(solver.metrics.rows)} rows)"
+        )
     if verification is not None and verification != VERIFY_OFF:
         from repro.reliability import verify_result
 
@@ -467,6 +584,8 @@ def _solve_portfolio(args: argparse.Namespace, formula) -> int:
     configs = default_portfolio(jobs, base_seed=args.seed)
     # --config pins the first member so the named preset always races.
     configs[0] = config_by_name(args.config, seed=args.seed)
+    trace = _open_trace(args)
+    monitor, recorder = _open_monitor(args)
     portfolio = PortfolioSolver(
         configs,
         jobs=jobs,
@@ -474,15 +593,39 @@ def _solve_portfolio(args: argparse.Namespace, formula) -> int:
         verification=verification if verification is not None else VERIFY_OFF,
         checkpoint_dir=args.checkpoint,
         checkpoint_interval=args.checkpoint_interval,
+        monitor=monitor,
+        trace=trace,
     )
-    result = portfolio.solve(
-        formula, max_conflicts=args.max_conflicts, max_seconds=args.max_seconds
-    )
+    try:
+        result = portfolio.solve(
+            formula, max_conflicts=args.max_conflicts, max_seconds=args.max_seconds
+        )
+    finally:
+        if monitor is not None:
+            monitor.close()
+        if trace is not None:
+            trace.close()
+    _report_fleet_outputs(args, trace, recorder)
     retries = result.stats.worker_retries
     print(f"c portfolio of {len(configs)} configs, {jobs} jobs, "
           f"winner: {result.config_name} ({result.wall_seconds:.3f}s"
           + (f", {retries} retries" if retries else "") + ")")
     return _print_result(result, stats=args.stats)
+
+
+def _report_fleet_outputs(args: argparse.Namespace, trace, recorder) -> None:
+    """Export and announce --trace-out / --metrics-out on a fleet run."""
+    if trace is not None:
+        print(
+            f"c trace written to {args.trace_out} "
+            f"({trace.events_written} events)"
+        )
+    if recorder is not None:
+        recorder.export_telemetry(args.metrics_out)
+        print(
+            f"c worker telemetry written to {args.metrics_out} "
+            f"({len(recorder.telemetry)} rows)"
+        )
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
@@ -496,19 +639,30 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     verification = args.verify
     if args.proof and verification is None:
         verification = VERIFY_FULL
-    batch = solve_batch(
-        formulas,
-        jobs=args.jobs,
-        config=config,
-        max_conflicts=args.max_conflicts,
-        max_seconds=args.max_seconds,
-        timeout=args.timeout,
-        retry=args.retries,
-        verification=verification if verification is not None else VERIFY_OFF,
-        stall_seconds=args.stall_seconds,
-        checkpoint_dir=args.checkpoint,
-        checkpoint_interval=args.checkpoint_interval,
-    )
+    trace = _open_trace(args)
+    monitor, recorder = _open_monitor(args)
+    try:
+        batch = solve_batch(
+            formulas,
+            jobs=args.jobs,
+            config=config,
+            max_conflicts=args.max_conflicts,
+            max_seconds=args.max_seconds,
+            timeout=args.timeout,
+            retry=args.retries,
+            verification=verification if verification is not None else VERIFY_OFF,
+            stall_seconds=args.stall_seconds,
+            checkpoint_dir=args.checkpoint,
+            checkpoint_interval=args.checkpoint_interval,
+            monitor=monitor,
+            trace=trace,
+        )
+    finally:
+        if monitor is not None:
+            monitor.close()
+        if trace is not None:
+            trace.close()
+    _report_fleet_outputs(args, trace, recorder)
     for path, result in zip(args.files, batch.results):
         detail = f" ({result.limit_reason})" if result.is_unknown else ""
         if result.verified is not None:
@@ -649,16 +803,72 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     from repro.reliability import run_audit
 
     rounds = 8 if args.quick else args.rounds
-    report = run_audit(
-        rounds,
-        seed=args.seed,
-        jobs=args.jobs,
-        log=print if args.verbose else None,
-    )
+    trace = _open_trace(args)
+    # Audit rounds run their engines internally, so --metrics-out means
+    # "one row per audit_round event", not relayed worker telemetry.
+    monitor, _ = _open_monitor(args, telemetry=False)
+    audit_rows: list[dict] = []
+    sink = trace
+    if args.metrics_out:
+        from repro.observability import CallbackSink, MultiSink
+
+        def _collect(event: dict) -> None:
+            if event.get("type") == "audit_round":
+                audit_rows.append(dict(event))
+
+        collector = CallbackSink(_collect)
+        sink = collector if trace is None else MultiSink(trace, collector)
+    try:
+        report = run_audit(
+            rounds,
+            seed=args.seed,
+            jobs=args.jobs,
+            log=print if args.verbose else None,
+            monitor=monitor,
+            trace=sink,
+        )
+    finally:
+        if monitor is not None:
+            monitor.close()
+        if trace is not None:
+            trace.close()
+    if trace is not None:
+        print(
+            f"c trace written to {args.trace_out} "
+            f"({trace.events_written} events)"
+        )
+    if args.metrics_out:
+        from repro.observability import write_rows_csv, write_rows_jsonl
+
+        if args.metrics_out.lower().endswith(".csv"):
+            write_rows_csv(args.metrics_out, audit_rows)
+        else:
+            write_rows_jsonl(args.metrics_out, audit_rows)
+        print(
+            f"c round metrics written to {args.metrics_out} "
+            f"({len(audit_rows)} rows)"
+        )
     for failure in report.failures:
         print(f"c {failure}")
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.observability import TraceFormatError, format_summary, summarize_trace
+
+    try:
+        summary = summarize_trace(args.file)
+    except TraceFormatError as error:
+        print(f"repro-sat: error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(format_summary(summary))
+    return 0
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -678,6 +888,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_bench(args)
     if args.command == "audit":
         return _cmd_audit(args)
+    if args.command == "trace-summary":
+        return _cmd_trace_summary(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 
@@ -694,6 +906,11 @@ def main(argv: list[str] | None = None) -> int:
     except (DimacsError, OSError) as error:
         print(f"repro-sat: error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # The supervised engines clean their workers up on the way out
+        # (see repro.parallel); a dashboarded Ctrl-C exits cleanly.
+        print("repro-sat: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

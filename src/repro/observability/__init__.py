@@ -1,0 +1,82 @@
+"""Unified telemetry: structured tracing, metrics time-series, fleet dashboard.
+
+Three layers, all optional and all zero-cost when unused:
+
+* :mod:`~repro.observability.trace` — typed search events
+  (:data:`EVENT_SCHEMA`) flowing through a :class:`TraceSink`
+  (JSONL file, in-memory ring buffer, callback, or a fan-out of those),
+  enabled per solver via ``SolverConfig(trace=...)``.
+* :mod:`~repro.observability.metrics` — counters / gauges /
+  reservoir-sampled histograms, plus the :class:`MetricsCollector`
+  time-series the solver drives from its progress hook
+  (``SolverConfig(metrics_interval=...)``).
+* :mod:`~repro.observability.dashboard` — the :class:`FleetMonitor`
+  protocol and the live TTY :class:`FleetDashboard` for the supervised
+  parallel engines.
+
+See ``docs/OBSERVABILITY.md`` for the event schema table and overhead
+numbers.
+"""
+
+from .dashboard import (
+    LANE_STATES,
+    FleetDashboard,
+    FleetMonitor,
+    FleetRecorder,
+    MultiMonitor,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsCollector,
+    MetricsRegistry,
+    skin_percentile,
+    write_rows_csv,
+    write_rows_jsonl,
+)
+from .summary import format_summary, summarize_trace
+from .trace import (
+    DECISION_SOURCES,
+    EVENT_SCHEMA,
+    EVENT_TYPES,
+    CallbackSink,
+    JsonlTraceSink,
+    MultiSink,
+    RingBufferSink,
+    TraceFormatError,
+    TraceSink,
+    read_trace,
+    require_valid_event,
+    validate_event,
+)
+
+__all__ = [
+    "CallbackSink",
+    "Counter",
+    "DECISION_SOURCES",
+    "EVENT_SCHEMA",
+    "EVENT_TYPES",
+    "FleetDashboard",
+    "FleetMonitor",
+    "FleetRecorder",
+    "Gauge",
+    "Histogram",
+    "JsonlTraceSink",
+    "LANE_STATES",
+    "MetricsCollector",
+    "MetricsRegistry",
+    "MultiMonitor",
+    "MultiSink",
+    "RingBufferSink",
+    "TraceFormatError",
+    "TraceSink",
+    "format_summary",
+    "read_trace",
+    "require_valid_event",
+    "skin_percentile",
+    "summarize_trace",
+    "validate_event",
+    "write_rows_csv",
+    "write_rows_jsonl",
+]

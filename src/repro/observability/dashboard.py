@@ -1,0 +1,279 @@
+"""Live fleet dashboard for the supervised parallel engines.
+
+The engines (:func:`repro.parallel.solve_batch`,
+:class:`repro.parallel.PortfolioSolver`, and
+:func:`repro.reliability.audit.run_audit`) accept a ``monitor`` — any
+object implementing the :class:`FleetMonitor` protocol — and report
+per-lane life-cycle transitions (``running`` → ``retrying`` →
+``resumed`` → ``done`` / ``degraded``) plus telemetry rows relayed from
+workers over the result queue.
+
+:class:`FleetDashboard` is the shipped implementation: on a TTY it
+redraws an ANSI multi-line panel in place (lane glyphs, aggregate
+rates, fleet ETA); on a plain pipe it degrades to one line per state
+*transition*, which is also the deterministic surface the tests drive.
+:class:`FleetRecorder` accumulates everything for programmatic
+inspection and export; :class:`MultiMonitor` fans out to several
+monitors at once.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+#: Lane life-cycle states, with the glyph/order used by the dashboard.
+LANE_STATES = ("pending", "running", "retrying", "resumed", "degraded", "done")
+
+_GLYPHS = {
+    "pending": ".",
+    "running": "▶",
+    "retrying": "↻",
+    "resumed": "⤴",
+    "degraded": "✗",
+    "done": "✓",
+}
+
+
+class FleetMonitor:
+    """Receiver of fleet progress — the protocol the engines call.
+
+    All methods are no-ops here; subclass and override what you need.
+    Engines call from the supervising (parent) process only, never from
+    workers, so implementations need not be thread- or process-safe.
+    """
+
+    def fleet_started(self, count: int, labels=None) -> None:
+        pass
+
+    def lane_state(self, lane: int, state: str, detail=None, attempt: int = 0) -> None:
+        pass
+
+    def lane_telemetry(self, lane: int, row: dict) -> None:
+        pass
+
+    def fleet_finished(self, summary: str) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "FleetMonitor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class FleetRecorder(FleetMonitor):
+    """Record every callback for assertions and post-hoc export."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.labels = None
+        self.transitions: list[tuple[int, str, object, int]] = []
+        self.telemetry: list[tuple[int, dict]] = []
+        self.summary = None
+        self.closed = False
+
+    def fleet_started(self, count: int, labels=None) -> None:
+        self.count = count
+        self.labels = labels
+
+    def lane_state(self, lane: int, state: str, detail=None, attempt: int = 0) -> None:
+        self.transitions.append((lane, state, detail, attempt))
+
+    def lane_telemetry(self, lane: int, row: dict) -> None:
+        self.telemetry.append((lane, dict(row)))
+
+    def fleet_finished(self, summary: str) -> None:
+        self.summary = summary
+
+    def close(self) -> None:
+        self.closed = True
+
+    def states_of(self, lane: int) -> list[str]:
+        """The state sequence one lane walked through, in order."""
+        return [state for seen, state, _, _ in self.transitions if seen == lane]
+
+    def export_telemetry(self, path) -> None:
+        """Write relayed telemetry rows (with a ``lane`` column) to disk."""
+        from .metrics import write_rows_csv, write_rows_jsonl
+
+        rows = [{"lane": lane, **row} for lane, row in self.telemetry]
+        if str(path).lower().endswith(".csv"):
+            write_rows_csv(path, rows)
+        else:
+            write_rows_jsonl(path, rows)
+
+
+class MultiMonitor(FleetMonitor):
+    """Fan fleet callbacks out to several monitors."""
+
+    def __init__(self, *monitors: FleetMonitor) -> None:
+        self.monitors = tuple(monitors)
+
+    def fleet_started(self, count: int, labels=None) -> None:
+        for monitor in self.monitors:
+            monitor.fleet_started(count, labels)
+
+    def lane_state(self, lane: int, state: str, detail=None, attempt: int = 0) -> None:
+        for monitor in self.monitors:
+            monitor.lane_state(lane, state, detail, attempt)
+
+    def lane_telemetry(self, lane: int, row: dict) -> None:
+        for monitor in self.monitors:
+            monitor.lane_telemetry(lane, row)
+
+    def fleet_finished(self, summary: str) -> None:
+        for monitor in self.monitors:
+            monitor.fleet_finished(summary)
+
+    def close(self) -> None:
+        for monitor in self.monitors:
+            monitor.close()
+
+
+class FleetDashboard(FleetMonitor):
+    """Terminal fleet view: lane panel on a TTY, transition log elsewhere.
+
+    On a TTY the panel redraws in place (cursor-up + erase-line ANSI
+    sequences) at most every ``refresh_seconds``; state *transitions*
+    always force a redraw so a fast crash/retry is never skipped.  On a
+    non-TTY stream each transition prints exactly one
+    ``lane 3: retrying (...) [attempt 1]`` line — stable output for
+    piping and for the tests.
+    """
+
+    def __init__(self, out=None, *, refresh_seconds: float = 0.25, width: int = 78) -> None:
+        self.out = out if out is not None else sys.stderr
+        self.refresh_seconds = refresh_seconds
+        self.width = width
+        self.is_tty = bool(getattr(self.out, "isatty", lambda: False)())
+        self.count = 0
+        self.labels: list[str] = []
+        self.states: list[str] = []
+        self.details: list = []
+        self.attempts: list[int] = []
+        self.latest: dict[int, dict] = {}
+        self._started = None
+        self._last_draw = 0.0
+        self._panel_lines = 0
+        self._finished = False
+
+    # ------------------------------------------------------------- engine API
+    def fleet_started(self, count: int, labels=None) -> None:
+        self.count = count
+        self.labels = list(labels) if labels else [f"lane {i}" for i in range(count)]
+        self.states = ["pending"] * count
+        self.details = [None] * count
+        self.attempts = [0] * count
+        self.latest = {}
+        self._started = time.monotonic()
+        self._finished = False
+        if self.is_tty:
+            self._draw(force=True)
+        else:
+            self._line(f"fleet: {count} lanes")
+
+    def lane_state(self, lane: int, state: str, detail=None, attempt: int = 0) -> None:
+        if not 0 <= lane < self.count:
+            return
+        self.states[lane] = state
+        self.details[lane] = detail
+        self.attempts[lane] = attempt
+        if self.is_tty:
+            self._draw(force=True)
+        else:
+            suffix = f" ({detail})" if detail else ""
+            tail = f" [attempt {attempt}]" if attempt else ""
+            self._line(f"lane {lane}: {state}{suffix}{tail}")
+
+    def lane_telemetry(self, lane: int, row: dict) -> None:
+        self.latest[lane] = row
+        if self.is_tty:
+            self._draw()
+
+    def fleet_finished(self, summary: str) -> None:
+        self._finished = True
+        if self.is_tty:
+            self._draw(force=True)
+        self._line(f"fleet finished: {summary}")
+
+    def close(self) -> None:
+        if self.is_tty and self._panel_lines and not self._finished:
+            # Leave the last panel on screen but move past it cleanly.
+            self._panel_lines = 0
+            self._write("\n")
+            self._flush()
+
+    # ------------------------------------------------------------- rendering
+    def _write(self, text: str) -> None:
+        try:
+            self.out.write(text)
+        except ValueError:  # closed stream (e.g. teardown order) — drop output
+            pass
+
+    def _flush(self) -> None:
+        flush = getattr(self.out, "flush", None)
+        if flush is not None:
+            try:
+                flush()
+            except ValueError:
+                pass
+
+    def _line(self, text: str) -> None:
+        self._write(text + "\n")
+        self._flush()
+
+    def _aggregate(self) -> tuple[float, float, float | None]:
+        """(props/sec, conflicts/sec, eta_seconds) across live lanes."""
+        props = sum(row.get("props_per_sec") or 0.0 for row in self.latest.values())
+        conflicts = sum(
+            row.get("conflicts_per_sec") or 0.0 for row in self.latest.values()
+        )
+        finished = sum(1 for state in self.states if state in ("done", "degraded"))
+        eta = None
+        if self._started is not None and 0 < finished < self.count:
+            elapsed = time.monotonic() - self._started
+            eta = elapsed / finished * (self.count - finished)
+        return props, conflicts, eta
+
+    def _panel(self) -> list[str]:
+        finished = sum(1 for state in self.states if state in ("done", "degraded"))
+        glyphs = "".join(_GLYPHS.get(state, "?") for state in self.states)
+        props, conflicts, eta = self._aggregate()
+        header = (
+            f"fleet {finished}/{self.count}  "
+            f"{props:,.0f} props/s  {conflicts:,.0f} conflicts/s"
+        )
+        if eta is not None:
+            header += f"  eta ~{eta:.0f}s"
+        lines = [header[: self.width], f"[{glyphs}]"[: self.width]]
+        for lane in range(self.count):
+            state = self.states[lane]
+            if state == "pending":
+                continue
+            detail = self.details[lane]
+            row = self.latest.get(lane, {})
+            text = f"  {_GLYPHS[state]} {self.labels[lane]:<16} {state:<9}"
+            if self.attempts[lane]:
+                text += f" attempt {self.attempts[lane]}"
+            if row.get("conflicts") is not None:
+                text += f" {row['conflicts']} conflicts"
+            if detail:
+                text += f" — {detail}"
+            lines.append(text[: self.width])
+        return lines
+
+    def _draw(self, force: bool = False) -> None:
+        now = time.monotonic()
+        if not force and now - self._last_draw < self.refresh_seconds:
+            return
+        self._last_draw = now
+        if self._panel_lines:
+            self._write(f"\x1b[{self._panel_lines}F\x1b[J")  # up + erase to end
+        lines = self._panel()
+        self._write("\n".join(lines) + "\n")
+        self._panel_lines = len(lines)
+        self._flush()

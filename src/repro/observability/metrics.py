@@ -1,0 +1,303 @@
+"""Metrics registry and the solver-attached time-series collector.
+
+Two layers:
+
+* :class:`MetricsRegistry` — a generic, standalone registry of named
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` instruments.
+  Histograms use reservoir sampling (Vitter's Algorithm R with a seeded
+  RNG), so quantiles over unbounded observation streams cost bounded
+  memory and stay deterministic run to run.
+* :class:`MetricsCollector` — owned by a :class:`~repro.solver.Solver`
+  when ``SolverConfig.metrics_interval > 0``.  It is ticked from the
+  solver's existing ``on_progress`` cadence (every 128 conflicts / 512
+  decisions) and appends one time-series row per ``metrics_interval``
+  conflicts: throughput rates since the previous row (props/sec,
+  conflicts/sec), the cumulative decision-source mix, and skin-effect
+  depth percentiles.  Rows export to JSONL or CSV through the shared
+  atomic writers (:mod:`repro.checkpoint.io`), picked by file
+  extension.
+
+The collector never touches the BCP hot loops — when
+``metrics_interval`` is 0 (the default) ``solver.metrics`` is ``None``
+and nothing is sampled at all.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+
+class Counter:
+    """A monotone accumulator."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for levels")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time level (set, not accumulated)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Reservoir-sampled distribution (Algorithm R, seeded — deterministic).
+
+    The reservoir keeps a uniform sample of everything ever observed;
+    ``quantile`` answers from the sample.  ``observed`` counts the true
+    stream length.
+    """
+
+    __slots__ = ("name", "reservoir", "size", "observed", "_rng", "_min", "_max")
+
+    def __init__(self, name: str, size: int = 1024, seed: int = 0) -> None:
+        if size < 1:
+            raise ValueError("reservoir size must be >= 1")
+        self.name = name
+        self.size = size
+        self.reservoir: list = []
+        self.observed = 0
+        self._rng = random.Random(seed)
+        self._min = None
+        self._max = None
+
+    def observe(self, value) -> None:
+        self.observed += 1
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if len(self.reservoir) < self.size:
+            self.reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.observed)
+            if slot < self.size:
+                self.reservoir[slot] = value
+
+    def quantile(self, q: float):
+        """The q-quantile (0 <= q <= 1) of the sampled distribution."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.reservoir:
+            return None
+        ordered = sorted(self.reservoir)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def summary(self) -> dict:
+        return {
+            "count": self.observed,
+            "min": self._min,
+            "max": self._max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first touch (Prometheus-style)."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self._gauges[name]
+        except KeyError:
+            instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str, size: int = 1024, seed: int = 0) -> Histogram:
+        try:
+            return self._histograms[name]
+        except KeyError:
+            instrument = self._histograms[name] = Histogram(name, size=size, seed=seed)
+            return instrument
+
+    def snapshot(self) -> dict:
+        """Flat name -> value view: counters, gauges, histogram quantiles."""
+        row: dict = {}
+        for name, counter in self._counters.items():
+            row[name] = counter.value
+        for name, gauge in self._gauges.items():
+            row[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            row[f"{name}_count"] = histogram.observed
+            row[f"{name}_p50"] = histogram.quantile(0.50)
+            row[f"{name}_p90"] = histogram.quantile(0.90)
+            row[f"{name}_p99"] = histogram.quantile(0.99)
+        return row
+
+
+def skin_percentile(skin_effect: dict[int, int], q: float) -> int | None:
+    """The q-percentile depth of a cumulative skin-effect histogram.
+
+    ``skin_effect`` is :attr:`SolverStats.skin_effect`: distance ->
+    number of top-clause decisions made at that distance.  Exact (the
+    histogram is small), no sampling involved.
+    """
+    total = sum(skin_effect.values())
+    if total == 0:
+        return None
+    target = q * total
+    seen = 0
+    for distance in sorted(skin_effect):
+        seen += skin_effect[distance]
+        if seen >= target:
+            return distance
+    return max(skin_effect)  # pragma: no cover - loop always reaches target
+
+
+class MetricsCollector:
+    """Periodic time-series rows sampled from a live solver.
+
+    Built by :class:`~repro.solver.Solver` when
+    ``config.metrics_interval > 0`` and ticked from the solve loop's
+    progress cadence; one row is appended every ``every_conflicts``
+    conflicts (quantized up to the 128-conflict hook), plus a final row
+    from :meth:`finish` so even trivial solves produce a series.
+    """
+
+    def __init__(self, solver, every_conflicts: int = 512) -> None:
+        self.solver = solver
+        self.every_conflicts = max(1, every_conflicts)
+        self.registry = MetricsRegistry()
+        self.rows: list[dict] = []
+        self._started = time.perf_counter()
+        self._last_wall = self._started
+        self._last = {"conflicts": 0, "decisions": 0, "propagations": 0}
+        self._last_skin: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def tick(self, stats) -> None:
+        """Progress-hook entry: append a row when the cadence is due."""
+        if stats.conflicts - self._last["conflicts"] >= self.every_conflicts:
+            self._append_row(stats)
+
+    def finish(self, stats) -> None:
+        """Append the closing row (idempotent per conflict count)."""
+        if not self.rows or self.rows[-1]["conflicts"] != stats.conflicts:
+            self._append_row(stats)
+
+    def _append_row(self, stats) -> None:
+        now = time.perf_counter()
+        window = now - self._last_wall
+        delta_conflicts = stats.conflicts - self._last["conflicts"]
+        delta_props = stats.propagations - self._last["propagations"]
+
+        registry = self.registry
+        registry.counter("conflicts").add(delta_conflicts)
+        registry.counter("decisions").add(stats.decisions - self._last["decisions"])
+        registry.counter("propagations").add(delta_props)
+        registry.gauge("learned_clauses").set(len(self.solver.learned))
+
+        # Feed the reservoir with the skin distances observed since the
+        # previous row (the stats histogram is cumulative).
+        skin = registry.histogram("skin_distance")
+        for distance, count in stats.skin_effect.items():
+            fresh = count - self._last_skin.get(distance, 0)
+            for _ in range(fresh):
+                skin.observe(distance)
+        self._last_skin = dict(stats.skin_effect)
+
+        source_total = stats.top_clause_decisions + stats.formula_decisions
+        rate = (lambda delta: delta / window) if window > 1e-9 else (lambda delta: 0.0)
+        row = {
+            "elapsed_seconds": round(now - self._started, 6),
+            "conflicts": stats.conflicts,
+            "decisions": stats.decisions,
+            "propagations": stats.propagations,
+            "restarts": stats.restarts,
+            "learned_clauses": len(self.solver.learned),
+            "props_per_sec": round(rate(delta_props), 1),
+            "conflicts_per_sec": round(rate(delta_conflicts), 1),
+            "top_clause_fraction": (
+                round(stats.top_clause_decisions / source_total, 4)
+                if source_total
+                else None
+            ),
+            "skin_p50": skin.quantile(0.50),
+            "skin_p90": skin.quantile(0.90),
+            "skin_p99": skin.quantile(0.99),
+        }
+        self.rows.append(row)
+        self._last_wall = now
+        self._last = {
+            "conflicts": stats.conflicts,
+            "decisions": stats.decisions,
+            "propagations": stats.propagations,
+        }
+
+    # ------------------------------------------------------------------
+    def export(self, path) -> None:
+        """Write the series to ``path`` — CSV for ``.csv``, else JSONL."""
+        if str(path).lower().endswith(".csv"):
+            self.export_csv(path)
+        else:
+            self.export_jsonl(path)
+
+    def export_jsonl(self, path) -> None:
+        write_rows_jsonl(path, self.rows)
+
+    def export_csv(self, path) -> None:
+        write_rows_csv(path, self.rows)
+
+
+def _row_columns(rows: list[dict]) -> list[str]:
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def write_rows_jsonl(path, rows: list[dict]) -> None:
+    """Write dict rows as JSONL through the shared atomic writer."""
+    import json
+
+    from repro.checkpoint.io import atomic_write_text
+
+    body = "".join(json.dumps(row, separators=(",", ":")) + "\n" for row in rows)
+    atomic_write_text(path, body)
+
+
+def write_rows_csv(path, rows: list[dict]) -> None:
+    """Write dict rows as CSV (union of keys, first-seen column order)."""
+    import csv
+    import io
+
+    from repro.checkpoint.io import atomic_write_text
+
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_row_columns(rows), restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({key: ("" if value is None else value) for key, value in row.items()})
+    atomic_write_text(path, buffer.getvalue())

@@ -1,0 +1,202 @@
+"""Aggregate a JSONL trace into a Table-3-shaped search report.
+
+``repro-sat trace-summary FILE`` lands here.  The summary reproduces
+the evidence shape of the paper's Table 3: the decision-source mix
+(what fraction of branching decisions the top clause drove), the
+skin-effect depth distribution (Section 6), plus LBD / learned-length /
+backjump statistics, restart cadence, database-reduction totals, and a
+reliability section when the trace covers supervised engines.
+"""
+
+from __future__ import annotations
+
+from .trace import DECISION_SOURCES, read_trace
+
+
+def _distribution(values: list) -> dict:
+    """count/min/max/mean/p50/p90/p99 of a list of numbers."""
+    if not values:
+        return {"count": 0}
+    ordered = sorted(values)
+    count = len(ordered)
+
+    def pick(q: float):
+        return ordered[min(count - 1, int(q * count))]
+
+    return {
+        "count": count,
+        "min": ordered[0],
+        "max": ordered[-1],
+        "mean": round(sum(ordered) / count, 2),
+        "p50": pick(0.50),
+        "p90": pick(0.90),
+        "p99": pick(0.99),
+    }
+
+
+def summarize_trace(path) -> dict:
+    """Read a trace file and fold it into one summary dict.
+
+    Raises :class:`~repro.observability.trace.TraceFormatError` on the
+    first schema-invalid line — a summary over a malformed trace would
+    be silently wrong, which is worse than no summary.
+    """
+    events = 0
+    by_type: dict[str, int] = {}
+    source_counts: dict[str, int] = {source: 0 for source in DECISION_SOURCES}
+    skin_distances: list[int] = []
+    lbds: list[int] = []
+    learned_lens: list[int] = []
+    backjumps: list[int] = []
+    restart_conflicts: list[int] = []
+    reduce_totals = {
+        "reductions": 0,
+        "kept": 0,
+        "dropped": 0,
+        "young_kept": 0,
+        "young_dropped": 0,
+        "old_kept": 0,
+        "old_dropped": 0,
+    }
+    solves: list[dict] = []
+    checkpoint = {"writes": 0, "resumes": 0}
+    fleet = {"faults": 0, "retries": 0, "audit_rounds": 0, "audit_failures": 0}
+    max_conflicts = 0
+
+    for event in read_trace(path):
+        events += 1
+        kind = event["type"]
+        by_type[kind] = by_type.get(kind, 0) + 1
+        if isinstance(event.get("conflicts"), int):
+            max_conflicts = max(max_conflicts, event["conflicts"])
+        if kind == "decision":
+            source_counts[event["source"]] += 1
+            if event["skin_distance"] is not None:
+                skin_distances.append(event["skin_distance"])
+        elif kind == "conflict":
+            lbds.append(event["lbd"])
+            learned_lens.append(event["learned_len"])
+            backjumps.append(event["backjump"])
+        elif kind == "restart":
+            restart_conflicts.append(event["conflicts"])
+        elif kind == "reduce":
+            reduce_totals["reductions"] += 1
+            for key in ("kept", "dropped", "young_kept", "young_dropped", "old_kept", "old_dropped"):
+                reduce_totals[key] += event[key]
+        elif kind == "solve_end":
+            solves.append(
+                {
+                    "status": event["status"],
+                    "conflicts": event["conflicts"],
+                    "limit_reason": event.get("limit_reason"),
+                }
+            )
+        elif kind == "checkpoint":
+            key = "writes" if event["action"] == "write" else "resumes"
+            checkpoint[key] += 1
+        elif kind == "worker_fault":
+            fleet["faults"] += 1
+        elif kind == "worker_retry":
+            fleet["retries"] += 1
+        elif kind == "audit_round":
+            fleet["audit_rounds"] += 1
+            if not event["ok"]:
+                fleet["audit_failures"] += 1
+
+    decisions = sum(source_counts.values())
+    intervals = [
+        later - earlier
+        for earlier, later in zip(restart_conflicts, restart_conflicts[1:])
+    ]
+    return {
+        "path": str(path),
+        "events": events,
+        "by_type": dict(sorted(by_type.items())),
+        "decisions": decisions,
+        "decision_source_mix": {
+            source: (round(count / decisions, 4) if decisions else 0.0)
+            for source, count in source_counts.items()
+        },
+        "skin_distance": _distribution(skin_distances),
+        "lbd": _distribution(lbds),
+        "learned_len": _distribution(learned_lens),
+        "backjump": _distribution(backjumps),
+        "restarts": {
+            "count": len(restart_conflicts),
+            "interval_conflicts": _distribution(intervals),
+        },
+        "reductions": reduce_totals,
+        "solves": solves,
+        "checkpoint": checkpoint,
+        "fleet": fleet,
+        "max_conflicts": max_conflicts,
+    }
+
+
+def _format_distribution(label: str, dist: dict) -> str:
+    if dist["count"] == 0:
+        return f"  {label:<14} (no samples)"
+    return (
+        f"  {label:<14} n={dist['count']:<8} mean={dist['mean']:<8} "
+        f"p50={dist['p50']:<6} p90={dist['p90']:<6} p99={dist['p99']:<6} "
+        f"max={dist['max']}"
+    )
+
+
+def format_summary(summary: dict) -> str:
+    """Render :func:`summarize_trace` output as a human-readable report."""
+    lines = [
+        f"trace summary: {summary['path']}",
+        f"  events: {summary['events']} "
+        + "("
+        + ", ".join(f"{kind}={count}" for kind, count in summary["by_type"].items())
+        + ")",
+        "",
+        f"decision-source mix ({summary['decisions']} decisions):",
+    ]
+    for source, fraction in summary["decision_source_mix"].items():
+        lines.append(f"  {source:<14} {fraction:>7.1%}")
+    lines += [
+        "",
+        "search dynamics:",
+        _format_distribution("skin distance", summary["skin_distance"]),
+        _format_distribution("lbd", summary["lbd"]),
+        _format_distribution("learned len", summary["learned_len"]),
+        _format_distribution("backjump", summary["backjump"]),
+    ]
+    restarts = summary["restarts"]
+    lines += ["", f"restarts: {restarts['count']}"]
+    if restarts["interval_conflicts"]["count"]:
+        lines.append(_format_distribution("interval", restarts["interval_conflicts"]))
+    reductions = summary["reductions"]
+    if reductions["reductions"]:
+        lines += [
+            "",
+            f"db reductions: {reductions['reductions']} "
+            f"(kept {reductions['kept']}, dropped {reductions['dropped']}; "
+            f"young {reductions['young_kept']}/{reductions['young_kept'] + reductions['young_dropped']} kept, "
+            f"old {reductions['old_kept']}/{reductions['old_kept'] + reductions['old_dropped']} kept)",
+        ]
+    if summary["checkpoint"]["writes"] or summary["checkpoint"]["resumes"]:
+        lines += [
+            "",
+            f"checkpoints: {summary['checkpoint']['writes']} written, "
+            f"{summary['checkpoint']['resumes']} resumed",
+        ]
+    fleet = summary["fleet"]
+    if any(fleet.values()):
+        lines += [
+            "",
+            f"fleet: {fleet['faults']} faults, {fleet['retries']} retries, "
+            f"{fleet['audit_rounds']} audit rounds "
+            f"({fleet['audit_failures']} failed)",
+        ]
+    if summary["solves"]:
+        lines.append("")
+        lines.append("solves:")
+        for solve in summary["solves"]:
+            reason = f" ({solve['limit_reason']})" if solve.get("limit_reason") else ""
+            lines.append(
+                f"  {solve['status']}{reason} after {solve['conflicts']} conflicts"
+            )
+    return "\n".join(lines)

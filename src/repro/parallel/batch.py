@@ -40,7 +40,7 @@ from dataclasses import dataclass, field
 
 from repro.checkpoint.snapshot import checkpoint_conflicts
 from repro.cnf.formula import CnfFormula
-from repro.parallel.worker import drain_results, solve_in_worker
+from repro.parallel.worker import drain_results, route_telemetry, solve_in_worker
 from repro.reliability.faults import FaultPlan
 from repro.reliability.guards import StallClock, crash_reason
 from repro.reliability.retry import RetryPolicy, as_retry_policy
@@ -171,6 +171,9 @@ def solve_batch(
     fault_plan: FaultPlan | None = None,
     checkpoint_dir: str | os.PathLike | None = None,
     checkpoint_interval: int = 1000,
+    monitor=None,
+    trace=None,
+    telemetry_seconds: float = 0.5,
 ) -> BatchResult:
     """Solve many formulas concurrently; degrade per instance, never fail.
 
@@ -224,6 +227,20 @@ def solve_batch(
             formula) degrade to a cold start with a warning.
         checkpoint_interval: conflicts between periodic checkpoint
             writes (only meaningful with ``checkpoint_dir``).
+        monitor: optional :class:`~repro.observability.FleetMonitor`
+            (e.g. the live :class:`~repro.observability.FleetDashboard`)
+            receiving per-lane life-cycle transitions (``running`` →
+            ``retrying`` → ``resumed`` → ``done``/``degraded``) and the
+            telemetry rows workers relay over the result queue every
+            ``telemetry_seconds``.
+        trace: optional :class:`~repro.observability.TraceSink` for the
+            parent-side supervision events (``worker_fault`` /
+            ``worker_retry``).  Workers never inherit the caller's sink:
+            the batch strips ``trace``/``metrics_interval`` from worker
+            configs (a shared file sink across processes would
+            interleave) and relays progress as telemetry instead.
+        telemetry_seconds: worker telemetry reporting period (only
+            active when a ``monitor`` is given).
 
     A worker that raises, is killed, stalls, or returns a corrupted
     result yields — after the retry policy is exhausted —
@@ -244,9 +261,18 @@ def solve_batch(
             f"unknown verification level {verification!r}; "
             f"expected one of {', '.join(VERIFICATION_LEVELS)}"
         )
-    worker_config = config
+    worker_overrides: dict = {}
     if verification == VERIFY_FULL and not config.proof_logging:
-        worker_config = config.with_overrides(proof_logging=True)
+        worker_overrides["proof_logging"] = True
+    # Sinks and collectors stay in the parent: workers relay telemetry
+    # over the result queue instead of writing through a pickled sink.
+    if config.trace is not None:
+        worker_overrides["trace"] = None
+    if config.metrics_interval:
+        worker_overrides["metrics_interval"] = 0
+    worker_config = (
+        config.with_overrides(**worker_overrides) if worker_overrides else config
+    )
 
     items: list[CnfFormula] = [
         item if isinstance(item, CnfFormula) else CnfFormula(item) for item in formulas
@@ -266,6 +292,8 @@ def solve_batch(
     started = time.perf_counter()
     if not items:
         return BatchResult(wall_seconds=time.perf_counter() - started)
+    if monitor is not None:
+        monitor.fleet_started(len(items))
 
     base_limits = {
         "max_conflicts": max_conflicts,
@@ -321,10 +349,23 @@ def solve_batch(
                 max_memory_mb,
                 checkpoint_path,
                 checkpoint_interval,
+                telemetry_seconds if monitor is not None else None,
             ),
             daemon=True,
         )
         process.start()
+        if attempt and trace is not None:
+            event = {
+                "type": "worker_retry",
+                "lane": instance.index,
+                "attempt": attempt,
+            }
+            if resumed_from is not None:
+                event["resumed_from_conflicts"] = resumed_from
+            trace.emit(event)
+        if monitor is not None:
+            state = "resumed" if attempt and resumed_from is not None else "running"
+            monitor.lane_state(instance.index, state, attempt=attempt)
         active[instance.index] = _Active(
             process,
             StallClock(now, heartbeat),
@@ -354,10 +395,25 @@ def solve_batch(
             instance.deadline is None
             or instance.deadline - now > _MIN_RETRY_BUDGET
         )
-        if retryable and time_left and policy.allows(instance.attempts):
+        retrying = retryable and time_left and policy.allows(instance.attempts)
+        if trace is not None:
+            trace.emit(
+                {
+                    "type": "worker_fault",
+                    "lane": instance.index,
+                    "attempt": entry.attempt,
+                    "reason": reason,
+                    "will_retry": retrying,
+                }
+            )
+        if retrying:
             retries_total += 1
             instance.not_before = now + policy.delay(instance.attempts)
             pending.append(instance)
+            if monitor is not None:
+                monitor.lane_state(
+                    instance.index, "retrying", detail=reason, attempt=entry.attempt
+                )
         else:
             finals[instance.index] = SolveResult(
                 status=SolveStatus.UNKNOWN,
@@ -366,6 +422,10 @@ def solve_batch(
                 wall_seconds=now - (instance.first_launch or now),
                 attempts=list(instance.history),
             )
+            if monitor is not None:
+                monitor.lane_state(
+                    instance.index, "degraded", detail=reason, attempt=entry.attempt
+                )
 
     def finish(instance, entry, payload, now) -> None:
         if payload is None:
@@ -394,6 +454,11 @@ def solve_batch(
         record(instance, entry, "ok", now)
         payload.attempts = list(instance.history)
         finals[instance.index] = payload
+        if monitor is not None:
+            monitor.lane_state(
+                instance.index, "done",
+                detail=payload.status.name, attempt=entry.attempt,
+            )
 
     try:
         while pending or active:
@@ -405,6 +470,7 @@ def solve_batch(
                     pending.remove(instance)
                     launch(instance)
             drain_results(results_queue, collected, timeout=_POLL_SECONDS)
+            route_telemetry(collected, monitor)
             now = time.monotonic()
             for index, entry in list(active.items()):
                 instance = instances[index]
@@ -450,9 +516,12 @@ def solve_batch(
     results = [finals[index] for index in range(len(items))]
     stats = aggregate_stats(result.stats for result in results)
     stats.worker_retries += retries_total
-    return BatchResult(
+    batch = BatchResult(
         results=results,
         stats=stats,
         wall_seconds=time.perf_counter() - started,
         retries=retries_total,
     )
+    if monitor is not None:
+        monitor.fleet_finished(repr(batch))
+    return batch

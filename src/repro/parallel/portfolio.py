@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 
 from repro.checkpoint.snapshot import checkpoint_conflicts
 from repro.cnf.formula import CnfFormula
-from repro.parallel.worker import drain_results, solve_in_worker
+from repro.parallel.worker import drain_results, route_telemetry, solve_in_worker
 from repro.reliability.faults import FaultPlan
 from repro.reliability.guards import StallClock, crash_reason
 from repro.reliability.retry import RetryPolicy, as_retry_policy
@@ -157,6 +157,16 @@ class PortfolioSolver:
             warning — see :mod:`repro.checkpoint`.
         checkpoint_interval: conflicts between periodic checkpoint
             writes (only meaningful with ``checkpoint_dir``).
+        monitor: optional :class:`~repro.observability.FleetMonitor`
+            receiving per-lane life-cycle transitions and the telemetry
+            rows workers relay every ``telemetry_seconds``.
+        trace: optional :class:`~repro.observability.TraceSink` for
+            parent-side supervision events (``worker_fault`` /
+            ``worker_retry``).  Worker configs are stripped of their own
+            ``trace``/``metrics_interval`` — progress crosses the
+            process boundary as telemetry, not as a shared sink.
+        telemetry_seconds: worker telemetry reporting period (only
+            active when a ``monitor`` is given).
     """
 
     def __init__(
@@ -172,6 +182,9 @@ class PortfolioSolver:
         fault_plan: FaultPlan | None = None,
         checkpoint_dir: str | os.PathLike | None = None,
         checkpoint_interval: int = 1000,
+        monitor=None,
+        trace=None,
+        telemetry_seconds: float = 0.5,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -201,6 +214,9 @@ class PortfolioSolver:
             os.fspath(checkpoint_dir) if checkpoint_dir is not None else None
         )
         self.checkpoint_interval = checkpoint_interval
+        self.monitor = monitor
+        self.trace = trace
+        self.telemetry_seconds = telemetry_seconds
 
     # ------------------------------------------------------------------
     def solve(
@@ -229,12 +245,21 @@ class PortfolioSolver:
             formula = CnfFormula(formula)
         policy = self.retry
         verification = self.verification
-        worker_configs = [
-            config.with_overrides(proof_logging=True)
-            if verification == VERIFY_FULL and not config.proof_logging
-            else config
-            for config in self.configs
-        ]
+        monitor = self.monitor
+        trace = self.trace
+
+        def strip_for_worker(config: SolverConfig) -> SolverConfig:
+            overrides: dict = {}
+            if verification == VERIFY_FULL and not config.proof_logging:
+                overrides["proof_logging"] = True
+            # Sinks stay in the parent; workers relay telemetry instead.
+            if config.trace is not None:
+                overrides["trace"] = None
+            if config.metrics_interval:
+                overrides["metrics_interval"] = 0
+            return config.with_overrides(**overrides) if overrides else config
+
+        worker_configs = [strip_for_worker(config) for config in self.configs]
         base_limits = {
             "assumptions": tuple(assumptions),
             "max_conflicts": max_conflicts,
@@ -248,6 +273,10 @@ class PortfolioSolver:
         cancel = context.Event()
         results_queue = context.Queue()
         lanes = [_Lane(index, config) for index, config in enumerate(worker_configs)]
+        if monitor is not None:
+            monitor.fleet_started(
+                len(lanes), labels=[config.name for config in worker_configs]
+            )
         pending: list[_Lane] = list(lanes)
         active: dict[int, _Active] = {}
         collected: dict = {}
@@ -297,10 +326,23 @@ class PortfolioSolver:
                     self.max_memory_mb,
                     checkpoint_path,
                     self.checkpoint_interval,
+                    self.telemetry_seconds if monitor is not None else None,
                 ),
                 daemon=True,
             )
             process.start()
+            if attempt and trace is not None:
+                event = {
+                    "type": "worker_retry",
+                    "lane": lane.index,
+                    "attempt": attempt,
+                }
+                if resumed_from is not None:
+                    event["resumed_from_conflicts"] = resumed_from
+                trace.emit(event)
+            if monitor is not None:
+                state = "resumed" if attempt and resumed_from is not None else "running"
+                monitor.lane_state(lane.index, state, attempt=attempt)
             active[lane.index] = _Active(
                 process,
                 StallClock(now, heartbeat),
@@ -327,12 +369,31 @@ class PortfolioSolver:
             nonlocal retries_total
             record(lane, entry, reason, now, detail)
             time_left = deadline is None or deadline - now > _MIN_RETRY_BUDGET
-            if retryable and time_left and policy.allows(lane.attempts):
+            retrying = retryable and time_left and policy.allows(lane.attempts)
+            if trace is not None:
+                trace.emit(
+                    {
+                        "type": "worker_fault",
+                        "lane": lane.index,
+                        "attempt": entry.attempt,
+                        "reason": reason,
+                        "will_retry": retrying,
+                    }
+                )
+            if retrying:
                 retries_total += 1
                 lane.not_before = now + policy.delay(lane.attempts)
                 pending.append(lane)
+                if monitor is not None:
+                    monitor.lane_state(
+                        lane.index, "retrying", detail=reason, attempt=entry.attempt
+                    )
             else:
                 lane.failure = reason
+                if monitor is not None:
+                    monitor.lane_state(
+                        lane.index, "degraded", detail=reason, attempt=entry.attempt
+                    )
 
         def finish(lane, entry, payload, now) -> None:
             nonlocal champion, champion_lane
@@ -357,6 +418,11 @@ class PortfolioSolver:
                 return
             payload.verified = verified
             record(lane, entry, "ok", now)
+            if monitor is not None:
+                monitor.lane_state(
+                    lane.index, "done",
+                    detail=payload.status.name, attempt=entry.attempt,
+                )
             if payload.is_unknown:
                 # An honest budget-exhausted answer: the lane is done but
                 # contributes its stats to a synthesized UNKNOWN.
@@ -378,6 +444,7 @@ class PortfolioSolver:
                         pending.remove(lane)
                         launch(lane)
                 drain_results(results_queue, collected, timeout=_POLL_SECONDS)
+                route_telemetry(collected, monitor)
                 now = time.monotonic()
                 for index, entry in list(active.items()):
                     lane = lanes[index]
@@ -417,6 +484,11 @@ class PortfolioSolver:
             champion.wall_seconds = elapsed
             champion.attempts = list(champion_lane.history)
             champion.stats.worker_retries += retries_total
+            if monitor is not None:
+                monitor.fleet_finished(
+                    f"{champion.status.name} by {champion.config_name} "
+                    f"in {elapsed:.3f}s ({retries_total} retries)"
+                )
             return champion
         reported = [lane.result for lane in lanes if lane.result is not None]
         failures = sorted({lane.failure for lane in lanes if lane.failure})
@@ -435,6 +507,8 @@ class PortfolioSolver:
         stats = aggregate_stats(result.stats for result in reported)
         stats.worker_retries += retries_total
         history = [record for lane in lanes for record in lane.history]
+        if monitor is not None:
+            monitor.fleet_finished(f"UNKNOWN ({reason}) in {elapsed:.3f}s")
         return SolveResult(
             status=SolveStatus.UNKNOWN,
             stats=stats,

@@ -43,6 +43,52 @@ from repro.reliability.guards import apply_memory_limit
 from repro.solver.solver import Solver
 
 
+#: Queue tag prefix for telemetry rows.  Results use 2-tuple
+#: ``(index, attempt)`` tags (or plain ints), so a 3-tuple starting with
+#: this sentinel can never collide with an answer.
+TELEMETRY_TAG = "telemetry"
+
+
+class _TelemetryReporter:
+    """Post periodic progress rows on the result queue (best effort).
+
+    Rides the worker's ``on_progress`` chain; every ``every_seconds`` it
+    posts ``(("telemetry", lane, attempt), row)`` where ``row`` carries
+    cumulative counters plus rates over the reporting window.  The
+    parent sweeps these with :func:`route_telemetry`; because the tag is
+    stable per (lane, attempt), an unswept queue holds at most the
+    *latest* row per lane once drained into a dict — telemetry can never
+    grow the parent's memory or be mistaken for an answer.
+    """
+
+    def __init__(self, lane, attempt, results, every_seconds: float) -> None:
+        self.tag = (TELEMETRY_TAG, lane, attempt)
+        self.results = results
+        self.every_seconds = every_seconds
+        self._last_wall = time.monotonic()
+        self._last = {"conflicts": 0, "propagations": 0}
+
+    def __call__(self, stats) -> None:
+        now = time.monotonic()
+        window = now - self._last_wall
+        if window < self.every_seconds:
+            return
+        row = {
+            "conflicts": stats.conflicts,
+            "decisions": stats.decisions,
+            "propagations": stats.propagations,
+            "restarts": stats.restarts,
+            "props_per_sec": round((stats.propagations - self._last["propagations"]) / window, 1),
+            "conflicts_per_sec": round((stats.conflicts - self._last["conflicts"]) / window, 1),
+        }
+        self._last_wall = now
+        self._last = {"conflicts": stats.conflicts, "propagations": stats.propagations}
+        try:
+            self.results.put_nowait((self.tag, row))
+        except Exception:  # a full/broken queue must never kill the solve
+            pass
+
+
 def solve_in_worker(
     index,
     formula,
@@ -56,6 +102,7 @@ def solve_in_worker(
     max_memory_mb=None,
     checkpoint_path=None,
     checkpoint_interval: int = 1000,
+    telemetry_seconds=None,
 ) -> None:
     """Solve ``formula`` under ``config`` and post ``(index, result)``.
 
@@ -116,20 +163,32 @@ def solve_in_worker(
                 )
             elif snapshot is not None:
                 solver.resume(snapshot)  # graceful: cold start on any defect
+        telemetry = None
+        if telemetry_seconds is not None:
+            lane = index[0] if isinstance(index, tuple) else index
+            telemetry = _TelemetryReporter(lane, attempt, results, telemetry_seconds)
         on_progress = None
-        if cancel_event is not None or heartbeat is not None or deferred is not None:
+        if (
+            cancel_event is not None
+            or heartbeat is not None
+            or deferred is not None
+            or telemetry is not None
+        ):
 
             def on_progress(
                 stats,
                 _solver=solver,
                 _event=cancel_event,
                 _beat=heartbeat,
+                _telemetry=telemetry,
                 _deferred=deferred,
             ):
                 if _beat is not None:
                     _beat.value = time.monotonic()
                 if _event is not None and _event.is_set():
                     _solver.interrupt()
+                if _telemetry is not None:
+                    _telemetry(stats)
                 if (
                     _deferred is not None
                     and stats.conflicts >= _deferred.after_conflicts
@@ -177,3 +236,24 @@ def drain_results(results_queue, collected: dict, timeout: float = 0.0) -> None:
             return
         collected[index] = payload
         block = 0.0
+
+
+def route_telemetry(collected: dict, monitor=None) -> int:
+    """Pop telemetry rows out of a drained ``collected`` dict.
+
+    Telemetry rides the result queue under 3-tuple
+    ``("telemetry", lane, attempt)`` tags; answers never use those, so
+    this sweep is what keeps the supervising loops' "every tag is a
+    result" invariant intact.  Each popped row is forwarded to
+    ``monitor.lane_telemetry(lane, row)`` when a monitor is given.
+    Returns the number of rows routed.
+    """
+    routed = 0
+    for tag in [key for key in collected if isinstance(key, tuple) and len(key) == 3]:
+        if tag[0] != TELEMETRY_TAG:
+            continue
+        row = collected.pop(tag)
+        routed += 1
+        if monitor is not None and row is not None:
+            monitor.lane_telemetry(tag[1], row)
+    return routed

@@ -224,6 +224,8 @@ def run_audit(
     jobs: int = 2,
     stall_seconds: float = 1.0,
     log=None,
+    monitor=None,
+    trace=None,
 ) -> AuditReport:
     """Fuzz both engines under random fault plans; verify every answer.
 
@@ -231,12 +233,18 @@ def run_audit(
     worker of one engine and demands definite, correct, verified
     answers for instances of known status.  Deterministic for a given
     ``seed``.  ``log`` (e.g. ``print``) receives one line per round.
+    ``monitor`` (a :class:`~repro.observability.FleetMonitor`) sees each
+    round as a lane walking running → done/degraded; ``trace`` (a
+    :class:`~repro.observability.TraceSink`) receives one ``audit_round``
+    event per round.
     """
     rng = random.Random(seed)
     pool = _instance_pool()
     policy = RetryPolicy(max_attempts=3, backoff=0.02)
     report = AuditReport()
     started = time.perf_counter()
+    if monitor is not None:
+        monitor.fleet_started(rounds)
 
     for round_index in range(rounds):
         engine = rng.choice(("batch", "portfolio", "checkpoint"))
@@ -244,6 +252,11 @@ def run_audit(
             _CHECKPOINT_MENU if engine == "checkpoint" else _FAULT_MENU
         )
         defects: list[str] = []
+        retries_before = report.retries
+        if monitor is not None:
+            monitor.lane_state(
+                round_index, "running", detail=f"{engine}/{mode or 'healthy'}"
+            )
 
         if engine == "checkpoint":
             victim = 0
@@ -303,6 +316,24 @@ def run_audit(
                 report.failures.append(
                     f"round {round_index} [{engine}/{label} -> worker {victim}]: {defect}"
                 )
+        if monitor is not None:
+            monitor.lane_state(
+                round_index,
+                "degraded" if defects else "done",
+                detail=defects[0] if defects else f"{engine}/{label}",
+            )
+        if trace is not None:
+            event = {
+                "type": "audit_round",
+                "round": round_index,
+                "engine": engine,
+                "fault": label,
+                "ok": not defects,
+                "retries": report.retries - retries_before,
+            }
+            if defects:
+                event["detail"] = "; ".join(defects)
+            trace.emit(event)
         if log is not None:
             status = "ok" if not defects else "FAIL"
             log(
@@ -311,4 +342,6 @@ def run_audit(
             )
 
     report.wall_seconds = time.perf_counter() - started
+    if monitor is not None:
+        monitor.fleet_finished(report.summary())
     return report

@@ -135,6 +135,18 @@ class SolverConfig:
     # applies it inline.  "full" implies proof logging.
     verification: str = VERIFY_OFF
 
+    # -- observability ------------------------------------------------------
+    # Structured trace sink (repro.observability.TraceSink) receiving the
+    # typed search events documented in docs/OBSERVABILITY.md, or None to
+    # disable tracing entirely (the default; every emission site guards on
+    # it, so disabled tracing costs nothing).  Compared by identity in
+    # config equality — sinks are stateful streams, not values.
+    trace: object | None = field(default=None, compare=False)
+    # Conflicts between metrics time-series rows; 0 (the default) disables
+    # the MetricsCollector entirely.  Rows are sampled on the existing
+    # on_progress cadence, so effective resolution is >= 128 conflicts.
+    metrics_interval: int = 0
+
     # -- misc --------------------------------------------------------------
     seed: int = 0
     proof_logging: bool = False

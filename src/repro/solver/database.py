@@ -50,9 +50,22 @@ def reduce_database(solver: "Solver") -> None:
         raise AssertionError("database reduction requires decision level 0")
     solver.stats.db_reductions += 1
 
-    kept_learned = _apply_deletion_policy(solver)
-    deleted = len(solver.learned) - len(kept_learned)
+    learned_before = len(solver.learned)
+    kept_learned, breakdown = _apply_deletion_policy(solver)
+    deleted = learned_before - len(kept_learned)
     solver.stats.learned_deleted += deleted
+
+    if solver.trace is not None:
+        solver.trace.emit(
+            {
+                "type": "reduce",
+                "conflicts": solver.stats.conflicts,
+                "learned_before": learned_before,
+                "kept": len(kept_learned),
+                "dropped": deleted,
+                **breakdown,
+            }
+        )
 
     # Level-0 assignments are permanent: their reason clauses are never
     # consulted again (conflict analysis skips level-0 variables), and the
@@ -66,12 +79,20 @@ def reduce_database(solver: "Solver") -> None:
     solver.search_cursor = len(solver.learned) - 1
 
 
-def _apply_deletion_policy(solver: "Solver") -> list[Clause]:
-    """Select which learned clauses survive, per the configured policy."""
+def _apply_deletion_policy(solver: "Solver") -> tuple[list[Clause], dict[str, int]]:
+    """Select which learned clauses survive, per the configured policy.
+
+    Returns ``(kept, breakdown)``: the surviving clauses plus the
+    young/old keep/drop counts for the reduce trace event.  Only the
+    BerkMin policy has an age split; the other policies report every
+    clause in the young bucket.
+    """
     policy = solver.config.db_management
     learned = solver.learned
+    breakdown = {"young_kept": 0, "young_dropped": 0, "old_kept": 0, "old_dropped": 0}
     if policy == cfg.DB_KEEP_ALL or not learned:
-        return list(learned)
+        breakdown["young_kept"] = len(learned)
+        return list(learned), breakdown
 
     if policy == cfg.DB_LIMITED_KEEPING:
         length_limit = solver.config.limited_keeping_length
@@ -80,9 +101,11 @@ def _apply_deletion_policy(solver: "Solver") -> list[Clause]:
             topmost = index == len(learned) - 1
             if topmost or clause.protected or len(clause) <= length_limit:
                 kept.append(clause)
+                breakdown["young_kept"] += 1
             else:
                 solver.log_proof_delete(clause)
-        return kept
+                breakdown["young_dropped"] += 1
+        return kept, breakdown
 
     if policy == cfg.DB_BERKMIN:
         config = solver.config
@@ -91,7 +114,8 @@ def _apply_deletion_policy(solver: "Solver") -> list[Clause]:
         kept = []
         for index, clause in enumerate(learned):
             distance_from_top = stack_size - 1 - index
-            if distance_from_top < young_span:
+            young = distance_from_top < young_span
+            if young:
                 survives = (
                     len(clause) <= config.young_length_limit
                     or clause.activity > config.young_activity_limit
@@ -104,12 +128,14 @@ def _apply_deletion_policy(solver: "Solver") -> list[Clause]:
             topmost = index == stack_size - 1
             if survives or topmost or clause.protected:
                 kept.append(clause)
+                breakdown["young_kept" if young else "old_kept"] += 1
             else:
                 solver.log_proof_delete(clause)
+                breakdown["young_dropped" if young else "old_dropped"] += 1
         # Raise the old-clause activity bar so clauses that stop
         # participating in conflicts are eventually dropped.
         solver.old_threshold += config.old_threshold_increment
-        return kept
+        return kept, breakdown
 
     raise ValueError(f"unknown database-management policy {policy!r}")
 

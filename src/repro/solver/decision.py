@@ -78,6 +78,9 @@ def berkmin_decision(solver: "Solver") -> int | None:
                 solver.search_cursor = index
                 solver.stats.top_clause_decisions += 1
                 solver.stats.record_skin_distance(top - index)
+                if solver.trace is not None:
+                    solver.last_decision_source = "top_clause"
+                    solver.last_skin_distance = top - index
             collected.append(clause)
             if len(collected) >= window:
                 break
@@ -97,6 +100,9 @@ def berkmin_decision(solver: "Solver") -> int | None:
     if variable is None:
         return None
     solver.stats.formula_decisions += 1
+    if solver.trace is not None:
+        solver.last_decision_source = "global"
+        solver.last_skin_distance = None
     return phase.formula_literal(solver, variable)
 
 
@@ -106,6 +112,9 @@ def global_decision(solver: "Solver") -> int | None:
     if variable is None:
         return None
     solver.stats.formula_decisions += 1
+    if solver.trace is not None:
+        solver.last_decision_source = "global"
+        solver.last_skin_distance = None
     return phase.formula_literal(solver, variable)
 
 
@@ -128,6 +137,9 @@ def vsids_decision(solver: "Solver") -> int | None:
     if best_literal < 0:
         return None
     solver.stats.formula_decisions += 1
+    if solver.trace is not None:
+        solver.last_decision_source = "vsids"
+        solver.last_skin_distance = None
     return best_literal
 
 
@@ -138,6 +150,9 @@ def random_decision(solver: "Solver") -> int | None:
     if not free:
         return None
     solver.stats.formula_decisions += 1
+    if solver.trace is not None:
+        solver.last_decision_source = "random"
+        solver.last_skin_distance = None
     variable = solver.rng.choice(free)
     return 2 * variable + solver.rng.randint(0, 1)
 

@@ -115,6 +115,37 @@ class SolveResult:
         """True iff a budget stopped the search."""
         return self.status is SolveStatus.UNKNOWN
 
+    @property
+    def degraded(self) -> bool:
+        """True when this UNKNOWN came from worker failure, not a budget.
+
+        A budget-stopped UNKNOWN is the solver's honest "ran out of
+        conflicts/seconds"; a *degraded* UNKNOWN means the supervising
+        engine burned every retry on a crashing/hanging/corrupting
+        worker and gave up.  The distinction matters operationally —
+        degraded answers point at infrastructure, not at the instance.
+        """
+        return (
+            self.is_unknown
+            and bool(self.attempts)
+            and self.attempts[-1].outcome != "ok"
+        )
+
+    @property
+    def degradation(self) -> str | None:
+        """One-line failure story for a degraded UNKNOWN, else ``None``.
+
+        E.g. ``"worker crashed (SIGKILL) after 3 attempts"`` — the final
+        attempt's outcome plus how many supervised launches were burned,
+        without digging through :attr:`attempts`.
+        """
+        if not self.degraded:
+            return None
+        assert self.attempts is not None
+        reason = self.limit_reason or self.attempts[-1].outcome
+        count = len(self.attempts)
+        return f"{reason} after {count} attempt{'s' if count != 1 else ''}"
+
     def __repr__(self) -> str:
         parts = [self.status.value]
         if self.config_name:
@@ -123,10 +154,12 @@ class SolveResult:
         parts.append(f"conflicts={self.stats.conflicts}")
         if self.wall_seconds:
             parts.append(f"wall={self.wall_seconds:.3f}s")
-        if self.is_unknown and self.limit_reason:
+        if self.degraded:
+            parts.append(f"degraded={self.degradation!r}")
+        elif self.is_unknown and self.limit_reason:
             parts.append(f"limit_reason={self.limit_reason!r}")
         if self.verified:
             parts.append(f"verified={self.verified!r}")
-        if self.attempts and len(self.attempts) > 1:
+        if self.attempts and len(self.attempts) > 1 and not self.degraded:
             parts.append(f"attempts={len(self.attempts)}")
         return f"SolveResult({', '.join(parts)})"

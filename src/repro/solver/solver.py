@@ -158,6 +158,20 @@ class Solver:
         self._learnt_buffer: list[int] = []
         self._to_clear_buffer: list[int] = []
 
+        # Observability.  ``trace`` is the structured event sink (None =
+        # disabled; every emission site guards on it, and the BCP loops
+        # never consult it).  The decision heuristics stamp
+        # ``last_decision_source`` / ``last_skin_distance`` — only when
+        # tracing is on — for the decision event emitted by solve().
+        self.trace = self.config.trace
+        self.last_decision_source: str | None = None
+        self.last_skin_distance: int | None = None
+        self.metrics = None
+        if self.config.metrics_interval > 0:
+            from repro.observability.metrics import MetricsCollector
+
+            self.metrics = MetricsCollector(self, self.config.metrics_interval)
+
         if formula is not None:
             self.add_formula(formula)
 
@@ -856,7 +870,19 @@ class Solver:
         base_conflicts = stats.conflicts
         base_decisions = stats.decisions
         self._in_solve = True
+        trace = self.trace
         try:
+            if trace is not None:
+                trace.emit(
+                    {
+                        "type": "solve_start",
+                        "conflicts": stats.conflicts,
+                        "decisions": stats.decisions,
+                        "config": self.config.name,
+                        "variables": self.num_variables,
+                        "clauses": len(self.clauses) + len(self.learned),
+                    }
+                )
             if not self.ok:
                 return self._result(SolveStatus.UNSAT)
             assumption_literals = [encode_literal(lit) for lit in assumptions]
@@ -879,6 +905,19 @@ class Solver:
                         self.log_proof_add([])
                         return self._result(SolveStatus.UNSAT)
                     learnt, backtrack_level = self._analyze(conflict)
+                    if trace is not None:
+                        conflict_level = self.current_level()
+                        levels = self.levels
+                        trace.emit(
+                            {
+                                "type": "conflict",
+                                "conflicts": stats.conflicts,
+                                "level": conflict_level,
+                                "learned_len": len(learnt),
+                                "lbd": len({levels[lit >> 1] for lit in learnt}),
+                                "backjump": conflict_level - backtrack_level,
+                            }
+                        )
                     self._backtrack(backtrack_level)
                     self._record_learned(learnt)
                     if (
@@ -900,6 +939,8 @@ class Solver:
                     # whose lifetime total happens to be a multiple of 128
                     # must not fire the hook on its first conflict.
                     if (stats.conflicts - base_conflicts) % 128 == 0:
+                        if self.metrics is not None:
+                            self.metrics.tick(stats)
                         if on_progress is not None:
                             on_progress(stats)
                         if (
@@ -912,6 +953,17 @@ class Solver:
                     if scheduler.should_restart(conflicts_since_restart):
                         conflicts_since_restart = 0
                         scheduler.on_restart()
+                        if trace is not None:
+                            event = {
+                                "type": "restart",
+                                "conflicts": stats.conflicts,
+                                "restarts": stats.restarts + 1,
+                                "learned": len(self.learned),
+                            }
+                            interval = scheduler.current_interval
+                            if interval != float("inf"):
+                                event["next_interval"] = int(interval)
+                            trace.emit(event)
                         if not self._restart():
                             return self._result(SolveStatus.UNSAT)
                     continue
@@ -941,6 +993,8 @@ class Solver:
                 # run on every loop iteration.
                 decided = stats.decisions - base_decisions
                 if decided and decided % 512 == 0:
+                    if self.metrics is not None:
+                        self.metrics.tick(stats)
                     if on_progress is not None:
                         on_progress(stats)
                     if (
@@ -958,6 +1012,18 @@ class Solver:
                 stats.decisions += 1
                 self.trail_limits.append(len(self.trail))
                 self._enqueue(literal, None)
+                if trace is not None:
+                    trace.emit(
+                        {
+                            "type": "decision",
+                            "conflicts": stats.conflicts,
+                            "decisions": stats.decisions,
+                            "level": self.current_level(),
+                            "literal": decode_literal(literal),
+                            "source": self.last_decision_source or "global",
+                            "skin_distance": self.last_skin_distance,
+                        }
+                    )
                 if self.current_level() > stats.max_decision_level:
                     stats.max_decision_level = self.current_level()
         except MemoryError:
@@ -1025,6 +1091,17 @@ class Solver:
             and self.proof is not None
         ):
             proof = list(self.proof)
+        if self.metrics is not None:
+            self.metrics.finish(self.stats)
+        if self.trace is not None:
+            event = {
+                "type": "solve_end",
+                "conflicts": self.stats.conflicts,
+                "status": status.name,
+            }
+            if limit is not None:
+                event["limit_reason"] = limit
+            self.trace.emit(event)
         return SolveResult(
             status=status,
             model=model,

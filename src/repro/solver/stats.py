@@ -14,7 +14,14 @@ the paper's tables report:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+
+#: Wall-time floor below which throughput rates report 0.0 instead of a
+#: count/epsilon explosion.  Trivial solves (empty formula, immediate
+#: level-0 conflict) legitimately finish in under a microsecond; a
+#: "rate" computed over such a window is clock noise, not throughput.
+_MIN_MEASURABLE_SECONDS = 1e-6
 
 
 @dataclass
@@ -87,9 +94,11 @@ class SolverStats:
     # Throughput rates (the perf harness's currency; see docs/BENCHMARKS.md)
     # ------------------------------------------------------------------
     def _rate(self, count: int) -> float:
-        if self.solve_time_seconds <= 0.0:
+        elapsed = self.solve_time_seconds
+        if not math.isfinite(elapsed) or elapsed < _MIN_MEASURABLE_SECONDS:
             return 0.0
-        return count / self.solve_time_seconds
+        rate = count / elapsed
+        return rate if math.isfinite(rate) else 0.0
 
     def propagations_per_second(self) -> float:
         """BCP throughput over the recorded solve time (0 when untimed)."""

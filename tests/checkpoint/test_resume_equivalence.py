@@ -174,3 +174,45 @@ def test_interrupt_writes_final_checkpoint_and_resumes(tmp_path):
     resumed, resumed_solver = _resume_to_completion(formula, path)
     assert resumed.status is cold.status
     assert resumed_solver.stats.resumes == 1
+
+
+def test_trace_conflict_counters_are_monotone_across_the_checkpoint_seam(tmp_path):
+    """Warm resume restores the lifetime conflict counter, so the
+    concatenated traces of an interrupt/resume chain read as one
+    monotone history — the observability layer's checkpoint-seam
+    property (see docs/OBSERVABILITY.md)."""
+    from repro.observability import RingBufferSink
+
+    formula = pigeonhole_formula(6)
+    path = tmp_path / "seam.ckpt"
+
+    first_sink = RingBufferSink(capacity=100_000)
+    solver = Solver(formula, config_by_name("berkmin", trace=first_sink))
+    writer = CheckpointWriter(solver, path, every_conflicts=100)
+    partial = solver.solve(max_conflicts=300, on_progress=writer)
+    assert partial.is_unknown
+    writer.finalize(partial)
+
+    second_sink = RingBufferSink(capacity=100_000)
+    resumed_solver = Solver(formula, config_by_name("berkmin", trace=second_sink))
+    assert resumed_solver.resume(str(path)) is True
+    final = resumed_solver.solve()
+    assert final.is_unsat
+
+    chain = first_sink.events + second_sink.events
+    counters = [event["conflicts"] for event in chain if "conflicts" in event]
+    assert counters, "the chain recorded no counted events"
+    assert counters == sorted(counters), (
+        "conflict counters regressed across the checkpoint seam"
+    )
+
+    # The seam itself is visible: a write in the first trace, a resume
+    # carrying the inherited progress in the second.
+    writes = [e for e in first_sink.events if e["type"] == "checkpoint"]
+    assert writes and writes[-1]["action"] == "write"
+    resumes = [e for e in second_sink.events if e["type"] == "checkpoint"]
+    assert [e["action"] for e in resumes] == ["resume"]
+    assert resumes[0]["resumed_from"] == partial.stats.conflicts
+    # The second trace starts where the first left off, not at zero.
+    second_counts = [e["conflicts"] for e in second_sink.events if "conflicts" in e]
+    assert min(second_counts) >= partial.stats.conflicts

@@ -1,0 +1,152 @@
+"""CLI surface of the telemetry layer: flags, verbs, and exit codes."""
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.cnf.dimacs import write_dimacs_file
+from repro.generators.pigeonhole import pigeonhole_formula
+from repro.observability import read_trace, summarize_trace, validate_event
+
+
+def _write(tmp_path, formula, name="f.cnf"):
+    path = tmp_path / name
+    write_dimacs_file(formula, path)
+    return str(path)
+
+
+def test_solve_trace_and_metrics_out_produce_valid_artifacts(tmp_path, capsys):
+    cnf = _write(tmp_path, pigeonhole_formula(6))
+    trace_path = tmp_path / "t.jsonl"
+    metrics_path = tmp_path / "m.csv"
+    code = main([
+        "solve", cnf,
+        "--trace-out", str(trace_path),
+        "--metrics-out", str(metrics_path),
+        "--metrics-interval", "128",
+    ])
+    out = capsys.readouterr().out
+    assert code == 20
+    assert "c trace written to" in out
+    assert "c metrics written to" in out
+
+    events = list(read_trace(trace_path))  # read_trace validates every line
+    assert events[0]["type"] == "solve_start"
+    assert events[-1]["type"] == "solve_end"
+    kinds = {event["type"] for event in events}
+    assert {"decision", "conflict"} <= kinds
+
+    with open(metrics_path, newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) >= 2  # interval 128 on a ~700-conflict solve
+    assert float(rows[-1]["props_per_sec"]) >= 0.0
+    assert rows[0]["skin_p50"] != ""
+
+
+def test_trace_summary_text_and_json(tmp_path, capsys):
+    cnf = _write(tmp_path, pigeonhole_formula(5))
+    trace_path = tmp_path / "t.jsonl"
+    assert main(["solve", cnf, "--trace-out", str(trace_path)]) == 20
+    capsys.readouterr()
+
+    assert main(["trace-summary", str(trace_path)]) == 0
+    text = capsys.readouterr().out
+    assert "decision-source mix" in text
+    assert "skin distance" in text
+    assert "top_clause" in text
+
+    assert main(["trace-summary", str(trace_path), "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary == summarize_trace(trace_path)
+    assert summary["decision_source_mix"]["top_clause"] > 0.5
+
+
+def test_trace_summary_rejects_malformed_trace(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"type":"mystery"}\n')
+    assert main(["trace-summary", str(bad)]) == 2
+    assert "repro-sat: error:" in capsys.readouterr().err
+
+
+def test_trace_summary_missing_file_is_one_line_error(tmp_path, capsys):
+    assert main(["trace-summary", str(tmp_path / "nope.jsonl")]) == 2
+    assert "repro-sat: error:" in capsys.readouterr().err
+
+
+def test_solve_dashboard_warns_on_sequential_path(tmp_path, capsys):
+    cnf = _write(tmp_path, pigeonhole_formula(3))
+    assert main(["solve", cnf, "--dashboard"]) == 20
+    assert "--dashboard applies to the parallel engines" in capsys.readouterr().err
+
+
+def test_batch_dashboard_and_trace_flags(tmp_path, capsys):
+    files = [
+        _write(tmp_path, pigeonhole_formula(3), "a.cnf"),
+        _write(tmp_path, pigeonhole_formula(4), "b.cnf"),
+    ]
+    trace_path = tmp_path / "t.jsonl"
+    code = main([
+        "batch", *files, "--jobs", "2",
+        "--dashboard", "--trace-out", str(trace_path),
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "fleet: 2 lanes" in captured.err
+    assert "lane 0: done (UNSAT)" in captured.err
+    assert "fleet finished: " in captured.err
+    # A healthy fleet emits no supervision events — and says so.
+    assert "c trace written to" in captured.out
+    assert "(0 events)" in captured.out
+
+
+def test_portfolio_dashboard_renders_lanes(tmp_path, capsys):
+    cnf = _write(tmp_path, pigeonhole_formula(5))
+    code = main(["solve", cnf, "--portfolio", "--jobs", "2", "--dashboard"])
+    captured = capsys.readouterr()
+    assert code == 20
+    assert "fleet: 2 lanes" in captured.err
+    assert "fleet finished: UNSAT by" in captured.err
+
+
+def test_audit_round_metrics_and_trace(tmp_path, capsys):
+    trace_path = tmp_path / "audit.jsonl"
+    metrics_path = tmp_path / "rounds.csv"
+    code = main([
+        "audit", "--rounds", "2", "--seed", "0",
+        "--trace-out", str(trace_path), "--metrics-out", str(metrics_path),
+    ])
+    assert code == 0
+    events = list(read_trace(trace_path))
+    assert len(events) == 2
+    for event in events:
+        assert event["type"] == "audit_round"
+        assert validate_event(event) is None
+        assert event["ok"] is True
+    with open(metrics_path, newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    assert [row["round"] for row in rows] == ["0", "1"]
+
+
+def test_keyboard_interrupt_exits_130(tmp_path, capsys, monkeypatch):
+    import repro.parallel
+
+    def boom(*args, **kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(repro.parallel, "solve_batch", boom)
+    cnf = _write(tmp_path, pigeonhole_formula(3))
+    assert main(["batch", cnf, "--dashboard"]) == 130
+    assert "repro-sat: interrupted" in capsys.readouterr().err
+
+
+def test_bench_report_header_records_sha_and_metrics_interval(tmp_path, capsys):
+    out_path = tmp_path / "BENCH.json"
+    code = main(["bench", "--scale", "quick", "--repeats", "1",
+                 "--no-agreement", "--out", str(out_path)])
+    assert code == 0
+    report = json.loads(out_path.read_text())
+    assert report["metrics_interval"] == 0  # timed runs pay no telemetry
+    sha = report["git_sha"]
+    assert sha is None or (len(sha) == 40 and set(sha) <= set("0123456789abcdef"))

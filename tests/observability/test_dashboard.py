@@ -1,0 +1,177 @@
+"""Fleet monitors: recorder, dashboard rendering, and the live batch view."""
+
+import io
+import json
+
+import pytest
+
+from repro.generators.pigeonhole import pigeonhole_formula
+from repro.observability import (
+    LANE_STATES,
+    FleetDashboard,
+    FleetMonitor,
+    FleetRecorder,
+    MultiMonitor,
+    RingBufferSink,
+    validate_event,
+)
+
+
+class _FakeTty(io.StringIO):
+    def isatty(self) -> bool:
+        return True
+
+
+def _drive(monitor) -> None:
+    """A canonical crash/retry/resume fleet story."""
+    monitor.fleet_started(2, labels=["berkmin", "chaff"])
+    monitor.lane_state(0, "running")
+    monitor.lane_state(1, "running")
+    monitor.lane_telemetry(0, {"conflicts": 300, "props_per_sec": 1000.0,
+                               "conflicts_per_sec": 50.0})
+    monitor.lane_state(0, "retrying", detail="worker crashed (SIGKILL)")
+    monitor.lane_state(0, "resumed", attempt=1)
+    monitor.lane_state(0, "done", detail="UNSAT", attempt=1)
+    monitor.lane_state(1, "done", detail="SAT")
+    monitor.fleet_finished("2 lanes ok")
+    monitor.close()
+
+
+def test_lane_states_cover_the_life_cycle():
+    assert LANE_STATES == (
+        "pending", "running", "retrying", "resumed", "degraded", "done",
+    )
+
+
+def test_base_monitor_is_a_no_op_context_manager():
+    with FleetMonitor() as monitor:
+        _drive(monitor)  # must not raise
+
+
+def test_recorder_captures_transitions_telemetry_and_summary():
+    recorder = FleetRecorder()
+    _drive(recorder)
+    assert recorder.count == 2
+    assert recorder.labels == ["berkmin", "chaff"]
+    assert recorder.states_of(0) == ["running", "retrying", "resumed", "done"]
+    assert recorder.states_of(1) == ["running", "done"]
+    assert recorder.telemetry == [
+        (0, {"conflicts": 300, "props_per_sec": 1000.0, "conflicts_per_sec": 50.0})
+    ]
+    assert recorder.summary == "2 lanes ok"
+    assert recorder.closed
+
+
+def test_recorder_exports_telemetry_with_a_lane_column(tmp_path):
+    recorder = FleetRecorder()
+    _drive(recorder)
+    path = tmp_path / "telemetry.jsonl"
+    recorder.export_telemetry(path)
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    assert rows == [{"lane": 0, "conflicts": 300, "props_per_sec": 1000.0,
+                     "conflicts_per_sec": 50.0}]
+
+
+def test_multi_monitor_fans_out():
+    first, second = FleetRecorder(), FleetRecorder()
+    _drive(MultiMonitor(first, second))
+    assert first.transitions == second.transitions
+    assert first.summary == second.summary == "2 lanes ok"
+
+
+def test_dashboard_non_tty_prints_one_line_per_transition():
+    out = io.StringIO()
+    _drive(FleetDashboard(out))
+    lines = out.getvalue().splitlines()
+    assert lines[0] == "fleet: 2 lanes"
+    assert "lane 0: retrying (worker crashed (SIGKILL))" in lines
+    assert "lane 0: resumed [attempt 1]" in lines
+    assert "lane 0: done (UNSAT) [attempt 1]" in lines
+    assert lines[-1] == "fleet finished: 2 lanes ok"
+    assert not any("\x1b[" in line for line in lines)  # no ANSI off-TTY
+
+
+def test_dashboard_tty_redraws_an_ansi_panel():
+    out = _FakeTty()
+    dashboard = FleetDashboard(out, refresh_seconds=0.0)
+    _drive(dashboard)
+    text = out.getvalue()
+    assert "\x1b[" in text  # in-place redraws
+    assert "fleet 2/2" in text
+    assert "✓" in text and "↻" in text
+    assert "1,000 props/s" in text
+    assert text.rstrip().endswith("fleet finished: 2 lanes ok")
+
+
+def test_dashboard_eta_appears_when_some_lanes_finish():
+    out = _FakeTty()
+    dashboard = FleetDashboard(out, refresh_seconds=0.0)
+    dashboard.fleet_started(4)
+    dashboard.lane_state(0, "running")
+    dashboard.lane_state(0, "done")
+    assert "eta ~" in out.getvalue()
+
+
+def test_dashboard_survives_a_closed_stream():
+    out = io.StringIO()
+    dashboard = FleetDashboard(out)
+    dashboard.fleet_started(1)
+    out.close()
+    dashboard.lane_state(0, "running")  # must not raise
+    dashboard.fleet_finished("ok")
+    dashboard.close()
+
+
+def test_dashboard_ignores_out_of_range_lanes():
+    out = io.StringIO()
+    dashboard = FleetDashboard(out)
+    dashboard.fleet_started(1)
+    dashboard.lane_state(7, "running")
+    assert "lane 7" not in out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# The acceptance story: a live batch with a crashing worker
+# ----------------------------------------------------------------------
+@pytest.mark.fault_injection
+def test_batch_dashboard_shows_crash_retry_resume(tmp_path):
+    """8 lanes, one SIGKILLed mid-search: running → retrying → resumed → done."""
+    from repro.parallel import solve_batch
+    from repro.reliability import FaultPlan, RetryPolicy
+    from repro.reliability.faults import FAULT_SIGNAL, FaultSpec
+
+    formulas = [pigeonhole_formula(6)] + [pigeonhole_formula(3)] * 7
+    out = io.StringIO()
+    recorder = FleetRecorder()
+    trace = RingBufferSink()
+    batch = solve_batch(
+        formulas,
+        jobs=4,
+        retry=RetryPolicy(max_attempts=3, backoff=0.01),
+        fault_plan=FaultPlan(
+            (FaultSpec(FAULT_SIGNAL, worker=0, attempt=0, after_conflicts=300),)
+        ),
+        checkpoint_dir=tmp_path,
+        checkpoint_interval=100,
+        monitor=MultiMonitor(recorder, FleetDashboard(out)),
+        trace=trace,
+    )
+    assert batch.num_unsat == 8
+    assert recorder.count == 8
+    assert recorder.states_of(0) == ["running", "retrying", "resumed", "done"]
+    for lane in range(1, 8):
+        assert recorder.states_of(lane) == ["running", "done"]
+    assert recorder.summary == repr(batch)
+
+    lines = out.getvalue().splitlines()
+    assert lines[0] == "fleet: 8 lanes"
+    assert "lane 0: retrying (worker crashed (SIGKILL))" in lines
+    assert "lane 0: resumed [attempt 1]" in lines
+    assert lines[-1].startswith("fleet finished: ")
+
+    events = trace.events
+    assert [event["type"] for event in events] == ["worker_fault", "worker_retry"]
+    for event in events:
+        assert validate_event(event) is None
+    assert events[0]["will_retry"] is True
+    assert events[1]["resumed_from_conflicts"] >= 100

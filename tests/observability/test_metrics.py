@@ -1,0 +1,170 @@
+"""Metrics instruments, the registry, and the solver-attached collector."""
+
+import csv
+import json
+
+import pytest
+
+from repro.generators.pigeonhole import pigeonhole_formula
+from repro.observability import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    skin_percentile,
+    write_rows_csv,
+    write_rows_jsonl,
+)
+from repro.solver.config import config_by_name
+from repro.solver.result import SolveStatus
+from repro.solver.solver import Solver
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+def test_counter_accumulates_and_rejects_negatives():
+    counter = Counter("conflicts")
+    counter.add()
+    counter.add(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.add(-1)
+
+
+def test_gauge_holds_the_latest_level():
+    gauge = Gauge("learned")
+    gauge.set(10)
+    gauge.set(3)
+    assert gauge.value == 3
+
+
+def test_histogram_is_exact_below_reservoir_capacity():
+    histogram = Histogram("depth", size=100)
+    for value in range(50):
+        histogram.observe(value)
+    assert histogram.observed == 50
+    assert histogram.quantile(0.0) == 0
+    assert histogram.quantile(1.0) == 49
+    summary = histogram.summary()
+    assert summary["min"] == 0 and summary["max"] == 49
+    assert summary["p50"] == 25
+
+
+def test_histogram_reservoir_bounds_memory_and_stays_deterministic():
+    first = Histogram("a", size=16, seed=3)
+    second = Histogram("b", size=16, seed=3)
+    for value in range(10_000):
+        first.observe(value)
+        second.observe(value)
+    assert len(first.reservoir) == 16
+    assert first.reservoir == second.reservoir  # seeded Algorithm R
+    assert first.observed == 10_000
+    # min/max track the true stream, not the sample.
+    assert first.summary()["min"] == 0 and first.summary()["max"] == 9_999
+
+
+def test_histogram_quantile_edge_cases():
+    histogram = Histogram("empty")
+    assert histogram.quantile(0.5) is None
+    with pytest.raises(ValueError):
+        histogram.quantile(1.5)
+    with pytest.raises(ValueError):
+        Histogram("tiny", size=0)
+
+
+def test_registry_creates_on_first_touch_and_snapshots_flat():
+    registry = MetricsRegistry()
+    registry.counter("conflicts").add(7)
+    assert registry.counter("conflicts").value == 7  # same instrument
+    registry.gauge("learned").set(2)
+    registry.histogram("depth").observe(5)
+    row = registry.snapshot()
+    assert row["conflicts"] == 7
+    assert row["learned"] == 2
+    assert row["depth_count"] == 1 and row["depth_p50"] == 5
+
+
+def test_skin_percentile_walks_the_cumulative_histogram():
+    histogram = {0: 50, 1: 30, 5: 15, 40: 5}
+    assert skin_percentile(histogram, 0.50) == 0
+    assert skin_percentile(histogram, 0.90) == 5
+    assert skin_percentile(histogram, 1.00) == 40
+    assert skin_percentile({}, 0.5) is None
+
+
+# ----------------------------------------------------------------------
+# The solver-attached collector
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def metered_solver():
+    config = config_by_name("berkmin", metrics_interval=64)
+    solver = Solver(pigeonhole_formula(6), config)
+    result = solver.solve()
+    assert result.status is SolveStatus.UNSAT
+    return solver, result
+
+
+def test_collector_appends_periodic_and_closing_rows(metered_solver):
+    solver, result = metered_solver
+    rows = solver.metrics.rows
+    assert len(rows) >= 2  # periodic cadence plus the closing row
+    assert rows[-1]["conflicts"] == result.stats.conflicts
+    conflicts = [row["conflicts"] for row in rows]
+    assert conflicts == sorted(conflicts)
+    for row in rows:
+        assert row["props_per_sec"] >= 0.0
+        assert row["elapsed_seconds"] >= 0.0
+        assert 0.0 <= row["top_clause_fraction"] <= 1.0
+        assert row["skin_p50"] is not None
+
+
+def test_collector_finish_is_idempotent(metered_solver):
+    solver, _ = metered_solver
+    count = len(solver.metrics.rows)
+    solver.metrics.finish(solver.stats)
+    assert len(solver.metrics.rows) == count
+
+
+def test_trivial_solve_still_produces_a_series():
+    config = config_by_name("berkmin", metrics_interval=512)
+    solver = Solver(pigeonhole_formula(2), config)
+    solver.solve()
+    assert len(solver.metrics.rows) >= 1
+
+
+def test_collector_export_picks_format_by_extension(tmp_path, metered_solver):
+    solver, _ = metered_solver
+    csv_path = tmp_path / "series.csv"
+    jsonl_path = tmp_path / "series.jsonl"
+    solver.metrics.export(csv_path)
+    solver.metrics.export(jsonl_path)
+
+    with open(csv_path, newline="") as handle:
+        parsed = list(csv.DictReader(handle))
+    assert len(parsed) == len(solver.metrics.rows)
+    assert int(parsed[-1]["conflicts"]) == solver.metrics.rows[-1]["conflicts"]
+
+    lines = [json.loads(line) for line in jsonl_path.read_text().splitlines()]
+    assert lines == solver.metrics.rows
+
+
+def test_row_writers_union_columns_and_blank_missing_values(tmp_path):
+    rows = [{"a": 1}, {"a": 2, "b": None}, {"b": 3}]
+    path = tmp_path / "rows.csv"
+    write_rows_csv(path, rows)
+    with open(path, newline="") as handle:
+        parsed = list(csv.DictReader(handle))
+    assert parsed == [
+        {"a": "1", "b": ""},
+        {"a": "2", "b": ""},
+        {"a": "", "b": "3"},
+    ]
+    jsonl = tmp_path / "rows.jsonl"
+    write_rows_jsonl(jsonl, rows)
+    assert [json.loads(line) for line in jsonl.read_text().splitlines()] == rows
+
+
+def test_metrics_interval_zero_attaches_no_collector():
+    solver = Solver(pigeonhole_formula(3), config_by_name("berkmin"))
+    assert solver.metrics is None

@@ -1,0 +1,103 @@
+"""trace-summary aggregation: the Table-3-shaped report over a trace."""
+
+import pytest
+
+from repro.generators.pigeonhole import pigeonhole_formula
+from repro.observability import (
+    JsonlTraceSink,
+    TraceFormatError,
+    format_summary,
+    summarize_trace,
+)
+from repro.observability.summary import _distribution
+from repro.solver.config import config_by_name
+from repro.solver.solver import Solver
+
+
+@pytest.fixture(scope="module")
+def recorded_trace(tmp_path_factory):
+    path = tmp_path_factory.mktemp("trace") / "hole6.jsonl"
+    with JsonlTraceSink(path) as sink:
+        config = config_by_name("berkmin", trace=sink, restart_interval=64)
+        result = Solver(pigeonhole_formula(6), config).solve()
+    return path, result
+
+
+def test_distribution_shapes():
+    assert _distribution([]) == {"count": 0}
+    dist = _distribution([3, 1, 2])
+    assert dist["count"] == 3
+    assert dist["min"] == 1 and dist["max"] == 3
+    assert dist["mean"] == 2.0
+    assert dist["p50"] == 2
+
+
+def test_summarize_trace_reports_the_table3_evidence(recorded_trace):
+    path, result = recorded_trace
+    summary = summarize_trace(path)
+    assert summary["events"] == sum(summary["by_type"].values())
+    assert summary["decisions"] == result.stats.decisions
+    mix = summary["decision_source_mix"]
+    assert set(mix) == {"top_clause", "global", "vsids", "random"}
+    assert abs(sum(mix.values()) - 1.0) < 0.01
+    # BerkMin on pigeonhole decides overwhelmingly on the top clause
+    # (the paper's Section 5 claim — the observability layer must show it).
+    assert mix["top_clause"] > 0.5
+    assert summary["skin_distance"]["count"] == result.stats.top_clause_decisions
+    assert summary["skin_distance"]["p50"] <= summary["skin_distance"]["p99"]
+    assert summary["lbd"]["count"] > 0
+    assert summary["restarts"]["count"] >= 1
+    assert summary["max_conflicts"] == result.stats.conflicts
+    assert summary["solves"] == [
+        {"status": "UNSAT", "conflicts": result.stats.conflicts, "limit_reason": None}
+    ]
+
+
+def test_format_summary_renders_every_section(recorded_trace):
+    path, _ = recorded_trace
+    text = format_summary(summarize_trace(path))
+    for needle in (
+        "trace summary:",
+        "decision-source mix",
+        "top_clause",
+        "skin distance",
+        "lbd",
+        "restarts:",
+        "db reductions:",
+        "solves:",
+        "UNSAT",
+    ):
+        assert needle in text
+
+
+def test_summarize_trace_refuses_malformed_input(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"type":"decision"}\n')
+    with pytest.raises(TraceFormatError, match="missing field"):
+        summarize_trace(path)
+
+
+def test_summarize_empty_trace(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    summary = summarize_trace(path)
+    assert summary["events"] == 0
+    assert summary["decisions"] == 0
+    assert summary["skin_distance"] == {"count": 0}
+    assert "(no samples)" in format_summary(summary)
+
+
+def test_fleet_events_land_in_the_fleet_section(tmp_path):
+    path = tmp_path / "fleet.jsonl"
+    with JsonlTraceSink(path) as sink:
+        sink.emit({"type": "worker_fault", "lane": 0, "attempt": 0,
+                   "reason": "worker crashed (SIGKILL)", "will_retry": True})
+        sink.emit({"type": "worker_retry", "lane": 0, "attempt": 1,
+                   "resumed_from_conflicts": 300})
+        sink.emit({"type": "audit_round", "round": 0, "engine": "batch",
+                   "fault": "crash", "ok": False, "detail": "boom"})
+    summary = summarize_trace(path)
+    assert summary["fleet"] == {
+        "faults": 1, "retries": 1, "audit_rounds": 1, "audit_failures": 1,
+    }
+    assert "fleet: 1 faults, 1 retries" in format_summary(summary)

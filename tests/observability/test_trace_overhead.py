@@ -1,0 +1,81 @@
+"""Zero-cost-when-disabled: tracing must not tax the BCP hot loops.
+
+Two layers of enforcement, both fast enough for tier-1:
+
+* a **static guard** — the bytecode of both propagation engines must
+  never reference the trace/metrics machinery at all, so the hot loops
+  cannot pay even a ``None``-check per propagation;
+* an **A/B timing smoke** — solving the same pinned instance with
+  tracing disabled must stay within 3% of the propagation rate of an
+  identical solve, and enabling a sink must not change the search
+  (identical conflict/decision/propagation counts).
+"""
+
+import time
+
+import pytest
+
+from repro.generators.pigeonhole import pigeonhole_formula
+from repro.observability import RingBufferSink, TraceSink
+from repro.solver.config import config_by_name
+from repro.solver.solver import Solver
+
+pytestmark = pytest.mark.perf_smoke
+
+#: Tracing disabled may cost at most this fraction of propagation rate.
+_MAX_DISABLED_REGRESSION = 0.03
+_FORBIDDEN_NAMES = ("trace", "metrics", "emit", "last_decision_source")
+
+
+@pytest.mark.parametrize("engine", ["_propagate_split", "_propagate_general"])
+def test_bcp_hot_loops_never_touch_the_telemetry_layer(engine):
+    names = getattr(Solver, engine).__code__.co_names
+    for forbidden in _FORBIDDEN_NAMES:
+        assert forbidden not in names, (
+            f"{engine} references {forbidden!r}: the BCP hot loop must "
+            "stay telemetry-free (see docs/OBSERVABILITY.md)"
+        )
+
+
+def _propagation_rate(trace) -> tuple[float, tuple[int, int, int]]:
+    """Best-of-5 props/sec for a pinned hole-6 solve under ``trace``."""
+    best = 0.0
+    counts = None
+    for _ in range(5):
+        config = config_by_name("berkmin", trace=trace)
+        solver = Solver(pigeonhole_formula(6), config)
+        started = time.perf_counter()
+        result = solver.solve()
+        elapsed = time.perf_counter() - started
+        assert result.is_unsat
+        stats = result.stats
+        counts = (stats.conflicts, stats.decisions, stats.propagations)
+        best = max(best, stats.propagations / max(elapsed, 1e-9))
+    return best, counts
+
+
+def test_disabled_tracing_costs_under_three_percent():
+    # Warm both paths once so neither side pays first-run compilation.
+    _propagation_rate(None)
+    enabled_rate, enabled_counts = _propagation_rate(RingBufferSink(1 << 20))
+    disabled_rate, disabled_counts = _propagation_rate(None)
+
+    # Emitting events must not change the search itself.
+    assert enabled_counts == disabled_counts
+
+    assert disabled_rate >= (1.0 - _MAX_DISABLED_REGRESSION) * enabled_rate, (
+        f"tracing disabled ran at {disabled_rate:,.0f} props/s vs "
+        f"{enabled_rate:,.0f} with a sink attached — the disabled path "
+        "must never be the slow one"
+    )
+
+
+def test_noop_sink_solve_matches_untraced_counts():
+    untraced = Solver(pigeonhole_formula(5), config_by_name("berkmin")).solve()
+    traced = Solver(
+        pigeonhole_formula(5), config_by_name("berkmin", trace=TraceSink())
+    ).solve()
+    assert untraced.status is traced.status
+    assert untraced.stats.conflicts == traced.stats.conflicts
+    assert untraced.stats.decisions == traced.stats.decisions
+    assert untraced.stats.propagations == traced.stats.propagations

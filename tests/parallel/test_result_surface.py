@@ -37,6 +37,38 @@ def test_repr_is_readable():
     assert "limit_reason='conflict budget'" in repr(unknown)
 
 
+def test_degraded_unknown_surfaces_its_failure_story():
+    from repro.solver.result import AttemptRecord
+
+    degraded = SolveResult(
+        SolveStatus.UNKNOWN,
+        limit_reason="worker crashed (SIGKILL)",
+        attempts=[
+            AttemptRecord(0, "berkmin", 0, "worker crashed (SIGKILL)"),
+            AttemptRecord(1, "berkmin", 1, "worker crashed (SIGKILL)"),
+            AttemptRecord(2, "berkmin", 2, "stalled (no heartbeat)"),
+        ],
+    )
+    assert degraded.degraded is True
+    assert degraded.degradation == "worker crashed (SIGKILL) after 3 attempts"
+    text = repr(degraded)
+    assert "degraded='worker crashed (SIGKILL) after 3 attempts'" in text
+    assert "limit_reason" not in text  # the degradation line replaces it
+
+    # A budget UNKNOWN (no attempts, or a final "ok") is not degraded.
+    budget = SolveResult(SolveStatus.UNKNOWN, limit_reason="conflict budget")
+    assert budget.degraded is False and budget.degradation is None
+    recovered = SolveResult(
+        SolveStatus.UNSAT,
+        attempts=[
+            AttemptRecord(0, "berkmin", 0, "worker crashed (SIGKILL)"),
+            AttemptRecord(1, "berkmin", 1, "ok"),
+        ],
+    )
+    assert recovered.degraded is False
+    assert "attempts=2" in repr(recovered)
+
+
 def test_solve_result_pickles_across_processes():
     result = repro.solve(pigeonhole_formula(4))
     clone = pickle.loads(pickle.dumps(result))

@@ -80,6 +80,25 @@ def test_aggregate_matches_as_dict_keys():
         assert spec.name in summary_keys, spec.name
 
 
+def test_rates_clamp_unmeasurable_and_garbage_wall_times():
+    """Sub-microsecond, zero, negative, inf, and NaN wall times must all
+    report 0.0 rates — never a count/epsilon explosion (the bench JSON
+    and metrics rows both consume these numbers raw)."""
+    stats = SolverStats(propagations=10_000, conflicts=500, decisions=700)
+    for garbage in (0.0, -1.0, 1e-9, float("inf"), float("nan")):
+        stats.solve_time_seconds = garbage
+        rates = stats.rates()
+        assert rates == {
+            "propagations_per_second": 0.0,
+            "conflicts_per_second": 0.0,
+            "decisions_per_second": 0.0,
+        }, f"wall={garbage}"
+    stats.solve_time_seconds = 2.0
+    assert stats.propagations_per_second() == 5_000.0
+    assert stats.conflicts_per_second() == 250.0
+    assert stats.decisions_per_second() == 350.0
+
+
 def test_live_stats_track_reality():
     from repro.generators.pigeonhole import pigeonhole_formula
     from repro.solver.solver import Solver
