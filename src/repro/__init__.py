@@ -53,9 +53,11 @@ from repro.observability import (
 )
 from repro.parallel import (
     BatchResult,
+    GroupedResult,
     PortfolioSolver,
     default_portfolio,
     solve_batch,
+    solve_grouped,
 )
 from repro.reliability import (
     FaultPlan,
@@ -64,6 +66,7 @@ from repro.reliability import (
     VerificationError,
     verify_result,
 )
+from repro.session import AnswerCache, SessionClosedError, SolverSession
 from repro.solver import (
     SolveResult,
     SolveStatus,
@@ -94,11 +97,13 @@ def solve(formula, config=None, **limits):
 
 
 __all__ = [
+    "AnswerCache",
     "BatchResult",
     "Clause",
     "CnfFormula",
     "FaultPlan",
     "FaultSpec",
+    "GroupedResult",
     "FleetDashboard",
     "FleetMonitor",
     "FleetRecorder",
@@ -107,10 +112,12 @@ __all__ = [
     "PortfolioSolver",
     "RetryPolicy",
     "RingBufferSink",
+    "SessionClosedError",
     "SolveResult",
     "SolveStatus",
     "Solver",
     "SolverConfig",
+    "SolverSession",
     "TraceSink",
     "VerificationError",
     "available_configs",
@@ -126,6 +133,7 @@ __all__ = [
     "solve",
     "solve_batch",
     "solve_formula",
+    "solve_grouped",
     "summarize_trace",
     "verify_result",
     "write_dimacs",

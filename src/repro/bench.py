@@ -47,6 +47,12 @@ MODES = ("split", "general")
 #: Schema version of the BENCH_*.json reports.
 SCHEMA = "bcp-bench/1"
 
+#: Schema version of the session-bench reports (``bench --session``).
+SESSION_SCHEMA = "session-bench/1"
+
+#: Acceptance floor for the incremental engine on related-query streams.
+SESSION_SPEEDUP_TARGET = 2.0
+
 
 class BenchAgreementError(AssertionError):
     """The two propagation engines disagreed — a solver bug, not a perf issue."""
@@ -324,6 +330,283 @@ def format_table(report: dict) -> str:
             f"agreement: {agreement['pairs_checked']} config x instance pairs, "
             "statuses and conflict/decision/propagation counts identical"
         )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Session bench: incremental BMC depth sweeps vs fresh one-shot solves
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SessionBenchCase:
+    """One pinned BMC depth sweep: a counter design checked at every bound.
+
+    ``with_enable`` adds the adversarial enable input, turning each query
+    into a real search problem (the solver must find the enable sequence)
+    so that learned-clause carry-over between depths has work to do.
+    """
+
+    name: str
+    bits: int
+    target: int
+    max_depth: int
+    with_enable: bool = True
+
+
+#: Pinned depth-sweep suites.  Deterministic by construction (the counter
+#: designs are fixed and the solver is seeded through its config), so
+#: statuses and served-by classifications reproduce run to run.
+_SESSION_SUITES: dict[str, tuple[SessionBenchCase, ...]] = {
+    "quick": (
+        SessionBenchCase("counter4_t9_en", 4, 9, 11),
+        SessionBenchCase("counter4_t13", 4, 13, 15, with_enable=False),
+    ),
+    "default": (
+        SessionBenchCase("counter4_t9_en", 4, 9, 11),
+        SessionBenchCase("counter5_t14_en", 5, 14, 16),
+        SessionBenchCase("counter4_t13", 4, 13, 15, with_enable=False),
+        SessionBenchCase("counter6_t40", 6, 40, 44, with_enable=False),
+    ),
+}
+_SESSION_SUITES["full"] = _SESSION_SUITES["default"] + (
+    SessionBenchCase("counter5_t20_en", 5, 20, 23),
+    SessionBenchCase("counter7_t70", 7, 70, 75, with_enable=False),
+)
+
+
+def session_bench_suite(scale: str = "default") -> tuple[SessionBenchCase, ...]:
+    """The pinned depth sweeps for ``scale`` ('quick', 'default' or 'full')."""
+    try:
+        return _SESSION_SUITES[scale]
+    except KeyError:
+        known = ", ".join(sorted(_SESSION_SUITES))
+        raise ValueError(f"unknown bench scale {scale!r}; known: {known}") from None
+
+
+def _bmc_steps(circuit, max_depth: int) -> list[tuple[list[list[int]], int]]:
+    """Incremental unrolling of ``circuit`` as ``(new_clauses, activation)`` steps.
+
+    Step ``d`` carries exactly the clauses :func:`~repro.circuits.sequential.unroll`
+    would add on top of bound ``d - 1`` — frame ``d``'s Tseitin encoding and
+    the register chaining — except that the "bad somewhere within the
+    bound" target is guarded by a fresh activation literal instead of
+    asserted outright.  Solving under the assumption ``activation`` then
+    asks the bound-``d`` BMC query; earlier guards stay free, so one
+    growing formula answers every bound without retraction.
+    """
+    from repro.circuits.tseitin import encode_circuit
+
+    shared = CnfFormula(comment=f"incremental BMC of {circuit.name}")
+    frames: list[dict[str, int]] = []
+    steps: list[tuple[list[list[int]], int]] = []
+    for depth in range(max_depth + 1):
+        mark = len(shared.clauses)
+        encoding = encode_circuit(circuit.logic, shared, prefix=f"t{depth}.")
+        frames.append(
+            {
+                net: encoding.variables[f"t{depth}.{net}"]
+                for net in circuit.logic.nets()
+            }
+        )
+        if depth == 0:
+            for register in circuit.registers:
+                literal = frames[0][register]
+                shared.add_clause(
+                    [literal if circuit.initial[register] else -literal]
+                )
+        else:
+            for register in circuit.registers:
+                source = frames[depth - 1][circuit.next_state[register]]
+                target = frames[depth][register]
+                shared.add_clause([-source, target])
+                shared.add_clause([source, -target])
+        activation = shared.new_variable()
+        shared.add_clause(
+            [-activation] + [frames[i][circuit.bad] for i in range(depth + 1)]
+        )
+        steps.append(([list(clause) for clause in shared.clauses[mark:]], activation))
+    return steps
+
+
+def run_session_case(
+    case: SessionBenchCase,
+    config_name: str = "berkmin",
+    rounds: int = 2,
+) -> dict:
+    """Bench one depth sweep: incremental session vs fresh one-shot solves.
+
+    The query stream visits every bound ``0..max_depth`` once per round.
+    The session arm streams all rounds through :class:`SolverSession`
+    instances sharing one :class:`AnswerCache` (round 1 pays search with
+    learned-clause carry-over between depths; later rounds are answered
+    from the cache without search).  The one-shot arm solves a fresh
+    :func:`~repro.circuits.sequential.unroll` formula for every query.
+    Raises :class:`BenchAgreementError` when any query's status diverges
+    between the arms or from the design's ground truth (SAT iff the
+    bound reaches the counter's target cycle).
+    """
+    from repro.circuits.sequential import counter_circuit, unroll
+    from repro.session import AnswerCache, SolverSession
+    from repro.solver.solver import solve_formula
+
+    if rounds < 1:
+        raise ValueError("rounds must be at least 1")
+    circuit = counter_circuit(case.bits, case.target, with_enable=case.with_enable)
+    steps = _bmc_steps(circuit, case.max_depth)
+    depths = range(case.max_depth + 1)
+    truth = ["SAT" if depth >= case.target else "UNSAT" for depth in depths]
+
+    # One-shot arm: a fresh solver per query on the standard unrolling.
+    # Encoding happens outside the timed region for both arms.
+    oneshot_formulas = [unroll(circuit, depth).formula for depth in depths]
+    oneshot_wall = 0.0
+    oneshot_statuses: list[str] = []
+    for round_index in range(rounds):
+        for depth in depths:
+            started = time.perf_counter()
+            result = solve_formula(
+                oneshot_formulas[depth], config=config_by_name(config_name)
+            )
+            oneshot_wall += time.perf_counter() - started
+            if round_index == 0:
+                oneshot_statuses.append(result.status.value)
+
+    # Session arm: one session per round, all rounds sharing one cache.
+    cache = AnswerCache()
+    session_wall = 0.0
+    session_statuses: list[str] = []
+    served = {"search": 0, "cache": 0}
+    retained = 0
+    for round_index in range(rounds):
+        with SolverSession(config=config_by_name(config_name), cache=cache) as session:
+            for depth in depths:
+                new_clauses, activation = steps[depth]
+                hits_before = cache.hits
+                started = time.perf_counter()
+                session.add_clauses(new_clauses)
+                result = session.solve(assumptions=[activation])
+                session_wall += time.perf_counter() - started
+                served["cache" if cache.hits > hits_before else "search"] += 1
+                status = result.status.value
+                if round_index == 0:
+                    session_statuses.append(status)
+                if status != truth[depth]:
+                    raise BenchAgreementError(
+                        f"{case.name} bound {depth} round {round_index}: "
+                        f"session says {status}, ground truth {truth[depth]}"
+                    )
+                if status == "UNSAT" and result.core is not None:
+                    if not set(result.core) <= {activation}:
+                        raise BenchAgreementError(
+                            f"{case.name} bound {depth}: core {result.core} "
+                            f"is not a subset of the assumptions"
+                        )
+            retained += session.solver.stats.retained_clauses
+
+    if oneshot_statuses != truth:
+        raise BenchAgreementError(
+            f"{case.name}: one-shot statuses {oneshot_statuses} "
+            f"diverge from ground truth {truth}"
+        )
+    if session_statuses != oneshot_statuses:
+        raise BenchAgreementError(
+            f"{case.name}: session statuses {session_statuses} "
+            f"diverge from one-shot statuses {oneshot_statuses}"
+        )
+    queries = rounds * len(list(depths))
+    return {
+        "name": case.name,
+        "bits": case.bits,
+        "target": case.target,
+        "max_depth": case.max_depth,
+        "with_enable": case.with_enable,
+        "queries": queries,
+        "statuses": truth,
+        "session": {
+            "wall_seconds": round(session_wall, 6),
+            "served_by_search": served["search"],
+            "served_by_cache": served["cache"],
+            "retained_clauses": retained,
+        },
+        "oneshot": {"wall_seconds": round(oneshot_wall, 6)},
+        "speedup": round(oneshot_wall / max(session_wall, 1e-9), 3),
+    }
+
+
+def run_session_bench(
+    scale: str = "default",
+    config_name: str = "berkmin",
+    rounds: int = 2,
+) -> dict:
+    """Run the incremental-session harness; return the JSON-ready report.
+
+    Every query's status is cross-checked against a fresh one-shot solve
+    and against the design's simulated ground truth inside
+    :func:`run_session_case`, so a report only ever exists for runs where
+    the agreement gate passed.
+    """
+    cases = [
+        run_session_case(case, config_name=config_name, rounds=rounds)
+        for case in session_bench_suite(scale)
+    ]
+    session_wall = sum(row["session"]["wall_seconds"] for row in cases)
+    oneshot_wall = sum(row["oneshot"]["wall_seconds"] for row in cases)
+    speedup = oneshot_wall / max(session_wall, 1e-9)
+    return {
+        "schema": SESSION_SCHEMA,
+        "scale": scale,
+        "config": config_name,
+        "rounds": rounds,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_sha": _git_sha(),
+        "metrics_interval": config_by_name(config_name).metrics_interval,
+        "cases": cases,
+        "agreement": {
+            "queries_checked": sum(row["queries"] for row in cases),
+            "statuses_match_oneshot": True,
+            "statuses_match_ground_truth": True,
+            "cores_subset_of_assumptions": True,
+        },
+        "aggregate": {
+            "session_wall_seconds": round(session_wall, 6),
+            "oneshot_wall_seconds": round(oneshot_wall, 6),
+            "speedup": round(speedup, 3),
+            "speedup_target": SESSION_SPEEDUP_TARGET,
+            "meets_target": speedup >= SESSION_SPEEDUP_TARGET,
+            "served_by_cache": sum(row["session"]["served_by_cache"] for row in cases),
+            "served_by_search": sum(row["session"]["served_by_search"] for row in cases),
+        },
+    }
+
+
+def format_session_table(report: dict) -> str:
+    """Human-readable summary of a session-bench report (the CLI's stdout)."""
+    lines = [
+        f"session bench — scale={report['scale']} config={report['config']} "
+        f"rounds={report['rounds']}",
+        f"{'case':<18} {'queries':>7} {'cache':>6} {'session s':>10} "
+        f"{'one-shot s':>11} {'speedup':>8}",
+    ]
+    for row in report["cases"]:
+        lines.append(
+            f"{row['name']:<18} {row['queries']:>7} "
+            f"{row['session']['served_by_cache']:>6} "
+            f"{row['session']['wall_seconds']:>10.3f} "
+            f"{row['oneshot']['wall_seconds']:>11.3f} "
+            f"{row['speedup']:>7.2f}x"
+        )
+    aggregate = report["aggregate"]
+    verdict = "meets" if aggregate["meets_target"] else "BELOW"
+    lines.append(
+        f"aggregate: session {aggregate['session_wall_seconds']:.3f}s vs "
+        f"one-shot {aggregate['oneshot_wall_seconds']:.3f}s -> "
+        f"{aggregate['speedup']:.2f}x ({verdict} the "
+        f"{aggregate['speedup_target']:.1f}x target)"
+    )
+    agreement = report["agreement"]
+    lines.append(
+        f"agreement: {agreement['queries_checked']} queries, statuses match "
+        "one-shot solves and simulated ground truth"
+    )
     return "\n".join(lines)
 
 

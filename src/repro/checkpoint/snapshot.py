@@ -36,7 +36,7 @@ from __future__ import annotations
 import hashlib
 import os
 import warnings
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING
 
 from repro.checkpoint.envelope import (
@@ -66,6 +66,31 @@ def formula_fingerprint(clauses) -> str:
     digest = hashlib.blake2b(digest_size=16)
     for clause in clauses:
         digest.update(" ".join(str(literal) for literal in clause).encode())
+        digest.update(b";")
+    return digest.hexdigest()
+
+
+def canonical_fingerprint(clauses) -> str:
+    """An order-*insensitive* hex fingerprint of a clause set.
+
+    Unlike :func:`formula_fingerprint` (which keys *resume* state and
+    must distinguish clause orderings because they change propagation
+    order), this keys *answers*: satisfiability does not depend on
+    clause or literal order, so the session answer cache
+    (:mod:`repro.session`) uses this form to recognise the same query
+    arriving with its clauses shuffled.
+
+    Each clause is canonicalised (literals sorted, duplicates kept) and
+    the canonical encodings are sorted before hashing — NOT combined
+    with XOR, which would cancel duplicated clauses against each other.
+    """
+    encodings = sorted(
+        " ".join(str(literal) for literal in sorted(clause)).encode()
+        for clause in clauses
+    )
+    digest = hashlib.blake2b(digest_size=16)
+    for encoding in encodings:
+        digest.update(encoding)
         digest.update(b";")
     return digest.hexdigest()
 
@@ -109,6 +134,10 @@ class SolverSnapshot:
     stats: dict
     #: DRUP trace carried across the resume (``None`` when logging was off).
     proof: list[tuple[str, list[int]]] | None
+    #: LBD stamped on each learned clause at conflict time, parallel to
+    #: :attr:`learned` (0 = never measured).  Checkpoints written before
+    #: LBD tracking restore as all zeros.
+    learned_lbd: list[int] = field(default_factory=list)
 
     @property
     def conflicts(self) -> int:
@@ -135,6 +164,7 @@ class SolverSnapshot:
             "rng_state": self.rng_state,
             "stats": dict(self.stats),
             "proof": self.proof,
+            "learned_lbd": list(self.learned_lbd),
         }
 
     @classmethod
@@ -159,6 +189,7 @@ class SolverSnapshot:
                 rng_state=payload["rng_state"],
                 stats=dict(payload["stats"]),
                 proof=payload.get("proof"),
+                learned_lbd=[int(v) for v in payload.get("learned_lbd") or []],
             )
         except (KeyError, TypeError, ValueError) as error:
             raise CheckpointError(f"malformed snapshot payload: {error}") from error
@@ -200,6 +231,7 @@ def capture_snapshot(solver: "Solver") -> SolverSnapshot:
         rng_state=solver.rng.getstate(),
         stats=_stats_to_payload(solver.stats),
         proof=proof,
+        learned_lbd=[clause.lbd for clause in solver.learned],
     )
 
 
@@ -316,7 +348,10 @@ def restore_snapshot(solver: "Solver", snapshot: SolverSnapshot) -> bool:
 
     # ---- learned clauses ---------------------------------------------
     lit_value = solver.lit_value
-    for literals, activity, birth, protected in snapshot.learned:
+    lbds = snapshot.learned_lbd
+    if len(lbds) != len(snapshot.learned):  # pre-LBD checkpoint
+        lbds = [0] * len(snapshot.learned)
+    for position, (literals, activity, birth, protected) in enumerate(snapshot.learned):
         ordered = list(literals)
         # attach_clause watches positions 0 and 1; under the restored
         # level-0 assignments those must not both be false unless the
@@ -330,7 +365,7 @@ def restore_snapshot(solver: "Solver", snapshot: SolverSnapshot) -> bool:
         ][:2]
         for target, source in enumerate(front):
             ordered[target], ordered[source] = ordered[source], ordered[target]
-        clause = Clause(ordered, learned=True, birth=birth)
+        clause = Clause(ordered, learned=True, birth=birth, lbd=lbds[position])
         clause.activity = activity
         clause.protected = protected
         solver.learned.append(clause)

@@ -13,10 +13,13 @@ Subcommands::
                                 [--checkpoint DIR] [--checkpoint-interval N]
                                 [--trace-out T.jsonl] [--metrics-out M.csv]
                                 [--dashboard]
+    repro-sat session FILE.icnf [--config NAME] [--max-conflicts N]
+                                [--no-cache] [--retain-max-lbd N]
+                                [--stats] [--trace-out T.jsonl]
     repro-sat generate FAMILY [options] -o FILE.cnf
     repro-sat experiment {table1..table10,fig1,all} [--scale quick|default]
     repro-sat bench [--out BENCH_2.json] [--scale quick|default|full]
-                    [--repeats N] [--profile]
+                    [--repeats N] [--profile] [--session [--rounds N]]
     repro-sat audit [--rounds N | --quick] [--seed N] [--verbose]
                     [--trace-out T.jsonl] [--metrics-out M.csv] [--dashboard]
     repro-sat trace-summary TRACE.jsonl [--json]
@@ -29,14 +32,20 @@ many files concurrently with per-instance budgets.  On both parallel
 paths ``--verify`` (or ``--proof``, implying ``--verify full``) gates
 every answer through the trusted-results check, and ``--retries``
 relaunches crashed/stalled workers under a
-:class:`~repro.reliability.RetryPolicy`.  ``generate`` writes
+:class:`~repro.reliability.RetryPolicy`.  ``session`` streams an
+iCNF-style incremental command file (clause lines plus ``a ... 0``
+solve lines) through one :class:`~repro.session.SolverSession`, so
+learned clauses and cached answers carry across the queries (see
+docs/API.md, "Incremental solving").  ``generate`` writes
 instances from any generator family.  ``experiment`` regenerates the
 paper's tables.  ``bench`` times the split binary-implication BCP
 against the watched-literal reference path on a pinned suite and can
-write a ``BENCH_*.json`` perf report (see docs/BENCHMARKS.md).
-``audit`` fuzzes both parallel engines under random fault plans and
-fails unless every answer comes back definite, correct, and verified
-(see docs/ROBUSTNESS.md).
+write a ``BENCH_*.json`` perf report (see docs/BENCHMARKS.md);
+``bench --session`` instead times incremental BMC depth sweeps
+against fresh one-shot solves (the ``BENCH_6.json`` report).
+``audit`` fuzzes both parallel engines — and the incremental session
+layer — under random fault plans and fails unless every answer comes
+back definite, correct, and verified (see docs/ROBUSTNESS.md).
 
 Observability (docs/OBSERVABILITY.md): ``--trace-out`` streams the
 structured search/supervision events to a JSONL file, ``--metrics-out``
@@ -256,6 +265,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_flags(batch)
 
+    session = sub.add_parser(
+        "session",
+        help="stream an iCNF-style incremental command file through one "
+        "solver session (clauses persist, learned clauses are retained, "
+        "answers are cached)",
+    )
+    session.add_argument(
+        "file",
+        help="incremental command file ('-' for stdin): DIMACS clause "
+        "lines add clauses, 'a <lits> 0' lines solve under those "
+        "assumptions ('a 0' solves unconditionally); 'p inccnf' "
+        "headers and 'c' comments are ignored",
+    )
+    session.add_argument(
+        "--config",
+        default="berkmin",
+        choices=sorted(CONFIG_FACTORIES),
+        help="solver configuration (default: berkmin)",
+    )
+    session.add_argument("--max-conflicts", type=int, default=None)
+    session.add_argument("--max-seconds", type=float, default=None)
+    session.add_argument("--seed", type=int, default=0)
+    session.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the answer/lemma cache (every query searches)",
+    )
+    session.add_argument(
+        "--retain-max-lbd",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep learned clauses with LBD <= N between queries "
+        "(default: 8; negative keeps the whole database)",
+    )
+    session.add_argument(
+        "--verify",
+        default=None,
+        choices=VERIFICATION_LEVELS,
+        help="trusted-results gate for every query's answer",
+    )
+    session.add_argument(
+        "--stats", action="store_true", help="print session statistics at the end"
+    )
+    session.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="stream session_* and search events to this JSONL file",
+    )
+
     generate = sub.add_parser("generate", help="write a benchmark instance")
     generate.add_argument(
         "family",
@@ -326,6 +386,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=7,
         help="pigeonhole size for --profile (default: 7)",
+    )
+    bench.add_argument(
+        "--session",
+        action="store_true",
+        help="instead of the BCP suite: time incremental BMC depth "
+        "sweeps through SolverSession against fresh one-shot solves "
+        "(write with --out BENCH_6.json)",
+    )
+    bench.add_argument(
+        "--rounds",
+        type=int,
+        default=2,
+        help="with --session: passes over each query stream; rounds "
+        "after the first exercise the answer cache (default: 2)",
     )
 
     audit = sub.add_parser(
@@ -680,6 +754,116 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if batch.all_definite else 1
 
 
+def _parse_session_stream(lines) -> list[tuple[str, list[int], int]]:
+    """Parse an iCNF-style command stream into (kind, literals, lineno).
+
+    ``kind`` is ``"add"`` (a clause) or ``"solve"`` (an ``a ... 0``
+    line whose literals are the assumptions).  ``p`` headers and ``c``
+    comments are skipped; every command line must end in ``0``.
+    """
+    commands: list[tuple[str, list[int], int]] = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line[0] in "cp":
+            continue
+        tokens = line.split()
+        kind = "solve" if tokens[0] == "a" else "add"
+        body = tokens[1:] if kind == "solve" else tokens
+        try:
+            literals = [int(token) for token in body]
+        except ValueError as error:
+            raise DimacsError(f"session stream line {lineno}: {error}") from None
+        if not literals or literals[-1] != 0:
+            raise DimacsError(
+                f"session stream line {lineno}: command lines must end in 0"
+            )
+        if 0 in literals[:-1]:
+            raise DimacsError(
+                f"session stream line {lineno}: literal 0 inside a command"
+            )
+        commands.append((kind, literals[:-1], lineno))
+    return commands
+
+
+def _cmd_session(args: argparse.Namespace) -> int:
+    from repro.session import DEFAULT_RETAIN_MAX_LBD, SolverSession
+
+    if args.file == "-":
+        commands = _parse_session_stream(sys.stdin)
+    else:
+        with open(args.file, encoding="utf-8") as stream:
+            commands = _parse_session_stream(stream)
+    retain = DEFAULT_RETAIN_MAX_LBD
+    if args.retain_max_lbd is not None:
+        retain = None if args.retain_max_lbd < 0 else args.retain_max_lbd
+    trace = _open_trace(args)
+    config = config_by_name(
+        args.config,
+        seed=args.seed,
+        verification=args.verify if args.verify is not None else VERIFY_OFF,
+        trace=trace,
+    )
+    limits = {}
+    if args.max_conflicts is not None:
+        limits["max_conflicts"] = args.max_conflicts
+    if args.max_seconds is not None:
+        limits["max_seconds"] = args.max_seconds
+    session_kwargs = {"retain_max_lbd": retain}
+    if args.no_cache:
+        session_kwargs["cache"] = None
+    unknowns = 0
+    try:
+        with SolverSession(config=config, **session_kwargs) as session:
+            for kind, literals, lineno in commands:
+                if kind == "add":
+                    session.add_clause(literals)
+                    continue
+                result = session.solve(assumptions=literals, **limits)
+                prefix = f"c query {session.calls} (line {lineno})"
+                if result.status is SolveStatus.SAT:
+                    print(f"{prefix}: s SATISFIABLE")
+                    model = result.model or {}
+                    literals_out = [
+                        variable if value else -variable
+                        for variable, value in sorted(model.items())
+                    ]
+                    print("v " + " ".join(map(str, literals_out)) + " 0")
+                elif result.status is SolveStatus.UNSAT:
+                    print(f"{prefix}: s UNSATISFIABLE")
+                    core = session.unsat_core()
+                    if core is not None:
+                        print("c core " + " ".join([*map(str, sorted(core)), "0"]))
+                else:
+                    unknowns += 1
+                    print(f"{prefix}: s UNKNOWN ({result.limit_reason})")
+                if result.verified is not None:
+                    print(f"c answer verified ({result.verified})")
+            stats = session.stats
+            cache_line = ""
+            if session.cache is not None:
+                summary = session.cache.summary()
+                cache_line = (
+                    f", cache {summary['hits']} hits / {summary['misses']} misses"
+                )
+            print(
+                f"c session: {stats.session_calls} queries, "
+                f"{stats.cache_hits} cache hits, "
+                f"{stats.retained_clauses} clauses retained{cache_line}"
+            )
+            if args.stats:
+                for key, value in stats.as_dict().items():
+                    print(f"c {key} = {value}")
+    finally:
+        if trace is not None:
+            trace.close()
+    if trace is not None:
+        print(
+            f"c trace written to {args.trace_out} "
+            f"({trace.events_written} events)"
+        )
+    return 0 if not unknowns else 1
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     size, extra, seed = args.size, args.extra, args.seed
     if args.family == "hole":
@@ -782,6 +966,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.profile:
         print(bench_module.profile_bcp(holes=args.holes, config_name=args.config))
         return 0
+    if args.session:
+        try:
+            report = bench_module.run_session_bench(
+                scale=args.scale, config_name=args.config, rounds=args.rounds
+            )
+        except bench_module.BenchAgreementError as error:
+            print(f"SESSION DISAGREEMENT: {error}", file=sys.stderr)
+            return 1
+        print(bench_module.format_session_table(report))
+        if args.out:
+            bench_module.write_report(report, args.out)
+            print(f"report written to {args.out}")
+        return 0 if report["aggregate"]["meets_target"] else 1
     try:
         report = bench_module.run_bcp_bench(
             scale=args.scale,
@@ -876,6 +1073,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_solve(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "session":
+        return _cmd_session(args)
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "experiment":

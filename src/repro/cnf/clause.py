@@ -21,7 +21,13 @@ in Section 8 of the paper:
   clause's chronological position in the learned-clause stack (its
   "age": the larger, the younger);
 * ``protected`` — the anti-looping mark: a protected clause is never
-  deleted by database reduction.
+  deleted by database reduction;
+* ``lbd`` — the literal-block distance stamped when the clause was
+  learned: the number of distinct decision levels among its literals at
+  conflict time (the "glue" quality measure).  ``0`` means "never
+  measured" (original clauses, or learned clauses restored from a
+  pre-LBD checkpoint); the session retention filter treats 0 as
+  keep-worthy rather than guessing.
 """
 
 from __future__ import annotations
@@ -34,7 +40,7 @@ from repro.cnf.literals import decode_literal, encode_literal
 class Clause:
     """A disjunction of literals, stored in encoded form."""
 
-    __slots__ = ("literals", "learned", "activity", "birth", "protected")
+    __slots__ = ("literals", "learned", "activity", "birth", "protected", "lbd")
 
     def __init__(
         self,
@@ -42,12 +48,14 @@ class Clause:
         *,
         learned: bool = False,
         birth: int = 0,
+        lbd: int = 0,
     ) -> None:
         self.literals: list[int] = list(encoded_literals)
         self.learned = learned
         self.activity = 0
         self.birth = birth
         self.protected = False
+        self.lbd = lbd
 
     @classmethod
     def from_dimacs(cls, dimacs_literals: Iterable[int], *, learned: bool = False) -> "Clause":

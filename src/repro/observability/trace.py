@@ -114,6 +114,23 @@ EVENT_SCHEMA: dict[str, tuple[frozenset, frozenset]] = {
         frozenset({"type", "round", "engine", "fault", "ok"}),
         frozenset({"retries", "detail"}),
     ),
+    # Incremental-session lifecycle (see repro.session).  session_start
+    # is emitted once per SolverSession; session_solve once per solve()
+    # call with the 0-based call index, the answer, and how it was
+    # produced ("search", or the cache-hit kind: "exact" / "core" /
+    # "model"); session_retention once per between-call retention pass.
+    "session_start": (
+        frozenset({"type", "variables", "clauses", "config"}),
+        frozenset(),
+    ),
+    "session_solve": (
+        frozenset({"type", "call", "status", "served_by", "assumptions", "conflicts"}),
+        frozenset({"core_size"}),
+    ),
+    "session_retention": (
+        frozenset({"type", "call", "kept", "dropped", "max_lbd"}),
+        frozenset(),
+    ),
 }
 
 EVENT_TYPES = tuple(sorted(EVENT_SCHEMA))

@@ -11,6 +11,11 @@ Two entry points, both exposed at the top level of :mod:`repro`:
   configuration with per-instance budgets; a crashed or timed-out worker
   degrades to ``SolveStatus.UNKNOWN`` for its instance without losing
   the batch, and statistics aggregate across the whole run.
+* :func:`solve_grouped` — solve *groups* of related queries, each group
+  streamed through one incremental :class:`~repro.session.SolverSession`
+  in its worker (learned clauses, activities, and cached answers carry
+  across the group's steps), with the same supervision and
+  trusted-results gating as the batch engine.
 
 Both build on cooperative primitives of the sequential engine
 (:meth:`Solver.interrupt`, the ``on_progress`` callback) rather than a
@@ -27,6 +32,7 @@ parent before any answer is returned.  See ``docs/ROBUSTNESS.md``.
 """
 
 from repro.parallel.batch import BatchResult, solve_batch
+from repro.parallel.groups import GroupedResult, GroupOutcome, solve_grouped
 from repro.parallel.portfolio import (
     PORTFOLIO_PRESETS,
     PortfolioSolver,
@@ -35,8 +41,11 @@ from repro.parallel.portfolio import (
 
 __all__ = [
     "BatchResult",
+    "GroupOutcome",
+    "GroupedResult",
     "PORTFOLIO_PRESETS",
     "PortfolioSolver",
     "default_portfolio",
     "solve_batch",
+    "solve_grouped",
 ]

@@ -158,6 +158,7 @@ def solve_batch(
     *,
     jobs: int | None = None,
     config: SolverConfig | str | None = None,
+    assumptions: Iterable[int] = (),
     max_conflicts: int | None = None,
     max_decisions: int | None = None,
     max_seconds: float | None = None,
@@ -183,6 +184,10 @@ def solve_batch(
             batch size).
         config: configuration for every instance — a
             :class:`SolverConfig`, a registry name, or None for BerkMin.
+        assumptions: DIMACS literals assumed true for *every* instance's
+            solve call (the same per-call semantics as
+            :meth:`Solver.solve`; UNSAT-under-assumptions answers carry
+            their failed-assumption ``core``).
         max_conflicts / max_decisions / max_seconds / max_clauses:
             per-instance budgets, forwarded to every
             :meth:`Solver.solve` call (``max_clauses`` is the in-solver
@@ -301,6 +306,9 @@ def solve_batch(
         "max_seconds": max_seconds,
         "max_clauses": max_clauses,
     }
+    assumptions = tuple(assumptions)
+    if assumptions:
+        base_limits["assumptions"] = assumptions
     context = multiprocessing.get_context()
     results_queue = context.Queue()
     instances = [_Supervised(index, formula) for index, formula in enumerate(items)]

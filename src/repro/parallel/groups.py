@@ -1,0 +1,381 @@
+"""Grouped incremental solving: streams of related queries per worker.
+
+:func:`solve_grouped` is the batch engine's sibling for *related*
+instances: each **group** is an ordered stream of ``(clauses,
+assumptions)`` steps — a BMC depth sweep, an ATPG fault set, a planning
+horizon — and every group runs through one
+:class:`~repro.session.SolverSession` inside one worker process, so the
+learned-clause retention, activity carry-over, and answer cache pay off
+within the group while independent groups still run concurrently.
+
+The supervision contract matches the rest of the parallel layer:
+workers post exactly one ``((group, attempt), payload)`` tuple, crashes
+and silent exits are detected by process liveness, injected faults
+(:class:`~repro.reliability.FaultPlan`, keyed by group index and
+attempt) exercise every degradation branch, answers pass the
+trusted-results gate in the *parent* (each step's model is checked
+against the clauses accumulated up to that step), and failures are
+relaunched under a :class:`~repro.reliability.RetryPolicy` before the
+group degrades to per-step UNKNOWN results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.cnf.formula import CnfFormula
+from repro.parallel.worker import drain_results
+from repro.reliability.faults import (
+    FAULT_CORRUPT,
+    FAULT_STALL,
+    FaultPlan,
+    corrupt_result,
+    execute_entry_fault,
+)
+from repro.reliability.guards import crash_reason
+from repro.reliability.retry import as_retry_policy
+from repro.reliability.verify import VerificationError, check_result_shape, verify_result
+from repro.solver.config import (
+    VERIFICATION_LEVELS,
+    VERIFY_FULL,
+    VERIFY_OFF,
+    SolverConfig,
+    berkmin_config,
+    config_by_name,
+)
+from repro.solver.result import SolveResult, SolveStatus
+
+#: Polling period of the supervision loop, seconds.
+_POLL_SECONDS = 0.05
+
+
+@dataclass
+class GroupOutcome:
+    """What one group's stream produced: one result per step, in order."""
+
+    results: list[SolveResult] = field(default_factory=list)
+    #: Total supervised launches this group consumed (1 = clean first run).
+    attempts: int = 1
+    #: True when the retry policy was exhausted and the step results are
+    #: parent-made UNKNOWN placeholders, not worker answers.
+    degraded: bool = False
+    #: Failure description of the last attempt when degraded.
+    failure: str | None = None
+
+
+@dataclass
+class GroupedResult:
+    """Outcome of :func:`solve_grouped`."""
+
+    groups: list[GroupOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    #: Supervised relaunches across all groups.
+    retries: int = 0
+
+    def flat_results(self) -> list[SolveResult]:
+        """Every step result, group-major (the differential tests' view)."""
+        return [result for group in self.groups for result in group.results]
+
+
+def _normalize_steps(group) -> list[tuple[list[list[int]], list[int]]]:
+    """Coerce one group into ``[(clauses, assumptions), ...]`` plain data."""
+    steps = []
+    for step in group:
+        clauses, assumptions = step
+        if isinstance(clauses, CnfFormula):
+            clauses = clauses.clauses
+        steps.append(
+            (
+                [[int(lit) for lit in clause] for clause in clauses],
+                [int(lit) for lit in assumptions],
+            )
+        )
+    return steps
+
+
+def solve_group_in_worker(
+    tag,
+    steps,
+    config,
+    limits,
+    results,
+    attempt: int = 0,
+    fault=None,
+    retain_max_lbd=None,
+) -> None:
+    """Process entry: run one group's steps through one session.
+
+    Posts ``(tag, [SolveResult, ...])`` — one result per step — or
+    ``(tag, None)`` when the session raised.  Fault semantics mirror
+    :func:`repro.parallel.worker.solve_in_worker`: entry faults fire
+    before the session is built, ``corrupt`` swaps the last step's
+    answer for a verifiable lie, ``stall`` computes everything and then
+    goes silent.
+    """
+    try:
+        if fault is None:
+            plan = FaultPlan.from_env()
+            if plan is not None:
+                fault = plan.lookup(tag[0] if isinstance(tag, tuple) else tag, attempt)
+        if fault is not None:
+            execute_entry_fault(fault)  # crash/signal never return; hang sleeps
+
+        # Imported here so the module stays importable without the
+        # session layer in pathological partial-install situations.
+        from repro.session import SolverSession
+
+        kwargs = {} if retain_max_lbd is None else {"retain_max_lbd": retain_max_lbd}
+        outcomes: list[SolveResult] = []
+        with SolverSession(None, config, **kwargs) as session:
+            for clauses, assumptions in steps:
+                session.add_clauses(clauses)
+                outcomes.append(session.solve(assumptions, **limits))
+        if fault is not None:
+            if fault.mode == FAULT_CORRUPT and outcomes:
+                accumulated = CnfFormula(
+                    [clause for clauses, _ in steps for clause in clauses]
+                )
+                outcomes[-1] = corrupt_result(outcomes[-1], accumulated)
+            elif fault.mode == FAULT_STALL:
+                time.sleep(fault.seconds)
+                return
+        results.put((tag, outcomes))
+    except Exception:
+        results.put((tag, None))
+
+
+def _verify_group(steps, outcomes, level: str) -> str | None:
+    """Parent-side trusted-results gate over one group's step results.
+
+    Returns ``None`` when every step passes, else a description of the
+    first defect (treated like a corrupted worker).  Each step is
+    checked against the clauses accumulated *up to that step* — the
+    formula the worker's session actually solved.
+    """
+    if not isinstance(outcomes, list) or len(outcomes) != len(steps):
+        return "corrupted result (wrong step count)"
+    accumulated: list[list[int]] = []
+    for step_index, ((clauses, _assumptions), result) in enumerate(
+        zip(steps, outcomes)
+    ):
+        accumulated.extend(clauses)
+        shape = check_result_shape(result)
+        if shape is not None:
+            return f"corrupted result (step {step_index}: {shape})"
+        if level == VERIFY_OFF:
+            continue
+        try:
+            verified = verify_result(CnfFormula(accumulated), result, level=level)
+        except VerificationError as error:
+            return f"corrupted result (step {step_index}: {error})"
+        if verified is not None:
+            result.verified = verified
+    return None
+
+
+def solve_grouped(
+    groups,
+    *,
+    jobs: int | None = None,
+    config: SolverConfig | str | None = None,
+    max_conflicts: int | None = None,
+    max_decisions: int | None = None,
+    max_seconds: float | None = None,
+    retry=None,
+    verification: str | None = None,
+    fault_plan: FaultPlan | None = None,
+    timeout: float | None = None,
+    retain_max_lbd: int | None = None,
+    trace=None,
+) -> GroupedResult:
+    """Solve groups of related query streams concurrently.
+
+    Args:
+        groups: iterable of groups; each group is an ordered iterable of
+            ``(clauses, assumptions)`` steps.  ``clauses`` (a clause
+            iterable or :class:`CnfFormula`) are added to the group's
+            session before its ``solve(assumptions)`` call, so a step
+            with empty ``clauses`` re-queries the same formula.
+        jobs: groups in flight at once (default: CPU count, capped).
+        config: shared configuration (instance, registry name, or None).
+        max_conflicts / max_decisions / max_seconds: per-*step* budgets.
+        retry: :class:`RetryPolicy` / int / None — a failed group is
+            relaunched *from its first step* (sessions are cheap to
+            replay; the retried run re-earns its retained clauses).
+        verification: parent-side gate level (defaults to the config's);
+            ``"full"`` forces proof logging in workers.
+        fault_plan: deterministic fault injection keyed by (group,
+            attempt).
+        timeout: per-group wall-clock limit across all attempts,
+            enforced by the parent (the stall/hang backstop).
+        retain_max_lbd: session glue bound override (None = session
+            default).
+        trace: optional parent-side :class:`TraceSink` receiving
+            ``worker_fault`` / ``worker_retry`` events.
+    """
+    started = time.perf_counter()
+    if config is None:
+        config = berkmin_config()
+    elif isinstance(config, str):
+        config = config_by_name(config)
+    policy = as_retry_policy(retry)
+    if verification is None:
+        verification = config.verification
+    if verification not in VERIFICATION_LEVELS:
+        raise ValueError(
+            f"unknown verification level {verification!r}; "
+            f"expected one of {', '.join(VERIFICATION_LEVELS)}"
+        )
+    worker_overrides: dict = {}
+    if verification == VERIFY_FULL and not config.proof_logging:
+        worker_overrides["proof_logging"] = True
+    if config.trace is not None:
+        worker_overrides["trace"] = None
+    if config.metrics_interval:
+        worker_overrides["metrics_interval"] = 0
+    worker_config = (
+        config.with_overrides(**worker_overrides) if worker_overrides else config
+    )
+
+    normalized = [_normalize_steps(group) for group in groups]
+    if not normalized:
+        return GroupedResult(wall_seconds=time.perf_counter() - started)
+    if jobs is not None and jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    jobs = max(1, min(jobs, len(normalized)))
+
+    limits = {
+        "max_conflicts": max_conflicts,
+        "max_decisions": max_decisions,
+        "max_seconds": max_seconds,
+    }
+    context = multiprocessing.get_context()
+    results_queue = context.Queue()
+    outcomes = [GroupOutcome() for _ in normalized]
+    attempts = [0] * len(normalized)
+    deadlines: dict[int, float] = {}
+    not_before: dict[int, float] = {}
+    pending = list(range(len(normalized)))
+    active: dict[int, tuple] = {}  # group -> (process, attempt)
+    retries = 0
+
+    def fail(group: int, reason: str) -> None:
+        nonlocal retries
+        attempt = active.pop(group)[1] if group in active else attempts[group] - 1
+        will_retry = policy.allows(attempts[group]) and (
+            group not in deadlines or time.monotonic() < deadlines[group]
+        )
+        if trace is not None:
+            trace.emit(
+                {
+                    "type": "worker_fault",
+                    "lane": group,
+                    "attempt": attempt,
+                    "reason": reason,
+                    "will_retry": will_retry,
+                }
+            )
+        if will_retry:
+            retries += 1
+            not_before[group] = time.monotonic() + policy.delay(attempts[group])
+            if trace is not None:
+                trace.emit(
+                    {"type": "worker_retry", "lane": group, "attempt": attempts[group]}
+                )
+            pending.append(group)
+            return
+        outcome = outcomes[group]
+        outcome.attempts = attempts[group]
+        outcome.degraded = True
+        outcome.failure = reason
+        outcome.results = [
+            SolveResult(
+                status=SolveStatus.UNKNOWN,
+                limit_reason=reason,
+                config_name=config.name,
+            )
+            for _ in normalized[group]
+        ]
+
+    def finish(group: int, payload) -> None:
+        active.pop(group, None)
+        if payload is None:
+            fail(group, "worker crashed")
+            return
+        defect = _verify_group(normalized[group], payload, verification)
+        if defect is not None:
+            fail(group, defect)
+            return
+        outcome = outcomes[group]
+        outcome.attempts = attempts[group]
+        outcome.results = payload
+
+    def launch(group: int) -> None:
+        attempt = attempts[group]
+        attempts[group] += 1
+        if group not in deadlines and timeout is not None:
+            deadlines[group] = time.monotonic() + timeout
+        fault = fault_plan.lookup(group, attempt) if fault_plan else None
+        process = context.Process(
+            target=solve_group_in_worker,
+            args=(
+                (group, attempt),
+                normalized[group],
+                policy.config_for_attempt(worker_config, attempt),
+                limits,
+                results_queue,
+                attempt,
+                fault,
+                retain_max_lbd,
+            ),
+            daemon=True,
+        )
+        process.start()
+        active[group] = (process, attempt)
+
+    collected: dict = {}
+    while pending or active:
+        now = time.monotonic()
+        while pending and len(active) < jobs:
+            # Respect backoff delays without blocking other launches.
+            ready = [g for g in pending if not_before.get(g, 0.0) <= now]
+            if not ready:
+                break
+            group = ready[0]
+            pending.remove(group)
+            launch(group)
+        drain_results(results_queue, collected, timeout=_POLL_SECONDS)
+        for tag in list(collected):
+            payload = collected.pop(tag)
+            group, attempt = tag
+            if group in active and active[group][1] == attempt:
+                finish(group, payload)
+            # else: a late post from a terminated attempt — discard.
+        for group in list(active):
+            process, _attempt = active[group]
+            deadline = deadlines.get(group)
+            if deadline is not None and time.monotonic() > deadline:
+                process.terminate()
+                process.join()
+                fail(group, "group timeout")
+                continue
+            if not process.is_alive():
+                # One last sweep: the result may have been posted between
+                # our drain and the liveness check.
+                drain_results(results_queue, collected)
+                tag = (group, active[group][1])
+                if tag in collected:
+                    finish(group, collected.pop(tag))
+                else:
+                    fail(group, crash_reason(process.exitcode))
+
+    return GroupedResult(
+        groups=outcomes,
+        wall_seconds=time.perf_counter() - started,
+        retries=retries,
+    )

@@ -11,7 +11,15 @@ verification, and the round passes only when every answer is
 RUP proof check for UNSAT.
 
 Batch/portfolio rounds inject worker faults
-(crash/signal/hang/corrupt/stall — or none).  Checkpoint rounds attack
+(crash/signal/hang/corrupt/stall — or none).  Session rounds fuzz the
+incremental layer: a random add/solve/assumption interleaving of each
+instance's clauses is streamed through :func:`solve_grouped` (one
+:class:`~repro.session.SolverSession` per worker, with learned-clause
+retention and the answer cache live) under a random worker fault, and
+every step's status must match a fresh one-shot solve of the clauses
+accumulated so far — the differential oracle — with the final
+full-formula step also checked against ground truth.  Checkpoint
+rounds attack
 the crash-safety layer itself: a ``truncate``/``bitflip``/
 ``stale-version`` round plants a damaged checkpoint file and demands a
 clean (retry-free) cold start with a correct verified answer; a
@@ -68,6 +76,10 @@ _FAULT_MENU = (
 )
 #: Checkpoint-subsystem fault menu (see the module docstring).
 _CHECKPOINT_MENU = ("truncate", "bitflip", "stale-version", "kill-resume")
+#: Session-round fault menu: the grouped engine relaunches these
+#: promptly on detection; hang/stall only hit its per-group timeout
+#: backstop, which degrades instead of retrying, so they stay out.
+_SESSION_FAULT_MENU = (None, FAULT_CRASH, FAULT_SIGNAL, FAULT_CORRUPT)
 #: Sleep given to hang/stall faults — far past the watchdog window, so
 #: only the supervisor (never patience) ends these workers.
 _FAULT_SLEEP = 30.0
@@ -217,6 +229,100 @@ def _checkpoint_round(pool, corruption, policy, stall_seconds, rng, report, defe
         shutil.rmtree(workdir, ignore_errors=True)
 
 
+def _session_stream(formula, rng, num_solves: int) -> list[tuple[list, tuple]]:
+    """A random incremental ``(clauses, assumptions)`` stream over ``formula``.
+
+    The clause list is shuffled and split at random cut points into
+    ``num_solves`` chunks; every step but the last solves under 0-2
+    random assumption literals over variables already added, and the
+    last step always carries the rest of the formula with no
+    assumptions — so its expected status is the instance's ground
+    truth, whatever the earlier interleaving did.
+    """
+    clauses = [list(clause) for clause in formula.clauses]
+    rng.shuffle(clauses)
+    num_solves = max(1, min(num_solves, len(clauses)))
+    cuts = sorted(rng.sample(range(1, len(clauses)), num_solves - 1))
+    chunks = [
+        clauses[start:stop]
+        for start, stop in zip([0, *cuts], [*cuts, len(clauses)])
+    ]
+    steps: list[tuple[list, tuple]] = []
+    seen: set[int] = set()
+    for index, chunk in enumerate(chunks):
+        for clause in chunk:
+            seen.update(abs(literal) for literal in clause)
+        if index == len(chunks) - 1:
+            assumptions: tuple = ()
+        else:
+            count = min(rng.randrange(3), len(seen))
+            assumptions = tuple(
+                variable if rng.random() < 0.5 else -variable
+                for variable in rng.sample(sorted(seen), count)
+            )
+        steps.append((chunk, assumptions))
+    return steps
+
+
+def _session_round(pool, mode, policy, rng, report, defects) -> int:
+    """One session-engine audit round; returns the victim group index.
+
+    Streams two random interleavings through :func:`solve_grouped`
+    (sessions in workers, fault on the victim group's first attempt),
+    then replays every step against a fresh one-shot
+    :func:`~repro.solver.solver.solve_formula` of the clauses
+    accumulated up to that step — session answers and one-shot answers
+    must agree everywhere, and the final full-formula answer must match
+    ground truth and carry a verification tag.
+    """
+    from repro.cnf.formula import CnfFormula
+    from repro.parallel.groups import solve_grouped
+    from repro.solver.solver import solve_formula
+
+    picks = rng.sample(pool, 2)
+    streams = [
+        _session_stream(formula, rng, num_solves=2 + rng.randrange(3))
+        for _, formula, _ in picks
+    ]
+    victim = rng.randrange(len(streams))
+    plan = (
+        FaultPlan.single(mode, worker=victim, seconds=_FAULT_SLEEP)
+        if mode is not None
+        else None
+    )
+    grouped = solve_grouped(
+        streams,
+        jobs=len(streams),
+        config=config_by_name("berkmin", seed=rng.randrange(1 << 16)),
+        retry=policy,
+        verification=VERIFY_FULL,
+        fault_plan=plan,
+    )
+    report.retries += grouped.retries
+    for (name, _, expected), steps, outcome in zip(picks, streams, grouped.groups):
+        if outcome.degraded:
+            defects.append(f"{name}: group degraded ({outcome.failure})")
+            continue
+        accumulated: list[list[int]] = []
+        for step_index, ((chunk, assumptions), result) in enumerate(
+            zip(steps, outcome.results)
+        ):
+            accumulated.extend(chunk)
+            reference = solve_formula(
+                CnfFormula([list(clause) for clause in accumulated]),
+                assumptions=assumptions,
+            )
+            if result.status is not reference.status:
+                defects.append(
+                    f"{name} step {step_index}: session answered "
+                    f"{result.status.name}, one-shot says {reference.status.name}"
+                )
+        defect = _check_answer(name, expected, outcome.results[-1])
+        if defect is not None:
+            defects.append(defect)
+    return victim
+
+
 def run_audit(
     rounds: int = 100,
     *,
@@ -227,7 +333,9 @@ def run_audit(
     monitor=None,
     trace=None,
 ) -> AuditReport:
-    """Fuzz both engines under random fault plans; verify every answer.
+    """Fuzz the supervised engines — batch, portfolio, the checkpoint
+    subsystem, and the grouped incremental sessions — under random
+    fault plans; verify every answer.
 
     Each round injects at most one fault (possibly none) into one
     worker of one engine and demands definite, correct, verified
@@ -247,10 +355,13 @@ def run_audit(
         monitor.fleet_started(rounds)
 
     for round_index in range(rounds):
-        engine = rng.choice(("batch", "portfolio", "checkpoint"))
-        mode = rng.choice(
-            _CHECKPOINT_MENU if engine == "checkpoint" else _FAULT_MENU
-        )
+        engine = rng.choice(("batch", "portfolio", "checkpoint", "session"))
+        if engine == "checkpoint":
+            mode = rng.choice(_CHECKPOINT_MENU)
+        elif engine == "session":
+            mode = rng.choice(_SESSION_FAULT_MENU)
+        else:
+            mode = rng.choice(_FAULT_MENU)
         defects: list[str] = []
         retries_before = report.retries
         if monitor is not None:
@@ -263,6 +374,8 @@ def run_audit(
             _checkpoint_round(
                 pool, mode, policy, stall_seconds, rng, report, defects
             )
+        elif engine == "session":
+            victim = _session_round(pool, mode, policy, rng, report, defects)
         elif engine == "batch":
             picks = rng.sample(pool, 2)
             victim = rng.randrange(len(picks))

@@ -1,0 +1,168 @@
+"""The session answer/lemma cache.
+
+:class:`AnswerCache` memoises solve answers keyed by the
+order-insensitive canonical formula fingerprint
+(:func:`repro.checkpoint.snapshot.canonical_fingerprint`) plus the
+assumption set.  Three kinds of hit, from cheapest to most general:
+
+* **exact** — the same formula was solved under the same assumption set
+  before; the stored answer (model / core / proof) is returned verbatim.
+* **core** — the formula was previously found UNSAT under assumptions
+  ``A`` with failed-assumption core ``C``; any new query whose
+  assumption set contains ``C`` is UNSAT with the same core, because
+  ``formula AND C`` is already contradictory.  An outright-UNSAT answer
+  is stored as the empty core, which every assumption set subsumes.
+* **model** — a model found for the formula under one assumption set
+  also answers any query whose assumptions it happens to satisfy (the
+  formula is the same clause set, so the model still satisfies it).
+
+Entries are only ever written for definitive answers: UNKNOWN results
+(budget exhaustion, interrupts, degraded workers) are never cached.
+
+Alongside answers, the cache keeps a bounded per-fingerprint **lemma
+store**: the glue-filtered learned clauses a session retained.  A later
+session starting from the same canonical formula imports them and begins
+with call N's derived knowledge instead of an empty database (skipped
+under proof logging — injected lemmas carry no RUP derivation).
+
+The cache is deliberately process-local and unsynchronised: share one
+instance between sessions in the same process, or give each its own.
+"""
+
+from __future__ import annotations
+
+from repro.solver.result import SolveResult, SolveStatus
+
+
+class AnswerCache:
+    """Result and lemma memoisation shared by one or more sessions."""
+
+    def __init__(self, *, max_entries: int = 1024, max_lemmas: int = 256) -> None:
+        self.max_entries = max_entries
+        self.max_lemmas = max_lemmas
+        #: (fingerprint, sorted assumption tuple) -> stored answer dict.
+        self._exact: dict[tuple[str, tuple[int, ...]], dict] = {}
+        #: fingerprint -> list of UNSAT cores (each a sorted literal tuple).
+        self._cores: dict[str, list[tuple[int, ...]]] = {}
+        #: fingerprint -> list of (model dict, verified tag).
+        self._models: dict[str, list[tuple[dict[int, bool], str | None]]] = {}
+        #: fingerprint -> list of (dimacs literal tuple, lbd).
+        self._lemmas: dict[str, list[tuple[tuple[int, ...], int]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(fingerprint: str, assumptions) -> tuple[str, tuple[int, ...]]:
+        return (fingerprint, tuple(sorted(assumptions)))
+
+    def __len__(self) -> int:
+        return len(self._exact)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, fingerprint: str, assumptions) -> tuple[str, dict] | None:
+        """Return ``(kind, stored)`` for a hit, else ``None``.
+
+        ``kind`` is ``"exact"``, ``"core"``, or ``"model"``; ``stored``
+        is a plain dict with ``status`` / ``model`` / ``core`` /
+        ``under_assumptions`` / ``proof`` / ``verified`` keys (missing
+        keys read as absent).
+        """
+        entry = self._exact.get(self._key(fingerprint, assumptions))
+        if entry is not None:
+            self.hits += 1
+            return ("exact", entry)
+
+        assumption_set = set(assumptions)
+        for core in self._cores.get(fingerprint, ()):
+            if assumption_set.issuperset(core):
+                self.hits += 1
+                return (
+                    "core",
+                    {
+                        "status": SolveStatus.UNSAT,
+                        "core": list(core),
+                        "under_assumptions": bool(core),
+                        "verified": None,
+                    },
+                )
+        for model, verified in self._models.get(fingerprint, ()):
+            if all(model.get(abs(lit), False) == (lit > 0) for lit in assumption_set):
+                self.hits += 1
+                return (
+                    "model",
+                    {
+                        "status": SolveStatus.SAT,
+                        "model": dict(model),
+                        "verified": verified,
+                    },
+                )
+        self.misses += 1
+        return None
+
+    # ------------------------------------------------------------------
+    # Store
+    # ------------------------------------------------------------------
+    def store(self, fingerprint: str, assumptions, result: SolveResult) -> bool:
+        """Record a definitive answer; returns False for uncacheable results."""
+        if result.status is SolveStatus.UNKNOWN:
+            return False
+        entry: dict = {
+            "status": result.status,
+            "under_assumptions": result.under_assumptions,
+            "verified": result.verified,
+        }
+        if result.model is not None:
+            entry["model"] = dict(result.model)
+            models = self._models.setdefault(fingerprint, [])
+            models.append((entry["model"], result.verified))
+            del models[: -self.max_entries]
+        if result.core is not None:
+            entry["core"] = list(result.core)
+        if result.proof is not None:
+            entry["proof"] = [(op, list(lits)) for op, lits in result.proof]
+        if result.status is SolveStatus.UNSAT:
+            # Outright UNSAT stores the empty core: every assumption set
+            # subsumes it.  Under assumptions, the failed-assumption core
+            # (or, defensively, the full assumption set) is stored.
+            if not result.under_assumptions:
+                core: tuple[int, ...] = ()
+            elif result.core is not None:
+                core = tuple(sorted(result.core))
+            else:
+                core = tuple(sorted(assumptions))
+            cores = self._cores.setdefault(fingerprint, [])
+            if core not in cores:
+                cores.append(core)
+                del cores[: -self.max_entries]
+        while len(self._exact) >= self.max_entries:
+            self._exact.pop(next(iter(self._exact)))
+        self._exact[self._key(fingerprint, assumptions)] = entry
+        return True
+
+    def store_lemmas(self, fingerprint: str, lemmas) -> None:
+        """Record retained learned clauses as ``(dimacs_literals, lbd)`` pairs.
+
+        Sound because every learned clause is a consequence of the
+        (canonically fingerprinted) clause set it was derived from; a
+        later session on the same fingerprint may attach them directly.
+        """
+        stored = [(tuple(literals), int(lbd)) for literals, lbd in lemmas]
+        self._lemmas[fingerprint] = stored[-self.max_lemmas :]
+
+    def lemmas_for(self, fingerprint: str) -> list[tuple[tuple[int, ...], int]]:
+        """The stored lemmas for a formula (empty list when none)."""
+        return list(self._lemmas.get(fingerprint, ()))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Flat counters for logs and the CLI session footer."""
+        return {
+            "entries": len(self._exact),
+            "formulas": len(set(key[0] for key in self._exact) | set(self._cores) | set(self._models)),
+            "hits": self.hits,
+            "misses": self.misses,
+        }

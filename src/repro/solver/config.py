@@ -11,6 +11,8 @@ the exact named configurations of the paper.
 from __future__ import annotations
 
 import difflib
+import functools
+import warnings
 from dataclasses import dataclass, field, fields, replace
 
 # Decision strategies ---------------------------------------------------
@@ -163,6 +165,51 @@ class SolverConfig:
         """
         validate_config_fields(overrides)
         return replace(self, **overrides)
+
+    def replace(self, **overrides) -> "SolverConfig":
+        """Alias of :meth:`with_overrides`: a validated ``dataclasses.replace``."""
+        return self.with_overrides(**overrides)
+
+
+def _deprecate_positional_construction(cls):
+    """Keep positional ``SolverConfig(...)`` working, but warn.
+
+    Construction is keyword-only going forward — with ~25 ordered fields
+    a positional call is unreadable and silently reshuffles meaning when
+    fields are added.  Old call sites get a :class:`DeprecationWarning`
+    (mapped onto the declared field order) instead of a break.
+    """
+    generated = cls.__init__
+    names = [spec.name for spec in fields(cls)]
+
+    @functools.wraps(generated)
+    def __init__(self, *args, **kwargs):
+        if args:
+            warnings.warn(
+                "positional SolverConfig construction is deprecated; pass "
+                "fields by keyword (e.g. SolverConfig(name='berkmin')) or "
+                "derive from a preset with config.replace(...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > len(names):
+                raise TypeError(
+                    f"SolverConfig takes at most {len(names)} arguments "
+                    f"({len(args)} given)"
+                )
+            for name, value in zip(names, args):
+                if name in kwargs:
+                    raise TypeError(
+                        f"SolverConfig got multiple values for argument {name!r}"
+                    )
+                kwargs[name] = value
+        generated(self, **kwargs)
+
+    cls.__init__ = __init__
+    return cls
+
+
+_deprecate_positional_construction(SolverConfig)
 
 
 def _config_field_names() -> frozenset[str]:

@@ -85,6 +85,10 @@ class SolveResult:
     #: literals that already contradicts the formula (a failed-assumption
     #: core, MiniSat-style).  None otherwise.
     core: list[int] | None = None
+    #: Number of assumption literals the producing solve call received
+    #: (0 for unconditional solves).  Kept even on SAT/UNKNOWN answers so
+    #: session traffic is readable in logs.
+    num_assumptions: int = 0
     #: Name of the :class:`SolverConfig` that produced this answer.  For
     #: portfolio solves this identifies the winning configuration.
     config_name: str | None = None
@@ -152,6 +156,10 @@ class SolveResult:
             parts.append(f"config={self.config_name!r}")
         parts.append(f"decisions={self.stats.decisions}")
         parts.append(f"conflicts={self.stats.conflicts}")
+        if self.num_assumptions:
+            parts.append(f"assumptions={self.num_assumptions}")
+        if self.core is not None:
+            parts.append(f"core={len(self.core)}")
         if self.wall_seconds:
             parts.append(f"wall={self.wall_seconds:.3f}s")
         if self.degraded:

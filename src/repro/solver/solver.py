@@ -141,6 +141,7 @@ class Solver:
         self.ok = True  # False once the formula is refuted outright
         self._interrupted = False  # set by interrupt(), honoured in solve()
         self._in_solve = False  # re-entrancy guard for solve()
+        self._num_assumptions = 0  # of the current/most recent solve call
         self._solve_started = time.perf_counter()
         # "full" verification needs a DRUP trace to check, so it implies
         # proof logging even when the config flag is off.
@@ -694,15 +695,20 @@ class Solver:
     # ==================================================================
     # Learning, restarts, aging
     # ==================================================================
-    def _record_learned(self, learnt: list[int]) -> None:
-        """Push the conflict clause and assert its first literal."""
+    def _record_learned(self, learnt: list[int], lbd: int = 0) -> None:
+        """Push the conflict clause and assert its first literal.
+
+        ``lbd`` is the literal-block distance measured at conflict time
+        (before backtracking erased the levels); it is stamped on the
+        clause so quality-based retention can filter by glue later.
+        """
         self.stats.learned_total += 1
         self.log_proof_add(learnt)
         if len(learnt) == 1:
             self.stats.learned_units += 1
             self._enqueue(learnt[0], None)
         else:
-            clause = Clause(learnt, learned=True, birth=self.birth_counter)
+            clause = Clause(learnt, learned=True, birth=self.birth_counter, lbd=lbd)
             self.birth_counter += 1
             self.learned.append(clause)
             self.attach_clause(clause)
@@ -870,6 +876,7 @@ class Solver:
         base_conflicts = stats.conflicts
         base_decisions = stats.decisions
         self._in_solve = True
+        self._num_assumptions = len(assumptions)
         trace = self.trace
         try:
             if trace is not None:
@@ -905,21 +912,26 @@ class Solver:
                         self.log_proof_add([])
                         return self._result(SolveStatus.UNSAT)
                     learnt, backtrack_level = self._analyze(conflict)
+                    # LBD (distinct decision levels among the learnt
+                    # literals) must be measured before the backtrack
+                    # erases the levels; it feeds both the conflict trace
+                    # event and the glue stamp on the recorded clause.
+                    levels = self.levels
+                    lbd = len({levels[lit >> 1] for lit in learnt})
                     if trace is not None:
                         conflict_level = self.current_level()
-                        levels = self.levels
                         trace.emit(
                             {
                                 "type": "conflict",
                                 "conflicts": stats.conflicts,
                                 "level": conflict_level,
                                 "learned_len": len(learnt),
-                                "lbd": len({levels[lit >> 1] for lit in learnt}),
+                                "lbd": lbd,
                                 "backjump": conflict_level - backtrack_level,
                             }
                         )
                     self._backtrack(backtrack_level)
-                    self._record_learned(learnt)
+                    self._record_learned(learnt, lbd)
                     if (
                         self.config.activity_decay_interval > 0
                         and stats.conflicts % self.config.activity_decay_interval == 0
@@ -1112,6 +1124,7 @@ class Solver:
             core=core,
             config_name=self.config.name,
             wall_seconds=time.perf_counter() - self._solve_started,
+            num_assumptions=self._num_assumptions,
         )
 
     def _extract_model(self) -> dict[int, bool]:
@@ -1130,24 +1143,24 @@ class Solver:
 def solve_formula(
     formula: CnfFormula,
     config: SolverConfig | None = None,
+    assumptions: Sequence[int] = (),
     **limits,
 ) -> SolveResult:
-    """One-shot convenience wrapper: build a solver, solve, return the result.
+    """One-shot convenience wrapper: a single-call incremental session.
 
-    When the configuration's ``verification`` level is not ``"off"``,
-    the answer passes through the trusted-results gate
-    (:func:`repro.reliability.verify_result`) before being returned:
-    SAT models are re-checked against the original formula and — at
-    level ``"full"`` — UNSAT answers are RUP-checked, with
-    ``result.verified`` recording which check ran.
+    Implemented as a :class:`repro.session.SolverSession` used for
+    exactly one ``solve(assumptions=...)`` call, so the one-shot and
+    incremental paths share their result shape (``core`` on
+    UNSAT-under-assumptions, ``num_assumptions`` stamped) and their
+    verification behaviour.  When the configuration's ``verification``
+    level is not ``"off"``, the answer passes through the
+    trusted-results gate (:func:`repro.reliability.verify_result`)
+    before being returned: SAT models are re-checked against the
+    original formula and — at level ``"full"`` — UNSAT answers are
+    RUP-checked, with ``result.verified`` recording which check ran.
     """
-    solver = Solver(formula, config=config)
-    result = solver.solve(**limits)
-    if solver.config.verification != VERIFY_OFF:
-        # Imported lazily: the reliability layer sits above the solver.
-        from repro.reliability.verify import verify_result
+    # Imported lazily: the session layer sits above the solver core.
+    from repro.session import SolverSession
 
-        result.verified = verify_result(
-            formula, result, level=solver.config.verification
-        )
-    return result
+    with SolverSession(formula, config=config, cache=None) as session:
+        return session.solve(assumptions, **limits)

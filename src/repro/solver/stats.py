@@ -60,6 +60,14 @@ class SolverStats:
     checkpoints_written: int = 0
     resumes: int = 0
 
+    # Incremental sessions (see repro.session): solve calls issued
+    # through a SolverSession, answers served from its result/lemma
+    # cache without search, and learned clauses carried across calls by
+    # the LBD retention filter.  Zero for plain one-shot solves.
+    session_calls: int = 0
+    cache_hits: int = 0
+    retained_clauses: int = 0
+
     solve_time_seconds: float = 0.0
 
     # ------------------------------------------------------------------
@@ -146,6 +154,9 @@ class SolverStats:
         self.worker_retries += other.worker_retries
         self.checkpoints_written += other.checkpoints_written
         self.resumes += other.resumes
+        self.session_calls += other.session_calls
+        self.cache_hits += other.cache_hits
+        self.retained_clauses += other.retained_clauses
         self.solve_time_seconds += other.solve_time_seconds
         return self
 
@@ -168,6 +179,9 @@ class SolverStats:
             "worker_retries": self.worker_retries,
             "checkpoints_written": self.checkpoints_written,
             "resumes": self.resumes,
+            "session_calls": self.session_calls,
+            "cache_hits": self.cache_hits,
+            "retained_clauses": self.retained_clauses,
             "database_growth_ratio": round(self.database_growth_ratio(), 3),
             "peak_memory_ratio": round(self.peak_memory_ratio(), 3),
             "solve_time_seconds": round(self.solve_time_seconds, 6),

@@ -1,0 +1,100 @@
+"""solve_grouped: supervised incremental sessions over worker processes."""
+
+import pytest
+
+from repro.cnf.formula import CnfFormula
+from repro.parallel import GroupedResult, solve_grouped
+from repro.reliability import FaultPlan
+from repro.reliability.retry import NO_RETRY, RetryPolicy
+from repro.solver.result import SolveStatus
+from repro.solver.solver import solve_formula
+
+# Two related-query streams: a growing equivalence chain queried under
+# assumptions, and a depth-style stream that flips to UNSAT at the end.
+CHAIN_GROUP = [
+    ([[1, 2], [-1, -2]], [1]),              # x1 != x2, assume x1  -> SAT
+    ([[2, 3], [-2, -3]], [1, -3]),          # chain to x3          -> UNSAT
+    ([], [1, 3]),                           # same formula, new q  -> SAT
+]
+SHRINK_GROUP = [
+    ([[1, 2]], []),                         # SAT
+    ([[-1]], []),                           # forces 2            -> SAT
+    ([[-2]], []),                           # refuted             -> UNSAT
+]
+
+
+def _expected_statuses(group):
+    accumulated = []
+    expected = []
+    for clauses, assumptions in group:
+        accumulated.extend(clauses)
+        reference = solve_formula(
+            CnfFormula([list(c) for c in accumulated]), assumptions=assumptions
+        )
+        expected.append(reference.status)
+    return expected
+
+
+def test_grouped_matches_one_shot_per_step():
+    grouped = solve_grouped([CHAIN_GROUP, SHRINK_GROUP], jobs=2, verification="sat")
+    assert isinstance(grouped, GroupedResult)
+    assert grouped.retries == 0
+    for group, outcome in zip((CHAIN_GROUP, SHRINK_GROUP), grouped.groups):
+        assert not outcome.degraded
+        assert outcome.attempts == 1
+        assert [r.status for r in outcome.results] == _expected_statuses(group)
+    assert len(grouped.flat_results()) == len(CHAIN_GROUP) + len(SHRINK_GROUP)
+
+
+def test_grouped_sat_answers_are_verified_in_parent():
+    grouped = solve_grouped([SHRINK_GROUP], verification="sat")
+    results = grouped.groups[0].results
+    assert [r.status for r in results] == [
+        SolveStatus.SAT, SolveStatus.SAT, SolveStatus.UNSAT
+    ]
+    for result in results:
+        if result.status is SolveStatus.SAT:
+            assert result.verified == "model"
+
+
+def test_grouped_unsat_core_survives_the_worker_hop():
+    grouped = solve_grouped([CHAIN_GROUP], verification="sat")
+    step = grouped.groups[0].results[1]
+    assert step.status is SolveStatus.UNSAT
+    assert step.core is not None
+    assert set(step.core) <= {1, -3}
+    assert step.num_assumptions == 2
+
+
+@pytest.mark.fault_injection
+def test_grouped_corrupt_fault_is_caught_and_retried():
+    plan = FaultPlan.single("corrupt", worker=0)
+    grouped = solve_grouped(
+        [CHAIN_GROUP],
+        retry=RetryPolicy(max_attempts=2, backoff=0.01),
+        verification="sat",
+        fault_plan=plan,
+    )
+    assert grouped.retries == 1
+    outcome = grouped.groups[0]
+    assert not outcome.degraded
+    assert [r.status for r in outcome.results] == _expected_statuses(CHAIN_GROUP)
+
+
+@pytest.mark.fault_injection
+def test_grouped_crash_without_retry_degrades_cleanly():
+    plan = FaultPlan.single("crash", worker=0)
+    grouped = solve_grouped(
+        [CHAIN_GROUP, SHRINK_GROUP],
+        jobs=2,
+        retry=NO_RETRY,
+        verification="sat",
+        fault_plan=plan,
+    )
+    victim, survivor = grouped.groups
+    assert victim.degraded
+    assert victim.failure is not None
+    assert all(r.status is SolveStatus.UNKNOWN for r in victim.results)
+    assert len(victim.results) == len(CHAIN_GROUP)
+    assert not survivor.degraded
+    assert [r.status for r in survivor.results] == _expected_statuses(SHRINK_GROUP)

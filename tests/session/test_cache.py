@@ -1,0 +1,115 @@
+"""AnswerCache semantics: exact, core-subsumption, and model-reuse hits."""
+
+from repro.session import AnswerCache, SolverSession
+from repro.solver.result import SolveResult, SolveStatus
+from repro.solver.stats import SolverStats
+
+FP = "a" * 32
+OTHER_FP = "b" * 32
+
+
+def _sat_result(model, verified=None):
+    return SolveResult(status=SolveStatus.SAT, model=model, stats=SolverStats(),
+                       verified=verified)
+
+
+def _unsat_result(core=None, under=False):
+    return SolveResult(status=SolveStatus.UNSAT, stats=SolverStats(),
+                       under_assumptions=under, core=core)
+
+
+def test_exact_hit_roundtrips_the_answer():
+    cache = AnswerCache()
+    assert cache.lookup(FP, [1, 2]) is None
+    cache.store(FP, [1, 2], _sat_result({1: True, 2: True}))
+    kind, stored = cache.lookup(FP, [2, 1])  # assumption order is canonical
+    assert kind == "exact"
+    assert stored["status"] is SolveStatus.SAT
+    assert stored["model"] == {1: True, 2: True}
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.lookup(OTHER_FP, [1, 2]) is None  # other formulas miss
+
+
+def test_core_subsumption_answers_assumption_supersets():
+    cache = AnswerCache()
+    cache.store(FP, [1, -3], _unsat_result(core=[1, -3], under=True))
+    kind, stored = cache.lookup(FP, [1, -3, 5, -7])
+    assert kind == "core"
+    assert stored["status"] is SolveStatus.UNSAT
+    assert sorted(stored["core"]) == [-3, 1]
+    # A disjoint assumption set is NOT subsumed.
+    assert cache.lookup(FP, [2, 4]) is None
+
+
+def test_outright_unsat_subsumes_every_assumption_set():
+    cache = AnswerCache()
+    cache.store(FP, [], _unsat_result())
+    for assumptions in ([], [5], [-1, 2, 9]):
+        kind, stored = cache.lookup(FP, assumptions)
+        assert kind in ("exact", "core")
+        assert stored["status"] is SolveStatus.UNSAT
+
+
+def test_model_reuse_requires_satisfied_assumptions():
+    cache = AnswerCache()
+    cache.store(FP, [], _sat_result({1: True, 2: False}, verified="model"))
+    kind, stored = cache.lookup(FP, [1, -2])
+    assert kind == "model"
+    assert stored["verified"] == "model"
+    # The cached model falsifies assumption 2 -> no hit.
+    assert cache.lookup(FP, [2]) is None
+
+
+def test_unknown_results_are_never_cached():
+    cache = AnswerCache()
+    unknown = SolveResult(status=SolveStatus.UNKNOWN, stats=SolverStats(),
+                          limit_reason="max_conflicts")
+    assert cache.store(FP, [], unknown) is False
+    assert len(cache) == 0
+    assert cache.lookup(FP, []) is None
+
+
+def test_lemma_store_caps_and_roundtrips():
+    cache = AnswerCache(max_lemmas=3)
+    cache.store_lemmas(FP, [((1, 2), 1), ((2, 3), 2), ((3, 4), 3), ((4, 5), 4)])
+    lemmas = cache.lemmas_for(FP)
+    assert len(lemmas) == 3
+    assert lemmas[-1] == ((4, 5), 4)
+    assert cache.lemmas_for(OTHER_FP) == []
+
+
+def test_exact_entries_are_bounded():
+    cache = AnswerCache(max_entries=4)
+    for variable in range(1, 10):
+        cache.store(FP, [variable], _sat_result({variable: True}))
+    assert len(cache) <= 4
+
+
+def test_shared_cache_carries_answers_between_sessions():
+    clauses = [[1, 2], [-1, 2]]
+    cache = AnswerCache()
+    with SolverSession(clauses, cache=cache) as first:
+        first.solve(assumptions=[-1])
+    with SolverSession(clauses, cache=cache) as second:
+        result = second.solve(assumptions=[-1])
+        assert result.status is SolveStatus.SAT
+        assert second.stats.cache_hits == 1
+    summary = cache.summary()
+    assert summary["hits"] == 1
+    assert summary["entries"] == 1
+    assert summary["formulas"] == 1
+
+
+def test_shared_cache_lemma_import_warm_starts_sessions():
+    from repro.generators import queens_formula
+
+    formula = queens_formula(8)
+    cache = AnswerCache()
+    with SolverSession(formula, cache=cache) as first:
+        first.solve()
+        learned = len(first.solver.learned)
+    assert learned > 0
+    with SolverSession(formula, cache=cache) as warm:
+        # Lemmas import at construction, before any solving.
+        assert len(warm.solver.learned) > 0
+        assert warm.stats.retained_clauses > 0

@@ -1,0 +1,101 @@
+"""Differential suite: incremental sessions vs fresh one-shot solves.
+
+The ISSUE's correctness contract for the session layer: with learned
+clauses retained and the answer cache live, every query in a stream
+must answer exactly what a cold one-shot solve of the same clause set
+under the same assumptions answers — over the pinned audit pool and
+over a BMC-style depth sweep — with cache hits accounted for and UNSAT
+cores checked through the trusted-results gate.
+"""
+
+import random
+
+import pytest
+
+from repro.cnf.formula import CnfFormula
+from repro.reliability.audit import _instance_pool, _session_stream
+from repro.session import AnswerCache, SolverSession
+from repro.solver.config import VERIFY_SAT, berkmin_config
+from repro.solver.result import SolveStatus
+from repro.solver.solver import solve_formula
+
+
+@pytest.mark.parametrize("entry", _instance_pool(), ids=lambda e: e[0])
+def test_session_matches_one_shot_over_audit_pool(entry):
+    name, formula, expected = entry
+    rng = random.Random(hash(name) & 0xFFFF)
+    steps = _session_stream(formula, rng, num_solves=4)
+    with SolverSession(retain_max_lbd=4) as session:
+        accumulated = []
+        for clauses, assumptions in steps:
+            accumulated.extend(clauses)
+            session.add_clauses(clauses)
+            result = session.solve(assumptions)
+            reference = solve_formula(
+                CnfFormula([list(c) for c in accumulated]), assumptions=assumptions
+            )
+            assert result.status is reference.status, (
+                f"{name}: session {result.status} vs one-shot {reference.status} "
+                f"under {assumptions}"
+            )
+        # The final step carries the full formula with no assumptions.
+        assert result.status is expected
+
+
+def test_cache_hits_and_misses_are_counted():
+    clauses = [[1, 2], [-1, 2], [1, -2]]
+    cache = AnswerCache()
+    with SolverSession(clauses, cache=cache) as session:
+        session.solve()          # miss -> search
+        session.solve()          # exact hit
+        session.solve([2])       # model-reuse hit (model satisfies 2)
+        session.solve([-2])      # miss -> search (UNSAT under -2? no: 2 forced)
+        assert session.stats.session_calls == 4
+        assert session.stats.cache_hits == 2
+    assert cache.misses == 2
+    assert cache.hits == 2
+
+
+def test_unsat_cores_pass_the_trusted_gate():
+    """Every cached/fresh core is sound: formula AND core is UNSAT."""
+    pool = _instance_pool()
+    rng = random.Random(7)
+    for name, formula, _ in pool:
+        variables = sorted(formula.variables())
+        assumptions = [
+            variable if rng.random() < 0.5 else -variable
+            for variable in rng.sample(variables, min(4, len(variables)))
+        ]
+        with SolverSession(formula, config=berkmin_config(verification=VERIFY_SAT)) as session:
+            result = session.solve(assumptions)
+            if result.status is not SolveStatus.UNSAT:
+                assert result.verified == "model", f"{name}: SAT answer unverified"
+                continue
+            core = session.unsat_core()
+            if core is None:
+                # Refuted outright (no assumption failed): the formula
+                # alone must be UNSAT.
+                assert solve_formula(formula).status is SolveStatus.UNSAT
+                continue
+            assert set(core) <= set(assumptions), f"{name}: core outside assumptions"
+            check = CnfFormula(
+                [list(clause) for clause in formula.clauses]
+                + [[literal] for literal in core]
+            )
+            assert solve_formula(check).status is SolveStatus.UNSAT, (
+                f"{name}: core {core} does not refute with the formula"
+            )
+
+
+def test_bmc_depth_sweep_matches_one_shot_and_ground_truth():
+    from repro.bench import SessionBenchCase, run_session_case
+
+    row = run_session_case(
+        SessionBenchCase("counter3_t5_en", 3, 5, 7), rounds=2
+    )
+    # run_session_case raises BenchAgreementError on any divergence; a
+    # returned row is the agreement evidence plus the served-by split.
+    assert row["statuses"] == ["UNSAT"] * 5 + ["SAT"] * 3
+    assert row["session"]["served_by_cache"] == 8   # round 2 is all cache
+    assert row["session"]["served_by_search"] == 8
+    assert row["queries"] == 16

@@ -1,0 +1,166 @@
+"""Lifecycle, retention, and snapshot behavior of SolverSession."""
+
+import pytest
+
+from repro.checkpoint.snapshot import canonical_fingerprint
+from repro.cnf.formula import CnfFormula
+from repro.observability import RingBufferSink
+from repro.session import (
+    DEFAULT_RETAIN_MAX_LBD,
+    AnswerCache,
+    SessionClosedError,
+    SolverSession,
+)
+from repro.solver.config import berkmin_config, config_by_name
+from repro.solver.result import SolveStatus
+
+XOR_CHAIN = [
+    [1, 2], [-1, -2],          # x1 != x2
+    [2, 3], [-2, -3],          # x2 != x3
+]
+
+
+def test_session_basic_sat_then_unsat_growth():
+    with SolverSession([[1, 2]]) as session:
+        first = session.solve()
+        assert first.status is SolveStatus.SAT
+        assert first.model[1] or first.model[2]
+        session.add_clause([-2])
+        second = session.solve()
+        assert second.status is SolveStatus.SAT
+        assert second.model == {1: True, 2: False}
+        session.add_clause([-1])
+        third = session.solve()
+        assert third.status is SolveStatus.UNSAT
+        assert session.calls == 3
+        assert session.stats.session_calls == 3
+
+
+def test_unsat_core_under_assumptions():
+    with SolverSession(XOR_CHAIN) as session:
+        result = session.solve(assumptions=[1, -3])
+        assert result.status is SolveStatus.UNSAT
+        core = session.unsat_core()
+        assert core is not None
+        assert set(core) <= {1, -3}
+        # The core is sound: the formula plus the core alone is UNSAT.
+        check = CnfFormula([list(c) for c in XOR_CHAIN] + [[lit] for lit in core])
+        with SolverSession(check, cache=None) as oracle:
+            assert oracle.solve().status is SolveStatus.UNSAT
+        # And the same query stays answerable after the formula grows.
+        session.add_clause([1, 2, 3])
+        again = session.solve(assumptions=[1, -3])
+        assert again.status is SolveStatus.UNSAT
+
+
+def test_closed_session_raises():
+    session = SolverSession([[1]])
+    session.close()
+    with pytest.raises(SessionClosedError):
+        session.add_clause([2])
+    with pytest.raises(SessionClosedError):
+        session.solve()
+
+
+def test_fingerprint_is_order_insensitive_and_invalidated():
+    fp_a = canonical_fingerprint([[1, 2], [-1, 3]])
+    fp_b = canonical_fingerprint([[3, -1], [2, 1]])
+    assert fp_a == fp_b
+    # Duplicate clauses must not cancel out (a XOR-combined hash would).
+    assert canonical_fingerprint([[1, 2], [1, 2]]) != canonical_fingerprint([[1, 2]])
+    with SolverSession([[1, 2]]) as session:
+        before = session.fingerprint
+        session.add_clause([-1, 3])
+        assert session.fingerprint != before
+        assert session.fingerprint == fp_a
+
+
+def test_retention_filters_by_lbd(queens_clauses):
+    config = berkmin_config()
+    with SolverSession(queens_clauses, config, cache=None, retain_max_lbd=0) as strict:
+        strict.solve()
+        strict_kept = len(strict.solver.learned)
+        strict_dropped = strict.stats.learned_deleted
+    with SolverSession(queens_clauses, config, cache=None, retain_max_lbd=None) as lax:
+        lax.solve()
+        lax_kept = len(lax.solver.learned)
+    # Same config and seed, so both runs learn the same stack;
+    # retain_max_lbd=None then keeps everything while 0 keeps only the
+    # unmeasured/protected/topmost clauses.
+    assert strict_kept < lax_kept
+    assert strict_kept + strict_dropped == lax_kept
+    assert lax.stats.retained_clauses == lax_kept
+    assert lax.stats.learned_deleted == 0
+
+
+def test_retention_skipped_once_refuted():
+    from repro.generators import pigeonhole_formula
+
+    with SolverSession(pigeonhole_formula(5), cache=None, retain_max_lbd=0) as session:
+        assert session.solve().status is SolveStatus.UNSAT
+        # Outright refutation: nothing is filtered (the session is spent
+        # anyway) and re-querying still answers UNSAT.
+        assert session.stats.learned_deleted == 0
+        assert session.solve().status is SolveStatus.UNSAT
+
+
+def test_retention_keeps_solver_reusable(queens_clauses):
+    with SolverSession(queens_clauses, cache=None, retain_max_lbd=0) as session:
+        first = session.solve()
+        assert first.status is SolveStatus.SAT
+        # Pin one queen placement from the model; the shrunken learned
+        # stack must still support a correct re-solve.
+        anchor = next(var for var, value in sorted(first.model.items()) if value)
+        session.add_clause([anchor])
+        second = session.solve()
+        assert second.status is SolveStatus.SAT
+        assert second.model[anchor] is True
+        assert session.stats.session_calls == 2
+
+
+def test_session_save_load_roundtrip(tmp_path):
+    path = tmp_path / "session.rsck"
+    with SolverSession(XOR_CHAIN, config_by_name("berkmin")) as session:
+        assert session.solve(assumptions=[1]).status is SolveStatus.SAT
+        session.save(path)
+    resumed = SolverSession.load(path)
+    try:
+        assert resumed.calls == 1
+        assert resumed.config.name == "berkmin"
+        assert resumed.retain_max_lbd == DEFAULT_RETAIN_MAX_LBD
+        assert resumed.solve(assumptions=[1]).status is SolveStatus.SAT
+        assert resumed.solve(assumptions=[1, -3]).status is SolveStatus.UNSAT
+    finally:
+        resumed.close()
+
+
+def test_session_trace_events():
+    sink = RingBufferSink(256)
+    config = berkmin_config(trace=sink)
+    cache = AnswerCache()
+    with SolverSession(XOR_CHAIN, config, cache=cache) as session:
+        session.solve(assumptions=[1])
+        session.solve(assumptions=[1])  # exact cache hit
+    kinds = [event["type"] for event in sink.events]
+    assert kinds[0] == "session_start"
+    solves = [event for event in sink.events if event["type"] == "session_solve"]
+    assert [event["served_by"] for event in solves] == ["search", "exact"]
+    assert all(event["assumptions"] == 1 for event in solves)
+
+
+def test_result_repr_shows_assumptions_and_core():
+    with SolverSession(XOR_CHAIN, cache=None) as session:
+        result = session.solve(assumptions=[1, -3])
+    text = repr(result)
+    assert "assumptions=2" in text
+    assert "core=" in text
+    sat = SolverSession(XOR_CHAIN, cache=None).solve()
+    assert "assumptions=" not in repr(sat)
+    assert "core=" not in repr(sat)
+
+
+@pytest.fixture
+def queens_clauses():
+    from repro.generators import queens_formula
+
+    return queens_formula(8)

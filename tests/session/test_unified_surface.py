@@ -1,0 +1,75 @@
+"""One contract, four entry points: assumptions= everywhere.
+
+solve_formula, Solver.solve, solve_batch, and PortfolioSolver.solve all
+accept ``assumptions=`` and return :class:`SolveResult` with the same
+field set — including ``core`` and ``num_assumptions`` — so callers can
+move between the sequential, batch, and portfolio engines (and the
+session layer they are now built on) without changing result handling.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cnf.formula import CnfFormula
+from repro.parallel import PortfolioSolver, solve_batch
+from repro.solver.config import berkmin_config, chaff_config
+from repro.solver.result import SolveResult, SolveStatus
+from repro.solver.solver import Solver, solve_formula
+
+# x1 != x2, x2 != x3: SAT, but UNSAT when x1 and x3 are assumed apart.
+CHAIN = [[1, 2], [-1, -2], [2, 3], [-2, -3]]
+FAILING = (1, -3)
+
+
+def _formula():
+    return CnfFormula([list(clause) for clause in CHAIN])
+
+
+def _check_unsat_surface(result):
+    assert isinstance(result, SolveResult)
+    assert result.status is SolveStatus.UNSAT
+    assert result.under_assumptions is True
+    assert result.num_assumptions == len(FAILING)
+    assert result.core is not None
+    assert set(result.core) <= set(FAILING)
+    assert "core=" in repr(result)
+
+
+def test_solve_formula_accepts_assumptions():
+    _check_unsat_surface(solve_formula(_formula(), assumptions=FAILING))
+    sat = solve_formula(_formula(), assumptions=(1,))
+    assert sat.status is SolveStatus.SAT
+    assert sat.num_assumptions == 1
+    assert sat.model[1] is True
+
+
+def test_solver_solve_accepts_assumptions():
+    _check_unsat_surface(Solver(_formula()).solve(FAILING))
+
+
+def test_solve_batch_accepts_assumptions():
+    batch = solve_batch([_formula(), _formula()], jobs=2, assumptions=FAILING)
+    for result in batch.results:
+        _check_unsat_surface(result)
+
+
+def test_portfolio_accepts_assumptions():
+    portfolio = PortfolioSolver([berkmin_config(), chaff_config()], jobs=2)
+    _check_unsat_surface(portfolio.solve(_formula(), assumptions=FAILING))
+
+
+def test_result_field_set_is_identical_across_engines():
+    fields = {field.name for field in dataclasses.fields(SolveResult)}
+    sequential = solve_formula(_formula(), assumptions=FAILING)
+    batch = solve_batch([_formula()], assumptions=FAILING).results[0]
+    for result in (sequential, batch):
+        assert {f.name for f in dataclasses.fields(result)} == fields
+
+
+def test_solve_formula_is_a_session_wrapper():
+    # The one-shot path goes through SolverSession (one call, no cache),
+    # so session counters tick exactly once.
+    result = solve_formula(_formula())
+    assert result.stats.session_calls == 1
+    assert result.stats.cache_hits == 0

@@ -92,3 +92,30 @@ def test_factory_overrides():
     assert config.seed == 7
     assert config.restart_interval == 12
     assert config.name == "chaff"
+
+
+def test_replace_is_with_overrides():
+    base = berkmin_config()
+    changed = base.replace(seed=5, restart_interval=42)
+    assert (changed.seed, changed.restart_interval) == (5, 42)
+    assert base.seed == 0
+    assert changed.name == base.name
+    assert isinstance(changed, SolverConfig)
+
+
+def test_positional_construction_warns_but_works():
+    with pytest.warns(DeprecationWarning, match="keyword"):
+        config = SolverConfig("legacy")
+    assert config.name == "legacy"
+    # Keyword construction stays silent.
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        SolverConfig(name="modern")
+
+
+def test_positional_construction_rejects_duplicates():
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError, match="name"):
+            SolverConfig("twice", name="again")

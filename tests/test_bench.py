@@ -80,3 +80,33 @@ def test_cli_bench_profile(capsys):
     out = capsys.readouterr().out
     assert "cProfile: pigeonhole(3)" in out
     assert "cumulative" in out
+
+
+def test_session_suite_is_pinned():
+    quick = bench.session_bench_suite("quick")
+    assert [case.name for case in quick] == ["counter4_t9_en", "counter4_t13"]
+    with pytest.raises(ValueError, match="unknown bench scale"):
+        bench.session_bench_suite("huge")
+
+
+def test_session_case_agrees_and_serves_from_cache():
+    row = bench.run_session_case(
+        bench.SessionBenchCase("counter3_t5_en", 3, 5, 6), rounds=2
+    )
+    assert row["statuses"] == ["UNSAT"] * 5 + ["SAT"] * 2
+    assert row["session"]["served_by_search"] == 7
+    assert row["session"]["served_by_cache"] == 7
+    assert row["oneshot"]["wall_seconds"] > 0
+    assert row["speedup"] > 0
+
+
+def test_cli_bench_session_writes_report(tmp_path, capsys):
+    path = tmp_path / "BENCH_smoke6.json"
+    code = main(["bench", "--session", "--scale", "quick", "--out", str(path)])
+    out = capsys.readouterr().out
+    report = json.loads(path.read_text())
+    assert report["schema"] == bench.SESSION_SCHEMA
+    assert report["agreement"]["statuses_match_ground_truth"] is True
+    assert "session bench" in out and "aggregate:" in out
+    # Exit code reflects the >= 2x acceptance gate the report records.
+    assert code == (0 if report["aggregate"]["meets_target"] else 1)

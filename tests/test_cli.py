@@ -1,5 +1,7 @@
 """End-to-end CLI tests (invoking main() with argv)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -310,3 +312,48 @@ def test_batch_checkpoint_dir(tmp_path, capsys):
     assert code == 0
     assert f"{hard}: UNSAT" in captured
     assert not (ckdir / "instance-0000.ckpt").exists()
+
+
+def test_session_command_streams_queries(tmp_path, capsys):
+    stream = tmp_path / "stream.icnf"
+    stream.write_text(
+        "p inccnf\n"
+        "c x1 != x2, x2 != x3\n"
+        "1 2 0\n-1 -2 0\n2 3 0\n-2 -3 0\n"
+        "a 1 -3 0\n"       # UNSAT with core
+        "a 1 0\n"          # SAT
+        "a 1 -3 0\n"       # exact cache hit
+    )
+    code = main(["session", str(stream)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert out.count("s UNSATISFIABLE") == 2
+    assert out.count("s SATISFIABLE") == 1
+    assert "c core" in out
+    assert "1 cache hits" in out
+    assert "c session: 3 queries" in out
+
+
+def test_session_command_no_cache_and_trace(tmp_path, capsys):
+    stream = tmp_path / "stream.icnf"
+    stream.write_text("1 2 0\na -1 0\na -1 0\n")
+    trace_path = tmp_path / "trace.jsonl"
+    code = main(
+        ["session", str(stream), "--no-cache", "--trace-out", str(trace_path)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 cache hits" in out
+    lines = [line for line in trace_path.read_text().splitlines() if line]
+    kinds = [json.loads(line)["type"] for line in lines]
+    assert "session_start" in kinds
+    assert kinds.count("session_solve") == 2
+
+
+def test_session_command_rejects_malformed_stream(tmp_path, capsys):
+    stream = tmp_path / "bad.icnf"
+    stream.write_text("1 2\n")  # missing 0 terminator
+    code = main(["session", str(stream)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "must end in 0" in err
