@@ -36,6 +36,7 @@ from __future__ import annotations
 import hashlib
 import os
 import warnings
+from array import array
 from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING
 
@@ -44,7 +45,6 @@ from repro.checkpoint.envelope import (
     read_checkpoint_file,
     write_checkpoint_file,
 )
-from repro.cnf.clause import Clause
 from repro.cnf.literals import FALSE, TRUE, UNASSIGNED
 from repro.solver.stats import SolverStats
 
@@ -138,6 +138,13 @@ class SolverSnapshot:
     #: :attr:`learned` (0 = never measured).  Checkpoints written before
     #: LBD tracking restore as all zeros.
     learned_lbd: list[int] = field(default_factory=list)
+    #: Arena-engine extras (``None`` for the object engines): the live
+    #: post-inprocessing original database and the eliminated-variable
+    #: stack for model reconstruction.  An object engine restoring an
+    #: arena snapshot ignores this field — the pristine formula implies
+    #: every clause here, so the resume stays sound, just cold on the
+    #: inprocessing work.
+    arena: dict | None = None
 
     @property
     def conflicts(self) -> int:
@@ -165,6 +172,7 @@ class SolverSnapshot:
             "stats": dict(self.stats),
             "proof": self.proof,
             "learned_lbd": list(self.learned_lbd),
+            "arena": self.arena,
         }
 
     @classmethod
@@ -190,6 +198,7 @@ class SolverSnapshot:
                 stats=dict(payload["stats"]),
                 proof=payload.get("proof"),
                 learned_lbd=[int(v) for v in payload.get("learned_lbd") or []],
+                arena=payload.get("arena"),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise CheckpointError(f"malformed snapshot payload: {error}") from error
@@ -219,19 +228,17 @@ def capture_snapshot(solver: "Solver") -> SolverSnapshot:
         seed=solver.config.seed,
         num_variables=solver.num_variables,
         level0_trail=list(solver.trail[:level0_end]),
-        learned=[
-            (list(clause.literals), clause.activity, clause.birth, clause.protected)
-            for clause in solver.learned
-        ],
-        var_activity=list(solver.var_activity),
-        lit_activity=list(solver.lit_activity),
-        vsids=list(solver.vsids),
+        learned=solver._learned_snapshot_rows(),
+        var_activity=[int(v) for v in solver.var_activity],
+        lit_activity=[int(v) for v in solver.lit_activity],
+        vsids=[int(v) for v in solver.vsids],
         old_threshold=solver.old_threshold,
         birth_counter=solver.birth_counter,
         rng_state=solver.rng.getstate(),
         stats=_stats_to_payload(solver.stats),
         proof=proof,
-        learned_lbd=[clause.lbd for clause in solver.learned],
+        learned_lbd=solver._learned_lbds(),
+        arena=solver._arena_snapshot_payload(),
     )
 
 
@@ -298,13 +305,30 @@ def restore_snapshot(solver: "Solver", snapshot: SolverSnapshot) -> bool:
         probe.setstate(_as_rng_state(snapshot.rng_state))
     except (TypeError, ValueError) as error:
         return _cold_start(f"undecodable RNG state ({error})")
+    install_arena = solver.is_arena and snapshot.arena is not None
+    if install_arena:
+        defect = _validate_arena_payload(snapshot.arena, maximum_literal)
+        if defect is not None:
+            return _cold_start(defect)
+
+    # ---- arena database ----------------------------------------------
+    # The snapshot's database may differ from the pristine formula's
+    # (inprocessing eliminated variables and swapped in resolvents);
+    # swap it in before any clause-dependent work below.  An object
+    # engine restoring an arena snapshot skips this — the pristine
+    # formula implies every snapshot clause, so it merely redoes the
+    # inprocessing work.
+    if install_arena:
+        solver._install_arena_state(snapshot.arena)
 
     # ---- heuristic memory --------------------------------------------
     # Slice-assign in place: the order heap (and anything else holding a
-    # reference to these lists) keeps seeing the live data.
-    solver.var_activity[:] = snapshot.var_activity
-    solver.lit_activity[:] = snapshot.lit_activity
-    solver.vsids[:] = snapshot.vsids
+    # reference to these vectors) keeps seeing the live data.  The arena
+    # engine stores activities as ``array('d')``, which only accepts
+    # slices of its own kind.
+    _assign_in_place(solver.var_activity, snapshot.var_activity)
+    _assign_in_place(solver.lit_activity, snapshot.lit_activity)
+    _assign_in_place(solver.vsids, snapshot.vsids)
     solver.old_threshold = snapshot.old_threshold
     solver.birth_counter = snapshot.birth_counter
     solver.rng.setstate(_as_rng_state(snapshot.rng_state))
@@ -365,11 +389,9 @@ def restore_snapshot(solver: "Solver", snapshot: SolverSnapshot) -> bool:
         ][:2]
         for target, source in enumerate(front):
             ordered[target], ordered[source] = ordered[source], ordered[target]
-        clause = Clause(ordered, learned=True, birth=birth, lbd=lbds[position])
-        clause.activity = activity
-        clause.protected = protected
-        solver.learned.append(clause)
-        solver.attach_clause(clause)
+        solver._restore_learned_clause(
+            ordered, activity, birth, protected, lbds[position]
+        )
         if len(front) == 1 and lit_value[ordered[0]] == UNASSIGNED:
             # Unit under the restored assignments (only possible when the
             # trail restore above stopped early on a conflict).
@@ -398,6 +420,45 @@ def _as_rng_state(state):
     if isinstance(state, (list, tuple)):
         return tuple(_as_rng_state(item) for item in state)
     return state
+
+
+def _assign_in_place(target, values) -> None:
+    """``target[:] = values`` for lists and ``array`` vectors alike."""
+    if isinstance(target, array):
+        target[:] = array(target.typecode, values)
+    else:
+        target[:] = values
+
+
+def _validate_arena_payload(payload, maximum_literal: int) -> str | None:
+    """Shape-check an arena snapshot payload; a defect string or ``None``.
+
+    Runs before any mutation so a malformed payload degrades to a clean
+    cold start instead of leaving the solver half-installed.
+    """
+    if not isinstance(payload, dict):
+        return "arena payload is not a dict"
+    active = payload.get("active")
+    eliminated = payload.get("eliminated")
+    if not isinstance(active, list) or not isinstance(eliminated, list):
+        return "arena payload is missing its active/eliminated lists"
+    for literals in active:
+        if not isinstance(literals, list) or len(literals) < 2:
+            return "arena active clause is not a list of two or more literals"
+        if any(
+            not isinstance(literal, int) or not 2 <= literal <= maximum_literal
+            for literal in literals
+        ):
+            return "arena active clause literal out of range"
+    for entry in eliminated:
+        if not (isinstance(entry, (list, tuple)) and len(entry) == 2):
+            return "arena eliminated entry is not a (variable, clauses) pair"
+        variable, stored = entry
+        if not isinstance(variable, int) or not 1 <= 2 * variable <= maximum_literal:
+            return "arena eliminated variable out of range"
+        if not isinstance(stored, list):
+            return "arena eliminated clause list malformed"
+    return None
 
 
 # ---------------------------------------------------------------------------

@@ -58,6 +58,12 @@ def summarize_trace(path) -> dict:
         "old_kept": 0,
         "old_dropped": 0,
     }
+    inprocess_totals = {
+        "passes": 0,
+        "eliminated": 0,
+        "freed_words": 0,
+        "wall_ms": 0.0,
+    }
     solves: list[dict] = []
     checkpoint = {"writes": 0, "resumes": 0}
     fleet = {"faults": 0, "retries": 0, "audit_rounds": 0, "audit_failures": 0}
@@ -83,6 +89,13 @@ def summarize_trace(path) -> dict:
             reduce_totals["reductions"] += 1
             for key in ("kept", "dropped", "young_kept", "young_dropped", "old_kept", "old_dropped"):
                 reduce_totals[key] += event[key]
+        elif kind == "inprocess":
+            inprocess_totals["passes"] += 1
+            inprocess_totals["eliminated"] += event["eliminated"]
+            inprocess_totals["freed_words"] += event["freed_words"]
+            inprocess_totals["wall_ms"] = round(
+                inprocess_totals["wall_ms"] + event["wall_ms"], 3
+            )
         elif kind == "solve_end":
             solves.append(
                 {
@@ -126,6 +139,7 @@ def summarize_trace(path) -> dict:
             "interval_conflicts": _distribution(intervals),
         },
         "reductions": reduce_totals,
+        "inprocess": inprocess_totals,
         "solves": solves,
         "checkpoint": checkpoint,
         "fleet": fleet,
@@ -176,6 +190,15 @@ def format_summary(summary: dict) -> str:
             f"(kept {reductions['kept']}, dropped {reductions['dropped']}; "
             f"young {reductions['young_kept']}/{reductions['young_kept'] + reductions['young_dropped']} kept, "
             f"old {reductions['old_kept']}/{reductions['old_kept'] + reductions['old_dropped']} kept)",
+        ]
+    inprocess = summary["inprocess"]
+    if inprocess["passes"]:
+        lines += [
+            "",
+            f"inprocessing: {inprocess['passes']} passes "
+            f"({inprocess['eliminated']} variables eliminated, "
+            f"{inprocess['freed_words']} arena words freed, "
+            f"{inprocess['wall_ms']:.1f}ms total)",
         ]
     if summary["checkpoint"]["writes"] or summary["checkpoint"]["resumes"]:
         lines += [

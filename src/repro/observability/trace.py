@@ -95,6 +95,13 @@ EVENT_SCHEMA: dict[str, tuple[frozenset, frozenset]] = {
         ),
         frozenset(),
     ),
+    # One arena-engine inprocessing pass (bounded variable elimination
+    # between restarts): variables eliminated, arena words reclaimed by
+    # the garbage collection it triggered (0 when none ran), wall time.
+    "inprocess": (
+        frozenset({"type", "conflicts", "eliminated", "freed_words", "wall_ms"}),
+        frozenset(),
+    ),
     # Checkpoint lifecycle: action is "write" or "resume".
     "checkpoint": (
         frozenset({"type", "action", "conflicts"}),

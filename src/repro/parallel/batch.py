@@ -40,7 +40,12 @@ from dataclasses import dataclass, field
 
 from repro.checkpoint.snapshot import checkpoint_conflicts
 from repro.cnf.formula import CnfFormula
-from repro.parallel.worker import drain_results, route_telemetry, solve_in_worker
+from repro.parallel.worker import (
+    drain_results,
+    route_telemetry,
+    solve_in_worker,
+    strip_for_worker,
+)
 from repro.reliability.faults import FaultPlan
 from repro.reliability.guards import StallClock, crash_reason
 from repro.reliability.retry import RetryPolicy, as_retry_policy
@@ -51,7 +56,6 @@ from repro.reliability.verify import (
 )
 from repro.solver.config import (
     VERIFICATION_LEVELS,
-    VERIFY_FULL,
     VERIFY_OFF,
     SolverConfig,
     berkmin_config,
@@ -266,18 +270,7 @@ def solve_batch(
             f"unknown verification level {verification!r}; "
             f"expected one of {', '.join(VERIFICATION_LEVELS)}"
         )
-    worker_overrides: dict = {}
-    if verification == VERIFY_FULL and not config.proof_logging:
-        worker_overrides["proof_logging"] = True
-    # Sinks and collectors stay in the parent: workers relay telemetry
-    # over the result queue instead of writing through a pickled sink.
-    if config.trace is not None:
-        worker_overrides["trace"] = None
-    if config.metrics_interval:
-        worker_overrides["metrics_interval"] = 0
-    worker_config = (
-        config.with_overrides(**worker_overrides) if worker_overrides else config
-    )
+    worker_config = strip_for_worker(config, verification)
 
     items: list[CnfFormula] = [
         item if isinstance(item, CnfFormula) else CnfFormula(item) for item in formulas

@@ -27,7 +27,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.cnf.formula import CnfFormula
-from repro.parallel.worker import drain_results
+from repro.parallel.worker import drain_results, strip_for_worker
 from repro.reliability.faults import (
     FAULT_CORRUPT,
     FAULT_STALL,
@@ -40,7 +40,6 @@ from repro.reliability.retry import as_retry_policy
 from repro.reliability.verify import VerificationError, check_result_shape, verify_result
 from repro.solver.config import (
     VERIFICATION_LEVELS,
-    VERIFY_FULL,
     VERIFY_OFF,
     SolverConfig,
     berkmin_config,
@@ -229,16 +228,7 @@ def solve_grouped(
             f"unknown verification level {verification!r}; "
             f"expected one of {', '.join(VERIFICATION_LEVELS)}"
         )
-    worker_overrides: dict = {}
-    if verification == VERIFY_FULL and not config.proof_logging:
-        worker_overrides["proof_logging"] = True
-    if config.trace is not None:
-        worker_overrides["trace"] = None
-    if config.metrics_interval:
-        worker_overrides["metrics_interval"] = 0
-    worker_config = (
-        config.with_overrides(**worker_overrides) if worker_overrides else config
-    )
+    worker_config = strip_for_worker(config, verification)
 
     normalized = [_normalize_steps(group) for group in groups]
     if not normalized:

@@ -37,7 +37,12 @@ from dataclasses import dataclass, field
 
 from repro.checkpoint.snapshot import checkpoint_conflicts
 from repro.cnf.formula import CnfFormula
-from repro.parallel.worker import drain_results, route_telemetry, solve_in_worker
+from repro.parallel.worker import (
+    drain_results,
+    route_telemetry,
+    solve_in_worker,
+    strip_for_worker,
+)
 from repro.reliability.faults import FaultPlan
 from repro.reliability.guards import StallClock, crash_reason
 from repro.reliability.retry import RetryPolicy, as_retry_policy
@@ -48,7 +53,6 @@ from repro.reliability.verify import (
 )
 from repro.solver.config import (
     VERIFICATION_LEVELS,
-    VERIFY_FULL,
     VERIFY_OFF,
     SolverConfig,
     config_by_name,
@@ -66,10 +70,13 @@ _MIN_RETRY_BUDGET = 0.05
 
 #: Preset rotation used by :func:`default_portfolio`: orthogonal
 #: decision/database strategies first (the configurations the paper
-#: found to behave most differently), then phase-selection variants.
+#: found to behave most differently), then the arena engine (a different
+#: propagation/inprocessing lane entirely), then phase-selection
+#: variants.
 PORTFOLIO_PRESETS = (
     "berkmin",
     "chaff",
+    "arena",
     "berkmin561",
     "less_sensitivity",
     "limited_keeping",
@@ -248,18 +255,9 @@ class PortfolioSolver:
         monitor = self.monitor
         trace = self.trace
 
-        def strip_for_worker(config: SolverConfig) -> SolverConfig:
-            overrides: dict = {}
-            if verification == VERIFY_FULL and not config.proof_logging:
-                overrides["proof_logging"] = True
-            # Sinks stay in the parent; workers relay telemetry instead.
-            if config.trace is not None:
-                overrides["trace"] = None
-            if config.metrics_interval:
-                overrides["metrics_interval"] = 0
-            return config.with_overrides(**overrides) if overrides else config
-
-        worker_configs = [strip_for_worker(config) for config in self.configs]
+        worker_configs = [
+            strip_for_worker(config, verification) for config in self.configs
+        ]
         base_limits = {
             "assumptions": tuple(assumptions),
             "max_conflicts": max_conflicts,

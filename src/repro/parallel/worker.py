@@ -40,7 +40,31 @@ from repro.reliability.faults import (
     execute_entry_fault,
 )
 from repro.reliability.guards import apply_memory_limit
+from repro.solver.config import VERIFY_FULL, SolverConfig
 from repro.solver.solver import Solver
+
+
+def strip_for_worker(config: SolverConfig, verification: str) -> SolverConfig:
+    """Prepare one config for the process boundary.
+
+    Sinks and collectors stay in the parent (workers relay telemetry
+    over the result queue instead of writing through a pickled sink),
+    and a ``full`` verification gate forces proof logging on so the
+    parent can RUP-check the worker's UNSAT answers.  Everything else —
+    including the arena/inprocessing knobs — crosses verbatim:
+    the copy is a ``dataclasses.replace``, so a field added to
+    :class:`SolverConfig` rides along automatically
+    (``tests/parallel/test_worker_config.py`` enforces this by
+    introspection).
+    """
+    overrides: dict = {}
+    if verification == VERIFY_FULL and not config.proof_logging:
+        overrides["proof_logging"] = True
+    if config.trace is not None:
+        overrides["trace"] = None
+    if config.metrics_interval:
+        overrides["metrics_interval"] = 0
+    return config.with_overrides(**overrides) if overrides else config
 
 
 #: Queue tag prefix for telemetry rows.  Results use 2-tuple

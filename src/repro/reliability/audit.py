@@ -25,7 +25,12 @@ the crash-safety layer itself: a ``truncate``/``bitflip``/
 clean (retry-free) cold start with a correct verified answer; a
 ``kill-resume`` round SIGKILLs a worker mid-search and demands that the
 supervised retry warm-resumes from the last checkpoint and still
-produces the correct verified answer.
+produces the correct verified answer.  Arena rounds run the
+array-native engine with inprocessing forced on every restart and
+crash, signal, or corrupt the victim *after* bounded variable
+elimination has rewritten the clause database — or disable the C
+kernels entirely (``pure-fallback``) — and demand the same trusted,
+RUP-checked answers either way.
 
 A clean audit is the operational meaning of "trusted results": no
 single-worker fault, anywhere in the pipeline, can surface a wrong or
@@ -88,6 +93,16 @@ _FAULT_SLEEP = 30.0
 #: exists well before the kill.
 _KILL_AFTER_CONFLICTS = 300
 _KILL_CHECKPOINT_INTERVAL = 100
+#: Arena-engine fault menu: a healthy control, a pure-Python
+#: kernel-fallback round, mid-search crash/signal (fired *after* the
+#: first inprocessing pass has rewritten the clause database), and
+#: result corruption.  Hang/stall add nothing engine-specific here.
+_ARENA_MENU = (None, "pure-fallback", FAULT_CRASH, FAULT_SIGNAL, FAULT_CORRUPT)
+#: Conflicts the arena victim pays before a mid-search fault fires —
+#: past the first restart under ``inprocess_interval=1``, so bounded
+#: variable elimination and arena compaction have already run when the
+#: worker dies.
+_ARENA_FAULT_AFTER = 600
 
 
 @dataclass
@@ -229,6 +244,68 @@ def _checkpoint_round(pool, corruption, policy, stall_seconds, rng, report, defe
         shutil.rmtree(workdir, ignore_errors=True)
 
 
+def _arena_round(pool, mode, policy, stall_seconds, rng, report, defects) -> int:
+    """One audit round against the arena engine with inprocessing live.
+
+    Solves a pinned hard instance (hole-6) plus a random pool instance
+    under the ``arena`` configuration with ``inprocess_interval=1``, so
+    bounded variable elimination and arena compaction genuinely run
+    during the search.  Mid-search crash/signal faults land after the
+    first inprocessing pass; the supervised retry must still produce
+    correct, fully verified answers — in particular the UNSAT proof must
+    RUP-check across the inprocessing seam.  A ``pure-fallback`` round
+    disables the C kernels via ``REPRO_SAT_PURE`` and demands the same
+    trusted answers from the pure-Python paths.  In every variant the
+    engine must degrade or retry, never wedge.
+    """
+    picks = [("hole-6", pigeonhole_formula(6), SolveStatus.UNSAT), rng.choice(pool)]
+    rng.shuffle(picks)
+    victim = next(i for i, (name, _, _) in enumerate(picks) if name == "hole-6")
+    if mode in (FAULT_CRASH, FAULT_SIGNAL):
+        plan = FaultPlan(
+            (
+                FaultSpec(
+                    mode,
+                    worker=victim,
+                    attempt=0,
+                    after_conflicts=_ARENA_FAULT_AFTER,
+                ),
+            )
+        )
+    elif mode == FAULT_CORRUPT:
+        plan = FaultPlan.single(mode, worker=victim, seconds=_FAULT_SLEEP)
+    else:
+        plan = None
+    config = config_by_name(
+        "arena", seed=rng.randrange(1 << 16), inprocess_interval=1
+    )
+    pure_before = os.environ.get("REPRO_SAT_PURE")
+    if mode == "pure-fallback":
+        os.environ["REPRO_SAT_PURE"] = "1"
+    try:
+        batch = solve_batch(
+            [formula for _, formula, _ in picks],
+            jobs=2,
+            config=config,
+            retry=policy,
+            verification=VERIFY_FULL,
+            stall_seconds=stall_seconds,
+            fault_plan=plan,
+        )
+    finally:
+        if mode == "pure-fallback":
+            if pure_before is None:
+                os.environ.pop("REPRO_SAT_PURE", None)
+            else:
+                os.environ["REPRO_SAT_PURE"] = pure_before
+    report.retries += batch.retries
+    for (name, _, expected), result in zip(picks, batch.results):
+        defect = _check_answer(name, expected, result)
+        if defect is not None:
+            defects.append(defect)
+    return victim
+
+
 def _session_stream(formula, rng, num_solves: int) -> list[tuple[list, tuple]]:
     """A random incremental ``(clauses, assumptions)`` stream over ``formula``.
 
@@ -355,11 +432,13 @@ def run_audit(
         monitor.fleet_started(rounds)
 
     for round_index in range(rounds):
-        engine = rng.choice(("batch", "portfolio", "checkpoint", "session"))
+        engine = rng.choice(("batch", "portfolio", "checkpoint", "session", "arena"))
         if engine == "checkpoint":
             mode = rng.choice(_CHECKPOINT_MENU)
         elif engine == "session":
             mode = rng.choice(_SESSION_FAULT_MENU)
+        elif engine == "arena":
+            mode = rng.choice(_ARENA_MENU)
         else:
             mode = rng.choice(_FAULT_MENU)
         defects: list[str] = []
@@ -376,6 +455,10 @@ def run_audit(
             )
         elif engine == "session":
             victim = _session_round(pool, mode, policy, rng, report, defects)
+        elif engine == "arena":
+            victim = _arena_round(
+                pool, mode, policy, stall_seconds, rng, report, defects
+            )
         elif engine == "batch":
             picks = rng.sample(pool, 2)
             victim = rng.randrange(len(picks))

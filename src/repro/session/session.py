@@ -50,12 +50,9 @@ from repro.checkpoint.snapshot import (
     capture_snapshot,
     restore_snapshot,
 )
-from repro.cnf.clause import Clause
 from repro.cnf.formula import CnfFormula
-from repro.cnf.literals import UNASSIGNED, encode_literal
 from repro.session.cache import AnswerCache
 from repro.solver.config import VERIFY_OFF, SolverConfig, config_by_name
-from repro.solver.database import _rebuild_structures
 from repro.solver.result import SolveResult, SolveStatus
 from repro.solver.solver import Solver
 
@@ -229,11 +226,7 @@ class SolverSession:
         if self.cache is not None and result.status is not SolveStatus.UNKNOWN:
             self.cache.store(self.fingerprint, assumptions, result)
             self.cache.store_lemmas(
-                self.fingerprint,
-                (
-                    (tuple(clause.to_dimacs()), clause.lbd)
-                    for clause in self.solver.learned
-                ),
+                self.fingerprint, self.solver.iter_learned_lemmas()
             )
         self.last_result = result
         return result
@@ -256,44 +249,14 @@ class SolverSession:
     def _retain(self) -> tuple[int, int]:
         """Filter the learned stack by glue; returns ``(kept, dropped)``.
 
-        Mirrors :func:`repro.solver.database.reduce_database`'s contract:
-        runs at level 0, DRUP-logs every deletion, clears the (never
-        consulted again) level-0 reasons, and rebuilds the watch /
-        binary-implication structures so the indexes stay exact.
+        Delegates to the engine's
+        :meth:`~repro.solver.solver.Solver.retain_learned_by_lbd` seam,
+        which mirrors :func:`repro.solver.database.reduce_database`'s
+        contract (level 0, DRUP-logged deletions, structures rebuilt) on
+        whatever representation the engine uses — Clause objects or flat
+        arena records.
         """
-        solver = self.solver
-        if not solver.ok:
-            return (len(solver.learned), 0)
-        if solver.current_level() > 0:
-            solver._backtrack(0)
-        learned = solver.learned
-        if not learned:
-            return (0, 0)
-        limit = self.retain_max_lbd
-        top = len(learned) - 1
-        kept: list[Clause] = []
-        dropped = 0
-        for index, clause in enumerate(learned):
-            keep = (
-                limit is None
-                or index == top
-                or clause.protected
-                or clause.lbd <= limit  # lbd == 0 ("never measured") keeps
-            )
-            if keep:
-                kept.append(clause)
-            else:
-                solver.log_proof_delete(clause)
-                dropped += 1
-        if dropped:
-            solver.stats.learned_deleted += dropped
-            for literal in solver.trail:
-                solver.reasons[literal >> 1] = None
-            solver.learned = kept
-            _rebuild_structures(solver)
-            solver.search_cursor = len(solver.learned) - 1
-        solver.stats.retained_clauses += len(kept)
-        return (len(kept), dropped)
+        return self.solver.retain_learned_by_lbd(self.retain_max_lbd)
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -328,33 +291,12 @@ class SolverSession:
             return 0
         imported = 0
         for literals, lbd in self.cache.lemmas_for(self.fingerprint):
-            if self._inject_lemma(literals, lbd):
+            if solver.inject_lemma(literals, lbd):
                 imported += 1
         if imported:
             solver.search_cursor = len(solver.learned) - 1
             solver.stats.retained_clauses += imported
         return imported
-
-    def _inject_lemma(self, dimacs_literals, lbd: int) -> bool:
-        """Attach one cached lemma as a learned clause (level 0 only)."""
-        solver = self.solver
-        if len(dimacs_literals) < 2:
-            return False
-        encoded = []
-        for literal in dimacs_literals:
-            if abs(literal) > solver.num_variables:
-                return False
-            code = encode_literal(literal)
-            if solver.lit_value[code] != UNASSIGNED:
-                # Touching a level-0 assignment: the clause is already
-                # satisfied or would need strengthening — not worth it.
-                return False
-            encoded.append(code)
-        clause = Clause(encoded, learned=True, birth=solver.birth_counter, lbd=lbd)
-        solver.birth_counter += 1
-        solver.learned.append(clause)
-        solver.attach_clause(clause)
-        return True
 
     def _emit_solve(self, call: int, result: SolveResult, *, served_by: str) -> None:
         trace = self.solver.trace

@@ -1,0 +1,1569 @@
+"""The flat-buffer ("arena") CDCL engine with inprocessing.
+
+:class:`ArenaSolver` rebuilds the hot path of :class:`Solver` on plain
+integer buffers.  Every clause — original or learned — lives in one
+contiguous list of ints, the *arena*; a clause is identified by its
+*ref*, the index of its header:
+
+.. code-block:: text
+
+    arena[ref + 0]   size          number of literals
+    arena[ref + 1]   flags         bit 0 learned, bit 1 protected,
+                                   bit 2 dead, bits >= 3 the LBD stamp
+    arena[ref + 2]   act_idx       index into clause_act / clause_birth
+    arena[ref + 3]   scan          saved watch-replacement scan offset
+                                   (circular search resumes here)
+    arena[ref + 4]   next0, blk0   watch slot 0: next node in the chain
+    arena[ref + 6]   next1, blk1   and cached blocker; same for slot 1
+    arena[ref + 8 .. ref + 8 + size]   encoded literals
+                                   (slots 0 and 1 watch positions 0, 1)
+
+The arena is a real ``array('i')`` — a contiguous int32 buffer — and so
+are the per-variable assignment vectors, which lets the propagation
+loop run either as pure Python or through the compiled kernel of
+:mod:`repro.solver._kernel` over the *same memory*.  Watch lists are
+linked chains threaded through the records themselves: ``watch_head[q]``
+holds the first node (``(ref << 1) | slot``, ``-1`` ends a chain), so
+attaching is O(1), nothing reallocates during search, and a record
+deleted by reduction is unlinked lazily the next time a walk passes it.
+Each watch slot caches a *blocker* literal (the MiniSat trick): when
+the blocker is already true the record body is never touched.  The
+replacement scan is circular, resuming at ``arena[ref + 3]`` — long
+learned clauses carry a mostly-false prefix after backtracking, and
+restarting the scan at the front every visit made the walk quadratic.
+
+Reasons live in an ``array('i')`` slot per variable: ``-1`` for
+decisions and level-0 units, the implying record's ref for everything
+else — so conflict analysis never loads a clause object.  The implied
+literal of a reason is *not* normalized to position 0 (that would
+re-thread watch chains); analysis skips it by variable instead.
+
+Deletion never moves memory: a clause dies by setting its dead flag and
+its words are reclaimed later by :meth:`ArenaSolver._maybe_collect`,
+which compacts the arena once at least ``config.arena_gc_fraction`` of
+it is dead and rebuilds the watch structures over the moved refs.
+
+Between restarts the engine runs **inprocessing**: bounded variable
+elimination (the NiVER rule of :mod:`repro.cnf.elimination`, promoted
+from preprocessing-only) every ``config.inprocess_interval`` restarts.
+Eliminated variables keep their original clauses on a stack for model
+reconstruction; a later clause or assumption that mentions one restores
+it transitively ("restore on touch").  All DRUP obligations are
+preserved: resolvents are logged as additions (single-step resolvents
+are always RUP), learned clauses swept by elimination are logged as
+deletions, and the original clauses an elimination removes are *not*
+deleted from the proof — the checker's database stays a superset, which
+keeps every later inference checkable and makes restoration free.
+"""
+
+from __future__ import annotations
+
+import time
+from array import array
+from collections.abc import Iterable, Sequence
+
+from repro.cnf.elimination import _resolvents
+from repro.cnf.literals import FALSE, TRUE, UNASSIGNED, decode_literal, encode_literal
+from repro.cnf.simplify import clean_clause
+from repro.solver import config as cfg
+from repro.solver._kernel import load_arena_kernel
+from repro.solver.config import PROPAGATION_ARENA
+from repro.solver.heap import VariableOrderHeap
+from repro.solver.phase import formula_literal
+from repro.solver.solver import Solver, SolverInternalError
+
+#: Header layout (see module docstring).
+_HDR = 8
+_LEARNED = 1
+_PROTECTED = 2
+_DEAD = 4
+_LBD_SHIFT = 3
+
+
+class ArenaSolver(Solver):
+    """CDCL over a flat clause arena; see the module docstring.
+
+    Construct it through ``Solver(formula, config=arena_config())`` —
+    :meth:`Solver.__new__` dispatches on ``config.propagation`` — so no
+    call site needs to name this class.
+    """
+
+    is_arena = True
+
+    def __init__(self, formula=None, config=None) -> None:
+        if config is None or config.propagation != PROPAGATION_ARENA:
+            raise ValueError(
+                "ArenaSolver requires a config with propagation='arena' "
+                "(use repro.solver.config.arena_config())"
+            )
+        # Arena state must exist before the base constructor loads the
+        # formula (add_formula -> our add_clause overrides).
+        self.arena = array("i")
+        self.arena_dead = 0  # dead words awaiting collection
+        self.clause_act: list[int] = []
+        self.clause_birth: list[int] = []
+        # watch_head[q] heads literal q's chain of watch nodes
+        # ((ref << 1) | slot); the chain links live inside the records.
+        self.watch_head = array("i", (-1, -1))
+        # Variable-elimination bookkeeping.  ``_eliminated`` stacks
+        # ``(variable, original DIMACS clauses)`` in elimination order for
+        # model reconstruction; ``_eliminated_mark`` is the per-variable
+        # membership test; ``_frozen`` holds the current call's assumption
+        # variables (never eliminated).
+        self._eliminated: list[tuple[int, list[list[int]]]] = []
+        self._eliminated_mark: list[bool] = [False]
+        self._frozen: frozenset[int] = frozenset()
+        # The compiled kernels (None -> pure-Python fallbacks, identical
+        # semantics) and their call scratch: a BCP work queue of
+        # literals, the parallel reason refs, conflict-analysis output
+        # buffers, and the shared out-params word pair.
+        kernel = load_arena_kernel()
+        self._kernel = kernel.propagate if kernel else None
+        self._kernel_analyze = kernel.analyze if kernel else None
+        self._kernel_top = kernel.top_unsat if kernel else None
+        self._kernel_backtrack = kernel.backtrack if kernel else None
+        self._kernel_best = kernel.best_var if kernel else None
+        self._kernel_out = array("i", (0, 0))
+        self._scratch = array("i")
+        self._learnt_out = array("i")
+        self._clear_out = array("i")
+        super().__init__(formula, config=config)
+        # The kernels read and write solver state directly, so every
+        # buffer they touch must be a real typed array, not a Python
+        # list: int32 for assignments, trail, reasons (-1 encodes "no
+        # reason"; see _enqueue), marks, and the learned-ref stack;
+        # float64 for the activity vectors.
+        self.assigns = array("i", self.assigns)
+        self.levels = array("i", self.levels)
+        self.lit_value = array("i", self.lit_value)
+        self.trail = array("i", self.trail)
+        self.reasons = array(
+            "i", (-1 if reason is None else reason for reason in self.reasons)
+        )
+        self._seen = array("i", self._seen)
+        self.learned = array("i", self.learned)
+        self.var_activity = array("d", self.var_activity)
+        self.lit_activity = array("d", self.lit_activity)
+        self.vsids = array("d", self.vsids)
+        self.clause_act = array("d", self.clause_act)
+        if self.order_heap is not None:
+            # The heap captured the list var_activity replaced; rebuild
+            # it over the array so bumps stay visible to it.
+            previous = self.order_heap
+            self.order_heap = VariableOrderHeap(self.var_activity)
+            self.order_heap.rebuild(list(previous.heap))
+
+    # ==================================================================
+    # Record primitives
+    # ==================================================================
+    def _push_record(
+        self, literals: list[int], learned: bool, lbd: int = 0, birth: int | None = None
+    ) -> int:
+        """Append one clause record; returns its ref.
+
+        Learned records draw (and advance) ``birth_counter`` unless an
+        explicit ``birth`` is supplied (the snapshot-restore path, where
+        the counter is restored separately).
+        """
+        arena = self.arena
+        ref = len(arena)
+        arena.append(len(literals))
+        arena.append((lbd << _LBD_SHIFT) | (_LEARNED if learned else 0))
+        arena.append(len(self.clause_act))
+        arena.append(2)  # circular scan starts past the watched pair
+        arena.extend((-1, 0, -1, 0))  # watch nodes, linked by _attach_ref
+        arena.extend(literals)
+        self.clause_act.append(0)
+        if learned and birth is None:
+            birth = self.birth_counter
+            self.birth_counter += 1
+        self.clause_birth.append(birth or 0)
+        return ref
+
+    def _attach_ref(self, ref: int) -> None:
+        """Index one record for propagation.
+
+        Links both watch slots at the head of their literals' chains,
+        each blocker seeded with the companion watch.  Binary records
+        propagate through the chains like everything else, but also
+        feed the flat implication arrays the phase heuristics score
+        with (``nb_two`` / ``formula_literal``).
+        """
+        arena = self.arena
+        base = ref + _HDR
+        first = arena[base]
+        second = arena[base + 1]
+        if arena[ref] == 2:
+            self.binary_count[first] += 1
+            self.binary_implications[first].append(second)
+            self.binary_count[second] += 1
+            self.binary_implications[second].append(first)
+        head = self.watch_head
+        arena[ref + 4] = head[first]
+        arena[ref + 5] = second
+        head[first] = ref << 1
+        arena[ref + 6] = head[second]
+        arena[ref + 7] = first
+        head[second] = (ref << 1) | 1
+
+    def _kill_ref(self, ref: int) -> None:
+        """Mark one record dead; its words are reclaimed at the next GC."""
+        self.arena[ref + 1] |= _DEAD
+        self.arena_dead += self.arena[ref] + _HDR
+
+    def _ref_literals(self, ref: int) -> list[int]:
+        base = ref + _HDR
+        return self.arena[base : base + self.arena[ref]].tolist()
+
+    def _log_delete_ref(self, ref: int) -> None:
+        """DRUP deletion line for one record (no-op when logging is off)."""
+        if self.proof is not None:
+            self._flush_level0_proof_units()
+            self.proof.append(
+                ("d", [decode_literal(lit) for lit in self._ref_literals(ref)])
+            )
+
+    # ==================================================================
+    # Assignment primitives (int-only reason slots)
+    # ==================================================================
+    def _enqueue(self, literal: int, reason) -> None:
+        """Base `_enqueue` with ``-1`` standing in for "no reason".
+
+        The reasons vector is an ``array('i')`` the kernels index
+        directly, so the no-reason sentinel must be an int.
+        """
+        variable = literal >> 1
+        self.assigns[variable] = (literal & 1) ^ 1
+        self.lit_value[literal] = TRUE
+        self.lit_value[literal ^ 1] = FALSE
+        self.levels[variable] = len(self.trail_limits)
+        self.reasons[variable] = -1 if reason is None else reason
+        self.trail.append(literal)
+        if reason is not None:
+            self.stats.propagations += 1
+
+    def _backtrack(self, target_level: int) -> None:
+        if self.current_level() <= target_level:
+            return
+        limit = self.trail_limits[target_level]
+        heap = self.order_heap
+        if self._kernel_backtrack is not None and heap is None:
+            self._kernel_backtrack(
+                self.trail.buffer_info()[0],
+                limit,
+                len(self.trail),
+                self.assigns.buffer_info()[0],
+                self.lit_value.buffer_info()[0],
+                self.reasons.buffer_info()[0],
+            )
+        else:
+            assigns = self.assigns
+            lit_value = self.lit_value
+            reasons = self.reasons
+            for index in range(len(self.trail) - 1, limit - 1, -1):
+                literal = self.trail[index]
+                variable = literal >> 1
+                assigns[variable] = UNASSIGNED
+                lit_value[literal] = UNASSIGNED
+                lit_value[literal ^ 1] = UNASSIGNED
+                reasons[variable] = -1
+                if heap is not None:
+                    heap.push(variable)
+        del self.trail[limit:]
+        del self.trail_limits[target_level:]
+        self.qhead = limit
+        # Undoing assignments can unsatisfy clauses anywhere in the stack.
+        self.search_cursor = len(self.learned) - 1
+
+    # ==================================================================
+    # Clause loading
+    # ==================================================================
+    def ensure_variables(self, count: int) -> None:
+        # Reimplements the base grower: the reason slot takes the int
+        # sentinel once the vectors have been converted to arrays (the
+        # conversion happens at the end of __init__, after the base
+        # constructor has loaded the formula through this method).
+        none_reason = -1 if isinstance(self.reasons, array) else None
+        watch_head = self.watch_head
+        while self.num_variables < count:
+            self.num_variables += 1
+            self.assigns.append(UNASSIGNED)
+            self.levels.append(0)
+            self.reasons.append(none_reason)
+            self.var_activity.append(0)
+            self._seen.append(False)
+            self._eliminated_mark.append(False)
+            if self.order_heap is not None:
+                self.order_heap.push(self.num_variables)
+            for _ in range(2):
+                self.watches.append([])
+                self.lit_value.append(UNASSIGNED)
+                self.lit_activity.append(0)
+                self.vsids.append(0)
+                self.binary_count.append(0)
+                self.binary_implications.append([])
+                watch_head.append(-1)
+
+    def add_clause(self, dimacs_literals: Iterable[int]) -> bool:
+        literals = list(dimacs_literals)
+        if self.current_level() > 0:
+            self._backtrack(0)
+        self.stats.initial_clauses += 1
+        self._pristine.append(literals)
+
+        cleaned = clean_clause(literals)
+        if cleaned is None:  # tautology
+            return self.ok
+        self.ensure_variables(max((abs(lit) for lit in cleaned), default=0))
+        # Restore on touch: a new clause naming an eliminated variable
+        # brings that variable (and, transitively, any eliminated
+        # variable its stored clauses mention) back into the search.
+        for literal in cleaned:
+            if self._eliminated_mark[abs(literal)]:
+                self._restore_variable(abs(literal))
+        if not self.ok:
+            return False
+
+        encoded = [encode_literal(lit) for lit in cleaned]
+        remaining: list[int] = []
+        for literal in encoded:
+            value = self.lit_value[literal]
+            if value == TRUE:
+                return self.ok
+            if value == UNASSIGNED:
+                remaining.append(literal)
+        if not remaining:
+            # Refuted at add time: every literal is false under level-0
+            # assignments, so the empty clause is RUP over the database.
+            self.ok = False
+            self.log_proof_add([])
+            return False
+        if len(remaining) == 1:
+            self._enqueue(remaining[0], None)
+            return self.ok
+        ref = self._push_record(remaining, learned=False)
+        self.clauses.append(ref)
+        self._attach_ref(ref)
+        self.stats.peak_clauses = max(
+            self.stats.peak_clauses, len(self.clauses) + len(self.learned)
+        )
+        return self.ok
+
+    def attach_clause(self, clause) -> None:  # pragma: no cover - guard
+        raise SolverInternalError(
+            "ArenaSolver stores records, not Clause objects; use _push_record"
+        )
+
+    # ==================================================================
+    # Boolean constraint propagation
+    # ==================================================================
+    def _propagate_arena(self):
+        """Propagate to fixpoint over the watch chains.
+
+        Returns ``None`` at fixpoint or the conflicting record's ref
+        (``solve`` only tests ``is not None``; ref 0 is a valid conflict
+        value).  Dispatches to the compiled kernel when one loaded; the
+        pure-Python walk below implements the identical semantics over
+        the identical buffers, so the trajectory does not depend on
+        which one ran.
+        """
+        trail = self.trail
+        if self._kernel is not None:
+            if self.qhead == len(trail):
+                return None
+            scratch = self._scratch
+            capacity = self.num_variables + 8
+            if len(scratch) < capacity:
+                scratch = self._scratch = array("i", bytes(4 * capacity))
+            out = self._kernel_out
+            implied = self._kernel(
+                self.arena.buffer_info()[0],
+                self.watch_head.buffer_info()[0],
+                self.lit_value.buffer_info()[0],
+                self.assigns.buffer_info()[0],
+                self.levels.buffer_info()[0],
+                self.reasons.buffer_info()[0],
+                trail.buffer_info()[0],
+                self.qhead,
+                len(trail),
+                scratch.buffer_info()[0],
+                len(self.trail_limits),
+                out.buffer_info()[0],
+            )
+            if implied:
+                trail.extend(scratch[:implied])
+            self.stats.propagations += implied
+            self.qhead = len(trail)
+            conflict = out[0]
+            return conflict if conflict >= 0 else None
+
+        levels = self.levels
+        reasons = self.reasons
+        assigns = self.assigns
+        watch_head = self.watch_head
+        lit_value = self.lit_value
+        arena = self.arena
+        level = len(self.trail_limits)  # constant: decisions happen outside
+        propagations = 0
+        qhead = self.qhead
+        trail_append = trail.append
+        while qhead < len(trail):
+            false_literal = trail[qhead] ^ 1
+            qhead += 1
+            prev = -1  # -1: the predecessor field is watch_head itself
+            node = watch_head[false_literal]
+            while node != -1:
+                ref = node >> 1
+                next_field = ref + 4 + 2 * (node & 1)
+                next_node = arena[next_field]
+                if lit_value[arena[next_field + 1]] == 1:
+                    # Blocker true: satisfied, record body untouched.
+                    prev = next_field
+                    node = next_node
+                    continue
+                if arena[ref + 1] & _DEAD:
+                    # Deleted record: unlink lazily in passing.
+                    if prev < 0:
+                        watch_head[false_literal] = next_node
+                    else:
+                        arena[prev] = next_node
+                    node = next_node
+                    continue
+                base = ref + _HDR
+                other = arena[base + 1 - (node & 1)]  # the companion watch
+                other_value = lit_value[other]
+                if other_value == 1:  # satisfied: refresh the blocker
+                    arena[next_field + 1] = other
+                    prev = next_field
+                    node = next_node
+                    continue
+                # Circular replacement search from the saved offset.
+                end = base + arena[ref]
+                saved = base + arena[ref + 3]
+                scan = saved
+                found = -1
+                while scan < end:
+                    if lit_value[arena[scan]] != 0:  # TRUE/UNASSIGNED
+                        found = scan
+                        break
+                    scan += 1
+                if found < 0:
+                    scan = base + 2
+                    while scan < saved:
+                        if lit_value[arena[scan]] != 0:
+                            found = scan
+                            break
+                        scan += 1
+                if found >= 0:
+                    # Move this watch slot to the replacement literal.
+                    candidate = arena[found]
+                    arena[found] = false_literal
+                    arena[base + (node & 1)] = candidate
+                    arena[ref + 3] = found - base
+                    if prev < 0:
+                        watch_head[false_literal] = next_node
+                    else:
+                        arena[prev] = next_node
+                    arena[next_field] = watch_head[candidate]
+                    arena[next_field + 1] = other
+                    watch_head[candidate] = node
+                    node = next_node
+                    continue
+                if other_value == 0:  # companion false too: conflict
+                    self.qhead = len(trail)
+                    self.stats.propagations += propagations
+                    return ref
+                # Unit: imply the companion watch.
+                variable = other >> 1
+                assigns[variable] = (other & 1) ^ 1
+                lit_value[other] = TRUE
+                lit_value[other ^ 1] = FALSE
+                levels[variable] = level
+                reasons[variable] = ref
+                trail_append(other)
+                propagations += 1
+                arena[next_field + 1] = other
+                prev = next_field
+                node = next_node
+        self.qhead = qhead
+        self.stats.propagations += propagations
+        return None
+
+    # ==================================================================
+    # Conflict analysis
+    # ==================================================================
+    def reason_literals(self, variable: int) -> list[int] | None:
+        reason = self.reasons[variable]
+        if reason < 0:
+            return None
+        literals = self._ref_literals(reason)
+        implied = (variable << 1) | (self.assigns[variable] ^ 1)
+        position = literals.index(implied)
+        if position:  # contract: the implied literal leads
+            literals[0], literals[position] = literals[position], literals[0]
+        return literals
+
+    def _analyze(self, conflict):
+        """First-UIP analysis over ref-encoded reasons.
+
+        Same derivation and bookkeeping as :meth:`Solver._analyze`; the
+        only difference is how antecedents are read: a reason is an
+        arena ref indexed directly, and the resolved-upon literal is
+        skipped by variable comparison rather than by position (watch
+        chains forbid physically moving the implied literal to slot 0).
+        """
+        config = self.config
+        seen = self._seen
+        levels = self.levels
+        trail = self.trail
+        current_level = len(self.trail_limits)
+        var_activity = self.var_activity
+        bump_responsible = config.bump_responsible_clauses
+        heap = self.order_heap
+
+        if self._kernel_analyze is not None and heap is None:
+            # Kernel path: the resolution walk (and responsible-clause
+            # bumps) run in C; marks stay set for _minimize below.
+            capacity = self.num_variables + 2
+            learnt_out = self._learnt_out
+            if len(learnt_out) < capacity:
+                learnt_out = self._learnt_out = array("i", bytes(4 * capacity))
+                self._clear_out = array("i", bytes(4 * capacity))
+            clear_out = self._clear_out
+            out = self._kernel_out
+            failed = self._kernel_analyze(
+                self.arena.buffer_info()[0],
+                trail.buffer_info()[0],
+                len(trail),
+                self.reasons.buffer_info()[0],
+                levels.buffer_info()[0],
+                seen.buffer_info()[0],
+                var_activity.buffer_info()[0],
+                self.clause_act.buffer_info()[0],
+                conflict,
+                current_level,
+                1 if bump_responsible else 0,
+                learnt_out.buffer_info()[0],
+                clear_out.buffer_info()[0],
+                out.buffer_info()[0],
+            )
+            if failed:
+                raise SolverInternalError("missing reason during conflict analysis")
+            learnt = learnt_out[: out[0]].tolist()
+            to_clear = clear_out[: out[1]].tolist()
+        else:
+            learnt, to_clear = self._analyze_resolve(conflict, current_level)
+
+        if config.clause_minimization and len(learnt) > 2:
+            learnt = self._minimize(learnt)
+
+        if len(learnt) == 1:
+            backtrack_level = 0
+        else:
+            max_position = 1
+            for position in range(2, len(learnt)):
+                if levels[learnt[position] >> 1] > levels[learnt[max_position] >> 1]:
+                    max_position = position
+            learnt[1], learnt[max_position] = learnt[max_position], learnt[1]
+            backtrack_level = levels[learnt[1] >> 1]
+
+        if not bump_responsible:
+            for literal in learnt:
+                bumped = literal >> 1
+                var_activity[bumped] += 1
+                if heap is not None:
+                    heap.update(bumped)
+        lit_activity = self.lit_activity
+        vsids = self.vsids
+        for literal in learnt:
+            lit_activity[literal] += 1
+            vsids[literal] += 1
+
+        for variable in to_clear:
+            seen[variable] = False
+        return learnt, backtrack_level
+
+    def _analyze_resolve(self, conflict: int, current_level: int):
+        """Pure-Python twin of the kernel's first-UIP resolution walk.
+
+        Returns ``(learnt, to_clear)`` with every variable in
+        ``to_clear`` still marked in ``_seen`` (exactly the kernel's
+        contract); :meth:`_analyze` owns the shared tail.
+        """
+        seen = self._seen
+        levels = self.levels
+        trail = self.trail
+        reasons = self.reasons
+        arena = self.arena
+        clause_act = self.clause_act
+        var_activity = self.var_activity
+        bump_responsible = self.config.bump_responsible_clauses
+        heap = self.order_heap
+
+        learnt = self._learnt_buffer
+        learnt.clear()
+        learnt.append(0)  # position 0 reserved for the asserting literal
+        to_clear = self._to_clear_buffer
+        to_clear.clear()
+
+        clause = conflict
+        unresolved = 0
+        index = len(trail) - 1
+        resolved_variable = -1  # first iteration: every literal participates
+
+        while True:
+            if clause < 0:
+                raise SolverInternalError("missing reason during conflict analysis")
+            ref = clause
+            if arena[ref + 1] & _LEARNED:
+                clause_act[arena[ref + 2]] += 1
+            base = ref + _HDR
+            end = base + arena[ref]
+            if bump_responsible:
+                for position in range(base, end):
+                    bumped = arena[position] >> 1
+                    var_activity[bumped] += 1
+                    if heap is not None:
+                        heap.update(bumped)
+            for position in range(base, end):
+                literal = arena[position]
+                variable = literal >> 1
+                if variable == resolved_variable:
+                    continue  # the literal this resolution removes
+                if not seen[variable] and levels[variable] > 0:
+                    seen[variable] = True
+                    to_clear.append(variable)
+                    if levels[variable] >= current_level:
+                        unresolved += 1
+                    else:
+                        learnt.append(literal)
+            while not seen[trail[index] >> 1]:
+                index -= 1
+            asserting = trail[index]
+            variable = asserting >> 1
+            resolved_variable = variable
+            clause = reasons[variable]
+            seen[variable] = False
+            unresolved -= 1
+            index -= 1
+            if unresolved == 0:
+                break
+        learnt[0] = asserting ^ 1
+        return learnt, to_clear
+
+    def _minimize(self, learnt: list[int]) -> list[int]:
+        seen = self._seen
+        levels = self.levels
+        arena = self.arena
+        minimized = [learnt[0]]
+        for literal in learnt[1:]:
+            reason = self.reasons[literal >> 1]
+            if reason < 0:
+                minimized.append(literal)
+                continue
+            ref = reason
+            base = ref + _HDR
+            redundant = True
+            for position in range(base, base + arena[ref]):
+                variable = arena[position] >> 1
+                if variable == literal >> 1:
+                    continue
+                if not seen[variable] and levels[variable] > 0:
+                    redundant = False
+                    break
+            if not redundant:
+                minimized.append(literal)
+        return minimized
+
+    def _failed_assumption_core(self, failed_literal: int) -> list[int]:
+        core = [decode_literal(failed_literal)]
+        variable = failed_literal >> 1
+        if self.levels[variable] == 0:
+            return core
+        seen = [False] * (self.num_variables + 1)
+        seen[variable] = True
+        levels = self.levels
+        arena = self.arena
+        for index in range(len(self.trail) - 1, -1, -1):
+            literal = self.trail[index]
+            trail_variable = literal >> 1
+            if not seen[trail_variable]:
+                continue
+            seen[trail_variable] = False
+            reason = self.reasons[trail_variable]
+            if reason < 0:
+                if levels[trail_variable] > 0:
+                    core.append(decode_literal(literal))
+            else:
+                ref = reason
+                base = ref + _HDR
+                for position in range(base, base + arena[ref]):
+                    antecedent = arena[position]
+                    if antecedent >> 1 == trail_variable:
+                        continue
+                    if levels[antecedent >> 1] > 0:
+                        seen[antecedent >> 1] = True
+        return core
+
+    # ==================================================================
+    # Learning
+    # ==================================================================
+    def _record_learned(self, learnt: list[int], lbd: int = 0) -> None:
+        self.stats.learned_total += 1
+        self.log_proof_add(learnt)
+        if len(learnt) == 1:
+            self.stats.learned_units += 1
+            self._enqueue(learnt[0], None)
+        else:
+            ref = self._push_record(list(learnt), learned=True, lbd=lbd)
+            self.learned.append(ref)
+            self._attach_ref(ref)
+            self._enqueue(learnt[0], ref)
+        self.search_cursor = len(self.learned) - 1
+        self.stats.peak_clauses = max(
+            self.stats.peak_clauses, len(self.clauses) + len(self.learned)
+        )
+
+    # ==================================================================
+    # Decisions (arena-native reimplementation of repro.solver.decision)
+    # ==================================================================
+    def _choose(self) -> int | None:
+        strategy = self.config.decision_strategy
+        if strategy == cfg.DECISION_BERKMIN:
+            return self._berkmin_decision()
+        if strategy == cfg.DECISION_GLOBAL:
+            variable = self._most_active_free()
+            if variable is None:
+                return None
+            self.stats.formula_decisions += 1
+            if self.trace is not None:
+                self.last_decision_source = "global"
+                self.last_skin_distance = None
+            return formula_literal(self, variable)
+        if strategy == cfg.DECISION_VSIDS:
+            return self._vsids_decision()
+        if strategy == cfg.DECISION_RANDOM:
+            return self._random_decision()
+        raise ValueError(f"unknown decision strategy {strategy!r}")
+
+    def _next_unsat(self, index: int) -> int:
+        """Topmost learned-stack index <= ``index`` whose record is not
+        satisfied, or -1 (kernel scan when available)."""
+        learned = self.learned
+        if self._kernel_top is not None:
+            if index < 0:
+                return -1
+            return self._kernel_top(
+                self.arena.buffer_info()[0],
+                learned.buffer_info()[0],
+                index,
+                self.lit_value.buffer_info()[0],
+            )
+        lit_value = self.lit_value
+        arena = self.arena
+        while index >= 0:
+            ref = learned[index]
+            base = ref + _HDR
+            satisfied = False
+            for position in range(base, base + arena[ref]):
+                if lit_value[arena[position]] == 1:
+                    satisfied = True
+                    break
+            if not satisfied:
+                return index
+            index -= 1
+        return -1
+
+    def _berkmin_decision(self) -> int | None:
+        """Branch on the current top clause, scanning records in place."""
+        learned = self.learned
+        top = len(learned) - 1
+        index = min(self.search_cursor, top)
+        window = self.config.top_clause_window
+        collected: list[int] = []  # unsatisfied refs, topmost first
+        while index >= 0:
+            index = self._next_unsat(index)
+            if index < 0:
+                break
+            if not collected:
+                self.search_cursor = index
+                self.stats.top_clause_decisions += 1
+                self.stats.record_skin_distance(top - index)
+                if self.trace is not None:
+                    self.last_decision_source = "top_clause"
+                    self.last_skin_distance = top - index
+            collected.append(learned[index])
+            if len(collected) >= window:
+                break
+            index -= 1
+        if collected:
+            arena = self.arena
+            assigns = self.assigns
+            activity = self.var_activity
+            best_variable = -1
+            best_ref = -1
+            best_score = -1
+            if self._kernel_best is not None:
+                arena_ptr = arena.buffer_info()[0]
+                assigns_ptr = assigns.buffer_info()[0]
+                activity_ptr = activity.buffer_info()[0]
+                for ref in collected:
+                    candidate = self._kernel_best(
+                        arena_ptr, ref, assigns_ptr, activity_ptr
+                    )
+                    if candidate >= 0 and activity[candidate] > best_score:
+                        best_score = activity[candidate]
+                        best_variable = candidate
+                        best_ref = ref
+            else:
+                for ref in collected:
+                    base = ref + _HDR
+                    for position in range(base, base + arena[ref]):
+                        variable = arena[position] >> 1
+                        if (
+                            assigns[variable] == UNASSIGNED
+                            and activity[variable] > best_score
+                        ):
+                            best_score = activity[variable]
+                            best_variable = variable
+                            best_ref = ref
+            if best_variable < 0:
+                raise AssertionError(
+                    "unsatisfied, non-conflicting clause must have a free variable"
+                )
+            return self._top_clause_literal(best_variable, best_ref)
+
+        self.search_cursor = -1
+        variable = self._most_active_free()
+        if variable is None:
+            return None
+        self.stats.formula_decisions += 1
+        if self.trace is not None:
+            self.last_decision_source = "global"
+            self.last_skin_distance = None
+        return formula_literal(self, variable)
+
+    def _top_clause_literal(self, variable: int, ref: int) -> int:
+        """Phase selection for a top-clause decision (Section 7, on a ref)."""
+        heuristic = self.config.top_clause_phase
+        positive = 2 * variable
+        negative = positive + 1
+
+        if heuristic == cfg.PHASE_SYMMETRIZE:
+            positive_activity = self.lit_activity[positive]
+            negative_activity = self.lit_activity[negative]
+            if positive_activity < negative_activity:
+                return negative
+            if negative_activity < positive_activity:
+                return positive
+            return self.rng.choice((positive, negative))
+
+        if heuristic in (cfg.PHASE_SAT_TOP, cfg.PHASE_UNSAT_TOP):
+            arena = self.arena
+            base = ref + _HDR
+            literal_in_clause = next(
+                arena[position]
+                for position in range(base, base + arena[ref])
+                if arena[position] >> 1 == variable
+            )
+            if heuristic == cfg.PHASE_SAT_TOP:
+                return literal_in_clause
+            return literal_in_clause ^ 1
+
+        if heuristic == cfg.PHASE_TAKE_0:
+            return negative
+        if heuristic == cfg.PHASE_TAKE_1:
+            return positive
+        if heuristic == cfg.PHASE_TAKE_RAND:
+            return self.rng.choice((positive, negative))
+        raise ValueError(f"unknown top-clause phase heuristic {heuristic!r}")
+
+    def _most_active_free(self) -> int | None:
+        """Most active unassigned, non-eliminated variable (scan or heap)."""
+        heap = self.order_heap
+        assigns = self.assigns
+        eliminated = self._eliminated_mark
+        if heap is not None:
+            while len(heap):
+                variable = heap.pop()
+                if assigns[variable] == UNASSIGNED and not eliminated[variable]:
+                    return variable
+            return None
+        activity = self.var_activity
+        best_variable = None
+        best_score = -1
+        for variable in range(1, self.num_variables + 1):
+            if (
+                assigns[variable] == UNASSIGNED
+                and not eliminated[variable]
+                and activity[variable] > best_score
+            ):
+                best_score = activity[variable]
+                best_variable = variable
+        return best_variable
+
+    def _vsids_decision(self) -> int | None:
+        assigns = self.assigns
+        counters = self.vsids
+        eliminated = self._eliminated_mark
+        best_literal = -1
+        best_score = -1
+        for variable in range(1, self.num_variables + 1):
+            if assigns[variable] != UNASSIGNED or eliminated[variable]:
+                continue
+            positive = 2 * variable
+            if counters[positive] > best_score:
+                best_score = counters[positive]
+                best_literal = positive
+            if counters[positive + 1] > best_score:
+                best_score = counters[positive + 1]
+                best_literal = positive + 1
+        if best_literal < 0:
+            return None
+        self.stats.formula_decisions += 1
+        if self.trace is not None:
+            self.last_decision_source = "vsids"
+            self.last_skin_distance = None
+        return best_literal
+
+    def _random_decision(self) -> int | None:
+        assigns = self.assigns
+        eliminated = self._eliminated_mark
+        free = [
+            variable
+            for variable in range(1, self.num_variables + 1)
+            if assigns[variable] == UNASSIGNED and not eliminated[variable]
+        ]
+        if not free:
+            return None
+        self.stats.formula_decisions += 1
+        if self.trace is not None:
+            self.last_decision_source = "random"
+            self.last_skin_distance = None
+        variable = self.rng.choice(free)
+        return 2 * variable + self.rng.randint(0, 1)
+
+    # ==================================================================
+    # Restarts: reduction, inprocessing, garbage collection
+    # ==================================================================
+    def _restart(self) -> bool:
+        self.stats.restarts += 1
+        self._backtrack(0)
+        mark_every = self.config.mark_every_n_restarts
+        if mark_every and self.stats.restarts % mark_every == 0 and self.learned:
+            self.arena[self.learned[-1] + 1] |= _PROTECTED
+        conflict = self._propagate()
+        if conflict is not None:
+            self.ok = False
+            self.log_proof_add([])
+            return False
+        self._reduce_database()
+        interval = self.config.inprocess_interval
+        if interval > 0 and self.stats.restarts % interval == 0 and self.ok:
+            self._inprocess()
+            if not self.ok:
+                return False
+        self._maybe_collect()
+        return self.ok
+
+    def _reduce_database(self) -> None:
+        """Arena counterpart of :func:`repro.solver.database.reduce_database`."""
+        if self.current_level() != 0:
+            raise AssertionError("database reduction requires decision level 0")
+        self.stats.db_reductions += 1
+
+        learned_before = len(self.learned)
+        kept, breakdown = self._apply_deletion_policy()
+        deleted = learned_before - len(kept)
+        self.stats.learned_deleted += deleted
+
+        if self.trace is not None:
+            self.trace.emit(
+                {
+                    "type": "reduce",
+                    "conflicts": self.stats.conflicts,
+                    "learned_before": learned_before,
+                    "kept": len(kept),
+                    "dropped": deleted,
+                    **breakdown,
+                }
+            )
+
+        for literal in self.trail:
+            self.reasons[literal >> 1] = -1
+        self.clauses = self._simplify_refs(self.clauses)
+        self.learned = array("i", self._simplify_refs(kept))
+        self._rebuild_from_refs()
+        self.search_cursor = len(self.learned) - 1
+
+    def _apply_deletion_policy(self) -> tuple[list[int], dict[str, int]]:
+        """Section 8 deletion over refs, fused with glue-based retention.
+
+        Identical policy logic to the object engine, with one arena
+        extension: a learned clause whose measured LBD is at most
+        ``config.glue_keep_max_lbd`` always survives (the glue-clause
+        insight — low-LBD clauses keep propagating — keeps the database
+        lean without losing the lemmas that matter).
+        """
+        policy = self.config.db_management
+        learned = self.learned
+        arena = self.arena
+        glue_limit = self.config.glue_keep_max_lbd
+        breakdown = {"young_kept": 0, "young_dropped": 0, "old_kept": 0, "old_dropped": 0}
+        if policy == cfg.DB_KEEP_ALL or not learned:
+            breakdown["young_kept"] = len(learned)
+            return list(learned), breakdown
+
+        def is_glue(flags: int) -> bool:
+            lbd = flags >> _LBD_SHIFT
+            return 0 < lbd <= glue_limit
+
+        if policy == cfg.DB_LIMITED_KEEPING:
+            length_limit = self.config.limited_keeping_length
+            kept = []
+            for index, ref in enumerate(learned):
+                flags = arena[ref + 1]
+                topmost = index == len(learned) - 1
+                if (
+                    topmost
+                    or flags & _PROTECTED
+                    or arena[ref] <= length_limit
+                    or is_glue(flags)
+                ):
+                    kept.append(ref)
+                    breakdown["young_kept"] += 1
+                else:
+                    self._log_delete_ref(ref)
+                    self._kill_ref(ref)
+                    breakdown["young_dropped"] += 1
+            return kept, breakdown
+
+        if policy == cfg.DB_BERKMIN:
+            config = self.config
+            clause_act = self.clause_act
+            stack_size = len(learned)
+            young_span = config.young_fraction * stack_size
+            kept = []
+            for index, ref in enumerate(learned):
+                flags = arena[ref + 1]
+                size = arena[ref]
+                activity = clause_act[arena[ref + 2]]
+                distance_from_top = stack_size - 1 - index
+                young = distance_from_top < young_span
+                if young:
+                    survives = (
+                        size <= config.young_length_limit
+                        or activity > config.young_activity_limit
+                    )
+                else:
+                    survives = (
+                        size <= config.old_length_limit
+                        or activity > self.old_threshold
+                    )
+                topmost = index == stack_size - 1
+                if survives or topmost or flags & _PROTECTED or is_glue(flags):
+                    kept.append(ref)
+                    breakdown["young_kept" if young else "old_kept"] += 1
+                else:
+                    self._log_delete_ref(ref)
+                    self._kill_ref(ref)
+                    breakdown["young_dropped" if young else "old_dropped"] += 1
+            self.old_threshold += config.old_threshold_increment
+            return kept, breakdown
+
+        raise ValueError(f"unknown database-management policy {policy!r}")
+
+    def _simplify_refs(self, refs: list[int]) -> list[int]:
+        """Drop satisfied records, strip false literals in place (level 0)."""
+        assigns = self.assigns
+        arena = self.arena
+        survivors: list[int] = []
+        for ref in refs:
+            base = ref + _HDR
+            size = arena[ref]
+            satisfied = False
+            has_false = False
+            for position in range(base, base + size):
+                literal = arena[position]
+                value = assigns[literal >> 1]
+                if value == UNASSIGNED:
+                    continue
+                if value ^ (literal & 1) == TRUE:
+                    satisfied = True
+                    break
+                has_false = True
+            if satisfied:
+                self._log_delete_ref(ref)
+                self._kill_ref(ref)
+                continue
+            if has_false:
+                stripped = [
+                    arena[position]
+                    for position in range(base, base + size)
+                    if assigns[arena[position] >> 1] == UNASSIGNED
+                ]
+                if len(stripped) < 2:
+                    raise AssertionError("level-0 simplification produced a short clause")
+                # Strengthening is add-then-delete in DRUP terms.
+                self.log_proof_add(stripped)
+                self._log_delete_ref(ref)
+                for offset, literal in enumerate(stripped):
+                    arena[base + offset] = literal
+                arena[ref] = len(stripped)
+                arena[ref + 3] = 2  # the shrunken record invalidates the scan offset
+                self.arena_dead += size - len(stripped)
+            survivors.append(ref)
+        return survivors
+
+    def _rebuild_from_refs(self) -> None:
+        """Recompute the watch chains from the ref lists."""
+        size = 2 * (self.num_variables + 1)
+        self.watch_head = array("i", [-1]) * size
+        self.binary_count = [0] * size
+        self.binary_implications = [[] for _ in range(size)]
+        for ref in self.clauses:
+            self._attach_ref(ref)
+        for ref in self.learned:
+            self._attach_ref(ref)
+
+    def _maybe_collect(self) -> int:
+        """Compact the arena when at least ``arena_gc_fraction`` is dead."""
+        arena = self.arena
+        if not arena or self.current_level() != 0:
+            return 0
+        if self.arena_dead < self.config.arena_gc_fraction * len(arena):
+            return 0
+        # Level-0 reasons are never consulted again; clearing them means
+        # the ref lists are the only ref holders during the move.
+        for literal in self.trail:
+            self.reasons[literal >> 1] = -1
+        return self._collect()
+
+    def _collect(self) -> int:
+        old = self.arena
+        old_act = self.clause_act
+        old_birth = self.clause_birth
+        new = array("i")
+        new_act: list[int] = []
+        new_birth: list[int] = []
+
+        def move(refs: list[int]) -> list[int]:
+            moved = []
+            for ref in refs:
+                size = old[ref]
+                new_ref = len(new)
+                act_idx = old[ref + 2]
+                # Whole-record copy: literals keep their order, so the
+                # saved scan offset stays valid; the watch-node words are
+                # garbage until _rebuild_from_refs relinks every chain.
+                new.extend(old[ref : ref + _HDR + size])
+                new[new_ref + 2] = len(new_act)
+                new_act.append(old_act[act_idx])
+                new_birth.append(old_birth[act_idx])
+                moved.append(new_ref)
+            return moved
+
+        self.clauses = move(self.clauses)
+        self.learned = array("i", move(self.learned))
+        freed = len(old) - len(new)
+        self.arena = new
+        self.clause_act = array("d", new_act)
+        self.clause_birth = new_birth
+        self.arena_dead = 0
+        self.stats.arena_collections += 1
+        self.stats.arena_freed_words += freed
+        self._rebuild_from_refs()
+        self.search_cursor = len(self.learned) - 1
+        return freed
+
+    # ==================================================================
+    # Inprocessing: bounded variable elimination between restarts
+    # ==================================================================
+    def _inprocess(self) -> None:
+        """One bounded-variable-elimination pass at decision level 0.
+
+        Candidates are unassigned, non-frozen variables with at most
+        ``config.inprocess_occurrence_limit`` occurrences in the original
+        database; each is eliminated iff its non-tautological resolvents
+        do not outnumber its clauses by more than
+        ``config.inprocess_max_growth`` (the NiVER rule).  Learned
+        clauses that mention an eliminated variable are deleted (always
+        sound, and required so search never re-constrains the variable).
+        DRUP: every resolvent is logged as an addition (single resolution
+        steps are RUP); the replaced original clauses are *not* logged as
+        deletions, keeping the checker's database a superset.
+        """
+        started = time.perf_counter()
+        arena = self.arena
+        assigns = self.assigns
+        limit = self.config.inprocess_occurrence_limit
+        max_growth = self.config.inprocess_max_growth
+        frozen = self._frozen
+        conflicted = False
+
+        # Occurrence index over the live original records.
+        occurrences: dict[int, list[int]] = {}
+        for ref in self.clauses:
+            base = ref + _HDR
+            for position in range(base, base + arena[ref]):
+                occurrences.setdefault(arena[position] >> 1, []).append(ref)
+
+        candidates = sorted(
+            (
+                variable
+                for variable, refs in occurrences.items()
+                if len(refs) <= limit
+                and assigns[variable] == UNASSIGNED
+                and variable not in frozen
+                and not self._eliminated_mark[variable]
+            ),
+            key=lambda variable: (len(occurrences[variable]), variable),
+        )
+
+        eliminated_now: list[int] = []
+        for variable in candidates:
+            if conflicted:
+                break
+            if assigns[variable] != UNASSIGNED:
+                continue  # assigned by a unit resolvent earlier in the pass
+            live = [
+                ref
+                for ref in occurrences.get(variable, ())
+                if not (arena[ref + 1] & _DEAD)
+            ]
+            if not live or len(live) > limit:
+                continue
+            positive: list[list[int]] = []
+            negative: list[list[int]] = []
+            for ref in live:
+                dimacs = [decode_literal(lit) for lit in self._ref_literals(ref)]
+                if variable in dimacs:
+                    positive.append(dimacs)
+                else:
+                    negative.append(dimacs)
+            resolvents = _resolvents(positive, negative, variable)
+            if resolvents is None:
+                # Impossible while every stored record has >= 2 literals
+                # (an empty resolvent needs two opposing unit clauses).
+                raise SolverInternalError("empty resolvent from non-unit clauses")
+            if len(resolvents) > len(live) + max_growth:
+                continue
+
+            # Commit the elimination before inserting resolvents so the
+            # stored clauses survive even if a unit resolvent refutes the
+            # formula mid-pass.
+            for ref in live:
+                self._kill_ref(ref)
+            eliminated_now.append(variable)
+            self._eliminated.append((variable, positive + negative))
+            self._eliminated_mark[variable] = True
+            for resolvent in resolvents:
+                encoded = [encode_literal(lit) for lit in resolvent]
+                self.log_proof_add(encoded)
+                if len(encoded) == 1:
+                    literal = encoded[0]
+                    value = self.lit_value[literal]
+                    if value == UNASSIGNED:
+                        self._enqueue(literal, None)
+                    elif value != TRUE:
+                        # Contradicts an earlier level-0 unit: refuted.
+                        self.ok = False
+                        self.log_proof_add([])
+                        conflicted = True
+                        break
+                else:
+                    ref = self._push_record(encoded, learned=False)
+                    self.clauses.append(ref)
+                    for lit in resolvent:
+                        occurrences.setdefault(abs(lit), []).append(ref)
+
+        if eliminated_now:
+            # Sweep learned clauses that mention an eliminated variable.
+            gone = set(eliminated_now)
+            kept_learned: list[int] = []
+            swept = 0
+            for ref in self.learned:
+                base = ref + _HDR
+                touches = any(
+                    (arena[position] >> 1) in gone
+                    for position in range(base, base + arena[ref])
+                )
+                if touches:
+                    self._log_delete_ref(ref)
+                    self._kill_ref(ref)
+                    swept += 1
+                else:
+                    kept_learned.append(ref)
+            self.stats.learned_deleted += swept
+            self.learned = array("i", kept_learned)
+            self.clauses = [
+                ref for ref in self.clauses if not (arena[ref + 1] & _DEAD)
+            ]
+            self._rebuild_from_refs()
+            self.search_cursor = len(self.learned) - 1
+            if not conflicted:
+                conflict = self._propagate()
+                if conflict is not None:
+                    self.ok = False
+                    self.log_proof_add([])
+            self.stats.eliminated_variables += len(eliminated_now)
+
+        self.stats.inprocess_passes += 1
+        freed = self._maybe_collect()
+        if self.trace is not None:
+            self.trace.emit(
+                {
+                    "type": "inprocess",
+                    "conflicts": self.stats.conflicts,
+                    "eliminated": len(eliminated_now),
+                    "freed_words": freed,
+                    "wall_ms": round((time.perf_counter() - started) * 1000.0, 3),
+                }
+            )
+
+    def _restore_variable(self, variable: int) -> None:
+        """Un-eliminate ``variable`` (and transitively its dependencies).
+
+        Re-adds the stored original clauses, reduced against the current
+        level-0 assignments.  Unstripped re-adds need no proof action
+        (the clauses were never deleted from the DRUP database); a
+        stripped re-add is logged as an addition, which is RUP via the
+        level-0 units.
+        """
+        worklist = [variable]
+        while worklist:
+            target = worklist.pop()
+            if not self._eliminated_mark[target]:
+                continue
+            position = next(
+                index
+                for index in range(len(self._eliminated) - 1, -1, -1)
+                if self._eliminated[index][0] == target
+            )
+            _, stored = self._eliminated.pop(position)
+            self._eliminated_mark[target] = False
+            if self.order_heap is not None:
+                self.order_heap.push(target)
+            for clause in stored:
+                # Stored clauses may mention variables eliminated later.
+                for literal in clause:
+                    if self._eliminated_mark[abs(literal)]:
+                        worklist.append(abs(literal))
+                encoded = [encode_literal(lit) for lit in clause]
+                remaining: list[int] = []
+                satisfied = False
+                for literal in encoded:
+                    value = self.lit_value[literal]
+                    if value == TRUE:
+                        satisfied = True
+                        break
+                    if value == UNASSIGNED:
+                        remaining.append(literal)
+                if satisfied:
+                    continue
+                if not remaining:
+                    self.ok = False
+                    self.log_proof_add([])
+                    return
+                if len(remaining) < len(encoded):
+                    self.log_proof_add(remaining)
+                if len(remaining) == 1:
+                    self._enqueue(remaining[0], None)
+                    continue
+                ref = self._push_record(remaining, learned=False)
+                self.clauses.append(ref)
+                self._attach_ref(ref)
+
+    # ==================================================================
+    # Solving and models
+    # ==================================================================
+    def solve(self, assumptions: Sequence[int] = (), **limits):
+        # Assumption variables must stay in the search: restore any that
+        # inprocessing eliminated, and freeze them for this call.
+        if assumptions:
+            frozen = set()
+            for literal in assumptions:
+                variable = abs(int(literal))
+                if variable:
+                    frozen.add(variable)
+                    if (
+                        variable <= self.num_variables
+                        and self._eliminated_mark[variable]
+                    ):
+                        self._backtrack(0)
+                        self._restore_variable(variable)
+            self._frozen = frozenset(frozen)
+        else:
+            self._frozen = frozenset()
+        return super().solve(assumptions, **limits)
+
+    def _extract_model(self) -> dict[int, bool]:
+        """Base model plus eliminated-variable reconstruction.
+
+        Reverse elimination order, standard argument: once every
+        resolvent is satisfied, at most one polarity of a variable's
+        stored clauses can still need it (same algorithm as
+        :meth:`repro.cnf.elimination.PreprocessResult.extend_model`).
+        """
+        model = super()._extract_model()
+        for variable, stored in reversed(self._eliminated):
+            value = None
+            for clause in stored:
+                clause_satisfied = False
+                for literal in clause:
+                    other = abs(literal)
+                    if other == variable:
+                        continue
+                    if model.get(other, False) == (literal > 0):
+                        clause_satisfied = True
+                        break
+                if clause_satisfied:
+                    continue
+                needed = any(literal == variable for literal in clause)
+                if value is not None and value != needed:
+                    raise SolverInternalError(
+                        "inconsistent eliminated-variable reconstruction"
+                    )
+                value = needed
+            model[variable] = bool(value) if value is not None else False
+        return model
+
+    # ==================================================================
+    # Engine-neutral learned-clause views (session / checkpoint seam)
+    # ==================================================================
+    def retain_learned_by_lbd(self, limit: int | None) -> tuple[int, int]:
+        if not self.ok:
+            return (len(self.learned), 0)
+        if self.current_level() > 0:
+            self._backtrack(0)
+        learned = self.learned
+        if not learned:
+            return (0, 0)
+        arena = self.arena
+        top = len(learned) - 1
+        kept: list[int] = []
+        dropped = 0
+        for index, ref in enumerate(learned):
+            flags = arena[ref + 1]
+            keep = (
+                limit is None
+                or index == top
+                or flags & _PROTECTED
+                or (flags >> _LBD_SHIFT) <= limit  # lbd 0 ("never measured") keeps
+            )
+            if keep:
+                kept.append(ref)
+            else:
+                self._log_delete_ref(ref)
+                self._kill_ref(ref)
+                dropped += 1
+        if dropped:
+            self.stats.learned_deleted += dropped
+            for literal in self.trail:
+                self.reasons[literal >> 1] = -1
+            self.learned = array("i", kept)
+            self._rebuild_from_refs()
+            self.search_cursor = len(self.learned) - 1
+            self._maybe_collect()
+        self.stats.retained_clauses += len(kept)
+        return (len(kept), dropped)
+
+    def iter_learned_lemmas(self):
+        arena = self.arena
+        for ref in self.learned:
+            yield (
+                tuple(decode_literal(lit) for lit in self._ref_literals(ref)),
+                arena[ref + 1] >> _LBD_SHIFT,
+            )
+
+    def inject_lemma(self, dimacs_literals, lbd: int) -> bool:
+        if len(dimacs_literals) < 2:
+            return False
+        encoded = []
+        for literal in dimacs_literals:
+            variable = abs(literal)
+            if variable > self.num_variables or self._eliminated_mark[variable]:
+                return False
+            code = encode_literal(literal)
+            if self.lit_value[code] != UNASSIGNED:
+                return False
+            encoded.append(code)
+        ref = self._push_record(encoded, learned=True, lbd=lbd)
+        self.learned.append(ref)
+        self._attach_ref(ref)
+        return True
+
+    def _learned_snapshot_rows(self) -> list[tuple[list[int], int, int, bool]]:
+        arena = self.arena
+        return [
+            (
+                self._ref_literals(ref),
+                int(self.clause_act[arena[ref + 2]]),
+                self.clause_birth[arena[ref + 2]],
+                bool(arena[ref + 1] & _PROTECTED),
+            )
+            for ref in self.learned
+        ]
+
+    def _learned_lbds(self) -> list[int]:
+        return [self.arena[ref + 1] >> _LBD_SHIFT for ref in self.learned]
+
+    def _arena_snapshot_payload(self) -> dict | None:
+        """The inprocessed database: active originals + elimination stack.
+
+        The snapshot's learned rows cover the learned stack; this payload
+        carries what a fresh solver cannot rebuild from the pristine
+        formula alone — which original clauses are currently live (some
+        were replaced by resolvents) and the eliminated-variable stack
+        for model reconstruction.
+        """
+        return {
+            "active": [self._ref_literals(ref) for ref in self.clauses],
+            "eliminated": [
+                [variable, [list(clause) for clause in stored]]
+                for variable, stored in self._eliminated
+            ],
+        }
+
+    def _install_arena_state(self, payload: dict) -> None:
+        """Swap in a snapshot's active database (restore-time hook).
+
+        Called after formula load and validation, before the trail is
+        replayed: the records built from the pristine formula are
+        replaced wholesale by the snapshot's post-inprocessing database.
+        Level-0 assignments (from unit clauses) are untouched.
+        """
+        size = 2 * (self.num_variables + 1)
+        self.arena = array("i")
+        self.arena_dead = 0
+        self.clause_act = array("d")
+        self.clause_birth = []
+        self.clauses = []
+        self.learned = array("i")
+        self.watch_head = array("i", [-1]) * size
+        self.binary_count = [0] * size
+        self.binary_implications = [[] for _ in range(size)]
+        for literals in payload["active"]:
+            ref = self._push_record([int(lit) for lit in literals], learned=False)
+            self.clauses.append(ref)
+            self._attach_ref(ref)
+        self._eliminated = [
+            (int(variable), [[int(lit) for lit in clause] for clause in stored])
+            for variable, stored in payload["eliminated"]
+        ]
+        for variable, _ in self._eliminated:
+            self._eliminated_mark[variable] = True
+        self.search_cursor = -1
+
+    def _restore_learned_clause(
+        self, ordered: list[int], activity: int, birth: int, protected: bool, lbd: int
+    ) -> None:
+        ref = self._push_record(list(ordered), learned=True, lbd=lbd)
+        arena = self.arena
+        if protected:
+            arena[ref + 1] |= _PROTECTED
+        act_idx = arena[ref + 2]
+        self.clause_act[act_idx] = activity
+        self.clause_birth[act_idx] = birth
+        self.learned.append(ref)
+        self._attach_ref(ref)

@@ -63,8 +63,15 @@ VERIFICATION_LEVELS = (VERIFY_OFF, VERIFY_SAT, VERIFY_FULL)
 # "general" routes every clause through the watch lists, with binaries
 # pinned at the front so both engines propagate in the same order — the
 # reference the differential tests and `repro-sat bench` compare against.
+# "arena" stores every clause in one flat integer buffer (header words +
+# literals) with blocker-literal watch pairs and runs bounded variable
+# elimination plus arena compaction between restarts; it must agree with
+# the other engines on *answers* but follows its own search trajectory
+# (see docs/BENCHMARKS.md, "Arena engine").
 PROPAGATION_SPLIT = "split"
 PROPAGATION_GENERAL = "general"
+PROPAGATION_ARENA = "arena"
+PROPAGATION_MODES = (PROPAGATION_SPLIT, PROPAGATION_GENERAL, PROPAGATION_ARENA)
 
 
 @dataclass
@@ -125,11 +132,36 @@ class SolverConfig:
     mark_every_n_restarts: int = 0
 
     # -- propagation engine ------------------------------------------------
-    # Which BCP implementation drives the search.  Both produce identical
-    # decisions, conflicts and answers; "split" is the fast default and
-    # "general" the watched-literal reference kept for differential
-    # testing and benchmarking (see docs/BENCHMARKS.md).
+    # Which BCP implementation drives the search.  "split" (the default)
+    # and "general" produce identical decisions, conflicts and answers;
+    # "general" is the watched-literal reference kept for differential
+    # testing and benchmarking.  "arena" is the flat-buffer engine with
+    # in-search inprocessing: same answers, its own trajectory (see
+    # docs/BENCHMARKS.md).
     propagation: str = PROPAGATION_SPLIT
+
+    # -- arena engine / inprocessing ---------------------------------------
+    # The fields below are read only when ``propagation == "arena"``; the
+    # object engines carry them inertly (so configs strip/pickle across
+    # process boundaries without losing them).
+    #
+    # Restarts between inprocessing passes (bounded variable elimination
+    # at decision level 0); 0 disables inprocessing entirely.
+    inprocess_interval: int = 4
+    # Only variables with at most this many clause occurrences are
+    # elimination candidates (the NiVER cheap-variable criterion).
+    inprocess_occurrence_limit: int = 10
+    # Allowed clause-count growth per elimination (0 = classic NiVER:
+    # never grow the database).
+    inprocess_max_growth: int = 0
+    # Compact the clause arena once at least this fraction of its words
+    # is dead (clauses deleted by reduction, retention or elimination).
+    arena_gc_fraction: float = 0.25
+    # LBD-aware retention fused into the arena's database reduction:
+    # measured-glue clauses with LBD <= this bound always survive a
+    # reduce, regardless of the age/activity policy verdict.  0 disables
+    # the glue override (pure paper policy).
+    glue_keep_max_lbd: int = 3
 
     # -- trusted results ---------------------------------------------------
     # Post-solve answer verification level ("off" | "sat" | "full"); the
@@ -344,6 +376,20 @@ def berkmin561_config(**overrides) -> SolverConfig:
     return SolverConfig(name="berkmin561", global_selection="heap").with_overrides(**overrides)
 
 
+def arena_config(**overrides) -> SolverConfig:
+    """BerkMin heuristics on the flat-buffer arena engine with inprocessing.
+
+    Same decision/phase/database heuristics as :func:`berkmin_config`,
+    executed by the ``propagation="arena"`` engine: one flat integer
+    clause buffer, blocker-literal watches, bounded variable elimination
+    between restarts, and arena compaction.  Answers agree with the
+    object engines; trajectories (and therefore counts) differ.
+    """
+    return SolverConfig(name="arena", propagation=PROPAGATION_ARENA).with_overrides(
+        **overrides
+    )
+
+
 def random_decision_config(**overrides) -> SolverConfig:
     """A sanity-check baseline: random variable, random phase."""
     return SolverConfig(
@@ -368,6 +414,7 @@ CONFIG_FACTORIES = {
     "berkmin561": berkmin561_config,
     "random_decision": random_decision_config,
     "wide_window": wide_window_config,
+    "arena": arena_config,
 }
 
 

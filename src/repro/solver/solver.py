@@ -40,6 +40,7 @@ from repro.cnf.formula import CnfFormula
 from repro.cnf.literals import FALSE, TRUE, UNASSIGNED, decode_literal, encode_literal
 from repro.cnf.simplify import clean_clause
 from repro.solver.config import (
+    PROPAGATION_ARENA,
     PROPAGATION_GENERAL,
     PROPAGATION_SPLIT,
     VERIFICATION_LEVELS,
@@ -48,7 +49,7 @@ from repro.solver.config import (
     SolverConfig,
     berkmin_config,
 )
-from repro.solver.database import reduce_database
+from repro.solver.database import _rebuild_structures, reduce_database
 from repro.solver.decision import choose_decision
 from repro.solver.heap import VariableOrderHeap
 from repro.solver.restart import RestartScheduler
@@ -68,6 +69,26 @@ class SolverInternalError(RuntimeError):
 
 class Solver:
     """A configurable CDCL SAT solver reproducing BerkMin and its ablations."""
+
+    #: True on the flat-buffer subclass; layers that must branch on the
+    #: engine (checkpointing, sessions) test this instead of importing
+    #: the subclass.
+    is_arena = False
+
+    def __new__(cls, formula=None, config=None):
+        # ``Solver(formula, config=arena_config())`` transparently builds
+        # the arena engine, so every existing call site — workers,
+        # sessions, the portfolio, checkpoint resume — gets the engine
+        # the configuration names without knowing the subclass exists.
+        if (
+            cls is Solver
+            and config is not None
+            and config.propagation == PROPAGATION_ARENA
+        ):
+            from repro.solver.arena import ArenaSolver
+
+            return super().__new__(ArenaSolver)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -123,10 +144,13 @@ class Solver:
             self._propagate = self._propagate_split
         elif propagation == PROPAGATION_GENERAL:
             self._propagate = self._propagate_general
+        elif propagation == PROPAGATION_ARENA and self.is_arena:
+            self._propagate = self._propagate_arena
         else:
             raise ValueError(
                 f"unknown propagation mode {propagation!r}; "
-                f"expected {PROPAGATION_SPLIT!r} or {PROPAGATION_GENERAL!r}"
+                f"expected {PROPAGATION_SPLIT!r}, {PROPAGATION_GENERAL!r} "
+                f"or {PROPAGATION_ARENA!r}"
             )
         # True when binary clauses must also sit in the watch lists
         # (the "general" reference mode); attach_clause consults this.
@@ -150,6 +174,9 @@ class Solver:
             if self.config.proof_logging or self.config.verification == VERIFY_FULL
             else None
         )
+        # Level-0 trail prefix already mirrored into the proof as unit
+        # additions (see _flush_level0_proof_units).
+        self._proof_level0_logged = 0
         # Pristine copies of every added clause, for model verification.
         self._pristine: list[list[int]] = []
         self._seen: list[bool] = [False]
@@ -244,7 +271,10 @@ class Solver:
             if value == UNASSIGNED:
                 remaining.append(literal)
         if not remaining:
+            # Refuted at add time: every literal is false under level-0
+            # assignments, so the empty clause is RUP over the database.
             self.ok = False
+            self.log_proof_add([])
             return False
         if len(remaining) == 1:
             self._enqueue(remaining[0], None)
@@ -718,6 +748,15 @@ class Solver:
             self.stats.peak_clauses, len(self.clauses) + len(self.learned)
         )
 
+    def _choose(self) -> int | None:
+        """The next decision literal (``None`` = all assigned): hook point.
+
+        The base engines dispatch to the Section 5/6 strategies in
+        :mod:`repro.solver.decision`; the arena engine overrides this
+        with its flat-buffer reimplementation of the same strategies.
+        """
+        return choose_decision(self)
+
     def _decay_activities(self) -> None:
         """Age all activity counters (Chaff's aging, adopted by BerkMin).
 
@@ -765,7 +804,28 @@ class Solver:
     def log_proof_delete(self, clause: Clause) -> None:
         """Record a clause deletion in the DRUP trace (no-op when logging is off)."""
         if self.proof is not None:
+            self._flush_level0_proof_units()
             self.proof.append(("d", clause.to_dimacs()))
+
+    def _flush_level0_proof_units(self) -> None:
+        """Log unlogged level-0 assignments as unit additions.
+
+        A deletion may remove the very clause that *implied* a level-0
+        literal; later strengthened or learned additions that lean on
+        that literal would then stop being RUP for the checker even
+        though they are sound.  Mirroring each level-0 literal into the
+        proof as a unit clause *before* any deletion keeps every later
+        step checkable — each unit is RUP at this moment because it was
+        derived by unit propagation over clauses still in the checker's
+        database.  Called from every deletion-logging site; idempotent
+        per literal.
+        """
+        end = self.trail_limits[0] if self.trail_limits else len(self.trail)
+        proof = self.proof
+        while self._proof_level0_logged < end:
+            literal = self.trail[self._proof_level0_logged]
+            self._proof_level0_logged += 1
+            proof.append(("a", [decode_literal(literal)]))
 
     # ==================================================================
     # Interruption (public API; the primitive the parallel engine uses)
@@ -823,6 +883,131 @@ class Solver:
             if snapshot is None:
                 return False
         return restore_snapshot(self, snapshot)
+
+    # ==================================================================
+    # Engine-neutral learned-clause views
+    # ==================================================================
+    # The session and checkpoint layers manage learned clauses without
+    # knowing how the engine stores them (Clause objects here, flat
+    # arena records in the subclass).  These methods are the seam: the
+    # arena engine overrides each of them.
+    def retain_learned_by_lbd(self, limit: int | None) -> tuple[int, int]:
+        """Filter the learned stack by glue; returns ``(kept, dropped)``.
+
+        The session layer's between-call retention pass: clauses whose
+        measured LBD exceeds ``limit`` are deleted (DRUP-logged), except
+        the topmost and ``protected`` clauses (the paper's anti-looping
+        rules) and clauses with LBD 0 ("never measured").  ``limit is
+        None`` keeps everything.  Runs at decision level 0, clears the
+        never-consulted-again level-0 reasons, and rebuilds the
+        watch/binary structures when anything was dropped.
+        """
+        if not self.ok:
+            return (len(self.learned), 0)
+        if self.current_level() > 0:
+            self._backtrack(0)
+        learned = self.learned
+        if not learned:
+            return (0, 0)
+        top = len(learned) - 1
+        kept: list[Clause] = []
+        dropped = 0
+        for index, clause in enumerate(learned):
+            keep = (
+                limit is None
+                or index == top
+                or clause.protected
+                or clause.lbd <= limit  # lbd == 0 ("never measured") keeps
+            )
+            if keep:
+                kept.append(clause)
+            else:
+                self.log_proof_delete(clause)
+                dropped += 1
+        if dropped:
+            self.stats.learned_deleted += dropped
+            for literal in self.trail:
+                self.reasons[literal >> 1] = None
+            self.learned = kept
+            _rebuild_structures(self)
+            self.search_cursor = len(self.learned) - 1
+        self.stats.retained_clauses += len(kept)
+        return (len(kept), dropped)
+
+    def iter_learned_lemmas(self):
+        """Yield ``(dimacs_literal_tuple, lbd)`` for every learned clause."""
+        for clause in self.learned:
+            yield (tuple(clause.to_dimacs()), clause.lbd)
+
+    def inject_lemma(self, dimacs_literals, lbd: int) -> bool:
+        """Attach one imported lemma as a learned clause (level 0 only).
+
+        Returns False — without attaching — when the lemma is too short,
+        mentions unknown variables, or touches a level-0 assignment.
+        The caller is responsible for proof-soundness (the session layer
+        skips injection entirely under proof logging).
+        """
+        if len(dimacs_literals) < 2:
+            return False
+        encoded = []
+        for literal in dimacs_literals:
+            if abs(literal) > self.num_variables:
+                return False
+            code = encode_literal(literal)
+            if self.lit_value[code] != UNASSIGNED:
+                # Touching a level-0 assignment: the clause is already
+                # satisfied or would need strengthening — not worth it.
+                return False
+            encoded.append(code)
+        clause = Clause(encoded, learned=True, birth=self.birth_counter, lbd=lbd)
+        self.birth_counter += 1
+        self.learned.append(clause)
+        self.attach_clause(clause)
+        return True
+
+    def _restore_learned_clause(
+        self, ordered: list[int], activity: int, birth: int, protected: bool, lbd: int
+    ) -> None:
+        """Install one snapshot row as a learned clause (restore path).
+
+        ``ordered`` already surfaces two watchable literals first; the
+        caller handles any unit enqueue / conflict that follows.
+        """
+        clause = Clause(ordered, learned=True, birth=birth, lbd=lbd)
+        clause.activity = activity
+        clause.protected = protected
+        self.learned.append(clause)
+        self.attach_clause(clause)
+
+    def _learned_snapshot_rows(self) -> list[tuple[list[int], int, int, bool]]:
+        """``(encoded_literals, activity, birth, protected)`` rows for capture."""
+        return [
+            (list(clause.literals), clause.activity, clause.birth, clause.protected)
+            for clause in self.learned
+        ]
+
+    def _learned_lbds(self) -> list[int]:
+        """Per-clause LBD stamps, parallel to :meth:`_learned_snapshot_rows`."""
+        return [clause.lbd for clause in self.learned]
+
+    def _arena_snapshot_payload(self) -> dict | None:
+        """Arena-specific snapshot state; ``None`` for the object engines."""
+        return None
+
+    def _restore_learned_clause(
+        self, ordered: list[int], activity: int, birth: int, protected: bool, lbd: int
+    ) -> None:
+        """Re-attach one learned clause during snapshot restore.
+
+        ``ordered`` already surfaces two non-false literals first (the
+        restore loop's watch-ordering contract); this hook only creates
+        and indexes the engine's representation.
+        """
+        clause = Clause(ordered, learned=True, birth=birth, lbd=lbd)
+        clause.activity = activity
+        clause.protected = protected
+        self.learned.append(clause)
+        self.attach_clause(clause)
 
     # ==================================================================
     # Main loop
@@ -1015,7 +1200,7 @@ class Solver:
                     ):
                         return self._result(SolveStatus.UNKNOWN, limit="time budget")
 
-                literal = choose_decision(self)
+                literal = self._choose()
                 if literal is None:
                     model = self._extract_model()
                     if verify:

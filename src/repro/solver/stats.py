@@ -68,6 +68,15 @@ class SolverStats:
     cache_hits: int = 0
     retained_clauses: int = 0
 
+    # Arena engine (see repro.solver.arena): inprocessing passes run
+    # between restarts, variables removed by bounded elimination, arena
+    # compactions performed, and the total words they reclaimed.  Zero
+    # for the object engines.
+    inprocess_passes: int = 0
+    eliminated_variables: int = 0
+    arena_collections: int = 0
+    arena_freed_words: int = 0
+
     solve_time_seconds: float = 0.0
 
     # ------------------------------------------------------------------
@@ -157,6 +166,10 @@ class SolverStats:
         self.session_calls += other.session_calls
         self.cache_hits += other.cache_hits
         self.retained_clauses += other.retained_clauses
+        self.inprocess_passes += other.inprocess_passes
+        self.eliminated_variables += other.eliminated_variables
+        self.arena_collections += other.arena_collections
+        self.arena_freed_words += other.arena_freed_words
         self.solve_time_seconds += other.solve_time_seconds
         return self
 
@@ -182,6 +195,10 @@ class SolverStats:
             "session_calls": self.session_calls,
             "cache_hits": self.cache_hits,
             "retained_clauses": self.retained_clauses,
+            "inprocess_passes": self.inprocess_passes,
+            "eliminated_variables": self.eliminated_variables,
+            "arena_collections": self.arena_collections,
+            "arena_freed_words": self.arena_freed_words,
             "database_growth_ratio": round(self.database_growth_ratio(), 3),
             "peak_memory_ratio": round(self.peak_memory_ratio(), 3),
             "solve_time_seconds": round(self.solve_time_seconds, 6),

@@ -101,3 +101,21 @@ def test_fleet_events_land_in_the_fleet_section(tmp_path):
         "faults": 1, "retries": 1, "audit_rounds": 1, "audit_failures": 1,
     }
     assert "fleet: 1 faults, 1 retries" in format_summary(summary)
+
+
+def test_summary_surfaces_arena_inprocessing(tmp_path):
+    path = tmp_path / "arena.jsonl"
+    with JsonlTraceSink(path) as sink:
+        config = config_by_name(
+            "arena", trace=sink, restart_interval=20, inprocess_interval=1
+        )
+        solver = Solver(pigeonhole_formula(6), config).solve()
+    summary = summarize_trace(path)
+    totals = summary["inprocess"]
+    assert totals["passes"] > 0
+    assert totals["eliminated"] > 0
+    assert totals["freed_words"] >= 0
+    assert totals["wall_ms"] >= 0
+    rendered = format_summary(summary)
+    assert "inprocessing:" in rendered
+    assert "variables eliminated" in rendered

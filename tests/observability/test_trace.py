@@ -219,3 +219,24 @@ def test_trace_events_are_json_serializable(hole5_trace):
     events, _ = hole5_trace
     for event in events[:200]:
         json.loads(json.dumps(event))
+
+
+# ----------------------------------------------------------------------
+# Arena inprocessing events
+# ----------------------------------------------------------------------
+def test_arena_inprocess_events_are_schema_valid_and_counted():
+    sink = RingBufferSink(8192)
+    config = config_by_name(
+        "arena", restart_interval=20, inprocess_interval=1, trace=sink
+    )
+    solver = Solver(pigeonhole_formula(6), config=config)
+    result = solver.solve()
+    assert result.status is SolveStatus.UNSAT
+    events = [e for e in sink.events if e["type"] == "inprocess"]
+    assert len(events) == solver.stats.inprocess_passes > 0
+    for event in events:
+        assert require_valid_event(event) is event
+        assert event["eliminated"] >= 0
+        assert event["freed_words"] >= 0
+        assert event["wall_ms"] >= 0
+    assert sum(e["eliminated"] for e in events) == solver.stats.eliminated_variables

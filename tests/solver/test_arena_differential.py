@@ -1,0 +1,87 @@
+"""Differential gate: arena engine vs the split object engine.
+
+The arena engine runs inprocessing (bounded variable elimination plus
+arena compaction), so its search *trajectory* legitimately diverges from
+the object engines — conflict and decision counts are not comparable.
+What must hold is the answer-level contract: on any formula both engines
+return the same status, every SAT model verifies against the original
+formula (``solve()`` checks this by default, and eliminated-variable
+reconstruction makes it non-trivial for the arena), and every UNSAT
+answer carries a proof that RUP-checks — the trusted-results gate the
+parallel engines apply to untrusted workers.
+
+The pool is 50 pinned formulas across mixed families, with restart and
+inprocessing intervals cranked low so elimination, learned-clause
+sweeps, and arena GC all fire mid-search on the non-trivial instances.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cnf.formula import CnfFormula
+from repro.generators import (
+    pigeonhole_formula,
+    planted_ksat,
+    random_ksat,
+    random_xor_system,
+    xor_system_formula,
+)
+from repro.reliability.verify import verify_result
+from repro.solver.config import berkmin_config
+from repro.solver.result import SolveStatus
+from repro.solver.solver import Solver
+
+
+def _random_soup(rng: random.Random) -> CnfFormula:
+    """A small random formula with clause lengths 1..5 (mixed SAT/UNSAT)."""
+    n = rng.randint(4, 12)
+    clauses = []
+    for _ in range(rng.randint(5, 45)):
+        arity = min(rng.randint(1, 5), n)
+        variables = rng.sample(range(1, n + 1), arity)
+        clauses.append([v * rng.choice((1, -1)) for v in variables])
+    return CnfFormula(clauses, num_variables=n)
+
+
+def _parity(nv: int, ne: int, seed: int, planted: bool) -> CnfFormula:
+    return xor_system_formula(random_xor_system(nv, ne, 3, seed=seed, planted=planted))
+
+
+def _pool() -> list[tuple[str, CnfFormula]]:
+    rng = random.Random(20260808)
+    formulas = [(f"soup{i}", _random_soup(rng)) for i in range(30)]
+    formulas += [(f"hole{n}", pigeonhole_formula(n)) for n in (3, 4, 5)]
+    formulas += [(f"parity_sat{s}", _parity(10, 10, s, True)) for s in (1, 2, 3, 4)]
+    formulas += [(f"parity_unsat{s}", _parity(8, 16, s, False)) for s in (1, 2, 3, 4)]
+    formulas += [(f"ksat{s}", random_ksat(25, 106, 3, seed=s)) for s in range(5)]
+    formulas += [(f"planted{s}", planted_ksat(30, 120, 3, seed=s)) for s in range(4)]
+    return formulas
+
+
+def test_arena_vs_split_identical_answers_with_trusted_gate():
+    pool = _pool()
+    assert len(pool) == 50
+    for name, formula in pool:
+        statuses = {}
+        for mode in ("split", "arena"):
+            solver = Solver(
+                formula,
+                config=berkmin_config(
+                    propagation=mode,
+                    restart_interval=20,
+                    inprocess_interval=2,
+                    proof_logging=True,
+                ),
+            )
+            result = solver.solve()  # verify=True: raises on an invalid model
+            assert result.status is not SolveStatus.UNKNOWN, name
+            # The same gate the parallel layer applies to worker answers:
+            # model check for SAT, RUP proof check for UNSAT.
+            verified = verify_result(formula, result)
+            assert verified in ("model", "proof"), (name, mode, verified)
+            statuses[mode] = result.status
+        assert statuses["split"] is statuses["arena"], (
+            f"{name}: engines disagree — split {statuses['split'].name} "
+            f"vs arena {statuses['arena'].name}"
+        )

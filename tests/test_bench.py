@@ -31,7 +31,7 @@ def test_suite_is_pinned():
         bench.bench_suite("nope")
 
 
-def test_run_instance_times_both_engines_and_agrees():
+def test_run_instance_times_all_engines_and_agrees():
     row = bench.run_instance(_TINY, repeats=1)
     assert row["name"] == "hole4"
     assert row["status"] == "UNSAT"
@@ -41,6 +41,7 @@ def test_run_instance_times_both_engines_and_agrees():
         assert rates["wall_seconds"] > 0
         assert rates["propagations_per_second"] > 0
     assert row["speedup"] > 0
+    assert row["arena_speedup"] > 0
 
 
 def test_report_round_trips_and_formats(tmp_path):
@@ -55,17 +56,24 @@ def test_report_round_trips_and_formats(tmp_path):
         "aggregate": {
             "split_wall_seconds": row["split"]["wall_seconds"],
             "general_wall_seconds": row["general"]["wall_seconds"],
+            "arena_wall_seconds": row["arena"]["wall_seconds"],
             "split_propagations_per_second": row["split"]["propagations_per_second"],
             "general_propagations_per_second": row["general"]["propagations_per_second"],
+            "arena_propagations_per_second": row["arena"]["propagations_per_second"],
             "propagations_per_second_speedup": row["speedup"],
             "geometric_mean_speedup": row["speedup"],
+            "arena_vs_split_speedup": row["arena_speedup"],
+            "arena_geometric_mean_speedup": row["arena_speedup"],
+            "arena_speedup_target": bench.ARENA_SPEEDUP_TARGET,
+            "arena_meets_target": row["arena_speedup"] >= bench.ARENA_SPEEDUP_TARGET,
         },
     }
     path = tmp_path / "BENCH_smoke.json"
     bench.write_report(report, str(path))
     assert json.loads(path.read_text())["schema"] == bench.SCHEMA
     table = bench.format_table(report)
-    assert "hole4" in table and "speedup" in table
+    assert "hole4" in table and "arena x" in table
+    assert "arena vs split" in table
 
 
 def test_config_agreement_stage_on_one_config():
