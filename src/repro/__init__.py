@@ -16,7 +16,10 @@ planning encodings, pigeonhole/parity instances).  A parallel engine
 and solves batches over multiprocessing workers, supervised by a
 reliability layer (:mod:`repro.reliability`) that retries failed
 workers, bounds their resources, and verifies every answer — the
-operational face of the paper's "fast *and robust*" claim.  A unified
+operational face of the paper's "fast *and robust*" claim.  A solver
+service (:mod:`repro.server`, ``repro-sat serve``) fronts a
+self-healing worker pool with an asyncio line-delimited-JSON protocol,
+admission control, deadline propagation, and a circuit breaker.  A unified
 telemetry layer (:mod:`repro.observability`) adds structured search
 tracing, metrics time-series, and a live fleet dashboard, all
 zero-cost when disabled (docs/OBSERVABILITY.md).
@@ -66,6 +69,12 @@ from repro.reliability import (
     VerificationError,
     verify_result,
 )
+from repro.server import (
+    AsyncSolverClient,
+    SolverClient,
+    SolverServer,
+    SolverService,
+)
 from repro.session import AnswerCache, SessionClosedError, SolverSession
 from repro.solver import (
     SolveResult,
@@ -98,6 +107,7 @@ def solve(formula, config=None, **limits):
 
 __all__ = [
     "AnswerCache",
+    "AsyncSolverClient",
     "BatchResult",
     "Clause",
     "CnfFormula",
@@ -116,7 +126,10 @@ __all__ = [
     "SolveResult",
     "SolveStatus",
     "Solver",
+    "SolverClient",
     "SolverConfig",
+    "SolverServer",
+    "SolverService",
     "SolverSession",
     "TraceSink",
     "VerificationError",

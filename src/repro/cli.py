@@ -22,6 +22,10 @@ Subcommands::
                     [--repeats N] [--profile] [--session [--rounds N]]
     repro-sat audit [--rounds N | --quick] [--seed N] [--verbose]
                     [--trace-out T.jsonl] [--metrics-out M.csv] [--dashboard]
+    repro-sat serve [--host H] [--port N | --unix-path P] [--pool-size N]
+                    [--config NAME] [--verify LEVEL] [--retries N]
+                    [--default-timeout S] [--max-timeout S] [--max-queue N]
+                    [--per-client N] [--checkpoint DIR] [--trace-out T.jsonl]
     repro-sat trace-summary TRACE.jsonl [--json]
 
 ``solve`` prints a SAT-competition-style result line (``s SATISFIABLE``
@@ -44,8 +48,21 @@ write a ``BENCH_*.json`` perf report (see docs/BENCHMARKS.md);
 ``bench --session`` instead times incremental BMC depth sweeps
 against fresh one-shot solves (the ``BENCH_6.json`` report).
 ``audit`` fuzzes both parallel engines — and the incremental session
-layer — under random fault plans and fails unless every answer comes
-back definite, correct, and verified (see docs/ROBUSTNESS.md).
+layer, and the solver service — under random fault plans and fails
+unless every answer comes back definite, correct, and verified (see
+docs/ROBUSTNESS.md).  ``serve`` runs the solver service: an asyncio
+front end multiplexing line-delimited JSON solve requests over TCP or
+a UNIX socket onto a self-healing worker pool, with admission control,
+deadline propagation, and a circuit breaker (protocol and semantics:
+docs/API.md "Solver service"; robustness model: docs/ROBUSTNESS.md).
+
+SIGTERM is handled gracefully everywhere workers run: ``serve`` drains
+(stops admitting, finishes or checkpoints in-flight jobs, flushes
+replies), ``batch`` stops launching and drains its pool (final
+checkpoints included), and a sequential ``solve`` interrupts
+cooperatively and finalizes its checkpoint.  All exit with code 143 so
+supervisors (systemd, Kubernetes) see a clean terminated shutdown;
+Ctrl-C keeps exiting 130.
 
 Observability (docs/OBSERVABILITY.md): ``--trace-out`` streams the
 structured search/supervision events to a JSONL file, ``--metrics-out``
@@ -447,6 +464,106 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_flags(audit)
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve solve requests over TCP or a UNIX socket "
+        "(line-delimited JSON onto a self-healing worker pool)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=2727,
+        help="TCP port (0 picks a free one, printed on startup)",
+    )
+    serve.add_argument(
+        "--unix-path",
+        default=None,
+        metavar="PATH",
+        help="serve on a UNIX domain socket instead of TCP",
+    )
+    serve.add_argument(
+        "--pool-size", type=int, default=4, help="worker processes (default: 4)"
+    )
+    serve.add_argument(
+        "--config",
+        default="berkmin",
+        choices=sorted(CONFIG_FACTORIES),
+        help="default solver configuration (clients may override per "
+        "request; default: berkmin)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--verify",
+        default=None,
+        choices=VERIFICATION_LEVELS,
+        help="trusted-results gate applied to every answer "
+        "(default: the config's level)",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="attempts per job before it degrades to UNKNOWN (default: 2)",
+    )
+    serve.add_argument(
+        "--stall-seconds",
+        type=float,
+        default=5.0,
+        help="heartbeat watchdog window for pool workers (default: 5)",
+    )
+    serve.add_argument(
+        "--default-timeout",
+        type=float,
+        default=30.0,
+        help="per-request budget when the client sends none (default: 30)",
+    )
+    serve.add_argument(
+        "--max-timeout",
+        type=float,
+        default=300.0,
+        help="cap on client-requested budgets (default: 300)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="admission bound on queued+running jobs; beyond it clients "
+        "get busy('queue full') (default: 256)",
+    )
+    serve.add_argument(
+        "--per-client",
+        type=int,
+        default=32,
+        help="per-client in-flight request cap (default: 32)",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        help="seconds granted to in-flight jobs on SIGTERM (default: 10)",
+    )
+    serve.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="directory of per-job checkpoints: retried jobs warm-resume "
+        "instead of restarting from scratch",
+    )
+    serve.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="conflicts between periodic checkpoint writes (default: 1000)",
+    )
+    serve.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="stream server_* and supervision events to this JSONL file",
+    )
+
     trace_summary = sub.add_parser(
         "trace-summary",
         help="aggregate a recorded JSONL trace into a search report "
@@ -538,6 +655,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     )
     solver = Solver(solve_target, config=config)
     writer = None
+    terminated: list[int] = []
+
+    def _cooperative_stop(signum, frame):
+        if signum == signal.SIGTERM:
+            terminated.append(signum)
+        solver.interrupt()
+
+    # SIGTERM always interrupts cooperatively: the search stops at the
+    # next boundary, the answer (or UNKNOWN + final checkpoint) is
+    # reported, and the process exits 143.
+    previous_sigterm = signal.signal(signal.SIGTERM, _cooperative_stop)
+    previous_sigint = None
     if args.checkpoint:
         if solver.resume(args.checkpoint):
             print(
@@ -561,9 +690,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         )
         # Ctrl-C becomes a cooperative interrupt: the search stops at the
         # next boundary and finalize() writes the resume point to disk.
-        previous_sigint = signal.signal(
-            signal.SIGINT, lambda signum, frame: solver.interrupt()
-        )
+        previous_sigint = signal.signal(signal.SIGINT, _cooperative_stop)
     try:
         result = solver.solve(
             max_conflicts=args.max_conflicts,
@@ -575,7 +702,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             if result.is_unknown:
                 print(f"c checkpoint written to {args.checkpoint}")
     finally:
-        if writer is not None:
+        signal.signal(signal.SIGTERM, previous_sigterm)
+        if previous_sigint is not None:
             signal.signal(signal.SIGINT, previous_sigint)
         if trace is not None:
             trace.close()
@@ -627,7 +755,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     if args.stats:
         for key, value in result.stats.as_dict().items():
             print(f"c {key} = {value}")
-    return exit_code
+    return 143 if terminated else exit_code
 
 
 def _write_proof_file(path: str, proof) -> None:
@@ -698,11 +826,26 @@ def _solve_portfolio(args: argparse.Namespace, formula) -> int:
         monitor=monitor,
         trace=trace,
     )
+    # SIGTERM rides the existing KeyboardInterrupt cleanup (workers are
+    # terminated on the way out) but exits 143 instead of 130.
+    terminated: list[int] = []
+
+    def _sigterm(signum, frame):
+        terminated.append(signum)
+        raise KeyboardInterrupt
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _sigterm)
     try:
         result = portfolio.solve(
             formula, max_conflicts=args.max_conflicts, max_seconds=args.max_seconds
         )
+    except KeyboardInterrupt:
+        if terminated:
+            print("c portfolio terminated (SIGTERM); workers cleaned up")
+            return 143
+        raise
     finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
         if monitor is not None:
             monitor.close()
         if trace is not None:
@@ -745,6 +888,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         verification = VERIFY_FULL
     trace = _open_trace(args)
     monitor, recorder = _open_monitor(args)
+    # SIGTERM drains gracefully: no new launches, running workers get a
+    # cooperative cancel (final checkpoints written), partial results are
+    # reported, and the process exits 143.
+    import threading
+
+    stop_event = threading.Event()
+    previous_sigterm = signal.signal(
+        signal.SIGTERM, lambda signum, frame: stop_event.set()
+    )
     try:
         batch = solve_batch(
             formulas,
@@ -760,8 +912,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             checkpoint_interval=args.checkpoint_interval,
             monitor=monitor,
             trace=trace,
+            stop_event=stop_event,
         )
     finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
         if monitor is not None:
             monitor.close()
         if trace is not None:
@@ -781,6 +935,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.stats:
         for key, value in batch.stats.as_dict().items():
             print(f"c {key} = {value}")
+    if batch.drained:
+        print("c batch drained on SIGTERM (unfinished files report UNKNOWN)")
+        return 143
     return 0 if batch.all_definite else 1
 
 
@@ -1094,6 +1251,62 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server import AdmissionController, SolverServer, SolverService
+
+    if args.pool_size < 1:
+        print("c --pool-size must be >= 1", file=sys.stderr)
+        return 2
+    trace = _open_trace(args)
+    service = SolverService(
+        pool_size=args.pool_size,
+        config=config_by_name(args.config, seed=args.seed),
+        retry=args.retries,
+        verification=args.verify,
+        stall_seconds=args.stall_seconds,
+        default_timeout=args.default_timeout,
+        max_timeout=args.max_timeout,
+        admission=AdmissionController(
+            max_queue=args.max_queue, per_client=args.per_client
+        ),
+        checkpoint_dir=args.checkpoint,
+        checkpoint_interval=args.checkpoint_interval,
+        trace=trace,
+    )
+    server = SolverServer(
+        service,
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix_path,
+        drain_grace=args.drain_grace,
+    )
+
+    async def run() -> None:
+        await server.start()
+        address = args.unix_path or f"{args.host}:{server.port}"
+        print(f"c serving on {address} (pool of {args.pool_size})", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    finally:
+        if trace is not None:
+            trace.close()
+    stats = service.stats()
+    print(
+        f"c drained: {stats['requests']} requests, "
+        f"{stats['pool']['retries']} worker retries, "
+        f"{stats['uptime_seconds']:.1f}s up"
+    )
+    if server.stop_signum == signal.SIGTERM:
+        return 143
+    if server.stop_signum == signal.SIGINT:
+        return 130
+    return 0
+
+
 def _cmd_trace_summary(args: argparse.Namespace) -> int:
     import json
 
@@ -1130,6 +1343,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_bench(args)
     if args.command == "audit":
         return _cmd_audit(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "trace-summary":
         return _cmd_trace_summary(args)
     raise AssertionError("unreachable")  # pragma: no cover

@@ -138,6 +138,33 @@ EVENT_SCHEMA: dict[str, tuple[frozenset, frozenset]] = {
         frozenset({"type", "call", "kept", "dropped", "max_lbd"}),
         frozenset(),
     ),
+    # Solver-service lifecycle (see repro.server).  server_start is
+    # emitted once per listener; server_request once per decoded
+    # request; server_reply once per reply (kind is the protocol
+    # discriminator: result/busy/deadline/error/pong/stats, cached the
+    # answer-cache hit kind or null); server_breaker on every counted
+    # worker-death for a fingerprint, with the resulting circuit state;
+    # server_drain once when a graceful drain begins.
+    "server_start": (
+        frozenset({"type", "address", "pool_size"}),
+        frozenset(),
+    ),
+    "server_request": (
+        frozenset({"type", "client", "op"}),
+        frozenset(),
+    ),
+    "server_reply": (
+        frozenset({"type", "kind", "cached"}),
+        frozenset(),
+    ),
+    "server_breaker": (
+        frozenset({"type", "fingerprint", "state", "reason"}),
+        frozenset(),
+    ),
+    "server_drain": (
+        frozenset({"type", "open_jobs"}),
+        frozenset(),
+    ),
 }
 
 EVENT_TYPES = tuple(sorted(EVENT_SCHEMA))

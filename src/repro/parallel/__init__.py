@@ -33,6 +33,7 @@ parent before any answer is returned.  See ``docs/ROBUSTNESS.md``.
 
 from repro.parallel.batch import BatchResult, solve_batch
 from repro.parallel.groups import GroupedResult, GroupOutcome, solve_grouped
+from repro.parallel.pool import Job, JobPool
 from repro.parallel.portfolio import (
     PORTFOLIO_PRESETS,
     PortfolioSolver,
@@ -43,6 +44,8 @@ __all__ = [
     "BatchResult",
     "GroupOutcome",
     "GroupedResult",
+    "Job",
+    "JobPool",
     "PORTFOLIO_PRESETS",
     "PortfolioSolver",
     "default_portfolio",

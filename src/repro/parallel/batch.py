@@ -12,6 +12,12 @@ returned :class:`BatchResult` keeps input order, aggregates every
 member's :class:`~repro.solver.stats.SolverStats`, and records the full
 attempt history on each result.
 
+The supervision machinery itself lives in
+:class:`~repro.parallel.pool.JobPool` (extracted so the solver service
+can stream jobs through the same loop); this module owns the
+batch-shaped surface: input normalization, per-instance budgets, stats
+aggregation, and order-preserving results.
+
 Answers can be gated through the trusted-results check
 (``verification="sat"`` model-checks SAT answers against the original
 formula; ``"full"`` additionally RUP-checks UNSAT proofs) — a result
@@ -32,44 +38,30 @@ Usage::
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
-from repro.checkpoint.snapshot import checkpoint_conflicts
 from repro.cnf.formula import CnfFormula
-from repro.parallel.worker import (
-    drain_results,
-    route_telemetry,
-    solve_in_worker,
-    strip_for_worker,
-)
+from repro.parallel.pool import Job, JobPool
+from repro.parallel.worker import strip_for_worker
 from repro.reliability.faults import FaultPlan
-from repro.reliability.guards import StallClock, crash_reason
-from repro.reliability.retry import RetryPolicy, as_retry_policy
-from repro.reliability.verify import (
-    VerificationError,
-    check_result_shape,
-    verify_result,
-)
+from repro.reliability.retry import RetryPolicy
 from repro.solver.config import (
     VERIFICATION_LEVELS,
-    VERIFY_OFF,
     SolverConfig,
     berkmin_config,
     config_by_name,
 )
-from repro.solver.result import AttemptRecord, SolveResult, SolveStatus
+from repro.solver.result import SolveResult, SolveStatus
 from repro.solver.stats import SolverStats, aggregate_stats
 
-_POLL_SECONDS = 0.02
 #: Extra wall-clock slack granted on top of a cooperative ``max_seconds``
 #: budget before the parent terminates a worker outright.
 DEFAULT_GRACE_SECONDS = 2.0
-#: Minimum remaining budget (seconds) worth launching a retry into.
-_MIN_RETRY_BUDGET = 0.05
+#: Final-result reason for instances cut short by a drain (SIGTERM).
+DRAIN_REASON = "terminated (drain)"
 
 
 @dataclass
@@ -83,6 +75,8 @@ class BatchResult:
     wall_seconds: float = 0.0
     #: Worker relaunches performed by the supervisor (0 without a policy).
     retries: int = 0
+    #: True when a ``stop_event`` cut the batch short (SIGTERM drain).
+    drained: bool = False
 
     def statuses(self) -> list[SolveStatus]:
         """The per-formula statuses, in input order."""
@@ -125,36 +119,12 @@ class BatchResult:
 
     def __repr__(self) -> str:
         retries = f", {self.retries} retries" if self.retries else ""
+        drained = ", drained" if self.drained else ""
         return (
             f"BatchResult({len(self.results)} formulas: {self.num_sat} SAT, "
-            f"{self.num_unsat} UNSAT, {self.num_unknown} UNKNOWN{retries}, "
-            f"wall={self.wall_seconds:.3f}s)"
+            f"{self.num_unsat} UNSAT, {self.num_unknown} UNKNOWN{retries}"
+            f"{drained}, wall={self.wall_seconds:.3f}s)"
         )
-
-
-@dataclass
-class _Supervised:
-    """Parent-side bookkeeping for one instance across its attempts."""
-
-    index: int
-    formula: CnfFormula
-    attempts: int = 0  # launches so far (== next 0-based attempt index)
-    history: list[AttemptRecord] = field(default_factory=list)
-    first_launch: float | None = None  # monotonic time of attempt 0
-    deadline: float | None = None  # hard wall-clock limit across attempts
-    not_before: float = 0.0  # backoff gate for the next launch
-
-
-@dataclass
-class _Active:
-    """One running worker process and its watchdog state."""
-
-    process: multiprocessing.Process
-    clock: StallClock
-    attempt: int
-    config: SolverConfig
-    #: Conflict count inherited from a checkpoint at launch (None = cold).
-    resumed_from: int | None = None
 
 
 def solve_batch(
@@ -179,6 +149,7 @@ def solve_batch(
     monitor=None,
     trace=None,
     telemetry_seconds: float = 0.5,
+    stop_event=None,
 ) -> BatchResult:
     """Solve many formulas concurrently; degrade per instance, never fail.
 
@@ -250,6 +221,14 @@ def solve_batch(
             interleave) and relays progress as telemetry instead.
         telemetry_seconds: worker telemetry reporting period (only
             active when a ``monitor`` is given).
+        stop_event: optional event (anything with ``is_set()``) checked
+            every supervision tick; once set, the batch drains — running
+            workers are cancelled cooperatively so they write a final
+            checkpoint and post an honest ``UNKNOWN ("interrupted")``,
+            queued instances are finalized as ``UNKNOWN ("terminated
+            (drain)")``, and the call returns early with
+            ``BatchResult.drained`` set.  This is the SIGTERM hook used
+            by ``repro-sat batch``.
 
     A worker that raises, is killed, stalls, or returns a corrupted
     result yields — after the retry policy is exhausted —
@@ -262,7 +241,6 @@ def solve_batch(
         config = berkmin_config()
     elif isinstance(config, str):
         config = config_by_name(config)
-    policy = as_retry_policy(retry)
     if verification is None:
         verification = config.verification
     if verification not in VERIFICATION_LEVELS:
@@ -302,226 +280,56 @@ def solve_batch(
     assumptions = tuple(assumptions)
     if assumptions:
         base_limits["assumptions"] = assumptions
-    context = multiprocessing.get_context()
-    results_queue = context.Queue()
-    instances = [_Supervised(index, formula) for index, formula in enumerate(items)]
-    pending: list[_Supervised] = list(instances)
-    active: dict[int, _Active] = {}
-    collected: dict = {}
-    finals: dict[int, SolveResult] = {}
-    retries_total = 0
 
-    def launch(instance: _Supervised) -> None:
-        now = time.monotonic()
-        if instance.first_launch is None:
-            instance.first_launch = now
-            if timeout is not None:
-                instance.deadline = now + timeout
-        attempt = instance.attempts
-        attempt_config = policy.config_for_attempt(worker_config, attempt)
-        limits = dict(base_limits)
-        if instance.deadline is not None and limits["max_seconds"] is not None:
-            # Retries solve inside whatever wall-clock budget remains.
-            remaining = instance.deadline - now
-            limits["max_seconds"] = max(min(limits["max_seconds"], remaining), 0.01)
-        heartbeat = context.Value("d", now)
-        fault = fault_plan.lookup(instance.index, attempt) if fault_plan else None
+    pool = JobPool(
+        jobs,
+        retry=retry,
+        verification=verification,
+        stall_seconds=stall_seconds,
+        max_memory_mb=max_memory_mb,
+        fault_plan=fault_plan,
+        checkpoint_interval=checkpoint_interval,
+        monitor=monitor,
+        trace=trace,
+        telemetry_seconds=telemetry_seconds if monitor is not None else None,
+    )
+    for index, formula in enumerate(items):
         checkpoint_path = None
-        resumed_from = None
         if checkpoint_dir is not None:
             checkpoint_path = os.path.join(
-                checkpoint_dir, f"instance-{instance.index:04d}.ckpt"
+                checkpoint_dir, f"instance-{index:04d}.ckpt"
             )
-            resumed_from = checkpoint_conflicts(
-                checkpoint_path, require_proof=worker_config.proof_logging
-            )
-        process = context.Process(
-            target=solve_in_worker,
-            args=(
-                (instance.index, attempt),
-                instance.formula,
-                attempt_config,
-                limits,
-                None,
-                results_queue,
-                heartbeat,
-                attempt,
-                fault,
-                max_memory_mb,
-                checkpoint_path,
-                checkpoint_interval,
-                telemetry_seconds if monitor is not None else None,
-            ),
-            daemon=True,
-        )
-        process.start()
-        if attempt and trace is not None:
-            event = {
-                "type": "worker_retry",
-                "lane": instance.index,
-                "attempt": attempt,
-            }
-            if resumed_from is not None:
-                event["resumed_from_conflicts"] = resumed_from
-            trace.emit(event)
-        if monitor is not None:
-            state = "resumed" if attempt and resumed_from is not None else "running"
-            monitor.lane_state(instance.index, state, attempt=attempt)
-        active[instance.index] = _Active(
-            process,
-            StallClock(now, heartbeat),
-            attempt,
-            attempt_config,
-            resumed_from=resumed_from,
-        )
-        instance.attempts += 1
-
-    def record(instance, entry, outcome, now, detail=None) -> None:
-        instance.history.append(
-            AttemptRecord(
-                attempt=entry.attempt,
-                config_name=entry.config.name,
-                seed=entry.config.seed,
-                outcome=outcome,
-                wall_seconds=now - entry.clock.launch,
-                detail=detail,
-                resumed_from_conflicts=entry.resumed_from,
+        pool.submit(
+            Job(
+                job_id=index,
+                formula=formula,
+                config=worker_config,
+                limits=dict(base_limits),
+                budget=timeout,
+                checkpoint_path=checkpoint_path,
             )
         )
 
-    def fail(instance, entry, reason, now, *, retryable, detail=None) -> None:
-        nonlocal retries_total
-        record(instance, entry, reason, now, detail)
-        time_left = (
-            instance.deadline is None
-            or instance.deadline - now > _MIN_RETRY_BUDGET
-        )
-        retrying = retryable and time_left and policy.allows(instance.attempts)
-        if trace is not None:
-            trace.emit(
-                {
-                    "type": "worker_fault",
-                    "lane": instance.index,
-                    "attempt": entry.attempt,
-                    "reason": reason,
-                    "will_retry": retrying,
-                }
-            )
-        if retrying:
-            retries_total += 1
-            instance.not_before = now + policy.delay(instance.attempts)
-            pending.append(instance)
-            if monitor is not None:
-                monitor.lane_state(
-                    instance.index, "retrying", detail=reason, attempt=entry.attempt
-                )
-        else:
-            finals[instance.index] = SolveResult(
-                status=SolveStatus.UNKNOWN,
-                limit_reason=reason,
-                config_name=entry.config.name,
-                wall_seconds=now - (instance.first_launch or now),
-                attempts=list(instance.history),
-            )
-            if monitor is not None:
-                monitor.lane_state(
-                    instance.index, "degraded", detail=reason, attempt=entry.attempt
-                )
-
-    def finish(instance, entry, payload, now) -> None:
-        if payload is None:
-            # The worker's solve raised and posted a None payload.
-            fail(
-                instance, entry, "worker crashed", now,
-                retryable=True, detail="worker raised an exception",
-            )
-            return
-        try:
-            shape = check_result_shape(payload)
-            if shape is not None:
-                raise VerificationError(shape)
-            verified = (
-                verify_result(instance.formula, payload, verification)
-                if verification != VERIFY_OFF
-                else None
-            )
-        except VerificationError as error:
-            fail(
-                instance, entry, "corrupted result", now,
-                retryable=True, detail=str(error),
-            )
-            return
-        payload.verified = verified
-        record(instance, entry, "ok", now)
-        payload.attempts = list(instance.history)
-        finals[instance.index] = payload
-        if monitor is not None:
-            monitor.lane_state(
-                instance.index, "done",
-                detail=payload.status.name, attempt=entry.attempt,
-            )
-
+    drained = False
     try:
-        while pending or active:
-            now = time.monotonic()
-            for instance in list(pending):
-                if len(active) >= jobs:
-                    break
-                if instance.not_before <= now:
-                    pending.remove(instance)
-                    launch(instance)
-            drain_results(results_queue, collected, timeout=_POLL_SECONDS)
-            route_telemetry(collected, monitor)
-            now = time.monotonic()
-            for index, entry in list(active.items()):
-                instance = instances[index]
-                tag = (index, entry.attempt)
-                if tag in collected:
-                    entry.process.join()
-                    del active[index]
-                    finish(instance, entry, collected.pop(tag), now)
-                elif not entry.process.is_alive():
-                    # Dead without a visible result: the payload may still
-                    # be in the pipe; drain once before declaring a crash.
-                    entry.process.join()
-                    drain_results(results_queue, collected, timeout=0.2)
-                    del active[index]
-                    if tag in collected:
-                        finish(instance, entry, collected.pop(tag), now)
-                    else:
-                        fail(
-                            instance, entry,
-                            crash_reason(entry.process.exitcode), now,
-                            retryable=True,
-                        )
-                elif instance.deadline is not None and now > instance.deadline:
-                    entry.process.terminate()
-                    entry.process.join(timeout=1.0)
-                    del active[index]
-                    fail(instance, entry, "time budget", now, retryable=False)
-                elif entry.clock.stalled_for(now, stall_seconds):
-                    entry.process.terminate()
-                    entry.process.join(timeout=1.0)
-                    del active[index]
-                    fail(
-                        instance, entry, "stalled (no heartbeat)", now,
-                        retryable=True,
-                    )
+        while not pool.idle:
+            pool.poll()
+            if stop_event is not None and stop_event.is_set():
+                drained = True
+                pool.drain(grace_seconds=0.0, reason=DRAIN_REASON)
+                break
     finally:
-        for entry in active.values():
-            entry.process.terminate()
-            entry.process.join(timeout=1.0)
-        results_queue.close()
-        results_queue.cancel_join_thread()
+        pool.close()
 
-    results = [finals[index] for index in range(len(items))]
+    results = [pool.jobs[index].result for index in range(len(items))]
     stats = aggregate_stats(result.stats for result in results)
-    stats.worker_retries += retries_total
+    stats.worker_retries += pool.retries
     batch = BatchResult(
         results=results,
         stats=stats,
         wall_seconds=time.perf_counter() - started,
-        retries=retries_total,
+        retries=pool.retries,
+        drained=drained,
     )
     if monitor is not None:
         monitor.fleet_finished(repr(batch))

@@ -35,7 +35,7 @@ from repro.reliability.faults import (
     corrupt_result,
     execute_entry_fault,
 )
-from repro.reliability.guards import crash_reason
+from repro.reliability.guards import StallClock, crash_reason
 from repro.reliability.retry import as_retry_policy
 from repro.reliability.verify import VerificationError, check_result_shape, verify_result
 from repro.solver.config import (
@@ -104,6 +104,7 @@ def solve_group_in_worker(
     attempt: int = 0,
     fault=None,
     retain_max_lbd=None,
+    heartbeat=None,
 ) -> None:
     """Process entry: run one group's steps through one session.
 
@@ -112,7 +113,9 @@ def solve_group_in_worker(
     :func:`repro.parallel.worker.solve_in_worker`: entry faults fire
     before the session is built, ``corrupt`` swaps the last step's
     answer for a verifiable lie, ``stall`` computes everything and then
-    goes silent.
+    goes silent.  ``heartbeat`` (a shared ``multiprocessing.Value('d')``)
+    is stamped at the solver's progress cadence and between steps for
+    the parent's stall watchdog.
     """
     try:
         if fault is None:
@@ -127,9 +130,19 @@ def solve_group_in_worker(
         from repro.session import SolverSession
 
         kwargs = {} if retain_max_lbd is None else {"retain_max_lbd": retain_max_lbd}
+        if heartbeat is not None:
+
+            def on_progress(stats, _beat=heartbeat):
+                _beat.value = time.monotonic()
+
+            # Rides the limits dict into every session.solve call (cache
+            # hits skip the search and are stamped between steps below).
+            limits = dict(limits, on_progress=on_progress)
         outcomes: list[SolveResult] = []
         with SolverSession(None, config, **kwargs) as session:
             for clauses, assumptions in steps:
+                if heartbeat is not None:
+                    heartbeat.value = time.monotonic()
                 session.add_clauses(clauses)
                 outcomes.append(session.solve(assumptions, **limits))
         if fault is not None:
@@ -187,6 +200,7 @@ def solve_grouped(
     verification: str | None = None,
     fault_plan: FaultPlan | None = None,
     timeout: float | None = None,
+    stall_seconds: float | None = None,
     retain_max_lbd: int | None = None,
     trace=None,
 ) -> GroupedResult:
@@ -209,7 +223,12 @@ def solve_grouped(
         fault_plan: deterministic fault injection keyed by (group,
             attempt).
         timeout: per-group wall-clock limit across all attempts,
-            enforced by the parent (the stall/hang backstop).
+            enforced by the parent (the hard backstop).
+        stall_seconds: heartbeat watchdog window — a worker that is
+            alive but posts no heartbeat (stamped at the solver's
+            progress cadence and between steps) for this long is
+            terminated and treated as a retryable fault.  ``None``
+            disables the watchdog.
         retain_max_lbd: session glue bound override (None = session
             default).
         trace: optional parent-side :class:`TraceSink` receiving
@@ -251,7 +270,7 @@ def solve_grouped(
     deadlines: dict[int, float] = {}
     not_before: dict[int, float] = {}
     pending = list(range(len(normalized)))
-    active: dict[int, tuple] = {}  # group -> (process, attempt)
+    active: dict[int, tuple] = {}  # group -> (process, attempt, StallClock)
     retries = 0
 
     def fail(group: int, reason: str) -> None:
@@ -311,6 +330,8 @@ def solve_grouped(
         if group not in deadlines and timeout is not None:
             deadlines[group] = time.monotonic() + timeout
         fault = fault_plan.lookup(group, attempt) if fault_plan else None
+        now = time.monotonic()
+        heartbeat = context.Value("d", now) if stall_seconds is not None else None
         process = context.Process(
             target=solve_group_in_worker,
             args=(
@@ -322,11 +343,12 @@ def solve_grouped(
                 attempt,
                 fault,
                 retain_max_lbd,
+                heartbeat,
             ),
             daemon=True,
         )
         process.start()
-        active[group] = (process, attempt)
+        active[group] = (process, attempt, StallClock(now, heartbeat))
 
     collected: dict = {}
     while pending or active:
@@ -347,12 +369,17 @@ def solve_grouped(
                 finish(group, payload)
             # else: a late post from a terminated attempt — discard.
         for group in list(active):
-            process, _attempt = active[group]
+            process, _attempt, clock = active[group]
             deadline = deadlines.get(group)
             if deadline is not None and time.monotonic() > deadline:
                 process.terminate()
                 process.join()
                 fail(group, "group timeout")
+                continue
+            if process.is_alive() and clock.stalled_for(time.monotonic(), stall_seconds):
+                process.terminate()
+                process.join()
+                fail(group, "stalled (no heartbeat)")
                 continue
             if not process.is_alive():
                 # One last sweep: the result may have been posted between

@@ -86,7 +86,11 @@ def _is_rup(database: Iterable[list[int]], clause: list[int]) -> bool:
             for literal in present:
                 variable = abs(literal)
                 if variable not in assignment:
-                    unassigned.append(literal)
+                    # Deduplicate: [26, 26, -31] must still become unit
+                    # once -31 is false (input clauses may repeat
+                    # literals; the solver dedupes, the checker must too).
+                    if literal not in unassigned:
+                        unassigned.append(literal)
                 elif assignment[variable] == (literal > 0):
                     satisfied = True
                     break

@@ -15,7 +15,8 @@ Batch/portfolio rounds inject worker faults
 incremental layer: a random add/solve/assumption interleaving of each
 instance's clauses is streamed through :func:`solve_grouped` (one
 :class:`~repro.session.SolverSession` per worker, with learned-clause
-retention and the answer cache live) under a random worker fault, and
+retention, the answer cache, and the heartbeat stall watchdog live)
+under a random worker fault, and
 every step's status must match a fresh one-shot solve of the clauses
 accumulated so far — the differential oracle — with the final
 full-formula step also checked against ground truth.  Checkpoint
@@ -30,7 +31,12 @@ array-native engine with inprocessing forced on every restart and
 crash, signal, or corrupt the victim *after* bounded variable
 elimination has rewritten the clause database — or disable the C
 kernels entirely (``pure-fallback``) — and demand the same trusted,
-RUP-checked answers either way.
+RUP-checked answers either way.  Serve rounds boot the whole solver
+*service* (asyncio front end over a self-healing worker pool, see
+:mod:`repro.server`), plant a fault on one job's first attempt, drive
+every instance through one multiplexed client concurrently, and demand
+a definite verified answer for each — a refusal or a hung client fails
+the round.
 
 A clean audit is the operational meaning of "trusted results": no
 single-worker fault, anywhere in the pipeline, can surface a wrong or
@@ -81,10 +87,17 @@ _FAULT_MENU = (
 )
 #: Checkpoint-subsystem fault menu (see the module docstring).
 _CHECKPOINT_MENU = ("truncate", "bitflip", "stale-version", "kill-resume")
-#: Session-round fault menu: the grouped engine relaunches these
-#: promptly on detection; hang/stall only hit its per-group timeout
-#: backstop, which degrades instead of retrying, so they stay out.
-_SESSION_FAULT_MENU = (None, FAULT_CRASH, FAULT_SIGNAL, FAULT_CORRUPT)
+#: Session-round fault menu: the grouped engine now runs a heartbeat
+#: stall watchdog (``stall_seconds``), so hang/stall are detected and
+#: retried promptly instead of burning the per-group timeout backstop.
+_SESSION_FAULT_MENU = (
+    None,
+    FAULT_CRASH,
+    FAULT_SIGNAL,
+    FAULT_CORRUPT,
+    FAULT_HANG,
+    FAULT_STALL,
+)
 #: Sleep given to hang/stall faults — far past the watchdog window, so
 #: only the supervisor (never patience) ends these workers.
 _FAULT_SLEEP = 30.0
@@ -341,7 +354,7 @@ def _session_stream(formula, rng, num_solves: int) -> list[tuple[list, tuple]]:
     return steps
 
 
-def _session_round(pool, mode, policy, rng, report, defects) -> int:
+def _session_round(pool, mode, policy, stall_seconds, rng, report, defects) -> int:
     """One session-engine audit round; returns the victim group index.
 
     Streams two random interleavings through :func:`solve_grouped`
@@ -374,6 +387,7 @@ def _session_round(pool, mode, policy, rng, report, defects) -> int:
         retry=policy,
         verification=VERIFY_FULL,
         fault_plan=plan,
+        stall_seconds=stall_seconds,
     )
     report.retries += grouped.retries
     for (name, _, expected), steps, outcome in zip(picks, streams, grouped.groups):
@@ -400,6 +414,76 @@ def _session_round(pool, mode, policy, rng, report, defects) -> int:
     return victim
 
 
+def _serve_round(pool, mode, policy, stall_seconds, rng, report, defects) -> int:
+    """One audit round against the solver service, end to end.
+
+    Boots an in-process :class:`~repro.server.SolverServer` (asyncio
+    front end, 2-worker pool, full verification) with a fault planted on
+    one job's first attempt, then drives every pool instance through one
+    :class:`~repro.server.AsyncSolverClient` concurrently.  The
+    self-healing pool must absorb the fault: every reply must be a
+    definite, correct, *verified* answer — a refusal, an UNKNOWN, or a
+    hung client is a defect.  The whole round is bounded by an outer
+    ``wait_for``, so a wedged server fails the round instead of the
+    audit.
+    """
+    import asyncio
+
+    from repro.server import AsyncSolverClient, SolverServer, SolverService
+
+    picks = list(pool)
+    rng.shuffle(picks)
+    victim = rng.randrange(len(picks))
+    plan = (
+        FaultPlan.single(mode, worker=victim, seconds=_FAULT_SLEEP)
+        if mode is not None
+        else None
+    )
+    seed = rng.randrange(1 << 16)
+
+    async def drive():
+        service = SolverService(
+            pool_size=2,
+            config=config_by_name("berkmin", seed=seed),
+            retry=policy,
+            verification=VERIFY_FULL,
+            stall_seconds=stall_seconds,
+            fault_plan=plan,
+        )
+        server = SolverServer(service, port=0)
+        await server.start()
+        try:
+            async with AsyncSolverClient(port=server.port) as client:
+                replies = await asyncio.wait_for(
+                    asyncio.gather(
+                        *(
+                            client.solve(formula.clauses, timeout=25.0)
+                            for _, formula, _ in picks
+                        )
+                    ),
+                    timeout=90.0,
+                )
+        finally:
+            await server.shutdown()
+        return replies, service.pool.retries
+
+    replies, retries = asyncio.run(drive())
+    report.retries += retries
+    for (name, _formula, expected), reply in zip(picks, replies):
+        kind = reply.get("kind")
+        if kind != "result":
+            detail = reply.get("reason") or reply.get("error")
+            defects.append(f"{name}: service refused ({kind}: {detail})")
+        elif reply.get("status") != expected.value:
+            defects.append(
+                f"{name}: expected {expected.value}, got {reply.get('status')}"
+                f" (limit_reason={reply.get('limit_reason')!r})"
+            )
+        elif reply.get("verified") is None:
+            defects.append(f"{name}: definite answer left unverified")
+    return victim
+
+
 def run_audit(
     rounds: int = 100,
     *,
@@ -411,8 +495,8 @@ def run_audit(
     trace=None,
 ) -> AuditReport:
     """Fuzz the supervised engines — batch, portfolio, the checkpoint
-    subsystem, and the grouped incremental sessions — under random
-    fault plans; verify every answer.
+    subsystem, the grouped incremental sessions, the arena engine, and
+    the solver service — under random fault plans; verify every answer.
 
     Each round injects at most one fault (possibly none) into one
     worker of one engine and demands definite, correct, verified
@@ -432,7 +516,9 @@ def run_audit(
         monitor.fleet_started(rounds)
 
     for round_index in range(rounds):
-        engine = rng.choice(("batch", "portfolio", "checkpoint", "session", "arena"))
+        engine = rng.choice(
+            ("batch", "portfolio", "checkpoint", "session", "arena", "serve")
+        )
         if engine == "checkpoint":
             mode = rng.choice(_CHECKPOINT_MENU)
         elif engine == "session":
@@ -454,7 +540,13 @@ def run_audit(
                 pool, mode, policy, stall_seconds, rng, report, defects
             )
         elif engine == "session":
-            victim = _session_round(pool, mode, policy, rng, report, defects)
+            victim = _session_round(
+                pool, mode, policy, stall_seconds, rng, report, defects
+            )
+        elif engine == "serve":
+            victim = _serve_round(
+                pool, mode, policy, stall_seconds, rng, report, defects
+            )
         elif engine == "arena":
             victim = _arena_round(
                 pool, mode, policy, stall_seconds, rng, report, defects

@@ -1,0 +1,51 @@
+"""The solver service: an asyncio front end over the self-healing pool.
+
+``repro-sat serve`` turns the library into a long-lived service:
+line-delimited JSON over TCP or a UNIX socket, thousands of concurrent
+requests multiplexed onto a supervised worker pool, with admission
+control, per-client fairness, deadline propagation, a per-formula
+circuit breaker, a shared bounded answer cache, and graceful SIGTERM
+drain.  See ``docs/ROBUSTNESS.md`` ("Solver service") for the refusal
+and degradation semantics.
+"""
+
+from repro.server.admission import AdmissionController
+from repro.server.breaker import REASON_QUARANTINED, CircuitBreaker
+from repro.server.client import (
+    AsyncSolverClient,
+    ServerConnectionError,
+    SolverClient,
+)
+from repro.server.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    Request,
+    encode_reply,
+    error_reply,
+    parse_request,
+    refusal_reply,
+    result_reply,
+)
+from repro.server.server import SolverServer, serve
+from repro.server.service import REASON_DRAINING, SolverService
+
+__all__ = [
+    "AdmissionController",
+    "AsyncSolverClient",
+    "CircuitBreaker",
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "REASON_DRAINING",
+    "REASON_QUARANTINED",
+    "Request",
+    "ServerConnectionError",
+    "SolverClient",
+    "SolverServer",
+    "SolverService",
+    "encode_reply",
+    "error_reply",
+    "parse_request",
+    "refusal_reply",
+    "result_reply",
+    "serve",
+]

@@ -1,0 +1,142 @@
+"""Admission control: bounded queues, per-client fairness, load shedding.
+
+A production solver service refuses work it cannot finish instead of
+queueing it to death.  :class:`AdmissionController` makes that decision
+per request, before any solving resources are committed, from three
+independent gates:
+
+* a **global queue bound** — at most ``max_queue`` requests admitted
+  but not yet answered across all clients (the worker pool's queue plus
+  its running slots);
+* a **per-client concurrency cap** — one client may hold at most
+  ``per_client`` of those slots, so a single aggressive client cannot
+  monopolize the pool;
+* a **per-client token bucket** — sustained request *rate* per client:
+  each admission spends one token from a bucket of ``burst`` that
+  refills at ``refill_per_second``.  ``None`` disables rate limiting.
+
+A refused request gets the gate's reason string (the service wraps it
+in an explicit ``BUSY`` reply); the client is expected to back off and
+retry.  Refusal is cheap and stateless — nothing is queued, nothing is
+remembered beyond the token bucket level.
+
+The controller is deliberately synchronous and unlocked: the service
+calls it only from its supervision thread/loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+#: Reason strings — stable API, asserted by tests and documented in
+#: docs/ROBUSTNESS.md.
+REASON_QUEUE_FULL = "queue full"
+REASON_CLIENT_CAP = "client concurrency cap"
+REASON_CLIENT_RATE = "client rate limit"
+
+
+@dataclass
+class _ClientState:
+    in_flight: int = 0
+    tokens: float = 0.0
+    refilled_at: float = field(default_factory=time.monotonic)
+
+
+class AdmissionController:
+    """Decide, per request, whether the pool should take the work.
+
+    Args:
+        max_queue: global bound on admitted-but-unanswered requests.
+        per_client: concurrent admitted requests per client id.
+        burst: token bucket capacity per client (None = no rate limit).
+        refill_per_second: sustained tokens per second per client.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_queue: int = 256,
+        per_client: int = 32,
+        burst: float | None = None,
+        refill_per_second: float = 10.0,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if per_client < 1:
+            raise ValueError("per_client must be >= 1")
+        self.max_queue = max_queue
+        self.per_client = per_client
+        self.burst = burst
+        self.refill_per_second = refill_per_second
+        self.in_flight = 0
+        self.admitted = 0
+        #: Refusals by reason string (the load-shedding ledger).
+        self.refused: dict[str, int] = {}
+        self._clients: dict[object, _ClientState] = {}
+
+    def _client(self, client_id) -> _ClientState:
+        state = self._clients.get(client_id)
+        if state is None:
+            state = _ClientState(tokens=self.burst if self.burst is not None else 0.0)
+            self._clients[client_id] = state
+        return state
+
+    def _refill(self, state: _ClientState, now: float) -> None:
+        if self.burst is None:
+            return
+        elapsed = max(now - state.refilled_at, 0.0)
+        state.tokens = min(self.burst, state.tokens + elapsed * self.refill_per_second)
+        state.refilled_at = now
+
+    def try_admit(self, client_id, now: float | None = None) -> str | None:
+        """Admit one request for ``client_id``; return a refusal reason or None.
+
+        An admitted request holds one global and one per-client slot
+        until :meth:`release` — the caller owns that pairing.
+        """
+        if now is None:
+            now = time.monotonic()
+        if self.in_flight >= self.max_queue:
+            return self._refuse(REASON_QUEUE_FULL)
+        state = self._client(client_id)
+        if state.in_flight >= self.per_client:
+            return self._refuse(REASON_CLIENT_CAP)
+        self._refill(state, now)
+        if self.burst is not None and state.tokens < 1.0:
+            return self._refuse(REASON_CLIENT_RATE)
+        if self.burst is not None:
+            state.tokens -= 1.0
+        state.in_flight += 1
+        self.in_flight += 1
+        self.admitted += 1
+        return None
+
+    def _refuse(self, reason: str) -> str:
+        self.refused[reason] = self.refused.get(reason, 0) + 1
+        return reason
+
+    def release(self, client_id) -> None:
+        """Return the slots held by one admitted request."""
+        state = self._clients.get(client_id)
+        if state is None or state.in_flight < 1 or self.in_flight < 1:
+            raise RuntimeError(f"release without admit for client {client_id!r}")
+        state.in_flight -= 1
+        self.in_flight -= 1
+
+    def forget(self, client_id) -> None:
+        """Drop a disconnected client's bucket state (slots must be released)."""
+        state = self._clients.get(client_id)
+        if state is not None and state.in_flight == 0:
+            del self._clients[client_id]
+
+    def summary(self) -> dict:
+        """Flat counters for the stats reply and the dashboard."""
+        return {
+            "in_flight": self.in_flight,
+            "max_queue": self.max_queue,
+            "per_client": self.per_client,
+            "admitted": self.admitted,
+            "refused": dict(self.refused),
+            "clients": len(self._clients),
+        }

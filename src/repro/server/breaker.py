@@ -1,0 +1,147 @@
+"""The circuit breaker: quarantine formulas that keep killing workers.
+
+A formula that segfault-crashes a worker will, with high probability,
+crash its retries too — and a client that resubmits it turns one bad
+instance into a worker-pool denial of service.  The service therefore
+tracks worker deaths *per canonical formula fingerprint* and, after
+``threshold`` deaths inside ``window_seconds``, **opens** the breaker
+for that fingerprint: further submissions are refused instantly with a
+``BUSY ("quarantined...")`` reply, costing the pool nothing.
+
+After ``cooldown_seconds`` the breaker goes **half-open**: exactly one
+trial submission is let through.  If it completes (any honest answer,
+including UNKNOWN), the breaker closes and the fingerprint is forgiven;
+if it kills its worker again, the breaker re-opens for another cooldown.
+
+Only *infrastructure* failures count — worker crashes, heartbeat
+stalls, corrupted results.  Honest outcomes (SAT/UNSAT/budget-exhausted
+UNKNOWN) never trip the breaker: a merely-hard formula is load, not a
+fault.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+#: Refusal reason surfaced in BUSY replies for quarantined fingerprints.
+REASON_QUARANTINED = "quarantined (circuit breaker open)"
+
+
+@dataclass
+class _Circuit:
+    failures: list[float] = field(default_factory=list)
+    opened_at: float | None = None
+    trial_in_flight: bool = False
+
+
+class CircuitBreaker:
+    """Per-fingerprint failure tracking with open/half-open/closed states.
+
+    Args:
+        threshold: worker deaths within the window that open the circuit.
+        window_seconds: sliding window over which deaths are counted.
+        cooldown_seconds: quarantine time before a half-open trial.
+    """
+
+    def __init__(
+        self,
+        *,
+        threshold: int = 3,
+        window_seconds: float = 60.0,
+        cooldown_seconds: float = 30.0,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.window_seconds = window_seconds
+        self.cooldown_seconds = cooldown_seconds
+        self._circuits: dict[str, _Circuit] = {}
+        self.opens = 0
+        self.refusals = 0
+
+    def _circuit(self, fingerprint: str) -> _Circuit:
+        circuit = self._circuits.get(fingerprint)
+        if circuit is None:
+            circuit = _Circuit()
+            self._circuits[fingerprint] = circuit
+        return circuit
+
+    def state(self, fingerprint: str, now: float | None = None) -> str:
+        """The circuit's current state for a fingerprint."""
+        circuit = self._circuits.get(fingerprint)
+        if circuit is None or circuit.opened_at is None:
+            return STATE_CLOSED
+        if now is None:
+            now = time.monotonic()
+        if now - circuit.opened_at >= self.cooldown_seconds:
+            return STATE_HALF_OPEN
+        return STATE_OPEN
+
+    def allows(self, fingerprint: str, now: float | None = None) -> bool:
+        """May a request for this fingerprint reach the pool right now?
+
+        In the half-open state exactly one caller gets True (the trial);
+        everyone else keeps getting False until the trial resolves via
+        :meth:`record_success` or :meth:`record_failure`.
+        """
+        if now is None:
+            now = time.monotonic()
+        state = self.state(fingerprint, now)
+        if state == STATE_CLOSED:
+            return True
+        circuit = self._circuits[fingerprint]
+        if state == STATE_HALF_OPEN and not circuit.trial_in_flight:
+            circuit.trial_in_flight = True
+            return True
+        self.refusals += 1
+        return False
+
+    def record_failure(self, fingerprint: str, now: float | None = None) -> str:
+        """Count one worker death; returns the resulting state."""
+        if now is None:
+            now = time.monotonic()
+        circuit = self._circuit(fingerprint)
+        if circuit.trial_in_flight:
+            # The half-open trial died too: straight back to open.
+            circuit.trial_in_flight = False
+            circuit.opened_at = now
+            self.opens += 1
+            return STATE_OPEN
+        circuit.failures = [
+            stamp for stamp in circuit.failures
+            if now - stamp < self.window_seconds
+        ]
+        circuit.failures.append(now)
+        if circuit.opened_at is None and len(circuit.failures) >= self.threshold:
+            circuit.opened_at = now
+            circuit.failures.clear()
+            self.opens += 1
+        return self.state(fingerprint, now)
+
+    def record_success(self, fingerprint: str) -> None:
+        """A request for this fingerprint completed honestly; forgive it."""
+        self._circuits.pop(fingerprint, None)
+
+    def open_fingerprints(self, now: float | None = None) -> list[str]:
+        """Fingerprints currently open or half-open (the quarantine list)."""
+        if now is None:
+            now = time.monotonic()
+        return [
+            fingerprint
+            for fingerprint, circuit in self._circuits.items()
+            if circuit.opened_at is not None
+        ]
+
+    def summary(self) -> dict:
+        """Flat counters for the stats reply and the dashboard."""
+        return {
+            "tracked": len(self._circuits),
+            "quarantined": len(self.open_fingerprints()),
+            "opens": self.opens,
+            "refusals": self.refusals,
+        }

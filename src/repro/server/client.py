@@ -1,0 +1,245 @@
+"""Clients for the solver service: a blocking one and an asyncio one.
+
+:class:`SolverClient` is the simple blocking client — one request at a
+time, good for CLIs, scripts, and smoke tests.  :class:`AsyncSolverClient`
+multiplexes many concurrent requests over one connection and is what
+the soak/audit harnesses drive thousands of requests through.
+
+Both speak the protocol of :mod:`repro.server.protocol` and return the
+raw reply dicts (``kind`` discriminates: ``result`` / ``busy`` /
+``deadline`` / ``error`` / ``pong`` / ``stats``) — an explicit refusal
+is an *answer*, so neither client raises on it.
+
+Usage::
+
+    with SolverClient(port=2727) as client:
+        reply = client.solve([[1, 2], [-1, 2], [-2]], timeout=5.0)
+        assert reply["kind"] == "result" and reply["status"] == "UNSAT"
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+
+from repro.server.protocol import MAX_LINE_BYTES, encode_reply
+
+
+class ServerConnectionError(ConnectionError):
+    """The server closed the connection with replies still owed."""
+
+
+def _solve_payload(request_id, clauses, assumptions, timeout, max_conflicts, config):
+    payload = {
+        "op": "solve",
+        "id": request_id,
+        "clauses": [list(clause) for clause in clauses],
+    }
+    if assumptions:
+        payload["assumptions"] = list(assumptions)
+    if timeout is not None:
+        payload["timeout"] = timeout
+    if max_conflicts is not None:
+        payload["max_conflicts"] = max_conflicts
+    if config is not None:
+        payload["config"] = config
+    return payload
+
+
+class SolverClient:
+    """Blocking, one-request-at-a-time client (TCP or UNIX socket)."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 2727,
+        unix_path: str | None = None,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        if unix_path is not None:
+            self._socket = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._socket.settimeout(connect_timeout)
+            self._socket.connect(unix_path)
+        else:
+            self._socket = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        self._socket.settimeout(None)
+        self._reader = self._socket.makefile("rb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def _roundtrip(self, payload: dict, timeout: float | None) -> dict:
+        request_id = payload["id"]
+        self._socket.settimeout(timeout)
+        try:
+            self._socket.sendall(encode_reply(payload))  # same JSONL framing
+            while True:
+                line = self._reader.readline(MAX_LINE_BYTES)
+                if not line:
+                    raise ServerConnectionError(
+                        "server closed the connection before replying"
+                    )
+                reply = json.loads(line)
+                if reply.get("id") == request_id:
+                    return reply
+                # A reply to an earlier abandoned id: skip it.
+        finally:
+            self._socket.settimeout(None)
+
+    def solve(
+        self,
+        clauses,
+        *,
+        assumptions=(),
+        timeout: float | None = None,
+        max_conflicts: int | None = None,
+        config: str | None = None,
+        reply_timeout: float | None = None,
+    ) -> dict:
+        """Send one solve and block for its reply dict.
+
+        ``reply_timeout`` bounds the local wait (defaults to the
+        request's solve ``timeout`` plus 30s of slack when set).
+        """
+        self._next_id += 1
+        if reply_timeout is None and timeout is not None:
+            reply_timeout = timeout + 30.0
+        payload = _solve_payload(
+            self._next_id, clauses, assumptions, timeout, max_conflicts, config
+        )
+        return self._roundtrip(payload, reply_timeout)
+
+    def ping(self, reply_timeout: float = 10.0) -> dict:
+        self._next_id += 1
+        return self._roundtrip({"op": "ping", "id": self._next_id}, reply_timeout)
+
+    def stats(self, reply_timeout: float = 10.0) -> dict:
+        self._next_id += 1
+        return self._roundtrip({"op": "stats", "id": self._next_id}, reply_timeout)
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "SolverClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncSolverClient:
+    """Asyncio client multiplexing many in-flight requests by id.
+
+    A background reader task dispatches each reply line to the future
+    registered under its ``id``; ``solve()``/``ping()``/``stats()`` are
+    plain coroutines safe to run by the hundreds with
+    ``asyncio.gather``.  If the server closes the connection, every
+    outstanding future gets :class:`ServerConnectionError` — a client
+    can hang on the network, but never on the protocol.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 2727,
+        unix_path: str | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self._reader = None
+        self._writer = None
+        self._reader_task = None
+        self._waiting: dict[object, asyncio.Future] = {}
+        self._next_id = 0
+
+    async def connect(self) -> "AsyncSolverClient":
+        if self.unix_path is not None:
+            self._reader, self._writer = await asyncio.open_unix_connection(
+                self.unix_path, limit=MAX_LINE_BYTES
+            )
+        else:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port, limit=MAX_LINE_BYTES
+            )
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+        return self
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    reply = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                future = self._waiting.pop(reply.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(reply)
+        finally:
+            error = ServerConnectionError(
+                "server closed the connection before replying"
+            )
+            for future in self._waiting.values():
+                if not future.done():
+                    future.set_exception(error)
+            self._waiting.clear()
+
+    async def _request(self, payload: dict) -> dict:
+        future = asyncio.get_running_loop().create_future()
+        self._waiting[payload["id"]] = future
+        self._writer.write(encode_reply(payload))
+        await self._writer.drain()
+        return await future
+
+    async def solve(
+        self,
+        clauses,
+        *,
+        assumptions=(),
+        timeout: float | None = None,
+        max_conflicts: int | None = None,
+        config: str | None = None,
+    ) -> dict:
+        self._next_id += 1
+        payload = _solve_payload(
+            self._next_id, clauses, assumptions, timeout, max_conflicts, config
+        )
+        return await self._request(payload)
+
+    async def ping(self) -> dict:
+        self._next_id += 1
+        return await self._request({"op": "ping", "id": self._next_id})
+
+    async def stats(self) -> dict:
+        self._next_id += 1
+        return await self._request({"op": "stats", "id": self._next_id})
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def __aenter__(self) -> "AsyncSolverClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

@@ -1,4 +1,4 @@
-"""The session answer/lemma cache.
+"""The session answer/lemma cache — bounded, LRU-evicting.
 
 :class:`AnswerCache` memoises solve answers keyed by the
 order-insensitive canonical formula fingerprint
@@ -19,6 +19,23 @@ assumption set.  Three kinds of hit, from cheapest to most general:
 Entries are only ever written for definitive answers: UNKNOWN results
 (budget exhaustion, interrupts, degraded workers) are never cached.
 
+The cache is **bounded in three dimensions**, because a long-lived
+server shares one instance across every request it ever serves:
+
+* ``max_entries`` exact entries, evicted least-recently-*used* first
+  (a lookup hit refreshes an entry; an entry nobody asks for again
+  ages out);
+* ``max_bytes`` of approximate payload (models, cores, proofs, lemmas)
+  — big proofs evict faster than small models;
+* ``max_entries`` distinct *formulas*: when a fingerprint ages out,
+  its core/model/lemma side indexes go with it, so the side indexes
+  cannot outgrow the exact store.
+
+Every eviction increments :attr:`evictions`;
+:class:`~repro.session.SolverSession` mirrors the hit/evict counters
+into :class:`~repro.solver.stats.SolverStats` (``cache_hits`` /
+``cache_evictions``) so fleet aggregation sees cache health.
+
 Alongside answers, the cache keeps a bounded per-fingerprint **lemma
 store**: the glue-filtered learned clauses a session retained.  A later
 session starting from the same canonical formula imports them and begins
@@ -31,25 +48,74 @@ instance between sessions in the same process, or give each its own.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.solver.result import SolveResult, SolveStatus
+
+#: Default byte budget — roomy for a workstation, finite for a server.
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+#: Rough bytes per stored literal/assignment pair (pointer-heavy
+#: CPython ints; precision is not the point, proportionality is).
+_BYTES_PER_LITERAL = 16
+#: Flat overhead charged per stored entry / proof step / lemma.
+_ENTRY_OVERHEAD = 96
+
+
+def _entry_bytes(entry: dict) -> int:
+    """Approximate heap cost of one stored answer."""
+    total = _ENTRY_OVERHEAD
+    model = entry.get("model")
+    if model:
+        total += _BYTES_PER_LITERAL * len(model)
+    core = entry.get("core")
+    if core:
+        total += _BYTES_PER_LITERAL * len(core)
+    proof = entry.get("proof")
+    if proof:
+        for _op, literals in proof:
+            total += _ENTRY_OVERHEAD + _BYTES_PER_LITERAL * len(literals)
+    return total
 
 
 class AnswerCache:
-    """Result and lemma memoisation shared by one or more sessions."""
+    """Result and lemma memoisation shared by one or more sessions.
 
-    def __init__(self, *, max_entries: int = 1024, max_lemmas: int = 256) -> None:
+    Args:
+        max_entries: bound on exact entries *and* on distinct formula
+            fingerprints (each evicted LRU-first).
+        max_lemmas: lemmas kept per fingerprint.
+        max_bytes: approximate total payload budget (None = unbounded).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_entries: int = 1024,
+        max_lemmas: int = 256,
+        max_bytes: int | None = DEFAULT_MAX_BYTES,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self.max_lemmas = max_lemmas
-        #: (fingerprint, sorted assumption tuple) -> stored answer dict.
-        self._exact: dict[tuple[str, tuple[int, ...]], dict] = {}
+        self.max_bytes = max_bytes
+        #: (fingerprint, sorted assumption tuple) -> stored answer dict,
+        #: in LRU order (oldest first).
+        self._exact: OrderedDict[tuple[str, tuple[int, ...]], dict] = OrderedDict()
         #: fingerprint -> list of UNSAT cores (each a sorted literal tuple).
         self._cores: dict[str, list[tuple[int, ...]]] = {}
         #: fingerprint -> list of (model dict, verified tag).
         self._models: dict[str, list[tuple[dict[int, bool], str | None]]] = {}
         #: fingerprint -> list of (dimacs literal tuple, lbd).
         self._lemmas: dict[str, list[tuple[tuple[int, ...], int]]] = {}
+        #: fingerprint -> None, in LRU order (the formula-level LRU).
+        self._formulas: OrderedDict[str, None] = OrderedDict()
+        self._sizes: dict[tuple[str, tuple[int, ...]], int] = {}
+        self.bytes = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @staticmethod
     def _key(fingerprint: str, assumptions) -> tuple[str, tuple[int, ...]]:
@@ -57,6 +123,10 @@ class AnswerCache:
 
     def __len__(self) -> int:
         return len(self._exact)
+
+    def _touch_formula(self, fingerprint: str) -> None:
+        self._formulas[fingerprint] = None
+        self._formulas.move_to_end(fingerprint)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -67,16 +137,21 @@ class AnswerCache:
         ``kind`` is ``"exact"``, ``"core"``, or ``"model"``; ``stored``
         is a plain dict with ``status`` / ``model`` / ``core`` /
         ``under_assumptions`` / ``proof`` / ``verified`` keys (missing
-        keys read as absent).
+        keys read as absent).  A hit refreshes the entry's (and the
+        formula's) LRU position.
         """
-        entry = self._exact.get(self._key(fingerprint, assumptions))
+        key = self._key(fingerprint, assumptions)
+        entry = self._exact.get(key)
         if entry is not None:
+            self._exact.move_to_end(key)
+            self._touch_formula(fingerprint)
             self.hits += 1
             return ("exact", entry)
 
         assumption_set = set(assumptions)
         for core in self._cores.get(fingerprint, ()):
             if assumption_set.issuperset(core):
+                self._touch_formula(fingerprint)
                 self.hits += 1
                 return (
                     "core",
@@ -89,6 +164,7 @@ class AnswerCache:
                 )
         for model, verified in self._models.get(fingerprint, ()):
             if all(model.get(abs(lit), False) == (lit > 0) for lit in assumption_set):
+                self._touch_formula(fingerprint)
                 self.hits += 1
                 return (
                     "model",
@@ -136,10 +212,49 @@ class AnswerCache:
             if core not in cores:
                 cores.append(core)
                 del cores[: -self.max_entries]
-        while len(self._exact) >= self.max_entries:
-            self._exact.pop(next(iter(self._exact)))
-        self._exact[self._key(fingerprint, assumptions)] = entry
+        key = self._key(fingerprint, assumptions)
+        if key in self._exact:
+            self.bytes -= self._sizes.pop(key, 0)
+            del self._exact[key]
+        size = _entry_bytes(entry)
+        self._exact[key] = entry
+        self._sizes[key] = size
+        self.bytes += size
+        self._touch_formula(fingerprint)
+        self._enforce_bounds()
         return True
+
+    def _enforce_bounds(self) -> None:
+        while len(self._exact) > self.max_entries or (
+            self.max_bytes is not None
+            and self.bytes > self.max_bytes
+            and self._exact
+        ):
+            key, _entry = self._exact.popitem(last=False)
+            self.bytes -= self._sizes.pop(key, 0)
+            self.evictions += 1
+        while len(self._formulas) > self.max_entries:
+            fingerprint, _ = self._formulas.popitem(last=False)
+            self._drop_formula(fingerprint)
+            self.evictions += 1
+
+    def _drop_formula(self, fingerprint: str) -> None:
+        """Remove every trace of one fingerprint (side indexes included)."""
+        self._cores.pop(fingerprint, None)
+        self._models.pop(fingerprint, None)
+        lemmas = self._lemmas.pop(fingerprint, None)
+        if lemmas is not None:
+            self.bytes -= self._lemma_bytes(lemmas)
+        for key in [key for key in self._exact if key[0] == fingerprint]:
+            del self._exact[key]
+            self.bytes -= self._sizes.pop(key, 0)
+
+    @staticmethod
+    def _lemma_bytes(lemmas) -> int:
+        return sum(
+            _ENTRY_OVERHEAD + _BYTES_PER_LITERAL * len(literals)
+            for literals, _lbd in lemmas
+        )
 
     def store_lemmas(self, fingerprint: str, lemmas) -> None:
         """Record retained learned clauses as ``(dimacs_literals, lbd)`` pairs.
@@ -149,7 +264,14 @@ class AnswerCache:
         later session on the same fingerprint may attach them directly.
         """
         stored = [(tuple(literals), int(lbd)) for literals, lbd in lemmas]
-        self._lemmas[fingerprint] = stored[-self.max_lemmas :]
+        stored = stored[-self.max_lemmas :]
+        previous = self._lemmas.get(fingerprint)
+        if previous is not None:
+            self.bytes -= self._lemma_bytes(previous)
+        self._lemmas[fingerprint] = stored
+        self.bytes += self._lemma_bytes(stored)
+        self._touch_formula(fingerprint)
+        self._enforce_bounds()
 
     def lemmas_for(self, fingerprint: str) -> list[tuple[tuple[int, ...], int]]:
         """The stored lemmas for a formula (empty list when none)."""
@@ -159,10 +281,14 @@ class AnswerCache:
     # Introspection
     # ------------------------------------------------------------------
     def summary(self) -> dict:
-        """Flat counters for logs and the CLI session footer."""
+        """Flat counters for logs, the stats op, and the CLI footer."""
         return {
             "entries": len(self._exact),
-            "formulas": len(set(key[0] for key in self._exact) | set(self._cores) | set(self._models)),
+            "formulas": len(self._formulas),
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
+            "bytes": self.bytes,
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
         }

@@ -224,10 +224,13 @@ class SolverSession:
                 }
             )
         if self.cache is not None and result.status is not SolveStatus.UNKNOWN:
+            evictions_before = self.cache.evictions
             self.cache.store(self.fingerprint, assumptions, result)
             self.cache.store_lemmas(
                 self.fingerprint, self.solver.iter_learned_lemmas()
             )
+            # Mirror cache pressure into the stats the fleet aggregates.
+            stats.cache_evictions += self.cache.evictions - evictions_before
         self.last_result = result
         return result
 

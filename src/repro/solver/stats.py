@@ -66,6 +66,9 @@ class SolverStats:
     # the LBD retention filter.  Zero for plain one-shot solves.
     session_calls: int = 0
     cache_hits: int = 0
+    #: Entries LRU-evicted from the bounded AnswerCache during this
+    #: session's store calls (cache pressure, visible fleet-wide).
+    cache_evictions: int = 0
     retained_clauses: int = 0
 
     # Arena engine (see repro.solver.arena): inprocessing passes run
@@ -165,6 +168,7 @@ class SolverStats:
         self.resumes += other.resumes
         self.session_calls += other.session_calls
         self.cache_hits += other.cache_hits
+        self.cache_evictions += other.cache_evictions
         self.retained_clauses += other.retained_clauses
         self.inprocess_passes += other.inprocess_passes
         self.eliminated_variables += other.eliminated_variables
@@ -194,6 +198,7 @@ class SolverStats:
             "resumes": self.resumes,
             "session_calls": self.session_calls,
             "cache_hits": self.cache_hits,
+            "cache_evictions": self.cache_evictions,
             "retained_clauses": self.retained_clauses,
             "inprocess_passes": self.inprocess_passes,
             "eliminated_variables": self.eliminated_variables,

@@ -117,3 +117,31 @@ def test_worker_converts_exceptions_to_none_payload():
     solve_in_worker(7, object(), None, {}, None, results)  # not a formula
     index, payload = results.get_nowait()
     assert index == 7 and payload is None
+
+
+def test_stop_event_drains_the_batch_with_honest_unknowns():
+    import threading
+
+    from repro.parallel.batch import DRAIN_REASON
+    from repro.generators import pigeonhole_formula
+
+    stop = threading.Event()
+    stop.set()  # request the drain before any instance can finish
+    batch = solve_batch(
+        [pigeonhole_formula(9), pigeonhole_formula(9, pigeons=11)],
+        jobs=2,
+        stop_event=stop,
+    )
+    assert batch.drained
+    assert all(result.status is SolveStatus.UNKNOWN for result in batch)
+    assert all(
+        result.limit_reason in (DRAIN_REASON, "interrupted") for result in batch
+    )
+
+
+def test_unset_stop_event_changes_nothing():
+    import threading
+
+    batch = solve_batch([[[1]], [[2], [-2]]], jobs=2, stop_event=threading.Event())
+    assert not batch.drained
+    assert [result.status for result in batch] == [SolveStatus.SAT, SolveStatus.UNSAT]

@@ -98,3 +98,27 @@ def test_grouped_crash_without_retry_degrades_cleanly():
     assert len(victim.results) == len(CHAIN_GROUP)
     assert not survivor.degraded
     assert [r.status for r in survivor.results] == _expected_statuses(SHRINK_GROUP)
+
+
+@pytest.mark.fault_injection
+def test_grouped_stalled_worker_is_caught_by_the_watchdog():
+    plan = FaultPlan.single("stall", worker=0, seconds=30.0)
+    grouped = solve_grouped(
+        [CHAIN_GROUP],
+        retry=RetryPolicy(max_attempts=2, backoff=0.01),
+        verification="sat",
+        stall_seconds=1.0,
+        fault_plan=plan,
+    )
+    assert grouped.retries == 1
+    outcome = grouped.groups[0]
+    assert not outcome.degraded
+    assert [r.status for r in outcome.results] == _expected_statuses(CHAIN_GROUP)
+
+
+def test_grouped_watchdog_does_not_false_positive_on_healthy_groups():
+    grouped = solve_grouped(
+        [CHAIN_GROUP, SHRINK_GROUP], jobs=2, verification="sat", stall_seconds=5.0
+    )
+    assert grouped.retries == 0
+    assert not any(outcome.degraded for outcome in grouped.groups)

@@ -1,0 +1,62 @@
+"""Admission control: queue bound, per-client cap, token bucket."""
+
+import pytest
+
+from repro.server.admission import (
+    REASON_CLIENT_CAP,
+    REASON_CLIENT_RATE,
+    REASON_QUEUE_FULL,
+    AdmissionController,
+)
+
+
+def test_admits_until_the_global_queue_bound():
+    admission = AdmissionController(max_queue=3, per_client=10)
+    assert admission.try_admit("a") is None
+    assert admission.try_admit("a") is None
+    assert admission.try_admit("b") is None
+    assert admission.try_admit("b") == REASON_QUEUE_FULL
+    admission.release("a")
+    assert admission.try_admit("b") is None
+    assert admission.summary()["refused"] == {REASON_QUEUE_FULL: 1}
+
+
+def test_one_client_cannot_monopolize_the_pool():
+    admission = AdmissionController(max_queue=100, per_client=2)
+    assert admission.try_admit("greedy") is None
+    assert admission.try_admit("greedy") is None
+    assert admission.try_admit("greedy") == REASON_CLIENT_CAP
+    # Other clients still get in.
+    assert admission.try_admit("polite") is None
+
+
+def test_token_bucket_limits_sustained_rate():
+    admission = AdmissionController(
+        max_queue=100, per_client=100, burst=2, refill_per_second=1.0
+    )
+    now = 1000.0
+    assert admission.try_admit("c", now) is None
+    admission.release("c")
+    assert admission.try_admit("c", now) is None
+    admission.release("c")
+    assert admission.try_admit("c", now) == REASON_CLIENT_RATE
+    # Half a second refills half a token — still refused.
+    assert admission.try_admit("c", now + 0.5) == REASON_CLIENT_RATE
+    # A full second refills a full token.
+    assert admission.try_admit("c", now + 1.5) is None
+
+
+def test_release_without_admit_is_a_bug_not_a_shrug():
+    admission = AdmissionController()
+    with pytest.raises(RuntimeError):
+        admission.release("ghost")
+
+
+def test_forget_drops_only_idle_clients():
+    admission = AdmissionController()
+    assert admission.try_admit("a") is None
+    admission.forget("a")  # in flight: kept
+    assert admission.summary()["clients"] == 1
+    admission.release("a")
+    admission.forget("a")
+    assert admission.summary()["clients"] == 0

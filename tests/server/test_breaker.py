@@ -1,0 +1,76 @@
+"""Circuit breaker: open on repeated worker deaths, half-open trial, close."""
+
+from repro.server.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
+
+FP = "fingerprint-a"
+
+
+def test_closed_until_threshold_failures_in_window():
+    breaker = CircuitBreaker(threshold=3, window_seconds=60.0)
+    now = 100.0
+    assert breaker.allows(FP, now)
+    assert breaker.record_failure(FP, now) == STATE_CLOSED
+    assert breaker.record_failure(FP, now + 1) == STATE_CLOSED
+    assert breaker.allows(FP, now + 1)
+    assert breaker.record_failure(FP, now + 2) == STATE_OPEN
+    assert not breaker.allows(FP, now + 3)
+    assert breaker.summary()["opens"] == 1
+    assert breaker.open_fingerprints() == [FP]
+
+
+def test_old_failures_age_out_of_the_window():
+    breaker = CircuitBreaker(threshold=3, window_seconds=10.0)
+    now = 100.0
+    breaker.record_failure(FP, now)
+    breaker.record_failure(FP, now + 1)
+    # The first two fall out of the window before the third arrives.
+    assert breaker.record_failure(FP, now + 20) == STATE_CLOSED
+    assert breaker.allows(FP, now + 20)
+
+
+def test_half_open_admits_exactly_one_trial():
+    breaker = CircuitBreaker(threshold=1, cooldown_seconds=5.0)
+    now = 100.0
+    assert breaker.record_failure(FP, now) == STATE_OPEN
+    assert not breaker.allows(FP, now + 1)
+    assert breaker.state(FP, now + 6) == STATE_HALF_OPEN
+    assert breaker.allows(FP, now + 6)  # the trial
+    assert not breaker.allows(FP, now + 6)  # everyone else waits
+    refusals = breaker.summary()["refusals"]
+    assert refusals >= 2
+
+
+def test_trial_success_closes_and_forgives():
+    breaker = CircuitBreaker(threshold=1, cooldown_seconds=5.0)
+    now = 100.0
+    breaker.record_failure(FP, now)
+    assert breaker.allows(FP, now + 6)
+    breaker.record_success(FP)
+    assert breaker.state(FP, now + 7) == STATE_CLOSED
+    assert breaker.allows(FP, now + 7)
+    assert breaker.open_fingerprints() == []
+
+
+def test_trial_failure_reopens_for_another_cooldown():
+    breaker = CircuitBreaker(threshold=1, cooldown_seconds=5.0)
+    now = 100.0
+    breaker.record_failure(FP, now)
+    assert breaker.allows(FP, now + 6)  # trial admitted
+    assert breaker.record_failure(FP, now + 7) == STATE_OPEN
+    assert not breaker.allows(FP, now + 8)
+    # The new cooldown starts at the trial failure, not the first open.
+    assert breaker.state(FP, now + 11.5) == STATE_OPEN
+    assert breaker.state(FP, now + 12.5) == STATE_HALF_OPEN
+
+
+def test_fingerprints_are_independent():
+    breaker = CircuitBreaker(threshold=1)
+    now = 100.0
+    breaker.record_failure("bad", now)
+    assert not breaker.allows("bad", now + 1)
+    assert breaker.allows("good", now + 1)

@@ -1,0 +1,260 @@
+"""End-to-end service tests: asyncio server + client over a real socket."""
+
+import asyncio
+
+import pytest
+
+from repro.server.admission import REASON_QUEUE_FULL, AdmissionController
+from repro.server.client import AsyncSolverClient, SolverClient
+from repro.server.server import SolverServer
+from repro.server.service import REASON_DRAINING, SolverService
+from repro.solver.config import VERIFY_FULL, config_by_name
+
+SAT_CLAUSES = [[1, 2], [-1, 2], [1, -2]]
+UNSAT_CLAUSES = [[1, 2], [-1, 2], [1, -2], [-1, -2]]
+
+
+def _hole(holes):
+    from repro.generators import pigeonhole_formula
+
+    return [list(clause) for clause in pigeonhole_formula(holes).clauses]
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def make_service(**kwargs):
+    kwargs.setdefault("pool_size", 2)
+    kwargs.setdefault("config", config_by_name("berkmin", seed=11))
+    kwargs.setdefault("verification", VERIFY_FULL)
+    kwargs.setdefault("retry", 1)
+    return SolverService(**kwargs)
+
+
+async def serve(service, **kwargs):
+    server = SolverServer(service, **kwargs)
+    await server.start()
+    return server
+
+
+def test_concurrent_solves_get_correct_verified_answers():
+    async def scenario():
+        service = make_service()
+        server = await serve(service)
+        try:
+            async with AsyncSolverClient(port=server.port) as client:
+                replies = await asyncio.wait_for(
+                    asyncio.gather(
+                        client.solve(SAT_CLAUSES, timeout=10.0),
+                        client.solve(UNSAT_CLAUSES, timeout=10.0),
+                        client.ping(),
+                    ),
+                    timeout=60.0,
+                )
+        finally:
+            await server.shutdown()
+        return replies
+
+    sat, unsat, pong = run(scenario())
+    assert sat["kind"] == "result" and sat["status"] == "SAT"
+    assert sat["verified"] is not None
+    assert unsat["kind"] == "result" and unsat["status"] == "UNSAT"
+    assert unsat["verified"] is not None
+    assert pong["kind"] == "pong"
+
+
+def test_repeat_request_is_answered_from_the_cache():
+    async def scenario():
+        service = make_service()
+        server = await serve(service)
+        try:
+            async with AsyncSolverClient(port=server.port) as client:
+                first = await asyncio.wait_for(
+                    client.solve(UNSAT_CLAUSES, timeout=10.0), timeout=60.0
+                )
+                second = await asyncio.wait_for(
+                    client.solve(UNSAT_CLAUSES, timeout=10.0), timeout=60.0
+                )
+        finally:
+            await server.shutdown()
+        return first, second, service.cache.summary()
+
+    first, second, cache = run(scenario())
+    assert first["kind"] == "result" and first["cached"] is None
+    assert second["kind"] == "result" and second["cached"] == "exact"
+    assert second["status"] == "UNSAT"
+    assert cache["hits"] >= 1
+
+
+def test_overload_is_an_explicit_busy_not_a_hang():
+    async def scenario():
+        service = make_service(
+            pool_size=1,
+            admission=AdmissionController(max_queue=1, per_client=8),
+        )
+        server = await serve(service)
+        try:
+            async with AsyncSolverClient(port=server.port) as client:
+                slow = asyncio.create_task(client.solve(_hole(8), timeout=2.0))
+                await asyncio.sleep(0.2)  # the slow job owns the one slot
+                shed = await asyncio.wait_for(
+                    client.solve(SAT_CLAUSES, timeout=5.0), timeout=30.0
+                )
+                slow_reply = await asyncio.wait_for(slow, timeout=30.0)
+        finally:
+            await server.shutdown()
+        return shed, slow_reply
+
+    shed, slow_reply = run(scenario())
+    assert shed["kind"] == "busy" and shed["reason"] == REASON_QUEUE_FULL
+    assert slow_reply["kind"] in ("result", "deadline")
+
+
+def test_expired_deadline_is_an_explicit_deadline_reply():
+    async def scenario():
+        service = make_service(pool_size=1)
+        server = await serve(service)
+        try:
+            async with AsyncSolverClient(port=server.port) as client:
+                reply = await asyncio.wait_for(
+                    client.solve(_hole(9), timeout=0.05), timeout=60.0
+                )
+        finally:
+            await server.shutdown()
+        return reply
+
+    reply = run(scenario())
+    assert reply["kind"] == "deadline"
+    assert reply["reason"] in ("time budget", "deadline expired")
+
+
+def test_bad_requests_get_error_replies_not_disconnects():
+    async def scenario():
+        service = make_service()
+        server = await serve(service)
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            garbage_reply = await asyncio.wait_for(reader.readline(), timeout=10.0)
+            async with AsyncSolverClient(port=server.port) as client:
+                unknown_config = await asyncio.wait_for(
+                    client.solve(SAT_CLAUSES, config="frobnicate"), timeout=10.0
+                )
+                still_alive = await asyncio.wait_for(client.ping(), timeout=10.0)
+            writer.close()
+            await writer.wait_closed()
+        finally:
+            await server.shutdown()
+        return garbage_reply, unknown_config, still_alive
+
+    garbage_reply, unknown_config, still_alive = run(scenario())
+    import json
+
+    assert json.loads(garbage_reply)["kind"] == "error"
+    assert unknown_config["kind"] == "error"
+    assert "frobnicate" in unknown_config["error"]
+    assert still_alive["kind"] == "pong"
+
+
+def test_stats_op_reports_service_health():
+    async def scenario():
+        service = make_service()
+        server = await serve(service)
+        try:
+            async with AsyncSolverClient(port=server.port) as client:
+                await asyncio.wait_for(
+                    client.solve(SAT_CLAUSES, timeout=10.0), timeout=60.0
+                )
+                stats = await asyncio.wait_for(client.stats(), timeout=10.0)
+        finally:
+            await server.shutdown()
+        return stats
+
+    stats = run(scenario())
+    assert stats["kind"] == "stats"
+    payload = stats["stats"]
+    assert payload["pool"]["size"] == 2
+    assert payload["replies"].get("result", 0) >= 1
+    assert payload["requests"] >= 2
+
+
+def test_unix_socket_transport(tmp_path):
+    path = str(tmp_path / "repro.sock")
+
+    async def scenario():
+        service = make_service()
+        server = await serve(service, unix_path=path)
+        try:
+            async with AsyncSolverClient(unix_path=path) as client:
+                reply = await asyncio.wait_for(
+                    client.solve(SAT_CLAUSES, timeout=10.0), timeout=60.0
+                )
+        finally:
+            await server.shutdown()
+        return reply
+
+    reply = run(scenario())
+    assert reply["kind"] == "result" and reply["status"] == "SAT"
+
+
+def test_graceful_drain_answers_everything_before_exit():
+    async def scenario():
+        service = make_service(pool_size=1)
+        server = await serve(service, drain_grace=0.5)
+        try:
+            async with AsyncSolverClient(port=server.port) as client:
+                slow = asyncio.create_task(client.solve(_hole(9), timeout=20.0))
+                await asyncio.sleep(0.3)  # the slow solve is mid-search
+                server.request_stop()
+                # The drain must still answer the in-flight request.
+                shutdown = asyncio.create_task(server.shutdown())
+                slow_reply = await asyncio.wait_for(slow, timeout=30.0)
+                await asyncio.wait_for(shutdown, timeout=30.0)
+        finally:
+            service.close()
+        return slow_reply, service.draining
+
+    slow_reply, draining = run(scenario())
+    # Cooperative cancel: the in-flight search answers honestly.
+    assert slow_reply["kind"] in ("result", "deadline")
+    if slow_reply["kind"] == "result":
+        assert slow_reply["status"] in ("UNSAT", "UNKNOWN")
+    assert draining
+
+
+def test_draining_service_refuses_new_solves():
+    async def scenario():
+        service = make_service()
+        server = await serve(service)
+        try:
+            async with AsyncSolverClient(port=server.port) as client:
+                service.draining = True
+                reply = await asyncio.wait_for(
+                    client.solve(SAT_CLAUSES, timeout=5.0), timeout=10.0
+                )
+        finally:
+            await server.shutdown()
+        return reply
+
+    reply = run(scenario())
+    assert reply["kind"] == "busy" and reply["reason"] == REASON_DRAINING
+
+
+def test_blocking_client_roundtrip():
+    async def scenario():
+        service = make_service()
+        server = await serve(service)
+        try:
+            reply = await asyncio.to_thread(blocking_solve, server.port)
+        finally:
+            await server.shutdown()
+        return reply
+
+    def blocking_solve(port):
+        with SolverClient(port=port) as client:
+            return client.solve(UNSAT_CLAUSES, timeout=10.0)
+
+    reply = run(scenario())
+    assert reply["kind"] == "result" and reply["status"] == "UNSAT"

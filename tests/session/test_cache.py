@@ -113,3 +113,36 @@ def test_shared_cache_lemma_import_warm_starts_sessions():
         # Lemmas import at construction, before any solving.
         assert len(warm.solver.learned) > 0
         assert warm.stats.retained_clauses > 0
+
+
+def test_lru_eviction_spares_recently_used_entries():
+    cache = AnswerCache(max_entries=3)
+    for variable in (1, 2, 3):
+        cache.store(FP, [variable], _sat_result({variable: True}))
+    # Refresh entry [1]; entry [2] is now the least recently used.
+    assert cache.lookup(FP, [1]) is not None
+    cache.store(FP, [4], _sat_result({4: True}))
+    assert cache.lookup(FP, [1])[0] == "exact"
+    assert cache.evictions == 1
+    # [2]'s exact slot is gone (model-reuse may still answer it).
+    assert (FP, (2,)) not in cache._exact
+
+
+def test_byte_budget_evicts_oldest_payloads():
+    cache = AnswerCache(max_entries=1000, max_bytes=700)
+    for variable in range(1, 8):
+        cache.store(
+            "fp-%d" % variable, [], _sat_result({v: True for v in range(1, 20)})
+        )
+    assert cache.bytes <= 700
+    assert cache.evictions >= 1
+    assert len(cache) < 7
+
+
+def test_eviction_counters_mirror_into_session_stats():
+    cache = AnswerCache(max_entries=1)
+    with SolverSession([[1, 2]], cache=cache) as session:
+        session.solve(assumptions=[1])
+        session.solve(assumptions=[2])  # evicts the first exact entry
+    assert cache.evictions >= 1
+    assert session.stats.cache_evictions == cache.evictions
