@@ -293,20 +293,23 @@ def solve_batch(
         trace=trace,
         telemetry_seconds=telemetry_seconds if monitor is not None else None,
     )
+    submitted: list[Job] = []
     for index, formula in enumerate(items):
         checkpoint_path = None
         if checkpoint_dir is not None:
             checkpoint_path = os.path.join(
                 checkpoint_dir, f"instance-{index:04d}.ckpt"
             )
-        pool.submit(
-            Job(
-                job_id=index,
-                formula=formula,
-                config=worker_config,
-                limits=dict(base_limits),
-                budget=timeout,
-                checkpoint_path=checkpoint_path,
+        submitted.append(
+            pool.submit(
+                Job(
+                    job_id=index,
+                    formula=formula,
+                    config=worker_config,
+                    limits=dict(base_limits),
+                    budget=timeout,
+                    checkpoint_path=checkpoint_path,
+                )
             )
         )
 
@@ -321,7 +324,7 @@ def solve_batch(
     finally:
         pool.close()
 
-    results = [pool.jobs[index].result for index in range(len(items))]
+    results = [job.result for job in submitted]
     stats = aggregate_stats(result.stats for result in results)
     stats.worker_retries += pool.retries
     batch = BatchResult(

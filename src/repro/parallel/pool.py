@@ -231,11 +231,11 @@ class JobPool:
         finished: list[Job] = []
         now = time.monotonic()
         for job in list(self.pending):
-            if len(self.active) >= self.size:
-                break
+            # Expired while queued: cancel without ever launching.  This
+            # sweep runs even when every slot is busy — a saturated pool
+            # must not delay the promised prompt "deadline" reply.
             deadline = self._effective_deadline(job, now)
             if deadline is not None and now >= deadline:
-                # Expired while queued: cancel without ever launching.
                 self.pending.remove(job)
                 self._finalize(
                     job,
@@ -247,7 +247,9 @@ class JobPool:
                     ),
                     finished,
                 )
-                continue
+        for job in list(self.pending):
+            if len(self.active) >= self.size:
+                break
             if job.not_before <= now:
                 self.pending.remove(job)
                 self._launch(job)
@@ -290,6 +292,22 @@ class JobPool:
                     job, entry, "stalled (no heartbeat)", now,
                     retryable=True, finished=finished,
                 )
+        # Purge stale result payloads: a terminated (budget/stall) or
+        # already-finalized attempt may still post to the queue, and
+        # nothing will ever consume its tag.  Only the current attempt
+        # of a still-active job can be claimed above; everything else
+        # is garbage the long-running server must not accumulate.
+        for tag in [
+            key
+            for key in self._collected
+            if isinstance(key, tuple)
+            and len(key) == 2
+            and (
+                key[0] not in self.active
+                or self.active[key[0]].attempt != key[1]
+            )
+        ]:
+            del self._collected[tag]
         return finished
 
     # ------------------------------------------------------------------
@@ -547,5 +565,11 @@ class JobPool:
     def _finalize(self, job: Job, result: SolveResult, finished: list) -> None:
         job.result = result
         finished.append(job)
+        # Finalized jobs leave the pool's index immediately: a long-
+        # running server submits an unbounded stream, and each Job pins
+        # its formula, history, and the caller's reply closure.  Callers
+        # keep their own references (submit() returns the job, and it is
+        # in `finished` / handed to on_done here).
+        self.jobs.pop(job.job_id, None)
         if job.on_done is not None:
             job.on_done(job)

@@ -41,6 +41,10 @@ class _ClientState:
     in_flight: int = 0
     tokens: float = 0.0
     refilled_at: float = field(default_factory=time.monotonic)
+    #: Set by :meth:`AdmissionController.forget` when the client
+    #: disconnects while jobs are still in flight; the last
+    #: :meth:`AdmissionController.release` then drops the state.
+    gone: bool = False
 
 
 class AdmissionController:
@@ -123,12 +127,24 @@ class AdmissionController:
             raise RuntimeError(f"release without admit for client {client_id!r}")
         state.in_flight -= 1
         self.in_flight -= 1
+        if state.gone and state.in_flight == 0:
+            del self._clients[client_id]
 
     def forget(self, client_id) -> None:
-        """Drop a disconnected client's bucket state (slots must be released)."""
+        """Drop a disconnected client's bucket state.
+
+        A client that disconnects mid-solve still has slots in flight;
+        its state is marked and dropped by the final :meth:`release`
+        instead, so the long-running server never accumulates state for
+        clients that are gone.
+        """
         state = self._clients.get(client_id)
-        if state is not None and state.in_flight == 0:
+        if state is None:
+            return
+        if state.in_flight == 0:
             del self._clients[client_id]
+        else:
+            state.gone = True
 
     def summary(self) -> dict:
         """Flat counters for the stats reply and the dashboard."""

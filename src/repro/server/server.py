@@ -38,6 +38,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import signal
+import sys
 
 from repro.server.protocol import (
     MAX_LINE_BYTES,
@@ -89,6 +90,8 @@ class SolverServer:
         #: programmatic :meth:`request_stop`) — the CLI turns SIGTERM
         #: into exit code 143.
         self.stop_signum: int | None = None
+        #: Exceptions swallowed (and logged) by the pump guard.
+        self.pump_errors = 0
         self._next_client = 0
         self._connections: set[asyncio.Task] = set()
         self._outboxes: set[asyncio.Queue] = set()
@@ -109,6 +112,7 @@ class SolverServer:
             )
             self.port = self._server.sockets[0].getsockname()[1]
         self._pump_task = asyncio.get_running_loop().create_task(self._pump())
+        self._pump_task.add_done_callback(self._pump_exited)
         if self.service.trace is not None:
             self.service.trace.emit(
                 {
@@ -174,13 +178,40 @@ class SolverServer:
 
         ``tick()`` is a non-blocking poll, so running it on the loop
         keeps the whole service single-threaded — completion callbacks
-        and connection readers can never race.
+        and connection readers can never race.  The tick is guarded: an
+        exception escaping a completion callback (admission, breaker,
+        cache, reply send) must not kill the pump, because every
+        pool-bound request would then hang unanswered.
         """
         while True:
-            finished = self.service.tick()
+            try:
+                finished = self.service.tick()
+            except Exception as error:
+                finished = 0
+                self.pump_errors += 1
+                print(f"repro-sat serve: pump tick failed: {error!r}", file=sys.stderr)
+                if self.service.trace is not None:
+                    with contextlib.suppress(Exception):
+                        self.service.trace.emit(
+                            {"type": "server_pump_error", "error": repr(error)}
+                        )
             await asyncio.sleep(
                 _PUMP_BUSY_SECONDS if finished or self.service.pool.load else _PUMP_IDLE_SECONDS
             )
+
+    def _pump_exited(self, task: asyncio.Task) -> None:
+        """Make an unexpected pump death loud: drain instead of hanging.
+
+        A cancelled pump is the normal shutdown path; anything else
+        (a BaseException the guard cannot catch) would leave every
+        in-flight client waiting forever, so trigger the graceful stop.
+        """
+        if task.cancelled():
+            return
+        error = task.exception()
+        if error is not None:
+            print(f"repro-sat serve: pump task died: {error!r}", file=sys.stderr)
+            self.request_stop()
 
     # ------------------------------------------------------------------
     # Connections

@@ -11,12 +11,13 @@ request**, always:
    ``error`` replies, before any resource is spent;
 2. **admission control** — :class:`~repro.server.admission.AdmissionController`
    sheds load with ``busy`` replies (queue full, per-client cap, rate);
-3. **circuit breaker** — :class:`~repro.server.breaker.CircuitBreaker`
+3. **answer cache** — a shared, bounded
+   :class:`~repro.session.AnswerCache`; exact/core/model hits answer
+   without search, without occupying a pool slot, and without touching
+   the circuit breaker (a hit must not consume a half-open trial);
+4. **circuit breaker** — :class:`~repro.server.breaker.CircuitBreaker`
    refuses fingerprints that keep killing workers (``busy`` with a
    quarantine reason);
-4. **answer cache** — a shared, bounded
-   :class:`~repro.session.AnswerCache`; exact/core/model hits answer
-   without search and without occupying a pool slot for solving;
 5. **the self-healing pool** — everything else becomes a
    :class:`~repro.parallel.pool.Job` with an absolute deadline; the
    pool supervises attempts, heartbeats, retries, and warm resume, and
@@ -213,11 +214,10 @@ class SolverService:
             return
 
         fingerprint = canonical_fingerprint(formula.clauses)
-        if not self.breaker.allows(fingerprint):
-            self.admission.release(client_id)
-            self._send(send, refusal_reply(request_id, "busy", REASON_QUARANTINED))
-            return
-
+        # Cache before breaker: a hit answers without touching the pool,
+        # so it must not consume the breaker's single half-open trial
+        # (allows() marks the trial in flight, and a cache-hit return
+        # would never resolve it — quarantining the fingerprint forever).
         hit = self.cache.lookup(fingerprint, request.assumptions)
         if hit is not None:
             kind, stored = hit
@@ -226,6 +226,11 @@ class SolverService:
                 send,
                 result_reply(request_id, stored_to_result(kind, stored), cached=kind),
             )
+            return
+
+        if not self.breaker.allows(fingerprint):
+            self.admission.release(client_id)
+            self._send(send, refusal_reply(request_id, "busy", REASON_QUARANTINED))
             return
 
         timeout = request.timeout if request.timeout is not None else self.default_timeout

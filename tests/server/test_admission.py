@@ -58,5 +58,20 @@ def test_forget_drops_only_idle_clients():
     admission.forget("a")  # in flight: kept
     assert admission.summary()["clients"] == 1
     admission.release("a")
-    admission.forget("a")
     assert admission.summary()["clients"] == 0
+
+
+def test_forget_mid_flight_drops_state_on_the_final_release():
+    # A client that disconnects mid-solve is forgotten exactly when its
+    # last in-flight job releases — never leaked, never dropped early
+    # (the release accounting still needs the state).
+    admission = AdmissionController()
+    assert admission.try_admit("a") is None
+    assert admission.try_admit("a") is None
+    admission.forget("a")
+    assert admission.summary()["clients"] == 1
+    admission.release("a")
+    assert admission.summary()["clients"] == 1
+    admission.release("a")
+    assert admission.summary()["clients"] == 0
+    assert admission.in_flight == 0

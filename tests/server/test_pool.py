@@ -160,6 +160,45 @@ def test_drain_finalizes_everything_and_refuses_new_work(pool_factory):
         pool.submit(Job(job_id=2, formula=SAT_FORMULA, config=worker_config()))
 
 
+def test_finalized_jobs_are_pruned_from_the_pool_index(pool_factory):
+    # A long-running server streams an unbounded number of jobs through
+    # one pool; retaining finalized Jobs (formula + history + reply
+    # closure) would leak until OOM.
+    pool = pool_factory(size=2)
+    jobs = [
+        Job(job_id=0, formula=SAT_FORMULA, config=worker_config()),
+        Job(job_id=1, formula=UNSAT_FORMULA, config=worker_config()),
+    ]
+    for job in jobs:
+        pool.submit(job)
+    run_until_idle(pool)
+    assert all(job.done for job in jobs)  # callers keep their references
+    assert pool.jobs == {}
+    assert pool._collected == {}
+
+
+def test_saturated_pool_still_expires_queued_deadlines(pool_factory):
+    pool = pool_factory(size=1)
+    slow = Job(job_id=0, formula=pigeonhole_formula(9), config=worker_config())
+    queued = Job(
+        job_id=1, formula=SAT_FORMULA, config=worker_config(),
+        deadline=time.monotonic() + 0.3,
+    )
+    pool.submit(slow)
+    pool.submit(queued)
+    pool.poll()  # the slow job owns the only slot
+    stop = time.monotonic() + 30.0
+    while not queued.done:
+        assert time.monotonic() < stop, "queued deadline never expired"
+        pool.poll()
+    # The expiry fired while the pool was still saturated — the reply
+    # must not wait for a slot to free up.
+    assert 0 in pool.active
+    assert queued.result.status is SolveStatus.UNKNOWN
+    assert queued.result.limit_reason == DEADLINE_EXPIRED
+    pool.shed("test over")
+
+
 def test_duplicate_job_id_is_rejected(pool_factory):
     pool = pool_factory(size=1)
     pool.submit(Job(job_id=0, formula=SAT_FORMULA, config=worker_config()))

@@ -242,6 +242,68 @@ def test_draining_service_refuses_new_solves():
     assert reply["kind"] == "busy" and reply["reason"] == REASON_DRAINING
 
 
+def test_cache_hit_does_not_consume_the_half_open_breaker_trial():
+    from repro.checkpoint.snapshot import canonical_fingerprint
+    from repro.cnf.formula import CnfFormula
+    from repro.server.breaker import CircuitBreaker
+    from repro.server.protocol import Request
+    from repro.solver.result import SolveResult, SolveStatus
+
+    breaker = CircuitBreaker(threshold=1, cooldown_seconds=0.0)
+    service = make_service(pool_size=1, breaker=breaker)
+    try:
+        fingerprint = canonical_fingerprint(CnfFormula(SAT_CLAUSES).clauses)
+        service.cache.store(
+            fingerprint,
+            (),
+            SolveResult(status=SolveStatus.SAT, model={1: True, 2: True}),
+        )
+        breaker.record_failure(fingerprint)  # open; cooldown 0 => half-open
+        sent = []
+        service.handle(
+            Request(op="solve", request_id="r1", clauses=SAT_CLAUSES),
+            "client-1",
+            sent.append,
+        )
+        assert sent and sent[0]["kind"] == "result" and sent[0]["cached"] == "exact"
+        # The cached reply resolved without touching the breaker: the
+        # single half-open trial is still available to a real request.
+        assert breaker.allows(fingerprint)
+    finally:
+        service.close()
+
+
+def test_pump_survives_a_tick_exception():
+    async def scenario():
+        service = make_service()
+        server = await serve(service)
+        original_tick = service.tick
+        failures = {"count": 0}
+
+        def bad_tick():
+            if failures["count"] < 3:
+                failures["count"] += 1
+                raise RuntimeError("injected tick failure")
+            return original_tick()
+
+        service.tick = bad_tick
+        try:
+            async with AsyncSolverClient(port=server.port) as client:
+                reply = await asyncio.wait_for(
+                    client.solve(SAT_CLAUSES, timeout=10.0), timeout=60.0
+                )
+        finally:
+            service.tick = original_tick
+            await server.shutdown()
+        return reply, server.pump_errors
+
+    reply, pump_errors = run(scenario())
+    # The pump swallowed the injected failures and kept driving the
+    # pool: the solve still got its reply instead of hanging forever.
+    assert reply["kind"] == "result" and reply["status"] == "SAT"
+    assert pump_errors >= 1
+
+
 def test_blocking_client_roundtrip():
     async def scenario():
         service = make_service()

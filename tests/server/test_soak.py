@@ -153,6 +153,12 @@ def test_soak_500_concurrent_requests_under_worker_killing_faults():
         assert reply["kind"] == "result" and reply["status"] == truth, reply
         assert reply["verified"] is not None
 
+    # The long-running server does not leak: every finalized job left
+    # the pool's index, and no disconnected client's admission state
+    # survived its final release.
+    assert service.pool.jobs == {}
+    assert service.admission.summary()["clients"] == 0
+
     # No orphaned worker processes survive shutdown.
     deadline = time.monotonic() + 5.0
     while multiprocessing.active_children() and time.monotonic() < deadline:
