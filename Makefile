@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-parallel test-robustness audit perf-smoke bench bench-bcp bench-portfolio profile experiments report quick-report examples clean
+.PHONY: install test test-fast test-parallel test-robustness audit perf-smoke bench bench-bcp bench-portfolio bench-sharing profile experiments report quick-report examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -40,6 +40,11 @@ bench-portfolio:
 # perf-trajectory data point (see docs/BENCHMARKS.md "Performance").
 bench-bcp:
 	$(PYTHON) -m repro.cli bench --out BENCH_2.json
+
+# A/B the sharing+adaptation fleet vs the isolated portfolio
+# (docs/BENCHMARKS.md, schema portfolio-bench/1).
+bench-sharing:
+	$(PYTHON) -m repro.cli bench --portfolio --out BENCH_9.json
 
 # cProfile one pinned pigeonhole solve; prints the top-20 cumulative entries.
 profile:

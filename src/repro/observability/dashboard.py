@@ -23,13 +23,27 @@ import sys
 import time
 
 #: Lane life-cycle states, with the glyph/order used by the dashboard.
-LANE_STATES = ("pending", "running", "retrying", "resumed", "degraded", "done")
+#: ``quarantined`` marks a lane muted by the clause bus for Byzantine
+#: sharing evidence; ``adapted`` marks a lane the UCB bandit preempted
+#: for relaunch under a mutated config (see repro.parallel.sharing).
+LANE_STATES = (
+    "pending",
+    "running",
+    "retrying",
+    "resumed",
+    "quarantined",
+    "adapted",
+    "degraded",
+    "done",
+)
 
 _GLYPHS = {
     "pending": ".",
     "running": "▶",
     "retrying": "↻",
     "resumed": "⤴",
+    "quarantined": "☣",
+    "adapted": "♻",
     "degraded": "✗",
     "done": "✓",
 }
@@ -226,27 +240,30 @@ class FleetDashboard(FleetMonitor):
         self._write(text + "\n")
         self._flush()
 
-    def _aggregate(self) -> tuple[float, float, float | None]:
-        """(props/sec, conflicts/sec, eta_seconds) across live lanes."""
+    def _aggregate(self) -> tuple[float, float, float, float | None]:
+        """(props/sec, conflicts/sec, shares/sec, eta) across live lanes."""
         props = sum(row.get("props_per_sec") or 0.0 for row in self.latest.values())
         conflicts = sum(
             row.get("conflicts_per_sec") or 0.0 for row in self.latest.values()
         )
+        shared = sum(row.get("shared_per_sec") or 0.0 for row in self.latest.values())
         finished = sum(1 for state in self.states if state in ("done", "degraded"))
         eta = None
         if self._started is not None and 0 < finished < self.count:
             elapsed = time.monotonic() - self._started
             eta = elapsed / finished * (self.count - finished)
-        return props, conflicts, eta
+        return props, conflicts, shared, eta
 
     def _panel(self) -> list[str]:
         finished = sum(1 for state in self.states if state in ("done", "degraded"))
         glyphs = "".join(_GLYPHS.get(state, "?") for state in self.states)
-        props, conflicts, eta = self._aggregate()
+        props, conflicts, shared, eta = self._aggregate()
         header = (
             f"fleet {finished}/{self.count}  "
             f"{props:,.0f} props/s  {conflicts:,.0f} conflicts/s"
         )
+        if shared:
+            header += f"  {shared:,.1f} shares/s"
         if eta is not None:
             header += f"  eta ~{eta:.0f}s"
         lines = [header[: self.width], f"[{glyphs}]"[: self.width]]

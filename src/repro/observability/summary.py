@@ -10,7 +10,40 @@ reliability section when the trace covers supervised engines.
 
 from __future__ import annotations
 
-from .trace import DECISION_SOURCES, read_trace
+import json
+
+from .trace import DECISION_SOURCES, TraceFormatError, validate_event
+
+
+def _iter_trace_lenient(path, unknown_types: dict):
+    """Yield validated events, skipping (and counting) unknown types.
+
+    Forward compatibility: a trace written by a newer schema may carry
+    event types this build does not know.  Crashing the whole summary
+    over them would make old tooling useless against new traces, so
+    unknown *types* are skipped and tallied into ``unknown_types`` (the
+    report prints them as a warning).  Every other defect — broken
+    JSON, missing/unknown fields on a known type — still raises
+    :class:`TraceFormatError`: those mean corruption, not the future.
+    """
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TraceFormatError(f"{path}:{number}: not JSON ({error})") from None
+            defect = validate_event(event)
+            if defect is None:
+                yield event
+                continue
+            if defect.startswith("unknown event type"):
+                kind = str(event.get("type"))
+                unknown_types[kind] = unknown_types.get(kind, 0) + 1
+                continue
+            raise TraceFormatError(f"{path}:{number}: {defect}")
 
 
 def _distribution(values: list) -> dict:
@@ -38,8 +71,10 @@ def summarize_trace(path) -> dict:
     """Read a trace file and fold it into one summary dict.
 
     Raises :class:`~repro.observability.trace.TraceFormatError` on the
-    first schema-invalid line — a summary over a malformed trace would
-    be silently wrong, which is worse than no summary.
+    first malformed line — a summary over a corrupt trace would be
+    silently wrong, which is worse than no summary.  The one leniency
+    is *unknown event types* (traces from a newer schema): those are
+    skipped and surfaced as a counted warning instead of a crash.
     """
     events = 0
     by_type: dict[str, int] = {}
@@ -67,9 +102,20 @@ def summarize_trace(path) -> dict:
     solves: list[dict] = []
     checkpoint = {"writes": 0, "resumes": 0}
     fleet = {"faults": 0, "retries": 0, "audit_rounds": 0, "audit_failures": 0}
+    sharing = {
+        "exports": 0,
+        "import_batches": 0,
+        "imported": 0,
+        "rejects": 0,
+        "quarantines": 0,
+        "adaptations": 0,
+    }
+    reject_reasons: dict[str, int] = {}
+    adapt_mutations: dict[str, int] = {}
+    unknown_types: dict[str, int] = {}
     max_conflicts = 0
 
-    for event in read_trace(path):
+    for event in _iter_trace_lenient(path, unknown_types):
         events += 1
         kind = event["type"]
         by_type[kind] = by_type.get(kind, 0) + 1
@@ -115,6 +161,21 @@ def summarize_trace(path) -> dict:
             fleet["audit_rounds"] += 1
             if not event["ok"]:
                 fleet["audit_failures"] += 1
+        elif kind == "share_export":
+            sharing["exports"] += 1
+        elif kind == "share_import":
+            sharing["import_batches"] += 1
+            sharing["imported"] += event["count"]
+        elif kind == "share_reject":
+            sharing["rejects"] += 1
+            reason = event["reason"]
+            reject_reasons[reason] = reject_reasons.get(reason, 0) + 1
+        elif kind == "lane_quarantine":
+            sharing["quarantines"] += 1
+        elif kind == "lane_adapt":
+            sharing["adaptations"] += 1
+            mutation = event["mutation"]
+            adapt_mutations[mutation] = adapt_mutations.get(mutation, 0) + 1
 
     decisions = sum(source_counts.values())
     intervals = [
@@ -143,6 +204,15 @@ def summarize_trace(path) -> dict:
         "solves": solves,
         "checkpoint": checkpoint,
         "fleet": fleet,
+        "sharing": {
+            **sharing,
+            "reject_reasons": dict(sorted(reject_reasons.items())),
+            "adapt_mutations": dict(sorted(adapt_mutations.items())),
+        },
+        "unknown_events": {
+            "count": sum(unknown_types.values()),
+            "types": dict(sorted(unknown_types.items())),
+        },
         "max_conflicts": max_conflicts,
     }
 
@@ -213,6 +283,42 @@ def format_summary(summary: dict) -> str:
             f"fleet: {fleet['faults']} faults, {fleet['retries']} retries, "
             f"{fleet['audit_rounds']} audit rounds "
             f"({fleet['audit_failures']} failed)",
+        ]
+    sharing = summary.get("sharing", {})
+    if any(
+        sharing.get(key) for key in ("exports", "imported", "rejects", "quarantines", "adaptations")
+    ):
+        reasons = sharing.get("reject_reasons", {})
+        reason_text = (
+            " (" + ", ".join(f"{k}={v}" for k, v in reasons.items()) + ")"
+            if reasons
+            else ""
+        )
+        lines += [
+            "",
+            f"clause sharing: {sharing['exports']} exports, "
+            f"{sharing['imported']} clauses imported in "
+            f"{sharing['import_batches']} batches, "
+            f"{sharing['rejects']} rejected{reason_text}",
+        ]
+        if sharing.get("quarantines") or sharing.get("adaptations"):
+            mutations = sharing.get("adapt_mutations", {})
+            mutation_text = (
+                " (" + ", ".join(f"{k}={v}" for k, v in mutations.items()) + ")"
+                if mutations
+                else ""
+            )
+            lines.append(
+                f"  lanes: {sharing['quarantines']} quarantined, "
+                f"{sharing['adaptations']} adapted{mutation_text}"
+            )
+    unknown = summary.get("unknown_events", {})
+    if unknown.get("count"):
+        kinds = ", ".join(f"{k}={v}" for k, v in unknown["types"].items())
+        lines += [
+            "",
+            f"warning: skipped {unknown['count']} event(s) of unknown type "
+            f"({kinds}) — trace written by a newer schema?",
         ]
     if summary["solves"]:
         lines.append("")

@@ -116,6 +116,36 @@ EVENT_SCHEMA: dict[str, tuple[frozenset, frozenset]] = {
         frozenset({"type", "lane", "attempt"}),
         frozenset({"resumed_from_conflicts"}),
     ),
+    # Cooperative clause sharing between portfolio lanes (parent-side,
+    # see repro.parallel.sharing).  share_export: the bus accepted one
+    # framed clause from a lane; share_import: the bus forwarded a batch
+    # of validated clauses into one lane's import queue; share_reject:
+    # one frame failed a validation layer (reason names the layer,
+    # severity is "hard" for Byzantine evidence and "benign" for
+    # honest-but-unusable clauses); lane_quarantine: a lane crossed the
+    # hard-rejection threshold and is being preempted fleet-wide;
+    # lane_adapt: the adaptive manager preempted the losing lane and is
+    # relaunching it under a mutated configuration.
+    "share_export": (
+        frozenset({"type", "lane", "attempt", "seq", "size", "lbd"}),
+        frozenset(),
+    ),
+    "share_import": (
+        frozenset({"type", "lane", "count"}),
+        frozenset({"dropped"}),
+    ),
+    "share_reject": (
+        frozenset({"type", "lane", "reason", "severity"}),
+        frozenset({"seq", "importer", "detail"}),
+    ),
+    "lane_quarantine": (
+        frozenset({"type", "lane", "attempt", "rejections", "exported"}),
+        frozenset({"reason"}),
+    ),
+    "lane_adapt": (
+        frozenset({"type", "lane", "attempt", "mutation"}),
+        frozenset({"score", "resumed_from_conflicts"}),
+    ),
     # One round of `repro-sat audit` (parent-side).
     "audit_round": (
         frozenset({"type", "round", "engine", "fault", "ok"}),

@@ -29,6 +29,13 @@ watchdogs catch wedged workers; ``RLIMIT_AS`` ceilings keep memory
 bounded; and the trusted-results gate (``verification="sat"``/
 ``"full"``) model-checks SAT answers and RUP-checks UNSAT proofs in the
 parent before any answer is returned.  See ``docs/ROBUSTNESS.md``.
+
+Portfolio lanes can additionally *cooperate* through the validated
+clause bus of :mod:`repro.parallel.sharing`
+(``PortfolioSolver(share=True, adapt=True)``): glue-tier learned
+clauses are exchanged under CRC framing and per-importer RUP gating,
+Byzantine exporters are quarantined, and a UCB bandit mutates the
+losing lane's configuration at preemption boundaries.
 """
 
 from repro.parallel.batch import BatchResult, solve_batch
@@ -39,16 +46,30 @@ from repro.parallel.portfolio import (
     PortfolioSolver,
     default_portfolio,
 )
+from repro.parallel.sharing import (
+    AdaptiveLaneManager,
+    ClauseBus,
+    ShareClient,
+    ShareFrameError,
+    decode_share_frame,
+    encode_share_frame,
+)
 
 __all__ = [
+    "AdaptiveLaneManager",
     "BatchResult",
+    "ClauseBus",
     "GroupOutcome",
     "GroupedResult",
     "Job",
     "JobPool",
     "PORTFOLIO_PRESETS",
     "PortfolioSolver",
+    "ShareClient",
+    "ShareFrameError",
+    "decode_share_frame",
     "default_portfolio",
+    "encode_share_frame",
     "solve_batch",
     "solve_grouped",
 ]

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 
 from repro.checkpoint.snapshot import checkpoint_conflicts
 from repro.cnf.formula import CnfFormula
+from repro.parallel.sharing import route_shares
 from repro.parallel.worker import drain_results, route_telemetry, solve_in_worker
 from repro.reliability.faults import FaultPlan
 from repro.reliability.guards import StallClock, crash_reason
@@ -255,6 +256,11 @@ class JobPool:
                 self._launch(job)
         drain_results(self.results_queue, self._collected, timeout=timeout)
         route_telemetry(self._collected, self.monitor)
+        # Pool jobs never share clauses, but a worker config copied from
+        # a sharing portfolio could still post share-tagged frames; sweep
+        # them (busless: popped and dropped) so the long-running server
+        # cannot accumulate tags nothing will ever claim.
+        route_shares(self._collected, None)
         now = time.monotonic()
         for job_id, entry in list(self.active.items()):
             job = self.jobs[job_id]

@@ -31,12 +31,21 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import random
 import time
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
 from repro.checkpoint.snapshot import checkpoint_conflicts
 from repro.cnf.formula import CnfFormula
+from repro.parallel.sharing import (
+    DEFAULT_QUARANTINE_THRESHOLD,
+    DEFAULT_VERIFY_FRACTION,
+    IMPORT_QUEUE_CAPACITY,
+    AdaptiveLaneManager,
+    ClauseBus,
+    route_shares,
+)
 from repro.parallel.worker import (
     drain_results,
     route_telemetry,
@@ -114,6 +123,12 @@ class _Lane:
     result: SolveResult | None = None
     #: Terminal failure reason once the lane is out of retries.
     failure: str | None = None
+    #: Why the supervisor is reclaiming the running attempt
+    #: ("adapt:<mutation>"), consumed when the worker yields.
+    preempt: str | None = None
+    #: Launches that do not count against the retry budget (adaptive
+    #: relaunches: the lane did nothing wrong, the *bandit* changed it).
+    free_attempts: int = 0
 
 
 @dataclass
@@ -126,6 +141,10 @@ class _Active:
     config: SolverConfig
     #: Conflict count inherited from a checkpoint at launch (None = cold).
     resumed_from: int | None = None
+    #: Per-lane preemption event (quarantine / adaptive reclaim).
+    stop: object | None = None
+    #: When the supervisor asked this attempt to stop (grace backstop).
+    preempted_at: float | None = None
 
 
 class PortfolioSolver:
@@ -173,7 +192,24 @@ class PortfolioSolver:
             ``trace``/``metrics_interval`` — progress crosses the
             process boundary as telemetry, not as a shared sink.
         telemetry_seconds: worker telemetry reporting period (only
-            active when a ``monitor`` is given).
+            active when a ``monitor`` is given or ``adapt`` is on).
+        share: enable the validated clause bus between lanes (see
+            :mod:`repro.parallel.sharing`): glue-tier learned clauses
+            are exported, CRC-framed, re-validated twice, and imported
+            at restart boundaries behind each importer's RUP gate.  A
+            lane accumulating ``quarantine_threshold`` *hard* rejections
+            is quarantined — purged fleet-wide and relaunched under the
+            retry policy.
+        share_max_lbd: export LBD bound (defaults to the first
+            configuration's ``share_max_lbd`` field, the glue tier).
+        share_verify_fraction: fraction of accepted clauses given the
+            parent's bounded semantic spot-check.
+        quarantine_threshold: hard rejections before a lane is
+            quarantined.
+        adapt: enable adaptive lane management — a UCB bandit over the
+            telemetry stream preempts the clearly-losing lane and
+            relaunches it (without burning retry budget) under a mutated
+            configuration, warm-resumed where its checkpoint is valid.
     """
 
     def __init__(
@@ -192,6 +228,11 @@ class PortfolioSolver:
         monitor=None,
         trace=None,
         telemetry_seconds: float = 0.5,
+        share: bool = False,
+        share_max_lbd: int | None = None,
+        share_verify_fraction: float = DEFAULT_VERIFY_FRACTION,
+        quarantine_threshold: int = DEFAULT_QUARANTINE_THRESHOLD,
+        adapt: bool = False,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -224,6 +265,14 @@ class PortfolioSolver:
         self.monitor = monitor
         self.trace = trace
         self.telemetry_seconds = telemetry_seconds
+        self.share = bool(share)
+        self.share_max_lbd = (
+            share_max_lbd if share_max_lbd is not None
+            else self.configs[0].share_max_lbd
+        )
+        self.share_verify_fraction = share_verify_fraction
+        self.quarantine_threshold = quarantine_threshold
+        self.adapt = bool(adapt)
 
     # ------------------------------------------------------------------
     def solve(
@@ -271,6 +320,21 @@ class PortfolioSolver:
         cancel = context.Event()
         results_queue = context.Queue()
         lanes = [_Lane(index, config) for index, config in enumerate(worker_configs)]
+        bus: ClauseBus | None = None
+        import_queues: list = [None] * len(lanes)
+        if self.share and len(lanes) > 1:
+            bus = ClauseBus(
+                formula,
+                len(lanes),
+                max_lbd=self.share_max_lbd,
+                verify_fraction=self.share_verify_fraction,
+                quarantine_threshold=self.quarantine_threshold,
+                rng=random.Random(10007 + self.configs[0].seed),
+                trace=trace,
+            )
+            import_queues = [context.Queue(IMPORT_QUEUE_CAPACITY) for _ in lanes]
+        adapt_mgr = AdaptiveLaneManager() if self.adapt and len(lanes) > 1 else None
+        lane_restarts_total = 0
         if monitor is not None:
             monitor.fleet_started(
                 len(lanes), labels=[config.name for config in worker_configs]
@@ -309,6 +373,11 @@ class PortfolioSolver:
                 resumed_from = checkpoint_conflicts(
                     checkpoint_path, require_proof=attempt_config.proof_logging
                 )
+            stop = context.Event() if (bus is not None or adapt_mgr is not None) else None
+            if bus is not None:
+                bus.attach(lane.index, attempt, import_queues[lane.index])
+            if adapt_mgr is not None:
+                adapt_mgr.record_launch(lane.index, now)
             process = context.Process(
                 target=solve_in_worker,
                 args=(
@@ -324,7 +393,12 @@ class PortfolioSolver:
                     self.max_memory_mb,
                     checkpoint_path,
                     self.checkpoint_interval,
-                    self.telemetry_seconds if monitor is not None else None,
+                    self.telemetry_seconds
+                    if (monitor is not None or adapt_mgr is not None)
+                    else None,
+                    self.share_max_lbd if bus is not None else None,
+                    import_queues[lane.index],
+                    stop,
                 ),
                 daemon=True,
             )
@@ -347,6 +421,7 @@ class PortfolioSolver:
                 attempt,
                 attempt_config,
                 resumed_from=resumed_from,
+                stop=stop,
             )
             lane.attempts += 1
 
@@ -365,9 +440,14 @@ class PortfolioSolver:
 
         def fail(lane, entry, reason, now, *, retryable=True, detail=None) -> None:
             nonlocal retries_total
+            lane.preempt = None  # a real fault supersedes a pending reclaim
             record(lane, entry, reason, now, detail)
             time_left = deadline is None or deadline - now > _MIN_RETRY_BUDGET
-            retrying = retryable and time_left and policy.allows(lane.attempts)
+            retrying = (
+                retryable
+                and time_left
+                and policy.allows(lane.attempts - lane.free_attempts)
+            )
             if trace is not None:
                 trace.emit(
                     {
@@ -388,6 +468,8 @@ class PortfolioSolver:
                     )
             else:
                 lane.failure = reason
+                if bus is not None:
+                    bus.detach(lane.index)
                 if monitor is not None:
                     monitor.lane_state(
                         lane.index, "degraded", detail=reason, attempt=entry.attempt
@@ -415,6 +497,20 @@ class PortfolioSolver:
                 fail(lane, entry, "corrupted result", now, detail=str(error))
                 return
             payload.verified = verified
+            if payload.is_unknown and lane.preempt is not None:
+                # The supervisor reclaimed this attempt (adaptive
+                # preemption) and the worker yielded an interrupted
+                # UNKNOWN: relaunch under the mutated configuration
+                # without burning retry budget — the lane did nothing
+                # wrong.  A definite answer beats a pending reclaim, so
+                # only the UNKNOWN path lands here.
+                reason = lane.preempt
+                lane.preempt = None
+                lane.free_attempts += 1
+                record(lane, entry, reason, now)
+                lane.not_before = now
+                pending.append(lane)
+                return
             record(lane, entry, "ok", now)
             if monitor is not None:
                 monitor.lane_state(
@@ -425,6 +521,8 @@ class PortfolioSolver:
                 # An honest budget-exhausted answer: the lane is done but
                 # contributes its stats to a synthesized UNKNOWN.
                 lane.result = payload
+                if bus is not None:
+                    bus.detach(lane.index)
             elif champion is None:
                 champion = payload
                 champion_lane = lane
@@ -442,7 +540,87 @@ class PortfolioSolver:
                         pending.remove(lane)
                         launch(lane)
                 drain_results(results_queue, collected, timeout=_POLL_SECONDS)
-                route_telemetry(collected, monitor)
+                route_telemetry(
+                    collected,
+                    monitor,
+                    observer=adapt_mgr.observe if adapt_mgr is not None else None,
+                )
+                now = time.monotonic()
+                if bus is not None:
+                    route_shares(collected, bus)
+                    bus.pump()
+                    for index in bus.poisoned_lanes():
+                        # Hard rejections over threshold: Byzantine
+                        # evidence.  Mute + purge fleet-wide, then hand
+                        # the lane to the normal fault path — the retry
+                        # policy decides whether it gets another life.
+                        lane = lanes[index]
+                        state = bus.mark_quarantined(index)
+                        lane_restarts_total += 1
+                        entry = active.get(index)
+                        attempt = entry.attempt if entry is not None else lane.attempts - 1
+                        if trace is not None:
+                            trace.emit(
+                                {
+                                    "type": "lane_quarantine",
+                                    "lane": index,
+                                    "attempt": attempt,
+                                    "rejections": state.hard_rejections,
+                                    "exported": state.exported,
+                                    "reason": "hard share rejections over threshold",
+                                }
+                            )
+                        if monitor is not None:
+                            monitor.lane_state(
+                                index,
+                                "quarantined",
+                                detail=f"{state.hard_rejections} hard share rejections",
+                                attempt=attempt,
+                            )
+                        if entry is not None:
+                            entry.process.terminate()
+                            entry.process.join(timeout=1.0)
+                            del active[index]
+                            fail(
+                                lane,
+                                entry,
+                                "quarantined (byzantine clause sharing)",
+                                now,
+                                detail=f"{state.hard_rejections} hard rejections "
+                                f"across {state.exported} accepted exports",
+                            )
+                if adapt_mgr is not None:
+                    candidates = [
+                        index
+                        for index, entry in active.items()
+                        if lanes[index].preempt is None
+                        and entry.preempted_at is None
+                        and (bus is None or not bus.lanes[index].quarantined)
+                    ]
+                    victim = adapt_mgr.pick_victim(now, candidates)
+                    if victim is not None:
+                        lane = lanes[victim]
+                        entry = active[victim]
+                        mutated, label = adapt_mgr.mutate(victim, lane.config)
+                        lane.config = mutated
+                        lane.preempt = f"adapt:{label}"
+                        lane_restarts_total += 1
+                        entry.preempted_at = now
+                        if entry.stop is not None:
+                            entry.stop.set()
+                        if trace is not None:
+                            trace.emit(
+                                {
+                                    "type": "lane_adapt",
+                                    "lane": victim,
+                                    "attempt": entry.attempt,
+                                    "mutation": label,
+                                }
+                            )
+                        if monitor is not None:
+                            monitor.lane_state(
+                                victim, "adapted", detail=label, attempt=entry.attempt
+                            )
                 now = time.monotonic()
                 for index, entry in list(active.items()):
                     lane = lanes[index]
@@ -467,6 +645,22 @@ class PortfolioSolver:
                         entry.process.join(timeout=1.0)
                         del active[index]
                         fail(lane, entry, "stalled (no heartbeat)", now)
+                    elif (
+                        entry.preempted_at is not None
+                        and now - entry.preempted_at > self.grace_seconds
+                    ):
+                        # The reclaimed worker ignored its stop event
+                        # past the grace window; terminate is the
+                        # backstop, and the relaunch still rides free.
+                        entry.process.terminate()
+                        entry.process.join(timeout=1.0)
+                        del active[index]
+                        reason = lane.preempt or "preempted"
+                        lane.preempt = None
+                        lane.free_attempts += 1
+                        record(lane, entry, reason, now)
+                        lane.not_before = now
+                        pending.append(lane)
         finally:
             cancel.set()
             for entry in active.values():
@@ -476,12 +670,17 @@ class PortfolioSolver:
                     entry.process.join(timeout=1.0)
             results_queue.close()
             results_queue.cancel_join_thread()
+            for import_queue in import_queues:
+                if import_queue is not None:
+                    import_queue.close()
+                    import_queue.cancel_join_thread()
 
         elapsed = time.perf_counter() - started
         if champion is not None:
             champion.wall_seconds = elapsed
             champion.attempts = list(champion_lane.history)
             champion.stats.worker_retries += retries_total
+            champion.stats.lane_restarts += lane_restarts_total
             if monitor is not None:
                 monitor.fleet_finished(
                     f"{champion.status.name} by {champion.config_name} "
@@ -504,6 +703,7 @@ class PortfolioSolver:
             reason = "worker crashed"
         stats = aggregate_stats(result.stats for result in reported)
         stats.worker_retries += retries_total
+        stats.lane_restarts += lane_restarts_total
         history = [record for lane in lanes for record in lane.history]
         if monitor is not None:
             monitor.fleet_finished(f"UNKNOWN ({reason}) in {elapsed:.3f}s")

@@ -32,8 +32,10 @@ import queue as queue_module
 import time
 
 from repro.checkpoint.writer import CheckpointWriter
+from repro.parallel.sharing import ShareClient
 from repro.reliability.faults import (
     FAULT_CORRUPT,
+    FAULT_CORRUPT_SHARE,
     FAULT_STALL,
     FaultPlan,
     corrupt_result,
@@ -90,13 +92,14 @@ class _TelemetryReporter:
         self.results = results
         self.every_seconds = every_seconds
         self._last_wall = time.monotonic()
-        self._last = {"conflicts": 0, "propagations": 0}
+        self._last = {"conflicts": 0, "propagations": 0, "shared": 0}
 
     def __call__(self, stats) -> None:
         now = time.monotonic()
         window = now - self._last_wall
         if window < self.every_seconds:
             return
+        shared = stats.shared_exported + stats.shared_imported
         row = {
             "conflicts": stats.conflicts,
             "decisions": stats.decisions,
@@ -104,9 +107,16 @@ class _TelemetryReporter:
             "restarts": stats.restarts,
             "props_per_sec": round((stats.propagations - self._last["propagations"]) / window, 1),
             "conflicts_per_sec": round((stats.conflicts - self._last["conflicts"]) / window, 1),
+            "shared_exported": stats.shared_exported,
+            "shared_imported": stats.shared_imported,
+            "shared_per_sec": round((shared - self._last["shared"]) / window, 1),
         }
         self._last_wall = now
-        self._last = {"conflicts": stats.conflicts, "propagations": stats.propagations}
+        self._last = {
+            "conflicts": stats.conflicts,
+            "propagations": stats.propagations,
+            "shared": shared,
+        }
         try:
             self.results.put_nowait((self.tag, row))
         except Exception:  # a full/broken queue must never kill the solve
@@ -127,6 +137,9 @@ def solve_in_worker(
     checkpoint_path=None,
     checkpoint_interval: int = 1000,
     telemetry_seconds=None,
+    share_max_lbd=None,
+    import_queue=None,
+    lane_stop=None,
 ) -> None:
     """Solve ``formula`` under ``config`` and post ``(index, result)``.
 
@@ -155,6 +168,17 @@ def solve_in_worker(
     fault with ``after_conflicts`` set fires from the same progress
     hook, *after* the checkpoint logic — so the death the fault
     simulates always has that tick's checkpoint on disk to recover from.
+
+    ``share_max_lbd`` (an int) attaches a
+    :class:`~repro.parallel.sharing.ShareClient` to the solver: learned
+    glue clauses are exported on the result queue and parent-validated
+    imports are drained from ``import_queue`` at restart boundaries.  A
+    ``corrupt_share`` fault turns the client Byzantine — its *exports*
+    lie, while the lane's own answer stays honest, which is exactly the
+    attack the bus's validation layers must contain.  ``lane_stop`` is a
+    per-lane preemption event, checked alongside ``cancel_event``: the
+    supervisor sets it to reclaim this one lane (quarantine or adaptive
+    relaunch) without cancelling the fleet.
     """
     try:
         if max_memory_mb is not None:
@@ -187,6 +211,20 @@ def solve_in_worker(
                 )
             elif snapshot is not None:
                 solver.resume(snapshot)  # graceful: cold start on any defect
+        if share_max_lbd is not None:
+            lane = index[0] if isinstance(index, tuple) else index
+            solver.share = ShareClient(
+                lane,
+                attempt,
+                results,
+                import_queue,
+                export_max_lbd=share_max_lbd,
+                poison_vars=(
+                    formula.num_variables
+                    if fault is not None and fault.mode == FAULT_CORRUPT_SHARE
+                    else None
+                ),
+            )
         telemetry = None
         if telemetry_seconds is not None:
             lane = index[0] if isinstance(index, tuple) else index
@@ -197,12 +235,14 @@ def solve_in_worker(
             or heartbeat is not None
             or deferred is not None
             or telemetry is not None
+            or lane_stop is not None
         ):
 
             def on_progress(
                 stats,
                 _solver=solver,
                 _event=cancel_event,
+                _stop=lane_stop,
                 _beat=heartbeat,
                 _telemetry=telemetry,
                 _deferred=deferred,
@@ -210,6 +250,8 @@ def solve_in_worker(
                 if _beat is not None:
                     _beat.value = time.monotonic()
                 if _event is not None and _event.is_set():
+                    _solver.interrupt()
+                if _stop is not None and _stop.is_set():
                     _solver.interrupt()
                 if _telemetry is not None:
                     _telemetry(stats)
@@ -262,15 +304,16 @@ def drain_results(results_queue, collected: dict, timeout: float = 0.0) -> None:
         block = 0.0
 
 
-def route_telemetry(collected: dict, monitor=None) -> int:
+def route_telemetry(collected: dict, monitor=None, observer=None) -> int:
     """Pop telemetry rows out of a drained ``collected`` dict.
 
     Telemetry rides the result queue under 3-tuple
     ``("telemetry", lane, attempt)`` tags; answers never use those, so
     this sweep is what keeps the supervising loops' "every tag is a
     result" invariant intact.  Each popped row is forwarded to
-    ``monitor.lane_telemetry(lane, row)`` when a monitor is given.
-    Returns the number of rows routed.
+    ``monitor.lane_telemetry(lane, row)`` when a monitor is given, and
+    to ``observer(lane, row)`` when one is given (the adaptive lane
+    manager's feed).  Returns the number of rows routed.
     """
     routed = 0
     for tag in [key for key in collected if isinstance(key, tuple) and len(key) == 3]:
@@ -278,6 +321,9 @@ def route_telemetry(collected: dict, monitor=None) -> int:
             continue
         row = collected.pop(tag)
         routed += 1
-        if monitor is not None and row is not None:
-            monitor.lane_telemetry(tag[1], row)
+        if row is not None:
+            if monitor is not None:
+                monitor.lane_telemetry(tag[1], row)
+            if observer is not None:
+                observer(tag[1], row)
     return routed

@@ -41,6 +41,7 @@ from repro.reliability.verify import (
 )
 
 __all__ = [
+    "AUDIT_ENGINES",
     "FAULT_MODES",
     "FAULT_PLAN_ENV",
     "FaultPlan",
@@ -65,4 +66,8 @@ def __getattr__(name):
         from repro.reliability.audit import run_audit
 
         return run_audit
+    if name == "AUDIT_ENGINES":
+        from repro.reliability.audit import AUDIT_ENGINES
+
+        return AUDIT_ENGINES
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

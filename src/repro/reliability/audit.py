@@ -36,7 +36,12 @@ RUP-checked answers either way.  Serve rounds boot the whole solver
 :mod:`repro.server`), plant a fault on one job's first attempt, drive
 every instance through one multiplexed client concurrently, and demand
 a definite verified answer for each — a refusal or a hung client fails
-the round.
+the round.  Fleet rounds run the *cooperating* portfolio — clause
+sharing live, parent spot checks elevated, the adaptive bandit armed on
+half the rounds — with the Byzantine ``corrupt_share`` fault as the
+headline attack: one lane exports poisoned frames and the fleet must
+still return correct verified answers, quarantining the sharer when the
+evidence crosses the threshold (see :mod:`repro.parallel.sharing`).
 
 A clean audit is the operational meaning of "trusted results": no
 single-worker fault, anywhere in the pipeline, can surface a wrong or
@@ -64,6 +69,7 @@ from repro.parallel.batch import solve_batch
 from repro.parallel.portfolio import PortfolioSolver
 from repro.reliability.faults import (
     FAULT_CORRUPT,
+    FAULT_CORRUPT_SHARE,
     FAULT_CRASH,
     FAULT_HANG,
     FAULT_SIGNAL,
@@ -111,6 +117,27 @@ _KILL_CHECKPOINT_INTERVAL = 100
 #: first inprocessing pass has rewritten the clause database), and
 #: result corruption.  Hang/stall add nothing engine-specific here.
 _ARENA_MENU = (None, "pure-fallback", FAULT_CRASH, FAULT_SIGNAL, FAULT_CORRUPT)
+#: Fleet-round fault menu: clause sharing is live, so the Byzantine
+#: ``corrupt_share`` poisoner is the headline attack and gets double
+#: weight; crash and result corruption keep the classic faults in play.
+_FLEET_MENU = (
+    None,
+    FAULT_CORRUPT_SHARE,
+    FAULT_CORRUPT_SHARE,
+    FAULT_CRASH,
+    FAULT_CORRUPT,
+)
+#: Every engine a round can draw; also the vocabulary of the
+#: ``engines`` filter of :func:`run_audit` (CLI ``--engine``).
+AUDIT_ENGINES = (
+    "batch",
+    "portfolio",
+    "checkpoint",
+    "session",
+    "arena",
+    "serve",
+    "fleet",
+)
 #: Conflicts the arena victim pays before a mid-search fault fires —
 #: past the first restart under ``inprocess_interval=1``, so bounded
 #: variable elimination and arena compaction have already run when the
@@ -484,12 +511,64 @@ def _serve_round(pool, mode, policy, stall_seconds, rng, report, defects) -> int
     return victim
 
 
+def _fleet_round(pool, mode, policy, stall_seconds, rng, report, defects) -> int:
+    """One audit round against the *cooperating* fleet (sharing live).
+
+    Runs the two-lane portfolio with the clause bus enabled (elevated
+    ``share_verify_fraction`` so the parent's RUP spot checks are
+    exercised, and the adaptive bandit armed on half the rounds).  The
+    headline fault is ``corrupt_share``: the victim lane exports
+    poisoned frames — flipped literals with valid CRCs, bit-flipped
+    bytes, out-of-range variables — and the fleet must still return a
+    definite, correct, verified answer, because every import is
+    re-validated and RUP-gated and a sufficiently noisy sharer is
+    quarantined.  Instances are drawn from a slightly larger pool than
+    the classic rounds so lanes actually learn glue clauses to share.
+    """
+    picks = list(pool) + [
+        (
+            "planted-3sat-40",
+            planted_ksat(40, 168, 3, seed=rng.randrange(1 << 16)),
+            SolveStatus.SAT,
+        ),
+        ("hole-4", pigeonhole_formula(4), SolveStatus.UNSAT),
+    ]
+    name, formula, expected = picks[rng.randrange(len(picks))]
+    victim = rng.randrange(2)
+    plan = (
+        FaultPlan.single(mode, worker=victim, seconds=_FAULT_SLEEP)
+        if mode is not None
+        else None
+    )
+    portfolio = PortfolioSolver(
+        [
+            config_by_name("berkmin", seed=rng.randrange(1 << 16)),
+            config_by_name("chaff", seed=rng.randrange(1 << 16)),
+        ],
+        jobs=2,
+        retry=policy,
+        verification=VERIFY_FULL,
+        stall_seconds=stall_seconds,
+        fault_plan=plan,
+        share=True,
+        share_verify_fraction=0.25,
+        adapt=bool(rng.randrange(2)),
+    )
+    result = portfolio.solve(formula)
+    report.retries += result.stats.worker_retries
+    defect = _check_answer(name, expected, result)
+    if defect is not None:
+        defects.append(defect)
+    return victim
+
+
 def run_audit(
     rounds: int = 100,
     *,
     seed: int = 0,
     jobs: int = 2,
     stall_seconds: float = 1.0,
+    engines=None,
     log=None,
     monitor=None,
     trace=None,
@@ -501,7 +580,10 @@ def run_audit(
     Each round injects at most one fault (possibly none) into one
     worker of one engine and demands definite, correct, verified
     answers for instances of known status.  Deterministic for a given
-    ``seed``.  ``log`` (e.g. ``print``) receives one line per round.
+    ``seed``.  ``engines`` restricts the rounds to a subset of
+    :data:`AUDIT_ENGINES` (e.g. ``["fleet"]`` for a sharing-focused
+    audit); ``None`` keeps the full menu.  ``log`` (e.g. ``print``)
+    receives one line per round.
     ``monitor`` (a :class:`~repro.observability.FleetMonitor`) sees each
     round as a lane walking running → done/degraded; ``trace`` (a
     :class:`~repro.observability.TraceSink`) receives one ``audit_round``
@@ -512,19 +594,25 @@ def run_audit(
     policy = RetryPolicy(max_attempts=3, backoff=0.02)
     report = AuditReport()
     started = time.perf_counter()
+    menu = tuple(engines) if engines else AUDIT_ENGINES
+    for engine in menu:
+        if engine not in AUDIT_ENGINES:
+            raise ValueError(
+                f"unknown audit engine {engine!r}; choose from {AUDIT_ENGINES}"
+            )
     if monitor is not None:
         monitor.fleet_started(rounds)
 
     for round_index in range(rounds):
-        engine = rng.choice(
-            ("batch", "portfolio", "checkpoint", "session", "arena", "serve")
-        )
+        engine = rng.choice(menu)
         if engine == "checkpoint":
             mode = rng.choice(_CHECKPOINT_MENU)
         elif engine == "session":
             mode = rng.choice(_SESSION_FAULT_MENU)
         elif engine == "arena":
             mode = rng.choice(_ARENA_MENU)
+        elif engine == "fleet":
+            mode = rng.choice(_FLEET_MENU)
         else:
             mode = rng.choice(_FAULT_MENU)
         defects: list[str] = []
@@ -549,6 +637,10 @@ def run_audit(
             )
         elif engine == "arena":
             victim = _arena_round(
+                pool, mode, policy, stall_seconds, rng, report, defects
+            )
+        elif engine == "fleet":
+            victim = _fleet_round(
                 pool, mode, policy, stall_seconds, rng, report, defects
             )
         elif engine == "batch":

@@ -55,7 +55,21 @@ FAULT_SIGNAL = "signal"
 FAULT_HANG = "hang"
 FAULT_CORRUPT = "corrupt"
 FAULT_STALL = "stall"
-FAULT_MODES = (FAULT_CRASH, FAULT_SIGNAL, FAULT_HANG, FAULT_CORRUPT, FAULT_STALL)
+#: Byzantine clause sharing: the worker solves honestly and posts an
+#: honest final answer, but every clause it *exports* on the fleet bus
+#: lies — rotating through a flipped literal under a valid CRC, a
+#: bit-flipped frame, and an out-of-range literal (see
+#: ``repro.parallel.sharing.ShareClient``).  No process-entry action;
+#: the fault is consumed by the worker when it builds the share client.
+FAULT_CORRUPT_SHARE = "corrupt_share"
+FAULT_MODES = (
+    FAULT_CRASH,
+    FAULT_SIGNAL,
+    FAULT_HANG,
+    FAULT_CORRUPT,
+    FAULT_STALL,
+    FAULT_CORRUPT_SHARE,
+)
 
 
 @dataclass(frozen=True)

@@ -1493,6 +1493,25 @@ class ArenaSolver(Solver):
         self._attach_ref(ref)
         return True
 
+    def _lemma_defect(self, dimacs_literals) -> tuple[str, str] | None:
+        """Arena import gate: adds the eliminated-variable rejection.
+
+        A clause over a variable this lane's NiVER pass eliminated is
+        unusable *here* but says nothing about the exporter (whose own
+        inprocessing ran on a different schedule) — severity "benign".
+        """
+        if not dimacs_literals:
+            return ("short-clause", "hard")
+        for literal in dimacs_literals:
+            variable = abs(literal)
+            if variable > self.num_variables:
+                return ("out-of-range", "hard")
+            if self._eliminated_mark[variable]:
+                return ("eliminated-variable", "benign")
+            if self.lit_value[encode_literal(literal)] != UNASSIGNED:
+                return ("assigned-literal", "benign")
+        return None
+
     def _learned_snapshot_rows(self) -> list[tuple[list[int], int, int, bool]]:
         arena = self.arena
         return [

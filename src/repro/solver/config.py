@@ -163,6 +163,14 @@ class SolverConfig:
     # the glue override (pure paper policy).
     glue_keep_max_lbd: int = 3
 
+    # -- cooperative clause sharing (see repro.parallel.sharing) -----------
+    # Source-side export filter for the portfolio clause bus: only learned
+    # clauses whose measured LBD is at most this bound are exported to the
+    # other lanes (the glue tier — sharing junk clauses costs every lane).
+    # Read only when a share client is attached by the parallel engine;
+    # inert for sequential solves.
+    share_max_lbd: int = 3
+
     # -- trusted results ---------------------------------------------------
     # Post-solve answer verification level ("off" | "sat" | "full"); the
     # parallel engines inherit it as their default gate and `solve_formula`

@@ -200,6 +200,19 @@ class Solver:
 
             self.metrics = MetricsCollector(self, self.config.metrics_interval)
 
+        # Cooperative clause sharing (see repro.parallel.sharing).  The
+        # parallel worker attaches a ShareClient here before solve();
+        # None (the default) keeps both hooks inert for sequential use.
+        # Exports fire on clause learning (glue tier only); imports are
+        # drained at settled level-0 points (restarts and unit-learnt
+        # backjumps), where the RUP probe makes every attachment provably
+        # sound against this solver's own database.
+        self.share = None
+        # Imports whose RUP probe was inconclusive wait here and are
+        # retried at later restarts (bounded TTL) — clauses often become
+        # one-step derivable once more of the search has been explored.
+        self._share_parking: list[list] = []
+
         if formula is not None:
             self.add_formula(formula)
 
@@ -965,6 +978,130 @@ class Solver:
         self.attach_clause(clause)
         return True
 
+    # ==================================================================
+    # Shared-clause import gate (see repro.parallel.sharing)
+    # ==================================================================
+    def _lemma_defect(self, dimacs_literals) -> tuple[str, str] | None:
+        """Why an imported clause cannot attach here, or None when it can.
+
+        Returns ``(reason, severity)`` mirroring :meth:`inject_lemma`'s
+        rejections (units are additionally accepted — an imported level-0
+        fact is the most valuable share of all).  Severity "hard" marks
+        defects an honest exporter on the same formula can never produce
+        (Byzantine evidence); "benign" marks importer-local conditions —
+        a level-0 assignment this lane has already made — that say
+        nothing about the sender.  The arena engine extends this with
+        its eliminated-variable gate.
+        """
+        if not dimacs_literals:
+            return ("short-clause", "hard")
+        for literal in dimacs_literals:
+            if abs(literal) > self.num_variables:
+                return ("out-of-range", "hard")
+            if self.lit_value[encode_literal(literal)] != UNASSIGNED:
+                return ("assigned-literal", "benign")
+        return None
+
+    def _probe_rup(self, encoded_literals) -> bool:
+        """True when unit propagation refutes the clause's negation.
+
+        The soundness gate for imports: at decision level 0, assert the
+        negation of every literal at a scratch level, propagate, and
+        undo.  A conflict proves the clause is RUP with respect to this
+        solver's *current* database — attaching and DRUP-logging it is
+        then sound no matter what the exporter claimed, and the emitted
+        proof stays checkable because the checker replays the same unit
+        propagation.  All literals must be unassigned on entry (the
+        :meth:`_lemma_defect` gate guarantees it).
+        """
+        if self.trail_limits:  # imports happen at level 0 only
+            return False
+        self.trail_limits.append(len(self.trail))
+        for literal in encoded_literals:
+            self._enqueue(literal ^ 1, None)
+        conflict = self._propagate()
+        self._backtrack(0)
+        return conflict is not None
+
+    _PARKING_TTL = 8  # restart rounds an inconclusive import waits for
+
+    def _import_shared(self) -> int:
+        """Drain the share client; attach every provably sound clause.
+
+        Runs at settled level-0 points of the search (after restarts and
+        unit-learnt backjumps).  Each candidate is re-validated end
+        to end: frame decode + CRC (the parent's check does not cover
+        the second queue hop), the engine gate, a tautology check, then
+        the RUP probe.  Rejections are reported back to the supervisor
+        for attribution and dropped without mutating solver state.  A
+        probe miss is merely inconclusive — the clause may be sound but
+        not one-step derivable *here yet* — so the candidate is parked
+        and retried at later restarts; only when its TTL expires does a
+        "rup-unproven" (benign) notice go back.  RUP-proven *units* are
+        asserted at level 0 and propagated — the highest-value import,
+        permanently shrinking this lane's search space; a propagation
+        conflict refutes the formula outright (``self.ok`` drops and the
+        empty clause is logged, keeping the DRUP proof checkable).
+        Returns the number of clauses attached.
+        """
+        from repro.parallel.sharing import (
+            ShareFrameError,
+            decode_share_frame,
+            is_tautology,
+        )
+
+        share = self.share
+        stats = self.stats
+        attached = 0
+        parked = self._share_parking
+        self._share_parking = []
+        candidates: list[tuple] = [(e[0], e[1], e[2], e[3]) for e in parked]
+        for origin, frame in share.drain():
+            try:
+                _, _, lbd, literals = decode_share_frame(frame)
+            except ShareFrameError as error:
+                stats.shared_rejected += 1
+                share.reject(origin, error.reason, "hard")
+                continue
+            candidates.append((origin, literals, lbd, self._PARKING_TTL))
+        for origin, literals, lbd, ttl in candidates:
+            if not self.ok:
+                break
+            if is_tautology(literals):
+                stats.shared_rejected += 1
+                share.reject(origin, "tautology", "hard")
+                continue
+            defect = self._lemma_defect(literals)
+            if defect is not None:
+                reason, severity = defect
+                if severity == "benign" and ttl < self._PARKING_TTL:
+                    continue  # parked clause overtaken by local level-0 facts
+                stats.shared_rejected += 1
+                share.reject(origin, reason, severity)
+                continue
+            encoded = [encode_literal(literal) for literal in literals]
+            if not self._probe_rup(encoded):
+                if ttl > 1:
+                    self._share_parking.append([origin, literals, lbd, ttl - 1])
+                else:
+                    stats.shared_rejected += 1
+                    share.reject(origin, "rup-unproven", "benign")
+                continue
+            if len(encoded) == 1:
+                self.log_proof_add(encoded)
+                self._enqueue(encoded[0], None)
+                stats.shared_imported += 1
+                attached += 1
+                if self._propagate() is not None:
+                    self.ok = False
+                    self.log_proof_add([])
+                continue
+            if self.inject_lemma(list(literals), max(lbd, 1)):
+                self.log_proof_add(encoded)
+                stats.shared_imported += 1
+                attached += 1
+        return attached
+
     def _restore_learned_clause(
         self, ordered: list[int], activity: int, birth: int, protected: bool, lbd: int
     ) -> None:
@@ -1117,6 +1254,13 @@ class Solver:
                         )
                     self._backtrack(backtrack_level)
                     self._record_learned(learnt, lbd)
+                    share = self.share
+                    if (
+                        share is not None
+                        and lbd <= share.export_max_lbd
+                        and share.export([decode_literal(lit) for lit in learnt], lbd)
+                    ):
+                        stats.shared_exported += 1
                     if (
                         self.config.activity_decay_interval > 0
                         and stats.conflicts % self.config.activity_decay_interval == 0
@@ -1166,6 +1310,17 @@ class Solver:
                     continue
 
                 level = self.current_level()
+                if level == 0 and self.share is not None:
+                    # Propagation is complete and no conflict: the one
+                    # spot where attaching peer clauses is provably sound
+                    # (the RUP probe runs at level 0 on a settled trail).
+                    # Reached after every restart *and* every unit-learnt
+                    # backjump, so imports land while they can still
+                    # prune instead of waiting out a restart interval.
+                    self._import_shared()
+                    if not self.ok:
+                        # An imported RUP unit closed the search.
+                        return self._result(SolveStatus.UNSAT)
                 if level < len(assumption_literals):
                     literal = assumption_literals[level]
                     value = self._value(literal)

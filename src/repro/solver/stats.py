@@ -71,6 +71,17 @@ class SolverStats:
     cache_evictions: int = 0
     retained_clauses: int = 0
 
+    # Cooperative clause sharing (see repro.parallel.sharing): learned
+    # clauses this solver exported onto the fleet bus, validated imports
+    # it attached, imports it rejected at the validation gate (CRC /
+    # range / eliminated-variable / tautology / RUP), and lane preempt-
+    # relaunches (quarantine or adaptive) performed by the supervisor.
+    # Zero for sequential solves.
+    shared_exported: int = 0
+    shared_imported: int = 0
+    shared_rejected: int = 0
+    lane_restarts: int = 0
+
     # Arena engine (see repro.solver.arena): inprocessing passes run
     # between restarts, variables removed by bounded elimination, arena
     # compactions performed, and the total words they reclaimed.  Zero
@@ -170,6 +181,10 @@ class SolverStats:
         self.cache_hits += other.cache_hits
         self.cache_evictions += other.cache_evictions
         self.retained_clauses += other.retained_clauses
+        self.shared_exported += other.shared_exported
+        self.shared_imported += other.shared_imported
+        self.shared_rejected += other.shared_rejected
+        self.lane_restarts += other.lane_restarts
         self.inprocess_passes += other.inprocess_passes
         self.eliminated_variables += other.eliminated_variables
         self.arena_collections += other.arena_collections
@@ -200,6 +215,10 @@ class SolverStats:
             "cache_hits": self.cache_hits,
             "cache_evictions": self.cache_evictions,
             "retained_clauses": self.retained_clauses,
+            "shared_exported": self.shared_exported,
+            "shared_imported": self.shared_imported,
+            "shared_rejected": self.shared_rejected,
+            "lane_restarts": self.lane_restarts,
             "inprocess_passes": self.inprocess_passes,
             "eliminated_variables": self.eliminated_variables,
             "arena_collections": self.arena_collections,

@@ -63,9 +63,21 @@ def test_trace_summary_text_and_json(tmp_path, capsys):
     assert summary["decision_source_mix"]["top_clause"] > 0.5
 
 
-def test_trace_summary_rejects_malformed_trace(tmp_path, capsys):
+def test_trace_summary_skips_unknown_event_types(tmp_path, capsys):
+    # Unknown event *types* are forward-compat skipped with a counted
+    # warning (a trace from a newer schema still summarises)...
     bad = tmp_path / "bad.jsonl"
     bad.write_text('{"type":"mystery"}\n')
+    assert main(["trace-summary", str(bad)]) == 0
+    captured = capsys.readouterr()
+    assert "skipped 1 event(s) of unknown type" in captured.out
+    assert "mystery=1" in captured.out
+
+
+def test_trace_summary_rejects_corrupt_known_event(tmp_path, capsys):
+    # ...but a *known* type with missing fields is corruption, refused.
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"type":"conflict"}\n')
     assert main(["trace-summary", str(bad)]) == 2
     assert "repro-sat: error:" in capsys.readouterr().err
 

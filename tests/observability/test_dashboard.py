@@ -39,7 +39,8 @@ def _drive(monitor) -> None:
 
 def test_lane_states_cover_the_life_cycle():
     assert LANE_STATES == (
-        "pending", "running", "retrying", "resumed", "degraded", "done",
+        "pending", "running", "retrying", "resumed",
+        "quarantined", "adapted", "degraded", "done",
     )
 
 
@@ -101,6 +102,33 @@ def test_dashboard_tty_redraws_an_ansi_panel():
     assert "✓" in text and "↻" in text
     assert "1,000 props/s" in text
     assert text.rstrip().endswith("fleet finished: 2 lanes ok")
+
+
+def test_dashboard_renders_fleet_detours_and_share_throughput():
+    out = _FakeTty()
+    dashboard = FleetDashboard(out, refresh_seconds=0.0)
+    dashboard.fleet_started(2, labels=["berkmin", "chaff"])
+    dashboard.lane_state(0, "running")
+    dashboard.lane_state(1, "running")
+    dashboard.lane_telemetry(
+        0, {"props_per_sec": 1000.0, "conflicts_per_sec": 50.0,
+            "shared_per_sec": 4.5}
+    )
+    dashboard.lane_state(0, "quarantined", detail="6 rejected frames")
+    dashboard.lane_state(1, "adapted", detail="restarts=luby", attempt=1)
+    dashboard.fleet_finished("done")
+    text = out.getvalue()
+    assert "☣" in text and "♻" in text
+    assert "4.5 shares/s" in text
+
+
+def test_dashboard_non_tty_logs_quarantine_transition():
+    out = io.StringIO()
+    dashboard = FleetDashboard(out)
+    dashboard.fleet_started(2)
+    dashboard.lane_state(0, "quarantined", detail="byzantine sharing")
+    dashboard.fleet_finished("done")
+    assert "lane 0: quarantined (byzantine sharing)" in out.getvalue()
 
 
 def test_dashboard_eta_appears_when_some_lanes_finish():

@@ -103,6 +103,69 @@ def test_fleet_events_land_in_the_fleet_section(tmp_path):
     assert "fleet: 1 faults, 1 retries" in format_summary(summary)
 
 
+def test_sharing_events_land_in_the_sharing_section(tmp_path):
+    path = tmp_path / "sharing.jsonl"
+    with JsonlTraceSink(path) as sink:
+        sink.emit({"type": "share_export", "lane": 0, "attempt": 0,
+                   "seq": 0, "size": 3, "lbd": 2})
+        sink.emit({"type": "share_export", "lane": 1, "attempt": 0,
+                   "seq": 0, "size": 2, "lbd": 1})
+        sink.emit({"type": "share_import", "lane": 1, "count": 4})
+        sink.emit({"type": "share_reject", "lane": 0, "reason": "bad-crc",
+                   "severity": "hard"})
+        sink.emit({"type": "share_reject", "lane": 0, "reason": "bad-crc",
+                   "severity": "hard"})
+        sink.emit({"type": "share_reject", "lane": 1,
+                   "reason": "rup-unproven", "severity": "benign"})
+        sink.emit({"type": "lane_quarantine", "lane": 0, "attempt": 0,
+                   "rejections": 3, "exported": 7})
+        sink.emit({"type": "lane_adapt", "lane": 1, "attempt": 0,
+                   "mutation": "restarts=luby", "score": 1.5})
+    summary = summarize_trace(path)
+    sharing = summary["sharing"]
+    assert sharing["exports"] == 2
+    assert sharing["imported"] == 4
+    assert sharing["import_batches"] == 1
+    assert sharing["rejects"] == 3
+    assert sharing["reject_reasons"] == {"bad-crc": 2, "rup-unproven": 1}
+    assert sharing["quarantines"] == 1
+    assert sharing["adaptations"] == 1
+    assert sharing["adapt_mutations"] == {"restarts=luby": 1}
+    rendered = format_summary(summary)
+    assert "clause sharing: 2 exports, 4 clauses imported in 1 batches" in rendered
+    assert "bad-crc=2" in rendered
+    assert "lanes: 1 quarantined, 1 adapted (restarts=luby=1)" in rendered
+
+
+def test_summary_skips_unknown_event_types_with_a_warning(tmp_path):
+    path = tmp_path / "future.jsonl"
+    path.write_text(
+        '{"type": "restart", "conflicts": 10, "restarts": 1, "learned": 5}\n'
+        '{"type": "wormhole_sync", "lane": 0, "payload": "??"}\n'
+        '{"type": "wormhole_sync", "lane": 1, "payload": "??"}\n'
+        '{"type": "quantum_probe", "qubits": 8}\n'
+    )
+    summary = summarize_trace(path)
+    assert summary["events"] == 1  # only the known event is aggregated
+    assert summary["unknown_events"] == {
+        "count": 3,
+        "types": {"quantum_probe": 1, "wormhole_sync": 2},
+    }
+    rendered = format_summary(summary)
+    assert "warning: skipped 3 event(s) of unknown type" in rendered
+    assert "wormhole_sync=2" in rendered
+    assert "newer schema?" in rendered
+
+
+def test_summary_still_refuses_corrupt_known_events(tmp_path):
+    # Leniency is for the future, not for corruption: a known type with
+    # a missing field still fails the whole summary.
+    path = tmp_path / "corrupt.jsonl"
+    path.write_text('{"type": "share_reject", "lane": 0}\n')
+    with pytest.raises(TraceFormatError, match="missing field"):
+        summarize_trace(path)
+
+
 def test_summary_surfaces_arena_inprocessing(tmp_path):
     path = tmp_path / "arena.jsonl"
     with JsonlTraceSink(path) as sink:

@@ -16,7 +16,14 @@ from repro.solver.result import SolveResult, SolveStatus
 
 
 def test_fault_modes_are_closed():
-    assert set(FAULT_MODES) == {"crash", "signal", "hang", "corrupt", "stall"}
+    assert set(FAULT_MODES) == {
+        "crash",
+        "signal",
+        "hang",
+        "corrupt",
+        "stall",
+        "corrupt_share",
+    }
     with pytest.raises(ValueError):
         FaultSpec(mode="explode")
 
