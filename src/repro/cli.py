@@ -26,7 +26,11 @@ Subcommands::
                     [--config NAME] [--verify LEVEL] [--retries N]
                     [--default-timeout S] [--max-timeout S] [--max-queue N]
                     [--per-client N] [--checkpoint DIR] [--trace-out T.jsonl]
-    repro-sat trace-summary TRACE.jsonl [--json]
+                    [--latency-objective S] [--dashboard]
+    repro-sat top [--host H] [--port N | --unix-path P] [--interval S]
+                  [--iterations N | --once]
+    repro-sat trace-summary TRACE.jsonl [--json] [--service]
+    repro-sat trace-export TRACE.jsonl -o OUT.json [--request ID]
 
 ``solve`` prints a SAT-competition-style result line (``s SATISFIABLE``
 plus a ``v`` model line, or ``s UNSATISFIABLE``) and the solver
@@ -70,7 +74,12 @@ writes the periodic metrics time-series (CSV or JSONL by extension),
 and ``--dashboard`` renders the live fleet view for the parallel
 engines.  ``trace-summary`` aggregates a recorded trace into the
 decision-source / skin-effect / LBD / restart report (the shape of the
-paper's Table 3 evidence).  Ctrl-C on a dashboarded run exits cleanly
+paper's Table 3 evidence); ``trace-summary --service`` reads the same
+JSONL as a *service* story instead (requests by op, replies by kind,
+per-phase latency, span-tree completeness).  ``top`` polls a running
+service's ``stats`` op and renders a live ops panel; ``trace-export``
+turns recorded ``span_start``/``span_end`` events into Chrome-trace /
+Perfetto JSON timelines.  Ctrl-C on a dashboarded run exits cleanly
 with code 130.
 """
 
@@ -597,7 +606,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out",
         default=None,
         metavar="PATH",
-        help="stream server_* and supervision events to this JSONL file",
+        help="stream server_*, span, and supervision events to this "
+        "JSONL file (summarize with `trace-summary --service`, export "
+        "timelines with `trace-export`)",
+    )
+    serve.add_argument(
+        "--latency-objective",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="latency SLO in seconds; the metrics scrape reports burn "
+        "against it (default: 1.0)",
+    )
+    serve.add_argument(
+        "--dashboard",
+        action="store_true",
+        help="render the live pool panel on stderr (job states mapped "
+        "onto pool slots)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live ops view of a running solver service "
+        "(rps, in-flight, queue depth, phase percentiles, slowest requests)",
+    )
+    top.add_argument("--host", default="127.0.0.1", help="service TCP address")
+    top.add_argument("--port", type=int, default=2727, help="service TCP port")
+    top.add_argument(
+        "--unix-path",
+        default=None,
+        metavar="PATH",
+        help="connect over a UNIX domain socket instead of TCP",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="seconds between stats polls (default: 1.0)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N polls (default: run until Ctrl-C)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="poll exactly once and exit (shorthand for --iterations 1)",
     )
 
     trace_summary = sub.add_parser(
@@ -610,6 +668,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the summary as JSON instead of the text report",
+    )
+    trace_summary.add_argument(
+        "--service",
+        action="store_true",
+        help="summarize as a *service* trace instead: requests by op, "
+        "replies by kind, per-phase latency, span-tree completeness",
+    )
+
+    trace_export = sub.add_parser(
+        "trace-export",
+        help="export span events from a JSONL trace as Chrome-trace / "
+        "Perfetto JSON (open in chrome://tracing or ui.perfetto.dev)",
+    )
+    trace_export.add_argument("file", help="trace file written by --trace-out")
+    trace_export.add_argument(
+        "-o",
+        "--out",
+        required=True,
+        metavar="PATH",
+        help="write the Chrome-trace JSON here",
+    )
+    trace_export.add_argument(
+        "--request",
+        default=None,
+        metavar="ID",
+        help="restrict the export to one correlation ID (req-...)",
     )
     return parser
 
@@ -1326,6 +1410,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("c --pool-size must be >= 1", file=sys.stderr)
         return 2
     trace = _open_trace(args)
+    monitor = None
+    if args.dashboard:
+        from repro.observability import FleetDashboard
+        from repro.server import ServiceDashboardAdapter
+
+        monitor = ServiceDashboardAdapter(FleetDashboard(), args.pool_size)
     service = SolverService(
         pool_size=args.pool_size,
         config=config_by_name(args.config, seed=args.seed),
@@ -1340,6 +1430,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint,
         checkpoint_interval=args.checkpoint_interval,
         trace=trace,
+        monitor=monitor,
+        latency_objective=args.latency_objective,
     )
     server = SolverServer(
         service,
@@ -1358,6 +1450,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         asyncio.run(run())
     finally:
+        if monitor is not None:
+            monitor.fleet_finished("service drained")
+            monitor.close()
         if trace is not None:
             trace.close()
     stats = service.stats()
@@ -1376,17 +1471,88 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_trace_summary(args: argparse.Namespace) -> int:
     import json
 
-    from repro.observability import TraceFormatError, format_summary, summarize_trace
+    from repro.observability import (
+        TraceFormatError,
+        format_service_summary,
+        format_summary,
+        summarize_service_trace,
+        summarize_trace,
+    )
 
+    summarize = summarize_service_trace if args.service else summarize_trace
+    formatter = format_service_summary if args.service else format_summary
     try:
-        summary = summarize_trace(args.file)
+        summary = summarize(args.file)
     except TraceFormatError as error:
         print(f"repro-sat: error: {error}", file=sys.stderr)
         return 2
     if args.json:
         print(json.dumps(summary, indent=2))
     else:
-        print(format_summary(summary))
+        print(formatter(summary))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.observability import OpsTop
+    from repro.server import SolverClient
+
+    iterations = 1 if args.once else args.iterations
+    view = OpsTop()
+    polled = 0
+    try:
+        with SolverClient(
+            host=args.host, port=args.port, unix_path=args.unix_path
+        ) as client:
+            while iterations is None or polled < iterations:
+                reply = client.stats()
+                if reply.get("kind") != "stats":
+                    print(
+                        f"repro-sat: error: unexpected reply kind "
+                        f"{reply.get('kind')!r} from service",
+                        file=sys.stderr,
+                    )
+                    return 2
+                view.update(reply["stats"])
+                polled += 1
+                if iterations is not None and polled >= iterations:
+                    break
+                _time.sleep(args.interval)
+    finally:
+        view.close()
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.checkpoint.io import atomic_write_text
+    from repro.observability import TraceFormatError, chrome_trace_from_events
+    from repro.observability.summary import _iter_trace_lenient
+
+    unknown_types: dict = {}
+    try:
+        events = list(_iter_trace_lenient(args.file, unknown_types))
+    except TraceFormatError as error:
+        print(f"repro-sat: error: {error}", file=sys.stderr)
+        return 2
+    exported = chrome_trace_from_events(events, request_id=args.request)
+    atomic_write_text(args.out, json.dumps(exported, separators=(",", ":")) + "\n")
+    spans = sum(
+        1 for event in exported["traceEvents"] if event.get("ph") == "X"
+    )
+    requests = sum(
+        1 for event in exported["traceEvents"] if event.get("ph") == "M"
+    )
+    print(f"c exported {spans} spans across {requests} requests to {args.out}")
+    if not spans:
+        print(
+            "c (no span events found — was the trace recorded by "
+            "`repro-sat serve --trace-out`?)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -1411,8 +1577,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_audit(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "trace-summary":
         return _cmd_trace_summary(args)
+    if args.command == "trace-export":
+        return _cmd_trace_export(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

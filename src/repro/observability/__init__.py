@@ -13,6 +13,9 @@ Three layers, all optional and all zero-cost when unused:
 * :mod:`~repro.observability.dashboard` — the :class:`FleetMonitor`
   protocol and the live TTY :class:`FleetDashboard` for the supervised
   parallel engines.
+* :mod:`~repro.observability.spans` — request-scoped correlation IDs
+  and per-request phase trees for the solver service, plus the
+  Chrome-trace/Perfetto exporters.
 
 See ``docs/OBSERVABILITY.md`` for the event schema table and overhead
 numbers.
@@ -24,6 +27,7 @@ from .dashboard import (
     FleetMonitor,
     FleetRecorder,
     MultiMonitor,
+    OpsTop,
 )
 from .metrics import (
     Counter,
@@ -35,7 +39,21 @@ from .metrics import (
     write_rows_csv,
     write_rows_jsonl,
 )
-from .summary import format_summary, summarize_trace
+from .spans import (
+    REQUEST_PHASES,
+    IdMinter,
+    Span,
+    SpanTracker,
+    chrome_trace,
+    chrome_trace_from_events,
+    phase_of,
+)
+from .summary import (
+    format_service_summary,
+    format_summary,
+    summarize_service_trace,
+    summarize_trace,
+)
 from .trace import (
     DECISION_SOURCES,
     EVENT_SCHEMA,
@@ -62,19 +80,29 @@ __all__ = [
     "FleetRecorder",
     "Gauge",
     "Histogram",
+    "IdMinter",
     "JsonlTraceSink",
     "LANE_STATES",
     "MetricsCollector",
     "MetricsRegistry",
     "MultiMonitor",
     "MultiSink",
+    "OpsTop",
+    "REQUEST_PHASES",
     "RingBufferSink",
+    "Span",
+    "SpanTracker",
     "TraceFormatError",
     "TraceSink",
+    "chrome_trace",
+    "chrome_trace_from_events",
+    "format_service_summary",
     "format_summary",
+    "phase_of",
     "read_trace",
     "require_valid_event",
     "skin_percentile",
+    "summarize_service_trace",
     "summarize_trace",
     "validate_event",
     "write_rows_csv",

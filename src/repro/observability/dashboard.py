@@ -294,3 +294,115 @@ class FleetDashboard(FleetMonitor):
         self._write("\n".join(lines) + "\n")
         self._panel_lines = len(lines)
         self._flush()
+
+
+class OpsTop(FleetDashboard):
+    """``repro-sat top``: a live ops panel fed by the ``stats`` op.
+
+    Reuses the :class:`FleetDashboard` terminal machinery (in-place ANSI
+    panel on a TTY, one deterministic line per update elsewhere) but
+    renders a *service* snapshot instead of lane states: request rate,
+    in-flight and queued work, reply mix, per-phase latency percentiles,
+    SLO burn, and the slowest currently-open requests.
+    """
+
+    def __init__(self, out=None, *, refresh_seconds: float = 0.25, width: int = 78) -> None:
+        super().__init__(out, refresh_seconds=refresh_seconds, width=width)
+        self.stats: dict = {}
+        self.updates = 0
+        self._previous: tuple[float, int] | None = None
+        self._rps = 0.0
+
+    def update(self, stats: dict) -> None:
+        """Feed one ``stats()`` snapshot; redraws (TTY) or prints one line."""
+        now = time.monotonic()
+        requests = int(stats.get("requests", 0))
+        if self._previous is not None:
+            window = now - self._previous[0]
+            if window > 1e-9:
+                self._rps = max(0.0, (requests - self._previous[1]) / window)
+        self._previous = (now, requests)
+        self.stats = stats
+        self.updates += 1
+        if self.is_tty:
+            self._draw(force=True)
+        else:
+            self._line(self._one_line())
+
+    def _one_line(self) -> str:
+        stats = self.stats
+        pool = stats.get("pool", {})
+        spans = stats.get("spans", {})
+        latency = stats.get("latency", {})
+        request = latency.get("request", {})
+        p50 = request.get("p50")
+        p50_text = f"{p50 * 1000:.1f}ms" if p50 is not None else "-"
+        return (
+            f"top: {stats.get('requests', 0)} requests, {self._rps:.1f} rps, "
+            f"in-flight {spans.get('open', 0)}, "
+            f"active {pool.get('active', 0)}/{pool.get('size', 0)}, "
+            f"queued {pool.get('queued', 0)}, p50 {p50_text}"
+        )
+
+    def _panel(self) -> list[str]:
+        stats = self.stats
+        pool = stats.get("pool", {})
+        spans = stats.get("spans", {})
+        slo = stats.get("slo", {})
+        admission = stats.get("admission", {})
+        header = (
+            f"solver service  up {stats.get('uptime_seconds', 0):,.0f}s  "
+            f"{self._rps:.1f} rps  {stats.get('requests', 0)} requests"
+        )
+        if stats.get("draining"):
+            header += "  DRAINING"
+        lines = [header[: self.width]]
+        lines.append(
+            (
+                f"  pool {pool.get('active', 0)}/{pool.get('size', 0)} active, "
+                f"{pool.get('queued', 0)} queued, "
+                f"{pool.get('retries', 0)} retries; "
+                f"in-flight {admission.get('in_flight', 0)}, "
+                f"open {spans.get('open', 0)}"
+            )[: self.width]
+        )
+        replies = stats.get("replies", {})
+        if replies:
+            mix = ", ".join(
+                f"{kind}={count}" for kind, count in sorted(replies.items())
+            )
+            lines.append(f"  replies: {mix}"[: self.width])
+        if slo:
+            lines.append(
+                (
+                    f"  slo: {slo.get('within_objective', 0)}/"
+                    f"{slo.get('requests', 0)} within "
+                    f"{slo.get('objective_seconds', 0)}s "
+                    f"(burn {slo.get('burn_ratio', 0.0):.1%})"
+                )[: self.width]
+            )
+        latency = stats.get("latency", {})
+        for phase, dist in latency.items():
+            p50, p90, p99 = dist.get("p50"), dist.get("p90"), dist.get("p99")
+            if p50 is None:
+                continue
+            lines.append(
+                (
+                    f"  {phase:<10} p50={p50 * 1000:>8.1f}ms "
+                    f"p90={(p90 or 0) * 1000:>8.1f}ms "
+                    f"p99={(p99 or 0) * 1000:>8.1f}ms "
+                    f"n={dist.get('count', 0)}"
+                )[: self.width]
+            )
+        slowest = spans.get("slowest_open") or []
+        if slowest:
+            lines.append("  slowest open:")
+            for row in slowest:
+                open_spans = ",".join(row.get("open_spans") or []) or "-"
+                lines.append(
+                    (
+                        f"    {row.get('request_id', '?'):<20} "
+                        f"{row.get('age_seconds', 0):>7.2f}s  {open_spans}"
+                    )[: self.width]
+                )
+        return lines

@@ -91,11 +91,19 @@ class Histogram:
                 self.reservoir[slot] = value
 
     def quantile(self, q: float):
-        """The q-quantile (0 <= q <= 1) of the sampled distribution."""
+        """The q-quantile (0 <= q <= 1) of the sampled distribution.
+
+        With fewer than 3 observations a sampled quantile is pure
+        extrapolation (p99 of two points says nothing), so tiny samples
+        clamp to the *true* stream extremes instead: the minimum for
+        q < 0.5, the maximum otherwise.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
         if not self.reservoir:
             return None
+        if len(self.reservoir) < 3:
+            return self._min if q < 0.5 else self._max
         ordered = sorted(self.reservoir)
         index = min(len(ordered) - 1, int(q * len(ordered)))
         return ordered[index]
@@ -229,6 +237,10 @@ class MetricsCollector:
         source_total = stats.top_clause_decisions + stats.formula_decisions
         rate = (lambda delta: delta / window) if window > 1e-9 else (lambda delta: 0.0)
         row = {
+            # Monotonic stamp: rows from one process sort and join
+            # against other monotonic-clock telemetry (spans, heartbeat
+            # watchdogs) without wall-clock skew.
+            "monotonic_ms": round(time.monotonic() * 1000.0, 3),
             "elapsed_seconds": round(now - self._started, 6),
             "conflicts": stats.conflicts,
             "decisions": stats.decisions,

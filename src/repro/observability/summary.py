@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 
+from .spans import phase_of
 from .trace import DECISION_SOURCES, TraceFormatError, validate_event
 
 
@@ -328,4 +329,145 @@ def format_summary(summary: dict) -> str:
             lines.append(
                 f"  {solve['status']}{reason} after {solve['conflicts']} conflicts"
             )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Service-shaped summary (request spans instead of search dynamics)
+# ----------------------------------------------------------------------
+def summarize_service_trace(path) -> dict:
+    """Fold a *service* trace into a request-centric report.
+
+    Where :func:`summarize_trace` reads a trace as evidence about the
+    *search* (Table 3), this reads the same JSONL as evidence about the
+    *service*: requests by op, replies by kind, per-phase latency
+    distributions assembled from ``span_end`` events, span-tree
+    completeness (every request should close every span it opened), and
+    fault attribution (which faults/retries carried a ``request_id``).
+    Same strictness contract: defects on known event types raise,
+    unknown types are counted and skipped.
+    """
+    requests_by_op: dict[str, int] = {}
+    replies_by_kind: dict[str, int] = {}
+    phase_ms: dict[str, list] = {}
+    open_spans: dict[tuple, str] = {}
+    request_kinds: dict[str, str | None] = {}
+    incomplete: set = set()
+    faults = {"worker_faults": 0, "worker_retries": 0, "with_request_id": 0}
+    breaker_events = 0
+    pump_errors = 0
+    unknown_types: dict[str, int] = {}
+    events = 0
+
+    for event in _iter_trace_lenient(path, unknown_types):
+        events += 1
+        kind = event["type"]
+        if kind == "server_request":
+            requests_by_op[event["op"]] = requests_by_op.get(event["op"], 0) + 1
+        elif kind == "server_reply":
+            replies_by_kind[event["kind"]] = replies_by_kind.get(event["kind"], 0) + 1
+        elif kind == "span_start":
+            open_spans[(event["request_id"], event["span_id"])] = event["name"]
+            request_kinds.setdefault(event["request_id"], None)
+        elif kind == "span_end":
+            open_spans.pop((event["request_id"], event["span_id"]), None)
+            if event["name"] == "request":
+                request_kinds[event["request_id"]] = event.get("kind")
+            phase = phase_of(event["name"])
+            phase_ms.setdefault(phase, []).append(event["duration_ms"])
+        elif kind in ("worker_fault", "worker_retry"):
+            key = "worker_faults" if kind == "worker_fault" else "worker_retries"
+            faults[key] += 1
+            if event.get("request_id") is not None:
+                faults["with_request_id"] += 1
+        elif kind == "server_breaker":
+            breaker_events += 1
+        elif kind == "server_pump_error":
+            pump_errors += 1
+
+    for request_id, _span_id in open_spans:
+        incomplete.add(request_id)
+    complete = sum(
+        1
+        for request_id in request_kinds
+        if request_id not in incomplete
+    )
+    return {
+        "path": str(path),
+        "events": events,
+        "requests_by_op": dict(sorted(requests_by_op.items())),
+        "replies_by_kind": dict(sorted(replies_by_kind.items())),
+        "phase_latency_ms": {
+            phase: _distribution(values)
+            for phase, values in sorted(phase_ms.items())
+        },
+        "requests_traced": len(request_kinds),
+        "requests_complete": complete,
+        "requests_incomplete": sorted(incomplete),
+        "faults": faults,
+        "breaker_events": breaker_events,
+        "pump_errors": pump_errors,
+        "unknown_events": {
+            "count": sum(unknown_types.values()),
+            "types": dict(sorted(unknown_types.items())),
+        },
+    }
+
+
+def format_service_summary(summary: dict) -> str:
+    """Render :func:`summarize_service_trace` output for terminals."""
+    lines = [
+        f"service trace summary: {summary['path']}",
+        f"  events: {summary['events']}",
+        "",
+        "requests by op:",
+    ]
+    if summary["requests_by_op"]:
+        for op, count in summary["requests_by_op"].items():
+            lines.append(f"  {op:<10} {count}")
+    else:
+        lines.append("  (none)")
+    lines += ["", "replies by kind:"]
+    if summary["replies_by_kind"]:
+        for kind, count in summary["replies_by_kind"].items():
+            lines.append(f"  {kind:<10} {count}")
+    else:
+        lines.append("  (none)")
+    lines += ["", "phase latency (ms):"]
+    if summary["phase_latency_ms"]:
+        for phase, dist in summary["phase_latency_ms"].items():
+            lines.append(_format_distribution(phase, dist))
+    else:
+        lines.append("  (no spans in trace)")
+    traced = summary["requests_traced"]
+    lines += [
+        "",
+        f"span trees: {traced} traced, {summary['requests_complete']} complete",
+    ]
+    if summary["requests_incomplete"]:
+        sample = ", ".join(summary["requests_incomplete"][:5])
+        lines.append(
+            f"  warning: {len(summary['requests_incomplete'])} request(s) "
+            f"left spans open ({sample})"
+        )
+    faults = summary["faults"]
+    if faults["worker_faults"] or faults["worker_retries"]:
+        lines += [
+            "",
+            f"faults: {faults['worker_faults']} worker faults, "
+            f"{faults['worker_retries']} retries "
+            f"({faults['with_request_id']} attributed to a request)",
+        ]
+    if summary["breaker_events"]:
+        lines.append(f"breaker transitions: {summary['breaker_events']}")
+    if summary["pump_errors"]:
+        lines.append(f"pump errors: {summary['pump_errors']}")
+    unknown = summary.get("unknown_events", {})
+    if unknown.get("count"):
+        kinds = ", ".join(f"{k}={v}" for k, v in unknown["types"].items())
+        lines += [
+            "",
+            f"warning: skipped {unknown['count']} event(s) of unknown type "
+            f"({kinds}) — trace written by a newer schema?",
+        ]
     return "\n".join(lines)

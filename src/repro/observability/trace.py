@@ -107,14 +107,16 @@ EVENT_SCHEMA: dict[str, tuple[frozenset, frozenset]] = {
         frozenset({"type", "action", "conflicts"}),
         frozenset({"path", "resumed_from"}),
     ),
-    # Parent-side supervision events from the parallel engines.
+    # Parent-side supervision events from the parallel engines.  When
+    # the job carries a trace context (the solver service's correlation
+    # ID), ``request_id`` attributes the fault/retry to its request.
     "worker_fault": (
         frozenset({"type", "lane", "attempt", "reason", "will_retry"}),
-        frozenset(),
+        frozenset({"request_id"}),
     ),
     "worker_retry": (
         frozenset({"type", "lane", "attempt"}),
-        frozenset({"resumed_from_conflicts"}),
+        frozenset({"resumed_from_conflicts", "request_id"}),
     ),
     # Cooperative clause sharing between portfolio lanes (parent-side,
     # see repro.parallel.sharing).  share_export: the bus accepted one
@@ -181,11 +183,11 @@ EVENT_SCHEMA: dict[str, tuple[frozenset, frozenset]] = {
     ),
     "server_request": (
         frozenset({"type", "client", "op"}),
-        frozenset(),
+        frozenset({"request_id"}),
     ),
     "server_reply": (
         frozenset({"type", "kind", "cached"}),
-        frozenset(),
+        frozenset({"request_id"}),
     ),
     "server_breaker": (
         frozenset({"type", "fingerprint", "state", "reason"}),
@@ -194,6 +196,25 @@ EVENT_SCHEMA: dict[str, tuple[frozenset, frozenset]] = {
     "server_drain": (
         frozenset({"type", "open_jobs"}),
         frozenset(),
+    ),
+    # One exception swallowed by the server's pump guard (the tick kept
+    # running; the error is recorded, not fatal).
+    "server_pump_error": (
+        frozenset({"type", "error"}),
+        frozenset(),
+    ),
+    # Request-scoped spans (see repro.observability.spans): one
+    # span_start/span_end pair per phase of one service request, keyed
+    # by the correlation ``request_id`` minted at admission.  ``ts_ms``
+    # is monotonic milliseconds; span_end repeats the name so a pair is
+    # self-describing even when its start was lost.
+    "span_start": (
+        frozenset({"type", "request_id", "span_id", "name", "ts_ms"}),
+        frozenset({"parent_id", "op", "client", "attempt", "resumed_from_conflicts"}),
+    ),
+    "span_end": (
+        frozenset({"type", "request_id", "span_id", "name", "ts_ms", "duration_ms"}),
+        frozenset({"status", "conflicts", "attempt", "resumed_from_conflicts", "kind"}),
     ),
 }
 

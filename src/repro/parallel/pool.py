@@ -99,6 +99,10 @@ class Job:
     checkpoint_path: str | None = None
     #: Caller-owned annotations carried through untouched.
     meta: dict = field(default_factory=dict)
+    #: Correlation context (e.g. ``{"request_id": ...}``) stamped onto
+    #: supervision events and shipped to workers, which echo it in
+    #: telemetry rows — the span layer's cross-process thread.
+    trace_context: dict | None = None
 
     # -- supervision bookkeeping (pool-owned) --------------------------
     attempts: int = 0
@@ -107,6 +111,9 @@ class Job:
     kill_at: float | None = None  # materialized hard deadline
     not_before: float = 0.0  # backoff gate for the next launch
     result: SolveResult | None = None
+    #: Parent-side verification wall time of the final answer (pool-owned;
+    #: the service records it as the request's ``verify`` span).
+    verify_seconds: float | None = None
 
     @property
     def done(self) -> bool:
@@ -146,6 +153,9 @@ class JobPool:
         telemetry_seconds: worker telemetry period (None disables).
         on_fault: optional ``fn(job, reason, will_retry)`` observer of
             every failed attempt — the service's circuit breaker feed.
+        on_launch: optional ``fn(job, attempt, resumed_from)`` observer
+            of every attempt launch — the service's span layer uses it
+            to close the queue span and open the attempt span.
     """
 
     def __init__(
@@ -162,6 +172,7 @@ class JobPool:
         trace=None,
         telemetry_seconds: float | None = None,
         on_fault=None,
+        on_launch=None,
         context=None,
     ) -> None:
         if size < 1:
@@ -177,6 +188,7 @@ class JobPool:
         self.trace = trace
         self.telemetry_seconds = telemetry_seconds
         self.on_fault = on_fault
+        self.on_launch = on_launch
         self.context = context if context is not None else multiprocessing.get_context()
         self.results_queue = self.context.Queue()
         #: Shared cooperative-cancel flag: set during a drain, every
@@ -447,6 +459,10 @@ class JobPool:
                 job.checkpoint_path,
                 self.checkpoint_interval,
                 self.telemetry_seconds,
+                None,  # share_max_lbd: pool jobs never share clauses
+                None,  # import_queue
+                None,  # lane_stop
+                job.trace_context,
             ),
             daemon=True,
         )
@@ -459,7 +475,11 @@ class JobPool:
             }
             if resumed_from is not None:
                 event["resumed_from_conflicts"] = resumed_from
+            if job.trace_context and job.trace_context.get("request_id") is not None:
+                event["request_id"] = job.trace_context["request_id"]
             self.trace.emit(event)
+        if self.on_launch is not None:
+            self.on_launch(job, attempt, resumed_from)
         if self.monitor is not None:
             state = "resumed" if attempt and resumed_from is not None else "running"
             self.monitor.lane_state(job.job_id, state, attempt=attempt)
@@ -498,15 +518,16 @@ class JobPool:
             and self.policy.allows(job.attempts)
         )
         if self.trace is not None:
-            self.trace.emit(
-                {
-                    "type": "worker_fault",
-                    "lane": job.job_id,
-                    "attempt": entry.attempt,
-                    "reason": reason,
-                    "will_retry": retrying,
-                }
-            )
+            event = {
+                "type": "worker_fault",
+                "lane": job.job_id,
+                "attempt": entry.attempt,
+                "reason": reason,
+                "will_retry": retrying,
+            }
+            if job.trace_context and job.trace_context.get("request_id") is not None:
+                event["request_id"] = job.trace_context["request_id"]
+            self.trace.emit(event)
         if self.on_fault is not None:
             self.on_fault(job, reason, retrying)
         if retrying:
@@ -543,6 +564,7 @@ class JobPool:
                 detail="worker raised an exception",
             )
             return
+        verify_started = time.perf_counter()
         try:
             shape = check_result_shape(payload)
             if shape is not None:
@@ -552,6 +574,8 @@ class JobPool:
                 if self.verification != VERIFY_OFF
                 else None
             )
+            if self.verification != VERIFY_OFF:
+                job.verify_seconds = time.perf_counter() - verify_started
         except VerificationError as error:
             self._fail(
                 job, entry, "corrupted result", now,

@@ -87,10 +87,12 @@ class _TelemetryReporter:
     grow the parent's memory or be mistaken for an answer.
     """
 
-    def __init__(self, lane, attempt, results, every_seconds: float) -> None:
+    def __init__(self, lane, attempt, results, every_seconds: float,
+                 trace_context=None) -> None:
         self.tag = (TELEMETRY_TAG, lane, attempt)
         self.results = results
         self.every_seconds = every_seconds
+        self.request_id = (trace_context or {}).get("request_id")
         self._last_wall = time.monotonic()
         self._last = {"conflicts": 0, "propagations": 0, "shared": 0}
 
@@ -111,6 +113,8 @@ class _TelemetryReporter:
             "shared_imported": stats.shared_imported,
             "shared_per_sec": round((shared - self._last["shared"]) / window, 1),
         }
+        if self.request_id is not None:
+            row["request_id"] = self.request_id
         self._last_wall = now
         self._last = {
             "conflicts": stats.conflicts,
@@ -140,6 +144,7 @@ def solve_in_worker(
     share_max_lbd=None,
     import_queue=None,
     lane_stop=None,
+    trace_context=None,
 ) -> None:
     """Solve ``formula`` under ``config`` and post ``(index, result)``.
 
@@ -179,6 +184,11 @@ def solve_in_worker(
     per-lane preemption event, checked alongside ``cancel_event``: the
     supervisor sets it to reclaim this one lane (quarantine or adaptive
     relaunch) without cancelling the fleet.
+
+    ``trace_context`` is an opaque correlation dict (the solver
+    service's ``{"request_id": ...}``): workers never see a sink or a
+    tracker, they just stamp the ID onto telemetry rows so the parent
+    can attribute cross-process progress to the originating request.
     """
     try:
         if max_memory_mb is not None:
@@ -228,7 +238,10 @@ def solve_in_worker(
         telemetry = None
         if telemetry_seconds is not None:
             lane = index[0] if isinstance(index, tuple) else index
-            telemetry = _TelemetryReporter(lane, attempt, results, telemetry_seconds)
+            telemetry = _TelemetryReporter(
+                lane, attempt, results, telemetry_seconds,
+                trace_context=trace_context,
+            )
         on_progress = None
         if (
             cancel_event is not None

@@ -16,6 +16,11 @@ from repro.server.client import (
     ServerConnectionError,
     SolverClient,
 )
+from repro.server.ops import (
+    ServiceDashboardAdapter,
+    ServiceOps,
+    prometheus_text,
+)
 from repro.server.protocol import (
     MAX_LINE_BYTES,
     ProtocolError,
@@ -39,12 +44,15 @@ __all__ = [
     "REASON_QUARANTINED",
     "Request",
     "ServerConnectionError",
+    "ServiceDashboardAdapter",
+    "ServiceOps",
     "SolverClient",
     "SolverServer",
     "SolverService",
     "encode_reply",
     "error_reply",
     "parse_request",
+    "prometheus_text",
     "refusal_reply",
     "result_reply",
     "serve",

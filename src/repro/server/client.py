@@ -120,6 +120,11 @@ class SolverClient:
         self._next_id += 1
         return self._roundtrip({"op": "stats", "id": self._next_id}, reply_timeout)
 
+    def metrics(self, reply_timeout: float = 10.0) -> dict:
+        """Fetch the Prometheus text scrape (reply["metrics"] is the body)."""
+        self._next_id += 1
+        return self._roundtrip({"op": "metrics", "id": self._next_id}, reply_timeout)
+
     def close(self) -> None:
         try:
             self._reader.close()
@@ -223,6 +228,11 @@ class AsyncSolverClient:
     async def stats(self) -> dict:
         self._next_id += 1
         return await self._request({"op": "stats", "id": self._next_id})
+
+    async def metrics(self) -> dict:
+        """Fetch the Prometheus text scrape (reply["metrics"] is the body)."""
+        self._next_id += 1
+        return await self._request({"op": "metrics", "id": self._next_id})
 
     async def close(self) -> None:
         if self._reader_task is not None:

@@ -12,6 +12,7 @@ Requests::
      "config": "berkmin"}
     {"op": "ping", "id": 2}
     {"op": "stats", "id": 3}
+    {"op": "metrics", "id": 4}
 
 Replies (``kind`` discriminates)::
 
@@ -22,6 +23,11 @@ Replies (``kind`` discriminates)::
     {"id": 1, "kind": "error", "error": "clauses: ..."}      # bad request
     {"id": 2, "kind": "pong"}
     {"id": 3, "kind": "stats", "stats": {...}}
+    {"id": 4, "kind": "metrics", "metrics": "# HELP reprosat_... \n..."}
+
+The ``metrics`` reply carries one Prometheus text-exposition scrape
+body as a JSON string — point a scrape sidecar at it, or eyeball it
+with ``repro-sat top``.
 
 ``busy`` and ``deadline`` are *explicit refusals*, not errors: the
 request was well-formed but the service chose (admission control,
@@ -46,10 +52,10 @@ from repro.solver.result import SolveResult, SolveStatus
 MAX_LINE_BYTES = 32 * 1024 * 1024
 
 #: Request operations.
-OPS = ("solve", "ping", "stats")
+OPS = ("solve", "ping", "stats", "metrics")
 
 #: Reply discriminators.
-REPLY_KINDS = ("result", "busy", "deadline", "error", "pong", "stats")
+REPLY_KINDS = ("result", "busy", "deadline", "error", "pong", "stats", "metrics")
 
 
 class ProtocolError(ValueError):

@@ -47,6 +47,7 @@ from repro.reliability.faults import FaultPlan
 from repro.reliability.retry import RetryPolicy
 from repro.server.admission import AdmissionController
 from repro.server.breaker import REASON_QUARANTINED, CircuitBreaker
+from repro.server.ops import DEFAULT_LATENCY_OBJECTIVE, ServiceOps, prometheus_text
 from repro.server.protocol import (
     Request,
     error_reply,
@@ -99,6 +100,11 @@ class SolverService:
             a definite answer).
         trace: optional sink for ``server_*`` events.
         monitor: optional fleet monitor (lane = job id).
+        ops: injectable :class:`~repro.server.ops.ServiceOps`; None
+            builds a default one (spans and ops metrics are always on —
+            they live in the supervisor, never in solver hot loops).
+        latency_objective: latency SLO in seconds fed to the default
+            ``ops`` (ignored when ``ops`` is injected).
     """
 
     def __init__(
@@ -121,6 +127,8 @@ class SolverService:
         checkpoint_interval: int = 1000,
         trace=None,
         monitor=None,
+        ops: ServiceOps | None = None,
+        latency_objective: float = DEFAULT_LATENCY_OBJECTIVE,
     ) -> None:
         if config is None:
             config = berkmin_config()
@@ -143,6 +151,9 @@ class SolverService:
         self.cache = cache if cache is not None else AnswerCache()
         self.checkpoint_dir = checkpoint_dir
         self.trace = trace
+        self.ops = ops if ops is not None else ServiceOps(
+            trace, latency_objective=latency_objective
+        )
         self.pool = JobPool(
             pool_size,
             retry=retry,
@@ -154,6 +165,7 @@ class SolverService:
             monitor=monitor,
             trace=trace,
             on_fault=self._on_fault,
+            on_launch=self._on_launch,
         )
         self.draining = False
         self._next_job_id = 0
@@ -174,43 +186,70 @@ class SolverService:
         from a later :meth:`tick` when the job completes.
         """
         self.requests += 1
+        rid = self.ops.begin_request(request.op, client_id)
         if self.trace is not None:
             self.trace.emit(
-                {"type": "server_request", "client": str(client_id), "op": request.op}
+                {
+                    "type": "server_request",
+                    "client": str(client_id),
+                    "op": request.op,
+                    "request_id": rid,
+                }
             )
         if request.op == "ping":
-            self._send(send, {"id": request.request_id, "kind": "pong"})
+            self._send(send, {"id": request.request_id, "kind": "pong"}, rid)
             return
         if request.op == "stats":
             self._send(
                 send,
                 {"id": request.request_id, "kind": "stats", "stats": self.stats()},
+                rid,
             )
             return
-        self._handle_solve(request, client_id, send)
+        if request.op == "metrics":
+            self._send(
+                send,
+                {
+                    "id": request.request_id,
+                    "kind": "metrics",
+                    "metrics": prometheus_text(self),
+                },
+                rid,
+            )
+            return
+        self._handle_solve(request, client_id, send, rid)
 
-    def _handle_solve(self, request: Request, client_id, send) -> None:
+    def _handle_solve(self, request: Request, client_id, send, rid: str) -> None:
         request_id = request.request_id
+        spans = self.ops.spans
+        span = spans.begin(rid, "validate")
         if self.draining:
-            self._send(send, refusal_reply(request_id, "busy", REASON_DRAINING))
+            spans.end(rid, span, status="draining")
+            self._send(send, refusal_reply(request_id, "busy", REASON_DRAINING), rid)
             return
         try:
             worker_config = self._worker_config(request.config)
         except ValueError:
+            spans.end(rid, span, status="error")
             self._send(
                 send,
                 error_reply(request_id, f"unknown config {request.config!r}"),
+                rid,
             )
             return
         try:
             formula = CnfFormula(request.clauses)
         except ValueError as error:
-            self._send(send, error_reply(request_id, f"bad clauses: {error}"))
+            spans.end(rid, span, status="error")
+            self._send(send, error_reply(request_id, f"bad clauses: {error}"), rid)
             return
+        spans.end(rid, span, status="ok")
 
+        span = spans.begin(rid, "admit")
         refusal = self.admission.try_admit(client_id)
         if refusal is not None:
-            self._send(send, refusal_reply(request_id, "busy", refusal))
+            spans.end(rid, span, status="refused")
+            self._send(send, refusal_reply(request_id, "busy", refusal), rid)
             return
 
         fingerprint = canonical_fingerprint(formula.clauses)
@@ -222,16 +261,22 @@ class SolverService:
         if hit is not None:
             kind, stored = hit
             self.admission.release(client_id)
+            spans.end(rid, span, status="cache-hit")
             self._send(
                 send,
                 result_reply(request_id, stored_to_result(kind, stored), cached=kind),
+                rid,
             )
             return
 
         if not self.breaker.allows(fingerprint):
             self.admission.release(client_id)
-            self._send(send, refusal_reply(request_id, "busy", REASON_QUARANTINED))
+            spans.end(rid, span, status="quarantined")
+            self._send(
+                send, refusal_reply(request_id, "busy", REASON_QUARANTINED), rid
+            )
             return
+        spans.end(rid, span, status="ok")
 
         timeout = request.timeout if request.timeout is not None else self.default_timeout
         timeout = min(timeout, self.max_timeout)
@@ -269,8 +314,11 @@ class SolverService:
                 "client": client_id,
                 "request_id": request_id,
                 "assumptions": request.assumptions,
+                "rid": rid,
             },
+            trace_context={"request_id": rid},
         )
+        job.meta["queue_span"] = spans.begin(rid, "queue")
         self.pool.submit(job)
 
     def _worker_config(self, name: str | None) -> SolverConfig:
@@ -289,7 +337,30 @@ class SolverService:
         self.admission.release(job.meta["client"])
         result = job.result
         request_id = job.meta["request_id"]
+        rid = job.meta.get("rid")
         send = job.meta["send"]
+        spans = self.ops.spans
+        if rid is not None:
+            # A queue span still open means the job never launched
+            # (deadline expired in queue, or cancelled by drain).
+            queue_span = job.meta.pop("queue_span", None)
+            if queue_span is not None:
+                spans.end(rid, queue_span, status=result.limit_reason or "cancelled")
+            attempt_span = job.meta.pop("attempt_span", None)
+            if attempt_span is not None:
+                status = (
+                    "ok"
+                    if not result.is_unknown
+                    else (result.limit_reason or "unknown")
+                )
+                spans.end(
+                    rid,
+                    attempt_span,
+                    status=status,
+                    conflicts=int(result.stats.conflicts),
+                )
+            if job.verify_seconds is not None:
+                spans.record(rid, "verify", job.verify_seconds)
         # Every non-fault completion resolves the breaker (in particular
         # a half-open trial must never be left dangling); fault endings
         # were already counted by _on_fault.
@@ -301,16 +372,36 @@ class SolverService:
             self.breaker.record_success(job.fingerprint)
         if not result.is_unknown:
             self.cache.store(job.fingerprint, job.meta["assumptions"], result)
-            self._send(send, result_reply(request_id, result))
+            self._send(send, result_reply(request_id, result), rid)
             return
         if result.limit_reason in ("time budget", DEADLINE_EXPIRED):
             self._send(
-                send, refusal_reply(request_id, "deadline", result.limit_reason)
+                send, refusal_reply(request_id, "deadline", result.limit_reason), rid
             )
             return
-        self._send(send, result_reply(request_id, result))
+        self._send(send, result_reply(request_id, result), rid)
+
+    def _on_launch(self, job: Job, attempt: int, resumed_from: int | None) -> None:
+        rid = job.meta.get("rid")
+        if rid is None:
+            return
+        spans = self.ops.spans
+        queue_span = job.meta.pop("queue_span", None)
+        if queue_span is not None:
+            spans.end(rid, queue_span, status="ok")
+        meta: dict = {"attempt": attempt}
+        if resumed_from:
+            meta["resumed_from_conflicts"] = resumed_from
+        job.meta["attempt_span"] = spans.begin(
+            rid, f"solve-attempt-{attempt}", **meta
+        )
 
     def _on_fault(self, job: Job, reason: str, will_retry: bool) -> None:
+        rid = job.meta.get("rid")
+        if rid is not None:
+            attempt_span = job.meta.pop("attempt_span", None)
+            if attempt_span is not None:
+                self.ops.spans.end(rid, attempt_span, status=reason)
         if not any(reason.startswith(prefix) for prefix in _BREAKER_REASONS):
             return
         state = self.breaker.record_failure(job.fingerprint)
@@ -324,14 +415,21 @@ class SolverService:
                 }
             )
 
-    def _send(self, send, reply: dict) -> None:
+    def _send(self, send, reply: dict, rid: str | None = None) -> None:
         kind = reply.get("kind", "?")
         self.replies[kind] = self.replies.get(kind, 0) + 1
         if self.trace is not None:
-            self.trace.emit(
-                {"type": "server_reply", "kind": kind, "cached": reply.get("cached")}
-            )
+            event = {
+                "type": "server_reply",
+                "kind": kind,
+                "cached": reply.get("cached"),
+            }
+            if rid is not None:
+                event["request_id"] = rid
+            self.trace.emit(event)
+        started = time.perf_counter()
         send(reply)
+        self.ops.finish_request(rid, kind, time.perf_counter() - started)
 
     # ------------------------------------------------------------------
     # Supervision and lifecycle
@@ -374,4 +472,5 @@ class SolverService:
             "breaker": self.breaker.summary(),
             "cache": self.cache.summary(),
             "draining": self.draining,
+            **self.ops.stats_section(),
         }

@@ -162,3 +162,104 @@ def test_bench_report_header_records_sha_and_metrics_interval(tmp_path, capsys):
     assert report["metrics_interval"] == 0  # timed runs pay no telemetry
     sha = report["git_sha"]
     assert sha is None or (len(sha) == 40 and set(sha) <= set("0123456789abcdef"))
+
+
+# ----------------------------------------------------------------------
+# Service-trace verbs: trace-summary --service and trace-export
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def service_trace(tmp_path_factory):
+    """A real service trace: one traced solve through a 1-worker pool."""
+    import time
+
+    from repro.observability import JsonlTraceSink
+    from repro.server.protocol import Request
+    from repro.server.service import SolverService
+    from repro.solver.config import config_by_name
+
+    path = tmp_path_factory.mktemp("svc") / "service.jsonl"
+    with JsonlTraceSink(path) as sink:
+        service = SolverService(
+            pool_size=1, config=config_by_name("berkmin", seed=5), trace=sink
+        )
+        try:
+            replies: list = []
+            service.handle(
+                Request(op="solve", request_id=1, clauses=[[1], [2]]),
+                "cli-test",
+                replies.append,
+            )
+            deadline = time.monotonic() + 60.0
+            while not replies and time.monotonic() < deadline:
+                service.tick()
+                time.sleep(0.01)
+            assert replies and replies[0]["kind"] == "result"
+        finally:
+            service.close()
+    return path
+
+
+def test_trace_summary_service_text_and_json(service_trace, capsys):
+    assert main(["trace-summary", str(service_trace), "--service"]) == 0
+    text = capsys.readouterr().out
+    assert "service trace summary:" in text
+    assert "requests by op:" in text
+    assert "phase latency (ms):" in text
+    assert "span trees: 1 traced, 1 complete" in text
+
+    assert main(["trace-summary", str(service_trace), "--service", "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["requests_by_op"] == {"solve": 1}
+    assert summary["replies_by_kind"] == {"result": 1}
+    assert summary["requests_incomplete"] == []
+    assert summary["phase_latency_ms"]["solve"]["count"] >= 1
+
+
+def test_plain_trace_summary_tolerates_span_events(service_trace, capsys):
+    # The classic search summary must not choke on a service trace —
+    # span events are known types it simply counts.
+    assert main(["trace-summary", str(service_trace)]) == 0
+    out = capsys.readouterr().out
+    assert "span_start=" in out and "span_end=" in out
+
+
+def test_trace_export_writes_chrome_trace_json(service_trace, tmp_path, capsys):
+    out_path = tmp_path / "timeline.json"
+    assert main(["trace-export", str(service_trace), "-o", str(out_path)]) == 0
+    captured = capsys.readouterr()
+    assert "c exported" in captured.out and str(out_path) in captured.out
+
+    exported = json.loads(out_path.read_text())
+    assert exported["displayTimeUnit"] == "ms"
+    events = exported["traceEvents"]
+    spans = [event for event in events if event.get("ph") == "X"]
+    names = {event["name"] for event in spans}
+    assert {"request", "validate", "admit", "queue", "solve-attempt-0"} <= names
+    for event in spans:
+        assert event["ts"] >= 0 and event["dur"] >= 0
+        assert event["pid"] == 1 and isinstance(event["tid"], int)
+    # Exactly one request thread, named with the correlation ID.
+    metas = [event for event in events if event.get("ph") == "M"]
+    assert len(metas) == 1
+    assert metas[0]["args"]["name"].startswith("req-")
+
+
+def test_trace_export_filters_by_request_id(service_trace, tmp_path, capsys):
+    out_path = tmp_path / "empty.json"
+    code = main([
+        "trace-export", str(service_trace),
+        "-o", str(out_path), "--request", "req-nonexistent-000000",
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "c exported 0 spans" in captured.out
+    assert "no span events found" in captured.err
+    assert json.loads(out_path.read_text())["traceEvents"] == []
+
+
+def test_trace_export_missing_file_is_one_line_error(tmp_path, capsys):
+    code = main([
+        "trace-export", str(tmp_path / "nope.jsonl"), "-o", str(tmp_path / "o.json")
+    ])
+    assert code == 2
+    assert "repro-sat: error:" in capsys.readouterr().err

@@ -203,3 +203,76 @@ def test_batch_dashboard_shows_crash_retry_resume(tmp_path):
         assert validate_event(event) is None
     assert events[0]["will_retry"] is True
     assert events[1]["resumed_from_conflicts"] >= 100
+
+
+# ----------------------------------------------------------------------
+# OpsTop: the `repro-sat top` service panel
+# ----------------------------------------------------------------------
+STATS_SNAPSHOT = {
+    "uptime_seconds": 12.0,
+    "requests": 40,
+    "draining": False,
+    "replies": {"result": 30, "busy": 5},
+    "pool": {"size": 4, "active": 2, "queued": 3, "retries": 1},
+    "admission": {"in_flight": 5},
+    "spans": {
+        "open": 5,
+        "completed": 35,
+        "slowest_open": [
+            {"request_id": "req-aa-000007", "op": "solve", "client": "c",
+             "age_seconds": 2.5, "open_spans": ["solve-attempt-1"]},
+        ],
+    },
+    "latency": {
+        "solve": {"count": 30, "p50": 0.1, "p90": 0.4, "p99": 0.9},
+        "request": {"count": 35, "p50": 0.12, "p90": 0.5, "p99": 1.1},
+    },
+    "slo": {"objective_seconds": 1.0, "requests": 35,
+            "within_objective": 33, "burn_ratio": 0.057143},
+}
+
+
+def test_ops_top_non_tty_prints_one_line_per_update():
+    from repro.observability import OpsTop
+
+    out = io.StringIO()
+    top = OpsTop(out)
+    top.update(STATS_SNAPSHOT)
+    second = dict(STATS_SNAPSHOT, requests=44)
+    top.update(second)
+    top.close()
+    lines = out.getvalue().splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("top: 40 requests, 0.0 rps")
+    assert "active 2/4" in lines[0]
+    assert "queued 3" in lines[0]
+    assert "p50 120.0ms" in lines[0]
+    assert lines[1].startswith("top: 44 requests, ")
+
+
+def test_ops_top_tty_panel_shows_percentiles_and_slowest_open():
+    from repro.observability import OpsTop
+
+    out = _FakeTty()
+    top = OpsTop(out)
+    top.update(STATS_SNAPSHOT)
+    top.close()
+    panel = out.getvalue()
+    assert "solver service  up 12s" in panel
+    assert "40 requests" in panel
+    assert "pool 2/4 active, 3 queued, 1 retries" in panel
+    assert "replies: busy=5, result=30" in panel
+    assert "slo: 33/35 within 1.0s" in panel
+    assert "solve" in panel and "p99=   900.0ms" in panel
+    assert "req-aa-000007" in panel and "solve-attempt-1" in panel
+
+
+def test_ops_top_handles_minimal_stats():
+    from repro.observability import OpsTop
+
+    out = io.StringIO()
+    top = OpsTop(out)
+    top.update({"requests": 0})  # an old server with no ops sections
+    top.close()
+    line = out.getvalue().splitlines()[0]
+    assert line == "top: 0 requests, 0.0 rps, in-flight 0, active 0/0, queued 0, p50 -"

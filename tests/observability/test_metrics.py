@@ -73,6 +73,28 @@ def test_histogram_quantile_edge_cases():
         Histogram("tiny", size=0)
 
 
+def test_histogram_tiny_samples_clamp_to_true_extremes():
+    # A p99 extrapolated from one or two points is noise; below three
+    # observations quantiles answer with the true stream min/max.
+    one = Histogram("one")
+    one.observe(7.0)
+    assert one.quantile(0.25) == 7.0
+    assert one.quantile(0.5) == 7.0
+    assert one.quantile(0.99) == 7.0
+    two = Histogram("two")
+    two.observe(10.0)
+    two.observe(2.0)
+    assert two.quantile(0.0) == 2.0
+    assert two.quantile(0.49) == 2.0
+    assert two.quantile(0.5) == 10.0
+    assert two.quantile(0.99) == 10.0
+    # From three observations on, the sampled quantile takes over.
+    three = Histogram("three")
+    for value in (1.0, 2.0, 3.0):
+        three.observe(value)
+    assert three.quantile(0.5) == 2.0
+
+
 def test_registry_creates_on_first_touch_and_snapshots_flat():
     registry = MetricsRegistry()
     registry.counter("conflicts").add(7)
@@ -117,6 +139,12 @@ def test_collector_appends_periodic_and_closing_rows(metered_solver):
         assert row["elapsed_seconds"] >= 0.0
         assert 0.0 <= row["top_clause_fraction"] <= 1.0
         assert row["skin_p50"] is not None
+    # Rows carry a monotonic stamp so they join against other
+    # monotonic-clock telemetry (spans, watchdogs) without wall skew,
+    # and the stamps never run backwards.
+    stamps = [row["monotonic_ms"] for row in rows]
+    assert all(isinstance(stamp, float) for stamp in stamps)
+    assert stamps == sorted(stamps)
 
 
 def test_collector_finish_is_idempotent(metered_solver):

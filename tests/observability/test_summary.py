@@ -182,3 +182,86 @@ def test_summary_surfaces_arena_inprocessing(tmp_path):
     rendered = format_summary(summary)
     assert "inprocessing:" in rendered
     assert "variables eliminated" in rendered
+
+
+# ----------------------------------------------------------------------
+# The service-shaped summary (trace-summary --service)
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def service_trace(tmp_path):
+    """A hand-built service trace: one clean request, one incomplete."""
+    from repro.observability import SpanTracker, IdMinter
+
+    path = tmp_path / "service.jsonl"
+    with JsonlTraceSink(path) as sink:
+        sink.emit({"type": "server_request", "client": "c1", "op": "solve",
+                   "request_id": "req-aa-000000"})
+        tracker = SpanTracker(sink, minter=IdMinter(token="aa"))
+        rid = tracker.begin_request("solve", "c1", request_id="req-aa-000000")
+        span = tracker.begin(rid, "validate")
+        tracker.end(rid, span, status="ok")
+        span = tracker.begin(rid, "solve-attempt-0", attempt=0)
+        tracker.end(rid, span, status="ok", conflicts=12)
+        tracker.finish_request(rid, "result")
+        sink.emit({"type": "server_reply", "kind": "result", "cached": None,
+                   "request_id": rid})
+        # A second request whose span never closed (e.g. a crash before
+        # the reply) plus an attributed worker fault.
+        sink.emit({"type": "server_request", "client": "c2", "op": "solve",
+                   "request_id": "req-aa-000009"})
+        sink.emit({"type": "span_start", "request_id": "req-aa-000009",
+                   "span_id": "s000099", "name": "queue", "ts_ms": 1.0})
+        sink.emit({"type": "worker_fault", "lane": 3, "attempt": 0,
+                   "reason": "worker crashed", "will_retry": True,
+                   "request_id": "req-aa-000009"})
+        sink.emit({"type": "worker_retry", "lane": 3, "attempt": 1,
+                   "request_id": "req-aa-000009"})
+    return path
+
+
+def test_service_summary_reports_requests_phases_and_completeness(service_trace):
+    from repro.observability import summarize_service_trace
+
+    summary = summarize_service_trace(service_trace)
+    assert summary["requests_by_op"] == {"solve": 2}
+    assert summary["replies_by_kind"] == {"result": 1}
+    assert summary["requests_traced"] == 2
+    assert summary["requests_complete"] == 1
+    assert summary["requests_incomplete"] == ["req-aa-000009"]
+    assert summary["phase_latency_ms"]["validate"]["count"] == 1
+    assert summary["phase_latency_ms"]["solve"]["count"] == 1
+    assert summary["phase_latency_ms"]["request"]["count"] == 1
+    assert summary["faults"] == {
+        "worker_faults": 1, "worker_retries": 1, "with_request_id": 2,
+    }
+
+
+def test_service_summary_renders_for_terminals(service_trace):
+    from repro.observability import (
+        format_service_summary,
+        summarize_service_trace,
+    )
+
+    rendered = format_service_summary(summarize_service_trace(service_trace))
+    assert "requests by op:" in rendered
+    assert "solve" in rendered
+    assert "replies by kind:" in rendered
+    assert "phase latency (ms):" in rendered
+    assert "span trees: 2 traced, 1 complete" in rendered
+    assert "left spans open (req-aa-000009)" in rendered
+    assert "1 worker faults, 1 retries (2 attributed to a request)" in rendered
+
+
+def test_service_summary_of_empty_trace(tmp_path):
+    from repro.observability import (
+        format_service_summary,
+        summarize_service_trace,
+    )
+
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    summary = summarize_service_trace(path)
+    assert summary["events"] == 0
+    assert summary["requests_traced"] == 0
+    rendered = format_service_summary(summary)
+    assert "(none)" in rendered and "(no spans in trace)" in rendered

@@ -24,7 +24,12 @@ pytestmark = pytest.mark.perf_smoke
 
 #: Tracing disabled may cost at most this fraction of propagation rate.
 _MAX_DISABLED_REGRESSION = 0.03
-_FORBIDDEN_NAMES = ("trace", "metrics", "emit", "last_decision_source")
+#: The span layer's vocabulary is forbidden too: correlation IDs are a
+#: *supervisor*-side concern and must never leak into worker hot loops.
+_FORBIDDEN_NAMES = (
+    "trace", "metrics", "emit", "last_decision_source",
+    "span", "spans", "ops", "request_id", "trace_context",
+)
 
 
 @pytest.mark.parametrize("engine", ["_propagate_split", "_propagate_general"])

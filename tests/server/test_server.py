@@ -320,3 +320,46 @@ def test_blocking_client_roundtrip():
 
     reply = run(scenario())
     assert reply["kind"] == "result" and reply["status"] == "UNSAT"
+
+
+def test_metrics_op_over_the_wire_and_top_cli(capsys):
+    async def scenario():
+        service = make_service()
+        server = await serve(service)
+        try:
+            async with AsyncSolverClient(port=server.port) as client:
+                reply = await client.solve(SAT_CLAUSES)
+                assert reply["kind"] == "result"
+                metrics = await client.metrics()
+                blocking = await asyncio.to_thread(top_roundtrip, server.port)
+        finally:
+            await server.shutdown()
+        return metrics, blocking
+
+    def top_roundtrip(port):
+        from repro.cli import main
+
+        metrics_reply = SolverClient(port=port).metrics()
+        code = main(["top", "--once", "--port", str(port)])
+        return metrics_reply, code
+
+    metrics, (blocking_metrics, top_code) = run(scenario())
+    assert metrics["kind"] == "metrics"
+    body = metrics["metrics"]
+    assert 'reprosat_requests_total{op="solve"} 1' in body
+    assert 'reprosat_phase_latency_seconds{phase="solve",quantile="0.99"}' in body
+    # The blocking client sees the same scrape surface.
+    assert blocking_metrics["kind"] == "metrics"
+    assert "reprosat_pool_size 2" in blocking_metrics["metrics"]
+    # `repro-sat top --once` polled the live service and exited cleanly.
+    assert top_code == 0
+    err = capsys.readouterr().err
+    assert "top: " in err and "requests" in err
+
+
+def test_top_against_no_server_is_one_line_error(capsys):
+    from repro.cli import main
+
+    code = main(["top", "--once", "--port", "1"])  # nothing listens there
+    assert code == 2
+    assert "repro-sat: error:" in capsys.readouterr().err

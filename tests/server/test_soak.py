@@ -159,6 +159,29 @@ def test_soak_500_concurrent_requests_under_worker_killing_faults():
     assert service.pool.jobs == {}
     assert service.admission.summary()["clients"] == 0
 
+    # Observability held under fire: every reply is attributable to a
+    # *complete* span tree (admission -> reply, every span closed), and
+    # no request was left open after its reply went out.
+    spans = service.ops.spans
+    assert spans.open_count == 0, spans.open_requests()
+    trees = list(spans.completed)
+    assert len(trees) == len(replies)
+    assert all(tree["complete"] for tree in trees), [
+        tree["request_id"] for tree in trees if not tree["complete"]
+    ][:5]
+    assert {tree["reply_kind"] for tree in trees} <= {"result", "busy", "deadline"}
+    assert all(tree["op"] == "solve" for tree in trees)
+    # The faulted victims show up as multi-attempt trees: the retries
+    # the pool performed are visible per-request, not just as a counter.
+    retried = [tree for tree in trees if tree["attempts"] >= 2]
+    assert len(retried) >= 3, [tree["attempts"] for tree in trees[:8]]
+    # The scrape survives the same load and reports real percentiles.
+    from repro.server.ops import prometheus_text
+
+    scrape = prometheus_text(service)
+    assert 'reprosat_phase_latency_seconds{phase="solve",quantile="0.99"}' in scrape
+    assert 'reprosat_replies_total{kind="result"}' in scrape
+
     # No orphaned worker processes survive shutdown.
     deadline = time.monotonic() + 5.0
     while multiprocessing.active_children() and time.monotonic() < deadline:
